@@ -1,0 +1,298 @@
+//! Campaign machinery: turning per-kernel ground-truth models into noisy
+//! measurement sets with the paper's exact layouts.
+
+use crate::noise_regime::NoiseRegime;
+use nrpm_extrap::{MeasurementSet, Model};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which measurement points a campaign collects.
+#[derive(Debug, Clone)]
+pub enum Layout {
+    /// The full cartesian grid over the per-parameter value sets (Kripke's
+    /// 150-point campaign).
+    FullGrid,
+    /// Two (or `m`) crossing lines: for each parameter, its full value set
+    /// while every other parameter sits at its base value — the paper's
+    /// FASTEST and RELeARN layouts (nine points for two parameters, with
+    /// the lines overlapping at the base point).
+    CrossLines {
+        /// Index into each parameter's value set giving the fixed base.
+        base_index: Vec<usize>,
+    },
+}
+
+/// One kernel of a case study: its ground truth and its simulated
+/// measurement campaign.
+#[derive(Debug, Clone)]
+pub struct KernelCampaign {
+    /// Kernel name (e.g. `SweepSolver`).
+    pub name: String,
+    /// Ground-truth model (from the paper's results / cited literature).
+    pub truth: Model,
+    /// Fraction of total application runtime spent in this kernel; the
+    /// paper's predictive-power analysis only considers kernels above 1 %.
+    pub runtime_share: f64,
+    /// The noisy measurements used for modeling.
+    pub set: MeasurementSet,
+    /// Held-out evaluation point `P⁺`.
+    pub eval_point: Vec<f64>,
+    /// The *measured* (noisy, median-of-repetitions) value at `P⁺` — the
+    /// paper grades predictions against the held-out measurement.
+    pub eval_measured: f64,
+    /// The noise-free ground-truth value at `P⁺`.
+    pub eval_truth: f64,
+}
+
+impl KernelCampaign {
+    /// `true` when the kernel counts as performance-relevant (> 1 % of the
+    /// application runtime, Sec. VI-C).
+    pub fn is_performance_relevant(&self) -> bool {
+        self.runtime_share > 0.01
+    }
+}
+
+/// A complete simulated case study.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    /// Application name.
+    pub name: &'static str,
+    /// Human-readable parameter names.
+    pub parameter_names: Vec<&'static str>,
+    /// Per-parameter value sets used for the campaign.
+    pub parameter_values: Vec<Vec<f64>>,
+    /// All kernels with their campaigns.
+    pub kernels: Vec<KernelCampaign>,
+}
+
+impl CaseStudy {
+    /// The performance-relevant kernels (> 1 % runtime share).
+    pub fn relevant_kernels(&self) -> impl Iterator<Item = &KernelCampaign> {
+        self.kernels.iter().filter(|k| k.is_performance_relevant())
+    }
+}
+
+/// Terse PMNF model builder for the case-study ground truths: each term is
+/// `(coefficient, factors)` with factors `(param, num, den, log)`.
+pub(crate) fn pmnf(m: usize, c0: f64, terms: &[(f64, &[(usize, i32, i32, u8)])]) -> Model {
+    use nrpm_extrap::{ExponentPair, Term, TermFactor};
+    let terms = terms
+        .iter()
+        .map(|(c, factors)| {
+            Term::new(
+                *c,
+                factors
+                    .iter()
+                    .map(|&(p, n, d, j)| TermFactor::new(p, ExponentPair::from_parts(n, d, j)))
+                    .collect(),
+            )
+        })
+        .collect();
+    Model::new(m, c0, terms)
+}
+
+/// Builds one kernel's campaign: enumerate the layout's points, evaluate
+/// the truth, inject per-point uniform multiplicative noise, repeat.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_kernel(
+    name: &str,
+    truth: Model,
+    runtime_share: f64,
+    parameter_values: &[Vec<f64>],
+    layout: &Layout,
+    repetitions: usize,
+    noise: NoiseRegime,
+    eval_point: Vec<f64>,
+    seed: u64,
+) -> KernelCampaign {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = parameter_values.len();
+    let mut set = MeasurementSet::new(m);
+
+    let emit = |point: &[f64], rng: &mut StdRng, set: &mut MeasurementSet| {
+        let value = truth.evaluate(point);
+        let level = noise.sample_level_for(repetitions, rng);
+        let reps: Vec<f64> = (0..repetitions)
+            .map(|_| value * rng.gen_range(1.0 - level / 2.0..=1.0 + level / 2.0))
+            .collect();
+        set.add_repetitions(point, &reps);
+    };
+
+    match layout {
+        Layout::FullGrid => {
+            let mut idx = vec![0usize; m];
+            'grid: loop {
+                let point: Vec<f64> = (0..m).map(|l| parameter_values[l][idx[l]]).collect();
+                emit(&point, &mut rng, &mut set);
+                let mut l = 0;
+                loop {
+                    if l == m {
+                        break 'grid;
+                    }
+                    idx[l] += 1;
+                    if idx[l] < parameter_values[l].len() {
+                        break;
+                    }
+                    idx[l] = 0;
+                    l += 1;
+                }
+            }
+        }
+        Layout::CrossLines { base_index } => {
+            assert_eq!(base_index.len(), m, "one base index per parameter");
+            let base: Vec<f64> = (0..m).map(|l| parameter_values[l][base_index[l]]).collect();
+            let mut seen: Vec<Vec<f64>> = Vec::new();
+            for l in 0..m {
+                for &v in &parameter_values[l] {
+                    let mut point = base.clone();
+                    point[l] = v;
+                    if !seen.contains(&point) {
+                        emit(&point, &mut rng, &mut set);
+                        seen.push(point);
+                    }
+                }
+            }
+        }
+    }
+
+    // The held-out evaluation measurement.
+    let eval_truth = truth.evaluate(&eval_point);
+    let level = noise.sample_level_for(repetitions, &mut rng);
+    let eval_reps: Vec<f64> = (0..repetitions)
+        .map(|_| eval_truth * rng.gen_range(1.0 - level / 2.0..=1.0 + level / 2.0))
+        .collect();
+    let eval_measured = nrpm_extrap::Aggregation::Median.apply(&eval_reps);
+
+    KernelCampaign {
+        name: name.to_string(),
+        truth,
+        runtime_share,
+        set,
+        eval_point,
+        eval_measured,
+        eval_truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrpm_extrap::{ExponentPair, Term, TermFactor};
+
+    fn linear_truth() -> Model {
+        Model::new(
+            2,
+            1.0,
+            vec![Term::new(
+                2.0,
+                vec![TermFactor::new(0, ExponentPair::from_parts(1, 1, 0))],
+            )],
+        )
+    }
+
+    fn values() -> Vec<Vec<f64>> {
+        vec![vec![2.0, 4.0, 8.0], vec![10.0, 20.0, 30.0]]
+    }
+
+    #[test]
+    fn full_grid_enumerates_all_combinations() {
+        let k = build_kernel(
+            "k",
+            linear_truth(),
+            0.5,
+            &values(),
+            &Layout::FullGrid,
+            3,
+            NoiseRegime::uniform(0.0, 0.0),
+            vec![16.0, 40.0],
+            1,
+        );
+        assert_eq!(k.set.len(), 9);
+        assert!(k.set.find(&[8.0, 30.0]).is_some());
+        assert_eq!(k.set.measurements()[0].values.len(), 3);
+    }
+
+    #[test]
+    fn cross_lines_overlap_at_the_base() {
+        let k = build_kernel(
+            "k",
+            linear_truth(),
+            0.5,
+            &values(),
+            &Layout::CrossLines { base_index: vec![0, 0] },
+            2,
+            NoiseRegime::uniform(0.0, 0.0),
+            vec![16.0, 40.0],
+            1,
+        );
+        // 3 + 3 - 1 overlap = 5 points
+        assert_eq!(k.set.len(), 5);
+        assert!(k.set.find(&[2.0, 10.0]).is_some());
+        assert!(k.set.find(&[8.0, 10.0]).is_some());
+        assert!(k.set.find(&[2.0, 30.0]).is_some());
+        assert!(k.set.find(&[8.0, 30.0]).is_none(), "corner must not be measured");
+    }
+
+    #[test]
+    fn zero_noise_measurements_equal_truth() {
+        let k = build_kernel(
+            "k",
+            linear_truth(),
+            0.5,
+            &values(),
+            &Layout::FullGrid,
+            2,
+            NoiseRegime::uniform(0.0, 0.0),
+            vec![16.0, 40.0],
+            7,
+        );
+        for m in k.set.measurements() {
+            let t = k.truth.evaluate(&m.point);
+            for v in &m.values {
+                assert!((v - t).abs() < 1e-9);
+            }
+        }
+        assert!((k.eval_measured - k.eval_truth).abs() < 1e-9);
+        assert!((k.eval_truth - (1.0 + 2.0 * 16.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn campaigns_are_reproducible_by_seed() {
+        let build = |seed| {
+            build_kernel(
+                "k",
+                linear_truth(),
+                0.5,
+                &values(),
+                &Layout::FullGrid,
+                3,
+                NoiseRegime::uniform(0.1, 0.3),
+                vec![16.0, 40.0],
+                seed,
+            )
+        };
+        let a = build(42);
+        let b = build(42);
+        let c = build(43);
+        assert_eq!(a.set, b.set);
+        assert_ne!(a.set, c.set);
+    }
+
+    #[test]
+    fn relevance_threshold_is_one_percent() {
+        let mut k = build_kernel(
+            "k",
+            linear_truth(),
+            0.005,
+            &values(),
+            &Layout::FullGrid,
+            1,
+            NoiseRegime::uniform(0.0, 0.0),
+            vec![16.0, 40.0],
+            1,
+        );
+        assert!(!k.is_performance_relevant());
+        k.runtime_share = 0.02;
+        assert!(k.is_performance_relevant());
+    }
+}

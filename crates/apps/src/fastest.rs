@@ -1,0 +1,153 @@
+//! The simulated FASTEST case study.
+//!
+//! FASTEST simulates flows in complex 3D configurations (a finite-volume
+//! CFD code). The paper measured it on SuperMUC over two parameters: the
+//! number of processes `x1 = (16, 32, 64, 128, 256, 512, 1024, 2048)` and
+//! the problem size per process `x2 = (8192, …, 131072)`. Modeling uses two
+//! crossing lines of five points (the `x1` line at `x2 = 131072`, the `x2`
+//! line at `x1 = 256`, overlapping at `P(256, 131072)` — nine points), and
+//! the evaluation point is `P⁺(2048, 8192)`.
+//!
+//! FASTEST has no published analytical models, so the 20 kernel ground
+//! truths are plausible CFD scaling laws: per-process compute linear to
+//! superlinear in the local problem size (flux assembly, smoothers, SIP
+//! solver sweeps), communication growing with the process count (halo
+//! exchanges, global reductions for convergence checks), and I/O-ish
+//! constants. What matters for the reproduction is the *noise*: FASTEST is
+//! by far the noisiest study (Fig. 5: levels in `[7.51, 160.27] %`, mean
+//! 49.56 %), which is exactly the regime where the DNN modeler should pull
+//! ahead.
+
+use crate::campaign::{build_kernel, pmnf, CaseStudy, Layout};
+use crate::noise_regime::NoiseRegime;
+
+/// Measured-scale noise regime matching Fig. 5's FASTEST statistics:
+/// `0.0751 + (1.6027 − 0.0751)/(skew + 1) = 0.4956` gives `skew ≈ 2.63`.
+pub(crate) fn fastest_noise() -> NoiseRegime {
+    NoiseRegime {
+        min: 0.0751,
+        max: 1.6027,
+        skew: 2.63,
+    }
+}
+
+/// Generates the simulated FASTEST campaign.
+pub fn fastest(seed: u64) -> CaseStudy {
+    // The modeling lines: x1 in (16..256) at x2 = 131072; x2 full range at
+    // x1 = 256.
+    let values = vec![
+        vec![16.0, 32.0, 64.0, 128.0, 256.0],
+        vec![8192.0, 16384.0, 32768.0, 65536.0, 131072.0],
+    ];
+    let eval = vec![2048.0, 8192.0];
+    let noise = fastest_noise();
+
+    type Truth<'a> = (&'a str, f64, f64, &'a [(f64, &'a [(usize, i32, i32, u8)])]);
+    let kernels: &[Truth] = &[
+        // Compute-dominated kernels: linear-ish in the local problem size.
+        ("flux_assembly", 0.12, 2.0, &[(4e-4, &[(1, 1, 1, 0)])]),
+        ("momentum_x", 0.09, 1.5, &[(3e-4, &[(1, 1, 1, 0)])]),
+        ("momentum_y", 0.09, 1.5, &[(3e-4, &[(1, 1, 1, 0)])]),
+        ("momentum_z", 0.09, 1.5, &[(3e-4, &[(1, 1, 1, 0)])]),
+        ("pressure_correction", 0.12, 3.0, &[(6e-5, &[(1, 1, 1, 1)])]),
+        ("sip_solver", 0.14, 2.5, &[(9e-5, &[(1, 1, 1, 1)])]),
+        ("turbulence_model", 0.05, 1.0, &[(2e-4, &[(1, 1, 1, 0)])]),
+        ("gradient_reconstruction", 0.04, 0.8, &[(1.5e-4, &[(1, 1, 1, 0)])]),
+        ("interpolation", 0.03, 0.5, &[(1e-4, &[(1, 1, 1, 0)])]),
+        ("boundary_conditions", 0.02, 0.4, &[(2e-5, &[(1, 3, 4, 0)])]),
+        // Communication-dominated kernels.
+        ("halo_exchange", 0.05, 1.0, &[(0.02, &[(0, 1, 2, 0)]), (1e-5, &[(1, 1, 1, 0)])]),
+        ("global_reduce", 0.03, 0.5, &[(0.15, &[(0, 0, 1, 1)])]),
+        ("convergence_check", 0.02, 0.3, &[(0.08, &[(0, 0, 1, 1)])]),
+        ("pressure_comm", 0.02, 0.4, &[(0.01, &[(0, 1, 2, 0)])]),
+        ("load_balance", 0.015, 0.2, &[(0.002, &[(0, 1, 1, 0)])]),
+        // Mixed kernels: compute times a communication factor.
+        ("multigrid_cycle", 0.04, 1.2, &[(4e-5, &[(0, 0, 1, 1), (1, 1, 1, 0)])]),
+        ("residual_norm", 0.015, 0.3, &[(3e-5, &[(1, 1, 1, 0)]), (0.04, &[(0, 0, 1, 1)])]),
+        ("coefficient_update", 0.02, 0.6, &[(1.2e-4, &[(1, 1, 1, 0)])]),
+        // Below the relevance threshold.
+        ("statistics_output", 0.008, 0.1, &[(1e-6, &[(1, 1, 1, 0)])]),
+        ("checkpoint_write", 0.005, 0.5, &[(5e-7, &[(1, 1, 1, 0)])]),
+    ];
+
+    let kernels = kernels
+        .iter()
+        .enumerate()
+        .map(|(i, (name, share, c0, terms))| {
+            build_kernel(
+                name,
+                pmnf(2, *c0, terms),
+                *share,
+                &values,
+                &Layout::CrossLines { base_index: vec![4, 4] },
+                5,
+                noise,
+                eval.clone(),
+                seed.wrapping_add(i as u64 * 104729),
+            )
+        })
+        .collect();
+
+    CaseStudy {
+        name: "FASTEST",
+        parameter_names: vec!["processes", "problem size per process"],
+        parameter_values: values,
+        kernels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_has_twenty_kernels_with_nine_points_each() {
+        let study = fastest(1);
+        assert_eq!(study.kernels.len(), 20);
+        for k in &study.kernels {
+            assert_eq!(k.set.len(), 9, "{}: two crossing 5-point lines", k.name);
+            assert!(k.set.find(&[256.0, 131072.0]).is_some(), "overlap point");
+            assert_eq!(k.eval_point, vec![2048.0, 8192.0]);
+        }
+    }
+
+    #[test]
+    fn eighteen_kernels_are_performance_relevant() {
+        let study = fastest(2);
+        assert_eq!(study.relevant_kernels().count(), 18);
+    }
+
+    #[test]
+    fn lines_follow_the_papers_bases() {
+        let study = fastest(3);
+        let set = &study.kernels[0].set;
+        // x1 line at x2 = 131072
+        for &x1 in &[16.0, 32.0, 64.0, 128.0, 256.0] {
+            assert!(set.find(&[x1, 131072.0]).is_some());
+        }
+        // x2 line at x1 = 256
+        for &x2 in &[8192.0, 16384.0, 32768.0, 65536.0, 131072.0] {
+            assert!(set.find(&[256.0, x2]).is_some());
+        }
+    }
+
+    #[test]
+    fn noise_is_the_heaviest_of_the_three_studies() {
+        let study = fastest(5);
+        let est = nrpm_core::noise::NoiseEstimate::of(&study.kernels[0].set);
+        // Nine points is a small sample; allow a generous band around the
+        // paper's 49.56 % mean.
+        assert!(
+            est.mean() > 0.15 && est.mean() < 1.2,
+            "measured mean noise {:.4} implausible",
+            est.mean()
+        );
+    }
+
+    #[test]
+    fn runtime_shares_sum_close_to_one() {
+        let study = fastest(7);
+        let total: f64 = study.kernels.iter().map(|k| k.runtime_share).sum();
+        assert!((total - 1.0).abs() < 0.05, "shares sum to {total}");
+    }
+}

@@ -1,0 +1,131 @@
+//! The simulated RELeARN case study.
+//!
+//! RELeARN simulates the rewiring of connections between neurons in the
+//! brain (structural plasticity; Rinke et al., JPDC 2018). The paper
+//! measured it on Lichtenberg over two parameters: processes
+//! `x1 = (32, 64, 128, 256, 512)` and neurons `x2 = (5000, …, 9000)`,
+//! 25 configurations with *two* repetitions each; modeling uses two
+//! crossing lines overlapping at `P(32, 5000)`, evaluation at
+//! `P⁺(512, 9000)`.
+//!
+//! The connectivity update dominates the computation with an expected
+//! complexity of `O(x2 · log2²(x2) + x1)` (the paper's Sec. VI-B), which is
+//! the ground truth used here. RELeARN's measurements are almost noise-free
+//! (Fig. 5: 0.64–0.67 %), making it the control case where the adaptive
+//! modeler must *not* beat the regression modeler.
+
+use crate::campaign::{build_kernel, pmnf, CaseStudy, Layout};
+use crate::noise_regime::NoiseRegime;
+
+/// Measured-scale noise regime matching Fig. 5's RELeARN statistics.
+pub(crate) fn relearn_noise() -> NoiseRegime {
+    NoiseRegime::uniform(0.0064, 0.0067)
+}
+
+/// Generates the simulated RELeARN campaign.
+pub fn relearn(seed: u64) -> CaseStudy {
+    let values = vec![
+        vec![32.0, 64.0, 128.0, 256.0, 512.0],
+        vec![5000.0, 6000.0, 7000.0, 8000.0, 9000.0],
+    ];
+    let eval = vec![512.0, 9000.0];
+    let noise = relearn_noise();
+
+    type Truth<'a> = (&'a str, f64, f64, &'a [(f64, &'a [(usize, i32, i32, u8)])]);
+    let kernels: &[Truth] = &[
+        // O(x2 log2^2(x2) + x1): the asymptotically dominant phase.
+        (
+            "connectivity_update",
+            0.70,
+            100.0,
+            &[(0.5, &[(0, 1, 1, 0)]), (0.01, &[(1, 1, 1, 2)])],
+        ),
+        // Electrical activity update: linear in the local neuron count.
+        ("update_electrical_activity", 0.25, 5.0, &[(0.002, &[(1, 1, 1, 0)])]),
+        // Setup below the relevance threshold.
+        ("initialization", 0.005, 0.5, &[(1e-4, &[(1, 1, 1, 0)])]),
+    ];
+
+    let kernels = kernels
+        .iter()
+        .enumerate()
+        .map(|(i, (name, share, c0, terms))| {
+            build_kernel(
+                name,
+                pmnf(2, *c0, terms),
+                *share,
+                &values,
+                &Layout::CrossLines { base_index: vec![0, 0] },
+                2, // the paper's RELeARN campaign used two repetitions
+                noise,
+                eval.clone(),
+                seed.wrapping_add(i as u64 * 31337),
+            )
+        })
+        .collect();
+
+    CaseStudy {
+        name: "RELeARN",
+        parameter_names: vec!["processes", "neurons"],
+        parameter_values: values,
+        kernels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_matches_the_papers_layout() {
+        let study = relearn(1);
+        assert_eq!(study.kernels.len(), 3);
+        for k in &study.kernels {
+            assert_eq!(k.set.len(), 9);
+            assert!(k.set.find(&[32.0, 5000.0]).is_some(), "overlap at the base");
+            assert_eq!(k.set.measurements()[0].values.len(), 2);
+            assert_eq!(k.eval_point, vec![512.0, 9000.0]);
+        }
+    }
+
+    #[test]
+    fn two_kernels_are_performance_relevant() {
+        let study = relearn(2);
+        assert_eq!(study.relevant_kernels().count(), 2);
+    }
+
+    #[test]
+    fn noise_is_minimal() {
+        let study = relearn(5);
+        let est = nrpm_core::noise::NoiseEstimate::of(&study.kernels[0].set);
+        assert!(
+            est.mean() < 0.03,
+            "RELeARN must be nearly noise-free, got {:.4}",
+            est.mean()
+        );
+    }
+
+    #[test]
+    fn connectivity_update_follows_the_literature_complexity() {
+        let study = relearn(3);
+        let k = &study.kernels[0];
+        assert_eq!(k.name, "connectivity_update");
+        let lead1 = k.truth.lead_exponent(1).unwrap();
+        assert_eq!(lead1, nrpm_extrap::ExponentPair::from_parts(1, 1, 2));
+        let lead0 = k.truth.lead_exponent(0).unwrap();
+        assert_eq!(lead0, nrpm_extrap::ExponentPair::from_parts(1, 1, 0));
+    }
+
+    #[test]
+    fn near_zero_noise_keeps_measurements_close_to_truth() {
+        let study = relearn(9);
+        for k in &study.kernels {
+            for m in k.set.measurements() {
+                let t = k.truth.evaluate(&m.point);
+                for v in &m.values {
+                    assert!((v - t).abs() / t < 0.02, "{}: {v} vs {t}", k.name);
+                }
+            }
+        }
+    }
+}

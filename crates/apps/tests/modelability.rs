@@ -1,0 +1,102 @@
+//! Integration tests: the simulated campaigns must be modelable and the
+//! recovered models must resemble the paper's reported results.
+
+use nrpm_apps::{fastest, kripke, relearn};
+use nrpm_extrap::{ExponentPair, RegressionModeler};
+
+#[test]
+fn kripke_sweep_solver_lead_exponents_are_recovered() {
+    // Paper, Sec. VI-B: the model found is
+    // 8.51 + 0.11 * x1^{1/3} * x2 * x3^{4/5}. At 17 % mean noise a single
+    // campaign draw occasionally confuses a narrow-range parameter (the
+    // x3 range spans only 5x), so require a majority of independent
+    // campaigns to recover every lead order within half an order.
+    let truth = [
+        ExponentPair::from_parts(1, 3, 0),
+        ExponentPair::from_parts(1, 1, 0),
+        ExponentPair::from_parts(4, 5, 0),
+    ];
+    let mut recovered = 0;
+    let seeds = [0x5EED, 0xBEEF, 0xCAFE];
+    for &seed in &seeds {
+        let study = kripke(seed);
+        let sweep = &study.kernels[0];
+        let result = RegressionModeler::default()
+            .model(&sweep.set)
+            .expect("Kripke grid is modelable");
+        let all_close = truth.iter().enumerate().all(|(l, expected)| {
+            let found = result.model.lead_exponent_or_constant(l);
+            found.poly.abs_diff(&expected.poly) <= 0.5
+        });
+        if all_close {
+            recovered += 1;
+        }
+    }
+    assert!(
+        recovered * 2 > seeds.len(),
+        "only {recovered}/{} campaigns recovered the SweepSolver lead orders",
+        seeds.len()
+    );
+}
+
+#[test]
+fn kripke_prediction_error_is_in_a_sane_band() {
+    let study = kripke(0x5EED);
+    let mut errors = Vec::new();
+    let modeler = RegressionModeler::default();
+    for kernel in study.relevant_kernels() {
+        if let Ok(result) = modeler.model(&kernel.set) {
+            let pred = result.model.evaluate(&kernel.eval_point);
+            errors.push(100.0 * (pred - kernel.eval_measured).abs() / kernel.eval_measured);
+        }
+    }
+    assert_eq!(errors.len(), 6, "all six relevant kernels must be modelable");
+    errors.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+    let median = (errors[2] + errors[3]) / 2.0;
+    // The paper reports 22.28 % for the regression modeler on real Kripke
+    // data; the simulated campaign should land within a loose band of that.
+    assert!(median < 80.0, "median prediction error {median:.1}% looks broken");
+}
+
+#[test]
+fn relearn_is_modelable_with_tight_fit() {
+    let study = relearn(0x5EED);
+    let modeler = RegressionModeler::default();
+    for kernel in study.relevant_kernels() {
+        let result = modeler.model(&kernel.set).expect("RELeARN is nearly noise-free");
+        assert!(
+            result.cv_smape < 5.0,
+            "{}: cv {:.2}% too high for ~0.65% noise",
+            kernel.name,
+            result.cv_smape
+        );
+    }
+}
+
+#[test]
+fn fastest_campaigns_are_modelable_despite_heavy_noise() {
+    let study = fastest(0x5EED);
+    let modeler = RegressionModeler::default();
+    let mut ok = 0;
+    for kernel in study.relevant_kernels() {
+        if modeler.model(&kernel.set).is_ok() {
+            ok += 1;
+        }
+    }
+    // With nine points and up to 160 % noise a few kernels may defeat the
+    // baseline, but the bulk must produce models.
+    assert!(ok >= 14, "only {ok}/18 relevant FASTEST kernels were modelable");
+}
+
+#[test]
+fn campaign_seeds_change_measurements_but_not_structure() {
+    let a = kripke(1);
+    let b = kripke(2);
+    assert_eq!(a.kernels.len(), b.kernels.len());
+    for (ka, kb) in a.kernels.iter().zip(&b.kernels) {
+        assert_eq!(ka.name, kb.name);
+        assert_eq!(ka.truth, kb.truth);
+        assert_eq!(ka.set.len(), kb.set.len());
+        assert_ne!(ka.set, kb.set, "different seeds must produce different noise");
+    }
+}

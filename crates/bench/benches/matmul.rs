@@ -1,0 +1,59 @@
+//! Criterion bench of the linalg substrate: blocked matmul scaling,
+//! sequential vs. threaded, plus the QR least-squares solve that sits on
+//! the regression modeler's hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nrpm_linalg::{lstsq, matmul_threaded, Matrix, MatmulOptions};
+
+fn pseudo_random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 1000) as f64 / 500.0 - 1.0
+    })
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let a = pseudo_random_matrix(n, n, 3);
+        let b = pseudo_random_matrix(n, n, 5);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |bench, _| {
+            bench.iter(|| {
+                matmul_threaded(&a, &b, MatmulOptions { threads: 1, ..Default::default() }).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("threaded", n), &n, |bench, _| {
+            bench.iter(|| {
+                matmul_threaded(
+                    &a,
+                    &b,
+                    MatmulOptions { parallel_threshold: 1, ..Default::default() },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lstsq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lstsq");
+    // The modeler's typical shapes: tall-skinny design matrices.
+    for &(rows, cols) in &[(5usize, 2usize), (25, 3), (125, 4)] {
+        let a = pseudo_random_matrix(rows, cols, 7).map(|v| v + 2.0);
+        let y: Vec<f64> = (0..rows).map(|i| (i + 1) as f64).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            &rows,
+            |bench, _| bench.iter(|| lstsq(&a, &y).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_lstsq);
+criterion_main!(benches);

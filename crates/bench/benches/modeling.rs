@@ -1,0 +1,60 @@
+//! Criterion bench of end-to-end modeling: the regression modeler vs. the
+//! DNN modeler (inference path, network pretrained outside the
+//! measurement) per parameter count — the per-task cost split that
+//! underlies Fig. 6's overhead discussion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrpm_core::dnn::{DnnModeler, DnnOptions};
+use nrpm_core::preprocess::NUM_INPUTS;
+use nrpm_extrap::RegressionModeler;
+use nrpm_nn::NetworkConfig;
+use nrpm_synth::{generate_eval_task, EvalTaskSpec, TrainingSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn light_dnn() -> DnnModeler {
+    DnnModeler::pretrained(DnnOptions {
+        network: NetworkConfig::new(&[NUM_INPUTS, 64, nrpm_extrap::NUM_CLASSES]),
+        pretrain_spec: TrainingSpec { samples_per_class: 40, ..Default::default() },
+        pretrain_epochs: 3,
+        seed: 1,
+        ..Default::default()
+    })
+}
+
+fn bench_modeling(c: &mut Criterion) {
+    let regression = RegressionModeler::default();
+    let dnn = light_dnn();
+
+    let mut group = c.benchmark_group("model_task");
+    group.sample_size(10);
+    for m in 1..=3usize {
+        let mut rng = StdRng::seed_from_u64(17 + m as u64);
+        let task = generate_eval_task(&EvalTaskSpec::paper(m, 0.2), &mut rng);
+        group.bench_with_input(BenchmarkId::new("regression", m), &task, |bench, task| {
+            bench.iter(|| regression.model(&task.set).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dnn_inference", m), &task, |bench, task| {
+            bench.iter(|| dnn.model(&task.set).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaptation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("domain_adaptation");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(23);
+    let task = generate_eval_task(&EvalTaskSpec::paper(1, 0.3), &mut rng);
+    let pretrained = light_dnn();
+    group.bench_function("adapt_to_task", |bench| {
+        bench.iter(|| {
+            let mut dnn = pretrained.clone();
+            dnn.adapt_to_task(&task.set, (0.1, 0.4)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modeling, bench_adaptation);
+criterion_main!(benches);

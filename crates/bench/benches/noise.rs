@@ -1,0 +1,39 @@
+//! Criterion bench of the noise estimator and the preprocessing encoder —
+//! both sit on the per-task hot path of the adaptive modeler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrpm_core::noise::NoiseEstimate;
+use nrpm_core::preprocess::encode_line;
+use nrpm_synth::{generate_eval_task, EvalTaskSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_noise_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noise_estimate");
+    for m in 1..=3usize {
+        let mut rng = StdRng::seed_from_u64(29 + m as u64);
+        let task = generate_eval_task(&EvalTaskSpec::paper(m, 0.3), &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}pts", task.set.len())),
+            &task,
+            |bench, task| bench.iter(|| NoiseEstimate::of(&task.set)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..11).map(|i| 2.0f64.powi(i)).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 0.3 * x * x.log2()).collect();
+    c.bench_function("encode_line_11pts", |bench| {
+        bench.iter(|| encode_line(&xs, &ys).unwrap())
+    });
+    let xs5 = &xs[..5];
+    let ys5 = &ys[..5];
+    c.bench_function("encode_line_5pts", |bench| {
+        bench.iter(|| encode_line(xs5, ys5).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_noise_estimation, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench of the neural-network substrate: one training epoch of
+//! the classifier on synthetic data, per optimizer (the AdaMax-vs-Adam-vs-
+//! SGD ablation), plus single-batch inference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrpm_core::dnn::dataset_from_samples;
+use nrpm_core::preprocess::NUM_INPUTS;
+use nrpm_extrap::NUM_CLASSES;
+use nrpm_nn::{Network, NetworkConfig, OptimizerKind, TrainerOptions};
+use nrpm_synth::{generate_training_samples, TrainingSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_training_epoch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let spec = TrainingSpec { samples_per_class: 20, ..Default::default() };
+    let data = dataset_from_samples(&generate_training_samples(&spec, &mut rng));
+
+    let mut group = c.benchmark_group("train_epoch");
+    group.sample_size(10);
+    for (name, optimizer) in [
+        ("adamax", OptimizerKind::adamax_default()),
+        ("adam", OptimizerKind::adam_default()),
+        ("sgd", OptimizerKind::sgd(0.01)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &optimizer, |bench, &opt| {
+            bench.iter(|| {
+                let mut net = Network::new(&NetworkConfig::compact(), 3);
+                net.train(
+                    &data,
+                    &TrainerOptions {
+                        epochs: 1,
+                        batch_size: 128,
+                        optimizer: opt,
+                        shuffle_seed: 1,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let spec = TrainingSpec { samples_per_class: 5, ..Default::default() };
+    let data = dataset_from_samples(&generate_training_samples(&spec, &mut rng));
+    let net = Network::new(&NetworkConfig::compact(), 3);
+    assert_eq!(net.input_dim(), NUM_INPUTS);
+    assert_eq!(net.num_classes(), NUM_CLASSES);
+
+    c.bench_function("inference_batch", |bench| {
+        bench.iter(|| net.predict_proba(data.inputs()).unwrap())
+    });
+    let single = data.inputs().row(0).to_vec();
+    c.bench_function("inference_single", |bench| {
+        bench.iter(|| net.predict_proba_one(&single).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_training_epoch, bench_inference);
+criterion_main!(benches);

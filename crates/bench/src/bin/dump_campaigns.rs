@@ -1,0 +1,41 @@
+//! Exports the simulated case-study campaigns to disk, one text file per
+//! kernel (the `PARAMS`/`POINT … DATA …` format from `nrpm-extrap`), so the
+//! synthetic data can be inspected, archived, or fed to external tools.
+//!
+//! ```text
+//! cargo run -p nrpm-bench --release --bin dump_campaigns -- \
+//!     [--out campaigns/] [--seed S]
+//! ```
+
+use nrpm_apps::all_case_studies;
+use nrpm_bench::cli::Args;
+use nrpm_extrap::write_text;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let args = Args::parse();
+    let out: PathBuf = PathBuf::from(args.get("out", "campaigns".to_string()));
+    let seed: u64 = args.get("seed", 0xCA5E);
+
+    for study in all_case_studies(seed) {
+        let dir = out.join(study.name.to_lowercase());
+        fs::create_dir_all(&dir).expect("creating output directory");
+        for kernel in &study.kernels {
+            let names: Vec<&str> = study.parameter_names.clone();
+            let text = format!(
+                "# {} / {} — ground truth: {}\n# eval point {:?}: measured {:.6}, truth {:.6}\n{}",
+                study.name,
+                kernel.name,
+                kernel.truth,
+                kernel.eval_point,
+                kernel.eval_measured,
+                kernel.eval_truth,
+                write_text(&kernel.set, &names),
+            );
+            let path = dir.join(format!("{}.txt", kernel.name));
+            fs::write(&path, text).expect("writing campaign file");
+            println!("wrote {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Reproduces Fig. 3(d–f): predictive power — the median relative
+//! prediction error (percent) at the four extrapolation points `P⁺₁ … P⁺₄`
+//! versus noise level, for the regression and the adaptive modeler.
+//!
+//! ```text
+//! cargo run -p nrpm-bench --release --bin fig3_power -- \
+//!     [--params 1|2|3] [--functions N] [--noise 0.02,...] [--seed S] \
+//!     [--paper-net] [--no-adaptation]
+//! ```
+
+use nrpm_bench::cli::Args;
+use nrpm_bench::report::{f2, pct, Table};
+use nrpm_bench::sweep::{run_sweep, SweepConfig};
+use nrpm_bench::PAPER_NOISE_LEVELS;
+use nrpm_core::dnn::DnnOptions;
+
+fn main() {
+    let args = Args::parse();
+    let params: usize = args.get("params", 0);
+    let param_range: Vec<usize> = if params == 0 { vec![1, 2, 3] } else { vec![params] };
+
+    for m in param_range {
+        let mut dnn = if args.has("paper-net") {
+            DnnOptions::paper_fidelity()
+        } else {
+            DnnOptions::default()
+        };
+        dnn.seed = args.get("seed", dnn.seed);
+        dnn.aggregation = nrpm_bench::cli::aggregation_flag(&args);
+        if args.has("linear-encoding") {
+            dnn.encoding = nrpm_core::preprocess::ValueScaling::MaxAbs;
+        }
+        let config = SweepConfig {
+            num_params: m,
+            noise_levels: args.get_f64_list("noise", &PAPER_NOISE_LEVELS),
+            functions: args.get("functions", 200),
+            seed: args.get("seed", 0xF16),
+            dnn,
+            adaptation: !args.has("no-adaptation"),
+            repetitions: args.get("reps", 5),
+            aggregation: nrpm_bench::cli::aggregation_flag(&args),
+            refined_baseline: args.has("refined-baseline"),
+            ..Default::default()
+        };
+
+        println!("\n== Fig. 3({}) — predictive power, m = {m}, {} functions/level ==\n",
+            ["d", "e", "f"][m - 1], config.functions);
+        println!("median relative prediction error (%) at P+1..P+4\n");
+        let results = run_sweep(&config);
+
+        let mut table = Table::new(&[
+            "noise", "reg P+1", "reg P+2", "reg P+3", "reg P+4", "ada P+1", "ada P+2", "ada P+3",
+            "ada P+4",
+        ]);
+        for r in &results {
+            let mut row = vec![pct(r.noise)];
+            for k in 0..4 {
+                row.push(f2(r.regression.median_errors[k]));
+            }
+            for k in 0..4 {
+                row.push(f2(r.adaptive.median_errors[k]));
+            }
+            table.row(row);
+        }
+        table.print();
+
+        if args.has("ci") {
+            println!("\n99% bootstrap CIs of the median error at P+4:\n");
+            let mut ci_table = Table::new(&["noise", "regression", "adaptive"]);
+            let show = |ci: Option<(f64, f64)>| match ci {
+                Some((lo, hi)) => format!("[{}, {}]", f2(lo), f2(hi)),
+                None => "n/a".to_string(),
+            };
+            for r in &results {
+                ci_table.row(vec![
+                    pct(r.noise),
+                    show(r.regression.median_error_ci99(3)),
+                    show(r.adaptive.median_error_ci99(3)),
+                ]);
+            }
+            ci_table.print();
+        }
+
+        if let Some(last) = results.last() {
+            println!(
+                "\nP+4 error at {} noise: regression {:.2}% vs adaptive {:.2}%",
+                pct(last.noise),
+                last.regression.median_errors[3],
+                last.adaptive.median_errors[3]
+            );
+        }
+    }
+}

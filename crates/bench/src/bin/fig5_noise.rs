@@ -1,0 +1,69 @@
+//! Reproduces Fig. 5: the noise-level distributions of the case studies'
+//! performance measurements, with the mean, median, minimum and maximum
+//! per-point levels — estimated by the range-of-relative-deviation
+//! heuristic, exactly as the paper's noise analysis does.
+//!
+//! ```text
+//! cargo run -p nrpm-bench --release --bin fig5_noise -- [--seed S]
+//! ```
+
+use nrpm_apps::all_case_studies;
+use nrpm_bench::cli::Args;
+use nrpm_bench::report::{pct, Table};
+use nrpm_core::noise::NoiseEstimate;
+use nrpm_linalg::stats;
+
+fn histogram(levels: &[f64], buckets: usize, max: f64) -> String {
+    let mut counts = vec![0usize; buckets];
+    for &l in levels {
+        let b = ((l / max) * buckets as f64) as usize;
+        counts[b.min(buckets - 1)] += 1;
+    }
+    let peak = *counts.iter().max().unwrap_or(&1) as f64;
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let bar = "#".repeat(((c as f64 / peak) * 40.0).round() as usize);
+            format!(
+                "  {:>5.1}%-{:>5.1}%  {bar} ({c})",
+                100.0 * max * i as f64 / buckets as f64,
+                100.0 * max * (i + 1) as f64 / buckets as f64
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    let args = Args::parse();
+    let seed: u64 = args.get("seed", 0xCA5E);
+
+    println!("== Fig. 5 — noise-level distributions of the case studies ==\n");
+    let mut table = Table::new(&["study", "points", "mean", "median", "min", "max"]);
+
+    for study in all_case_studies(seed) {
+        // Pool the per-point noise levels over every kernel's campaign —
+        // "all performance measurements" of the application.
+        let mut levels: Vec<f64> = Vec::new();
+        for kernel in &study.kernels {
+            levels.extend(NoiseEstimate::of(&kernel.set).per_point);
+        }
+        table.row(vec![
+            study.name.to_string(),
+            levels.len().to_string(),
+            pct(stats::mean(&levels)),
+            pct(stats::median(&levels)),
+            pct(stats::min(&levels)),
+            pct(stats::max(&levels)),
+        ]);
+
+        println!("{} distribution:", study.name);
+        let max = stats::max(&levels).max(1e-9);
+        println!("{}\n", histogram(&levels, 10, max));
+    }
+
+    table.print();
+    println!("\npaper: Kripke mean 17.44% range [3.66, 53.66]%;");
+    println!("       FASTEST mean 49.56% range [7.51, 160.27]%; RELeARN [0.64, 0.67]%");
+}

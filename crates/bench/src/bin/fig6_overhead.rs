@@ -1,0 +1,78 @@
+//! Reproduces Fig. 6: the wall-clock time required by the regression and
+//! the adaptive modeler to model the main kernels of each case study. The
+//! adaptive modeler pays for domain adaptation (the paper reports factors
+//! of roughly 54–65×), which is negligible next to the days of machine time
+//! the measurements themselves cost.
+//!
+//! ```text
+//! cargo run -p nrpm-bench --release --bin fig6_overhead -- \
+//!     [--seed S] [--trials T] [--paper-net]
+//! ```
+
+use nrpm_apps::all_case_studies;
+use nrpm_bench::cli::Args;
+use nrpm_bench::report::{f2, Table};
+use nrpm_core::adaptive::{AdaptiveModeler, AdaptiveOptions};
+use nrpm_core::dnn::DnnOptions;
+use nrpm_extrap::RegressionModeler;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let seed: u64 = args.get("seed", 0xCA5E);
+    let trials: usize = args.get("trials", 3);
+
+    let mut options = AdaptiveOptions {
+        dnn: if args.has("paper-net") {
+            DnnOptions::paper_fidelity()
+        } else {
+            DnnOptions::default()
+        },
+        ..Default::default()
+    };
+    options.dnn.seed = seed;
+
+    println!("pretraining the DNN modeler (not counted — it is a one-time cost)...");
+    let pretrained = AdaptiveModeler::pretrained(options);
+    let regression = RegressionModeler::default();
+
+    println!("\n== Fig. 6 — modeling time for the main kernels (seconds) ==\n");
+    let mut table = Table::new(&["study", "kernels", "regression [s]", "adaptive [s]", "slowdown"]);
+
+    for study in all_case_studies(seed) {
+        let kernels: Vec<_> = study.relevant_kernels().collect();
+
+        let mut reg_times = Vec::with_capacity(trials);
+        let mut ada_times = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let t0 = Instant::now();
+            for kernel in &kernels {
+                let _ = regression.model(&kernel.set);
+            }
+            reg_times.push(t0.elapsed().as_secs_f64());
+
+            let t0 = Instant::now();
+            for kernel in &kernels {
+                // Fresh modeler per kernel: adaptation is part of the cost
+                // being measured, and must not leak across kernels.
+                let mut adaptive = pretrained.clone();
+                let _ = adaptive.model(&kernel.set);
+            }
+            ada_times.push(t0.elapsed().as_secs_f64());
+        }
+
+        let reg = nrpm_linalg::stats::mean(&reg_times);
+        let ada = nrpm_linalg::stats::mean(&ada_times);
+        table.row(vec![
+            study.name.to_string(),
+            kernels.len().to_string(),
+            format!("{:.3}", reg),
+            format!("{:.3}", ada),
+            format!("{}x", f2(ada / reg)),
+        ]);
+    }
+
+    table.print();
+    println!("\npaper: Kripke ~65x (61.99 s total), FASTEST ~54x, RELeARN ~64x (85.66 s)");
+    println!("absolute numbers depend on the adaptation sample count; the *factor* is the result");
+}

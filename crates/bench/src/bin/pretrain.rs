@@ -1,0 +1,52 @@
+//! Pretrains the DNN modeler's network on synthetic data and saves it to
+//! disk, so later runs (and the examples) can skip the expensive step via
+//! `Network::load` + `DnnModeler::from_network`.
+//!
+//! ```text
+//! cargo run -p nrpm-bench --release --bin pretrain -- \
+//!     [--out pretrained.json] [--samples 500] [--epochs 10] \
+//!     [--paper-net] [--seed S]
+//! ```
+
+use nrpm_bench::cli::Args;
+use nrpm_core::dnn::{dataset_from_samples, DnnModeler, DnnOptions};
+use nrpm_synth::{generate_training_samples, TrainingSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let out: PathBuf = PathBuf::from(args.get("out", "pretrained.json".to_string()));
+
+    let mut opts = if args.has("paper-net") {
+        DnnOptions::paper_fidelity()
+    } else {
+        DnnOptions::default()
+    };
+    opts.seed = args.get("seed", opts.seed);
+    opts.pretrain_epochs = args.get("epochs", 10);
+    opts.pretrain_spec.samples_per_class = args.get("samples", 500);
+
+    println!(
+        "pretraining {:?} on {} samples/class for {} epochs...",
+        opts.network.layer_sizes,
+        opts.pretrain_spec.samples_per_class,
+        opts.pretrain_epochs
+    );
+    let t0 = Instant::now();
+    let modeler = DnnModeler::pretrained(opts);
+    println!("trained in {:.1}s ({} parameters)", t0.elapsed().as_secs_f64(), modeler.network().num_parameters());
+
+    // Report held-out classification quality before saving.
+    let mut rng = StdRng::seed_from_u64(0xE7A1);
+    let eval_spec = TrainingSpec { samples_per_class: 25, ..Default::default() };
+    let eval = dataset_from_samples(&generate_training_samples(&eval_spec, &mut rng));
+    let top1 = modeler.network().accuracy(&eval).unwrap();
+    let top3 = modeler.network().top_k_accuracy(&eval, 3).unwrap();
+    println!("held-out (full noise range): top-1 {top1:.3}, top-3 {top3:.3}");
+
+    modeler.network().save(&out).expect("saving the network");
+    println!("saved to {}", out.display());
+}

@@ -1,0 +1,70 @@
+//! Reproduces the switching-threshold analysis of Sec. IV-A: sweeps the
+//! accuracy of both modelers over the noise range, locates the intersection
+//! of their accuracy curves per parameter count, and prints the thresholds
+//! the adaptive modeler should use.
+//!
+//! ```text
+//! cargo run -p nrpm-bench --release --bin threshold_calibration -- \
+//!     [--functions N] [--seed S] [--params 1|2|3]
+//! ```
+
+use nrpm_bench::cli::Args;
+use nrpm_bench::report::{pct, Table};
+use nrpm_bench::sweep::{run_sweep, SweepConfig};
+use nrpm_core::threshold::{default_threshold, intersection_threshold, AccuracyCurve};
+
+fn main() {
+    let args = Args::parse();
+    let params: usize = args.get("params", 0);
+    let param_range: Vec<usize> = if params == 0 { vec![1, 2, 3] } else { vec![params] };
+    // A denser grid around the expected crossing region.
+    let noise_levels = args.get_f64_list(
+        "noise",
+        &[0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50, 0.75, 1.00],
+    );
+
+    println!("== Switching-threshold calibration (accuracy-curve intersections) ==\n");
+    let mut table = Table::new(&["m", "crossing (d<=1/4)", "crossing (d<=1/2)", "shipped default"]);
+
+    for m in param_range {
+        let config = SweepConfig {
+            num_params: m,
+            noise_levels: noise_levels.clone(),
+            functions: args.get("functions", 150),
+            seed: args.get("seed", 0x7123),
+            adaptation: true,
+            ..Default::default()
+        };
+        let results = run_sweep(&config);
+
+        let curve = |f: fn(&nrpm_bench::sweep::ModelerStats) -> f64, dnn: bool| {
+            AccuracyCurve::new(
+                results.iter().map(|r| r.noise).collect(),
+                results
+                    .iter()
+                    .map(|r| if dnn { f(&r.dnn) } else { f(&r.regression) })
+                    .collect(),
+            )
+            .expect("sweep grid is valid")
+        };
+
+        let quarter_reg = curve(|s| s.buckets.within_quarter, false);
+        let quarter_dnn = curve(|s| s.buckets.within_quarter, true);
+        let half_reg = curve(|s| s.buckets.within_half, false);
+        let half_dnn = curve(|s| s.buckets.within_half, true);
+
+        let t_quarter = intersection_threshold(&quarter_reg, &quarter_dnn);
+        let t_half = intersection_threshold(&half_reg, &half_dnn);
+
+        let show = |t: Option<f64>| t.map(pct).unwrap_or_else(|| "no crossing".to_string());
+        table.row(vec![
+            m.to_string(),
+            show(t_quarter),
+            show(t_half),
+            pct(default_threshold(m)),
+        ]);
+    }
+
+    table.print();
+    println!("\nuse `AdaptiveOptions {{ thresholds: Some(vec![...]), .. }}` to apply custom values");
+}

@@ -1,0 +1,134 @@
+//! A minimal command-line flag parser — just enough for the harness
+//! binaries, without pulling in a CLI dependency.
+
+use std::collections::BTreeMap;
+
+/// Parsed flags: `--key value` pairs and bare `--switch`es.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments (everything after the binary name).
+    pub fn parse() -> Args {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn from_iter(iter: impl IntoIterator<Item = String>) -> Args {
+        let mut args = Args::default();
+        let mut iter = iter.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let next_is_value = iter
+                    .peek()
+                    .map(|n| !n.starts_with("--"))
+                    .unwrap_or(false);
+                if next_is_value {
+                    args.values.insert(name.to_string(), iter.next().expect("peeked"));
+                } else {
+                    args.switches.push(name.to_string());
+                }
+            } else {
+                eprintln!("warning: ignoring positional argument `{arg}`");
+            }
+        }
+        args
+    }
+
+    /// `--name value` as a typed value, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.values.get(name) {
+            Some(raw) => raw.parse().unwrap_or_else(|_| {
+                panic!("flag --{name}: cannot parse `{raw}`");
+            }),
+            None => default,
+        }
+    }
+
+    /// Whether a bare `--name` switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// A comma-separated `--name a,b,c` list of floats, or `default`.
+    pub fn get_f64_list(&self, name: &str, default: &[f64]) -> Vec<f64> {
+        match self.values.get(name) {
+            Some(raw) => raw
+                .split(',')
+                .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("flag --{name}: bad float `{s}`")))
+                .collect(),
+            None => default.to_vec(),
+        }
+    }
+}
+
+/// Parses an `--aggregation median|mean|min` flag.
+pub fn aggregation_flag(args: &Args) -> nrpm_extrap::Aggregation {
+    match args.get("aggregation", "median".to_string()).as_str() {
+        "mean" => nrpm_extrap::Aggregation::Mean,
+        "min" | "minimum" => nrpm_extrap::Aggregation::Minimum,
+        "median" => nrpm_extrap::Aggregation::Median,
+        other => panic!("flag --aggregation: unknown value `{other}` (median|mean|min)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::from_iter(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = parse("--functions 500 --paper-net --params 2");
+        assert_eq!(a.get("functions", 0usize), 500);
+        assert_eq!(a.get("params", 1usize), 2);
+        assert!(a.has("paper-net"));
+        assert!(!a.has("verbose"));
+    }
+
+    #[test]
+    fn defaults_apply_when_missing() {
+        let a = parse("");
+        assert_eq!(a.get("functions", 123usize), 123);
+        assert_eq!(a.get("seed", 7u64), 7);
+    }
+
+    #[test]
+    fn float_lists() {
+        let a = parse("--noise 0.02,0.5,1.0");
+        assert_eq!(a.get_f64_list("noise", &[0.1]), vec![0.02, 0.5, 1.0]);
+        assert_eq!(parse("").get_f64_list("noise", &[0.1]), vec![0.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot parse")]
+    fn bad_value_panics() {
+        let a = parse("--functions abc");
+        let _ = a.get("functions", 0usize);
+    }
+
+    #[test]
+    fn aggregation_flag_variants() {
+        assert_eq!(aggregation_flag(&parse("")), nrpm_extrap::Aggregation::Median);
+        assert_eq!(
+            aggregation_flag(&parse("--aggregation mean")),
+            nrpm_extrap::Aggregation::Mean
+        );
+        assert_eq!(
+            aggregation_flag(&parse("--aggregation min")),
+            nrpm_extrap::Aggregation::Minimum
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown value")]
+    fn aggregation_flag_rejects_garbage() {
+        let _ = aggregation_flag(&parse("--aggregation mode"));
+    }
+}

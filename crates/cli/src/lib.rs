@@ -1,0 +1,328 @@
+//! Library backing the `nrpm-model` command-line tool — parsing, command
+//! dispatch, and rendering live here so they are unit-testable without
+//! spawning processes.
+
+#![warn(missing_docs)]
+
+use nrpm_core::adaptive::{AdaptiveModeler, AdaptiveOptions};
+use nrpm_core::noise::NoiseEstimate;
+use nrpm_core::report::render_outcome;
+use nrpm_extrap::{parse_text, MeasurementSet, RegressionModeler};
+use nrpm_nn::Network;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Usage text shown on argument errors.
+pub const USAGE: &str = "\
+usage:
+  nrpm-model fit <file> [--adaptive] [--network net.json] [--at x1,x2,...]
+  nrpm-model noise <file>
+  nrpm-model pretrain --out net.json [--samples N] [--epochs E] [--paper-net]
+
+measurement files: PARAMS/POINT text format, or a MeasurementSet .json";
+
+/// A parsed command-line invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Invocation {
+    /// Fit a model to a measurement file.
+    Fit {
+        /// Input file.
+        file: PathBuf,
+        /// Use the adaptive (DNN) modeler instead of regression only.
+        adaptive: bool,
+        /// Load a pretrained network instead of pretraining now.
+        network: Option<PathBuf>,
+        /// Evaluate the fitted model at this point.
+        at: Option<Vec<f64>>,
+    },
+    /// Analyze the noise of a measurement file.
+    Noise {
+        /// Input file.
+        file: PathBuf,
+    },
+    /// Pretrain a network and save it.
+    Pretrain {
+        /// Output path.
+        out: PathBuf,
+        /// Samples per class.
+        samples: usize,
+        /// Training epochs.
+        epochs: usize,
+        /// Use the paper's full architecture.
+        paper_net: bool,
+    },
+}
+
+impl Invocation {
+    /// Parses raw arguments (without the binary name).
+    pub fn parse(args: &[String]) -> Result<Invocation, String> {
+        let mut iter = args.iter().peekable();
+        let command = iter.next().ok_or("missing command")?;
+        let mut positional: Vec<String> = Vec::new();
+        let mut flags: Vec<(String, Option<String>)> = Vec::new();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => Some(iter.next().unwrap().clone()),
+                    _ => None,
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        let get_flag = |name: &str| -> Option<&Option<String>> {
+            flags.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+        };
+        let get_value = |name: &str| -> Result<Option<String>, String> {
+            match get_flag(name) {
+                None => Ok(None),
+                Some(Some(v)) => Ok(Some(v.clone())),
+                Some(None) => Err(format!("--{name} needs a value")),
+            }
+        };
+
+        match command.as_str() {
+            "fit" => {
+                let file = positional
+                    .first()
+                    .ok_or("fit: missing <file>")?
+                    .into();
+                let at = match get_value("at")? {
+                    Some(raw) => Some(
+                        raw.split(',')
+                            .map(|s| {
+                                s.trim()
+                                    .parse::<f64>()
+                                    .map_err(|_| format!("--at: `{s}` is not a number"))
+                            })
+                            .collect::<Result<Vec<f64>, String>>()?,
+                    ),
+                    None => None,
+                };
+                Ok(Invocation::Fit {
+                    file,
+                    adaptive: get_flag("adaptive").is_some(),
+                    network: get_value("network")?.map(PathBuf::from),
+                    at,
+                })
+            }
+            "noise" => Ok(Invocation::Noise {
+                file: positional.first().ok_or("noise: missing <file>")?.into(),
+            }),
+            "pretrain" => Ok(Invocation::Pretrain {
+                out: get_value("out")?
+                    .ok_or("pretrain: --out is required")?
+                    .into(),
+                samples: get_value("samples")?
+                    .map(|s| s.parse().map_err(|_| "--samples: not a number".to_string()))
+                    .transpose()?
+                    .unwrap_or(500),
+                epochs: get_value("epochs")?
+                    .map(|s| s.parse().map_err(|_| "--epochs: not a number".to_string()))
+                    .transpose()?
+                    .unwrap_or(20),
+                paper_net: get_flag("paper-net").is_some(),
+            }),
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+}
+
+/// Loads a measurement set from a text or JSON file.
+pub fn load_measurements(path: &Path) -> Result<MeasurementSet, String> {
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    if path.extension().is_some_and(|e| e == "json") {
+        MeasurementSet::from_json(&raw).map_err(|e| format!("{}: {e}", path.display()))
+    } else {
+        parse_text(&raw)
+            .map(|named| named.set)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Executes an invocation and returns the text to print.
+pub fn run(invocation: &Invocation) -> Result<String, String> {
+    match invocation {
+        Invocation::Fit { file, adaptive, network, at } => {
+            let set = load_measurements(file)?;
+            let mut out = String::new();
+            if *adaptive {
+                let options = AdaptiveOptions::default();
+                let mut modeler = match network {
+                    Some(path) => {
+                        let net = Network::load(path).map_err(|e| e.to_string())?;
+                        AdaptiveModeler::from_network(options, net)
+                    }
+                    None => {
+                        let _ = writeln!(out, "pretraining the DNN (pass --network to skip)...");
+                        AdaptiveModeler::pretrained(options)
+                    }
+                };
+                let outcome = modeler.model(&set).map_err(|e| e.to_string())?;
+                out.push_str(&render_outcome(&outcome));
+                if let Some(point) = at {
+                    let _ = writeln!(
+                        out,
+                        "prediction at {:?}: {:.6}",
+                        point,
+                        outcome.result.model.evaluate(point)
+                    );
+                }
+            } else {
+                let result = RegressionModeler::default().model(&set).map_err(|e| e.to_string())?;
+                let _ = writeln!(out, "model:      {}", result.model);
+                let _ = writeln!(out, "growth:     {}", result.model.asymptotic_string());
+                let _ = writeln!(
+                    out,
+                    "selection:  regression modeler (cv-SMAPE {:.3}%, fit-SMAPE {:.3}%)",
+                    result.cv_smape, result.fit_smape
+                );
+                if let Some(point) = at {
+                    let _ = writeln!(
+                        out,
+                        "prediction at {:?}: {:.6}",
+                        point,
+                        result.model.evaluate(point)
+                    );
+                }
+            }
+            Ok(out)
+        }
+        Invocation::Noise { file } => {
+            let set = load_measurements(file)?;
+            let est = NoiseEstimate::of(&set);
+            let mut out = String::new();
+            if est.is_empty() {
+                let _ = writeln!(out, "no repetition information (need >= 2 values per point)");
+            } else {
+                let _ = writeln!(out, "points analyzed: {}", est.per_point.len());
+                let _ = writeln!(out, "mean noise:      {:.2}%", est.mean() * 100.0);
+                let _ = writeln!(out, "median noise:    {:.2}%", est.median() * 100.0);
+                let _ = writeln!(
+                    out,
+                    "range:           [{:.2}, {:.2}]%",
+                    est.min() * 100.0,
+                    est.max() * 100.0
+                );
+                let _ = writeln!(out, "pooled estimate: {:.2}%", est.pooled * 100.0);
+            }
+            Ok(out)
+        }
+        Invocation::Pretrain { out, samples, epochs, paper_net } => {
+            use nrpm_core::dnn::{DnnModeler, DnnOptions};
+            let mut options = if *paper_net {
+                DnnOptions::paper_fidelity()
+            } else {
+                DnnOptions::default()
+            };
+            options.pretrain_spec.samples_per_class = *samples;
+            options.pretrain_epochs = *epochs;
+            let modeler = DnnModeler::pretrained(options);
+            modeler.network().save(out).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "trained {} parameters, saved to {}\n",
+                modeler.network().num_parameters(),
+                out.display()
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Invocation, String> {
+        Invocation::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_fit_with_flags() {
+        let inv = parse("fit data.txt --adaptive --network net.json --at 4096,8192").unwrap();
+        assert_eq!(
+            inv,
+            Invocation::Fit {
+                file: "data.txt".into(),
+                adaptive: true,
+                network: Some("net.json".into()),
+                at: Some(vec![4096.0, 8192.0]),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_minimal_fit() {
+        let inv = parse("fit data.txt").unwrap();
+        assert_eq!(
+            inv,
+            Invocation::Fit { file: "data.txt".into(), adaptive: false, network: None, at: None }
+        );
+    }
+
+    #[test]
+    fn parses_noise_and_pretrain() {
+        assert_eq!(parse("noise m.json").unwrap(), Invocation::Noise { file: "m.json".into() });
+        let inv = parse("pretrain --out n.json --samples 100 --epochs 5 --paper-net").unwrap();
+        assert_eq!(
+            inv,
+            Invocation::Pretrain { out: "n.json".into(), samples: 100, epochs: 5, paper_net: true }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_invocations() {
+        assert!(parse("").is_err());
+        assert!(parse("frobnicate x").is_err());
+        assert!(parse("fit").is_err());
+        assert!(parse("pretrain").is_err()); // --out required
+        assert!(parse("fit f.txt --at abc").is_err());
+    }
+
+    #[test]
+    fn fit_runs_on_a_text_file() {
+        let dir = std::env::temp_dir().join("nrpm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("linear.txt");
+        let mut text = String::from("PARAMS 1 processes\n");
+        for x in [4, 8, 16, 32, 64] {
+            text.push_str(&format!("POINT {x} DATA {} {} {}\n", 2 * x, 2 * x, 2 * x));
+        }
+        std::fs::write(&path, text).unwrap();
+
+        let out = run(&Invocation::Fit {
+            file: path.clone(),
+            adaptive: false,
+            network: None,
+            at: Some(vec![1024.0]),
+        })
+        .unwrap();
+        assert!(out.contains("O(x1)"), "{out}");
+        assert!(out.contains("2048"), "{out}"); // 2 * 1024
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn noise_runs_on_a_json_file() {
+        let dir = std::env::temp_dir().join("nrpm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("noisy.json");
+        let mut set = MeasurementSet::new(1);
+        for &x in &[2.0, 4.0, 8.0] {
+            set.add_repetitions(&[x], &[x * 0.95, x * 1.05]);
+        }
+        std::fs::write(&path, set.to_json()).unwrap();
+
+        let out = run(&Invocation::Noise { file: path.clone() }).unwrap();
+        assert!(out.contains("mean noise"), "{out}");
+        assert!(out.contains("10.00%"), "{out}"); // rrd of (0.95, 1.05)
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_files_produce_errors_not_panics() {
+        assert!(run(&Invocation::Noise { file: "/nonexistent/x.txt".into() }).is_err());
+        assert!(load_measurements(Path::new("/nonexistent/x.json")).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! `nrpm-model` — a command-line performance modeler.
+//!
+//! ```text
+//! nrpm-model fit <file> [--adaptive] [--network net.json] [--at x1,x2,...]
+//! nrpm-model noise <file>
+//! nrpm-model pretrain --out net.json [--samples N] [--epochs E] [--paper-net]
+//! ```
+//!
+//! Measurement files use the `PARAMS`/`POINT … DATA …` text format (see
+//! `nrpm-extrap`) or, with a `.json` extension, the serde representation of
+//! a `MeasurementSet`.
+
+use nrpm_cli::{run, Invocation};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match Invocation::parse(&args) {
+        Ok(invocation) => match run(&invocation) {
+            Ok(output) => {
+                print!("{output}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", nrpm_cli::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! The adaptive modeler (Sec. IV-A): noise-driven switching between the
+//! regression modeler and the DNN modeler.
+//!
+//! Below the switching threshold both modelers run and the cross-validated
+//! SMAPE winner is returned; above it only the DNN runs — at high noise the
+//! regression modeler's tight in-sample fit actively hurts extrapolation,
+//! so keeping it in the race would degrade predictive power.
+
+use crate::dnn::{DnnModeler, DnnOptions};
+use crate::noise::NoiseEstimate;
+use crate::threshold::default_threshold;
+use nrpm_extrap::{MeasurementSet, ModelError, ModelingResult, RegressionModeler};
+use nrpm_nn::Network;
+use serde::{Deserialize, Serialize};
+
+/// Which modeler produced the final model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelerChoice {
+    /// The classic regression modeler won the cross-validation comparison.
+    Regression,
+    /// The DNN modeler won (or was the only one consulted).
+    Dnn,
+}
+
+/// Options of the adaptive modeler.
+#[derive(Debug, Clone)]
+pub struct AdaptiveOptions {
+    /// DNN modeler configuration (network, pretraining, adaptation).
+    pub dnn: DnnOptions,
+    /// Regression modeler configuration.
+    pub regression: RegressionModeler,
+    /// Per-parameter-count switching thresholds (fractions); when `None`,
+    /// [`default_threshold`] applies.
+    pub thresholds: Option<Vec<f64>>,
+    /// Whether to run domain adaptation before each modeling task
+    /// (Sec. IV-E: "we always use domain adaptation before modeling").
+    /// Disable for the ablation benches.
+    pub use_domain_adaptation: bool,
+    /// Relative margin by which the DNN model's cross-validation SMAPE
+    /// must beat the regression model's before the DNN wins the final
+    /// selection. Below the noise threshold both models typically fit
+    /// near-perfectly and their CV difference is statistical noise; a
+    /// small preference for the regression model (whose candidate ranking
+    /// is exhaustive rather than learned) avoids coin-flip selections.
+    pub selection_margin: f64,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        AdaptiveOptions {
+            dnn: DnnOptions::default(),
+            regression: RegressionModeler::default(),
+            thresholds: None,
+            use_domain_adaptation: true,
+            selection_margin: 0.10,
+        }
+    }
+}
+
+impl AdaptiveOptions {
+    fn threshold_for(&self, num_params: usize) -> f64 {
+        match &self.thresholds {
+            Some(t) if !t.is_empty() => {
+                let idx = num_params.saturating_sub(1).min(t.len() - 1);
+                t[idx]
+            }
+            _ => default_threshold(num_params),
+        }
+    }
+}
+
+/// The full outcome of an adaptive modeling run.
+#[derive(Debug, Clone)]
+pub struct AdaptiveOutcome {
+    /// The selected model and its scores.
+    pub result: ModelingResult,
+    /// The noise analysis that drove the decision.
+    pub noise: NoiseEstimate,
+    /// The threshold that was applied (fraction).
+    pub threshold: f64,
+    /// The regression modeler's result, when it was consulted.
+    pub regression_result: Option<ModelingResult>,
+    /// The DNN modeler's result, when it succeeded.
+    pub dnn_result: Option<ModelingResult>,
+    /// Which modeler won.
+    pub choice: ModelerChoice,
+}
+
+/// The adaptive performance modeler.
+///
+/// Owns a pretrained [`DnnModeler`] (domain adaptation mutates the network,
+/// hence `model` takes `&mut self`) and a [`RegressionModeler`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveModeler {
+    opts: AdaptiveOptions,
+    dnn: DnnModeler,
+}
+
+impl AdaptiveModeler {
+    /// Builds the modeler, pretraining the DNN now.
+    pub fn pretrained(opts: AdaptiveOptions) -> Self {
+        let dnn = DnnModeler::pretrained(opts.dnn.clone());
+        AdaptiveModeler { opts, dnn }
+    }
+
+    /// Builds the modeler around an existing pretrained network (e.g.
+    /// loaded from disk — pretraining is the expensive step).
+    pub fn from_network(opts: AdaptiveOptions, network: Network) -> Self {
+        let dnn = DnnModeler::from_network(opts.dnn.clone(), network);
+        AdaptiveModeler { opts, dnn }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &AdaptiveOptions {
+        &self.opts
+    }
+
+    /// The wrapped DNN modeler.
+    pub fn dnn(&self) -> &DnnModeler {
+        &self.dnn
+    }
+
+    /// Runs the adaptive modeling process of Fig. 1:
+    /// noise estimation → (domain adaptation) → DNN modeling, plus
+    /// regression modeling below the threshold → cross-validation selection.
+    pub fn model(&mut self, set: &MeasurementSet) -> Result<AdaptiveOutcome, ModelError> {
+        if set.num_params() == 0 {
+            return Err(ModelError::NoParameters);
+        }
+        let noise = NoiseEstimate::of(set);
+        let threshold = self.opts.threshold_for(set.num_params());
+        let noise_level = noise.mean();
+
+        if self.opts.use_domain_adaptation {
+            let range = if noise.is_empty() { (0.0, 0.0) } else { noise.range() };
+            self.dnn.adapt_to_task(set, range)?;
+        }
+
+        let dnn_result = self.dnn.model(set);
+        let use_regression = noise_level < threshold;
+        let regression_result = if use_regression {
+            self.opts.regression.model(set).ok()
+        } else {
+            None
+        };
+
+        // Select the winner by cross-validated SMAPE.
+        match (dnn_result, &regression_result) {
+            (Ok(d), Some(r)) => {
+                let margin = 1.0 + self.opts.selection_margin.max(0.0);
+                let (result, choice) = if r.cv_smape <= d.cv_smape * margin {
+                    (r.clone(), ModelerChoice::Regression)
+                } else {
+                    (d.clone(), ModelerChoice::Dnn)
+                };
+                Ok(AdaptiveOutcome {
+                    result,
+                    noise,
+                    threshold,
+                    regression_result,
+                    dnn_result: Some(d),
+                    choice,
+                })
+            }
+            (Ok(d), None) => Ok(AdaptiveOutcome {
+                result: d.clone(),
+                noise,
+                threshold,
+                regression_result,
+                dnn_result: Some(d),
+                choice: ModelerChoice::Dnn,
+            }),
+            (Err(_), Some(r)) => Ok(AdaptiveOutcome {
+                result: r.clone(),
+                noise,
+                threshold,
+                regression_result,
+                dnn_result: None,
+                choice: ModelerChoice::Regression,
+            }),
+            (Err(e), None) => {
+                // Above the threshold the regression modeler was skipped;
+                // as a last resort consult it before giving up.
+                if let Ok(r) = self.opts.regression.model(set) {
+                    return Ok(AdaptiveOutcome {
+                        result: r.clone(),
+                        noise,
+                        threshold,
+                        regression_result: Some(r),
+                        dnn_result: None,
+                        choice: ModelerChoice::Regression,
+                    });
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::NUM_INPUTS;
+    use nrpm_extrap::ExponentPair;
+    use nrpm_nn::NetworkConfig;
+    use nrpm_synth::TrainingSpec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn tiny_options() -> AdaptiveOptions {
+        AdaptiveOptions {
+            dnn: DnnOptions {
+                network: NetworkConfig::new(&[NUM_INPUTS, 64, nrpm_extrap::NUM_CLASSES]),
+                pretrain_spec: TrainingSpec {
+                    samples_per_class: 50,
+                    noise_range: (0.0, 0.4),
+                    ..Default::default()
+                },
+                pretrain_epochs: 5,
+                adaptation_samples_per_class: 30,
+                seed: 5,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    fn clean_linear_set() -> MeasurementSet {
+        let mut set = MeasurementSet::new(1);
+        for &x in &[4.0, 8.0, 16.0, 32.0, 64.0] {
+            set.add_repetitions(&[x], &[2.0 * x, 2.0 * x, 2.0 * x]);
+        }
+        set
+    }
+
+    fn noisy_set(level: f64, seed: u64) -> MeasurementSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set = MeasurementSet::new(1);
+        for &x in &[4.0f64, 8.0, 16.0, 32.0, 64.0] {
+            let truth = 1.0 + 0.5 * x * x;
+            let reps: Vec<f64> = (0..5)
+                .map(|_| truth * rng.gen_range(1.0 - level / 2.0..=1.0 + level / 2.0))
+                .collect();
+            set.add_repetitions(&[x], &reps);
+        }
+        set
+    }
+
+    #[test]
+    fn clean_data_consults_the_regression_modeler() {
+        let mut modeler = AdaptiveModeler::pretrained(tiny_options());
+        let outcome = modeler.model(&clean_linear_set()).unwrap();
+        // Noise is zero, far below any threshold.
+        assert!(outcome.noise.mean() < 0.01);
+        assert!(outcome.regression_result.is_some());
+        // The exact linear model must be found.
+        assert_eq!(
+            outcome.result.model.lead_exponent(0).unwrap(),
+            ExponentPair::from_parts(1, 1, 0)
+        );
+        assert!(outcome.result.cv_smape < 1e-6);
+    }
+
+    #[test]
+    fn high_noise_switches_off_the_regression_modeler() {
+        let mut opts = tiny_options();
+        opts.use_domain_adaptation = false; // keep the test fast
+        let mut modeler = AdaptiveModeler::pretrained(opts);
+        let set = noisy_set(0.9, 11);
+        let outcome = modeler.model(&set).unwrap();
+        assert!(
+            outcome.noise.mean() > outcome.threshold,
+            "estimated noise {} below threshold {}",
+            outcome.noise.mean(),
+            outcome.threshold
+        );
+        assert!(outcome.regression_result.is_none());
+        assert_eq!(outcome.choice, ModelerChoice::Dnn);
+    }
+
+    #[test]
+    fn custom_thresholds_are_respected() {
+        let mut opts = tiny_options();
+        opts.use_domain_adaptation = false;
+        opts.thresholds = Some(vec![0.9]); // effectively never switch off
+        let mut modeler = AdaptiveModeler::pretrained(opts);
+        let set = noisy_set(0.5, 13);
+        let outcome = modeler.model(&set).unwrap();
+        assert_eq!(outcome.threshold, 0.9);
+        assert!(outcome.regression_result.is_some());
+    }
+
+    #[test]
+    fn domain_adaptation_path_works_end_to_end() {
+        let mut modeler = AdaptiveModeler::pretrained(tiny_options());
+        let set = noisy_set(0.2, 17);
+        let outcome = modeler.model(&set).unwrap();
+        assert!(outcome.result.cv_smape.is_finite());
+        assert!(outcome.dnn_result.is_some() || outcome.regression_result.is_some());
+    }
+
+    #[test]
+    fn zero_params_is_rejected() {
+        let mut modeler = AdaptiveModeler::pretrained(tiny_options());
+        let set = MeasurementSet::new(0);
+        assert!(matches!(modeler.model(&set), Err(ModelError::NoParameters)));
+    }
+
+    #[test]
+    fn network_round_trip_through_from_network() {
+        let modeler = AdaptiveModeler::pretrained(tiny_options());
+        let json = modeler.dnn().network().to_json();
+        let net = Network::from_json(&json).unwrap();
+        let mut opts = tiny_options();
+        opts.use_domain_adaptation = false;
+        let mut restored = AdaptiveModeler::from_network(opts, net);
+        let outcome = restored.model(&clean_linear_set()).unwrap();
+        assert!(outcome.result.cv_smape < 1.0);
+    }
+}

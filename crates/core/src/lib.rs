@@ -1,0 +1,46 @@
+//! The adaptive noise-resilient performance modeler — the contribution of
+//! *Ritter et al., "Noise-Resilient Empirical Performance Modeling with Deep
+//! Neural Networks", IPDPS 2021*.
+//!
+//! The adaptive modeler (Sec. IV) consists of five components, all
+//! implemented here:
+//!
+//! 1. **Noise estimation** ([`noise`]) — the range-of-relative-deviation
+//!    heuristic that estimates the level of uniform measurement noise.
+//! 2. **Preprocessing** ([`preprocess`]) — converting raw measurement lines
+//!    into the network's fixed 11-neuron input encoding.
+//! 3. **The DNN modeler** ([`dnn`]) — a classifier over the 43 PMNF exponent
+//!    pairs whose top-3 predictions seed hypotheses that are then fitted and
+//!    selected exactly like Extra-P's (coefficients via linear regression,
+//!    winner via cross-validated SMAPE).
+//! 4. **Transfer learning** ([`dnn::DnnModeler::adapt_to_task`]) — domain
+//!    adaptation: retraining the pretrained network on synthetic data
+//!    mirroring the task's measurement points and noise range.
+//! 5. **The adaptive switch** ([`adaptive`]) — running the regression
+//!    modeler alongside the DNN below a noise threshold and switching it off
+//!    above, where its tight in-sample fit hurts extrapolation.
+//!
+//! # Quick example
+//!
+//! ```no_run
+//! use nrpm_core::adaptive::{AdaptiveModeler, AdaptiveOptions};
+//! use nrpm_extrap::MeasurementSet;
+//!
+//! let mut set = MeasurementSet::new(1);
+//! for &x in &[4.0, 8.0, 16.0, 32.0, 64.0] {
+//!     set.add_repetitions(&[x], &[2.0 * x, 2.1 * x, 1.95 * x]);
+//! }
+//! let mut modeler = AdaptiveModeler::pretrained(AdaptiveOptions::default());
+//! let outcome = modeler.model(&set).unwrap();
+//! println!("model: {}", outcome.result.model);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod dnn;
+pub mod metrics;
+pub mod noise;
+pub mod preprocess;
+pub mod report;
+pub mod threshold;

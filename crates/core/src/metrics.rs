@@ -1,0 +1,173 @@
+//! Evaluation metrics of the paper's synthetic analysis (Sec. V): model
+//! accuracy via lead-exponent distance buckets, and predictive power via
+//! relative extrapolation error.
+
+use nrpm_extrap::{exponent_distance, lead_order_distance, ExponentPair, Model};
+use serde::{Deserialize, Serialize};
+
+/// The paper's accuracy buckets: a model is "correct" within a bucket when
+/// its lead-exponent distance is `≤ 1/4`, `≤ 1/3`, or `≤ 1/2`.
+pub const ACCURACY_BUCKETS: [f64; 3] = [0.25, 1.0 / 3.0, 0.5];
+
+/// The lead-exponent distance between a fitted model and the ground-truth
+/// per-parameter exponent pairs: the maximum over parameters of
+/// [`lead_order_distance`] (the difference of the polynomial exponents —
+/// the paper's metric; see DESIGN.md) between the model's lead exponent
+/// (constant when the parameter is absent) and the truth.
+pub fn lead_exponent_distance(model: &Model, truth: &[ExponentPair]) -> f64 {
+    assert_eq!(
+        model.num_params,
+        truth.len(),
+        "truth must supply one pair per parameter"
+    );
+    (0..truth.len())
+        .map(|l| lead_order_distance(&model.lead_exponent_or_constant(l), &truth[l]))
+        .fold(0.0, f64::max)
+}
+
+/// The weighted variant (`|Δi| + 0.25·|Δj|`), which additionally penalizes
+/// wrong logarithmic factors. Exposed for the stricter-metric ablation.
+pub fn weighted_lead_exponent_distance(model: &Model, truth: &[ExponentPair]) -> f64 {
+    assert_eq!(
+        model.num_params,
+        truth.len(),
+        "truth must supply one pair per parameter"
+    );
+    (0..truth.len())
+        .map(|l| exponent_distance(&model.lead_exponent_or_constant(l), &truth[l]))
+        .fold(0.0, f64::max)
+}
+
+/// Counts of models falling into each accuracy bucket, as fractions.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AccuracyBuckets {
+    /// Fraction with distance `≤ 1/4`.
+    pub within_quarter: f64,
+    /// Fraction with distance `≤ 1/3`.
+    pub within_third: f64,
+    /// Fraction with distance `≤ 1/2`.
+    pub within_half: f64,
+}
+
+impl AccuracyBuckets {
+    /// Tallies a list of lead-exponent distances into bucket fractions.
+    pub fn tally(distances: &[f64]) -> AccuracyBuckets {
+        if distances.is_empty() {
+            return AccuracyBuckets::default();
+        }
+        let n = distances.len() as f64;
+        let count = |limit: f64| distances.iter().filter(|&&d| d <= limit + 1e-12).count() as f64 / n;
+        AccuracyBuckets {
+            within_quarter: count(ACCURACY_BUCKETS[0]),
+            within_third: count(ACCURACY_BUCKETS[1]),
+            within_half: count(ACCURACY_BUCKETS[2]),
+        }
+    }
+}
+
+/// Relative prediction errors (percent) of a model at evaluation points
+/// with known true values: `100 · |pred − true| / |true|`.
+///
+/// Points with a zero true value are skipped (the relative error is
+/// undefined there).
+pub fn relative_errors(model: &Model, eval_points: &[(Vec<f64>, f64)]) -> Vec<f64> {
+    eval_points
+        .iter()
+        .filter(|(_, truth)| *truth != 0.0)
+        .map(|(p, truth)| 100.0 * (model.evaluate(p) - truth).abs() / truth.abs())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrpm_extrap::{Fraction, Term, TermFactor};
+
+    fn pair(n: i32, d: i32, j: u8) -> ExponentPair {
+        ExponentPair::from_parts(n, d, j)
+    }
+
+    fn linear_model() -> Model {
+        Model::new(
+            1,
+            1.0,
+            vec![Term::new(2.0, vec![TermFactor::new(0, pair(1, 1, 0))])],
+        )
+    }
+
+    #[test]
+    fn distance_zero_for_exact_match() {
+        let m = linear_model();
+        assert_eq!(lead_exponent_distance(&m, &[pair(1, 1, 0)]), 0.0);
+    }
+
+    #[test]
+    fn distance_counts_polynomial_exponents_only() {
+        let m = linear_model();
+        // truth x^{3/2}: |1 - 3/2| = 1/2
+        assert!((lead_exponent_distance(&m, &[pair(3, 2, 0)]) - 0.5).abs() < 1e-12);
+        // truth x log x: same polynomial order -> distance 0 (the paper's
+        // lead-exponent reading; the weighted variant penalizes the log).
+        assert!((lead_exponent_distance(&m, &[pair(1, 1, 1)]) - 0.0).abs() < 1e-12);
+        assert!((weighted_lead_exponent_distance(&m, &[pair(1, 1, 1)]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_parameter_distance_takes_the_maximum() {
+        let m = Model::new(
+            2,
+            0.0,
+            vec![
+                Term::new(1.0, vec![TermFactor::new(0, pair(1, 1, 0))]),
+                Term::new(1.0, vec![TermFactor::new(1, pair(2, 1, 0))]),
+            ],
+        );
+        // param 0 exact; param 1 off by 1/2
+        let d = lead_exponent_distance(&m, &[pair(1, 1, 0), pair(3, 2, 0)]);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_parameter_counts_as_constant() {
+        let m = linear_model();
+        // model has param 0 only; a 1-param truth of constant:
+        let d = lead_exponent_distance(&m, &[ExponentPair::CONSTANT]);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_bounded() {
+        let distances = [0.0, 0.2, 0.3, 0.45, 1.0, 2.0];
+        let b = AccuracyBuckets::tally(&distances);
+        assert!(b.within_quarter <= b.within_third);
+        assert!(b.within_third <= b.within_half);
+        assert!((b.within_quarter - 2.0 / 6.0).abs() < 1e-12);
+        assert!((b.within_third - 3.0 / 6.0).abs() < 1e-12);
+        assert!((b.within_half - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(AccuracyBuckets::tally(&[]), AccuracyBuckets::default());
+    }
+
+    #[test]
+    fn bucket_boundaries_are_inclusive() {
+        let b = AccuracyBuckets::tally(&[0.25, 1.0 / 3.0, 0.5]);
+        assert!((b.within_quarter - 1.0 / 3.0).abs() < 1e-12);
+        assert!((b.within_third - 2.0 / 3.0).abs() < 1e-12);
+        assert!((b.within_half - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_errors_match_hand_computation() {
+        let m = linear_model(); // f(x) = 1 + 2x
+        let points = vec![(vec![10.0], 20.0), (vec![100.0], 201.0), (vec![5.0], 0.0)];
+        let errs = relative_errors(&m, &points);
+        assert_eq!(errs.len(), 2); // zero-truth point skipped
+        assert!((errs[0] - 100.0 * 1.0 / 20.0).abs() < 1e-12); // pred 21 vs 20
+        assert!((errs[1] - 0.0).abs() < 1e-12); // pred 201 vs 201
+    }
+
+    #[test]
+    fn fraction_distance_helper_sanity() {
+        // sanity anchor: the distance metric uses exact fractions
+        assert!((Fraction::new(1, 3).abs_diff(&Fraction::new(1, 4)) - 1.0 / 12.0).abs() < 1e-12);
+    }
+}

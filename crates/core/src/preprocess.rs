@@ -1,0 +1,358 @@
+//! Measurement preprocessing for the DNN (Sec. IV-C of the paper).
+//!
+//! Three problems stand between raw measurements and a fixed-size network
+//! input:
+//!
+//! 1. **Varying measurement points** — `(32, 64, …, 1024)` for one code,
+//!    `(8, 64, …, 32768)` for another. The values are enriched with implicit
+//!    position information by dividing them by their coordinate:
+//!    `v̂ = v / x`.
+//! 2. **Variable point counts** — the input is bounded to `[5, 11]` points;
+//!    unused network inputs are masked with zero.
+//! 3. **Unbounded positions** — positions are normalized to `[0, 1]` and
+//!    sampled at 11 canonical positions (one per input neuron) with a
+//!    nearest-neighbor assignment in which each measurement is used at most
+//!    once.
+
+use serde::{Deserialize, Serialize};
+
+/// The 11 canonical sampling positions
+/// `(1/64, 1/32, 1/16, 1/8, 2/8, 3/8, 4/8, 5/8, 6/8, 7/8, 1)`, one per
+/// input neuron.
+pub const SAMPLING_POSITIONS: [f64; NUM_INPUTS] = [
+    1.0 / 64.0,
+    1.0 / 32.0,
+    1.0 / 16.0,
+    1.0 / 8.0,
+    2.0 / 8.0,
+    3.0 / 8.0,
+    4.0 / 8.0,
+    5.0 / 8.0,
+    6.0 / 8.0,
+    7.0 / 8.0,
+    1.0,
+];
+
+/// Number of input neurons (and sampling positions).
+pub const NUM_INPUTS: usize = 11;
+
+/// Minimum number of measurement points per parameter (Extra-P's rule).
+pub const MIN_POINTS: usize = 5;
+
+/// Maximum number of measurement points consumed per parameter; beyond
+/// eleven, measuring further values is impractical anyway (the paper's
+/// Kripke example would need > 2 097 152 processes for a seventh value).
+pub const MAX_POINTS: usize = NUM_INPUTS;
+
+/// Errors of the preprocessing step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PreprocessError {
+    /// Fewer than two points — nothing to normalize.
+    TooFewPoints(usize),
+    /// A coordinate was non-positive or non-finite.
+    InvalidCoordinate(f64),
+    /// A value was non-finite.
+    InvalidValue(f64),
+}
+
+impl std::fmt::Display for PreprocessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PreprocessError::TooFewPoints(n) => write!(f, "only {n} measurement points"),
+            PreprocessError::InvalidCoordinate(x) => write!(f, "invalid coordinate {x}"),
+            PreprocessError::InvalidValue(v) => write!(f, "invalid value {v}"),
+        }
+    }
+}
+
+impl std::error::Error for PreprocessError {}
+
+/// How assigned `v̂` values are normalized into network inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ValueScaling {
+    /// `w = log2(v̂ / v̂_last) / 32 − 0.1`: growth classes become linearly
+    /// separable slopes, and the fixed absolute divisor preserves *how
+    /// fast* a line grows (a per-sample min-max would erase exactly the
+    /// signal the classifier needs). The `−0.1` offset keeps present
+    /// points distinguishable from the zero mask. The default.
+    #[default]
+    LogRatio,
+    /// Divide by the maximum absolute value so inputs land in `[-1, 1]`.
+    /// Kept as an ablation (`--linear-encoding` in the benches); it loses
+    /// resolution for steep growth classes, where all but the largest
+    /// point collapse toward zero.
+    MaxAbs,
+}
+
+/// Encodes one single-parameter measurement line into the network's
+/// 11-neuron input vector, using the default [`ValueScaling::LogRatio`].
+///
+/// Steps: enrich (`v̂ = v / x`), normalize positions to `(0, 1]` by dividing
+/// by the largest coordinate, assign each point to the nearest free sampling
+/// position (monotone, left to right), scale the assigned values per
+/// [`ValueScaling`] (zero-masked inputs stay zero).
+pub fn encode_line(xs: &[f64], ys: &[f64]) -> Result<Vec<f64>, PreprocessError> {
+    encode_line_with(xs, ys, ValueScaling::default())
+}
+
+/// [`encode_line`] with an explicit value-scaling strategy.
+pub fn encode_line_with(
+    xs: &[f64],
+    ys: &[f64],
+    scaling: ValueScaling,
+) -> Result<Vec<f64>, PreprocessError> {
+    assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+    if xs.len() < 2 {
+        return Err(PreprocessError::TooFewPoints(xs.len()));
+    }
+    for &x in xs {
+        if !(x > 0.0) || !x.is_finite() {
+            return Err(PreprocessError::InvalidCoordinate(x));
+        }
+    }
+    for &y in ys {
+        if !y.is_finite() {
+            return Err(PreprocessError::InvalidValue(y));
+        }
+    }
+
+    // Sort by position and cap at MAX_POINTS by keeping an evenly spaced
+    // subset (first and last always included).
+    let mut pairs: Vec<(f64, f64)> = xs.iter().copied().zip(ys.iter().copied()).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite coordinates"));
+    pairs.dedup_by(|a, b| a.0 == b.0);
+    if pairs.len() > MAX_POINTS {
+        let n = pairs.len();
+        pairs = (0..MAX_POINTS)
+            .map(|i| pairs[i * (n - 1) / (MAX_POINTS - 1)])
+            .collect();
+    }
+
+    // Enrich with implicit position information: v̂ = v / x.
+    let enriched: Vec<(f64, f64)> = pairs.iter().map(|&(x, v)| (x, v / x)).collect();
+
+    // Normalize positions to (0, 1].
+    let max_x = enriched.last().expect("non-empty").0;
+    let normalized: Vec<(f64, f64)> = enriched.iter().map(|&(x, v)| (x / max_x, v)).collect();
+
+    // Monotone nearest-neighbor assignment of points to sampling positions:
+    // walking both lists left to right, each point claims the closest still
+    // free position while leaving enough positions for the remaining points.
+    let mut input = vec![0.0; NUM_INPUTS];
+    let mut assigned: Vec<usize> = Vec::with_capacity(normalized.len());
+    let n = normalized.len();
+    let mut slot = 0usize;
+    for (i, &(pos, value)) in normalized.iter().enumerate() {
+        let remaining = n - i; // points still to place, including this one
+        let last_allowed = NUM_INPUTS - remaining;
+        let mut best = slot;
+        let mut best_dist = f64::INFINITY;
+        for candidate in slot..=last_allowed {
+            let d = (SAMPLING_POSITIONS[candidate] - pos).abs();
+            if d < best_dist {
+                best_dist = d;
+                best = candidate;
+            }
+        }
+        input[best] = value;
+        assigned.push(best);
+        slot = best + 1;
+    }
+
+    match scaling {
+        ValueScaling::MaxAbs => {
+            // Scale values into [-1, 1]; masked inputs remain exactly zero.
+            let max_abs = input.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+            if max_abs > 0.0 {
+                for v in &mut input {
+                    *v /= max_abs;
+                }
+            }
+        }
+        ValueScaling::LogRatio => {
+            // Reference: the v̂ of the largest measured coordinate (always
+            // present and positive for real measurements). If any value is
+            // non-positive (conceivable after extreme noise), fall back to
+            // max-abs scaling rather than producing NaNs.
+            let reference = input[*assigned.last().expect("at least two points")];
+            let positive = assigned.iter().all(|&i| input[i] > 0.0) && reference > 0.0;
+            if !positive {
+                let max_abs = input.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+                if max_abs > 0.0 {
+                    for v in &mut input {
+                        *v /= max_abs;
+                    }
+                }
+            } else {
+                for &i in &assigned {
+                    let w = (input[i] / reference).log2() / 32.0;
+                    input[i] = w.clamp(-1.0, 1.0) - 0.1;
+                }
+            }
+        }
+    }
+    Ok(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_are_ascending_and_canonical() {
+        assert_eq!(SAMPLING_POSITIONS.len(), 11);
+        for w in SAMPLING_POSITIONS.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert_eq!(SAMPLING_POSITIONS[0], 1.0 / 64.0);
+        assert_eq!(SAMPLING_POSITIONS[10], 1.0);
+    }
+
+    #[test]
+    fn encoding_has_eleven_entries_bounded() {
+        let xs = [4.0, 8.0, 16.0, 32.0, 64.0];
+        let ys = [8.0, 16.0, 32.0, 64.0, 128.0];
+        let input = encode_line(&xs, &ys).unwrap();
+        assert_eq!(input.len(), NUM_INPUTS);
+        assert!(input.iter().all(|v| v.abs() <= 1.1));
+        // exactly five non-zero inputs for five points (v/x = 2 != 0)
+        assert_eq!(input.iter().filter(|&&v| v != 0.0).count(), 5);
+    }
+
+    #[test]
+    fn max_abs_encoding_is_bounded_by_one() {
+        let xs = [4.0, 8.0, 16.0, 32.0, 64.0];
+        let ys = [8.0, 32.0, 128.0, 512.0, 2048.0];
+        let input = encode_line_with(&xs, &ys, ValueScaling::MaxAbs).unwrap();
+        assert!(input.iter().all(|v| v.abs() <= 1.0));
+        assert!(input.iter().any(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn log_ratio_separates_growth_classes_linearly() {
+        // For v = x^k, the encoded value at normalized position p is
+        // (k-1)/32 * log2(p) - 0.1: the class appears as the slope.
+        let xs: [f64; 5] = [4.0, 8.0, 16.0, 32.0, 64.0];
+        let lin: Vec<f64> = xs.iter().map(|&x| x).collect();
+        let cub: Vec<f64> = xs.iter().map(|&x| x * x * x).collect();
+        let a = encode_line(&xs, &lin).unwrap();
+        let b = encode_line(&xs, &cub).unwrap();
+        // Linear: v̂ constant -> all present entries -0.1.
+        for &v in a.iter().filter(|&&v| v != 0.0) {
+            assert!((v + 0.1).abs() < 1e-12);
+        }
+        // Cubic: earlier points have smaller v̂ than the reference -> below -0.1.
+        let first_b = b.iter().find(|&&v| v != 0.0).unwrap();
+        assert!(*first_b < -0.1);
+    }
+
+    #[test]
+    fn negative_values_fall_back_to_max_abs() {
+        let xs = [2.0, 4.0, 8.0, 16.0, 32.0];
+        let ys = [-1.0, 2.0, 4.0, 8.0, 16.0];
+        let input = encode_line(&xs, &ys).unwrap();
+        assert!(input.iter().all(|v| v.is_finite() && v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn last_point_lands_on_the_last_neuron() {
+        // The largest coordinate normalizes to exactly 1.0, which is the
+        // last sampling position.
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let ys = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let input = encode_line(&xs, &ys).unwrap();
+        assert!(input[10] != 0.0);
+    }
+
+    #[test]
+    fn linear_function_encodes_constant_enriched_values() {
+        // v = 2x -> v̂ = 2 everywhere -> log-ratio 0 -> all present -0.1
+        // (with MaxAbs: all present equal 1).
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x).collect();
+        let input = encode_line(&xs, &ys).unwrap();
+        for &v in input.iter().filter(|&&v| v != 0.0) {
+            assert!((v + 0.1).abs() < 1e-12);
+        }
+        let input = encode_line_with(&xs, &ys, ValueScaling::MaxAbs).unwrap();
+        for &v in input.iter().filter(|&&v| v != 0.0) {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn each_point_claims_a_distinct_neuron() {
+        let xs = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x * 3.0).collect();
+        let input = encode_line(&xs, &ys).unwrap();
+        assert_eq!(input.iter().filter(|&&v| v != 0.0).count(), 11);
+    }
+
+    #[test]
+    fn exponential_sequences_cluster_on_the_low_neurons() {
+        // Kripke's (8 … 32768): all but the last normalize to <= 1/8, so
+        // the low positions fill first.
+        let xs = [8.0, 64.0, 512.0, 4096.0, 32768.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x + 1.0).collect();
+        let input = encode_line(&xs, &ys).unwrap();
+        assert!(input[0] != 0.0, "{input:?}"); // 8/32768 ~ 0.00024 -> neuron 0
+        assert!(input[10] != 0.0); // the last point
+    }
+
+    #[test]
+    fn more_than_eleven_points_are_subsampled_keeping_endpoints() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 * x).collect();
+        let input = encode_line(&xs, &ys).unwrap();
+        assert_eq!(input.len(), NUM_INPUTS);
+        assert!(input[10] != 0.0);
+    }
+
+    #[test]
+    fn scale_invariance_of_the_encoding() {
+        // Multiplying all values by a constant must not change the encoding
+        // (the network sees shapes, not magnitudes).
+        let xs: [f64; 5] = [4.0, 8.0, 16.0, 32.0, 64.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x.powf(1.5)).collect();
+        let ys_scaled: Vec<f64> = ys.iter().map(|y| y * 1000.0).collect();
+        let a = encode_line(&xs, &ys).unwrap();
+        let b = encode_line(&xs, &ys_scaled).unwrap();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn different_growth_classes_encode_differently() {
+        let xs = [4.0, 8.0, 16.0, 32.0, 64.0];
+        let linear: Vec<f64> = xs.iter().map(|x| 2.0 * x).collect();
+        let quadratic: Vec<f64> = xs.iter().map(|x| 2.0 * x * x).collect();
+        let a = encode_line(&xs, &linear).unwrap();
+        let b = encode_line(&xs, &quadratic).unwrap();
+        assert!(a.iter().zip(b.iter()).any(|(x, y)| (x - y).abs() > 0.01));
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(matches!(
+            encode_line(&[1.0], &[1.0]),
+            Err(PreprocessError::TooFewPoints(1))
+        ));
+        assert!(matches!(
+            encode_line(&[0.0, 2.0], &[1.0, 1.0]),
+            Err(PreprocessError::InvalidCoordinate(_))
+        ));
+        assert!(matches!(
+            encode_line(&[1.0, 2.0], &[f64::NAN, 1.0]),
+            Err(PreprocessError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_coordinates_are_merged() {
+        let xs = [2.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+        let ys = [4.0, 4.2, 8.0, 16.0, 32.0, 64.0];
+        let input = encode_line(&xs, &ys).unwrap();
+        assert_eq!(input.iter().filter(|&&v| v != 0.0).count(), 5);
+    }
+}

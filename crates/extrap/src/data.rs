@@ -1,0 +1,329 @@
+//! Measurement data model: points, repetitions, and measurement sets.
+//!
+//! A *measurement point* `P(x_1, …, x_m)` is one combination of execution
+//! parameter values (e.g. process count and problem size); each point is
+//! measured `rep` times (the paper uses up to five repetitions) and the
+//! modelers aggregate the repetitions with the median by default.
+
+use crate::metrics::Aggregation;
+use serde::{Deserialize, Serialize};
+
+/// One measurement point with its repeated measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Parameter values `(x_1, …, x_m)` of this point.
+    pub point: Vec<f64>,
+    /// Measured values of the metric (e.g. runtime), one per repetition.
+    pub values: Vec<f64>,
+}
+
+impl Measurement {
+    /// Creates a measurement from a point and its repetition values.
+    pub fn new(point: Vec<f64>, values: Vec<f64>) -> Self {
+        Measurement { point, values }
+    }
+
+    /// Aggregated value of the repetitions.
+    pub fn aggregate(&self, agg: Aggregation) -> f64 {
+        agg.apply(&self.values)
+    }
+}
+
+/// A set of measurements for one application kernel.
+///
+/// This is the input to every modeler in the workspace. Points may appear in
+/// any order; lookups and line extraction do not assume sortedness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementSet {
+    num_params: usize,
+    measurements: Vec<Measurement>,
+}
+
+impl MeasurementSet {
+    /// Creates an empty set for `num_params` execution parameters.
+    pub fn new(num_params: usize) -> Self {
+        MeasurementSet {
+            num_params,
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Number of execution parameters per point.
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// All measurements.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Number of measurement points.
+    pub fn len(&self) -> usize {
+        self.measurements.len()
+    }
+
+    /// `true` when the set holds no measurements.
+    pub fn is_empty(&self) -> bool {
+        self.measurements.is_empty()
+    }
+
+    /// Adds a point with repetition values.
+    ///
+    /// # Panics
+    /// Panics if `point.len() != num_params` or `values` is empty.
+    pub fn add_repetitions(&mut self, point: &[f64], values: &[f64]) {
+        assert_eq!(
+            point.len(),
+            self.num_params,
+            "point has {} coordinates, set expects {}",
+            point.len(),
+            self.num_params
+        );
+        assert!(!values.is_empty(), "a measurement needs at least one repetition");
+        self.measurements.push(Measurement::new(point.to_vec(), values.to_vec()));
+    }
+
+    /// Adds a point with a single measured value.
+    pub fn add(&mut self, point: &[f64], value: f64) {
+        self.add_repetitions(point, &[value]);
+    }
+
+    /// Aggregated `(point, value)` tuples.
+    pub fn aggregated(&self, agg: Aggregation) -> Vec<(Vec<f64>, f64)> {
+        self.measurements
+            .iter()
+            .map(|m| (m.point.clone(), m.aggregate(agg)))
+            .collect()
+    }
+
+    /// The measurement whose point equals `point` exactly, if any.
+    pub fn find(&self, point: &[f64]) -> Option<&Measurement> {
+        self.measurements.iter().find(|m| m.point == point)
+    }
+
+    /// Distinct values of parameter `param`, sorted ascending.
+    pub fn parameter_values(&self, param: usize) -> Vec<f64> {
+        assert!(param < self.num_params, "parameter index out of range");
+        let mut vals: Vec<f64> = self.measurements.iter().map(|m| m.point[param]).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite parameter values"));
+        vals.dedup();
+        vals
+    }
+
+    /// Extracts the *line* for parameter `param`: the largest group of points
+    /// that vary only in `param` (all other coordinates fixed).
+    ///
+    /// Returns the points sorted by the `param` coordinate. This mirrors how
+    /// Extra-P expects its input experiments: at least five values per
+    /// parameter with everything else held constant. Ties between groups of
+    /// equal size are broken toward the group with the *smallest* fixed
+    /// coordinates, matching the paper's case-study setups where the lines
+    /// run along the cheapest configurations.
+    pub fn line(&self, param: usize, agg: Aggregation) -> Vec<(f64, f64)> {
+        self.lines(param, agg).into_iter().next().unwrap_or_default()
+    }
+
+    /// Extracts *all* lines for parameter `param`: every group of points
+    /// sharing their other coordinates, longest first (ties toward the
+    /// smallest fixed coordinates), each sorted by the `param` coordinate.
+    ///
+    /// A full `5^m` grid yields `5^(m-1)` parallel lines per parameter —
+    /// independent evidence about the same per-parameter behaviour that the
+    /// modelers average over; a cross-line layout yields one full line plus
+    /// degenerate single-point groups (which callers filter by length).
+    pub fn lines(&self, param: usize, agg: Aggregation) -> Vec<Vec<(f64, f64)>> {
+        assert!(param < self.num_params, "parameter index out of range");
+        if self.num_params == 1 {
+            let mut pts: Vec<(f64, f64)> = self
+                .measurements
+                .iter()
+                .map(|m| (m.point[0], m.aggregate(agg)))
+                .collect();
+            pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite coordinates"));
+            return vec![pts];
+        }
+
+        // Group by the fixed coordinates (all except `param`).
+        let mut groups: Vec<(Vec<f64>, Vec<(f64, f64)>)> = Vec::new();
+        for m in &self.measurements {
+            let fixed: Vec<f64> = m
+                .point
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != param)
+                .map(|(_, v)| *v)
+                .collect();
+            let value = m.aggregate(agg);
+            match groups.iter_mut().find(|(f, _)| *f == fixed) {
+                Some((_, pts)) => pts.push((m.point[param], value)),
+                None => groups.push((fixed, vec![(m.point[param], value)])),
+            }
+        }
+        groups.sort_by(|a, b| {
+            b.1.len()
+                .cmp(&a.1.len())
+                .then_with(|| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        groups
+            .into_iter()
+            .map(|(_, mut line)| {
+                line.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite coordinates"));
+                line.dedup_by(|a, b| a.0 == b.0);
+                line
+            })
+            .collect()
+    }
+
+    /// Serializes the set to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("MeasurementSet serializes")
+    }
+
+    /// Deserializes a set from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_param_set() -> MeasurementSet {
+        // Lines: x1 in {2,4,8,16,32} at x2 = 10; x2 in {10,20,30,40,50} at
+        // x1 = 2. Overlap at (2, 10). Value = x1 + x2.
+        let mut set = MeasurementSet::new(2);
+        for &x1 in &[2.0, 4.0, 8.0, 16.0, 32.0] {
+            set.add(&[x1, 10.0], x1 + 10.0);
+        }
+        for &x2 in &[20.0, 30.0, 40.0, 50.0] {
+            set.add(&[2.0, x2], 2.0 + x2);
+        }
+        set
+    }
+
+    #[test]
+    fn add_and_aggregate() {
+        let mut set = MeasurementSet::new(1);
+        set.add_repetitions(&[8.0], &[10.0, 12.0, 11.0]);
+        assert_eq!(set.len(), 1);
+        let agg = set.aggregated(Aggregation::Median);
+        assert_eq!(agg[0].1, 11.0);
+        let agg = set.aggregated(Aggregation::Mean);
+        assert_eq!(agg[0].1, 11.0);
+        let agg = set.aggregated(Aggregation::Minimum);
+        assert_eq!(agg[0].1, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinates")]
+    fn wrong_arity_is_rejected() {
+        let mut set = MeasurementSet::new(2);
+        set.add(&[1.0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "repetition")]
+    fn empty_repetitions_are_rejected() {
+        let mut set = MeasurementSet::new(1);
+        set.add_repetitions(&[1.0], &[]);
+    }
+
+    #[test]
+    fn parameter_values_are_sorted_and_deduped() {
+        let set = two_param_set();
+        assert_eq!(set.parameter_values(0), vec![2.0, 4.0, 8.0, 16.0, 32.0]);
+        assert_eq!(set.parameter_values(1), vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+    }
+
+    #[test]
+    fn line_extraction_finds_the_varying_group() {
+        let set = two_param_set();
+        let line0 = set.line(0, Aggregation::Median);
+        assert_eq!(line0.len(), 5);
+        assert_eq!(line0[0], (2.0, 12.0));
+        assert_eq!(line0[4], (32.0, 42.0));
+
+        let line1 = set.line(1, Aggregation::Median);
+        assert_eq!(line1.len(), 5);
+        assert_eq!(line1[0], (10.0, 12.0));
+        assert_eq!(line1[4], (50.0, 52.0));
+    }
+
+    #[test]
+    fn line_for_single_param_uses_all_points_sorted() {
+        let mut set = MeasurementSet::new(1);
+        set.add(&[16.0], 4.0);
+        set.add(&[4.0], 2.0);
+        set.add(&[64.0], 8.0);
+        let line = set.line(0, Aggregation::Median);
+        assert_eq!(line, vec![(4.0, 2.0), (16.0, 4.0), (64.0, 8.0)]);
+    }
+
+    #[test]
+    fn find_locates_exact_points() {
+        let set = two_param_set();
+        assert!(set.find(&[2.0, 10.0]).is_some());
+        assert!(set.find(&[3.0, 10.0]).is_none());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let set = two_param_set();
+        let json = set.to_json();
+        let back = MeasurementSet::from_json(&json).unwrap();
+        assert_eq!(set, back);
+    }
+
+    #[test]
+    fn lines_returns_all_parallel_groups_longest_first() {
+        // 3x3 grid: three parallel 3-point lines per parameter.
+        let mut set = MeasurementSet::new(2);
+        for &x1 in &[1.0, 2.0, 3.0] {
+            for &x2 in &[10.0, 20.0, 30.0] {
+                set.add(&[x1, x2], x1 + x2);
+            }
+        }
+        let lines = set.lines(0, Aggregation::Median);
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.len() == 3));
+        // smallest fixed coordinate first: the x2 = 10 line
+        assert_eq!(lines[0], vec![(1.0, 11.0), (2.0, 12.0), (3.0, 13.0)]);
+
+        // Cross layout: one full line plus single-point groups.
+        let mut cross = MeasurementSet::new(2);
+        for &x1 in &[1.0, 2.0, 3.0] {
+            cross.add(&[x1, 10.0], x1);
+        }
+        cross.add(&[1.0, 20.0], 1.0);
+        cross.add(&[1.0, 30.0], 1.0);
+        let lines = cross.lines(0, Aggregation::Median);
+        assert_eq!(lines[0].len(), 3);
+        assert!(lines[1..].iter().all(|l| l.len() == 1));
+    }
+
+    #[test]
+    fn lines_for_single_param_is_one_sorted_line() {
+        let mut set = MeasurementSet::new(1);
+        set.add(&[16.0], 4.0);
+        set.add(&[4.0], 2.0);
+        let lines = set.lines(0, Aggregation::Median);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0], vec![(4.0, 2.0), (16.0, 4.0)]);
+    }
+
+    #[test]
+    fn full_grid_line_prefers_smallest_fixed_coordinates() {
+        // A full 3x3 grid: every x2 gives a 3-point line for x1; the
+        // tie-break should pick the x2 = 1 group.
+        let mut set = MeasurementSet::new(2);
+        for &x1 in &[1.0, 2.0, 3.0] {
+            for &x2 in &[1.0, 5.0, 9.0] {
+                set.add(&[x1, x2], x1 * 100.0 + x2);
+            }
+        }
+        let line = set.line(0, Aggregation::Median);
+        assert_eq!(line, vec![(1.0, 101.0), (2.0, 201.0), (3.0, 301.0)]);
+    }
+}

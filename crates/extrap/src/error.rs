@@ -1,0 +1,69 @@
+use std::fmt;
+
+/// Errors produced by the modelers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The measurement set declares zero parameters.
+    NoParameters,
+    /// Too few measurement points to model a parameter (Extra-P needs at
+    /// least five values per parameter).
+    TooFewPoints {
+        /// Parameter index that lacked points.
+        param: usize,
+        /// Number of points found.
+        found: usize,
+        /// Minimum required.
+        required: usize,
+    },
+    /// Every hypothesis in the search space failed to fit (for example,
+    /// because the design matrices were all singular).
+    NoViableHypothesis,
+    /// Measurement values contain NaN or infinities.
+    NonFiniteData,
+    /// A parameter value was not strictly positive; PMNF terms
+    /// (`x^i log2^j x`) require positive coordinates.
+    NonPositiveParameter {
+        /// Parameter index.
+        param: usize,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NoParameters => write!(f, "measurement set declares zero parameters"),
+            ModelError::TooFewPoints { param, found, required } => write!(
+                f,
+                "parameter {param} has only {found} distinct measurement points, {required} required"
+            ),
+            ModelError::NoViableHypothesis => {
+                write!(f, "no hypothesis in the search space could be fitted")
+            }
+            ModelError::NonFiniteData => write!(f, "measurement values contain NaN or infinities"),
+            ModelError::NonPositiveParameter { param, value } => write!(
+                f,
+                "parameter {param} has non-positive value {value}; PMNF requires positive coordinates"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let e = ModelError::TooFewPoints { param: 1, found: 3, required: 5 };
+        let s = e.to_string();
+        assert!(s.contains('1') && s.contains('3') && s.contains('5'));
+        assert!(ModelError::NoViableHypothesis.to_string().contains("hypothesis"));
+        assert!(ModelError::NonPositiveParameter { param: 0, value: -2.0 }
+            .to_string()
+            .contains("-2"));
+    }
+}

@@ -1,0 +1,270 @@
+//! The canonical PMNF exponent set *E* (Eq. 2 of the paper).
+//!
+//! `E` enumerates every `(i, j)` pair a PMNF term `x^i · log2^j(x)` may use.
+//! The pairs double as the **43 classification targets** of the DNN modeler,
+//! so a stable, canonical ordering (and a bijection pair ⇄ class id) lives
+//! here.
+
+use crate::Fraction;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Number of `(i, j)` combinations in the canonical exponent set — and the
+/// number of output classes of the DNN.
+pub const NUM_CLASSES: usize = 43;
+
+/// One `(i, j)` exponent combination of a PMNF term `x^i · log2^j(x)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExponentPair {
+    /// Polynomial exponent `i` (exact rational).
+    pub poly: Fraction,
+    /// Logarithm exponent `j` (non-negative integer).
+    pub log: u8,
+}
+
+impl ExponentPair {
+    /// Creates a pair from a rational polynomial exponent and a log exponent.
+    pub fn new(poly: Fraction, log: u8) -> Self {
+        ExponentPair { poly, log }
+    }
+
+    /// Convenience constructor from a `(num, den, log)` triple.
+    pub fn from_parts(num: i32, den: i32, log: u8) -> Self {
+        ExponentPair {
+            poly: Fraction::new(num, den),
+            log,
+        }
+    }
+
+    /// The constant pair `(0, 0)` — `x^0 · log^0 = 1`.
+    pub const CONSTANT: ExponentPair = ExponentPair {
+        poly: Fraction::ZERO,
+        log: 0,
+    };
+
+    /// `true` when the pair is `(0, 0)`.
+    pub fn is_constant(&self) -> bool {
+        self.poly.is_zero() && self.log == 0
+    }
+
+    /// Evaluates `x^i · log2^j(x)` at `x`.
+    ///
+    /// Defined for `x > 0`; callers feed parameter values which are ≥ 1 in
+    /// practice.
+    pub fn evaluate(&self, x: f64) -> f64 {
+        debug_assert!(x > 0.0, "PMNF terms are defined for positive x (got {x})");
+        let poly = if self.poly.is_zero() { 1.0 } else { x.powf(self.poly.to_f64()) };
+        let log = if self.log == 0 { 1.0 } else { x.log2().powi(self.log as i32) };
+        poly * log
+    }
+
+    /// Asymptotic-growth comparison: which pair dominates as `x → ∞`?
+    ///
+    /// Larger polynomial exponent wins; the log exponent breaks ties.
+    pub fn growth_cmp(&self, other: &ExponentPair) -> std::cmp::Ordering {
+        self.poly.cmp(&other.poly).then(self.log.cmp(&other.log))
+    }
+}
+
+impl fmt::Display for ExponentPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.poly.is_zero(), self.log) {
+            (true, 0) => write!(f, "1"),
+            (true, j) => write!(f, "log2^{j}(x)"),
+            (false, 0) => write!(f, "x^({})", self.poly),
+            (false, j) => write!(f, "x^({}) * log2^{j}(x)", self.poly),
+        }
+    }
+}
+
+/// The canonical ordered exponent set with pair ⇄ class-id lookup.
+#[derive(Debug, Clone)]
+pub struct ExponentSet {
+    pairs: Vec<ExponentPair>,
+}
+
+impl ExponentSet {
+    fn build() -> Self {
+        let mut pairs = Vec::with_capacity(NUM_CLASSES);
+        // Group A: {0, 1/4, 1/3, 1/2, 2/3, 3/4, 1, 3/2, 2, 5/2} x {0, 1, 2}
+        let group_a = [
+            (0, 1),
+            (1, 4),
+            (1, 3),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (1, 1),
+            (3, 2),
+            (2, 1),
+            (5, 2),
+        ];
+        for &(n, d) in &group_a {
+            for j in 0..=2u8 {
+                pairs.push(ExponentPair::from_parts(n, d, j));
+            }
+        }
+        // Group B: {5/4, 4/3, 3} x {0, 1}
+        let group_b = [(5, 4), (4, 3), (3, 1)];
+        for &(n, d) in &group_b {
+            for j in 0..=1u8 {
+                pairs.push(ExponentPair::from_parts(n, d, j));
+            }
+        }
+        // Group C: {4/5, 5/3, 7/4, 9/4, 7/3, 8/3, 11/4} x {0}
+        let group_c = [(4, 5), (5, 3), (7, 4), (9, 4), (7, 3), (8, 3), (11, 4)];
+        for &(n, d) in &group_c {
+            pairs.push(ExponentPair::from_parts(n, d, 0));
+        }
+        debug_assert_eq!(pairs.len(), NUM_CLASSES);
+        // Canonical ordering: ascending growth, so neighbouring class ids are
+        // neighbouring complexity classes (useful when inspecting confusion).
+        pairs.sort_by(|a, b| a.growth_cmp(b));
+        ExponentSet { pairs }
+    }
+
+    /// All pairs in canonical (growth) order.
+    pub fn pairs(&self) -> &[ExponentPair] {
+        &self.pairs
+    }
+
+    /// Number of pairs (always [`NUM_CLASSES`]).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Never true; present for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The pair with class id `class`.
+    ///
+    /// # Panics
+    /// Panics if `class >= NUM_CLASSES`.
+    pub fn pair(&self, class: usize) -> ExponentPair {
+        self.pairs[class]
+    }
+
+    /// The class id of `pair`, if it is a member of *E*.
+    pub fn class_of(&self, pair: &ExponentPair) -> Option<usize> {
+        self.pairs.iter().position(|p| p == pair)
+    }
+
+    /// The member of *E* closest to an arbitrary pair, by lead-exponent
+    /// distance. Used to snap externally supplied exponents into the space.
+    pub fn nearest(&self, poly: f64, log: f64) -> ExponentPair {
+        *self
+            .pairs
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.poly.to_f64() - poly).abs() + 0.25 * (a.log as f64 - log).abs();
+                let db = (b.poly.to_f64() - poly).abs() + 0.25 * (b.log as f64 - log).abs();
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .expect("exponent set is non-empty")
+    }
+}
+
+/// The process-wide canonical exponent set.
+pub fn exponent_set() -> &'static ExponentSet {
+    static SET: OnceLock<ExponentSet> = OnceLock::new();
+    SET.get_or_init(ExponentSet::build)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_has_exactly_43_distinct_pairs() {
+        let set = exponent_set();
+        assert_eq!(set.len(), NUM_CLASSES);
+        let mut seen = std::collections::HashSet::new();
+        for p in set.pairs() {
+            assert!(seen.insert(*p), "duplicate pair {p}");
+        }
+    }
+
+    #[test]
+    fn set_contains_the_papers_examples() {
+        let set = exponent_set();
+        // constant
+        assert!(set.class_of(&ExponentPair::CONSTANT).is_some());
+        // x^{1/3} (Kripke processes), x^{4/5} (Kripke groups), x * log2^2(x)
+        // (RELeARN connectivity update)
+        assert!(set.class_of(&ExponentPair::from_parts(1, 3, 0)).is_some());
+        assert!(set.class_of(&ExponentPair::from_parts(4, 5, 0)).is_some());
+        assert!(set.class_of(&ExponentPair::from_parts(1, 1, 2)).is_some());
+        // x^3 log x in group B
+        assert!(set.class_of(&ExponentPair::from_parts(3, 1, 1)).is_some());
+        // but NOT x^3 log^2 x
+        assert!(set.class_of(&ExponentPair::from_parts(3, 1, 2)).is_none());
+        // and NOT x^{4/5} log x
+        assert!(set.class_of(&ExponentPair::from_parts(4, 5, 1)).is_none());
+    }
+
+    #[test]
+    fn class_ids_round_trip() {
+        let set = exponent_set();
+        for class in 0..NUM_CLASSES {
+            let pair = set.pair(class);
+            assert_eq!(set.class_of(&pair), Some(class));
+        }
+    }
+
+    #[test]
+    fn ordering_is_by_growth() {
+        let set = exponent_set();
+        assert_eq!(set.pair(0), ExponentPair::CONSTANT);
+        for w in set.pairs().windows(2) {
+            assert_eq!(w[0].growth_cmp(&w[1]), std::cmp::Ordering::Less);
+        }
+        // The last class is the fastest-growing: x^3 log x
+        assert_eq!(set.pair(NUM_CLASSES - 1), ExponentPair::from_parts(3, 1, 1));
+    }
+
+    #[test]
+    fn evaluate_matches_closed_forms() {
+        let p = ExponentPair::from_parts(1, 2, 1); // sqrt(x) * log2(x)
+        assert!((p.evaluate(4.0) - 2.0 * 2.0).abs() < 1e-12);
+        assert!((p.evaluate(1.0) - 0.0).abs() < 1e-12); // log2(1) = 0
+
+        let c = ExponentPair::CONSTANT;
+        assert_eq!(c.evaluate(123.0), 1.0);
+
+        let cube = ExponentPair::from_parts(3, 1, 0);
+        assert_eq!(cube.evaluate(2.0), 8.0);
+    }
+
+    #[test]
+    fn nearest_snaps_to_members() {
+        let set = exponent_set();
+        let snapped = set.nearest(0.34, 0.0);
+        assert_eq!(snapped, ExponentPair::from_parts(1, 3, 0));
+        let snapped = set.nearest(1.01, 1.9);
+        assert_eq!(snapped, ExponentPair::from_parts(1, 1, 2));
+    }
+
+    #[test]
+    fn growth_cmp_prefers_poly_then_log() {
+        let a = ExponentPair::from_parts(1, 1, 0);
+        let b = ExponentPair::from_parts(1, 1, 1);
+        let c = ExponentPair::from_parts(3, 2, 0);
+        assert_eq!(a.growth_cmp(&b), std::cmp::Ordering::Less);
+        assert_eq!(b.growth_cmp(&c), std::cmp::Ordering::Less);
+        assert_eq!(a.growth_cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(ExponentPair::CONSTANT.to_string(), "1");
+        assert_eq!(ExponentPair::from_parts(1, 2, 0).to_string(), "x^(1/2)");
+        assert_eq!(ExponentPair::from_parts(0, 1, 2).to_string(), "log2^2(x)");
+        assert_eq!(
+            ExponentPair::from_parts(5, 2, 1).to_string(),
+            "x^(5/2) * log2^1(x)"
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Exact rational exponents.
+//!
+//! The PMNF exponent set contains fractions like `1/3` and `11/4`; storing
+//! them as `f64` would make class identity (needed by the DNN classifier)
+//! and model comparison fragile, so exponents are exact rationals.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact rational number `num / den` with `den > 0`, always stored in
+/// lowest terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fraction {
+    num: i32,
+    den: i32,
+}
+
+fn gcd(a: i32, b: i32) -> i32 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Fraction {
+    /// Creates a fraction, normalizing sign and reducing to lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i32, den: i32) -> Self {
+        assert!(den != 0, "fraction denominator must be non-zero");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Fraction {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// The fraction `0/1`.
+    pub const ZERO: Fraction = Fraction { num: 0, den: 1 };
+
+    /// The fraction `1/1`.
+    pub const ONE: Fraction = Fraction { num: 1, den: 1 };
+
+    /// Creates a whole-number fraction.
+    pub fn integer(n: i32) -> Self {
+        Fraction { num: n, den: 1 }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn num(&self) -> i32 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn den(&self) -> i32 {
+        self.den
+    }
+
+    /// Converts to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// `true` when the fraction equals zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Absolute difference as `f64` — the distance used by the
+    /// lead-exponent accuracy metric.
+    pub fn abs_diff(&self, other: &Fraction) -> f64 {
+        (self.to_f64() - other.to_f64()).abs()
+    }
+
+    /// Exact sum.
+    pub fn add(&self, other: &Fraction) -> Fraction {
+        Fraction::new(self.num * other.den + other.num * self.den, self.den * other.den)
+    }
+
+    /// Exact difference.
+    pub fn sub(&self, other: &Fraction) -> Fraction {
+        Fraction::new(self.num * other.den - other.num * self.den, self.den * other.den)
+    }
+}
+
+impl PartialOrd for Fraction {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Fraction {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Cross-multiply; denominators are positive so ordering is preserved.
+        (self.num as i64 * other.den as i64).cmp(&(other.num as i64 * self.den as i64))
+    }
+}
+
+impl fmt::Display for Fraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i32> for Fraction {
+    fn from(n: i32) -> Self {
+        Fraction::integer(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_lowest_terms() {
+        let f = Fraction::new(2, 4);
+        assert_eq!(f, Fraction::new(1, 2));
+        assert_eq!(f.num(), 1);
+        assert_eq!(f.den(), 2);
+    }
+
+    #[test]
+    fn normalizes_negative_denominators() {
+        let f = Fraction::new(1, -2);
+        assert_eq!(f.num(), -1);
+        assert_eq!(f.den(), 2);
+        assert_eq!(f.to_f64(), -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_panics() {
+        let _ = Fraction::new(1, 0);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let mut v = vec![
+            Fraction::new(5, 2),
+            Fraction::new(1, 3),
+            Fraction::ZERO,
+            Fraction::new(11, 4),
+            Fraction::ONE,
+        ];
+        v.sort();
+        let vals: Vec<f64> = v.iter().map(Fraction::to_f64).collect();
+        assert_eq!(vals, vec![0.0, 1.0 / 3.0, 1.0, 2.5, 2.75]);
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let a = Fraction::new(1, 3);
+        let b = Fraction::new(1, 6);
+        assert_eq!(a.add(&b), Fraction::new(1, 2));
+        assert_eq!(a.sub(&b), Fraction::new(1, 6));
+        assert_eq!(Fraction::new(1, 4).abs_diff(&Fraction::new(1, 2)), 0.25);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Fraction::new(3, 1).to_string(), "3");
+        assert_eq!(Fraction::new(-7, 4).to_string(), "-7/4");
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        assert_eq!(Fraction::new(10, 4), Fraction::new(5, 2));
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Fraction::new(2, 4));
+        assert!(s.contains(&Fraction::new(1, 2)));
+    }
+}

@@ -1,0 +1,292 @@
+//! Plain-text import/export of measurement sets.
+//!
+//! Besides the JSON (de)serialization that comes with serde, this module
+//! implements a line-oriented text format in the spirit of Extra-P's input
+//! files, convenient to produce from shell scripts around real experiment
+//! campaigns:
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! PARAMS 2 processes problem_size
+//! POINT 16 1024 DATA 12.1 11.8 12.9
+//! POINT 32 1024 DATA 19.5 21.2 20.0
+//! ```
+//!
+//! `PARAMS <m> [names…]` declares the arity (names are optional and purely
+//! informational); each `POINT` line carries `m` coordinates followed by
+//! `DATA` and at least one repetition value.
+
+use crate::{Measurement, MeasurementSet};
+use std::fmt;
+
+/// Errors produced by the text parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// The `PARAMS` header is missing or malformed.
+    MissingHeader,
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The file declared parameters but contained no measurement points.
+    NoPoints,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingHeader => {
+                write!(f, "missing `PARAMS <m> [names…]` header before the first POINT")
+            }
+            ParseError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            ParseError::NoPoints => write!(f, "no POINT lines found"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A measurement set together with its (optional) parameter names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedMeasurements {
+    /// The measurements.
+    pub set: MeasurementSet,
+    /// Parameter names from the header (empty strings when unnamed).
+    pub parameter_names: Vec<String>,
+}
+
+/// Parses the text format described in the module docs.
+pub fn parse_text(input: &str) -> Result<NamedMeasurements, ParseError> {
+    let mut set: Option<MeasurementSet> = None;
+    let mut names: Vec<String> = Vec::new();
+
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("PARAMS") => {
+                let m: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or(ParseError::BadLine {
+                        line: line_no,
+                        reason: "PARAMS needs a positive integer arity".into(),
+                    })?;
+                if m == 0 {
+                    return Err(ParseError::BadLine {
+                        line: line_no,
+                        reason: "arity must be at least 1".into(),
+                    });
+                }
+                names = tokens.map(str::to_string).collect();
+                if !names.is_empty() && names.len() != m {
+                    return Err(ParseError::BadLine {
+                        line: line_no,
+                        reason: format!("{} names for {m} parameters", names.len()),
+                    });
+                }
+                if names.is_empty() {
+                    names = vec![String::new(); m];
+                }
+                set = Some(MeasurementSet::new(m));
+            }
+            Some("POINT") => {
+                let set = set.as_mut().ok_or(ParseError::MissingHeader)?;
+                let rest: Vec<&str> = tokens.collect();
+                let data_pos = rest.iter().position(|&t| t == "DATA").ok_or(ParseError::BadLine {
+                    line: line_no,
+                    reason: "POINT line lacks a DATA marker".into(),
+                })?;
+                let parse_floats = |tokens: &[&str]| -> Result<Vec<f64>, ParseError> {
+                    tokens
+                        .iter()
+                        .map(|t| {
+                            t.parse::<f64>().map_err(|_| ParseError::BadLine {
+                                line: line_no,
+                                reason: format!("`{t}` is not a number"),
+                            })
+                        })
+                        .collect()
+                };
+                let point = parse_floats(&rest[..data_pos])?;
+                let values = parse_floats(&rest[data_pos + 1..])?;
+                if point.len() != set.num_params() {
+                    return Err(ParseError::BadLine {
+                        line: line_no,
+                        reason: format!(
+                            "{} coordinates, expected {}",
+                            point.len(),
+                            set.num_params()
+                        ),
+                    });
+                }
+                if values.is_empty() {
+                    return Err(ParseError::BadLine {
+                        line: line_no,
+                        reason: "DATA needs at least one value".into(),
+                    });
+                }
+                set.add_repetitions(&point, &values);
+            }
+            Some(other) => {
+                return Err(ParseError::BadLine {
+                    line: line_no,
+                    reason: format!("unknown directive `{other}`"),
+                })
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+
+    let set = set.ok_or(ParseError::MissingHeader)?;
+    if set.is_empty() {
+        return Err(ParseError::NoPoints);
+    }
+    Ok(NamedMeasurements {
+        set,
+        parameter_names: names,
+    })
+}
+
+/// Writes a measurement set in the text format.
+pub fn write_text(set: &MeasurementSet, parameter_names: &[&str]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("PARAMS {}", set.num_params()));
+    for name in parameter_names.iter().take(set.num_params()) {
+        out.push(' ');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for Measurement { point, values } in set.measurements() {
+        out.push_str("POINT");
+        for c in point {
+            out.push_str(&format!(" {c}"));
+        }
+        out.push_str(" DATA");
+        for v in values {
+            out.push_str(&format!(" {v}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# FASTEST-style two-parameter campaign
+PARAMS 2 processes problem_size
+POINT 16 1024 DATA 12.1 11.8 12.9
+POINT 32 1024 DATA 19.5 21.2 20.0   # inline comment
+POINT 64 1024 DATA 34.1 31.9
+";
+
+    #[test]
+    fn parses_points_and_names() {
+        let parsed = parse_text(SAMPLE).unwrap();
+        assert_eq!(parsed.parameter_names, vec!["processes", "problem_size"]);
+        assert_eq!(parsed.set.len(), 3);
+        assert_eq!(parsed.set.num_params(), 2);
+        let m = parsed.set.find(&[32.0, 1024.0]).unwrap();
+        assert_eq!(m.values, vec![19.5, 21.2, 20.0]);
+    }
+
+    #[test]
+    fn unnamed_header_is_allowed() {
+        let parsed = parse_text("PARAMS 1\nPOINT 4 DATA 1.0\n").unwrap();
+        assert_eq!(parsed.parameter_names, vec![String::new()]);
+        assert_eq!(parsed.set.len(), 1);
+    }
+
+    #[test]
+    fn round_trips_through_write_text() {
+        let parsed = parse_text(SAMPLE).unwrap();
+        let text = write_text(&parsed.set, &["processes", "problem_size"]);
+        let again = parse_text(&text).unwrap();
+        assert_eq!(parsed.set, again.set);
+        assert_eq!(again.parameter_names, vec!["processes", "problem_size"]);
+    }
+
+    #[test]
+    fn missing_header_is_reported() {
+        assert_eq!(
+            parse_text("POINT 4 DATA 1.0\n").unwrap_err(),
+            ParseError::MissingHeader
+        );
+        assert_eq!(parse_text("").unwrap_err(), ParseError::MissingHeader);
+    }
+
+    #[test]
+    fn arity_mismatches_are_reported_with_line_numbers() {
+        let err = parse_text("PARAMS 2\nPOINT 4 DATA 1.0\n").unwrap_err();
+        match err {
+            ParseError::BadLine { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("coordinates"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_numbers_and_directives_are_rejected() {
+        assert!(matches!(
+            parse_text("PARAMS 1\nPOINT abc DATA 1\n").unwrap_err(),
+            ParseError::BadLine { .. }
+        ));
+        assert!(matches!(
+            parse_text("FROBNICATE\n").unwrap_err(),
+            ParseError::BadLine { .. }
+        ));
+        assert!(matches!(
+            parse_text("PARAMS 1\nPOINT 4 DATA\n").unwrap_err(),
+            ParseError::BadLine { .. }
+        ));
+        assert!(matches!(
+            parse_text("PARAMS 1\nPOINT 4 1.0\n").unwrap_err(),
+            ParseError::BadLine { .. }
+        ));
+    }
+
+    #[test]
+    fn zero_arity_and_name_mismatch_are_rejected() {
+        assert!(matches!(parse_text("PARAMS 0\n").unwrap_err(), ParseError::BadLine { .. }));
+        assert!(matches!(
+            parse_text("PARAMS 2 only_one\n").unwrap_err(),
+            ParseError::BadLine { .. }
+        ));
+    }
+
+    #[test]
+    fn header_without_points_is_rejected() {
+        assert_eq!(parse_text("PARAMS 1\n").unwrap_err(), ParseError::NoPoints);
+    }
+
+    #[test]
+    fn parsed_sets_are_modelable() {
+        let text = "PARAMS 1\n".to_string()
+            + &[4.0, 8.0, 16.0, 32.0, 64.0]
+                .iter()
+                .map(|x: &f64| format!("POINT {x} DATA {}\n", 2.0 * x))
+                .collect::<String>();
+        let parsed = parse_text(&text).unwrap();
+        let result = crate::RegressionModeler::default().model(&parsed.set).unwrap();
+        assert_eq!(
+            result.model.lead_exponent(0).unwrap(),
+            crate::ExponentPair::from_parts(1, 1, 0)
+        );
+    }
+}

@@ -1,0 +1,484 @@
+//! Multi-parameter model construction.
+//!
+//! Extra-P models each parameter separately along its measurement *line* and
+//! then builds the multi-parameter search space by combining the best
+//! single-parameter hypotheses in all additive and multiplicative ways
+//! (Calotoiu et al., Cluster'16; Sec. III/IV-D of the paper). Concretely,
+//! for parameters `{x_1, …, x_m}` every *set partition* of the parameters
+//! yields one structure: parameters in the same group multiply into one
+//! term, groups add up. For `m = 2` that is `c0 + c1·g1 + c2·g2` (additive)
+//! and `c0 + c1·g1·g2` (multiplicative); for `m = 3` there are five
+//! structures.
+
+use crate::fit::{fit_hypothesis, select_best, FittedHypothesis};
+use crate::search::{single_parameter_hypotheses, Hypothesis};
+use crate::single::{validate, SingleParameterOptions};
+use crate::{ExponentPair, MeasurementSet, ModelError, ModelingResult, TermFactor};
+use std::collections::HashSet;
+
+/// Options of the multi-parameter combination step.
+#[derive(Debug, Clone)]
+pub struct MultiParameterOptions {
+    /// How many top-ranked single-parameter hypotheses per parameter enter
+    /// the combination step.
+    ///
+    /// Both modelers use the top 3 (the paper's number for the DNN); the
+    /// per-parameter candidates a narrow line ranking misses are rescued
+    /// by [`refine_pairs_globally`], not by a wider beam.
+    pub top_k: usize,
+    /// CV-SMAPE tie tolerance (percentage points) for final selection.
+    pub tie_tolerance: f64,
+    /// Run [`refine_pairs_globally`] and add its winners to the candidate
+    /// lists. This is an *extension beyond the paper's baseline*: it
+    /// recovers exponents a per-line ranking misses (e.g. Kripke's
+    /// narrow-range energy-groups parameter) and markedly strengthens the
+    /// regression modeler at high noise — to the point where it erodes the
+    /// DNN's advantage at `m ≥ 2`. The paper-reproduction harness turns it
+    /// off to compare against the paper-faithful baseline; the shipped
+    /// default is on because users want the best models, not a baseline.
+    pub global_refinement: bool,
+}
+
+impl Default for MultiParameterOptions {
+    fn default() -> Self {
+        MultiParameterOptions {
+            top_k: 3,
+            tie_tolerance: 1e-6,
+            global_refinement: true,
+        }
+    }
+}
+
+impl MultiParameterOptions {
+    /// The paper-faithful baseline configuration (no global refinement).
+    pub fn paper_baseline() -> Self {
+        MultiParameterOptions {
+            global_refinement: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Enumerates all set partitions of `{0, …, n-1}`.
+///
+/// `n = 1 → 1`, `n = 2 → 2`, `n = 3 → 5` (the Bell numbers).
+pub(crate) fn set_partitions(n: usize) -> Vec<Vec<Vec<usize>>> {
+    let mut result = Vec::new();
+    let mut current: Vec<Vec<usize>> = Vec::new();
+    fn recurse(item: usize, n: usize, current: &mut Vec<Vec<usize>>, out: &mut Vec<Vec<Vec<usize>>>) {
+        if item == n {
+            out.push(current.clone());
+            return;
+        }
+        for g in 0..current.len() {
+            current[g].push(item);
+            recurse(item + 1, n, current, out);
+            current[g].pop();
+        }
+        current.push(vec![item]);
+        recurse(item + 1, n, current, out);
+        current.pop();
+    }
+    recurse(0, n, &mut current, &mut result);
+    result
+}
+
+/// Ranks the 43 single-parameter hypotheses on a `(x, y)` line and returns
+/// the top `k` exponent pairs (best first). The constant behaviour is
+/// encoded as [`ExponentPair::CONSTANT`].
+pub fn rank_pairs_on_line(line: &[(f64, f64)], k: usize) -> Vec<ExponentPair> {
+    rank_pairs_on_lines(std::slice::from_ref(&line.to_vec()), k)
+}
+
+/// Ranks the 43 single-parameter hypotheses across several *parallel*
+/// lines of the same parameter (a `5^m` grid yields `5^(m-1)` of them) by
+/// the mean cross-validation SMAPE over the lines the hypothesis fits.
+/// Averaging independent lines strongly denoises the ranking — a wrong
+/// exponent may win one noisy line by luck, but rarely all of them.
+pub fn rank_pairs_on_lines(lines: &[Vec<(f64, f64)>], k: usize) -> Vec<ExponentPair> {
+    let tuple_lines: Vec<Vec<(Vec<f64>, f64)>> = lines
+        .iter()
+        .map(|line| line.iter().map(|&(x, y)| (vec![x], y)).collect())
+        .collect();
+    let mut scored: Vec<(f64, ExponentPair, (usize, f64))> = single_parameter_hypotheses()
+        .iter()
+        .filter_map(|h| {
+            let mut total = 0.0;
+            let mut fitted_lines = 0usize;
+            for tuples in &tuple_lines {
+                if let Ok(fitted) = fit_hypothesis(h, tuples) {
+                    total += fitted.cv_smape;
+                    fitted_lines += 1;
+                }
+            }
+            if fitted_lines == 0 {
+                return None;
+            }
+            let pair = h
+                .terms
+                .first()
+                .map(|fs| fs[0].exponents)
+                .unwrap_or(ExponentPair::CONSTANT);
+            // Penalize hypotheses that failed on some lines: divide by the
+            // lines they fitted, not by all lines, then add a miss penalty
+            // so a hypothesis viable everywhere beats a cherry-picker.
+            let misses = tuple_lines.len() - fitted_lines;
+            let score = total / fitted_lines as f64 + misses as f64 * 100.0;
+            Some((score, pair, h.complexity()))
+        })
+        .collect();
+    // Best mean CV first; ties toward simpler structures.
+    scored.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    scored.into_iter().take(k).map(|(_, p, _)| p).collect()
+}
+
+/// Builds the combined multi-parameter search space from per-parameter
+/// candidate exponent pairs and selects the cross-validation winner over
+/// all aggregated measurement points.
+///
+/// This is shared between the regression modeler (candidates ranked by
+/// regression on each line) and the DNN modeler (candidates predicted by
+/// the network); both follow the same combination rule from the paper.
+pub fn combine_candidate_pairs(
+    set: &MeasurementSet,
+    per_param: &[Vec<ExponentPair>],
+    aggregation: crate::Aggregation,
+    tie_tolerance: f64,
+) -> Result<ModelingResult, ModelError> {
+    let m = set.num_params();
+    assert_eq!(per_param.len(), m, "need one candidate list per parameter");
+    let points = set.aggregated(aggregation);
+
+    let partitions = set_partitions(m);
+    let mut seen = HashSet::new();
+    let mut candidates: Vec<FittedHypothesis> = Vec::new();
+
+    // Always consider the constant model.
+    let constant = Hypothesis { num_params: m, terms: Vec::new() };
+    seen.insert(constant.structure_key());
+    if let Ok(f) = fit_hypothesis(&constant, &points) {
+        candidates.push(f);
+    }
+
+    // Cartesian product over the candidate lists.
+    let mut assignment = vec![0usize; m];
+    loop {
+        let pairs: Vec<ExponentPair> = (0..m).map(|l| per_param[l][assignment[l]]).collect();
+
+        for partition in &partitions {
+            let mut terms: Vec<Vec<TermFactor>> = Vec::new();
+            for group in partition {
+                let factors: Vec<TermFactor> = group
+                    .iter()
+                    .filter(|&&l| !pairs[l].is_constant())
+                    .map(|&l| TermFactor::new(l, pairs[l]))
+                    .collect();
+                if !factors.is_empty() {
+                    terms.push(factors);
+                }
+            }
+            let hyp = Hypothesis { num_params: m, terms };
+            if seen.insert(hyp.structure_key()) {
+                if let Ok(f) = fit_hypothesis(&hyp, &points) {
+                    candidates.push(f);
+                }
+            }
+        }
+
+        // Advance the mixed-radix counter.
+        let mut l = 0;
+        loop {
+            if l == m {
+                let best = select_best(candidates, tie_tolerance)
+                    .ok_or(ModelError::NoViableHypothesis)?;
+                return Ok(ModelingResult {
+                    model: best.model,
+                    cv_smape: best.cv_smape,
+                    fit_smape: best.fit_smape,
+                });
+            }
+            assignment[l] += 1;
+            if assignment[l] < per_param[l].len() {
+                break;
+            }
+            assignment[l] = 0;
+            l += 1;
+        }
+    }
+}
+
+/// Refines per-parameter exponent pairs by coordinate descent over the
+/// *full* measurement grid: starting from the per-line winners, each
+/// parameter in turn tries every pair of the canonical set (with the other
+/// parameters held fixed), scored by the best in-sample SMAPE over all
+/// partition structures. Per-line rankings see only a slice of the data —
+/// at realistic noise the true exponent of a narrow-range parameter can
+/// fall outside any line's top ranks even though the *global* fit would
+/// immediately prefer it; two refinement rounds recover such cases.
+pub fn refine_pairs_globally(
+    points: &[(Vec<f64>, f64)],
+    initial: &[ExponentPair],
+    rounds: usize,
+) -> Vec<ExponentPair> {
+    use crate::exponent_set;
+    use crate::fit::fit_coefficients;
+    use crate::metrics::smape;
+
+    let m = initial.len();
+    let partitions = set_partitions(m);
+    let actual: Vec<f64> = points.iter().map(|(_, v)| *v).collect();
+
+    let score_of = |pairs: &[ExponentPair]| -> f64 {
+        let mut best = f64::INFINITY;
+        for partition in &partitions {
+            let mut terms: Vec<Vec<TermFactor>> = Vec::new();
+            for group in partition {
+                let factors: Vec<TermFactor> = group
+                    .iter()
+                    .filter(|&&l| !pairs[l].is_constant())
+                    .map(|&l| TermFactor::new(l, pairs[l]))
+                    .collect();
+                if !factors.is_empty() {
+                    terms.push(factors);
+                }
+            }
+            let hyp = Hypothesis { num_params: m, terms };
+            if let Some(model) = fit_coefficients(&hyp, points) {
+                let predicted: Vec<f64> = points.iter().map(|(p, _)| model.evaluate(p)).collect();
+                let s = smape(&actual, &predicted);
+                if s < best {
+                    best = s;
+                }
+            }
+        }
+        best
+    };
+
+    let mut current = initial.to_vec();
+    let mut current_score = score_of(&current);
+    for _ in 0..rounds {
+        let mut improved = false;
+        for l in 0..m {
+            let mut best_pair = current[l];
+            let mut best_score = current_score;
+            for &candidate in exponent_set().pairs() {
+                if candidate == current[l] {
+                    continue;
+                }
+                let mut pairs = current.clone();
+                pairs[l] = candidate;
+                let s = score_of(&pairs);
+                if s < best_score {
+                    best_score = s;
+                    best_pair = candidate;
+                }
+            }
+            if best_pair != current[l] {
+                current[l] = best_pair;
+                current_score = best_score;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    current
+}
+
+/// The full multi-parameter regression modeler: rank hypotheses per
+/// parameter on its line, combine, select.
+pub fn combine_hypotheses(
+    set: &MeasurementSet,
+    single_opts: &SingleParameterOptions,
+    multi_opts: &MultiParameterOptions,
+) -> Result<ModelingResult, ModelError> {
+    validate(set)?;
+    let m = set.num_params();
+    let mut per_param = Vec::with_capacity(m);
+    for l in 0..m {
+        // Rank on the *primary* line — the one with the smallest fixed
+        // coordinates. On lines with large fixed coordinates the other
+        // parameters' contributions dominate the values, drowning this
+        // parameter's signal in a huge constant offset; averaging rankings
+        // over all parallel lines dilutes the informative line with those
+        // saturated ones (measured: −6 pp accuracy at low noise on 5x5
+        // grids). The multi-line ranking remains available as
+        // [`rank_pairs_on_lines`] for the ablation benches.
+        let line = set.line(l, single_opts.aggregation);
+        if line.len() < single_opts.min_points {
+            return Err(ModelError::TooFewPoints {
+                param: l,
+                found: line.len(),
+                required: single_opts.min_points,
+            });
+        }
+        let ranked = rank_pairs_on_line(&line, multi_opts.top_k.max(1));
+        if ranked.is_empty() {
+            return Err(ModelError::NoViableHypothesis);
+        }
+        per_param.push(ranked);
+    }
+
+    // Global refinement: coordinate descent over the whole grid can
+    // recover exponents the per-line rankings missed; its winners are
+    // *added* to the candidate lists so the final cross-validated
+    // selection still arbitrates.
+    if multi_opts.global_refinement {
+        let points = set.aggregated(single_opts.aggregation);
+        let initial: Vec<ExponentPair> = per_param.iter().map(|c| c[0]).collect();
+        let refined = refine_pairs_globally(&points, &initial, 2);
+        for (l, pair) in refined.into_iter().enumerate() {
+            if !per_param[l].contains(&pair) {
+                per_param[l].insert(0, pair);
+            }
+        }
+    }
+
+    combine_candidate_pairs(set, &per_param, single_opts.aggregation, multi_opts.tie_tolerance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Aggregation, RegressionModeler};
+
+    fn pair(n: i32, d: i32, j: u8) -> ExponentPair {
+        ExponentPair::from_parts(n, d, j)
+    }
+
+    /// Builds a two-parameter measurement set in the paper's layout: two
+    /// crossing lines of five points plus the full grid for fitting.
+    fn grid_set_2d(f: impl Fn(f64, f64) -> f64) -> MeasurementSet {
+        let mut set = MeasurementSet::new(2);
+        for &x1 in &[2.0, 4.0, 8.0, 16.0, 32.0] {
+            for &x2 in &[10.0, 20.0, 30.0, 40.0, 50.0] {
+                set.add(&[x1, x2], f(x1, x2));
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn partition_counts_match_bell_numbers() {
+        assert_eq!(set_partitions(1).len(), 1);
+        assert_eq!(set_partitions(2).len(), 2);
+        assert_eq!(set_partitions(3).len(), 5);
+        assert_eq!(set_partitions(4).len(), 15);
+    }
+
+    #[test]
+    fn partitions_cover_all_items_exactly_once() {
+        for partition in set_partitions(3) {
+            let mut items: Vec<usize> = partition.iter().flatten().copied().collect();
+            items.sort();
+            assert_eq!(items, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn recovers_additive_two_parameter_model() {
+        let set = grid_set_2d(|x1, x2| 5.0 + 2.0 * x1 + 3.0 * x2 * x2);
+        let result = RegressionModeler::default().model(&set).unwrap();
+        assert_eq!(result.model.lead_exponent(0).unwrap(), pair(1, 1, 0));
+        assert_eq!(result.model.lead_exponent(1).unwrap(), pair(2, 1, 0));
+        assert_eq!(result.model.terms.len(), 2, "additive structure expected: {}", result.model);
+        assert!(result.cv_smape < 1e-5);
+    }
+
+    #[test]
+    fn recovers_multiplicative_two_parameter_model() {
+        let set = grid_set_2d(|x1, x2| 1.0 + 0.5 * x1 * x2);
+        let result = RegressionModeler::default().model(&set).unwrap();
+        assert_eq!(result.model.lead_exponent(0).unwrap(), pair(1, 1, 0));
+        assert_eq!(result.model.lead_exponent(1).unwrap(), pair(1, 1, 0));
+        assert_eq!(result.model.terms.len(), 1, "multiplicative structure expected: {}", result.model);
+        let t = &result.model.terms[0];
+        assert_eq!(t.factors.len(), 2);
+        assert!((t.coefficient - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_parameter_without_influence() {
+        let set = grid_set_2d(|x1, _| 2.0 + 4.0 * x1.sqrt());
+        let result = RegressionModeler::default().model(&set).unwrap();
+        assert_eq!(result.model.lead_exponent(0).unwrap(), pair(1, 2, 0));
+        assert_eq!(result.model.lead_exponent(1), None, "x2 has no effect: {}", result.model);
+    }
+
+    #[test]
+    fn recovers_three_parameter_kripke_like_model() {
+        // Kripke SweepSolver shape: c0 + c1 * x1^{1/3} * x2 * x3^{4/5}
+        let mut set = MeasurementSet::new(3);
+        for &x1 in &[8.0f64, 64.0, 512.0, 4096.0, 32768.0] {
+            for &x2 in &[2.0f64, 4.0, 6.0, 8.0, 10.0] {
+                for &x3 in &[32.0f64, 64.0, 96.0, 128.0, 160.0] {
+                    let v = 8.51 + 0.11 * x1.powf(1.0 / 3.0) * x2 * x3.powf(0.8);
+                    set.add(&[x1, x2, x3], v);
+                }
+            }
+        }
+        let result = RegressionModeler::default().model(&set).unwrap();
+        assert_eq!(result.model.lead_exponent(0).unwrap(), pair(1, 3, 0));
+        assert_eq!(result.model.lead_exponent(1).unwrap(), pair(1, 1, 0));
+        assert_eq!(result.model.lead_exponent(2).unwrap(), pair(4, 5, 0));
+        assert!(result.cv_smape < 0.1, "cv = {}", result.cv_smape);
+    }
+
+    #[test]
+    fn sparse_cross_layout_is_enough() {
+        // Only two crossing lines plus one extra point (the paper's minimal
+        // requirement) instead of the full grid.
+        let f = |x1: f64, x2: f64| 1.0 + 2.0 * x1 + 0.01 * x2;
+        let mut set = MeasurementSet::new(2);
+        for &x1 in &[2.0, 4.0, 8.0, 16.0, 32.0] {
+            set.add(&[x1, 100.0], f(x1, 100.0));
+        }
+        for &x2 in &[100.0, 200.0, 300.0, 400.0, 500.0] {
+            set.add(&[2.0, x2], f(2.0, x2));
+        }
+        set.add(&[32.0, 500.0], f(32.0, 500.0)); // the "additional" point
+        let result = RegressionModeler::default().model(&set).unwrap();
+        assert_eq!(result.model.lead_exponent(0).unwrap(), pair(1, 1, 0));
+        assert_eq!(result.model.lead_exponent(1).unwrap(), pair(1, 1, 0));
+        assert_eq!(result.model.terms.len(), 2, "{}", result.model);
+    }
+
+    #[test]
+    fn rank_pairs_puts_truth_first() {
+        let line: Vec<(f64, f64)> = [4.0, 8.0, 16.0, 32.0, 64.0]
+            .iter()
+            .map(|&x: &f64| (x, 3.0 + 2.0 * x * x.log2()))
+            .collect();
+        let ranked = rank_pairs_on_line(&line, 3);
+        assert_eq!(ranked[0], pair(1, 1, 1));
+        assert_eq!(ranked.len(), 3);
+    }
+
+    #[test]
+    fn too_few_points_on_a_line_is_reported() {
+        let mut set = MeasurementSet::new(2);
+        for &x1 in &[2.0, 4.0, 8.0, 16.0, 32.0] {
+            set.add(&[x1, 10.0], x1);
+        }
+        // Only two distinct x2 values.
+        set.add(&[2.0, 20.0], 2.0);
+        let err = RegressionModeler::default().model(&set).unwrap_err();
+        assert!(matches!(err, ModelError::TooFewPoints { param: 1, .. }));
+    }
+
+    #[test]
+    fn combine_candidate_pairs_respects_supplied_candidates() {
+        // Force the space to contain only the true pair per parameter.
+        let set = grid_set_2d(|x1, x2| 1.0 + 2.0 * x1 + 3.0 * x2);
+        let per_param = vec![vec![pair(1, 1, 0)], vec![pair(1, 1, 0)]];
+        let result =
+            combine_candidate_pairs(&set, &per_param, Aggregation::Median, 1e-6).unwrap();
+        assert_eq!(result.model.lead_exponent(0).unwrap(), pair(1, 1, 0));
+        assert_eq!(result.model.lead_exponent(1).unwrap(), pair(1, 1, 0));
+    }
+}

@@ -1,0 +1,98 @@
+//! Systematic multi-parameter recovery: additive and multiplicative
+//! structures over a spread of exponent combinations, from clean data.
+
+use nrpm_extrap::{ExponentPair, MeasurementSet, RegressionModeler};
+
+fn pair(n: i32, d: i32, j: u8) -> ExponentPair {
+    ExponentPair::from_parts(n, d, j)
+}
+
+fn grid(f: impl Fn(f64, f64) -> f64) -> MeasurementSet {
+    let mut set = MeasurementSet::new(2);
+    for &x1 in &[4.0, 8.0, 16.0, 32.0, 64.0] {
+        for &x2 in &[16.0, 32.0, 64.0, 128.0, 256.0] {
+            set.add(&[x1, x2], f(x1, x2));
+        }
+    }
+    set
+}
+
+fn assert_leads(set: &MeasurementSet, expected: [(ExponentPair, &str); 2]) {
+    let result = RegressionModeler::default().model(set).unwrap();
+    for (l, (pair, label)) in expected.iter().enumerate() {
+        let found = result.model.lead_exponent_or_constant(l);
+        assert_eq!(
+            found.poly, pair.poly,
+            "param {l} ({label}): expected {pair}, found {found} in {}",
+            result.model
+        );
+    }
+}
+
+#[test]
+fn additive_mixed_orders() {
+    let set = grid(|a, b| 3.0 + 2.0 * a.powf(1.5) + 0.5 * b);
+    assert_leads(&set, [(pair(3, 2, 0), "a^1.5"), (pair(1, 1, 0), "b")]);
+}
+
+#[test]
+fn multiplicative_fractional_orders() {
+    let set = grid(|a, b| 1.0 + 0.1 * a.powf(0.5) * b.powf(2.0));
+    assert_leads(&set, [(pair(1, 2, 0), "sqrt a"), (pair(2, 1, 0), "b^2")]);
+}
+
+#[test]
+fn log_times_poly_product() {
+    let set = grid(|a, b| 2.0 + 0.05 * a.log2() * b * b.log2());
+    let result = RegressionModeler::default().model(&set).unwrap();
+    // Param 0 is purely logarithmic: poly order 0.
+    assert!(result.model.lead_exponent_or_constant(0).poly.is_zero());
+    // Param 1 is linear (x log x): poly order 1.
+    assert_eq!(
+        result.model.lead_exponent_or_constant(1).poly,
+        nrpm_extrap::Fraction::ONE
+    );
+}
+
+#[test]
+fn one_constant_one_cubic() {
+    let set = grid(|_, b| 10.0 + 1e-4 * b.powi(3));
+    let result = RegressionModeler::default().model(&set).unwrap();
+    assert_eq!(result.model.lead_exponent(0), None, "{}", result.model);
+    assert_eq!(
+        result.model.lead_exponent_or_constant(1),
+        pair(3, 1, 0),
+        "{}",
+        result.model
+    );
+}
+
+#[test]
+fn additive_plus_interaction_term_is_fit_well() {
+    // Truth outside the one-term-per-parameter normal form (it has both an
+    // additive and an interaction term): the modeler cannot represent it
+    // exactly but must still produce a usable fit.
+    let set = grid(|a, b| 1.0 + 0.2 * a + 0.01 * a * b);
+    let result = RegressionModeler::default().model(&set).unwrap();
+    assert!(result.cv_smape < 10.0, "cv = {}", result.cv_smape);
+    // The interaction dominates: both parameters must appear.
+    assert!(result.model.lead_exponent(0).is_some());
+    assert!(result.model.lead_exponent(1).is_some());
+}
+
+#[test]
+fn three_parameters_with_distinct_roles() {
+    let mut set = MeasurementSet::new(3);
+    for &a in &[8.0f64, 64.0, 512.0, 4096.0, 32768.0] {
+        for &b in &[2.0f64, 4.0, 6.0, 8.0, 10.0] {
+            for &c in &[32.0f64, 64.0, 96.0, 128.0, 160.0] {
+                set.add(&[a, b, c], 5.0 + 0.3 * a.powf(0.5) + 2.0 * b * c.log2());
+            }
+        }
+    }
+    let result = RegressionModeler::default().model(&set).unwrap();
+    assert_eq!(result.model.lead_exponent_or_constant(0).poly, nrpm_extrap::Fraction::new(1, 2));
+    assert_eq!(result.model.lead_exponent_or_constant(1).poly, nrpm_extrap::Fraction::ONE);
+    assert!(result.model.lead_exponent_or_constant(2).poly.is_zero());
+    assert!(result.cv_smape < 1.0, "cv = {}", result.cv_smape);
+}

@@ -1,0 +1,121 @@
+//! Systematic recovery tests: the regression modeler must identify every
+//! member of the canonical exponent set from clean measurements on a
+//! well-spread sequence.
+
+use nrpm_extrap::{
+    exponent_set, lead_order_distance, ExponentPair, MeasurementSet, Model, RegressionModeler,
+    Term, TermFactor, NUM_CLASSES,
+};
+
+fn model_for(pair: ExponentPair, c0: f64, c1: f64) -> Model {
+    let terms = if pair.is_constant() {
+        vec![]
+    } else {
+        vec![Term::new(c1, vec![TermFactor::new(0, pair)])]
+    };
+    Model::new(1, c0, terms)
+}
+
+fn measure(truth: &Model, xs: &[f64]) -> MeasurementSet {
+    let mut set = MeasurementSet::new(1);
+    for &x in xs {
+        set.add(&[x], truth.evaluate(&[x]));
+    }
+    set
+}
+
+/// Clean data over a 6-point geometric sequence: every class's polynomial
+/// order must be recovered exactly (log factors may legitimately trade
+/// against neighbouring poly orders on narrow ranges, but not here).
+#[test]
+fn all_43_classes_are_recovered_from_clean_geometric_data() {
+    let xs: Vec<f64> = (2..8).map(|i| 2.0f64.powi(i)).collect(); // 4 .. 128
+    let modeler = RegressionModeler::default();
+    let mut failures = Vec::new();
+
+    for class in 0..NUM_CLASSES {
+        let pair = exponent_set().pair(class);
+        let truth = model_for(pair, 7.0, 3.0);
+        let set = measure(&truth, &xs);
+        let result = modeler.model(&set).expect("clean data must be modelable");
+        let found = result.model.lead_exponent_or_constant(0);
+        let d = lead_order_distance(&found, &pair);
+        if d > 1e-9 {
+            failures.push(format!("class {class} ({pair}): found {found} (d = {d:.3})"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} classes misidentified:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// With balanced coefficients the *exact* pair (including the log
+/// exponent) must be recovered for the classes whose log factor is visible
+/// over a wide range.
+#[test]
+fn log_factors_are_recovered_on_wide_ranges() {
+    // 8 .. 8192: log2 x spans 3 .. 13, a 4.3x variation.
+    let xs: Vec<f64> = (3..14).map(|i| 2.0f64.powi(i)).collect();
+    let modeler = RegressionModeler::default();
+    for &(n, d, j) in &[(1, 1, 1), (1, 1, 2), (1, 2, 1), (2, 1, 1), (0, 1, 1), (0, 1, 2)] {
+        let pair = ExponentPair::from_parts(n, d, j);
+        let truth = model_for(pair, 5.0, 2.0);
+        let set = measure(&truth, &xs);
+        let result = modeler.model(&set).expect("clean data must be modelable");
+        let found = result.model.lead_exponent_or_constant(0);
+        assert_eq!(found, pair, "expected {pair}, found {found}: {}", result.model);
+    }
+}
+
+/// The coefficient magnitudes must be recovered, not only the exponents.
+#[test]
+fn coefficients_are_recovered_accurately() {
+    let xs = [4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+    let pair = ExponentPair::from_parts(3, 2, 0);
+    for &(c0, c1) in &[(0.001, 1000.0), (500.0, 0.5), (42.0, 42.0)] {
+        let truth = model_for(pair, c0, c1);
+        let set = measure(&truth, &xs);
+        let result = RegressionModeler::default().model(&set).unwrap();
+        assert_eq!(result.model.lead_exponent_or_constant(0), pair);
+        let t = &result.model.terms[0];
+        assert!(
+            (t.coefficient - c1).abs() / c1 < 1e-6,
+            "c1 {} vs {}",
+            t.coefficient,
+            c1
+        );
+        assert!(
+            (result.model.constant - c0).abs() / c0.max(1.0) < 1e-4,
+            "c0 {} vs {}",
+            result.model.constant,
+            c0
+        );
+    }
+}
+
+/// Recovery must be robust to the *order* of the measurement points.
+#[test]
+fn point_order_does_not_matter() {
+    let pair = ExponentPair::from_parts(2, 1, 0);
+    let truth = model_for(pair, 1.0, 0.5);
+    let forward = [4.0, 8.0, 16.0, 32.0, 64.0];
+    let shuffled = [32.0, 4.0, 64.0, 16.0, 8.0];
+    let a = RegressionModeler::default().model(&measure(&truth, &forward)).unwrap();
+    let b = RegressionModeler::default().model(&measure(&truth, &shuffled)).unwrap();
+    assert_eq!(a.model, b.model);
+}
+
+/// Repeated identical runs must give identical models (no hidden
+/// randomness anywhere in the regression pipeline).
+#[test]
+fn regression_modeling_is_deterministic() {
+    let truth = model_for(ExponentPair::from_parts(4, 3, 0), 3.0, 1.5);
+    let set = measure(&truth, &[4.0, 8.0, 16.0, 32.0, 64.0]);
+    let a = RegressionModeler::default().model(&set).unwrap();
+    let b = RegressionModeler::default().model(&set).unwrap();
+    assert_eq!(a.model, b.model);
+    assert_eq!(a.cv_smape, b.cv_smape);
+}

@@ -1,0 +1,72 @@
+use std::fmt;
+
+/// Errors produced by linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The system is rank deficient (or numerically singular) and cannot be
+    /// solved to the requested accuracy.
+    RankDeficient {
+        /// Index of the pivot that collapsed.
+        pivot: usize,
+    },
+    /// The input contained a non-finite value (NaN or infinity).
+    NonFinite,
+    /// An empty input was supplied where at least one element is required.
+    EmptyInput,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::RankDeficient { pivot } => {
+                write!(f, "matrix is rank deficient (pivot {pivot} collapsed)")
+            }
+            LinalgError::NonFinite => write!(f, "input contains NaN or infinite values"),
+            LinalgError::EmptyInput => write!(f, "input must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+
+        assert!(LinalgError::RankDeficient { pivot: 7 }.to_string().contains('7'));
+        assert!(LinalgError::NonFinite.to_string().contains("NaN"));
+        assert!(LinalgError::EmptyInput.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(LinalgError::NonFinite, LinalgError::NonFinite);
+        assert_ne!(LinalgError::NonFinite, LinalgError::EmptyInput);
+    }
+}

@@ -1,0 +1,40 @@
+//! Dense linear-algebra and statistics substrate for the nrpm workspace.
+//!
+//! The crate deliberately avoids external BLAS/LAPACK bindings: every kernel
+//! the performance modelers rely on — matrix multiplication, Householder QR,
+//! least-squares solves, descriptive statistics — is implemented here in
+//! portable Rust. Matrix multiplication is cache-blocked and optionally
+//! parallelized across row panels with crossbeam scoped threads, which is all
+//! the throughput the modeling pipeline (small design matrices, mid-sized
+//! neural-network layers) needs.
+//!
+//! # Quick example
+//!
+//! ```
+//! use nrpm_linalg::{Matrix, lstsq};
+//!
+//! // Fit y = 2x + 1 through three points.
+//! let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+//! let y = [3.0, 5.0, 7.0];
+//! let c = lstsq(&a, &y).unwrap();
+//! assert!((c[0] - 1.0).abs() < 1e-10);
+//! assert!((c[1] - 2.0).abs() < 1e-10);
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod matmul;
+mod matrix;
+mod qr;
+pub mod stats;
+mod vector;
+
+pub use error::LinalgError;
+pub use matmul::{matmul, matmul_into, matmul_threaded, matvec, MatmulOptions};
+pub use matrix::Matrix;
+pub use qr::{lstsq, solve_upper_triangular, QrDecomposition};
+pub use vector::{axpy, dot, norm2, norm_inf, scale};
+
+/// Convenience alias used across the workspace for result types.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,288 @@
+//! Cache-blocked, optionally multi-threaded matrix multiplication.
+//!
+//! The kernel follows the classic "ikj" loop order on row-major storage so
+//! the innermost loop streams through contiguous memory of both the output
+//! row and the `b` row, letting LLVM auto-vectorize it. On top of that, the
+//! `k` dimension is blocked to keep the active panel of `b` in L1/L2, and
+//! rows of the output are distributed over crossbeam scoped threads.
+
+use crate::{dot, LinalgError, Matrix, Result};
+
+/// Tuning knobs for [`matmul`].
+#[derive(Debug, Clone, Copy)]
+pub struct MatmulOptions {
+    /// Block size along the shared `k` dimension.
+    pub k_block: usize,
+    /// Number of worker threads. `1` means fully sequential.
+    pub threads: usize,
+    /// Minimum number of output elements per thread before the parallel path
+    /// is taken; tiny products stay sequential to avoid spawn overhead.
+    pub parallel_threshold: usize,
+}
+
+impl Default for MatmulOptions {
+    fn default() -> Self {
+        MatmulOptions {
+            k_block: 256,
+            threads: default_threads(),
+            parallel_threshold: 64 * 64,
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// `C = A * B` with default options.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    matmul_threaded(a, b, MatmulOptions::default())
+}
+
+/// `C = A * B` with explicit tuning options.
+pub fn matmul_threaded(a: &Matrix, b: &Matrix, opts: MatmulOptions) -> Result<Matrix> {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    matmul_into(a, b, &mut c, opts)?;
+    Ok(c)
+}
+
+/// `C = A * B`, writing into a preallocated output (contents are
+/// overwritten). Reusing the output avoids reallocation in training loops.
+pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix, opts: MatmulOptions) -> Result<()> {
+    if a.cols() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if c.shape() != (a.rows(), b.cols()) {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matmul (output)",
+            lhs: c.shape(),
+            rhs: (a.rows(), b.cols()),
+        });
+    }
+    c.fill_zero();
+
+    let (m, k) = a.shape();
+    let n = b.cols();
+    if m == 0 || n == 0 || k == 0 {
+        return Ok(());
+    }
+
+    let threads = opts.threads.max(1);
+    let use_parallel = threads > 1 && m * n >= opts.parallel_threshold && m > 1;
+
+    if !use_parallel {
+        matmul_panel(a.as_slice(), b.as_slice(), c.as_mut_slice(), 0, m, k, n, opts.k_block);
+        return Ok(());
+    }
+
+    // Partition output rows into one contiguous panel per thread. Panels are
+    // disjoint `&mut` slices, so no synchronization is needed.
+    let rows_per_thread = m.div_ceil(threads);
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let panels: Vec<&mut [f64]> = c.as_mut_slice().chunks_mut(rows_per_thread * n).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for (t, panel) in panels.into_iter().enumerate() {
+            let row0 = t * rows_per_thread;
+            let rows_here = panel.len() / n;
+            scope.spawn(move |_| {
+                matmul_panel(a_data, b_data, panel, row0, rows_here, k, n, opts.k_block);
+            });
+        }
+    })
+    .expect("matmul worker panicked");
+
+    Ok(())
+}
+
+/// Computes `rows_here` rows of the product, starting at global row `row0`,
+/// into `c_panel` (row-major, `rows_here * n` long).
+#[allow(clippy::too_many_arguments)]
+fn matmul_panel(
+    a: &[f64],
+    b: &[f64],
+    c_panel: &mut [f64],
+    row0: usize,
+    rows_here: usize,
+    k: usize,
+    n: usize,
+    k_block: usize,
+) {
+    let k_block = k_block.max(1);
+    for kb in (0..k).step_by(k_block) {
+        let k_end = (kb + k_block).min(k);
+        for r in 0..rows_here {
+            let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
+            let c_row = &mut c_panel[r * n..(r + 1) * n];
+            for kk in kb..k_end {
+                let aik = a_row[kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                // Innermost loop: contiguous stream over c_row and b_row.
+                for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Matrix-vector product `y = A * x`.
+pub fn matvec(a: &Matrix, x: &[f64]) -> Result<Vec<f64>> {
+    if a.cols() != x.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matvec",
+            lhs: a.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    Ok((0..a.rows()).map(|r| dot(a.row(r), x)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for kk in 0..a.cols() {
+                    s += a[(i, kk)] * b[(kk, j)];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    fn pseudo_random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // xorshift so the test has no RNG dependency
+        let mut state = seed | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 500.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = pseudo_random_matrix(5, 5, 42);
+        let i = Matrix::identity(5);
+        assert_eq!(matmul(&a, &i).unwrap(), a);
+        assert_eq!(matmul(&i, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn matches_naive_for_odd_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 7, 2), (17, 5, 13), (8, 8, 8), (2, 100, 3)] {
+            let a = pseudo_random_matrix(m, k, 7);
+            let b = pseudo_random_matrix(k, n, 11);
+            let expected = naive_matmul(&a, &b);
+            let got = matmul(&a, &b).unwrap();
+            for (x, y) in got.as_slice().iter().zip(expected.as_slice()) {
+                assert!((x - y).abs() < 1e-9, "mismatch {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential() {
+        let a = pseudo_random_matrix(97, 64, 3);
+        let b = pseudo_random_matrix(64, 83, 5);
+        let seq = matmul_threaded(
+            &a,
+            &b,
+            MatmulOptions { threads: 1, ..Default::default() },
+        )
+        .unwrap();
+        let par = matmul_threaded(
+            &a,
+            &b,
+            MatmulOptions { threads: 4, parallel_threshold: 1, ..Default::default() },
+        )
+        .unwrap();
+        for (x, y) in seq.as_slice().iter().zip(par.as_slice()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn small_k_block_still_correct() {
+        let a = pseudo_random_matrix(9, 31, 13);
+        let b = pseudo_random_matrix(31, 6, 17);
+        let expected = naive_matmul(&a, &b);
+        let got = matmul_threaded(
+            &a,
+            &b,
+            MatmulOptions { k_block: 4, threads: 1, ..Default::default() },
+        )
+        .unwrap();
+        for (x, y) in got.as_slice().iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(LinalgError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn output_shape_is_validated() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 2);
+        let mut c = Matrix::zeros(2, 3);
+        assert!(matmul_into(&a, &b, &mut c, MatmulOptions::default()).is_err());
+    }
+
+    #[test]
+    fn empty_dimensions_yield_empty_products() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 2);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), (0, 2));
+
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 2);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), (2, 2));
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn matvec_matches_matmul_with_column() {
+        let a = pseudo_random_matrix(6, 4, 23);
+        let x = vec![1.0, -2.0, 0.5, 3.0];
+        let y = matvec(&a, &x).unwrap();
+        let via_matmul = matmul(&a, &Matrix::column_vector(&x)).unwrap();
+        for (i, v) in y.iter().enumerate() {
+            assert!((v - via_matmul[(i, 0)]).abs() < 1e-12);
+        }
+        assert!(matvec(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_overwrites() {
+        let a = Matrix::identity(3);
+        let b = pseudo_random_matrix(3, 3, 31);
+        let mut c = Matrix::filled(3, 3, 99.0);
+        matmul_into(&a, &b, &mut c, MatmulOptions::default()).unwrap();
+        assert_eq!(c, b);
+    }
+}

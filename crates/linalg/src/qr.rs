@@ -1,0 +1,357 @@
+//! Householder QR decomposition and least-squares solving.
+//!
+//! The regression modeler fits PMNF coefficients by solving overdetermined
+//! systems `min ||A c - y||`; QR with column-norm safeguards is numerically
+//! far more robust than normal equations when the design matrix mixes
+//! columns like `1`, `x^{5/2}` and `log2(x)^2` whose scales differ by many
+//! orders of magnitude.
+
+use crate::{dot, LinalgError, Matrix, Result};
+
+/// Relative pivot threshold below which a column is declared dependent.
+const RANK_TOL: f64 = 1e-12;
+
+/// The result of a Householder QR factorization `A = Q R`.
+///
+/// `Q` is stored implicitly as a sequence of Householder reflectors; only the
+/// operations needed for least squares (`Qᵀ y` and the triangular solve) are
+/// exposed.
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    /// Packed factorization: the upper triangle holds `R`, the strict lower
+    /// triangle plus `taus` hold the reflectors.
+    qr: Matrix,
+    /// Scalar factors of the Householder reflectors.
+    taus: Vec<f64>,
+}
+
+impl QrDecomposition {
+    /// Factorizes `a` (must have `rows >= cols`).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr (need rows >= cols)",
+                lhs: (m, n),
+                rhs: (n, n),
+            });
+        }
+        if !a.all_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        let mut qr = a.clone();
+        let mut taus = vec![0.0; n];
+
+        for k in 0..n {
+            // Compute the norm of the k-th column below the diagonal.
+            let mut norm = 0.0_f64;
+            for i in k..m {
+                norm = norm.hypot(qr[(i, k)]);
+            }
+            if norm == 0.0 {
+                taus[k] = 0.0;
+                continue;
+            }
+            // Choose the sign that avoids cancellation.
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // tau = -v0 / alpha per the LAPACK convention with v normalized
+            // so v[0] = 1.
+            let tau = -v0 / alpha;
+            // Normalize the reflector below the diagonal by v0.
+            for i in k + 1..m {
+                qr[(i, k)] /= v0;
+            }
+            qr[(k, k)] = alpha;
+            taus[k] = tau;
+
+            // Apply the reflector to the trailing columns.
+            for j in k + 1..n {
+                let mut s = qr[(k, j)];
+                for i in k + 1..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s *= tau;
+                qr[(k, j)] -= s;
+                for i in k + 1..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+        }
+
+        Ok(QrDecomposition { qr, taus })
+    }
+
+    /// Number of rows of the original matrix.
+    pub fn rows(&self) -> usize {
+        self.qr.rows()
+    }
+
+    /// Number of columns of the original matrix.
+    pub fn cols(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// The diagonal of `R`, whose magnitudes signal (near-)rank deficiency.
+    pub fn r_diagonal(&self) -> Vec<f64> {
+        (0..self.cols()).map(|k| self.qr[(k, k)]).collect()
+    }
+
+    /// Applies `Qᵀ` to a vector of length `rows`.
+    pub fn q_transpose_mul(&self, y: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if y.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "q_transpose_mul",
+                lhs: (m, n),
+                rhs: (y.len(), 1),
+            });
+        }
+        let mut out = y.to_vec();
+        for k in 0..n {
+            let tau = self.taus[k];
+            if tau == 0.0 {
+                continue;
+            }
+            let mut s = out[k];
+            for i in k + 1..m {
+                s += self.qr[(i, k)] * out[i];
+            }
+            s *= tau;
+            out[k] -= s;
+            for i in k + 1..m {
+                let vik = self.qr[(i, k)];
+                out[i] -= s * vik;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Solves `min ||A x - y||` using the stored factorization.
+    ///
+    /// Returns [`LinalgError::RankDeficient`] when a diagonal entry of `R`
+    /// is negligible relative to the largest one.
+    pub fn solve(&self, y: &[f64]) -> Result<Vec<f64>> {
+        let n = self.cols();
+        let qty = self.q_transpose_mul(y)?;
+        let diag = self.r_diagonal();
+        let max_diag = diag.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        if max_diag == 0.0 {
+            return Err(LinalgError::RankDeficient { pivot: 0 });
+        }
+        for (k, d) in diag.iter().enumerate() {
+            if d.abs() <= RANK_TOL * max_diag {
+                return Err(LinalgError::RankDeficient { pivot: k });
+            }
+        }
+        let mut x = vec![0.0; n];
+        for k in (0..n).rev() {
+            let mut s = qty[k];
+            for j in k + 1..n {
+                s -= self.qr[(k, j)] * x[j];
+            }
+            x[k] = s / self.qr[(k, k)];
+        }
+        Ok(x)
+    }
+
+    /// Squared residual norm `||A x - y||²` for the least-squares solution:
+    /// the tail of `Qᵀ y` beyond the first `cols` entries.
+    pub fn residual_norm_squared(&self, y: &[f64]) -> Result<f64> {
+        let n = self.cols();
+        let qty = self.q_transpose_mul(y)?;
+        Ok(qty[n..].iter().map(|v| v * v).sum())
+    }
+}
+
+/// One-shot least-squares solve `min ||A c - y||`.
+///
+/// Columns are equilibrated to unit Euclidean norm before factorization, so
+/// the rank test remains meaningful for design matrices whose columns span
+/// many orders of magnitude (e.g. `1` next to `x^3` at `x = 32768`); the
+/// solution is rescaled back afterwards. An exactly zero column is reported
+/// as rank deficient.
+pub fn lstsq(a: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
+    if a.rows() != y.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "lstsq",
+            lhs: a.shape(),
+            rhs: (y.len(), 1),
+        });
+    }
+    if a.rows() == 0 {
+        return Err(LinalgError::EmptyInput);
+    }
+    if y.iter().any(|v| !v.is_finite()) {
+        return Err(LinalgError::NonFinite);
+    }
+    if !a.all_finite() {
+        return Err(LinalgError::NonFinite);
+    }
+    let (m, n) = a.shape();
+    let mut col_norms = vec![0.0f64; n];
+    for c in 0..n {
+        let mut s = 0.0;
+        for r in 0..m {
+            s += a[(r, c)] * a[(r, c)];
+        }
+        col_norms[c] = s.sqrt();
+        if col_norms[c] == 0.0 {
+            return Err(LinalgError::RankDeficient { pivot: c });
+        }
+    }
+    let scaled = Matrix::from_fn(m, n, |r, c| a[(r, c)] / col_norms[c]);
+    let mut x = QrDecomposition::new(&scaled)?.solve(y)?;
+    for (xi, norm) in x.iter_mut().zip(col_norms.iter()) {
+        *xi /= norm;
+    }
+    Ok(x)
+}
+
+/// Solves the upper-triangular system `R x = b` by back substitution.
+pub fn solve_upper_triangular(r: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = r.cols();
+    if r.rows() < n || b.len() < n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_upper_triangular",
+            lhs: r.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    let mut x = vec![0.0; n];
+    for k in (0..n).rev() {
+        let mut s = b[k];
+        for j in k + 1..n {
+            s -= r[(k, j)] * x[j];
+        }
+        if r[(k, k)] == 0.0 {
+            return Err(LinalgError::RankDeficient { pivot: k });
+        }
+        x[k] = s / r[(k, k)];
+    }
+    Ok(x)
+}
+
+#[allow(dead_code)]
+fn residual(a: &Matrix, x: &[f64], y: &[f64]) -> f64 {
+    (0..a.rows()).map(|r| (dot(a.row(r), x) - y[r]).powi(2)).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_exact_square_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let y = [5.0, 10.0];
+        let x = lstsq(&a, &y).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solves_overdetermined_consistent_system() {
+        // y = 3 + 2 t over five points, no noise -> exact recovery.
+        let ts = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let a = Matrix::from_fn(5, 2, |r, c| if c == 0 { 1.0 } else { ts[r] });
+        let y: Vec<f64> = ts.iter().map(|t| 3.0 + 2.0 * t).collect();
+        let x = lstsq(&a, &y).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-9);
+        assert!((x[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Inconsistent system: solution must beat nearby perturbations.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0], &[1.0, 4.0]]);
+        let y = [1.0, 3.0, 2.0, 5.0];
+        let x = lstsq(&a, &y).unwrap();
+        let base = residual(&a, &x, &y);
+        for dx in [-1e-3, 1e-3] {
+            for dim in 0..2 {
+                let mut xp = x.clone();
+                xp[dim] += dx;
+                assert!(residual(&a, &xp, &y) >= base - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn residual_norm_squared_matches_direct_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+        let y = [1.0, 2.0, 2.0];
+        let qr = QrDecomposition::new(&a).unwrap();
+        let x = qr.solve(&y).unwrap();
+        let direct = residual(&a, &x, &y).powi(2);
+        let via_qr = qr.residual_norm_squared(&y).unwrap();
+        assert!((direct - via_qr).abs() < 1e-10);
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        // Second column is a multiple of the first.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let y = [1.0, 2.0, 3.0];
+        assert!(matches!(lstsq(&a, &y), Err(LinalgError::RankDeficient { .. })));
+    }
+
+    #[test]
+    fn rejects_underdetermined_systems() {
+        let a = Matrix::zeros(2, 3);
+        assert!(QrDecomposition::new(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_input() {
+        let mut a = Matrix::identity(2);
+        a[(0, 0)] = f64::NAN;
+        assert!(matches!(QrDecomposition::new(&a), Err(LinalgError::NonFinite)));
+
+        let a = Matrix::identity(2);
+        assert!(matches!(lstsq(&a, &[1.0, f64::INFINITY]), Err(LinalgError::NonFinite)));
+    }
+
+    #[test]
+    fn handles_wildly_scaled_columns() {
+        // Columns that differ by ~12 orders of magnitude, like 1 vs x^{5/2}
+        // at x = 65536 in a PMNF design matrix.
+        let xs: [f64; 5] = [16.0, 64.0, 256.0, 1024.0, 65536.0];
+        let a = Matrix::from_fn(5, 2, |r, c| if c == 0 { 1.0 } else { xs[r].powf(2.5) });
+        let y: Vec<f64> = xs.iter().map(|x: &f64| 7.0 + 0.003 * x.powf(2.5)).collect();
+        let x = lstsq(&a, &y).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-4, "intercept {}", x[0]);
+        assert!((x[1] - 0.003).abs() < 1e-10, "slope {}", x[1]);
+    }
+
+    #[test]
+    fn upper_triangular_solve_round_trips() {
+        let r = Matrix::from_rows(&[&[2.0, 1.0, 3.0], &[0.0, 4.0, -1.0], &[0.0, 0.0, 5.0]]);
+        let x_true = [1.0, -2.0, 3.0];
+        let b: Vec<f64> = (0..3)
+            .map(|i| (0..3).map(|j| r[(i, j)] * x_true[j]).sum())
+            .collect();
+        let x = solve_upper_triangular(&r, &b).unwrap();
+        for (a, b) in x.iter().zip(x_true.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn upper_triangular_zero_pivot_is_error() {
+        let r = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0]]);
+        assert!(matches!(
+            solve_upper_triangular(&r, &[1.0, 1.0]),
+            Err(LinalgError::RankDeficient { pivot: 1 })
+        ));
+    }
+
+    #[test]
+    fn lstsq_validates_shapes() {
+        let a = Matrix::identity(3);
+        assert!(lstsq(&a, &[1.0, 2.0]).is_err());
+        let empty = Matrix::zeros(0, 0);
+        assert!(matches!(lstsq(&empty, &[]), Err(LinalgError::EmptyInput)));
+    }
+}

@@ -1,0 +1,115 @@
+//! Small dense vector kernels shared by the QR solver and the neural network.
+
+/// Dot product of two equally long slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    // Four-way unrolled accumulation: keeps several independent FMA chains in
+    // flight, which roughly doubles throughput over the naive loop on x86-64.
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for i in 0..chunks {
+        let j = i * 4;
+        s0 += a[j] * b[j];
+        s1 += a[j + 1] * b[j + 1];
+        s2 += a[j + 2] * b[j + 2];
+        s3 += a[j + 3] * b[j + 3];
+    }
+    let mut tail = 0.0;
+    for j in chunks * 4..a.len() {
+        tail += a[j] * b[j];
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+/// `y += alpha * x`, element-wise.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Multiplies every element of `x` by `alpha` in place.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Euclidean norm, computed with scaling to avoid overflow/underflow for
+/// extreme magnitudes.
+pub fn norm2(x: &[f64]) -> f64 {
+    let max = x.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+    if max == 0.0 || !max.is_finite() {
+        return max;
+    }
+    let sum: f64 = x.iter().map(|&v| (v / max) * (v / max)).sum();
+    max * sum.sqrt()
+}
+
+/// Maximum absolute value; `0.0` for an empty slice.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive_sum() {
+        let a: Vec<f64> = (0..23).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..23).map(|i| (i * 2) as f64).collect();
+        let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dot_of_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_rejects_mismatched_lengths() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn scale_multiplies_in_place() {
+        let mut x = [1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, [-3.0, 6.0]);
+    }
+
+    #[test]
+    fn norm2_is_robust_to_large_values() {
+        let x = [3e200, 4e200];
+        assert!((norm2(&x) - 5e200).abs() / 5e200 < 1e-12);
+        assert_eq!(norm2(&[]), 0.0);
+        assert_eq!(norm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn norm_inf_picks_largest_magnitude() {
+        assert_eq!(norm_inf(&[1.0, -7.0, 3.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use nrpm_linalg::{dot, lstsq, matmul, matmul_threaded, stats, Matrix, MatmulOptions};
+use proptest::prelude::*;
+
+fn small_matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-100.0..100.0f64, r * c).prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_is_associative_with_identity(m in small_matrix(1..6, 1..6)) {
+        let left = matmul(&Matrix::identity(m.rows()), &m).unwrap();
+        let right = matmul(&m, &Matrix::identity(m.cols())).unwrap();
+        for ((a, b), c) in left.as_slice().iter().zip(right.as_slice()).zip(m.as_slice()) {
+            prop_assert!((a - c).abs() < 1e-9);
+            prop_assert!((b - c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in small_matrix(1..5, 1..5),
+        seed in 0u64..1000,
+    ) {
+        // Build b, c with the same inner dimension as a's cols.
+        let k = a.cols();
+        let n = 3;
+        let mut s = seed | 1;
+        let mut gen = || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s % 1000) as f64 / 100.0 - 5.0
+        };
+        let b = Matrix::from_fn(k, n, |_, _| gen());
+        let c = Matrix::from_fn(k, n, |_, _| gen());
+        let mut bc = b.clone();
+        bc.add_assign(&c).unwrap();
+        let lhs = matmul(&a, &bc).unwrap();
+        let mut rhs = matmul(&a, &b).unwrap();
+        rhs.add_assign(&matmul(&a, &c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_agrees_with_sequential(
+        a in small_matrix(1..20, 1..20),
+        seed in 0u64..1000,
+    ) {
+        let k = a.cols();
+        let mut s = seed | 1;
+        let b = Matrix::from_fn(k, 7, |_, _| {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s % 1000) as f64 / 100.0 - 5.0
+        });
+        let seq = matmul_threaded(&a, &b, MatmulOptions { threads: 1, ..Default::default() }).unwrap();
+        let par = matmul_threaded(&a, &b, MatmulOptions { threads: 3, parallel_threshold: 1, ..Default::default() }).unwrap();
+        for (x, y) in seq.as_slice().iter().zip(par.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_preserves_dot_products(m in small_matrix(2..6, 2..6)) {
+        // (A^T)_{ji} == A_{ij}
+        let t = m.transpose();
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                prop_assert_eq!(m[(r, c)], t[(c, r)]);
+            }
+        }
+    }
+
+    #[test]
+    fn lstsq_recovers_exact_linear_models(
+        intercept in -50.0..50.0f64,
+        slope in -50.0..50.0f64,
+        n in 3usize..20,
+    ) {
+        let a = Matrix::from_fn(n, 2, |r, c| if c == 0 { 1.0 } else { (r + 1) as f64 });
+        let y: Vec<f64> = (0..n).map(|r| intercept + slope * (r + 1) as f64).collect();
+        let x = lstsq(&a, &y).unwrap();
+        prop_assert!((x[0] - intercept).abs() < 1e-6, "intercept {} vs {}", x[0], intercept);
+        prop_assert!((x[1] - slope).abs() < 1e-6, "slope {} vs {}", x[1], slope);
+    }
+
+    #[test]
+    fn lstsq_residual_is_orthogonal_to_columns(
+        ys in prop::collection::vec(-100.0..100.0f64, 6),
+    ) {
+        // Normal-equation optimality: A^T (Ax - y) = 0.
+        let a = Matrix::from_fn(6, 2, |r, c| if c == 0 { 1.0 } else { ((r + 1) * (r + 1)) as f64 });
+        let x = lstsq(&a, &ys).unwrap();
+        for c in 0..2 {
+            let col = a.col(c);
+            let resid: Vec<f64> = (0..6).map(|r| dot(a.row(r), &x) - ys[r]).collect();
+            prop_assert!(dot(&col, &resid).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn median_is_within_min_max(xs in prop::collection::vec(-1e6..1e6f64, 1..50)) {
+        let med = stats::median(&xs);
+        let lo = stats::min(&xs);
+        let hi = stats::max(&xs);
+        prop_assert!(med >= lo && med <= hi);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(xs in prop::collection::vec(-1e3..1e3f64, 1..40)) {
+        let q25 = stats::quantile(&xs, 0.25);
+        let q50 = stats::quantile(&xs, 0.5);
+        let q75 = stats::quantile(&xs, 0.75);
+        prop_assert!(q25 <= q50 && q50 <= q75);
+    }
+
+    #[test]
+    fn variance_is_translation_invariant(
+        xs in prop::collection::vec(-100.0..100.0f64, 2..30),
+        shift in -1e3..1e3f64,
+    ) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let v0 = stats::variance(&xs);
+        let v1 = stats::variance(&shifted);
+        prop_assert!((v0 - v1).abs() < 1e-6 * (1.0 + v0.abs()));
+    }
+}

@@ -1,0 +1,110 @@
+//! Classification metrics.
+
+/// Index of the largest value in a probability row.
+fn argmax(row: &[f64]) -> usize {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
+        .map(|(i, _)| i)
+        .expect("non-empty row")
+}
+
+/// The `k` most probable classes of a probability row, most probable first.
+pub fn top_k_classes(probabilities: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..probabilities.len()).collect();
+    idx.sort_by(|&a, &b| {
+        probabilities[b]
+            .partial_cmp(&probabilities[a])
+            .expect("finite probabilities")
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// Fraction of rows whose argmax equals the label.
+///
+/// # Panics
+/// Panics if the slices disagree in length.
+pub fn accuracy(probability_rows: &[&[f64]], labels: &[usize]) -> f64 {
+    assert_eq!(probability_rows.len(), labels.len(), "rows/labels length mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let hits = probability_rows
+        .iter()
+        .zip(labels)
+        .filter(|(row, &l)| argmax(row) == l)
+        .count();
+    hits as f64 / labels.len() as f64
+}
+
+/// Fraction of rows whose label is among the `k` most probable classes.
+pub fn top_k_accuracy(probability_rows: &[&[f64]], labels: &[usize], k: usize) -> f64 {
+    assert_eq!(probability_rows.len(), labels.len(), "rows/labels length mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let hits = probability_rows
+        .iter()
+        .zip(labels)
+        .filter(|(row, &l)| top_k_classes(row, k).contains(&l))
+        .count();
+    hits as f64 / labels.len() as f64
+}
+
+/// Confusion matrix: `result[true][predicted]` counts.
+pub fn confusion_matrix(
+    probability_rows: &[&[f64]],
+    labels: &[usize],
+    num_classes: usize,
+) -> Vec<Vec<usize>> {
+    assert_eq!(probability_rows.len(), labels.len(), "rows/labels length mismatch");
+    let mut m = vec![vec![0usize; num_classes]; num_classes];
+    for (row, &l) in probability_rows.iter().zip(labels) {
+        m[l][argmax(row)] += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let rows: Vec<&[f64]> = vec![&[0.9, 0.1], &[0.2, 0.8], &[0.6, 0.4]];
+        assert!((accuracy(&rows, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn top_k_classes_are_sorted_by_probability() {
+        let probs = [0.1, 0.5, 0.05, 0.35];
+        assert_eq!(top_k_classes(&probs, 3), vec![1, 3, 0]);
+        assert_eq!(top_k_classes(&probs, 10), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn top_k_accuracy_is_monotone_in_k() {
+        let rows: Vec<&[f64]> = vec![&[0.5, 0.3, 0.2], &[0.1, 0.2, 0.7], &[0.4, 0.35, 0.25]];
+        let labels = [1, 0, 2];
+        let a1 = top_k_accuracy(&rows, &labels, 1);
+        let a2 = top_k_accuracy(&rows, &labels, 2);
+        let a3 = top_k_accuracy(&rows, &labels, 3);
+        assert!(a1 <= a2 && a2 <= a3);
+        assert_eq!(a3, 1.0);
+        assert_eq!(a1, 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_rows_sum_to_class_counts() {
+        let rows: Vec<&[f64]> = vec![&[0.9, 0.1], &[0.9, 0.1], &[0.2, 0.8]];
+        let labels = [0, 1, 1];
+        let m = confusion_matrix(&rows, &labels, 2);
+        assert_eq!(m[0][0], 1); // true 0, predicted 0
+        assert_eq!(m[1][0], 1); // true 1, predicted 0
+        assert_eq!(m[1][1], 1); // true 1, predicted 1
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, 3);
+    }
+}

@@ -1,0 +1,323 @@
+//! First-order optimizers: SGD (with momentum), Adam, and AdaMax.
+//!
+//! The paper trains its network with **AdaMax** (Kingma & Ba, 2015, Sec. 7):
+//! the infinity-norm variant of Adam, whose update
+//! `θ ← θ − (α / (1 − β₁ᵗ)) · m / u` with `u = max(β₂·u, |g|)` is less
+//! sensitive to gradient-scale outliers — a good match for loss surfaces
+//! induced by noisy synthetic training data.
+
+use serde::{Deserialize, Serialize};
+
+/// Which optimizer to use, with its hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Plain stochastic gradient descent with optional momentum.
+    Sgd {
+        /// Learning rate.
+        learning_rate: f64,
+        /// Momentum coefficient (0 disables momentum).
+        momentum: f64,
+    },
+    /// Adam (Kingma & Ba, 2015).
+    Adam {
+        /// Learning rate α.
+        learning_rate: f64,
+        /// First-moment decay β₁.
+        beta1: f64,
+        /// Second-moment decay β₂.
+        beta2: f64,
+        /// Numerical-stability constant ε.
+        epsilon: f64,
+    },
+    /// AdaMax — the paper's optimizer.
+    AdaMax {
+        /// Learning rate α (Kingma & Ba's default: 0.002).
+        learning_rate: f64,
+        /// First-moment decay β₁.
+        beta1: f64,
+        /// Infinity-norm decay β₂.
+        beta2: f64,
+    },
+}
+
+impl OptimizerKind {
+    /// AdaMax with the defaults from the original paper (α = 0.002,
+    /// β₁ = 0.9, β₂ = 0.999).
+    pub fn adamax_default() -> Self {
+        OptimizerKind::AdaMax {
+            learning_rate: 0.002,
+            beta1: 0.9,
+            beta2: 0.999,
+        }
+    }
+
+    /// Adam with the canonical defaults.
+    pub fn adam_default() -> Self {
+        OptimizerKind::Adam {
+            learning_rate: 0.001,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+        }
+    }
+
+    /// SGD with a given learning rate, no momentum.
+    pub fn sgd(learning_rate: f64) -> Self {
+        OptimizerKind::Sgd {
+            learning_rate,
+            momentum: 0.0,
+        }
+    }
+}
+
+impl Default for OptimizerKind {
+    fn default() -> Self {
+        OptimizerKind::adamax_default()
+    }
+}
+
+/// Per-tensor optimizer state.
+#[derive(Debug, Clone, Default)]
+struct TensorState {
+    /// First moment (or momentum buffer for SGD).
+    m: Vec<f64>,
+    /// Second moment (Adam) or infinity norm (AdaMax).
+    v: Vec<f64>,
+}
+
+/// Stateful optimizer driving updates for a fixed set of parameter tensors.
+///
+/// Tensors are identified by their registration order: call
+/// [`Optimizer::step`] with the same `tensor_id` for the same tensor on
+/// every iteration.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    kind: OptimizerKind,
+    states: Vec<TensorState>,
+    /// Global step count `t`, shared by all tensors (incremented by
+    /// [`Optimizer::next_step`]).
+    t: u64,
+}
+
+impl Optimizer {
+    /// Creates an optimizer managing `num_tensors` parameter tensors.
+    pub fn new(kind: OptimizerKind, num_tensors: usize) -> Self {
+        Optimizer {
+            kind,
+            states: vec![TensorState::default(); num_tensors],
+            t: 0,
+        }
+    }
+
+    /// The configured kind.
+    pub fn kind(&self) -> OptimizerKind {
+        self.kind
+    }
+
+    /// Advances the global step counter. Call once per mini-batch, before
+    /// the per-tensor [`step`](Self::step) calls.
+    pub fn next_step(&mut self) {
+        self.t += 1;
+    }
+
+    /// Current step count.
+    pub fn step_count(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update to `params` given `grads`.
+    ///
+    /// # Panics
+    /// Panics if `params` and `grads` differ in length or `tensor_id` is out
+    /// of range.
+    pub fn step(&mut self, tensor_id: usize, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        let state = &mut self.states[tensor_id];
+        if state.m.len() != params.len() {
+            state.m = vec![0.0; params.len()];
+            state.v = vec![0.0; params.len()];
+        }
+        let t = self.t.max(1);
+
+        match self.kind {
+            OptimizerKind::Sgd { learning_rate, momentum } => {
+                if momentum == 0.0 {
+                    for (p, &g) in params.iter_mut().zip(grads) {
+                        *p -= learning_rate * g;
+                    }
+                } else {
+                    for ((p, &g), m) in params.iter_mut().zip(grads).zip(state.m.iter_mut()) {
+                        *m = momentum * *m + g;
+                        *p -= learning_rate * *m;
+                    }
+                }
+            }
+            OptimizerKind::Adam { learning_rate, beta1, beta2, epsilon } => {
+                let bc1 = 1.0 - beta1.powi(t as i32);
+                let bc2 = 1.0 - beta2.powi(t as i32);
+                for (((p, &g), m), v) in params
+                    .iter_mut()
+                    .zip(grads)
+                    .zip(state.m.iter_mut())
+                    .zip(state.v.iter_mut())
+                {
+                    *m = beta1 * *m + (1.0 - beta1) * g;
+                    *v = beta2 * *v + (1.0 - beta2) * g * g;
+                    let m_hat = *m / bc1;
+                    let v_hat = *v / bc2;
+                    *p -= learning_rate * m_hat / (v_hat.sqrt() + epsilon);
+                }
+            }
+            OptimizerKind::AdaMax { learning_rate, beta1, beta2 } => {
+                let bc1 = 1.0 - beta1.powi(t as i32);
+                let step = learning_rate / bc1;
+                for (((p, &g), m), u) in params
+                    .iter_mut()
+                    .zip(grads)
+                    .zip(state.m.iter_mut())
+                    .zip(state.v.iter_mut())
+                {
+                    *m = beta1 * *m + (1.0 - beta1) * g;
+                    *u = (beta2 * *u).max(g.abs());
+                    if *u > 0.0 {
+                        *p -= step * *m / *u;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Clears all moment buffers and the step count (used when a pretrained
+    /// network enters a fresh retraining phase).
+    pub fn reset(&mut self) {
+        for s in &mut self.states {
+            s.m.clear();
+            s.v.clear();
+        }
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x - target)² with gradient 2(x - target).
+    fn minimize(kind: OptimizerKind, start: f64, target: f64, iters: usize) -> f64 {
+        let mut opt = Optimizer::new(kind, 1);
+        let mut x = [start];
+        for _ in 0..iters {
+            opt.next_step();
+            let g = [2.0 * (x[0] - target)];
+            opt.step(0, &mut x, &g);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = minimize(OptimizerKind::sgd(0.1), 10.0, 3.0, 200);
+        assert!((x - 3.0).abs() < 1e-6, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let x = minimize(
+            OptimizerKind::Sgd { learning_rate: 0.05, momentum: 0.9 },
+            10.0,
+            -2.0,
+            500,
+        );
+        assert!((x + 2.0).abs() < 1e-4, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let kind = OptimizerKind::Adam {
+            learning_rate: 0.05,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+        };
+        let x = minimize(kind, 10.0, 3.0, 2000);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adamax_converges_on_quadratic() {
+        let x = minimize(OptimizerKind::adamax_default(), 10.0, 3.0, 5000);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adamax_first_step_moves_by_learning_rate_magnitude() {
+        // With bias correction, the very first AdaMax step is exactly
+        // lr * sign(g) when m/u = (1-β1)g / |g| / (1-β1).
+        let mut opt = Optimizer::new(
+            OptimizerKind::AdaMax { learning_rate: 0.002, beta1: 0.9, beta2: 0.999 },
+            1,
+        );
+        opt.next_step();
+        let mut x = [1.0];
+        opt.step(0, &mut x, &[5.0]);
+        assert!((x[0] - (1.0 - 0.002)).abs() < 1e-12, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn adamax_is_scale_invariant_on_first_step() {
+        // The infinity-norm normalization makes the first step independent
+        // of the gradient's magnitude.
+        for g in [1e-6, 1.0, 1e6] {
+            let mut opt = Optimizer::new(OptimizerKind::adamax_default(), 1);
+            opt.next_step();
+            let mut x = [0.0];
+            opt.step(0, &mut x, &[g]);
+            assert!((x[0] + 0.002).abs() < 1e-12, "g = {g}, x = {}", x[0]);
+        }
+    }
+
+    #[test]
+    fn zero_gradient_is_a_fixed_point() {
+        for kind in [
+            OptimizerKind::sgd(0.1),
+            OptimizerKind::adam_default(),
+            OptimizerKind::adamax_default(),
+        ] {
+            let mut opt = Optimizer::new(kind, 1);
+            opt.next_step();
+            let mut x = [7.0];
+            opt.step(0, &mut x, &[0.0]);
+            assert_eq!(x[0], 7.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut opt = Optimizer::new(OptimizerKind::adamax_default(), 1);
+        opt.next_step();
+        let mut x = [0.0];
+        opt.step(0, &mut x, &[1.0]);
+        assert_eq!(opt.step_count(), 1);
+        opt.reset();
+        assert_eq!(opt.step_count(), 0);
+    }
+
+    #[test]
+    fn separate_tensors_have_separate_state() {
+        let mut opt = Optimizer::new(OptimizerKind::adamax_default(), 2);
+        opt.next_step();
+        let mut a = [0.0];
+        let mut b = [0.0];
+        opt.step(0, &mut a, &[1.0]);
+        opt.step(1, &mut b, &[-1.0]);
+        assert!(a[0] < 0.0 && b[0] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_grads_panic() {
+        let mut opt = Optimizer::new(OptimizerKind::sgd(0.1), 1);
+        let mut x = [0.0, 0.0];
+        opt.step(0, &mut x, &[1.0]);
+    }
+}

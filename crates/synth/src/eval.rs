@@ -1,0 +1,199 @@
+//! Synthetic evaluation tasks (Sec. V of the paper).
+//!
+//! Each task is one random ground-truth function together with a noisy
+//! measured grid of `points_per_param^m` points (five repetitions, median)
+//! and four extrapolation points `P⁺` that continue every parameter's
+//! sequence beyond the measured range (Fig. 2).
+
+use crate::function::{random_function, SyntheticFunction};
+use crate::noise::noisy_repetitions;
+use crate::sequences::{extend_sequence, random_sequence, SequenceKind};
+use nrpm_extrap::MeasurementSet;
+use rand::Rng;
+
+/// Parameters of a synthetic evaluation task.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalTaskSpec {
+    /// Number of model parameters `m` (the paper evaluates 1, 2, 3).
+    pub num_params: usize,
+    /// Injected noise level (fraction; `0.1` = ±5 %).
+    pub noise_level: f64,
+    /// Repetitions per measurement point (paper: 5).
+    pub repetitions: usize,
+    /// Values per parameter (paper: 5 → `5^m` grid points).
+    pub points_per_param: usize,
+    /// Extrapolation points `P⁺` (paper: 4).
+    pub num_eval_points: usize,
+}
+
+impl EvalTaskSpec {
+    /// The paper's configuration for `m` parameters at a noise level.
+    pub fn paper(num_params: usize, noise_level: f64) -> Self {
+        EvalTaskSpec {
+            num_params,
+            noise_level,
+            repetitions: 5,
+            points_per_param: 5,
+            num_eval_points: 4,
+        }
+    }
+}
+
+/// One generated evaluation task.
+#[derive(Debug, Clone)]
+pub struct EvalTask {
+    /// The ground truth.
+    pub truth: SyntheticFunction,
+    /// The noisy measured grid handed to the modelers.
+    pub set: MeasurementSet,
+    /// Per-parameter value sequences of the grid.
+    pub sequences: Vec<Vec<f64>>,
+    /// The extrapolation points `P⁺₁ … P⁺ₖ` with their *noise-free* true
+    /// values — predictions are graded against the synthetic baseline.
+    pub eval_points: Vec<(Vec<f64>, f64)>,
+}
+
+/// Generates one evaluation task.
+pub fn generate_eval_task(spec: &EvalTaskSpec, rng: &mut impl Rng) -> EvalTask {
+    assert!(spec.num_params >= 1, "need at least one parameter");
+    assert!(spec.points_per_param >= 2, "need at least two points per parameter");
+
+    let truth = random_function(spec.num_params, rng);
+    let sequences: Vec<Vec<f64>> = (0..spec.num_params)
+        .map(|_| random_sequence(SequenceKind::random(rng), spec.points_per_param, rng))
+        .collect();
+
+    // Full grid of measurement points with noisy repetitions.
+    let mut set = MeasurementSet::new(spec.num_params);
+    let mut index = vec![0usize; spec.num_params];
+    loop {
+        let point: Vec<f64> = (0..spec.num_params).map(|l| sequences[l][index[l]]).collect();
+        let value = truth.evaluate(&point);
+        let reps = noisy_repetitions(value, spec.noise_level, spec.repetitions.max(1), rng);
+        set.add_repetitions(&point, &reps);
+
+        let mut l = 0;
+        loop {
+            if l == spec.num_params {
+                // Extrapolation points: the diagonal continuation of every
+                // sequence (P⁺ₖ scales all parameters simultaneously,
+                // Fig. 2 of the paper).
+                let extensions: Vec<Vec<f64>> = sequences
+                    .iter()
+                    .map(|s| extend_sequence(s, spec.num_eval_points))
+                    .collect();
+                let eval_points: Vec<(Vec<f64>, f64)> = (0..spec.num_eval_points)
+                    .map(|k| {
+                        let p: Vec<f64> = (0..spec.num_params).map(|l| extensions[l][k]).collect();
+                        let v = truth.evaluate(&p);
+                        (p, v)
+                    })
+                    .collect();
+                return EvalTask {
+                    truth,
+                    set,
+                    sequences,
+                    eval_points,
+                };
+            }
+            index[l] += 1;
+            if index[l] < spec.points_per_param {
+                break;
+            }
+            index[l] = 0;
+            l += 1;
+        }
+    }
+}
+
+/// Generates `count` independent evaluation tasks.
+pub fn generate_eval_tasks(spec: &EvalTaskSpec, count: usize, rng: &mut impl Rng) -> Vec<EvalTask> {
+    (0..count).map(|_| generate_eval_task(spec, rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(777)
+    }
+
+    #[test]
+    fn grid_has_points_per_param_to_the_m_points() {
+        let mut r = rng();
+        for m in 1..=3 {
+            let task = generate_eval_task(&EvalTaskSpec::paper(m, 0.1), &mut r);
+            assert_eq!(task.set.len(), 5usize.pow(m as u32));
+            assert_eq!(task.set.num_params(), m);
+            assert_eq!(task.sequences.len(), m);
+            assert_eq!(task.eval_points.len(), 4);
+        }
+    }
+
+    #[test]
+    fn repetition_count_matches_spec() {
+        let task = generate_eval_task(&EvalTaskSpec::paper(1, 0.2), &mut rng());
+        for m in task.set.measurements() {
+            assert_eq!(m.values.len(), 5);
+        }
+    }
+
+    #[test]
+    fn eval_points_lie_outside_the_measured_range() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let task = generate_eval_task(&EvalTaskSpec::paper(2, 0.1), &mut r);
+            for (p, _) in &task.eval_points {
+                for (l, &coord) in p.iter().enumerate() {
+                    let max_measured = *task.sequences[l].last().unwrap();
+                    assert!(coord > max_measured, "param {l}: {coord} <= {max_measured}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_values_are_noise_free_ground_truth() {
+        let task = generate_eval_task(&EvalTaskSpec::paper(2, 1.0), &mut rng());
+        for (p, v) in &task.eval_points {
+            assert!((task.truth.evaluate(p) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_noise_measurements_match_truth() {
+        let task = generate_eval_task(&EvalTaskSpec::paper(1, 0.0), &mut rng());
+        for m in task.set.measurements() {
+            let truth = task.truth.evaluate(&m.point);
+            for v in &m.values {
+                assert!((v - truth).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_measurements_stay_within_band() {
+        let task = generate_eval_task(&EvalTaskSpec::paper(1, 0.5), &mut rng());
+        for m in task.set.measurements() {
+            let truth = task.truth.evaluate(&m.point);
+            for v in &m.values {
+                assert!(
+                    *v >= truth * 0.75 - 1e-9 && *v <= truth * 1.25 + 1e-9,
+                    "{v} outside ±25% of {truth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_generation_produces_independent_tasks() {
+        let tasks = generate_eval_tasks(&EvalTaskSpec::paper(1, 0.1), 5, &mut rng());
+        assert_eq!(tasks.len(), 5);
+        // At least two tasks should differ in their ground truth.
+        let first = format!("{}", tasks[0].truth.model);
+        assert!(tasks.iter().any(|t| format!("{}", t.truth.model) != first));
+    }
+}

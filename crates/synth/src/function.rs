@@ -1,0 +1,199 @@
+//! Random PMNF function generation.
+
+use nrpm_extrap::{exponent_set, ExponentPair, Model, Term, TermFactor};
+use rand::Rng;
+
+/// A randomly generated ground-truth performance function plus the metadata
+/// needed to grade models against it.
+#[derive(Debug, Clone)]
+pub struct SyntheticFunction {
+    /// The ground-truth model.
+    pub model: Model,
+    /// The exponent pair drawn for each parameter (the classification
+    /// labels for the DNN; also the reference lead exponents).
+    pub pairs: Vec<ExponentPair>,
+}
+
+impl SyntheticFunction {
+    /// Ground-truth value at a point.
+    pub fn evaluate(&self, point: &[f64]) -> f64 {
+        self.model.evaluate(point)
+    }
+
+    /// Number of parameters.
+    pub fn num_params(&self) -> usize {
+        self.model.num_params
+    }
+}
+
+/// Draws a coefficient uniformly from the paper's range `[0.001, 1000]`
+/// (Sec. IV-D / V: "coefficients uniformly sampled from the interval
+/// [0.001, 1000]").
+pub(crate) fn random_coefficient(rng: &mut impl Rng) -> f64 {
+    rng.gen_range(0.001..=1000.0)
+}
+
+/// Generates a random single-parameter function
+/// `f(x) = c₀ + c₁ · x^i · log2^j(x)` with `(i, j)` drawn uniformly from the
+/// canonical exponent set (so every class is reachable) and coefficients
+/// from `[0.001, 1000]`.
+pub fn random_single_parameter_function(rng: &mut impl Rng) -> SyntheticFunction {
+    let set = exponent_set();
+    let class = rng.gen_range(0..set.len());
+    random_single_parameter_function_of_class(class, rng)
+}
+
+/// Generates a random single-parameter function of a *specific* class —
+/// the workhorse of balanced training-set generation.
+pub fn random_single_parameter_function_of_class(
+    class: usize,
+    rng: &mut impl Rng,
+) -> SyntheticFunction {
+    let pair = exponent_set().pair(class);
+    let c0 = random_coefficient(rng);
+    let terms = if pair.is_constant() {
+        Vec::new()
+    } else {
+        vec![Term::new(
+            random_coefficient(rng),
+            vec![TermFactor::new(0, pair)],
+        )]
+    };
+    SyntheticFunction {
+        model: Model::new(1, c0, terms),
+        pairs: vec![pair],
+    }
+}
+
+/// Generates a random `m`-parameter PMNF function.
+///
+/// Each parameter draws one exponent pair from the canonical set; the
+/// parameters are combined by a uniformly random set partition — members of
+/// a group multiply into one term, groups add — covering both the additive
+/// and multiplicative behaviours the multi-parameter modeler must decide
+/// between (Sec. III: the "additional experiment" exists precisely to make
+/// additive vs. multiplicative distinguishable).
+pub fn random_function(m: usize, rng: &mut impl Rng) -> SyntheticFunction {
+    assert!(m >= 1, "need at least one parameter");
+    let set = exponent_set();
+    let pairs: Vec<ExponentPair> = (0..m).map(|_| set.pair(rng.gen_range(0..set.len()))).collect();
+
+    // Random set partition via the Chinese-restaurant style assignment:
+    // each parameter joins an existing group or opens a new one.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for l in 0..m {
+        let choice = rng.gen_range(0..=groups.len());
+        if choice == groups.len() {
+            groups.push(vec![l]);
+        } else {
+            groups[choice].push(l);
+        }
+    }
+
+    let mut terms = Vec::new();
+    for group in groups {
+        let factors: Vec<TermFactor> = group
+            .iter()
+            .filter(|&&l| !pairs[l].is_constant())
+            .map(|&l| TermFactor::new(l, pairs[l]))
+            .collect();
+        if !factors.is_empty() {
+            terms.push(Term::new(random_coefficient(rng), factors));
+        }
+    }
+
+    SyntheticFunction {
+        model: Model::new(m, random_coefficient(rng), terms),
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn coefficients_stay_in_the_papers_range() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let c = random_coefficient(&mut r);
+            assert!((0.001..=1000.0).contains(&c), "c = {c}");
+        }
+    }
+
+    #[test]
+    fn single_parameter_functions_have_matching_label() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let f = random_single_parameter_function(&mut r);
+            assert_eq!(f.num_params(), 1);
+            assert_eq!(f.pairs.len(), 1);
+            let lead = f.model.lead_exponent_or_constant(0);
+            assert_eq!(lead, f.pairs[0]);
+        }
+    }
+
+    #[test]
+    fn class_specific_generation_hits_every_class() {
+        let mut r = rng();
+        for class in 0..nrpm_extrap::NUM_CLASSES {
+            let f = random_single_parameter_function_of_class(class, &mut r);
+            assert_eq!(
+                nrpm_extrap::exponent_set().class_of(&f.pairs[0]),
+                Some(class)
+            );
+        }
+    }
+
+    #[test]
+    fn multi_parameter_functions_respect_their_pairs() {
+        let mut r = rng();
+        for m in 1..=3 {
+            for _ in 0..30 {
+                let f = random_function(m, &mut r);
+                assert_eq!(f.num_params(), m);
+                for l in 0..m {
+                    assert_eq!(f.model.lead_exponent_or_constant(l), f.pairs[l], "param {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn functions_evaluate_to_positive_growing_values() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let f = random_single_parameter_function(&mut r);
+            let small = f.evaluate(&[4.0]);
+            let large = f.evaluate(&[4096.0]);
+            assert!(small > 0.0);
+            assert!(large >= small * 0.999, "model {} shrank", f.model);
+        }
+    }
+
+    #[test]
+    fn partition_randomization_produces_both_structures() {
+        let mut r = rng();
+        let mut additive = 0;
+        let mut multiplicative = 0;
+        for _ in 0..200 {
+            let f = random_function(2, &mut r);
+            // Count only functions where both params are non-constant.
+            if f.pairs.iter().all(|p| !p.is_constant()) {
+                match f.model.terms.len() {
+                    1 => multiplicative += 1,
+                    2 => additive += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(additive > 0, "no additive structures generated");
+        assert!(multiplicative > 0, "no multiplicative structures generated");
+    }
+}

@@ -1,0 +1,22 @@
+//! Synthetic workload generation for training and evaluating the modelers.
+//!
+//! The DNN modeler is trained purely on synthetic data (Sec. IV-D of the
+//! paper): PMNF instantiations with random exponents from the canonical set,
+//! random coefficients from `[0.001, 1000]`, measurement-point sequences
+//! imitating realistic application parameters, uniform multiplicative noise,
+//! and simulated measurement repetitions. The synthetic evaluation of
+//! Sec. V draws from the same generators.
+
+#![warn(missing_docs)]
+
+mod eval;
+mod function;
+mod noise;
+mod sequences;
+mod training;
+
+pub use eval::{generate_eval_task, generate_eval_tasks, EvalTask, EvalTaskSpec};
+pub use function::{random_function, random_single_parameter_function, SyntheticFunction};
+pub use noise::{apply_noise, noisy_repetitions, NoiseModel};
+pub use sequences::{extend_sequence, random_sequence, SequenceKind};
+pub use training::{generate_training_samples, TrainingSample, TrainingSpec};

@@ -1,0 +1,126 @@
+//! Uniform multiplicative measurement noise.
+//!
+//! The paper's noise semantics (Sec. IV-D): a noise level of `n` means the
+//! measured value deviates by up to `±n/2` from the actual value, drawn from
+//! a uniform distribution — "n = 10 % equals a deviation of ±5 % from the
+//! actual value". Noise is multiplicative, matching run-to-run variability
+//! that scales with runtime.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A noise model: uniform multiplicative perturbation at a given level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Noise level as a fraction (`0.1` = 10 % total width = ±5 %).
+    pub level: f64,
+}
+
+impl NoiseModel {
+    /// Creates a noise model. Levels may exceed 1 (FASTEST's measurements
+    /// reach 160 %); negative levels are clamped to zero.
+    pub fn new(level: f64) -> Self {
+        NoiseModel { level: level.max(0.0) }
+    }
+
+    /// No noise at all.
+    pub const NONE: NoiseModel = NoiseModel { level: 0.0 };
+
+    /// Perturbs one value: `v · U(1 − level/2, 1 + level/2)`.
+    pub fn perturb(&self, value: f64, rng: &mut impl Rng) -> f64 {
+        apply_noise(value, self.level, rng)
+    }
+
+    /// Simulates `rep` noisy repetitions of a measurement.
+    pub fn repetitions(&self, value: f64, rep: usize, rng: &mut impl Rng) -> Vec<f64> {
+        noisy_repetitions(value, self.level, rep, rng)
+    }
+}
+
+/// Perturbs `value` with uniform multiplicative noise of total width
+/// `level` (a fraction; `0.1` = ±5 %).
+pub fn apply_noise(value: f64, level: f64, rng: &mut impl Rng) -> f64 {
+    if level <= 0.0 {
+        return value;
+    }
+    let half = level / 2.0;
+    value * rng.gen_range(1.0 - half..=1.0 + half)
+}
+
+/// Simulates `rep` noisy repetitions of one measurement.
+pub fn noisy_repetitions(value: f64, level: f64, rep: usize, rng: &mut impl Rng) -> Vec<f64> {
+    assert!(rep >= 1, "at least one repetition required");
+    (0..rep).map(|_| apply_noise(value, level, rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let mut r = rng();
+        assert_eq!(apply_noise(42.0, 0.0, &mut r), 42.0);
+        assert_eq!(NoiseModel::NONE.perturb(42.0, &mut r), 42.0);
+    }
+
+    #[test]
+    fn noise_stays_within_the_band() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = apply_noise(100.0, 0.10, &mut r);
+            assert!((95.0..=105.0).contains(&v), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn hundred_percent_noise_spans_half_to_one_and_a_half() {
+        let mut r = rng();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..5000 {
+            let v = apply_noise(1.0, 1.0, &mut r);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo >= 0.5 && lo < 0.55, "lo = {lo}");
+        assert!(hi <= 1.5 && hi > 1.45, "hi = {hi}");
+    }
+
+    #[test]
+    fn noise_is_mean_preserving_on_average() {
+        let mut r = rng();
+        let n = 20000;
+        let mean: f64 = (0..n).map(|_| apply_noise(10.0, 0.5, &mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn repetitions_have_requested_count_and_spread() {
+        let mut r = rng();
+        let reps = noisy_repetitions(100.0, 0.2, 5, &mut r);
+        assert_eq!(reps.len(), 5);
+        assert!(reps.iter().all(|v| (90.0..=110.0).contains(v)));
+        // With noise, the repetitions should not all collapse to one value.
+        assert!(reps.iter().any(|&v| (v - reps[0]).abs() > 1e-9));
+    }
+
+    #[test]
+    fn negative_level_is_clamped() {
+        let m = NoiseModel::new(-0.5);
+        assert_eq!(m.level, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_repetitions_panics() {
+        let mut r = rng();
+        let _ = noisy_repetitions(1.0, 0.1, 0, &mut r);
+    }
+}

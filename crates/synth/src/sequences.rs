@@ -1,0 +1,211 @@
+//! Measurement-point sequence generators.
+//!
+//! The paper trains with parameter-value sequences that are "either linear,
+//! small linear, small exponential, or uniformly distributed", e.g.
+//! `(4, 8, 16, 32, 64)`, `(10, 20, 30, 40, 50)`, or
+//! `(8, 64, 512, 4096, 32768)` (Kripke's cubic process counts).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The shape of a parameter-value sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SequenceKind {
+    /// Arithmetic progression with a sizable step, e.g. `32, 64, 96, 128`.
+    Linear,
+    /// Arithmetic progression with a small start and step, e.g.
+    /// `2, 4, 6, 8, 10`.
+    SmallLinear,
+    /// Geometric progression with a small ratio, e.g. `4, 8, 16, 32, 64`.
+    SmallExponential,
+    /// Strictly increasing values drawn uniformly at random.
+    UniformRandom,
+}
+
+impl SequenceKind {
+    /// All kinds, for exhaustive sweeps.
+    pub const ALL: [SequenceKind; 4] = [
+        SequenceKind::Linear,
+        SequenceKind::SmallLinear,
+        SequenceKind::SmallExponential,
+        SequenceKind::UniformRandom,
+    ];
+
+    /// Picks a kind uniformly at random.
+    pub fn random(rng: &mut impl Rng) -> Self {
+        Self::ALL[rng.gen_range(0..Self::ALL.len())]
+    }
+}
+
+/// Generates a strictly increasing sequence of `len` positive parameter
+/// values of the given kind.
+pub fn random_sequence(kind: SequenceKind, len: usize, rng: &mut impl Rng) -> Vec<f64> {
+    assert!(len >= 2, "a sequence needs at least two values");
+    // Every kind guarantees an overall spread (largest / smallest) of at
+    // least ~3x: real application parameters are scaled over meaningful
+    // ranges (the paper's examples span 5-4096x), and below ~2x spread the
+    // growth classes become mathematically indistinguishable for *any*
+    // modeler.
+    match kind {
+        SequenceKind::Linear => {
+            let start = rng.gen_range(8..=128) as f64;
+            // step between start/2 and 2*start -> spread 3x .. 9x
+            let step = (start * rng.gen_range(0.5..=2.0)).round().max(1.0);
+            (0..len).map(|i| start + i as f64 * step).collect()
+        }
+        SequenceKind::SmallLinear => {
+            let start = rng.gen_range(1..=10) as f64;
+            // step between start and 3*start -> spread 5x .. 13x
+            let step = (start * rng.gen_range(1.0..=3.0)).round().max(1.0);
+            (0..len).map(|i| start + i as f64 * step).collect()
+        }
+        SequenceKind::SmallExponential => {
+            let start = rng.gen_range(2..=16) as f64;
+            let ratio: f64 = [2.0, 4.0, 8.0][rng.gen_range(0..3)];
+            (0..len).map(|i| start * ratio.powi(i as i32)).collect()
+        }
+        SequenceKind::UniformRandom => {
+            // Anchor the range first (low in [2, 64], spread in [8x, 512x])
+            // so the drawn values cannot all cluster in a narrow band.
+            let lo: f64 = rng.gen_range(2.0..=64.0);
+            let hi: f64 = lo * rng.gen_range(8.0..=512.0);
+            // Round to integers only when the range has comfortably more
+            // integers than requested values — otherwise (long sequences
+            // over a narrow range) rounding could not yield `len` distinct
+            // values and the rejection loop would never terminate.
+            let round_ok = hi - lo > 3.0 * len as f64;
+            let quantize = |v: f64| if round_ok { v.round() } else { v };
+            let tolerance = if round_ok { 0.5 } else { (hi - lo) / (8.0 * len as f64) };
+            let mut vals: Vec<f64> = vec![quantize(lo), quantize(hi)];
+            while vals.len() < len {
+                let v = quantize(rng.gen_range(lo + 1.0..hi - 1.0));
+                if !vals.iter().any(|&x| (x - v).abs() < tolerance) {
+                    vals.push(v);
+                }
+            }
+            vals.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+            vals
+        }
+    }
+}
+
+/// Continues a sequence by `count` further values, preserving its shape:
+/// the last ratio for geometric-looking sequences, the last difference for
+/// arithmetic ones. This produces the extrapolation points `P⁺` of the
+/// synthetic evaluation (e.g. `(4…64)` continues as `(128, 256, 512, 1024)`).
+pub fn extend_sequence(seq: &[f64], count: usize) -> Vec<f64> {
+    assert!(seq.len() >= 2, "need at least two values to extend");
+    let n = seq.len();
+    let last = seq[n - 1];
+    let prev = seq[n - 2];
+    let diff = last - prev;
+    let ratio = last / prev;
+
+    // Decide whether the sequence looks geometric: constant ratio across
+    // the last three values (within tolerance) and ratio meaningfully > 1.
+    let geometric = if n >= 3 {
+        let r1 = seq[n - 2] / seq[n - 3];
+        ratio > 1.2 && (ratio - r1).abs() / ratio < 0.05
+    } else {
+        ratio > 1.5
+    };
+
+    let mut out = Vec::with_capacity(count);
+    let mut current = last;
+    for _ in 0..count {
+        current = if geometric { current * ratio } else { current + diff };
+        out.push(current);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn sequences_are_strictly_increasing_and_positive() {
+        let mut r = rng();
+        for kind in SequenceKind::ALL {
+            for _ in 0..20 {
+                let s = random_sequence(kind, 5, &mut r);
+                assert_eq!(s.len(), 5);
+                assert!(s[0] > 0.0, "{kind:?}: {s:?}");
+                for w in s.windows(2) {
+                    assert!(w[1] > w[0], "{kind:?}: {s:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_sequences_have_constant_ratio() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let s = random_sequence(SequenceKind::SmallExponential, 5, &mut r);
+            let ratio = s[1] / s[0];
+            for w in s.windows(2) {
+                assert!((w[1] / w[0] - ratio).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_sequences_have_constant_difference() {
+        let mut r = rng();
+        for kind in [SequenceKind::Linear, SequenceKind::SmallLinear] {
+            let s = random_sequence(kind, 6, &mut r);
+            let d = s[1] - s[0];
+            for w in s.windows(2) {
+                assert!((w[1] - w[0] - d).abs() < 1e-9, "{kind:?}: {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn extend_continues_geometric_sequences_geometrically() {
+        let s = [4.0, 8.0, 16.0, 32.0, 64.0];
+        let ext = extend_sequence(&s, 4);
+        assert_eq!(ext, vec![128.0, 256.0, 512.0, 1024.0]);
+
+        let kripke = [8.0, 64.0, 512.0, 4096.0, 32768.0];
+        let ext = extend_sequence(&kripke, 2);
+        assert_eq!(ext, vec![262144.0, 2097152.0]);
+    }
+
+    #[test]
+    fn extend_continues_linear_sequences_linearly() {
+        let s = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let ext = extend_sequence(&s, 4);
+        assert_eq!(ext, vec![60.0, 70.0, 80.0, 90.0]);
+    }
+
+    #[test]
+    fn extended_points_exceed_the_original_range() {
+        let mut r = rng();
+        for kind in SequenceKind::ALL {
+            let s = random_sequence(kind, 5, &mut r);
+            let ext = extend_sequence(&s, 4);
+            assert!(ext[0] > s[4]);
+            for w in ext.windows(2) {
+                assert!(w[1] > w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn random_kind_covers_all_variants_eventually() {
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(format!("{:?}", SequenceKind::random(&mut r)));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+}

@@ -1,0 +1,223 @@
+//! Labelled training-sample generation for the DNN classifier.
+
+use crate::function::random_single_parameter_function_of_class;
+use crate::noise::noisy_repetitions;
+use crate::sequences::{random_sequence, SequenceKind};
+use nrpm_extrap::{Aggregation, NUM_CLASSES};
+use rand::Rng;
+
+/// One labelled training sample: a noisy single-parameter measurement line
+/// plus the class (exponent-pair id) of the function that produced it.
+///
+/// The conversion to the network's 11-neuron input vector happens in the
+/// preprocessing module of `nrpm-core`; keeping raw `(x, y)` lines here
+/// keeps the generator reusable for the regression modeler's evaluation too.
+#[derive(Debug, Clone)]
+pub struct TrainingSample {
+    /// Parameter values, strictly increasing.
+    pub xs: Vec<f64>,
+    /// Aggregated (median of repetitions) noisy measured values.
+    pub ys: Vec<f64>,
+    /// Ground-truth class id in `0..NUM_CLASSES`.
+    pub class: usize,
+    /// The noise level this sample was generated with.
+    pub noise_level: f64,
+}
+
+/// Controls synthetic training-set generation.
+///
+/// For **pretraining** use the defaults: random sequences, the full noise
+/// range `[0, 100 %]`, five repetitions. For **domain adaptation** set
+/// `sequence` to the real measurement positions and `noise_range` to the
+/// range estimated from the real measurements (Sec. IV-E/VI-A: for Kripke,
+/// `[3.66, 53.67] %`).
+#[derive(Debug, Clone)]
+pub struct TrainingSpec {
+    /// Samples generated per class (paper's domain adaptation: 2000).
+    pub samples_per_class: usize,
+    /// Range of measurement-point counts per sample, inclusive; the paper
+    /// bounds the network input to `[5, 11]` points.
+    pub points_range: (usize, usize),
+    /// Fixed measurement positions (domain adaptation) or `None` for random
+    /// sequences (pretraining).
+    pub sequence: Option<Vec<f64>>,
+    /// Noise levels are drawn uniformly from this range (fractions).
+    pub noise_range: (f64, f64),
+    /// Repetitions simulated per measurement point (paper: up to five).
+    pub repetitions: usize,
+    /// Aggregation of the repetitions.
+    pub aggregation: Aggregation,
+}
+
+impl Default for TrainingSpec {
+    fn default() -> Self {
+        TrainingSpec {
+            samples_per_class: 200,
+            points_range: (5, 11),
+            sequence: None,
+            noise_range: (0.0, 1.0),
+            repetitions: 5,
+            aggregation: Aggregation::Median,
+        }
+    }
+}
+
+impl TrainingSpec {
+    /// A spec for domain adaptation: fixed positions and a measured noise
+    /// range (both taken from the modeling task at hand).
+    pub fn adaptation(sequence: Vec<f64>, noise_range: (f64, f64), repetitions: usize) -> Self {
+        TrainingSpec {
+            sequence: Some(sequence),
+            noise_range,
+            repetitions: repetitions.max(1),
+            ..Default::default()
+        }
+    }
+}
+
+/// Generates `samples_per_class` samples for every one of the 43 classes.
+///
+/// The returned vector is class-ordered (all samples of class 0, then class
+/// 1, …); shuffle happens inside the trainer.
+pub fn generate_training_samples(spec: &TrainingSpec, rng: &mut impl Rng) -> Vec<TrainingSample> {
+    assert!(spec.points_range.0 >= 2, "need at least two points per sample");
+    assert!(
+        spec.points_range.0 <= spec.points_range.1,
+        "points_range must be ordered"
+    );
+    assert!(
+        spec.noise_range.0 <= spec.noise_range.1 && spec.noise_range.0 >= 0.0,
+        "noise_range must be ordered and non-negative"
+    );
+
+    let mut samples = Vec::with_capacity(NUM_CLASSES * spec.samples_per_class);
+    for class in 0..NUM_CLASSES {
+        for _ in 0..spec.samples_per_class {
+            samples.push(generate_one(spec, class, rng));
+        }
+    }
+    samples
+}
+
+fn generate_one(spec: &TrainingSpec, class: usize, rng: &mut impl Rng) -> TrainingSample {
+    let f = random_single_parameter_function_of_class(class, rng);
+    let xs: Vec<f64> = match &spec.sequence {
+        Some(seq) => seq.clone(),
+        None => {
+            let len = rng.gen_range(spec.points_range.0..=spec.points_range.1);
+            random_sequence(SequenceKind::random(rng), len, rng)
+        }
+    };
+    let noise_level = if spec.noise_range.1 > spec.noise_range.0 {
+        rng.gen_range(spec.noise_range.0..=spec.noise_range.1)
+    } else {
+        spec.noise_range.0
+    };
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|&x| {
+            let truth = f.evaluate(&[x]);
+            let reps = noisy_repetitions(truth, noise_level, spec.repetitions, rng);
+            spec.aggregation.apply(&reps)
+        })
+        .collect();
+    TrainingSample {
+        xs,
+        ys,
+        class,
+        noise_level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(321)
+    }
+
+    #[test]
+    fn generates_balanced_classes() {
+        let spec = TrainingSpec { samples_per_class: 3, ..Default::default() };
+        let samples = generate_training_samples(&spec, &mut rng());
+        assert_eq!(samples.len(), 3 * NUM_CLASSES);
+        let mut counts = vec![0usize; NUM_CLASSES];
+        for s in &samples {
+            counts[s.class] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn sample_shapes_are_consistent() {
+        let spec = TrainingSpec { samples_per_class: 2, ..Default::default() };
+        for s in generate_training_samples(&spec, &mut rng()) {
+            assert_eq!(s.xs.len(), s.ys.len());
+            assert!((5..=11).contains(&s.xs.len()));
+            assert!(s.xs.windows(2).all(|w| w[1] > w[0]));
+            assert!(s.ys.iter().all(|v| v.is_finite()));
+            assert!((0.0..=1.0).contains(&s.noise_level));
+        }
+    }
+
+    #[test]
+    fn fixed_sequence_is_respected() {
+        let seq = vec![8.0, 64.0, 512.0, 4096.0, 32768.0];
+        let spec = TrainingSpec {
+            samples_per_class: 1,
+            sequence: Some(seq.clone()),
+            ..Default::default()
+        };
+        for s in generate_training_samples(&spec, &mut rng()) {
+            assert_eq!(s.xs, seq);
+        }
+    }
+
+    #[test]
+    fn noise_range_bounds_the_sampled_levels() {
+        let spec = TrainingSpec {
+            samples_per_class: 5,
+            noise_range: (0.0366, 0.5367), // Kripke's measured range
+            ..Default::default()
+        };
+        for s in generate_training_samples(&spec, &mut rng()) {
+            assert!((0.0366..=0.5367).contains(&s.noise_level));
+        }
+    }
+
+    #[test]
+    fn zero_noise_yields_exact_function_values() {
+        let spec = TrainingSpec {
+            samples_per_class: 2,
+            noise_range: (0.0, 0.0),
+            repetitions: 3,
+            ..Default::default()
+        };
+        for s in generate_training_samples(&spec, &mut rng()) {
+            // With zero noise every repetition equals the truth, so the
+            // median is exact; the values must be strictly positive and
+            // non-decreasing (PMNF with positive coefficients).
+            for w in s.ys.windows(2) {
+                assert!(w[1] >= w[0] * 0.999, "class {}: {:?}", s.class, s.ys);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptation_spec_uses_task_properties() {
+        let spec = TrainingSpec::adaptation(vec![1.0, 2.0, 4.0], (0.1, 0.3), 5);
+        assert_eq!(spec.sequence.as_deref(), Some(&[1.0, 2.0, 4.0][..]));
+        assert_eq!(spec.noise_range, (0.1, 0.3));
+        assert_eq!(spec.repetitions, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn inverted_noise_range_panics() {
+        let spec = TrainingSpec { noise_range: (0.5, 0.1), ..Default::default() };
+        let _ = generate_training_samples(&spec, &mut rng());
+    }
+}

@@ -1,0 +1,70 @@
+//! Reruns the paper's Kripke walk-through (Sec. VI-A/B): generate the
+//! simulated three-parameter campaign, estimate its noise, domain-adapt the
+//! DNN, model the SweepSolver kernel, and compare the result against the
+//! theoretical expectation `O(x2 · x3^{4/5} + x1^{1/3})`.
+//!
+//! ```text
+//! cargo run --release --example kripke_study
+//! ```
+
+use nrpm::apps::kripke;
+use nrpm::prelude::*;
+
+fn main() {
+    // The simulated campaign: 125 measurement points (x2 = 12 held out),
+    // five repetitions, noise statistics matching Fig. 5.
+    let study = kripke(0xC0FFEE);
+    let sweep = &study.kernels[0];
+    assert_eq!(sweep.name, "SweepSolver");
+
+    println!("Kripke campaign: {} kernels, {} points each", study.kernels.len(), sweep.set.len());
+    println!("parameters: {:?}", study.parameter_names);
+
+    // Noise analysis — the paper reports a mean of 17.44 % on Vulcan.
+    let noise = NoiseEstimate::of(&sweep.set);
+    println!(
+        "\nnoise on SweepSolver: mean {:.2}%, range [{:.2}, {:.2}]%",
+        noise.mean() * 100.0,
+        noise.min() * 100.0,
+        noise.max() * 100.0
+    );
+
+    // Model with both approaches.
+    let regression = RegressionModeler::default().model(&sweep.set).expect("regression");
+    println!("\npretraining + domain-adapting the DNN modeler...");
+    let mut adaptive = AdaptiveModeler::pretrained(AdaptiveOptions::default());
+    let outcome = adaptive.model(&sweep.set).expect("adaptive");
+
+    println!("\nground truth:     {}", sweep.truth);
+    println!("regression model: {}", regression.model);
+    println!("adaptive model:   {} (winner: {:?})", outcome.result.model, outcome.choice);
+
+    // The paper's theoretical expectation has lead exponents
+    // x1^{1/3}, x2^1, x3^{4/5}.
+    let expectation = [
+        ExponentPair::from_parts(1, 3, 0),
+        ExponentPair::from_parts(1, 1, 0),
+        ExponentPair::from_parts(4, 5, 0),
+    ];
+    println!("\nlead exponents vs the theoretical expectation:");
+    for (l, expected) in expectation.iter().enumerate() {
+        let got = outcome.result.model.lead_exponent_or_constant(l);
+        let ok = if got == *expected { "matches" } else { "differs" };
+        println!("  x{}: expected {expected}, adaptive found {got} ({ok})", l + 1);
+    }
+
+    // Extrapolate to the held-out point P+(32768, 12, 160).
+    let reg_pred = regression.model.evaluate(&sweep.eval_point);
+    let ada_pred = outcome.result.model.evaluate(&sweep.eval_point);
+    println!("\nprediction at P+{:?} (measured {:.1}):", sweep.eval_point, sweep.eval_measured);
+    println!(
+        "  regression: {:.1} ({:+.1}%)",
+        reg_pred,
+        100.0 * (reg_pred - sweep.eval_measured) / sweep.eval_measured
+    );
+    println!(
+        "  adaptive:   {:.1} ({:+.1}%)",
+        ada_pred,
+        100.0 * (ada_pred - sweep.eval_measured) / sweep.eval_measured
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: model a noisy kernel with both the classic regression
+//! modeler and the adaptive (DNN-backed) modeler, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use nrpm::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // 1. Collect measurements. In real use these come from your own runs;
+    //    here we simulate a kernel that scales O(p log p) with 30 % of
+    //    uniform run-to-run noise, measured at five process counts with
+    //    five repetitions each.
+    let mut rng = StdRng::seed_from_u64(7);
+    let noise = 0.30;
+    let mut set = MeasurementSet::new(1);
+    for &p in &[16.0f64, 32.0, 64.0, 128.0, 256.0] {
+        let truth = 4.0 + 0.05 * p * p.log2();
+        let reps: Vec<f64> = (0..5)
+            .map(|_| truth * rng.gen_range(1.0 - noise / 2.0..=1.0 + noise / 2.0))
+            .collect();
+        set.add_repetitions(&[p], &reps);
+    }
+
+    // 2. The classic Extra-P regression modeler.
+    let regression = RegressionModeler::default()
+        .model(&set)
+        .expect("five points suffice for one parameter");
+    println!("regression model: {}", regression.model);
+    println!("  cross-validated SMAPE: {:.2}%", regression.cv_smape);
+
+    // 3. The adaptive modeler: estimates the noise, retrains its DNN for
+    //    this task (domain adaptation), and picks the best hypothesis.
+    //    Pretraining happens once; persist the network with
+    //    `modeler.dnn().network().save(path)` to skip it next time.
+    println!("\npretraining the DNN modeler (one-time cost)...");
+    let mut adaptive = AdaptiveModeler::pretrained(AdaptiveOptions::default());
+    let outcome = adaptive.model(&set).expect("modeling succeeds");
+    println!("adaptive model:   {}", outcome.result.model);
+    println!(
+        "  estimated noise: {:.1}%  (threshold {:.0}%)",
+        outcome.noise.mean() * 100.0,
+        outcome.threshold * 100.0
+    );
+    println!("  winner: {:?}", outcome.choice);
+
+    // 4. Extrapolate: predict the runtime at 4096 processes — 16x beyond
+    //    the largest measured configuration.
+    let p = 4096.0f64;
+    let truth = 4.0 + 0.05 * p * p.log2();
+    let reg_pred = regression.model.evaluate(&[p]);
+    let ada_pred = outcome.result.model.evaluate(&[p]);
+    println!("\nprediction at p = 4096 (truth {truth:.1}):");
+    println!("  regression: {reg_pred:.1}  ({:+.1}%)", 100.0 * (reg_pred - truth) / truth);
+    println!("  adaptive:   {ada_pred:.1}  ({:+.1}%)", 100.0 * (ada_pred - truth) / truth);
+}

@@ -1,0 +1,89 @@
+//! Hunting a scalability bug with performance models — the classic Extra-P
+//! use case the paper's introduction motivates. An application has several
+//! kernels; one of them hides a superlinear term that is invisible at the
+//! measured scales but dominates at production scale. We model every kernel
+//! from small, noisy runs and rank them by their predicted share of the
+//! runtime at 65 536 processes.
+//!
+//! ```text
+//! cargo run --release --example scaling_bug_hunt
+//! ```
+
+use nrpm::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct AppKernel {
+    name: &'static str,
+    truth: Box<dyn Fn(f64) -> f64>,
+}
+
+fn main() {
+    // The application: at the measured scales (<= 512 processes) the halo
+    // exchange looks harmless — its superlinear growth only explodes later.
+    let kernels: Vec<AppKernel> = vec![
+        AppKernel { name: "compute_forces", truth: Box::new(|_p| 120.0) },
+        AppKernel { name: "fft_transpose", truth: Box::new(|p: f64| 5.0 + 0.8 * p.log2().powi(2)) },
+        AppKernel { name: "halo_exchange", truth: Box::new(|p: f64| 1.0 + 0.002 * p.powf(1.5)) },
+        AppKernel { name: "reduction", truth: Box::new(|p: f64| 0.5 + 0.3 * p.log2()) },
+        AppKernel { name: "io_checkpoint", truth: Box::new(|p: f64| 8.0 + 0.01 * p) },
+    ];
+
+    let noise = 0.25;
+    let mut rng = StdRng::seed_from_u64(0xB06);
+
+    println!("pretraining the DNN modeler...");
+    let pretrained = AdaptiveModeler::pretrained(AdaptiveOptions::default());
+
+    let target = 65536.0;
+    let mut predictions: Vec<(String, String, f64, f64)> = Vec::new();
+    let mut measured_share_total = 0.0;
+    let mut predicted_total = 0.0;
+
+    for kernel in &kernels {
+        // Measure at small scale with 25 % noise, five repetitions.
+        let mut set = MeasurementSet::new(1);
+        let mut small_scale_time = 0.0;
+        for &p in &[32.0f64, 64.0, 128.0, 256.0, 512.0] {
+            let truth = (kernel.truth)(p);
+            if p == 512.0 {
+                small_scale_time = truth;
+            }
+            let reps: Vec<f64> = (0..5)
+                .map(|_| truth * rng.gen_range(1.0 - noise / 2.0..=1.0 + noise / 2.0))
+                .collect();
+            set.add_repetitions(&[p], &reps);
+        }
+
+        let mut adaptive = pretrained.clone();
+        let outcome = adaptive.model(&set).expect("modeling succeeds");
+        let at_target = outcome.result.model.evaluate(&[target]).max(0.0);
+        predictions.push((
+            kernel.name.to_string(),
+            outcome.result.model.to_string(),
+            small_scale_time,
+            at_target,
+        ));
+        measured_share_total += small_scale_time;
+        predicted_total += at_target;
+    }
+
+    println!("\nper-kernel models and predictions:");
+    for (name, model, _, _) in &predictions {
+        println!("  {name:16} {model}");
+    }
+
+    println!("\nruntime share: measured at p = 512 vs predicted at p = {target}:");
+    predictions.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("finite predictions"));
+    for (name, _, small, large) in &predictions {
+        println!(
+            "  {name:16} {:5.1}%  ->  {:5.1}%{}",
+            100.0 * small / measured_share_total,
+            100.0 * large / predicted_total,
+            if *large / predicted_total > 0.5 { "   <-- scalability bug" } else { "" }
+        );
+    }
+
+    let (winner, _, _, _) = &predictions[0];
+    println!("\nverdict: `{winner}` will dominate at scale; at p = 512 it looked negligible.");
+}

@@ -1,0 +1,28 @@
+//! # nrpm — Noise-Resilient Performance Modeling
+//!
+//! Facade crate re-exporting the whole workspace: a Rust reproduction of
+//! *"Noise-Resilient Empirical Performance Modeling with Deep Neural
+//! Networks"* (Ritter et al., IPDPS 2021).
+//!
+//! Start with [`prelude`] for the common types, [`adaptive`] for the
+//! paper's contribution, or [`extrap`] for the Extra-P baseline.
+
+pub use nrpm_apps as apps;
+pub use nrpm_extrap as extrap;
+pub use nrpm_linalg as linalg;
+pub use nrpm_nn as nn;
+pub use nrpm_synth as synth;
+
+// The adaptive modeler's modules (from `nrpm-core`).
+pub use nrpm_core::{adaptive, dnn, metrics, noise, preprocess, threshold};
+
+/// The types most programs need.
+pub mod prelude {
+    pub use nrpm_core::adaptive::{AdaptiveModeler, AdaptiveOptions, AdaptiveOutcome, ModelerChoice};
+    pub use nrpm_core::dnn::{DnnModeler, DnnOptions};
+    pub use nrpm_core::noise::NoiseEstimate;
+    pub use nrpm_extrap::{
+        Aggregation, ExponentPair, MeasurementSet, Model, ModelingResult, RegressionModeler,
+    };
+    pub use nrpm_nn::{Network, NetworkConfig};
+}

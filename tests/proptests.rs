@@ -1,0 +1,205 @@
+//! Cross-crate property-based tests: invariants that must hold for
+//! arbitrary PMNF functions, measurement layouts, and noise levels.
+
+use nrpm::extrap::{
+    exponent_set, smape, Aggregation, ExponentPair, MeasurementSet, Model, RegressionModeler,
+    SingleParameterOptions, Term, TermFactor, NUM_CLASSES,
+};
+use nrpm::noise::NoiseEstimate;
+use nrpm::preprocess::{encode_line, NUM_INPUTS};
+use nrpm::synth::{extend_sequence, random_sequence, SequenceKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An arbitrary exponent pair from the canonical set.
+fn arb_pair() -> impl Strategy<Value = ExponentPair> {
+    (0..NUM_CLASSES).prop_map(|c| exponent_set().pair(c))
+}
+
+/// An arbitrary single-parameter model with positive coefficients.
+fn arb_model() -> impl Strategy<Value = Model> {
+    (arb_pair(), 0.001..100.0f64, 0.001..100.0f64).prop_map(|(pair, c0, c1)| {
+        let terms = if pair.is_constant() {
+            vec![]
+        } else {
+            vec![Term::new(c1, vec![TermFactor::new(0, pair)])]
+        };
+        Model::new(1, c0, terms)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every PMNF model is non-decreasing on x >= 2 (positive coefficients,
+    /// non-negative exponents).
+    #[test]
+    fn pmnf_models_are_monotone(model in arb_model(), a in 2.0..1e4f64, factor in 1.01..10.0f64) {
+        let lo = model.evaluate(&[a]);
+        let hi = model.evaluate(&[a * factor]);
+        prop_assert!(hi >= lo - 1e-9 * lo.abs(), "{model}: f({a}) = {lo} > f({}) = {hi}", a * factor);
+    }
+
+    /// The encoder accepts any clean line produced by a model over any
+    /// generated sequence, and emits exactly one value per point.
+    #[test]
+    fn encoder_handles_arbitrary_model_lines(
+        model in arb_model(),
+        kind_idx in 0usize..4,
+        len in 5usize..=11,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs = random_sequence(SequenceKind::ALL[kind_idx], len, &mut rng);
+        let ys: Vec<f64> = xs.iter().map(|&x| model.evaluate(&[x])).collect();
+        let input = encode_line(&xs, &ys).unwrap();
+        prop_assert_eq!(input.len(), NUM_INPUTS);
+        prop_assert_eq!(input.iter().filter(|&&v| v != 0.0).count(), len);
+        prop_assert!(input.iter().all(|v| v.is_finite()));
+    }
+
+    /// The encoding is invariant under multiplicative scaling of the values
+    /// (the classifier must see shapes, not magnitudes).
+    #[test]
+    fn encoding_is_scale_invariant(model in arb_model(), scale in 0.01..1000.0f64) {
+        let xs = [4.0, 8.0, 16.0, 32.0, 64.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| model.evaluate(&[x])).collect();
+        let scaled: Vec<f64> = ys.iter().map(|y| y * scale).collect();
+        let a = encode_line(&xs, &ys).unwrap();
+        let b = encode_line(&xs, &scaled).unwrap();
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// The noise estimator never reports noise on noise-free repetitions
+    /// and always reports non-negative levels.
+    #[test]
+    fn noise_estimator_sane_on_clean_data(model in arb_model(), reps in 2usize..6) {
+        let mut set = MeasurementSet::new(1);
+        for &x in &[2.0, 4.0, 8.0, 16.0, 32.0] {
+            let v = model.evaluate(&[x]);
+            set.add_repetitions(&[x], &vec![v; reps]);
+        }
+        let est = NoiseEstimate::of(&set);
+        prop_assert!(est.mean().abs() < 1e-9);
+        prop_assert!(est.pooled.abs() < 1e-9);
+    }
+
+    /// Injected noise is detected: the pooled estimate grows with the
+    /// injected level and never exceeds it grossly.
+    #[test]
+    fn noise_estimator_tracks_injected_level(level in 0.05..1.0f64, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set = MeasurementSet::new(1);
+        for i in 0..20 {
+            let truth = 10.0 + i as f64;
+            let reps: Vec<f64> = (0..5)
+                .map(|_| truth * rng.gen_range(1.0 - level / 2.0..=1.0 + level / 2.0))
+                .collect();
+            set.add_repetitions(&[(i + 1) as f64], &reps);
+        }
+        let est = NoiseEstimate::of(&set).pooled;
+        prop_assert!(est > 0.3 * level, "estimate {est} far below injected {level}");
+        // Deviations are measured against each point's *sample* mean,
+        // which wobbles; one point with a low mean and another with a high
+        // mean stretch the pooled range up to
+        // n/(1−n/2) + n/(1+n/2) = 2n/(1−n²/4) in the worst case.
+        let bound = 2.0 * level / (1.0 - level * level / 4.0) * 1.02 + 0.01;
+        prop_assert!(est <= bound, "estimate {est} above worst-case bound {bound} for {level}");
+    }
+
+    /// The regression modeler recovers the lead exponent of any clean
+    /// single-parameter PMNF function whose non-constant term is visible
+    /// (value spread above numerical noise).
+    #[test]
+    fn regression_recovers_clean_functions(model in arb_model()) {
+        let xs = [4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| model.evaluate(&[x])).collect();
+        // Skip functions whose term contributes less than 0.1% at the
+        // largest scale — indistinguishable from a constant by any method.
+        let constant_only = (ys[5] - ys[0]).abs() / ys[5] < 1e-3;
+        let mut set = MeasurementSet::new(1);
+        for (&x, &y) in xs.iter().zip(ys.iter()) {
+            set.add(&[x], y);
+        }
+        let result = RegressionModeler::default().model(&set).unwrap();
+        prop_assert!(result.cv_smape < 1.0, "cv {} for {model}", result.cv_smape);
+        if !constant_only {
+            let truth = model.lead_exponent_or_constant(0);
+            let got = result.model.lead_exponent_or_constant(0);
+            let d = nrpm::extrap::exponent_distance(&got, &truth);
+            prop_assert!(d <= 0.5, "{model}: recovered {got}, truth {truth} (d = {d})");
+        }
+    }
+
+    /// SMAPE of a model against its own predictions is zero; against
+    /// scaled predictions it is positive and bounded by 200.
+    #[test]
+    fn smape_bounds(values in prop::collection::vec(0.1..1e6f64, 1..30), scale in 1.01..10.0f64) {
+        let scaled: Vec<f64> = values.iter().map(|v| v * scale).collect();
+        prop_assert_eq!(smape(&values, &values), 0.0);
+        let s = smape(&values, &scaled);
+        prop_assert!(s > 0.0 && s <= 200.0);
+    }
+
+    /// Extended sequences always continue strictly beyond the original.
+    #[test]
+    fn sequence_extension_is_strictly_increasing(
+        kind_idx in 0usize..4,
+        len in 5usize..=11,
+        count in 1usize..=6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs = random_sequence(SequenceKind::ALL[kind_idx], len, &mut rng);
+        let ext = extend_sequence(&xs, count);
+        prop_assert_eq!(ext.len(), count);
+        let mut prev = *xs.last().unwrap();
+        for &v in &ext {
+            prop_assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    /// Median aggregation is invariant to outlier position within the
+    /// repetition vector.
+    #[test]
+    fn median_aggregation_is_permutation_invariant(
+        base in 1.0..1e4f64,
+        outlier_factor in 2.0..100.0f64,
+    ) {
+        let a = [base, base * 1.01, base * outlier_factor];
+        let b = [base * outlier_factor, base, base * 1.01];
+        prop_assert_eq!(Aggregation::Median.apply(&a), Aggregation::Median.apply(&b));
+    }
+
+    /// Measurement sets survive a JSON round trip for arbitrary contents.
+    #[test]
+    fn measurement_set_json_round_trip(
+        points in prop::collection::vec((1.0..1e5f64, prop::collection::vec(0.001..1e6f64, 1..6)), 1..20),
+    ) {
+        let mut set = MeasurementSet::new(1);
+        for (x, reps) in &points {
+            set.add_repetitions(&[*x], reps);
+        }
+        let back = MeasurementSet::from_json(&set.to_json()).unwrap();
+        prop_assert_eq!(set, back);
+    }
+
+    /// Single-parameter modeling with reduced min_points still yields
+    /// finite scores for any viable clean line.
+    #[test]
+    fn modeling_scores_are_finite(model in arb_model(), n in 5usize..=9) {
+        let mut set = MeasurementSet::new(1);
+        for i in 0..n {
+            let x = 2.0f64.powi(i as i32 + 1);
+            set.add(&[x], model.evaluate(&[x]));
+        }
+        let opts = SingleParameterOptions::default();
+        let result = nrpm::extrap::model_single_parameter(&set, &opts).unwrap();
+        prop_assert!(result.cv_smape.is_finite());
+        prop_assert!(result.fit_smape.is_finite());
+    }
+}
