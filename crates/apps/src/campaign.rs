@@ -72,9 +72,12 @@ impl CaseStudy {
     }
 }
 
+/// One PMNF factor: `(param, num, den, log)`.
+pub(crate) type PmnfFactor = (usize, i32, i32, u8);
+
 /// Terse PMNF model builder for the case-study ground truths: each term is
 /// `(coefficient, factors)` with factors `(param, num, den, log)`.
-pub(crate) fn pmnf(m: usize, c0: f64, terms: &[(f64, &[(usize, i32, i32, u8)])]) -> Model {
+pub(crate) fn pmnf(m: usize, c0: f64, terms: &[(f64, &[PmnfFactor])]) -> Model {
     use nrpm_extrap::{ExponentPair, Term, TermFactor};
     let terms = terms
         .iter()
@@ -219,7 +222,9 @@ mod tests {
             linear_truth(),
             0.5,
             &values(),
-            &Layout::CrossLines { base_index: vec![0, 0] },
+            &Layout::CrossLines {
+                base_index: vec![0, 0],
+            },
             2,
             NoiseRegime::uniform(0.0, 0.0),
             vec![16.0, 40.0],
@@ -230,7 +235,10 @@ mod tests {
         assert!(k.set.find(&[2.0, 10.0]).is_some());
         assert!(k.set.find(&[8.0, 10.0]).is_some());
         assert!(k.set.find(&[2.0, 30.0]).is_some());
-        assert!(k.set.find(&[8.0, 30.0]).is_none(), "corner must not be measured");
+        assert!(
+            k.set.find(&[8.0, 30.0]).is_none(),
+            "corner must not be measured"
+        );
     }
 
     #[test]

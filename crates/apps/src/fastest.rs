@@ -52,19 +52,44 @@ pub fn fastest(seed: u64) -> CaseStudy {
         ("pressure_correction", 0.12, 3.0, &[(6e-5, &[(1, 1, 1, 1)])]),
         ("sip_solver", 0.14, 2.5, &[(9e-5, &[(1, 1, 1, 1)])]),
         ("turbulence_model", 0.05, 1.0, &[(2e-4, &[(1, 1, 1, 0)])]),
-        ("gradient_reconstruction", 0.04, 0.8, &[(1.5e-4, &[(1, 1, 1, 0)])]),
+        (
+            "gradient_reconstruction",
+            0.04,
+            0.8,
+            &[(1.5e-4, &[(1, 1, 1, 0)])],
+        ),
         ("interpolation", 0.03, 0.5, &[(1e-4, &[(1, 1, 1, 0)])]),
         ("boundary_conditions", 0.02, 0.4, &[(2e-5, &[(1, 3, 4, 0)])]),
         // Communication-dominated kernels.
-        ("halo_exchange", 0.05, 1.0, &[(0.02, &[(0, 1, 2, 0)]), (1e-5, &[(1, 1, 1, 0)])]),
+        (
+            "halo_exchange",
+            0.05,
+            1.0,
+            &[(0.02, &[(0, 1, 2, 0)]), (1e-5, &[(1, 1, 1, 0)])],
+        ),
         ("global_reduce", 0.03, 0.5, &[(0.15, &[(0, 0, 1, 1)])]),
         ("convergence_check", 0.02, 0.3, &[(0.08, &[(0, 0, 1, 1)])]),
         ("pressure_comm", 0.02, 0.4, &[(0.01, &[(0, 1, 2, 0)])]),
         ("load_balance", 0.015, 0.2, &[(0.002, &[(0, 1, 1, 0)])]),
         // Mixed kernels: compute times a communication factor.
-        ("multigrid_cycle", 0.04, 1.2, &[(4e-5, &[(0, 0, 1, 1), (1, 1, 1, 0)])]),
-        ("residual_norm", 0.015, 0.3, &[(3e-5, &[(1, 1, 1, 0)]), (0.04, &[(0, 0, 1, 1)])]),
-        ("coefficient_update", 0.02, 0.6, &[(1.2e-4, &[(1, 1, 1, 0)])]),
+        (
+            "multigrid_cycle",
+            0.04,
+            1.2,
+            &[(4e-5, &[(0, 0, 1, 1), (1, 1, 1, 0)])],
+        ),
+        (
+            "residual_norm",
+            0.015,
+            0.3,
+            &[(3e-5, &[(1, 1, 1, 0)]), (0.04, &[(0, 0, 1, 1)])],
+        ),
+        (
+            "coefficient_update",
+            0.02,
+            0.6,
+            &[(1.2e-4, &[(1, 1, 1, 0)])],
+        ),
         // Below the relevance threshold.
         ("statistics_output", 0.008, 0.1, &[(1e-6, &[(1, 1, 1, 0)])]),
         ("checkpoint_write", 0.005, 0.5, &[(5e-7, &[(1, 1, 1, 0)])]),
@@ -79,7 +104,9 @@ pub fn fastest(seed: u64) -> CaseStudy {
                 pmnf(2, *c0, terms),
                 *share,
                 &values,
-                &Layout::CrossLines { base_index: vec![4, 4] },
+                &Layout::CrossLines {
+                    base_index: vec![4, 4],
+                },
                 5,
                 noise,
                 eval.clone(),

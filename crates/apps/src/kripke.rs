@@ -52,8 +52,18 @@ pub fn kripke(seed: u64) -> CaseStudy {
             8.51,
             &[(0.11, &[(0, 1, 3, 0), (1, 1, 1, 0), (2, 4, 5, 0)])],
         ),
-        ("LTimes", 0.12, 2.0, &[(0.004, &[(1, 1, 1, 0), (2, 1, 1, 0)])]),
-        ("LPlusTimes", 0.10, 1.8, &[(0.0035, &[(1, 1, 1, 0), (2, 1, 1, 0)])]),
+        (
+            "LTimes",
+            0.12,
+            2.0,
+            &[(0.004, &[(1, 1, 1, 0), (2, 1, 1, 0)])],
+        ),
+        (
+            "LPlusTimes",
+            0.10,
+            1.8,
+            &[(0.0035, &[(1, 1, 1, 0), (2, 1, 1, 0)])],
+        ),
         ("Scattering", 0.08, 1.2, &[(0.002, &[(2, 4, 3, 0)])]),
         ("Source", 0.05, 0.4, &[(0.01, &[(2, 1, 1, 0)])]),
         ("ParticleEdit", 0.04, 0.3, &[(0.05, &[(0, 0, 1, 1)])]),

@@ -46,7 +46,11 @@ pub struct NoiseRegime {
 impl NoiseRegime {
     /// A regime with uniform level distribution.
     pub fn uniform(min: f64, max: f64) -> Self {
-        NoiseRegime { min, max, skew: 1.0 }
+        NoiseRegime {
+            min,
+            max,
+            skew: 1.0,
+        }
     }
 
     /// Draws a *measured-scale* noise level from the skewed distribution.
@@ -83,7 +87,11 @@ mod tests {
 
     #[test]
     fn sampled_levels_stay_in_the_corrected_band() {
-        let regime = NoiseRegime { min: 0.0366, max: 0.5366, skew: 2.0 };
+        let regime = NoiseRegime {
+            min: 0.0366,
+            max: 0.5366,
+            skew: 2.0,
+        };
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..1000 {
             let level = regime.sample_level(&mut rng);
@@ -95,7 +103,11 @@ mod tests {
     #[test]
     fn skew_concentrates_mass_near_the_minimum() {
         let uniform = NoiseRegime::uniform(0.0, 1.0);
-        let skewed = NoiseRegime { min: 0.0, max: 1.0, skew: 3.0 };
+        let skewed = NoiseRegime {
+            min: 0.0,
+            max: 1.0,
+            skew: 3.0,
+        };
         let mut rng = StdRng::seed_from_u64(9);
         let mean_of = |r: &NoiseRegime, rng: &mut StdRng| {
             (0..5000).map(|_| r.sample_level(rng)).sum::<f64>() / 5000.0
@@ -107,7 +119,11 @@ mod tests {
 
     #[test]
     fn expected_mean_formula_matches_empirical_mean() {
-        let regime = NoiseRegime { min: 0.1, max: 0.7, skew: 2.5 };
+        let regime = NoiseRegime {
+            min: 0.1,
+            max: 0.7,
+            skew: 2.5,
+        };
         let mut rng = StdRng::seed_from_u64(13);
         let empirical: f64 = (0..20000)
             .map(|_| regime.sample_level(&mut rng) * RANGE_RECOVERY_5_REPS)

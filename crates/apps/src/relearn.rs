@@ -41,7 +41,12 @@ pub fn relearn(seed: u64) -> CaseStudy {
             &[(0.5, &[(0, 1, 1, 0)]), (0.01, &[(1, 1, 1, 2)])],
         ),
         // Electrical activity update: linear in the local neuron count.
-        ("update_electrical_activity", 0.25, 5.0, &[(0.002, &[(1, 1, 1, 0)])]),
+        (
+            "update_electrical_activity",
+            0.25,
+            5.0,
+            &[(0.002, &[(1, 1, 1, 0)])],
+        ),
         // Setup below the relevance threshold.
         ("initialization", 0.005, 0.5, &[(1e-4, &[(1, 1, 1, 0)])]),
     ];
@@ -55,7 +60,9 @@ pub fn relearn(seed: u64) -> CaseStudy {
                 pmnf(2, *c0, terms),
                 *share,
                 &values,
-                &Layout::CrossLines { base_index: vec![0, 0] },
+                &Layout::CrossLines {
+                    base_index: vec![0, 0],
+                },
                 2, // the paper's RELeARN campaign used two repetitions
                 noise,
                 eval.clone(),

@@ -50,12 +50,19 @@ fn kripke_prediction_error_is_in_a_sane_band() {
             errors.push(100.0 * (pred - kernel.eval_measured).abs() / kernel.eval_measured);
         }
     }
-    assert_eq!(errors.len(), 6, "all six relevant kernels must be modelable");
+    assert_eq!(
+        errors.len(),
+        6,
+        "all six relevant kernels must be modelable"
+    );
     errors.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
     let median = (errors[2] + errors[3]) / 2.0;
     // The paper reports 22.28 % for the regression modeler on real Kripke
     // data; the simulated campaign should land within a loose band of that.
-    assert!(median < 80.0, "median prediction error {median:.1}% looks broken");
+    assert!(
+        median < 80.0,
+        "median prediction error {median:.1}% looks broken"
+    );
 }
 
 #[test]
@@ -63,7 +70,9 @@ fn relearn_is_modelable_with_tight_fit() {
     let study = relearn(0x5EED);
     let modeler = RegressionModeler::default();
     for kernel in study.relevant_kernels() {
-        let result = modeler.model(&kernel.set).expect("RELeARN is nearly noise-free");
+        let result = modeler
+            .model(&kernel.set)
+            .expect("RELeARN is nearly noise-free");
         assert!(
             result.cv_smape < 5.0,
             "{}: cv {:.2}% too high for ~0.65% noise",
@@ -85,7 +94,10 @@ fn fastest_campaigns_are_modelable_despite_heavy_noise() {
     }
     // With nine points and up to 160 % noise a few kernels may defeat the
     // baseline, but the bulk must produce models.
-    assert!(ok >= 14, "only {ok}/18 relevant FASTEST kernels were modelable");
+    assert!(
+        ok >= 14,
+        "only {ok}/18 relevant FASTEST kernels were modelable"
+    );
 }
 
 #[test]
@@ -97,6 +109,9 @@ fn campaign_seeds_change_measurements_but_not_structure() {
         assert_eq!(ka.name, kb.name);
         assert_eq!(ka.truth, kb.truth);
         assert_eq!(ka.set.len(), kb.set.len());
-        assert_ne!(ka.set, kb.set, "different seeds must produce different noise");
+        assert_ne!(
+            ka.set, kb.set,
+            "different seeds must produce different noise"
+        );
     }
 }

@@ -3,7 +3,7 @@
 //! the regression modeler's hot path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use nrpm_linalg::{lstsq, matmul_threaded, Matrix, MatmulOptions};
+use nrpm_linalg::{lstsq, matmul_threaded, MatmulOptions, Matrix};
 
 fn pseudo_random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut state = seed | 1;
@@ -23,7 +23,15 @@ fn bench_matmul(c: &mut Criterion) {
         group.throughput(Throughput::Elements((2 * n * n * n) as u64));
         group.bench_with_input(BenchmarkId::new("sequential", n), &n, |bench, _| {
             bench.iter(|| {
-                matmul_threaded(&a, &b, MatmulOptions { threads: 1, ..Default::default() }).unwrap()
+                matmul_threaded(
+                    &a,
+                    &b,
+                    MatmulOptions {
+                        threads: 1,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("threaded", n), &n, |bench, _| {
@@ -31,7 +39,10 @@ fn bench_matmul(c: &mut Criterion) {
                 matmul_threaded(
                     &a,
                     &b,
-                    MatmulOptions { parallel_threshold: 1, ..Default::default() },
+                    MatmulOptions {
+                        parallel_threshold: 1,
+                        ..Default::default()
+                    },
                 )
                 .unwrap()
             })

@@ -15,7 +15,10 @@ use rand::SeedableRng;
 fn light_dnn() -> DnnModeler {
     DnnModeler::pretrained(DnnOptions {
         network: NetworkConfig::new(&[NUM_INPUTS, 64, nrpm_extrap::NUM_CLASSES]),
-        pretrain_spec: TrainingSpec { samples_per_class: 40, ..Default::default() },
+        pretrain_spec: TrainingSpec {
+            samples_per_class: 40,
+            ..Default::default()
+        },
         pretrain_epochs: 3,
         seed: 1,
         ..Default::default()
@@ -34,9 +37,11 @@ fn bench_modeling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("regression", m), &task, |bench, task| {
             bench.iter(|| regression.model(&task.set).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("dnn_inference", m), &task, |bench, task| {
-            bench.iter(|| dnn.model(&task.set).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dnn_inference", m),
+            &task,
+            |bench, task| bench.iter(|| dnn.model(&task.set).unwrap()),
+        );
     }
     group.finish();
 }

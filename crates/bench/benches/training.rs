@@ -13,7 +13,10 @@ use rand::SeedableRng;
 
 fn bench_training_epoch(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(11);
-    let spec = TrainingSpec { samples_per_class: 20, ..Default::default() };
+    let spec = TrainingSpec {
+        samples_per_class: 20,
+        ..Default::default()
+    };
     let data = dataset_from_samples(&generate_training_samples(&spec, &mut rng));
 
     let mut group = c.benchmark_group("train_epoch");
@@ -23,29 +26,36 @@ fn bench_training_epoch(c: &mut Criterion) {
         ("adam", OptimizerKind::adam_default()),
         ("sgd", OptimizerKind::sgd(0.01)),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &optimizer, |bench, &opt| {
-            bench.iter(|| {
-                let mut net = Network::new(&NetworkConfig::compact(), 3);
-                net.train(
-                    &data,
-                    &TrainerOptions {
-                        epochs: 1,
-                        batch_size: 128,
-                        optimizer: opt,
-                        shuffle_seed: 1,
-                        ..Default::default()
-                    },
-                )
-                .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &optimizer,
+            |bench, &opt| {
+                bench.iter(|| {
+                    let mut net = Network::new(&NetworkConfig::compact(), 3);
+                    net.train(
+                        &data,
+                        &TrainerOptions {
+                            epochs: 1,
+                            batch_size: 128,
+                            optimizer: opt,
+                            shuffle_seed: 1,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }
 
 fn bench_inference(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(13);
-    let spec = TrainingSpec { samples_per_class: 5, ..Default::default() };
+    let spec = TrainingSpec {
+        samples_per_class: 5,
+        ..Default::default()
+    };
     let data = dataset_from_samples(&generate_training_samples(&spec, &mut rng));
     let net = Network::new(&NetworkConfig::compact(), 3);
     assert_eq!(net.input_dim(), NUM_INPUTS);

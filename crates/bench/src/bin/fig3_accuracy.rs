@@ -17,7 +17,11 @@ use nrpm_core::dnn::DnnOptions;
 fn main() {
     let args = Args::parse();
     let params: usize = args.get("params", 0);
-    let param_range: Vec<usize> = if params == 0 { vec![1, 2, 3] } else { vec![params] };
+    let param_range: Vec<usize> = if params == 0 {
+        vec![1, 2, 3]
+    } else {
+        vec![params]
+    };
 
     for m in param_range {
         let mut dnn = if args.has("paper-net") {
@@ -44,8 +48,11 @@ fn main() {
             ..Default::default()
         };
 
-        println!("\n== Fig. 3({}) — model accuracy, m = {m}, {} functions/level ==\n",
-            ["a", "b", "c"][m - 1], config.functions);
+        println!(
+            "\n== Fig. 3({}) — model accuracy, m = {m}, {} functions/level ==\n",
+            ["a", "b", "c"][m - 1],
+            config.functions
+        );
         let results = run_sweep(&config);
 
         let mut table = Table::new(&[
@@ -89,8 +96,7 @@ fn main() {
 
         if args.has("show-dnn") {
             println!("\nDNN-only accuracy (the always-DNN ablation):\n");
-            let mut dnn_table =
-                Table::new(&["noise", "dnn d<=1/4", "dnn d<=1/3", "dnn d<=1/2"]);
+            let mut dnn_table = Table::new(&["noise", "dnn d<=1/4", "dnn d<=1/3", "dnn d<=1/2"]);
             for r in &results {
                 dnn_table.row(vec![
                     pct(r.noise),

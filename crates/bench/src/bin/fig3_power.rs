@@ -17,7 +17,11 @@ use nrpm_core::dnn::DnnOptions;
 fn main() {
     let args = Args::parse();
     let params: usize = args.get("params", 0);
-    let param_range: Vec<usize> = if params == 0 { vec![1, 2, 3] } else { vec![params] };
+    let param_range: Vec<usize> = if params == 0 {
+        vec![1, 2, 3]
+    } else {
+        vec![params]
+    };
 
     for m in param_range {
         let mut dnn = if args.has("paper-net") {
@@ -43,8 +47,11 @@ fn main() {
             ..Default::default()
         };
 
-        println!("\n== Fig. 3({}) — predictive power, m = {m}, {} functions/level ==\n",
-            ["d", "e", "f"][m - 1], config.functions);
+        println!(
+            "\n== Fig. 3({}) — predictive power, m = {m}, {} functions/level ==\n",
+            ["d", "e", "f"][m - 1],
+            config.functions
+        );
         println!("median relative prediction error (%) at P+1..P+4\n");
         let results = run_sweep(&config);
 

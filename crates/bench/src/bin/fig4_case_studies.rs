@@ -58,13 +58,11 @@ fn main() {
 
             if let Ok(r) = &reg {
                 let pred = r.model.evaluate(&kernel.eval_point);
-                reg_errors
-                    .push(100.0 * (pred - kernel.eval_measured).abs() / kernel.eval_measured);
+                reg_errors.push(100.0 * (pred - kernel.eval_measured).abs() / kernel.eval_measured);
             }
             if let Ok(a) = &ada {
                 let pred = a.result.model.evaluate(&kernel.eval_point);
-                ada_errors
-                    .push(100.0 * (pred - kernel.eval_measured).abs() / kernel.eval_measured);
+                ada_errors.push(100.0 * (pred - kernel.eval_measured).abs() / kernel.eval_measured);
             }
             if show_models {
                 model_lines.push(format!(

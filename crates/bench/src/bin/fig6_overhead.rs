@@ -37,7 +37,13 @@ fn main() {
     let regression = RegressionModeler::default();
 
     println!("\n== Fig. 6 — modeling time for the main kernels (seconds) ==\n");
-    let mut table = Table::new(&["study", "kernels", "regression [s]", "adaptive [s]", "slowdown"]);
+    let mut table = Table::new(&[
+        "study",
+        "kernels",
+        "regression [s]",
+        "adaptive [s]",
+        "slowdown",
+    ]);
 
     for study in all_case_studies(seed) {
         let kernels: Vec<_> = study.relevant_kernels().collect();

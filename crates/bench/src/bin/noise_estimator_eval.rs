@@ -24,10 +24,7 @@ fn main() {
     let reps: usize = args.get("reps", 5);
     let seed: u64 = args.get("seed", 0x401);
 
-    let levels = args.get_f64_list(
-        "noise",
-        &[0.02, 0.05, 0.10, 0.20, 0.30, 0.50, 0.75, 1.00],
-    );
+    let levels = args.get_f64_list("noise", &[0.02, 0.05, 0.10, 0.20, 0.30, 0.50, 0.75, 1.00]);
 
     println!("== Noise-estimator evaluation (pooled rrd heuristic) ==\n");
     println!("{sets} synthetic sets per level, {points} points, {reps} repetitions\n");
@@ -57,12 +54,7 @@ fn main() {
         let abs_err = (mean_est - level).abs();
         let rel_err = abs_err / level;
         all_rel_errors.push(rel_err);
-        table.row(vec![
-            pct(level),
-            pct(mean_est),
-            pct(abs_err),
-            pct(rel_err),
-        ]);
+        table.row(vec![pct(level), pct(mean_est), pct(abs_err), pct(rel_err)]);
     }
 
     table.print();

@@ -31,17 +31,22 @@ fn main() {
 
     println!(
         "pretraining {:?} on {} samples/class for {} epochs...",
-        opts.network.layer_sizes,
-        opts.pretrain_spec.samples_per_class,
-        opts.pretrain_epochs
+        opts.network.layer_sizes, opts.pretrain_spec.samples_per_class, opts.pretrain_epochs
     );
     let t0 = Instant::now();
     let modeler = DnnModeler::pretrained(opts);
-    println!("trained in {:.1}s ({} parameters)", t0.elapsed().as_secs_f64(), modeler.network().num_parameters());
+    println!(
+        "trained in {:.1}s ({} parameters)",
+        t0.elapsed().as_secs_f64(),
+        modeler.network().num_parameters()
+    );
 
     // Report held-out classification quality before saving.
     let mut rng = StdRng::seed_from_u64(0xE7A1);
-    let eval_spec = TrainingSpec { samples_per_class: 25, ..Default::default() };
+    let eval_spec = TrainingSpec {
+        samples_per_class: 25,
+        ..Default::default()
+    };
     let eval = dataset_from_samples(&generate_training_samples(&eval_spec, &mut rng));
     let top1 = modeler.network().accuracy(&eval).unwrap();
     let top3 = modeler.network().top_k_accuracy(&eval, 3).unwrap();

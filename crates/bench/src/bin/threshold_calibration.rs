@@ -16,7 +16,11 @@ use nrpm_core::threshold::{default_threshold, intersection_threshold, AccuracyCu
 fn main() {
     let args = Args::parse();
     let params: usize = args.get("params", 0);
-    let param_range: Vec<usize> = if params == 0 { vec![1, 2, 3] } else { vec![params] };
+    let param_range: Vec<usize> = if params == 0 {
+        vec![1, 2, 3]
+    } else {
+        vec![params]
+    };
     // A denser grid around the expected crossing region.
     let noise_levels = args.get_f64_list(
         "noise",
@@ -24,7 +28,12 @@ fn main() {
     );
 
     println!("== Switching-threshold calibration (accuracy-curve intersections) ==\n");
-    let mut table = Table::new(&["m", "crossing (d<=1/4)", "crossing (d<=1/2)", "shipped default"]);
+    let mut table = Table::new(&[
+        "m",
+        "crossing (d<=1/4)",
+        "crossing (d<=1/2)",
+        "shipped default",
+    ]);
 
     for m in param_range {
         let config = SweepConfig {
@@ -66,5 +75,7 @@ fn main() {
     }
 
     table.print();
-    println!("\nuse `AdaptiveOptions {{ thresholds: Some(vec![...]), .. }}` to apply custom values");
+    println!(
+        "\nuse `AdaptiveOptions {{ thresholds: Some(vec![...]), .. }}` to apply custom values"
+    );
 }

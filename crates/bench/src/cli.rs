@@ -22,12 +22,10 @@ impl Args {
         let mut iter = iter.into_iter().peekable();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                let next_is_value = iter
-                    .peek()
-                    .map(|n| !n.starts_with("--"))
-                    .unwrap_or(false);
+                let next_is_value = iter.peek().map(|n| !n.starts_with("--")).unwrap_or(false);
                 if next_is_value {
-                    args.values.insert(name.to_string(), iter.next().expect("peeked"));
+                    args.values
+                        .insert(name.to_string(), iter.next().expect("peeked"));
                 } else {
                     args.switches.push(name.to_string());
                 }
@@ -58,7 +56,11 @@ impl Args {
         match self.values.get(name) {
             Some(raw) => raw
                 .split(',')
-                .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("flag --{name}: bad float `{s}`")))
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("flag --{name}: bad float `{s}`"))
+                })
                 .collect(),
             None => default.to_vec(),
         }
@@ -115,7 +117,10 @@ mod tests {
 
     #[test]
     fn aggregation_flag_variants() {
-        assert_eq!(aggregation_flag(&parse("")), nrpm_extrap::Aggregation::Median);
+        assert_eq!(
+            aggregation_flag(&parse("")),
+            nrpm_extrap::Aggregation::Median
+        );
         assert_eq!(
             aggregation_flag(&parse("--aggregation mean")),
             nrpm_extrap::Aggregation::Mean

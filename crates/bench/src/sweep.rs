@@ -59,7 +59,9 @@ impl Default for SweepConfig {
             noise_levels: crate::PAPER_NOISE_LEVELS.to_vec(),
             functions: 200,
             seed: 0xF16,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             dnn: DnnOptions::default(),
             adaptation: true,
             threshold: None,
@@ -93,7 +95,11 @@ impl ModelerStats {
     /// values).
     pub fn quarter_ci99(&self) -> Option<(f64, f64)> {
         let total = self.distances.len();
-        let hits = self.distances.iter().filter(|&&d| d <= 0.25 + 1e-12).count();
+        let hits = self
+            .distances
+            .iter()
+            .filter(|&&d| d <= 0.25 + 1e-12)
+            .count();
         stats::wilson_interval(hits, total, 2.576)
     }
 
@@ -207,7 +213,9 @@ fn run_noise_level(config: &SweepConfig, pretrained: &DnnModeler, noise: f64) ->
         });
     }
 
-    let threshold = config.threshold.unwrap_or_else(|| default_threshold(config.num_params));
+    let threshold = config
+        .threshold
+        .unwrap_or_else(|| default_threshold(config.num_params));
     let mut regression = RegressionModeler::default();
     regression.single.aggregation = config.aggregation;
     if !config.refined_baseline {
@@ -229,8 +237,11 @@ fn run_noise_level(config: &SweepConfig, pretrained: &DnnModeler, noise: f64) ->
         let dnn_slices = dnn_outcomes.chunks_mut(chunk);
         let ada_slices = adaptive_outcomes.chunks_mut(chunk);
         let est_slices = estimated.chunks_mut(chunk);
-        for ((((task_c, reg_c), dnn_c), ada_c), est_c) in
-            task_slices.zip(reg_slices).zip(dnn_slices).zip(ada_slices).zip(est_slices)
+        for ((((task_c, reg_c), dnn_c), ada_c), est_c) in task_slices
+            .zip(reg_slices)
+            .zip(dnn_slices)
+            .zip(ada_slices)
+            .zip(est_slices)
         {
             let regression = &regression;
             let dnn = &dnn;
@@ -288,7 +299,10 @@ mod tests {
             functions: 24,
             dnn: DnnOptions {
                 network: NetworkConfig::new(&[NUM_INPUTS, 48, nrpm_extrap::NUM_CLASSES]),
-                pretrain_spec: TrainingSpec { samples_per_class: 30, ..Default::default() },
+                pretrain_spec: TrainingSpec {
+                    samples_per_class: 30,
+                    ..Default::default()
+                },
                 pretrain_epochs: 3,
                 adaptation_samples_per_class: 20,
                 seed: 2,

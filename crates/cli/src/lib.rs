@@ -7,7 +7,8 @@
 use nrpm_core::adaptive::{AdaptiveModeler, AdaptiveOptions};
 use nrpm_core::noise::NoiseEstimate;
 use nrpm_core::report::render_outcome;
-use nrpm_extrap::{parse_text, MeasurementSet, RegressionModeler};
+use nrpm_core::sanitize::{sanitize, SanitizeOptions, SanitizePolicy};
+use nrpm_extrap::{parse_text_file, MeasurementSet, ModelError, RegressionModeler};
 use nrpm_nn::Network;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -15,11 +16,53 @@ use std::path::{Path, PathBuf};
 /// Usage text shown on argument errors.
 pub const USAGE: &str = "\
 usage:
-  nrpm-model fit <file> [--adaptive] [--network net.json] [--at x1,x2,...]
+  nrpm-model fit <file> [--adaptive] [--strict|--lenient] [--network net.json] [--at x1,x2,...]
   nrpm-model noise <file>
   nrpm-model pretrain --out net.json [--samples N] [--epochs E] [--paper-net]
 
-measurement files: PARAMS/POINT text format, or a MeasurementSet .json";
+measurement files: PARAMS/POINT text format, or a MeasurementSet .json
+
+input handling:
+  --lenient (default)  repair corrupt values (drop NaN/Inf/zeros, clamp
+                       spikes) and report what changed
+  --strict             refuse input that would need any repair
+
+exit codes: 0 success, 2 usage, 3 unreadable or malformed input,
+            4 recoverable modeling failure, 5 fatal modeling failure";
+
+/// An error carrying the process exit code of its class: `2` usage,
+/// `3` I/O or parse, `4` recoverable modeling error, `5` fatal modeling
+/// error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError {
+    /// Human-readable description.
+    pub message: String,
+    /// Process exit code.
+    pub code: u8,
+}
+
+impl CliError {
+    fn io(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 3,
+        }
+    }
+
+    fn model(e: ModelError) -> Self {
+        let code = if e.is_recoverable() { 4 } else { 5 };
+        CliError {
+            message: e.to_string(),
+            code,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
 
 /// A parsed command-line invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +77,8 @@ pub enum Invocation {
         network: Option<PathBuf>,
         /// Evaluate the fitted model at this point.
         at: Option<Vec<f64>>,
+        /// How corrupt input is handled (`--strict` / `--lenient`).
+        policy: SanitizePolicy,
     },
     /// Analyze the noise of a measurement file.
     Noise {
@@ -84,10 +129,7 @@ impl Invocation {
 
         match command.as_str() {
             "fit" => {
-                let file = positional
-                    .first()
-                    .ok_or("fit: missing <file>")?
-                    .into();
+                let file = positional.first().ok_or("fit: missing <file>")?.into();
                 let at = match get_value("at")? {
                     Some(raw) => Some(
                         raw.split(',')
@@ -100,11 +142,17 @@ impl Invocation {
                     ),
                     None => None,
                 };
+                let policy = match (get_flag("strict").is_some(), get_flag("lenient").is_some()) {
+                    (true, true) => return Err("--strict and --lenient conflict".to_string()),
+                    (true, false) => SanitizePolicy::Strict,
+                    _ => SanitizePolicy::Lenient,
+                };
                 Ok(Invocation::Fit {
                     file,
                     adaptive: get_flag("adaptive").is_some(),
                     network: get_value("network")?.map(PathBuf::from),
                     at,
+                    policy,
                 })
             }
             "noise" => Ok(Invocation::Noise {
@@ -129,30 +177,43 @@ impl Invocation {
     }
 }
 
-/// Loads a measurement set from a text or JSON file.
+/// Loads a measurement set from a text or JSON file. Every failure carries
+/// the offending path (and, for text files, the line number).
 pub fn load_measurements(path: &Path) -> Result<MeasurementSet, String> {
-    let raw = std::fs::read_to_string(path)
-        .map_err(|e| format!("{}: {e}", path.display()))?;
     if path.extension().is_some_and(|e| e == "json") {
+        let raw = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
         MeasurementSet::from_json(&raw).map_err(|e| format!("{}: {e}", path.display()))
     } else {
-        parse_text(&raw)
+        parse_text_file(path)
             .map(|named| named.set)
-            .map_err(|e| format!("{}: {e}", path.display()))
+            .map_err(|e| e.to_string())
     }
 }
 
 /// Executes an invocation and returns the text to print.
-pub fn run(invocation: &Invocation) -> Result<String, String> {
+pub fn run(invocation: &Invocation) -> Result<String, CliError> {
     match invocation {
-        Invocation::Fit { file, adaptive, network, at } => {
-            let set = load_measurements(file)?;
+        Invocation::Fit {
+            file,
+            adaptive,
+            network,
+            at,
+            policy,
+        } => {
+            let set = load_measurements(file).map_err(CliError::io)?;
             let mut out = String::new();
             if *adaptive {
-                let options = AdaptiveOptions::default();
+                let options = AdaptiveOptions {
+                    sanitize: SanitizeOptions {
+                        policy: *policy,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
                 let mut modeler = match network {
                     Some(path) => {
-                        let net = Network::load(path).map_err(|e| e.to_string())?;
+                        let net = Network::load(path)
+                            .map_err(|e| CliError::io(format!("{}: {e}", path.display())))?;
                         AdaptiveModeler::from_network(options, net)
                     }
                     None => {
@@ -160,7 +221,7 @@ pub fn run(invocation: &Invocation) -> Result<String, String> {
                         AdaptiveModeler::pretrained(options)
                     }
                 };
-                let outcome = modeler.model(&set).map_err(|e| e.to_string())?;
+                let outcome = modeler.model(&set).map_err(CliError::model)?;
                 out.push_str(&render_outcome(&outcome));
                 if let Some(point) = at {
                     let _ = writeln!(
@@ -171,7 +232,24 @@ pub fn run(invocation: &Invocation) -> Result<String, String> {
                     );
                 }
             } else {
-                let result = RegressionModeler::default().model(&set).map_err(|e| e.to_string())?;
+                // The regression-only path honors the same input policy.
+                let sanitize_opts = SanitizeOptions {
+                    policy: *policy,
+                    ..Default::default()
+                };
+                let (clean, quality) = sanitize(&set, &sanitize_opts);
+                if *policy == SanitizePolicy::Strict && !quality.is_clean() {
+                    return Err(CliError::model(ModelError::CorruptData {
+                        dropped: quality.dropped() + quality.points_dropped,
+                        clamped: quality.clamped,
+                    }));
+                }
+                if clean.is_empty() {
+                    return Err(CliError::model(ModelError::NoUsableData));
+                }
+                let result = RegressionModeler::default()
+                    .model(&clean)
+                    .map_err(CliError::model)?;
                 let _ = writeln!(out, "model:      {}", result.model);
                 let _ = writeln!(out, "growth:     {}", result.model.asymptotic_string());
                 let _ = writeln!(
@@ -179,6 +257,16 @@ pub fn run(invocation: &Invocation) -> Result<String, String> {
                     "selection:  regression modeler (cv-SMAPE {:.3}%, fit-SMAPE {:.3}%)",
                     result.cv_smape, result.fit_smape
                 );
+                if !quality.is_clean() {
+                    let _ = writeln!(
+                        out,
+                        "quality:    {} of {} points removed, {} repetitions dropped, {} clamped",
+                        quality.points_dropped,
+                        quality.points_in,
+                        quality.dropped(),
+                        quality.clamped,
+                    );
+                }
                 if let Some(point) = at {
                     let _ = writeln!(
                         out,
@@ -191,11 +279,14 @@ pub fn run(invocation: &Invocation) -> Result<String, String> {
             Ok(out)
         }
         Invocation::Noise { file } => {
-            let set = load_measurements(file)?;
+            let set = load_measurements(file).map_err(CliError::io)?;
             let est = NoiseEstimate::of(&set);
             let mut out = String::new();
             if est.is_empty() {
-                let _ = writeln!(out, "no repetition information (need >= 2 values per point)");
+                let _ = writeln!(
+                    out,
+                    "no repetition information (need >= 2 values per point)"
+                );
             } else {
                 let _ = writeln!(out, "points analyzed: {}", est.per_point.len());
                 let _ = writeln!(out, "mean noise:      {:.2}%", est.mean() * 100.0);
@@ -210,7 +301,12 @@ pub fn run(invocation: &Invocation) -> Result<String, String> {
             }
             Ok(out)
         }
-        Invocation::Pretrain { out, samples, epochs, paper_net } => {
+        Invocation::Pretrain {
+            out,
+            samples,
+            epochs,
+            paper_net,
+        } => {
             use nrpm_core::dnn::{DnnModeler, DnnOptions};
             let mut options = if *paper_net {
                 DnnOptions::paper_fidelity()
@@ -220,7 +316,10 @@ pub fn run(invocation: &Invocation) -> Result<String, String> {
             options.pretrain_spec.samples_per_class = *samples;
             options.pretrain_epochs = *epochs;
             let modeler = DnnModeler::pretrained(options);
-            modeler.network().save(out).map_err(|e| e.to_string())?;
+            modeler
+                .network()
+                .save(out)
+                .map_err(|e| CliError::io(format!("{}: {e}", out.display())))?;
             Ok(format!(
                 "trained {} parameters, saved to {}\n",
                 modeler.network().num_parameters(),
@@ -248,6 +347,7 @@ mod tests {
                 adaptive: true,
                 network: Some("net.json".into()),
                 at: Some(vec![4096.0, 8192.0]),
+                policy: SanitizePolicy::Lenient,
             }
         );
     }
@@ -257,17 +357,52 @@ mod tests {
         let inv = parse("fit data.txt").unwrap();
         assert_eq!(
             inv,
-            Invocation::Fit { file: "data.txt".into(), adaptive: false, network: None, at: None }
+            Invocation::Fit {
+                file: "data.txt".into(),
+                adaptive: false,
+                network: None,
+                at: None,
+                policy: SanitizePolicy::Lenient,
+            }
         );
     }
 
     #[test]
+    fn parses_the_strictness_flags() {
+        assert!(matches!(
+            parse("fit data.txt --strict").unwrap(),
+            Invocation::Fit {
+                policy: SanitizePolicy::Strict,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("fit data.txt --lenient").unwrap(),
+            Invocation::Fit {
+                policy: SanitizePolicy::Lenient,
+                ..
+            }
+        ));
+        assert!(parse("fit data.txt --strict --lenient").is_err());
+    }
+
+    #[test]
     fn parses_noise_and_pretrain() {
-        assert_eq!(parse("noise m.json").unwrap(), Invocation::Noise { file: "m.json".into() });
+        assert_eq!(
+            parse("noise m.json").unwrap(),
+            Invocation::Noise {
+                file: "m.json".into()
+            }
+        );
         let inv = parse("pretrain --out n.json --samples 100 --epochs 5 --paper-net").unwrap();
         assert_eq!(
             inv,
-            Invocation::Pretrain { out: "n.json".into(), samples: 100, epochs: 5, paper_net: true }
+            Invocation::Pretrain {
+                out: "n.json".into(),
+                samples: 100,
+                epochs: 5,
+                paper_net: true
+            }
         );
     }
 
@@ -296,10 +431,59 @@ mod tests {
             adaptive: false,
             network: None,
             at: Some(vec![1024.0]),
+            policy: SanitizePolicy::Lenient,
         })
         .unwrap();
         assert!(out.contains("O(x1)"), "{out}");
         assert!(out.contains("2048"), "{out}"); // 2 * 1024
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_input_is_repaired_leniently_and_refused_strictly() {
+        let dir = std::env::temp_dir().join("nrpm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.txt");
+        let mut text = String::from("PARAMS 1 processes\n");
+        for x in [4, 8, 16, 32, 64] {
+            // One NaN repetition per point.
+            text.push_str(&format!("POINT {x} DATA {} {} nan\n", 2 * x, 2 * x));
+        }
+        std::fs::write(&path, text).unwrap();
+
+        let lenient = run(&Invocation::Fit {
+            file: path.clone(),
+            adaptive: false,
+            network: None,
+            at: None,
+            policy: SanitizePolicy::Lenient,
+        })
+        .unwrap();
+        assert!(lenient.contains("quality:"), "{lenient}");
+        assert!(lenient.contains("5 repetitions dropped"), "{lenient}");
+
+        let strict = run(&Invocation::Fit {
+            file: path.clone(),
+            adaptive: false,
+            network: None,
+            at: None,
+            policy: SanitizePolicy::Strict,
+        })
+        .unwrap_err();
+        assert_eq!(strict.code, 4, "CorruptData is recoverable: {strict:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_failures_carry_the_path_and_exit_code_3() {
+        let dir = std::env::temp_dir().join("nrpm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.txt");
+        std::fs::write(&path, "PARAMS 1 p\nPOINT oops DATA 1\n").unwrap();
+        let err = run(&Invocation::Noise { file: path.clone() }).unwrap_err();
+        assert_eq!(err.code, 3);
+        assert!(err.message.contains("broken.txt"), "{err:?}");
+        assert!(err.message.contains("line 2"), "{err:?}");
         std::fs::remove_file(&path).ok();
     }
 
@@ -322,7 +506,10 @@ mod tests {
 
     #[test]
     fn missing_files_produce_errors_not_panics() {
-        assert!(run(&Invocation::Noise { file: "/nonexistent/x.txt".into() }).is_err());
+        assert!(run(&Invocation::Noise {
+            file: "/nonexistent/x.txt".into()
+        })
+        .is_err());
         assert!(load_measurements(Path::new("/nonexistent/x.json")).is_err());
     }
 }

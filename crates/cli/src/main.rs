@@ -9,6 +9,11 @@
 //! Measurement files use the `PARAMS`/`POINT … DATA …` text format (see
 //! `nrpm-extrap`) or, with a `.json` extension, the serde representation of
 //! a `MeasurementSet`.
+//!
+//! Exit codes classify failures so scripts can react: `0` success, `2`
+//! usage, `3` unreadable or malformed input, `4` recoverable modeling
+//! failure (e.g. corrupt data under `--strict`), `5` fatal modeling
+//! failure.
 
 use nrpm_cli::{run, Invocation};
 use std::process::ExitCode;
@@ -23,7 +28,7 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("error: {e}");
-                ExitCode::FAILURE
+                ExitCode::from(e.code)
             }
         },
         Err(e) => {

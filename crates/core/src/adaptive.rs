@@ -5,11 +5,29 @@
 //! SMAPE winner is returned; above it only the DNN runs — at high noise the
 //! regression modeler's tight in-sample fit actively hurts extrapolation,
 //! so keeping it in the race would degrade predictive power.
+//!
+//! # Robustness
+//!
+//! The entry point [`AdaptiveModeler::model`] is fault-tolerant end to end
+//! (see DESIGN.md, "Fault model & degraded modes"):
+//!
+//! * the input is **sanitized** first ([`crate::sanitize`]) and the
+//!   [`DataQualityReport`] travels with the outcome;
+//! * when repairs were needed, the noise level is estimated with the
+//!   median-based robust estimator ([`NoiseEstimate::robust_of`]) instead
+//!   of the mean-based one, whose breakdown point is zero;
+//! * modeling degrades along the chain **DNN → regression → constant
+//!   mean**: if every sophisticated modeler fails recoverably, the outcome
+//!   is the constant model at the mean of the aggregated values — for any
+//!   salvageable input, `model` returns *something* rather than an error.
 
 use crate::dnn::{DnnModeler, DnnOptions};
 use crate::noise::NoiseEstimate;
+use crate::sanitize::{sanitize, DataQualityReport, SanitizeOptions, SanitizePolicy};
 use crate::threshold::default_threshold;
-use nrpm_extrap::{MeasurementSet, ModelError, ModelingResult, RegressionModeler};
+use nrpm_extrap::{
+    smape, Aggregation, MeasurementSet, Model, ModelError, ModelingResult, RegressionModeler,
+};
 use nrpm_nn::Network;
 use serde::{Deserialize, Serialize};
 
@@ -20,6 +38,9 @@ pub enum ModelerChoice {
     Regression,
     /// The DNN modeler won (or was the only one consulted).
     Dnn,
+    /// Both modelers failed recoverably; the constant-mean fallback model
+    /// describes the data's central tendency.
+    ConstantMean,
 }
 
 /// Options of the adaptive modeler.
@@ -43,6 +64,9 @@ pub struct AdaptiveOptions {
     /// small preference for the regression model (whose candidate ranking
     /// is exhaustive rather than learned) avoids coin-flip selections.
     pub selection_margin: f64,
+    /// Input sanitization applied before anything else (see
+    /// [`crate::sanitize`]). [`SanitizePolicy::Lenient`] by default.
+    pub sanitize: SanitizeOptions,
 }
 
 impl Default for AdaptiveOptions {
@@ -53,6 +77,7 @@ impl Default for AdaptiveOptions {
             thresholds: None,
             use_domain_adaptation: true,
             selection_margin: 0.10,
+            sanitize: SanitizeOptions::default(),
         }
     }
 }
@@ -84,6 +109,9 @@ pub struct AdaptiveOutcome {
     pub dnn_result: Option<ModelingResult>,
     /// Which modeler won.
     pub choice: ModelerChoice,
+    /// What the sanitizer changed about the input (untouched and clean
+    /// when sanitization is [`SanitizePolicy::Off`]).
+    pub quality: DataQualityReport,
 }
 
 /// The adaptive performance modeler.
@@ -120,19 +148,48 @@ impl AdaptiveModeler {
         &self.dnn
     }
 
-    /// Runs the adaptive modeling process of Fig. 1:
-    /// noise estimation → (domain adaptation) → DNN modeling, plus
-    /// regression modeling below the threshold → cross-validation selection.
+    /// Runs the adaptive modeling process of Fig. 1, hardened:
+    /// sanitization → noise estimation → (domain adaptation) → DNN
+    /// modeling, plus regression modeling below the threshold →
+    /// cross-validation selection, degrading to the constant-mean model
+    /// when both modelers fail recoverably.
     pub fn model(&mut self, set: &MeasurementSet) -> Result<AdaptiveOutcome, ModelError> {
         if set.num_params() == 0 {
             return Err(ModelError::NoParameters);
         }
-        let noise = NoiseEstimate::of(set);
+        let (sanitized, quality) = if self.opts.sanitize.policy == SanitizePolicy::Off {
+            (set.clone(), DataQualityReport::untouched(set))
+        } else {
+            sanitize(set, &self.opts.sanitize)
+        };
+        if self.opts.sanitize.policy == SanitizePolicy::Strict && !quality.is_clean() {
+            return Err(ModelError::CorruptData {
+                dropped: quality.dropped() + quality.points_dropped,
+                clamped: quality.clamped,
+            });
+        }
+        if sanitized.is_empty() {
+            return Err(ModelError::NoUsableData);
+        }
+        let set = &sanitized;
+        // A corrupted campaign calls for the robust noise estimator: the
+        // mean-based one has a breakdown point of zero, and even after
+        // winsorization the clamped repetitions stretch the per-point
+        // ranges it relies on.
+        let noise = if quality.is_clean() {
+            NoiseEstimate::of(set)
+        } else {
+            NoiseEstimate::robust_of(set)
+        };
         let threshold = self.opts.threshold_for(set.num_params());
         let noise_level = noise.mean();
 
         if self.opts.use_domain_adaptation {
-            let range = if noise.is_empty() { (0.0, 0.0) } else { noise.range() };
+            let range = if noise.is_empty() {
+                (0.0, 0.0)
+            } else {
+                noise.range()
+            };
             self.dnn.adapt_to_task(set, range)?;
         }
 
@@ -160,6 +217,7 @@ impl AdaptiveModeler {
                     regression_result,
                     dnn_result: Some(d),
                     choice,
+                    quality,
                 })
             }
             (Ok(d), None) => Ok(AdaptiveOutcome {
@@ -169,6 +227,7 @@ impl AdaptiveModeler {
                 regression_result,
                 dnn_result: Some(d),
                 choice: ModelerChoice::Dnn,
+                quality,
             }),
             (Err(_), Some(r)) => Ok(AdaptiveOutcome {
                 result: r.clone(),
@@ -177,10 +236,11 @@ impl AdaptiveModeler {
                 regression_result,
                 dnn_result: None,
                 choice: ModelerChoice::Regression,
+                quality,
             }),
             (Err(e), None) => {
                 // Above the threshold the regression modeler was skipped;
-                // as a last resort consult it before giving up.
+                // as a last resort consult it before degrading further.
                 if let Ok(r) = self.opts.regression.model(set) {
                     return Ok(AdaptiveOutcome {
                         result: r.clone(),
@@ -189,12 +249,62 @@ impl AdaptiveModeler {
                         regression_result: Some(r),
                         dnn_result: None,
                         choice: ModelerChoice::Regression,
+                        quality,
                     });
+                }
+                // Final rung of the degradation chain: recoverable
+                // failures (too few points, no viable hypothesis, …) still
+                // leave aggregable data — describe it with the constant
+                // model at the mean so the caller gets an answer. Fatal
+                // errors (broken coordinate domain) propagate.
+                if e.is_recoverable() {
+                    if let Some(result) = constant_mean_result(set, self.opts.dnn.aggregation) {
+                        return Ok(AdaptiveOutcome {
+                            result,
+                            noise,
+                            threshold,
+                            regression_result: None,
+                            dnn_result: None,
+                            choice: ModelerChoice::ConstantMean,
+                            quality,
+                        });
+                    }
                 }
                 Err(e)
             }
         }
     }
+}
+
+/// The constant-mean fallback model: `f(x) = mean(aggregated values)`, with
+/// leave-one-out cross-validation SMAPE so its score is comparable to the
+/// real modelers'.
+fn constant_mean_result(set: &MeasurementSet, agg: Aggregation) -> Option<ModelingResult> {
+    let values: Vec<f64> = set.aggregated(agg).into_iter().map(|(_, v)| v).collect();
+    if values.is_empty() {
+        return None;
+    }
+    let n = values.len();
+    let total: f64 = values.iter().sum();
+    let mean = total / n as f64;
+    if !mean.is_finite() {
+        return None;
+    }
+    let fit_smape = smape(&values, &vec![mean; n]);
+    let cv_smape = if n >= 2 {
+        let loo: Vec<f64> = values
+            .iter()
+            .map(|v| (total - v) / (n - 1) as f64)
+            .collect();
+        smape(&values, &loo)
+    } else {
+        fit_smape
+    };
+    Some(ModelingResult {
+        model: Model::constant_model(set.num_params(), mean),
+        cv_smape,
+        fit_smape,
+    })
 }
 
 #[cfg(test)]
@@ -304,6 +414,104 @@ mod tests {
         let mut modeler = AdaptiveModeler::pretrained(tiny_options());
         let set = MeasurementSet::new(0);
         assert!(matches!(modeler.model(&set), Err(ModelError::NoParameters)));
+    }
+
+    #[test]
+    fn corrupted_input_is_repaired_and_modeled() {
+        let mut opts = tiny_options();
+        opts.use_domain_adaptation = false;
+        let mut modeler = AdaptiveModeler::pretrained(opts);
+        let mut set = MeasurementSet::new(1);
+        for &x in &[4.0f64, 8.0, 16.0, 32.0, 64.0] {
+            // One NaN and one 100x spike per point, plus clean repetitions.
+            set.add_repetitions(&[x], &[2.0 * x, f64::NAN, 200.0 * x, 2.1 * x, 1.9 * x]);
+        }
+        let outcome = modeler.model(&set).unwrap();
+        assert!(!outcome.quality.is_clean());
+        assert_eq!(outcome.quality.dropped_non_finite, 5);
+        assert_eq!(outcome.quality.clamped, 5);
+        assert!(outcome.result.cv_smape.is_finite());
+        // The spikes were winsorized, so the linear trend must survive.
+        assert!(
+            outcome.result.model.evaluate(&[128.0]) < 10_000.0,
+            "spikes leaked into the model: {}",
+            outcome.result.model
+        );
+    }
+
+    #[test]
+    fn strict_policy_rejects_corrupted_input() {
+        let mut opts = tiny_options();
+        opts.use_domain_adaptation = false;
+        opts.sanitize.policy = SanitizePolicy::Strict;
+        let mut modeler = AdaptiveModeler::pretrained(opts);
+        let mut set = clean_linear_set();
+        set.add_repetitions(&[128.0], &[256.0, f64::NAN]);
+        let err = modeler.model(&set).unwrap_err();
+        assert!(matches!(err, ModelError::CorruptData { dropped: 1, .. }));
+        assert!(err.is_recoverable());
+    }
+
+    #[test]
+    fn strict_policy_accepts_clean_input() {
+        let mut opts = tiny_options();
+        opts.use_domain_adaptation = false;
+        opts.sanitize.policy = SanitizePolicy::Strict;
+        let mut modeler = AdaptiveModeler::pretrained(opts);
+        let outcome = modeler.model(&clean_linear_set()).unwrap();
+        assert!(outcome.quality.is_clean());
+    }
+
+    #[test]
+    fn fully_corrupt_input_reports_no_usable_data() {
+        let mut opts = tiny_options();
+        opts.use_domain_adaptation = false;
+        let mut modeler = AdaptiveModeler::pretrained(opts);
+        let mut set = MeasurementSet::new(1);
+        set.add_repetitions(&[4.0], &[f64::NAN, f64::INFINITY]);
+        set.add_repetitions(&[8.0], &[0.0, -1.0]);
+        assert!(matches!(modeler.model(&set), Err(ModelError::NoUsableData)));
+    }
+
+    #[test]
+    fn too_few_points_degrades_to_the_constant_mean_model() {
+        let mut opts = tiny_options();
+        opts.use_domain_adaptation = false;
+        let mut modeler = AdaptiveModeler::pretrained(opts);
+        // Three points: both real modelers demand five distinct ones.
+        let mut set = MeasurementSet::new(1);
+        for &x in &[4.0, 8.0, 16.0] {
+            set.add_repetitions(&[x], &[10.0, 10.5, 9.5]);
+        }
+        let outcome = modeler.model(&set).unwrap();
+        assert_eq!(outcome.choice, ModelerChoice::ConstantMean);
+        assert!(outcome.result.model.terms.is_empty());
+        assert!((outcome.result.model.evaluate(&[32.0]) - 10.0).abs() < 1.0);
+        assert!(outcome.result.cv_smape.is_finite());
+    }
+
+    #[test]
+    fn constant_mean_result_scores_by_leave_one_out() {
+        let mut set = MeasurementSet::new(1);
+        for &x in &[2.0, 4.0, 8.0] {
+            set.add(&[x], 10.0);
+        }
+        let r = constant_mean_result(&set, Aggregation::Median).unwrap();
+        // Perfectly constant data: zero error both in-sample and LOO.
+        assert!(r.fit_smape < 1e-12);
+        assert!(r.cv_smape < 1e-12);
+        assert_eq!(r.model.evaluate(&[1000.0]), 10.0);
+    }
+
+    #[test]
+    fn sanitization_off_passes_input_through() {
+        let mut opts = tiny_options();
+        opts.use_domain_adaptation = false;
+        opts.sanitize.policy = SanitizePolicy::Off;
+        let mut modeler = AdaptiveModeler::pretrained(opts);
+        let outcome = modeler.model(&clean_linear_set()).unwrap();
+        assert!(outcome.quality.is_clean());
+        assert_eq!(outcome.quality.points_in, 5);
     }
 
     #[test]

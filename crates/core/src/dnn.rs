@@ -16,7 +16,9 @@ use nrpm_extrap::{
     ModelingResult, NUM_CLASSES,
 };
 use nrpm_linalg::Matrix;
-use nrpm_nn::{top_k_classes, Dataset, Network, NetworkConfig, OptimizerKind, TrainerOptions};
+use nrpm_nn::{
+    top_k_classes, Dataset, Network, NetworkConfig, OptimizerKind, TrainerOptions, WatchdogOptions,
+};
 use nrpm_synth::{generate_training_samples, TrainingSample, TrainingSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -113,8 +115,12 @@ impl DnnModeler {
         let mut network = Network::new(&opts.network, opts.seed);
         let samples = generate_training_samples(&opts.pretrain_spec, &mut rng);
         let data = dataset_from_samples_with(&samples, opts.encoding);
+        // Guarded training: synthetic pretraining data is benign by
+        // construction, but the watchdog makes divergence (NaN loss,
+        // exploding gradients) a recoverable event instead of a poisoned
+        // network.
         network
-            .train(
+            .train_guarded(
                 &data,
                 &TrainerOptions {
                     epochs: opts.pretrain_epochs,
@@ -123,6 +129,7 @@ impl DnnModeler {
                     shuffle_seed: opts.seed ^ 0xA5A5,
                     ..Default::default()
                 },
+                &WatchdogOptions::default(),
             )
             .expect("pretraining dataset is compatible by construction");
         DnnModeler { opts, network, rng }
@@ -130,8 +137,16 @@ impl DnnModeler {
 
     /// Wraps an already-trained network (e.g. loaded from disk).
     pub fn from_network(opts: DnnOptions, network: Network) -> Self {
-        assert_eq!(network.input_dim(), NUM_INPUTS, "network must take 11 inputs");
-        assert_eq!(network.num_classes(), NUM_CLASSES, "network must predict 43 classes");
+        assert_eq!(
+            network.input_dim(),
+            NUM_INPUTS,
+            "network must take 11 inputs"
+        );
+        assert_eq!(
+            network.num_classes(),
+            NUM_CLASSES,
+            "network must predict 43 classes"
+        );
         let rng = StdRng::seed_from_u64(opts.seed);
         DnnModeler { opts, network, rng }
     }
@@ -157,7 +172,7 @@ impl DnnModeler {
         let samples = generate_training_samples(spec, &mut self.rng);
         let data = dataset_from_samples_with(&samples, self.opts.encoding);
         self.network
-            .train(
+            .train_guarded(
                 &data,
                 &TrainerOptions {
                     epochs: self.opts.adaptation_epochs,
@@ -166,6 +181,7 @@ impl DnnModeler {
                     shuffle_seed: self.opts.seed ^ 0x5A5A,
                     ..Default::default()
                 },
+                &WatchdogOptions::default(),
             )
             .expect("adaptation dataset is compatible by construction");
         data.len()
@@ -205,7 +221,10 @@ impl DnnModeler {
             let spec = TrainingSpec {
                 samples_per_class: per_param_samples,
                 sequence: Some(xs),
-                noise_range: (noise_range.0.max(0.0), noise_range.1.max(noise_range.0.max(0.0))),
+                noise_range: (
+                    noise_range.0.max(0.0),
+                    noise_range.1.max(noise_range.0.max(0.0)),
+                ),
                 repetitions,
                 aggregation: self.opts.aggregation,
                 ..Default::default()
@@ -217,7 +236,7 @@ impl DnnModeler {
         }
         let data = dataset_from_samples_with(&all_samples, self.opts.encoding);
         self.network
-            .train(
+            .train_guarded(
                 &data,
                 &TrainerOptions {
                     epochs: self.opts.adaptation_epochs,
@@ -226,6 +245,7 @@ impl DnnModeler {
                     shuffle_seed: self.opts.seed ^ 0x5A5A,
                     ..Default::default()
                 },
+                &WatchdogOptions::default(),
             )
             .expect("adaptation dataset is compatible by construction");
         Ok(data.len())
@@ -319,7 +339,12 @@ impl DnnModeler {
             }
             per_param.push(pairs);
         }
-        combine_candidate_pairs(set, &per_param, self.opts.aggregation, self.opts.tie_tolerance)
+        combine_candidate_pairs(
+            set,
+            &per_param,
+            self.opts.aggregation,
+            self.opts.tie_tolerance,
+        )
     }
 }
 
@@ -459,7 +484,12 @@ mod tests {
         let result = modeler.model(&set).unwrap();
         // Even if the network's top guess is off, the CV re-fit over the
         // top-3 + constant candidates must produce a model that fits well.
-        assert!(result.cv_smape < 5.0, "cv = {}, model = {}", result.cv_smape, result.model);
+        assert!(
+            result.cv_smape < 5.0,
+            "cv = {}, model = {}",
+            result.cv_smape,
+            result.model
+        );
     }
 
     #[test]

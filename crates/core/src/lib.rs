@@ -43,4 +43,5 @@ pub mod metrics;
 pub mod noise;
 pub mod preprocess;
 pub mod report;
+pub mod sanitize;
 pub mod threshold;

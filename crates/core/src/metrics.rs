@@ -56,7 +56,8 @@ impl AccuracyBuckets {
             return AccuracyBuckets::default();
         }
         let n = distances.len() as f64;
-        let count = |limit: f64| distances.iter().filter(|&&d| d <= limit + 1e-12).count() as f64 / n;
+        let count =
+            |limit: f64| distances.iter().filter(|&&d| d <= limit + 1e-12).count() as f64 / n;
         AccuracyBuckets {
             within_quarter: count(ACCURACY_BUCKETS[0]),
             within_third: count(ACCURACY_BUCKETS[1]),

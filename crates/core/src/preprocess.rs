@@ -106,7 +106,7 @@ pub fn encode_line_with(
         return Err(PreprocessError::TooFewPoints(xs.len()));
     }
     for &x in xs {
-        if !(x > 0.0) || !x.is_finite() {
+        if x <= 0.0 || !x.is_finite() {
             return Err(PreprocessError::InvalidCoordinate(x));
         }
     }
@@ -147,8 +147,13 @@ pub fn encode_line_with(
         let last_allowed = NUM_INPUTS - remaining;
         let mut best = slot;
         let mut best_dist = f64::INFINITY;
-        for candidate in slot..=last_allowed {
-            let d = (SAMPLING_POSITIONS[candidate] - pos).abs();
+        for (candidate, &sp) in SAMPLING_POSITIONS
+            .iter()
+            .enumerate()
+            .take(last_allowed + 1)
+            .skip(slot)
+        {
+            let d = (sp - pos).abs();
             if d < best_dist {
                 best_dist = d;
                 best = candidate;
@@ -282,7 +287,9 @@ mod tests {
 
     #[test]
     fn each_point_claims_a_distinct_neuron() {
-        let xs = [2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0];
+        let xs = [
+            2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0,
+        ];
         let ys: Vec<f64> = xs.iter().map(|x| x * 3.0).collect();
         let input = encode_line(&xs, &ys).unwrap();
         assert_eq!(input.iter().filter(|&&v| v != 0.0).count(), 11);

@@ -105,8 +105,10 @@ mod tests {
 
     #[test]
     fn finds_interpolated_crossing() {
-        let reg = AccuracyCurve::new(grid(), vec![0.99, 0.98, 0.95, 0.85, 0.60, 0.45, 0.35]).unwrap();
-        let dnn = AccuracyCurve::new(grid(), vec![0.95, 0.94, 0.93, 0.84, 0.70, 0.60, 0.55]).unwrap();
+        let reg =
+            AccuracyCurve::new(grid(), vec![0.99, 0.98, 0.95, 0.85, 0.60, 0.45, 0.35]).unwrap();
+        let dnn =
+            AccuracyCurve::new(grid(), vec![0.95, 0.94, 0.93, 0.84, 0.70, 0.60, 0.55]).unwrap();
         // diff: -.04 -.04 -.02 -.01 +.10 ... -> crossing between 0.20 and 0.50
         let t = intersection_threshold(&reg, &dnn).unwrap();
         assert!(t > 0.20 && t < 0.50, "t = {t}");

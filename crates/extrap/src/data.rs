@@ -80,8 +80,12 @@ impl MeasurementSet {
             point.len(),
             self.num_params
         );
-        assert!(!values.is_empty(), "a measurement needs at least one repetition");
-        self.measurements.push(Measurement::new(point.to_vec(), values.to_vec()));
+        assert!(
+            !values.is_empty(),
+            "a measurement needs at least one repetition"
+        );
+        self.measurements
+            .push(Measurement::new(point.to_vec(), values.to_vec()));
     }
 
     /// Adds a point with a single measured value.
@@ -121,7 +125,10 @@ impl MeasurementSet {
     /// coordinates, matching the paper's case-study setups where the lines
     /// run along the cheapest configurations.
     pub fn line(&self, param: usize, agg: Aggregation) -> Vec<(f64, f64)> {
-        self.lines(param, agg).into_iter().next().unwrap_or_default()
+        self.lines(param, agg)
+            .into_iter()
+            .next()
+            .unwrap_or_default()
     }
 
     /// Extracts *all* lines for parameter `param`: every group of points
@@ -145,7 +152,8 @@ impl MeasurementSet {
         }
 
         // Group by the fixed coordinates (all except `param`).
-        let mut groups: Vec<(Vec<f64>, Vec<(f64, f64)>)> = Vec::new();
+        type Group = (Vec<f64>, Vec<(f64, f64)>);
+        let mut groups: Vec<Group> = Vec::new();
         for m in &self.measurements {
             let fixed: Vec<f64> = m
                 .point

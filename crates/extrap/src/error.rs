@@ -1,5 +1,22 @@
 use std::fmt;
 
+/// How bad a [`ModelError`] is: whether a degraded pipeline could still
+/// produce *some* model for the input.
+///
+/// Recoverable errors describe inputs that carry usable information even
+/// though the preferred modeler cannot handle them — sanitization, a
+/// fallback modeler, or a constant-mean model can still salvage a result.
+/// Fatal errors describe inputs with nothing to model: no parameters, no
+/// surviving values, or coordinates that violate the PMNF domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// A degraded mode (sanitization, fallback chain) can still produce a
+    /// model from this input.
+    Recoverable,
+    /// No repair or fallback can produce a meaningful model.
+    Fatal,
+}
+
 /// Errors produced by the modelers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ModelError {
@@ -28,6 +45,40 @@ pub enum ModelError {
         /// Offending value.
         value: f64,
     },
+    /// The input contains corruptions and the caller requested strict
+    /// handling (no silent repairs).
+    CorruptData {
+        /// Repetition values that would have to be dropped.
+        dropped: usize,
+        /// Repetition values that would have to be clamped.
+        clamped: usize,
+    },
+    /// Sanitization dropped every measurement value; nothing is left to
+    /// model.
+    NoUsableData,
+}
+
+impl ModelError {
+    /// Classifies the error into the recoverable/fatal taxonomy.
+    pub fn severity(&self) -> Severity {
+        match self {
+            // Sanitization, a fallback modeler, or a constant-mean model
+            // can still produce a result for these.
+            ModelError::NonFiniteData
+            | ModelError::NoViableHypothesis
+            | ModelError::TooFewPoints { .. }
+            | ModelError::CorruptData { .. } => Severity::Recoverable,
+            // Nothing to model, or the coordinate domain itself is broken.
+            ModelError::NoParameters
+            | ModelError::NonPositiveParameter { .. }
+            | ModelError::NoUsableData => Severity::Fatal,
+        }
+    }
+
+    /// `true` when a degraded mode could still salvage the input.
+    pub fn is_recoverable(&self) -> bool {
+        self.severity() == Severity::Recoverable
+    }
 }
 
 impl fmt::Display for ModelError {
@@ -46,6 +97,13 @@ impl fmt::Display for ModelError {
                 f,
                 "parameter {param} has non-positive value {value}; PMNF requires positive coordinates"
             ),
+            ModelError::CorruptData { dropped, clamped } => write!(
+                f,
+                "input is corrupted ({dropped} values to drop, {clamped} to clamp) and strict mode forbids repairs"
+            ),
+            ModelError::NoUsableData => {
+                write!(f, "sanitization dropped every measurement value")
+            }
         }
     }
 }
@@ -58,12 +116,57 @@ mod tests {
 
     #[test]
     fn display_mentions_key_facts() {
-        let e = ModelError::TooFewPoints { param: 1, found: 3, required: 5 };
+        let e = ModelError::TooFewPoints {
+            param: 1,
+            found: 3,
+            required: 5,
+        };
         let s = e.to_string();
         assert!(s.contains('1') && s.contains('3') && s.contains('5'));
-        assert!(ModelError::NoViableHypothesis.to_string().contains("hypothesis"));
-        assert!(ModelError::NonPositiveParameter { param: 0, value: -2.0 }
+        assert!(ModelError::NoViableHypothesis
             .to_string()
-            .contains("-2"));
+            .contains("hypothesis"));
+        assert!(ModelError::NonPositiveParameter {
+            param: 0,
+            value: -2.0
+        }
+        .to_string()
+        .contains("-2"));
+        let c = ModelError::CorruptData {
+            dropped: 4,
+            clamped: 2,
+        };
+        assert!(c.to_string().contains('4') && c.to_string().contains('2'));
+    }
+
+    #[test]
+    fn severity_splits_recoverable_from_fatal() {
+        for e in [
+            ModelError::NonFiniteData,
+            ModelError::NoViableHypothesis,
+            ModelError::TooFewPoints {
+                param: 0,
+                found: 2,
+                required: 5,
+            },
+            ModelError::CorruptData {
+                dropped: 1,
+                clamped: 0,
+            },
+        ] {
+            assert_eq!(e.severity(), Severity::Recoverable, "{e}");
+            assert!(e.is_recoverable());
+        }
+        for e in [
+            ModelError::NoParameters,
+            ModelError::NonPositiveParameter {
+                param: 0,
+                value: 0.0,
+            },
+            ModelError::NoUsableData,
+        ] {
+            assert_eq!(e.severity(), Severity::Fatal, "{e}");
+            assert!(!e.is_recoverable());
+        }
     }
 }

@@ -54,8 +54,16 @@ impl ExponentPair {
     /// practice.
     pub fn evaluate(&self, x: f64) -> f64 {
         debug_assert!(x > 0.0, "PMNF terms are defined for positive x (got {x})");
-        let poly = if self.poly.is_zero() { 1.0 } else { x.powf(self.poly.to_f64()) };
-        let log = if self.log == 0 { 1.0 } else { x.log2().powi(self.log as i32) };
+        let poly = if self.poly.is_zero() {
+            1.0
+        } else {
+            x.powf(self.poly.to_f64())
+        };
+        let log = if self.log == 0 {
+            1.0
+        } else {
+            x.log2().powi(self.log as i32)
+        };
         poly * log
     }
 

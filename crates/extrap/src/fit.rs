@@ -103,7 +103,11 @@ pub fn fit_coefficients(hypothesis: &Hypothesis, points: &[(Vec<f64>, f64)]) -> 
     let mut y = Vec::with_capacity(n);
     for (r, (point, value)) in points.iter().enumerate() {
         design_row(hypothesis, point, design.row_mut(r));
-        let weight = if value.abs() > f64::MIN_POSITIVE { 1.0 / value.abs() } else { 1.0 };
+        let weight = if value.abs() > f64::MIN_POSITIVE {
+            1.0 / value.abs()
+        } else {
+            1.0
+        };
         for cell in design.row_mut(r) {
             *cell *= weight;
         }
@@ -173,8 +177,7 @@ pub fn fit_hypothesis_constrained(
                     .map(|(t, _)| t.clone())
                     .collect(),
             };
-            let model =
-                fit_coefficients(&reduced, points).ok_or(ModelError::NoViableHypothesis)?;
+            let model = fit_coefficients(&reduced, points).ok_or(ModelError::NoViableHypothesis)?;
             (reduced, model)
         }
     } else {
@@ -213,7 +216,10 @@ pub fn fit_hypothesis_constrained(
 /// Selects the best fitted hypothesis from `candidates` by cross-validation
 /// SMAPE, breaking near-ties (within `tie_tolerance` percentage points)
 /// toward the structurally simpler hypothesis.
-pub fn select_best(candidates: Vec<FittedHypothesis>, tie_tolerance: f64) -> Option<FittedHypothesis> {
+pub fn select_best(
+    candidates: Vec<FittedHypothesis>,
+    tie_tolerance: f64,
+) -> Option<FittedHypothesis> {
     let best_cv = candidates
         .iter()
         .map(|c| c.cv_smape)
@@ -229,7 +235,11 @@ pub fn select_best(candidates: Vec<FittedHypothesis>, tie_tolerance: f64) -> Opt
             let kb = b.hypothesis.complexity();
             ka.partial_cmp(&kb)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cv_smape.partial_cmp(&b.cv_smape).unwrap_or(std::cmp::Ordering::Equal))
+                .then(
+                    a.cv_smape
+                        .partial_cmp(&b.cv_smape)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
         })
 }
 
@@ -291,8 +301,10 @@ mod tests {
         let f = |x: f64| 2.0 + 0.1 * x * x; // quadratic
         let xs = [2.0, 4.0, 8.0, 16.0, 32.0];
         let pts = points_from(f, &xs);
-        let right = fit_hypothesis(&Hypothesis::single(ExponentPair::from_parts(2, 1, 0)), &pts).unwrap();
-        let wrong = fit_hypothesis(&Hypothesis::single(ExponentPair::from_parts(1, 2, 0)), &pts).unwrap();
+        let right =
+            fit_hypothesis(&Hypothesis::single(ExponentPair::from_parts(2, 1, 0)), &pts).unwrap();
+        let wrong =
+            fit_hypothesis(&Hypothesis::single(ExponentPair::from_parts(1, 2, 0)), &pts).unwrap();
         assert!(right.cv_smape < wrong.cv_smape);
     }
 
@@ -372,7 +384,10 @@ mod tests {
     fn negative_constants_remain_allowed() {
         // The paper's RELeARN model has a negative constant; only negative
         // *term* coefficients are unphysical.
-        let pts = points_from(|x| -50.0 + 30.0 * x.log2(), &[4.0, 16.0, 64.0, 256.0, 1024.0]);
+        let pts = points_from(
+            |x| -50.0 + 30.0 * x.log2(),
+            &[4.0, 16.0, 64.0, 256.0, 1024.0],
+        );
         let hyp = Hypothesis::single(ExponentPair::from_parts(0, 1, 1));
         let fitted = fit_hypothesis(&hyp, &pts).unwrap();
         assert!(fitted.model.constant < 0.0);

@@ -80,12 +80,18 @@ impl Fraction {
 
     /// Exact sum.
     pub fn add(&self, other: &Fraction) -> Fraction {
-        Fraction::new(self.num * other.den + other.num * self.den, self.den * other.den)
+        Fraction::new(
+            self.num * other.den + other.num * self.den,
+            self.den * other.den,
+        )
     }
 
     /// Exact difference.
     pub fn sub(&self, other: &Fraction) -> Fraction {
-        Fraction::new(self.num * other.den - other.num * self.den, self.den * other.den)
+        Fraction::new(
+            self.num * other.den - other.num * self.den,
+            self.den * other.den,
+        )
     }
 }
 

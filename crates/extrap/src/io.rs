@@ -18,6 +18,7 @@
 
 use crate::{Measurement, MeasurementSet};
 use std::fmt;
+use std::path::Path;
 
 /// Errors produced by the text parser.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,16 +34,36 @@ pub enum ParseError {
     },
     /// The file declared parameters but contained no measurement points.
     NoPoints,
+    /// The file could not be read at all.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying I/O error.
+        reason: String,
+    },
+    /// A parse error located in a named file — rendered as
+    /// `path: line N: reason`, the diagnostic shape editors understand.
+    InFile {
+        /// The offending path.
+        path: String,
+        /// The underlying error.
+        error: Box<ParseError>,
+    },
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::MissingHeader => {
-                write!(f, "missing `PARAMS <m> [names…]` header before the first POINT")
+                write!(
+                    f,
+                    "missing `PARAMS <m> [names…]` header before the first POINT"
+                )
             }
             ParseError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
             ParseError::NoPoints => write!(f, "no POINT lines found"),
+            ParseError::Io { path, reason } => write!(f, "{path}: {reason}"),
+            ParseError::InFile { path, error } => write!(f, "{path}: {error}"),
         }
     }
 }
@@ -76,13 +97,14 @@ pub fn parse_text(input: &str) -> Result<NamedMeasurements, ParseError> {
         let mut tokens = line.split_whitespace();
         match tokens.next() {
             Some("PARAMS") => {
-                let m: usize = tokens
-                    .next()
-                    .and_then(|t| t.parse().ok())
-                    .ok_or(ParseError::BadLine {
-                        line: line_no,
-                        reason: "PARAMS needs a positive integer arity".into(),
-                    })?;
+                let m: usize =
+                    tokens
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or(ParseError::BadLine {
+                            line: line_no,
+                            reason: "PARAMS needs a positive integer arity".into(),
+                        })?;
                 if m == 0 {
                     return Err(ParseError::BadLine {
                         line: line_no,
@@ -104,10 +126,13 @@ pub fn parse_text(input: &str) -> Result<NamedMeasurements, ParseError> {
             Some("POINT") => {
                 let set = set.as_mut().ok_or(ParseError::MissingHeader)?;
                 let rest: Vec<&str> = tokens.collect();
-                let data_pos = rest.iter().position(|&t| t == "DATA").ok_or(ParseError::BadLine {
-                    line: line_no,
-                    reason: "POINT line lacks a DATA marker".into(),
-                })?;
+                let data_pos =
+                    rest.iter()
+                        .position(|&t| t == "DATA")
+                        .ok_or(ParseError::BadLine {
+                            line: line_no,
+                            reason: "POINT line lacks a DATA marker".into(),
+                        })?;
                 let parse_floats = |tokens: &[&str]| -> Result<Vec<f64>, ParseError> {
                     tokens
                         .iter()
@@ -156,6 +181,21 @@ pub fn parse_text(input: &str) -> Result<NamedMeasurements, ParseError> {
     Ok(NamedMeasurements {
         set,
         parameter_names: names,
+    })
+}
+
+/// Reads and parses a measurement file, attaching the path to every
+/// diagnostic so malformed input reports `path: line N: reason` instead of
+/// panicking somewhere downstream.
+pub fn parse_text_file(path: &Path) -> Result<NamedMeasurements, ParseError> {
+    let display = path.display().to_string();
+    let raw = std::fs::read_to_string(path).map_err(|e| ParseError::Io {
+        path: display.clone(),
+        reason: e.to_string(),
+    })?;
+    parse_text(&raw).map_err(|e| ParseError::InFile {
+        path: display,
+        error: Box::new(e),
     })
 }
 
@@ -263,11 +303,31 @@ POINT 64 1024 DATA 34.1 31.9
 
     #[test]
     fn zero_arity_and_name_mismatch_are_rejected() {
-        assert!(matches!(parse_text("PARAMS 0\n").unwrap_err(), ParseError::BadLine { .. }));
+        assert!(matches!(
+            parse_text("PARAMS 0\n").unwrap_err(),
+            ParseError::BadLine { .. }
+        ));
         assert!(matches!(
             parse_text("PARAMS 2 only_one\n").unwrap_err(),
             ParseError::BadLine { .. }
         ));
+    }
+
+    #[test]
+    fn file_parsing_reports_path_and_line() {
+        let dir = std::env::temp_dir().join("nrpm_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.txt");
+        std::fs::write(&path, "PARAMS 1\nPOINT oops DATA 1\n").unwrap();
+        let err = parse_text_file(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("broken.txt"), "{msg}");
+        assert!(msg.contains("line 2"), "{msg}");
+        std::fs::remove_file(&path).ok();
+
+        let err = parse_text_file(Path::new("/nonexistent/nrpm.txt")).unwrap_err();
+        assert!(matches!(err, ParseError::Io { .. }));
+        assert!(err.to_string().contains("/nonexistent/nrpm.txt"));
     }
 
     #[test]
@@ -283,7 +343,9 @@ POINT 64 1024 DATA 34.1 31.9
                 .map(|x: &f64| format!("POINT {x} DATA {}\n", 2.0 * x))
                 .collect::<String>();
         let parsed = parse_text(&text).unwrap();
-        let result = crate::RegressionModeler::default().model(&parsed.set).unwrap();
+        let result = crate::RegressionModeler::default()
+            .model(&parsed.set)
+            .unwrap();
         assert_eq!(
             result.model.lead_exponent(0).unwrap(),
             crate::ExponentPair::from_parts(1, 1, 0)

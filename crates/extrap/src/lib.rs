@@ -44,11 +44,11 @@ mod search;
 mod single;
 
 pub use data::{Measurement, MeasurementSet};
-pub use error::ModelError;
+pub use error::{ModelError, Severity};
 pub use exponents::{exponent_set, ExponentPair, ExponentSet, NUM_CLASSES};
 pub use fit::{fit_hypothesis, fit_hypothesis_constrained, FitConstraints, FittedHypothesis};
-pub use io::{parse_text, write_text, NamedMeasurements, ParseError};
 pub use fraction::Fraction;
+pub use io::{parse_text, parse_text_file, write_text, NamedMeasurements, ParseError};
 pub use metrics::{cross_validation_smape, smape, Aggregation};
 pub use model::{exponent_distance, lead_order_distance, Model, Term, TermFactor};
 pub use multi::{

@@ -92,14 +92,22 @@ where
     let holds: Vec<usize> = if n <= MAX_CV_FOLDS {
         (0..n).collect()
     } else {
-        (0..MAX_CV_FOLDS).map(|k| k * (n - 1) / (MAX_CV_FOLDS - 1)).collect()
+        (0..MAX_CV_FOLDS)
+            .map(|k| k * (n - 1) / (MAX_CV_FOLDS - 1))
+            .collect()
     };
     let mut actual = Vec::with_capacity(holds.len());
     let mut predicted = Vec::with_capacity(holds.len());
     let mut train: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n - 1);
     for &hold in &holds {
         train.clear();
-        train.extend(points.iter().enumerate().filter(|(i, _)| *i != hold).map(|(_, p)| p.clone()));
+        train.extend(
+            points
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != hold)
+                .map(|(_, p)| p.clone()),
+        );
         if let Some(predictor) = fit(&train) {
             let p = predictor(&points[hold].0);
             if p.is_finite() {
@@ -163,8 +171,7 @@ mod tests {
     #[test]
     fn loocv_perfect_linear_fit_scores_zero() {
         // y = 2x fitted by a "mean-slope" estimator: slope = mean(y/x).
-        let pts: Vec<(Vec<f64>, f64)> =
-            (1..=5).map(|i| (vec![i as f64], 2.0 * i as f64)).collect();
+        let pts: Vec<(Vec<f64>, f64)> = (1..=5).map(|i| (vec![i as f64], 2.0 * i as f64)).collect();
         let score = cross_validation_smape(&pts, |train| {
             let slope = train.iter().map(|(x, y)| y / x[0]).sum::<f64>() / train.len() as f64;
             Some(Box::new(move |x: &[f64]| slope * x[0]) as Box<dyn Fn(&[f64]) -> f64>)
@@ -177,8 +184,7 @@ mod tests {
     fn loocv_detects_overfitting_prone_predictors() {
         // A predictor that always returns the training mean extrapolates
         // poorly on a growing series -> clearly nonzero CV error.
-        let pts: Vec<(Vec<f64>, f64)> =
-            (1..=5).map(|i| (vec![i as f64], (i * i) as f64)).collect();
+        let pts: Vec<(Vec<f64>, f64)> = (1..=5).map(|i| (vec![i as f64], (i * i) as f64)).collect();
         let score = cross_validation_smape(&pts, |train| {
             let mean = train.iter().map(|(_, y)| *y).sum::<f64>() / train.len() as f64;
             Some(Box::new(move |_: &[f64]| mean) as Box<dyn Fn(&[f64]) -> f64>)

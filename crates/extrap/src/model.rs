@@ -38,17 +38,28 @@ pub struct Term {
 impl Term {
     /// Creates a term.
     pub fn new(coefficient: f64, factors: Vec<TermFactor>) -> Self {
-        Term { coefficient, factors }
+        Term {
+            coefficient,
+            factors,
+        }
     }
 
     /// Evaluates `c_k · Π factors` at a point.
     pub fn evaluate(&self, point: &[f64]) -> f64 {
-        self.coefficient * self.factors.iter().map(|f| f.evaluate(point)).product::<f64>()
+        self.coefficient
+            * self
+                .factors
+                .iter()
+                .map(|f| f.evaluate(point))
+                .product::<f64>()
     }
 
     /// The exponents this term applies to parameter `param`, if any.
     pub fn exponents_for(&self, param: usize) -> Option<ExponentPair> {
-        self.factors.iter().find(|f| f.param == param).map(|f| f.exponents)
+        self.factors
+            .iter()
+            .find(|f| f.param == param)
+            .map(|f| f.exponents)
     }
 
     /// `true` when the term has no non-constant factor.
@@ -71,12 +82,20 @@ pub struct Model {
 impl Model {
     /// Creates a model from its parts.
     pub fn new(num_params: usize, constant: f64, terms: Vec<Term>) -> Self {
-        Model { num_params, constant, terms }
+        Model {
+            num_params,
+            constant,
+            terms,
+        }
     }
 
     /// A purely constant model.
     pub fn constant_model(num_params: usize, constant: f64) -> Self {
-        Model { num_params, constant, terms: Vec::new() }
+        Model {
+            num_params,
+            constant,
+            terms: Vec::new(),
+        }
     }
 
     /// Evaluates the model at a measurement point.
@@ -301,7 +320,9 @@ mod tests {
         assert_eq!(exponent_distance(&pair(1, 1, 0), &pair(1, 1, 0)), 0.0);
         assert_eq!(exponent_distance(&pair(1, 1, 0), &pair(1, 1, 1)), 0.25);
         assert_eq!(exponent_distance(&pair(1, 2, 0), &pair(1, 1, 0)), 0.5);
-        assert!((exponent_distance(&pair(1, 3, 0), &pair(1, 4, 1)) - (1.0 / 12.0 + 0.25)).abs() < 1e-12);
+        assert!(
+            (exponent_distance(&pair(1, 3, 0), &pair(1, 4, 1)) - (1.0 / 12.0 + 0.25)).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -332,7 +353,10 @@ mod tests {
 
     #[test]
     fn asymptotic_string_formats_growth_classes() {
-        assert_eq!(kripke_model().asymptotic_string(), "O(x1^(1/3) * x2 * x3^(4/5))");
+        assert_eq!(
+            kripke_model().asymptotic_string(),
+            "O(x1^(1/3) * x2 * x3^(4/5))"
+        );
         assert_eq!(Model::constant_model(2, 5.0).asymptotic_string(), "O(1)");
         let nlogn = Model::new(
             1,

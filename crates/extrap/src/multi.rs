@@ -65,7 +65,12 @@ impl MultiParameterOptions {
 pub(crate) fn set_partitions(n: usize) -> Vec<Vec<Vec<usize>>> {
     let mut result = Vec::new();
     let mut current: Vec<Vec<usize>> = Vec::new();
-    fn recurse(item: usize, n: usize, current: &mut Vec<Vec<usize>>, out: &mut Vec<Vec<Vec<usize>>>) {
+    fn recurse(
+        item: usize,
+        n: usize,
+        current: &mut Vec<Vec<usize>>,
+        out: &mut Vec<Vec<Vec<usize>>>,
+    ) {
         if item == n {
             out.push(current.clone());
             return;
@@ -158,7 +163,10 @@ pub fn combine_candidate_pairs(
     let mut candidates: Vec<FittedHypothesis> = Vec::new();
 
     // Always consider the constant model.
-    let constant = Hypothesis { num_params: m, terms: Vec::new() };
+    let constant = Hypothesis {
+        num_params: m,
+        terms: Vec::new(),
+    };
     seen.insert(constant.structure_key());
     if let Ok(f) = fit_hypothesis(&constant, &points) {
         candidates.push(f);
@@ -181,7 +189,10 @@ pub fn combine_candidate_pairs(
                     terms.push(factors);
                 }
             }
-            let hyp = Hypothesis { num_params: m, terms };
+            let hyp = Hypothesis {
+                num_params: m,
+                terms,
+            };
             if seen.insert(hyp.structure_key()) {
                 if let Ok(f) = fit_hypothesis(&hyp, &points) {
                     candidates.push(f);
@@ -193,8 +204,8 @@ pub fn combine_candidate_pairs(
         let mut l = 0;
         loop {
             if l == m {
-                let best = select_best(candidates, tie_tolerance)
-                    .ok_or(ModelError::NoViableHypothesis)?;
+                let best =
+                    select_best(candidates, tie_tolerance).ok_or(ModelError::NoViableHypothesis)?;
                 return Ok(ModelingResult {
                     model: best.model,
                     cv_smape: best.cv_smape,
@@ -246,7 +257,10 @@ pub fn refine_pairs_globally(
                     terms.push(factors);
                 }
             }
-            let hyp = Hypothesis { num_params: m, terms };
+            let hyp = Hypothesis {
+                num_params: m,
+                terms,
+            };
             if let Some(model) = fit_coefficients(&hyp, points) {
                 let predicted: Vec<f64> = points.iter().map(|(p, _)| model.evaluate(p)).collect();
                 let s = smape(&actual, &predicted);
@@ -339,7 +353,12 @@ pub fn combine_hypotheses(
         }
     }
 
-    combine_candidate_pairs(set, &per_param, single_opts.aggregation, multi_opts.tie_tolerance)
+    combine_candidate_pairs(
+        set,
+        &per_param,
+        single_opts.aggregation,
+        multi_opts.tie_tolerance,
+    )
 }
 
 #[cfg(test)]
@@ -386,7 +405,12 @@ mod tests {
         let result = RegressionModeler::default().model(&set).unwrap();
         assert_eq!(result.model.lead_exponent(0).unwrap(), pair(1, 1, 0));
         assert_eq!(result.model.lead_exponent(1).unwrap(), pair(2, 1, 0));
-        assert_eq!(result.model.terms.len(), 2, "additive structure expected: {}", result.model);
+        assert_eq!(
+            result.model.terms.len(),
+            2,
+            "additive structure expected: {}",
+            result.model
+        );
         assert!(result.cv_smape < 1e-5);
     }
 
@@ -396,7 +420,12 @@ mod tests {
         let result = RegressionModeler::default().model(&set).unwrap();
         assert_eq!(result.model.lead_exponent(0).unwrap(), pair(1, 1, 0));
         assert_eq!(result.model.lead_exponent(1).unwrap(), pair(1, 1, 0));
-        assert_eq!(result.model.terms.len(), 1, "multiplicative structure expected: {}", result.model);
+        assert_eq!(
+            result.model.terms.len(),
+            1,
+            "multiplicative structure expected: {}",
+            result.model
+        );
         let t = &result.model.terms[0];
         assert_eq!(t.factors.len(), 2);
         assert!((t.coefficient - 0.5).abs() < 1e-6);
@@ -407,7 +436,12 @@ mod tests {
         let set = grid_set_2d(|x1, _| 2.0 + 4.0 * x1.sqrt());
         let result = RegressionModeler::default().model(&set).unwrap();
         assert_eq!(result.model.lead_exponent(0).unwrap(), pair(1, 2, 0));
-        assert_eq!(result.model.lead_exponent(1), None, "x2 has no effect: {}", result.model);
+        assert_eq!(
+            result.model.lead_exponent(1),
+            None,
+            "x2 has no effect: {}",
+            result.model
+        );
     }
 
     #[test]
@@ -476,8 +510,7 @@ mod tests {
         // Force the space to contain only the true pair per parameter.
         let set = grid_set_2d(|x1, x2| 1.0 + 2.0 * x1 + 3.0 * x2);
         let per_param = vec![vec![pair(1, 1, 0)], vec![pair(1, 1, 0)]];
-        let result =
-            combine_candidate_pairs(&set, &per_param, Aggregation::Median, 1e-6).unwrap();
+        let result = combine_candidate_pairs(&set, &per_param, Aggregation::Median, 1e-6).unwrap();
         assert_eq!(result.model.lead_exponent(0).unwrap(), pair(1, 1, 0));
         assert_eq!(result.model.lead_exponent(1).unwrap(), pair(1, 1, 0));
     }

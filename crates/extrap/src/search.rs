@@ -21,7 +21,10 @@ pub struct Hypothesis {
 impl Hypothesis {
     /// The constant hypothesis `f(x) = c_0`.
     pub fn constant(num_params: usize) -> Self {
-        Hypothesis { num_params, terms: Vec::new() }
+        Hypothesis {
+            num_params,
+            terms: Vec::new(),
+        }
     }
 
     /// A single-parameter, single-term hypothesis
@@ -136,8 +139,14 @@ mod tests {
     fn structure_key_is_order_invariant() {
         let f1 = TermFactor::new(0, ExponentPair::from_parts(1, 1, 0));
         let f2 = TermFactor::new(1, ExponentPair::from_parts(1, 2, 1));
-        let a = Hypothesis { num_params: 2, terms: vec![vec![f1, f2]] };
-        let b = Hypothesis { num_params: 2, terms: vec![vec![f2, f1]] };
+        let a = Hypothesis {
+            num_params: 2,
+            terms: vec![vec![f1, f2]],
+        };
+        let b = Hypothesis {
+            num_params: 2,
+            terms: vec![vec![f2, f1]],
+        };
         assert_eq!(a.structure_key(), b.structure_key());
     }
 

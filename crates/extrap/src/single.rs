@@ -34,7 +34,7 @@ pub(crate) fn validate(set: &MeasurementSet) -> Result<(), ModelError> {
             return Err(ModelError::NonFiniteData);
         }
         for (param, &x) in m.point.iter().enumerate() {
-            if !(x > 0.0) || !x.is_finite() {
+            if x <= 0.0 || !x.is_finite() {
                 return Err(ModelError::NonPositiveParameter { param, value: x });
             }
         }
@@ -160,13 +160,23 @@ mod tests {
     fn rejects_too_few_points() {
         let set = set_from(|x| x, &[2.0, 4.0, 8.0]);
         let err = model_single_parameter(&set, &SingleParameterOptions::default()).unwrap_err();
-        assert!(matches!(err, ModelError::TooFewPoints { found: 3, required: 5, .. }));
+        assert!(matches!(
+            err,
+            ModelError::TooFewPoints {
+                found: 3,
+                required: 5,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn min_points_is_configurable() {
         let set = set_from(|x| 2.0 * x, &[2.0, 4.0, 8.0]);
-        let opts = SingleParameterOptions { min_points: 3, ..Default::default() };
+        let opts = SingleParameterOptions {
+            min_points: 3,
+            ..Default::default()
+        };
         let result = model_single_parameter(&set, &opts).unwrap();
         assert_eq!(
             result.model.lead_exponent(0).unwrap(),
@@ -181,7 +191,10 @@ mod tests {
             set.add(&[x], 1.0);
         }
         let err = model_single_parameter(&set, &SingleParameterOptions::default()).unwrap_err();
-        assert!(matches!(err, ModelError::NonPositiveParameter { param: 0, .. }));
+        assert!(matches!(
+            err,
+            ModelError::NonPositiveParameter { param: 0, .. }
+        ));
     }
 
     #[test]

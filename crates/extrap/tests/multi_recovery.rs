@@ -91,8 +91,14 @@ fn three_parameters_with_distinct_roles() {
         }
     }
     let result = RegressionModeler::default().model(&set).unwrap();
-    assert_eq!(result.model.lead_exponent_or_constant(0).poly, nrpm_extrap::Fraction::new(1, 2));
-    assert_eq!(result.model.lead_exponent_or_constant(1).poly, nrpm_extrap::Fraction::ONE);
+    assert_eq!(
+        result.model.lead_exponent_or_constant(0).poly,
+        nrpm_extrap::Fraction::new(1, 2)
+    );
+    assert_eq!(
+        result.model.lead_exponent_or_constant(1).poly,
+        nrpm_extrap::Fraction::ONE
+    );
     assert!(result.model.lead_exponent_or_constant(2).poly.is_zero());
     assert!(result.cv_smape < 1.0, "cv = {}", result.cv_smape);
 }

@@ -41,7 +41,9 @@ fn all_43_classes_are_recovered_from_clean_geometric_data() {
         let found = result.model.lead_exponent_or_constant(0);
         let d = lead_order_distance(&found, &pair);
         if d > 1e-9 {
-            failures.push(format!("class {class} ({pair}): found {found} (d = {d:.3})"));
+            failures.push(format!(
+                "class {class} ({pair}): found {found} (d = {d:.3})"
+            ));
         }
     }
     assert!(
@@ -60,13 +62,24 @@ fn log_factors_are_recovered_on_wide_ranges() {
     // 8 .. 8192: log2 x spans 3 .. 13, a 4.3x variation.
     let xs: Vec<f64> = (3..14).map(|i| 2.0f64.powi(i)).collect();
     let modeler = RegressionModeler::default();
-    for &(n, d, j) in &[(1, 1, 1), (1, 1, 2), (1, 2, 1), (2, 1, 1), (0, 1, 1), (0, 1, 2)] {
+    for &(n, d, j) in &[
+        (1, 1, 1),
+        (1, 1, 2),
+        (1, 2, 1),
+        (2, 1, 1),
+        (0, 1, 1),
+        (0, 1, 2),
+    ] {
         let pair = ExponentPair::from_parts(n, d, j);
         let truth = model_for(pair, 5.0, 2.0);
         let set = measure(&truth, &xs);
         let result = modeler.model(&set).expect("clean data must be modelable");
         let found = result.model.lead_exponent_or_constant(0);
-        assert_eq!(found, pair, "expected {pair}, found {found}: {}", result.model);
+        assert_eq!(
+            found, pair,
+            "expected {pair}, found {found}: {}",
+            result.model
+        );
     }
 }
 
@@ -103,8 +116,12 @@ fn point_order_does_not_matter() {
     let truth = model_for(pair, 1.0, 0.5);
     let forward = [4.0, 8.0, 16.0, 32.0, 64.0];
     let shuffled = [32.0, 4.0, 64.0, 16.0, 8.0];
-    let a = RegressionModeler::default().model(&measure(&truth, &forward)).unwrap();
-    let b = RegressionModeler::default().model(&measure(&truth, &shuffled)).unwrap();
+    let a = RegressionModeler::default()
+        .model(&measure(&truth, &forward))
+        .unwrap();
+    let b = RegressionModeler::default()
+        .model(&measure(&truth, &shuffled))
+        .unwrap();
     assert_eq!(a.model, b.model);
 }
 

@@ -59,7 +59,9 @@ mod tests {
         assert!(msg.contains("2x3"));
         assert!(msg.contains("4x5"));
 
-        assert!(LinalgError::RankDeficient { pivot: 7 }.to_string().contains('7'));
+        assert!(LinalgError::RankDeficient { pivot: 7 }
+            .to_string()
+            .contains('7'));
         assert!(LinalgError::NonFinite.to_string().contains("NaN"));
         assert!(LinalgError::EmptyInput.to_string().contains("empty"));
     }

@@ -31,7 +31,9 @@ impl Default for MatmulOptions {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// `C = A * B` with default options.
@@ -75,7 +77,16 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix, opts: MatmulOptions) 
     let use_parallel = threads > 1 && m * n >= opts.parallel_threshold && m > 1;
 
     if !use_parallel {
-        matmul_panel(a.as_slice(), b.as_slice(), c.as_mut_slice(), 0, m, k, n, opts.k_block);
+        matmul_panel(
+            a.as_slice(),
+            b.as_slice(),
+            c.as_mut_slice(),
+            0,
+            m,
+            k,
+            n,
+            opts.k_block,
+        );
         return Ok(());
     }
 
@@ -203,13 +214,20 @@ mod tests {
         let seq = matmul_threaded(
             &a,
             &b,
-            MatmulOptions { threads: 1, ..Default::default() },
+            MatmulOptions {
+                threads: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         let par = matmul_threaded(
             &a,
             &b,
-            MatmulOptions { threads: 4, parallel_threshold: 1, ..Default::default() },
+            MatmulOptions {
+                threads: 4,
+                parallel_threshold: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         for (x, y) in seq.as_slice().iter().zip(par.as_slice()) {
@@ -225,7 +243,11 @@ mod tests {
         let got = matmul_threaded(
             &a,
             &b,
-            MatmulOptions { k_block: 4, threads: 1, ..Default::default() },
+            MatmulOptions {
+                k_block: 4,
+                threads: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         for (x, y) in got.as_slice().iter().zip(expected.as_slice()) {

@@ -67,7 +67,12 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (idx, row) in rows.iter().enumerate() {
-            assert_eq!(row.len(), cols, "row {idx} has length {} != {cols}", row.len());
+            assert_eq!(
+                row.len(),
+                cols,
+                "row {idx} has length {} != {cols}",
+                row.len()
+            );
             data.extend_from_slice(row);
         }
         Matrix {
@@ -155,7 +160,11 @@ impl Matrix {
 
     /// Copies column `c` into a fresh vector.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "column index {c} out of bounds ({})", self.cols);
+        assert!(
+            c < self.cols,
+            "column index {c} out of bounds ({})",
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
@@ -264,7 +273,10 @@ impl Matrix {
     /// # Panics
     /// Panics if the block exceeds the matrix bounds.
     pub fn block(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> Matrix {
-        assert!(row0 + rows <= self.rows && col0 + cols <= self.cols, "block out of bounds");
+        assert!(
+            row0 + rows <= self.rows && col0 + cols <= self.cols,
+            "block out of bounds"
+        );
         Matrix::from_fn(rows, cols, |r, c| self[(row0 + r, col0 + c)])
     }
 
@@ -293,7 +305,10 @@ impl Index<(usize, usize)> for Matrix {
 
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -301,7 +316,10 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -385,7 +403,13 @@ mod tests {
         let mut a = Matrix::zeros(2, 2);
         let b = Matrix::zeros(2, 3);
         let err = a.add_assign(&b).unwrap_err();
-        assert!(matches!(err, LinalgError::ShapeMismatch { op: "add_assign", .. }));
+        assert!(matches!(
+            err,
+            LinalgError::ShapeMismatch {
+                op: "add_assign",
+                ..
+            }
+        ));
     }
 
     #[test]

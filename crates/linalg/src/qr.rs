@@ -115,14 +115,13 @@ impl QrDecomposition {
                 continue;
             }
             let mut s = out[k];
-            for i in k + 1..m {
-                s += self.qr[(i, k)] * out[i];
+            for (i, &o) in out.iter().enumerate().take(m).skip(k + 1) {
+                s += self.qr[(i, k)] * o;
             }
             s *= tau;
             out[k] -= s;
-            for i in k + 1..m {
-                let vik = self.qr[(i, k)];
-                out[i] -= s * vik;
+            for (i, o) in out.iter_mut().enumerate().take(m).skip(k + 1) {
+                *o -= s * self.qr[(i, k)];
             }
         }
         Ok(out)
@@ -148,8 +147,8 @@ impl QrDecomposition {
         let mut x = vec![0.0; n];
         for k in (0..n).rev() {
             let mut s = qty[k];
-            for j in k + 1..n {
-                s -= self.qr[(k, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(k + 1) {
+                s -= self.qr[(k, j)] * xj;
             }
             x[k] = s / self.qr[(k, k)];
         }
@@ -235,7 +234,10 @@ pub fn solve_upper_triangular(r: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
 
 #[allow(dead_code)]
 fn residual(a: &Matrix, x: &[f64], y: &[f64]) -> f64 {
-    (0..a.rows()).map(|r| (dot(a.row(r), x) - y[r]).powi(2)).sum::<f64>().sqrt()
+    (0..a.rows())
+        .map(|r| (dot(a.row(r), x) - y[r]).powi(2))
+        .sum::<f64>()
+        .sqrt()
 }
 
 #[cfg(test)]
@@ -294,7 +296,10 @@ mod tests {
         // Second column is a multiple of the first.
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
         let y = [1.0, 2.0, 3.0];
-        assert!(matches!(lstsq(&a, &y), Err(LinalgError::RankDeficient { .. })));
+        assert!(matches!(
+            lstsq(&a, &y),
+            Err(LinalgError::RankDeficient { .. })
+        ));
     }
 
     #[test]
@@ -307,10 +312,16 @@ mod tests {
     fn rejects_non_finite_input() {
         let mut a = Matrix::identity(2);
         a[(0, 0)] = f64::NAN;
-        assert!(matches!(QrDecomposition::new(&a), Err(LinalgError::NonFinite)));
+        assert!(matches!(
+            QrDecomposition::new(&a),
+            Err(LinalgError::NonFinite)
+        ));
 
         let a = Matrix::identity(2);
-        assert!(matches!(lstsq(&a, &[1.0, f64::INFINITY]), Err(LinalgError::NonFinite)));
+        assert!(matches!(
+            lstsq(&a, &[1.0, f64::INFINITY]),
+            Err(LinalgError::NonFinite)
+        ));
     }
 
     #[test]

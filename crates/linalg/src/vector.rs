@@ -6,7 +6,13 @@
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     // Four-way unrolled accumulation: keeps several independent FMA chains in
     // flight, which roughly doubles throughput over the naive loop on x86-64.
     let chunks = a.len() / 4;
@@ -31,7 +37,13 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "axpy: length mismatch {} vs {}",
+        x.len(),
+        y.len()
+    );
     for (yi, &xi) in y.iter_mut().zip(x.iter()) {
         *yi += alpha * xi;
     }

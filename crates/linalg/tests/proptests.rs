@@ -1,11 +1,15 @@
 //! Property-based tests for the linear-algebra substrate.
 
-use nrpm_linalg::{dot, lstsq, matmul, matmul_threaded, stats, Matrix, MatmulOptions};
+use nrpm_linalg::{dot, lstsq, matmul, matmul_threaded, stats, MatmulOptions, Matrix};
 use proptest::prelude::*;
 
-fn small_matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+fn small_matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
     (rows, cols).prop_flat_map(|(r, c)| {
-        prop::collection::vec(-100.0..100.0f64, r * c).prop_map(move |data| Matrix::from_vec(r, c, data))
+        prop::collection::vec(-100.0..100.0f64, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
     })
 }
 

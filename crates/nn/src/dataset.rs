@@ -24,7 +24,9 @@ impl Dataset {
             ));
         }
         if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
-            return Err(format!("label {bad} out of range (num_classes = {num_classes})"));
+            return Err(format!(
+                "label {bad} out of range (num_classes = {num_classes})"
+            ));
         }
         if !inputs.all_finite() {
             return Err("inputs contain NaN or infinite values".to_string());

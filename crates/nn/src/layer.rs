@@ -32,7 +32,10 @@ impl DenseLayer {
     /// Creates a layer with Xavier/Glorot-uniform weights (the right scale
     /// for tanh, the paper's hidden activation) or He-uniform for ReLU.
     pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut impl Rng) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "layer dimensions must be positive"
+        );
         let limit = match activation {
             Activation::ReLU => (6.0 / in_dim as f64).sqrt(),
             _ => (6.0 / (in_dim + out_dim) as f64).sqrt(),
@@ -108,7 +111,13 @@ impl DenseLayer {
         }
         // dX = dZ · W^T
         let dx = matmul(&dz, &self.weights.transpose()).expect("shapes agree");
-        (LayerGradients { weights: dw, biases: db }, dx)
+        (
+            LayerGradients {
+                weights: dw,
+                biases: db,
+            },
+            dx,
+        )
     }
 }
 
@@ -199,8 +208,20 @@ mod tests {
             xp[(r_, c)] += h;
             let mut xm = x.clone();
             xm[(r_, c)] -= h;
-            let lp: f64 = layer.forward(&xp).as_slice().iter().map(|v| v * v).sum::<f64>() / 2.0;
-            let lm: f64 = layer.forward(&xm).as_slice().iter().map(|v| v * v).sum::<f64>() / 2.0;
+            let lp: f64 = layer
+                .forward(&xp)
+                .as_slice()
+                .iter()
+                .map(|v| v * v)
+                .sum::<f64>()
+                / 2.0;
+            let lm: f64 = layer
+                .forward(&xm)
+                .as_slice()
+                .iter()
+                .map(|v| v * v)
+                .sum::<f64>()
+                / 2.0;
             let numeric = (lp - lm) / (2.0 * h);
             assert!(
                 (numeric - dx[(r_, c)]).abs() < 1e-5,

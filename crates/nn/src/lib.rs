@@ -39,6 +39,7 @@ mod metrics;
 mod network;
 mod optimizer;
 mod trainer;
+mod watchdog;
 
 pub use activation::Activation;
 pub use dataset::Dataset;
@@ -47,3 +48,4 @@ pub use metrics::{accuracy, confusion_matrix, top_k_accuracy, top_k_classes};
 pub use network::{Network, NetworkConfig, NetworkError};
 pub use optimizer::{Optimizer, OptimizerKind};
 pub use trainer::{TrainerOptions, TrainingReport};
+pub use watchdog::{FaultDetected, FaultEvent, GuardedReport, WatchdogOptions};

@@ -26,7 +26,11 @@ pub fn top_k_classes(probabilities: &[f64], k: usize) -> Vec<usize> {
 /// # Panics
 /// Panics if the slices disagree in length.
 pub fn accuracy(probability_rows: &[&[f64]], labels: &[usize]) -> f64 {
-    assert_eq!(probability_rows.len(), labels.len(), "rows/labels length mismatch");
+    assert_eq!(
+        probability_rows.len(),
+        labels.len(),
+        "rows/labels length mismatch"
+    );
     if labels.is_empty() {
         return 0.0;
     }
@@ -40,7 +44,11 @@ pub fn accuracy(probability_rows: &[&[f64]], labels: &[usize]) -> f64 {
 
 /// Fraction of rows whose label is among the `k` most probable classes.
 pub fn top_k_accuracy(probability_rows: &[&[f64]], labels: &[usize], k: usize) -> f64 {
-    assert_eq!(probability_rows.len(), labels.len(), "rows/labels length mismatch");
+    assert_eq!(
+        probability_rows.len(),
+        labels.len(),
+        "rows/labels length mismatch"
+    );
     if labels.is_empty() {
         return 0.0;
     }
@@ -58,7 +66,11 @@ pub fn confusion_matrix(
     labels: &[usize],
     num_classes: usize,
 ) -> Vec<Vec<usize>> {
-    assert_eq!(probability_rows.len(), labels.len(), "rows/labels length mismatch");
+    assert_eq!(
+        probability_rows.len(),
+        labels.len(),
+        "rows/labels length mismatch"
+    );
     let mut m = vec![vec![0usize; num_classes]; num_classes];
     for (row, &l) in probability_rows.iter().zip(labels) {
         m[l][argmax(row)] += 1;

@@ -25,7 +25,10 @@ pub struct NetworkConfig {
 impl NetworkConfig {
     /// A config from explicit layer sizes with tanh hidden activations.
     pub fn new(layer_sizes: &[usize]) -> Self {
-        assert!(layer_sizes.len() >= 2, "need at least input and output layers");
+        assert!(
+            layer_sizes.len() >= 2,
+            "need at least input and output layers"
+        );
         NetworkConfig {
             layer_sizes: layer_sizes.to_vec(),
             hidden_activation: Activation::Tanh,
@@ -282,16 +285,25 @@ mod tests {
         let net = Network::new(&config, 1);
         // 11*1500+1500 + 1500*1500+1500 + 1500*750+750 + 750*250+250
         // + 250*250+250 + 250*43+43
-        let expected = 11 * 1500 + 1500
-            + 1500 * 1500 + 1500
-            + 1500 * 750 + 750
-            + 750 * 250 + 250
-            + 250 * 250 + 250
-            + 250 * 43 + 43;
+        let expected = 11 * 1500
+            + 1500
+            + 1500 * 1500
+            + 1500
+            + 1500 * 750
+            + 750
+            + 750 * 250
+            + 250
+            + 250 * 250
+            + 250
+            + 250 * 43
+            + 43;
         assert_eq!(net.num_parameters(), expected);
         // Hidden layers tanh, logits identity.
         assert_eq!(net.layers()[0].activation, Activation::Tanh);
-        assert_eq!(net.layers().last().unwrap().activation, Activation::Identity);
+        assert_eq!(
+            net.layers().last().unwrap().activation,
+            Activation::Identity
+        );
     }
 
     #[test]
@@ -322,7 +334,10 @@ mod tests {
         let bad = Matrix::zeros(1, 5);
         assert!(matches!(
             net.predict_proba(&bad),
-            Err(NetworkError::InputDimension { got: 5, expected: 3 })
+            Err(NetworkError::InputDimension {
+                got: 5,
+                expected: 3
+            })
         ));
     }
 
@@ -334,7 +349,10 @@ mod tests {
         let wrong_classes = Dataset::new(Matrix::zeros(2, 3), vec![0, 1], 5).unwrap();
         assert!(matches!(
             net.accuracy(&wrong_classes),
-            Err(NetworkError::ClassCount { got: 5, expected: 2 })
+            Err(NetworkError::ClassCount {
+                got: 5,
+                expected: 2
+            })
         ));
     }
 
@@ -343,7 +361,10 @@ mod tests {
         let net = Network::new(&NetworkConfig::new(&[4, 10, 3]), 11);
         let back = Network::from_json(&net.to_json()).unwrap();
         let x = [0.25, -0.5, 0.75, 1.0];
-        assert_eq!(net.predict_proba_one(&x).unwrap(), back.predict_proba_one(&x).unwrap());
+        assert_eq!(
+            net.predict_proba_one(&x).unwrap(),
+            back.predict_proba_one(&x).unwrap()
+        );
     }
 
     #[test]

@@ -140,7 +140,10 @@ impl Optimizer {
         let t = self.t.max(1);
 
         match self.kind {
-            OptimizerKind::Sgd { learning_rate, momentum } => {
+            OptimizerKind::Sgd {
+                learning_rate,
+                momentum,
+            } => {
                 if momentum == 0.0 {
                     for (p, &g) in params.iter_mut().zip(grads) {
                         *p -= learning_rate * g;
@@ -152,7 +155,12 @@ impl Optimizer {
                     }
                 }
             }
-            OptimizerKind::Adam { learning_rate, beta1, beta2, epsilon } => {
+            OptimizerKind::Adam {
+                learning_rate,
+                beta1,
+                beta2,
+                epsilon,
+            } => {
                 let bc1 = 1.0 - beta1.powi(t as i32);
                 let bc2 = 1.0 - beta2.powi(t as i32);
                 for (((p, &g), m), v) in params
@@ -168,7 +176,11 @@ impl Optimizer {
                     *p -= learning_rate * m_hat / (v_hat.sqrt() + epsilon);
                 }
             }
-            OptimizerKind::AdaMax { learning_rate, beta1, beta2 } => {
+            OptimizerKind::AdaMax {
+                learning_rate,
+                beta1,
+                beta2,
+            } => {
                 let bc1 = 1.0 - beta1.powi(t as i32);
                 let step = learning_rate / bc1;
                 for (((p, &g), m), u) in params
@@ -223,7 +235,10 @@ mod tests {
     #[test]
     fn sgd_momentum_converges() {
         let x = minimize(
-            OptimizerKind::Sgd { learning_rate: 0.05, momentum: 0.9 },
+            OptimizerKind::Sgd {
+                learning_rate: 0.05,
+                momentum: 0.9,
+            },
             10.0,
             -2.0,
             500,
@@ -254,7 +269,11 @@ mod tests {
         // With bias correction, the very first AdaMax step is exactly
         // lr * sign(g) when m/u = (1-β1)g / |g| / (1-β1).
         let mut opt = Optimizer::new(
-            OptimizerKind::AdaMax { learning_rate: 0.002, beta1: 0.9, beta2: 0.999 },
+            OptimizerKind::AdaMax {
+                learning_rate: 0.002,
+                beta1: 0.9,
+                beta2: 0.999,
+            },
             1,
         );
         opt.next_step();

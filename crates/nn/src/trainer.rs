@@ -75,7 +75,11 @@ impl TrainingReport {
 impl Network {
     /// Trains the network in place with mini-batch gradient descent and the
     /// fused softmax/cross-entropy head. Returns the per-epoch losses.
-    pub fn train(&mut self, data: &Dataset, opts: &TrainerOptions) -> Result<TrainingReport, NetworkError> {
+    pub fn train(
+        &mut self,
+        data: &Dataset,
+        opts: &TrainerOptions,
+    ) -> Result<TrainingReport, NetworkError> {
         self.check_dataset(data)?;
         assert!(opts.batch_size > 0, "batch size must be positive");
 
@@ -153,13 +157,16 @@ impl Network {
             grads[l] = Some(g);
             grad = dx;
         }
-        (loss, grads.into_iter().map(|g| g.expect("filled")).collect())
+        (
+            loss,
+            grads.into_iter().map(|g| g.expect("filled")).collect(),
+        )
     }
 
     /// Multiplicative L2 shrink of the weight matrices (decoupled weight
     /// decay, AdamW-style: applied directly to the parameters rather than
     /// mixed into the adaptive gradient statistics). Biases are exempt.
-    fn apply_weight_decay(&mut self, decay: f64) {
+    pub(crate) fn apply_weight_decay(&mut self, decay: f64) {
         let factor = 1.0 - decay;
         for layer in self.layers_mut() {
             layer.weights.scale_inplace(factor);
@@ -168,7 +175,11 @@ impl Network {
 
     /// Applies precomputed gradients with one optimizer step.
     pub fn apply_gradients(&mut self, grads: &[LayerGradients], optimizer: &mut Optimizer) {
-        assert_eq!(grads.len(), self.layers().len(), "one gradient set per layer");
+        assert_eq!(
+            grads.len(),
+            self.layers().len(),
+            "one gradient set per layer"
+        );
         optimizer.next_step();
         for (l, g) in grads.iter().enumerate() {
             let layer = &mut self.layers_mut()[l];
@@ -299,7 +310,14 @@ mod tests {
         let data = blobs(50, 1);
         let mut net = Network::new(&NetworkConfig::new(&[2, 8, 2]), 2);
         let report = net
-            .train(&data, &TrainerOptions { epochs: 20, batch_size: 16, ..Default::default() })
+            .train(
+                &data,
+                &TrainerOptions {
+                    epochs: 20,
+                    batch_size: 16,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         assert!(report.epoch_losses[0] > report.final_loss());
         assert!(net.accuracy(&data).unwrap() > 0.95);
@@ -313,7 +331,11 @@ mod tests {
         let mut net = Network::new(&NetworkConfig::new(&[2, 16, 2]), 7);
         net.train(
             &data,
-            &TrainerOptions { epochs: 500, batch_size: 4, ..Default::default() },
+            &TrainerOptions {
+                epochs: 500,
+                batch_size: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(net.accuracy(&data).unwrap(), 1.0);
@@ -331,7 +353,12 @@ mod tests {
             let before = net.cross_entropy(&data).unwrap();
             net.train(
                 &data,
-                &TrainerOptions { epochs: 15, batch_size: 20, optimizer: kind, ..Default::default() },
+                &TrainerOptions {
+                    epochs: 15,
+                    batch_size: 20,
+                    optimizer: kind,
+                    ..Default::default()
+                },
             )
             .unwrap();
             let after = net.cross_entropy(&data).unwrap();
@@ -342,7 +369,11 @@ mod tests {
     #[test]
     fn training_is_reproducible_given_seeds() {
         let data = blobs(30, 9);
-        let opts = TrainerOptions { epochs: 5, batch_size: 8, ..Default::default() };
+        let opts = TrainerOptions {
+            epochs: 5,
+            batch_size: 8,
+            ..Default::default()
+        };
         let mut a = Network::new(&NetworkConfig::new(&[2, 6, 2]), 11);
         let mut b = Network::new(&NetworkConfig::new(&[2, 6, 2]), 11);
         let ra = a.train(&data, &opts).unwrap();
@@ -354,8 +385,16 @@ mod tests {
     #[test]
     fn threaded_training_matches_sequential_closely() {
         let data = blobs(64, 13);
-        let seq_opts = TrainerOptions { epochs: 3, batch_size: 32, threads: 1, ..Default::default() };
-        let par_opts = TrainerOptions { threads: 4, ..seq_opts.clone() };
+        let seq_opts = TrainerOptions {
+            epochs: 3,
+            batch_size: 32,
+            threads: 1,
+            ..Default::default()
+        };
+        let par_opts = TrainerOptions {
+            threads: 4,
+            ..seq_opts.clone()
+        };
         let mut a = Network::new(&NetworkConfig::new(&[2, 8, 2]), 21);
         let mut b = a.clone();
         let ra = a.train(&data, &seq_opts).unwrap();
@@ -368,7 +407,11 @@ mod tests {
         for (la, lb) in a.layers().iter().zip(b.layers()) {
             let mut diff = la.weights.clone();
             diff.sub_assign(&lb.weights).unwrap();
-            assert!(diff.max_abs() < 1e-7, "weights diverged by {}", diff.max_abs());
+            assert!(
+                diff.max_abs() < 1e-7,
+                "weights diverged by {}",
+                diff.max_abs()
+            );
         }
     }
 
@@ -418,7 +461,13 @@ mod tests {
         };
         plain.train(&data, &base.clone()).unwrap();
         decayed
-            .train(&data, &TrainerOptions { weight_decay: 0.1, ..base })
+            .train(
+                &data,
+                &TrainerOptions {
+                    weight_decay: 0.1,
+                    ..base
+                },
+            )
             .unwrap();
         // With lr = 0 the plain run leaves weights untouched; the decayed
         // run must have strictly smaller norms.

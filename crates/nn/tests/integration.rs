@@ -33,11 +33,19 @@ fn five_class_ring_is_learnable() {
     let report = net
         .train(
             &data,
-            &TrainerOptions { epochs: 60, batch_size: 32, ..Default::default() },
+            &TrainerOptions {
+                epochs: 60,
+                batch_size: 32,
+                ..Default::default()
+            },
         )
         .unwrap();
     assert!(report.final_loss() < report.epoch_losses[0] / 3.0);
-    assert!(net.accuracy(&data).unwrap() > 0.97, "accuracy {}", net.accuracy(&data).unwrap());
+    assert!(
+        net.accuracy(&data).unwrap() > 0.97,
+        "accuracy {}",
+        net.accuracy(&data).unwrap()
+    );
 }
 
 #[test]
@@ -48,7 +56,11 @@ fn validation_split_generalizes() {
     let mut net = Network::new(&NetworkConfig::new(&[2, 24, 4]), 5);
     net.train(
         &train,
-        &TrainerOptions { epochs: 40, batch_size: 32, ..Default::default() },
+        &TrainerOptions {
+            epochs: 40,
+            batch_size: 32,
+            ..Default::default()
+        },
     )
     .unwrap();
     let val_acc = net.accuracy(&val).unwrap();
@@ -60,8 +72,15 @@ fn training_can_be_resumed_after_persistence() {
     // Pretrain briefly, save, load, continue — the domain-adaptation flow.
     let data = ring_blobs(3, 60, 0.5, 13);
     let mut net = Network::new(&NetworkConfig::new(&[2, 16, 3]), 9);
-    net.train(&data, &TrainerOptions { epochs: 5, batch_size: 32, ..Default::default() })
-        .unwrap();
+    net.train(
+        &data,
+        &TrainerOptions {
+            epochs: 5,
+            batch_size: 32,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let mid_loss = net.cross_entropy(&data).unwrap();
 
     let json = net.to_json();
@@ -69,18 +88,35 @@ fn training_can_be_resumed_after_persistence() {
     assert_eq!(restored.cross_entropy(&data).unwrap(), mid_loss);
 
     restored
-        .train(&data, &TrainerOptions { epochs: 30, batch_size: 32, ..Default::default() })
+        .train(
+            &data,
+            &TrainerOptions {
+                epochs: 30,
+                batch_size: 32,
+                ..Default::default()
+            },
+        )
         .unwrap();
     let final_loss = restored.cross_entropy(&data).unwrap();
-    assert!(final_loss < mid_loss, "continuation did not improve: {final_loss} vs {mid_loss}");
+    assert!(
+        final_loss < mid_loss,
+        "continuation did not improve: {final_loss} vs {mid_loss}"
+    );
 }
 
 #[test]
 fn top_k_accuracy_saturates_with_k() {
     let data = ring_blobs(6, 30, 1.2, 17); // heavy overlap on purpose
     let mut net = Network::new(&NetworkConfig::new(&[2, 16, 6]), 21);
-    net.train(&data, &TrainerOptions { epochs: 20, batch_size: 32, ..Default::default() })
-        .unwrap();
+    net.train(
+        &data,
+        &TrainerOptions {
+            epochs: 20,
+            batch_size: 32,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let a1 = net.top_k_accuracy(&data, 1).unwrap();
     let a3 = net.top_k_accuracy(&data, 3).unwrap();
     let a6 = net.top_k_accuracy(&data, 6).unwrap();
@@ -91,11 +127,16 @@ fn top_k_accuracy_saturates_with_k() {
 #[test]
 fn threaded_and_sequential_training_reach_similar_quality() {
     let data = ring_blobs(4, 80, 0.4, 23);
-    let base = TrainerOptions { epochs: 25, batch_size: 64, ..Default::default() };
+    let base = TrainerOptions {
+        epochs: 25,
+        batch_size: 64,
+        ..Default::default()
+    };
     let mut seq = Network::new(&NetworkConfig::new(&[2, 24, 4]), 31);
     let mut par = seq.clone();
     seq.train(&data, &base.clone()).unwrap();
-    par.train(&data, &TrainerOptions { threads: 4, ..base }).unwrap();
+    par.train(&data, &TrainerOptions { threads: 4, ..base })
+        .unwrap();
     let a_seq = seq.accuracy(&data).unwrap();
     let a_par = par.accuracy(&data).unwrap();
     assert!((a_seq - a_par).abs() < 0.05, "{a_seq} vs {a_par}");
@@ -111,7 +152,10 @@ fn sgd_with_momentum_trains_the_classifier_too() {
         &TrainerOptions {
             epochs: 40,
             batch_size: 32,
-            optimizer: OptimizerKind::Sgd { learning_rate: 0.05, momentum: 0.9 },
+            optimizer: OptimizerKind::Sgd {
+                learning_rate: 0.05,
+                momentum: 0.9,
+            },
             ..Default::default()
         },
     )

@@ -1,0 +1,75 @@
+//! Integration test: the guarded trainer must recover from a mid-epoch
+//! NaN loss by rolling back to the last good snapshot and retrying —
+//! and still learn the task.
+
+use nrpm_linalg::Matrix;
+use nrpm_nn::{Dataset, FaultDetected, Network, NetworkConfig, TrainerOptions, WatchdogOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn separable_blobs(n_per_class: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for class in 0..3usize {
+        let (cx, cy) = match class {
+            0 => (-2.0, -2.0),
+            1 => (2.0, -2.0),
+            _ => (0.0, 2.0),
+        };
+        for _ in 0..n_per_class {
+            rows.push(vec![
+                cx + rng.gen_range(-0.5..0.5),
+                cy + rng.gen_range(-0.5..0.5),
+            ]);
+            labels.push(class);
+        }
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    Dataset::new(Matrix::from_rows(&refs), labels, 3).unwrap()
+}
+
+#[test]
+fn trainer_recovers_from_injected_nan_loss() {
+    let data = separable_blobs(50, 42);
+    let opts = TrainerOptions {
+        epochs: 12,
+        batch_size: 25,
+        ..Default::default()
+    };
+    // Poison two steps in different epochs; 150 samples / 25 per batch =
+    // 6 steps per epoch, so steps 9 and 31 land mid-epoch 1 and mid-epoch 5.
+    let guard = WatchdogOptions {
+        inject_nan_loss_at: vec![9, 31],
+        ..Default::default()
+    };
+
+    let mut net = Network::new(&NetworkConfig::new(&[2, 16, 3]), 7);
+    let report = net.train_guarded(&data, &opts, &guard).unwrap();
+
+    assert_eq!(
+        report.faults.len(),
+        2,
+        "both injected faults must be caught"
+    );
+    assert!(report
+        .faults
+        .iter()
+        .all(|f| f.kind == FaultDetected::NonFiniteLoss));
+    assert_eq!(report.retries_used, 2);
+    assert!(
+        !report.gave_up,
+        "two faults fit inside the default retry budget"
+    );
+
+    // Recovery must leave a working model, not just finite weights.
+    let final_loss = report.report.final_loss();
+    assert!(final_loss.is_finite());
+    assert!(
+        report.report.epoch_losses.first().unwrap() > &final_loss,
+        "loss must still decrease across the run: {:?}",
+        report.report.epoch_losses
+    );
+    let acc = net.accuracy(&data).unwrap();
+    assert!(acc > 0.95, "recovered network only reaches {acc} accuracy");
+}

@@ -56,7 +56,10 @@ pub struct EvalTask {
 /// Generates one evaluation task.
 pub fn generate_eval_task(spec: &EvalTaskSpec, rng: &mut impl Rng) -> EvalTask {
     assert!(spec.num_params >= 1, "need at least one parameter");
-    assert!(spec.points_per_param >= 2, "need at least two points per parameter");
+    assert!(
+        spec.points_per_param >= 2,
+        "need at least two points per parameter"
+    );
 
     let truth = random_function(spec.num_params, rng);
     let sequences: Vec<Vec<f64>> = (0..spec.num_params)
@@ -67,7 +70,9 @@ pub fn generate_eval_task(spec: &EvalTaskSpec, rng: &mut impl Rng) -> EvalTask {
     let mut set = MeasurementSet::new(spec.num_params);
     let mut index = vec![0usize; spec.num_params];
     loop {
-        let point: Vec<f64> = (0..spec.num_params).map(|l| sequences[l][index[l]]).collect();
+        let point: Vec<f64> = (0..spec.num_params)
+            .map(|l| sequences[l][index[l]])
+            .collect();
         let value = truth.evaluate(&point);
         let reps = noisy_repetitions(value, spec.noise_level, spec.repetitions.max(1), rng);
         set.add_repetitions(&point, &reps);

@@ -1,0 +1,351 @@
+//! Fault injection: the adversary the fault-tolerance layer is tested
+//! against.
+//!
+//! Real measurement campaigns are not merely noisy — they are *corrupted*:
+//! a crashed repetition leaves a NaN in the CSV, a busy node produces a 100×
+//! outlier spike, a broken sensor reports zero, a flaky script drops or
+//! duplicates repetitions, and contention makes the noise width grow with
+//! the runtime itself (heteroscedasticity). The [`FaultInjector`] composes
+//! these corruptions at configurable rates on top of an otherwise
+//! well-formed [`MeasurementSet`], so the sanitizer, the watchdog, and the
+//! degradation chain can be evaluated against a known ground truth.
+
+use nrpm_extrap::MeasurementSet;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One class of measurement corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A repetition is multiplied by a large factor (a busy node, a cold
+    /// cache, an interfering job).
+    OutlierSpike {
+        /// Multiplicative spike size (e.g. `100.0`).
+        factor: f64,
+    },
+    /// A repetition is replaced by NaN or ±infinity (crashed run, broken
+    /// timer, overflow in a downstream conversion).
+    NonFinite,
+    /// A repetition is deleted (lost log line). Points always keep at least
+    /// one repetition — an empty point is not a corruption of a value but a
+    /// missing point, which is a different failure mode.
+    DropRepetition,
+    /// A repetition is duplicated verbatim (double-counted log line).
+    DuplicateRepetition,
+    /// A repetition is replaced by exactly zero (stuck sensor, truncated
+    /// counter).
+    StuckZero,
+    /// Extra multiplicative noise whose width scales with the value's
+    /// magnitude relative to the campaign maximum — large configurations
+    /// wobble more than small ones.
+    Heteroscedastic {
+        /// Additional noise width (fraction) applied at the campaign's
+        /// largest value; smaller values get proportionally less.
+        extra_level: f64,
+    },
+}
+
+impl FaultKind {
+    /// Short stable name for tables and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::OutlierSpike { .. } => "outlier-spike",
+            FaultKind::NonFinite => "non-finite",
+            FaultKind::DropRepetition => "drop-rep",
+            FaultKind::DuplicateRepetition => "dup-rep",
+            FaultKind::StuckZero => "stuck-zero",
+            FaultKind::Heteroscedastic { .. } => "heteroscedastic",
+        }
+    }
+}
+
+/// How many corruptions of each kind an injection pass applied.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionSummary {
+    /// Repetitions multiplied by a spike factor.
+    pub spikes: usize,
+    /// Repetitions replaced by NaN/±Inf.
+    pub non_finite: usize,
+    /// Repetitions deleted.
+    pub dropped: usize,
+    /// Repetitions duplicated.
+    pub duplicated: usize,
+    /// Repetitions zeroed.
+    pub stuck_zeros: usize,
+    /// Repetitions perturbed with heteroscedastic noise.
+    pub heteroscedastic: usize,
+}
+
+impl InjectionSummary {
+    /// Total number of corrupted repetitions.
+    pub fn total(&self) -> usize {
+        self.spikes
+            + self.non_finite
+            + self.dropped
+            + self.duplicated
+            + self.stuck_zeros
+            + self.heteroscedastic
+    }
+}
+
+/// A composable corruptor of measurement campaigns.
+///
+/// Each registered fault is applied independently per repetition with its
+/// configured rate, in registration order. The injector never produces an
+/// *empty* point (a point always keeps at least one repetition) and never
+/// touches the measurement coordinates — corrupting the independent
+/// variables is indistinguishable from measuring a different configuration
+/// and is out of scope for the fault model (see DESIGN.md).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultInjector {
+    faults: Vec<(FaultKind, f64)>,
+}
+
+impl FaultInjector {
+    /// An injector with no faults (identity).
+    pub fn new() -> Self {
+        FaultInjector::default()
+    }
+
+    /// Adds a fault applied per repetition with probability `rate`
+    /// (clamped to `[0, 1]`). Builder-style; faults compose in call order.
+    pub fn with(mut self, kind: FaultKind, rate: f64) -> Self {
+        self.faults.push((kind, rate.clamp(0.0, 1.0)));
+        self
+    }
+
+    /// The registered `(kind, rate)` pairs.
+    pub fn faults(&self) -> &[(FaultKind, f64)] {
+        &self.faults
+    }
+
+    /// Corrupts a copy of `set`, returning it with a tally of the applied
+    /// corruptions. Deterministic given the RNG state.
+    pub fn inject(
+        &self,
+        set: &MeasurementSet,
+        rng: &mut impl Rng,
+    ) -> (MeasurementSet, InjectionSummary) {
+        let mut summary = InjectionSummary::default();
+        // Campaign-wide magnitude scale for the heteroscedastic fault.
+        let max_abs = set
+            .measurements()
+            .iter()
+            .flat_map(|m| m.values.iter())
+            .filter(|v| v.is_finite())
+            .fold(0.0f64, |acc, &v| acc.max(v.abs()));
+
+        let mut out = MeasurementSet::new(set.num_params());
+        for m in set.measurements() {
+            let mut values = m.values.clone();
+            for &(kind, rate) in &self.faults {
+                values = self.apply_kind(kind, rate, values, max_abs, rng, &mut summary);
+            }
+            if values.is_empty() {
+                // Every repetition was dropped; keep one original so the
+                // set stays structurally valid.
+                values.push(m.values[0]);
+                summary.dropped -= 1;
+            }
+            out.add_repetitions(&m.point, &values);
+        }
+        (out, summary)
+    }
+
+    fn apply_kind(
+        &self,
+        kind: FaultKind,
+        rate: f64,
+        values: Vec<f64>,
+        max_abs: f64,
+        rng: &mut impl Rng,
+        summary: &mut InjectionSummary,
+    ) -> Vec<f64> {
+        let mut out = Vec::with_capacity(values.len());
+        for v in values {
+            if rate <= 0.0 || !rng.gen_bool(rate) {
+                out.push(v);
+                continue;
+            }
+            match kind {
+                FaultKind::OutlierSpike { factor } => {
+                    summary.spikes += 1;
+                    out.push(v * factor);
+                }
+                FaultKind::NonFinite => {
+                    summary.non_finite += 1;
+                    out.push(match rng.gen_range(0usize..3) {
+                        0 => f64::NAN,
+                        1 => f64::INFINITY,
+                        _ => f64::NEG_INFINITY,
+                    });
+                }
+                FaultKind::DropRepetition => {
+                    summary.dropped += 1;
+                }
+                FaultKind::DuplicateRepetition => {
+                    summary.duplicated += 1;
+                    out.push(v);
+                    out.push(v);
+                }
+                FaultKind::StuckZero => {
+                    summary.stuck_zeros += 1;
+                    out.push(0.0);
+                }
+                FaultKind::Heteroscedastic { extra_level } => {
+                    summary.heteroscedastic += 1;
+                    let scale = if max_abs > 0.0 && v.is_finite() {
+                        v.abs() / max_abs
+                    } else {
+                        0.0
+                    };
+                    let half = extra_level.max(0.0) * scale / 2.0;
+                    out.push(v * rng.gen_range(1.0 - half..=1.0 + half));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn campaign() -> MeasurementSet {
+        let mut set = MeasurementSet::new(1);
+        for i in 1..=20 {
+            let x = i as f64;
+            set.add_repetitions(&[x], &[10.0 * x, 10.1 * x, 9.9 * x, 10.05 * x, 9.95 * x]);
+        }
+        set
+    }
+
+    #[test]
+    fn empty_injector_is_identity() {
+        let set = campaign();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (out, summary) = FaultInjector::new().inject(&set, &mut rng);
+        assert_eq!(out, set);
+        assert_eq!(summary.total(), 0);
+    }
+
+    #[test]
+    fn nan_injection_hits_roughly_the_requested_rate() {
+        let set = campaign();
+        let mut rng = StdRng::seed_from_u64(2);
+        let injector = FaultInjector::new().with(FaultKind::NonFinite, 0.2);
+        let (out, summary) = injector.inject(&set, &mut rng);
+        let bad = out
+            .measurements()
+            .iter()
+            .flat_map(|m| m.values.iter())
+            .filter(|v| !v.is_finite())
+            .count();
+        assert_eq!(bad, summary.non_finite);
+        // 100 repetitions at 20%: expect ~20, allow a wide band.
+        assert!((8..=35).contains(&bad), "bad = {bad}");
+    }
+
+    #[test]
+    fn spikes_scale_values_by_the_factor() {
+        let mut set = MeasurementSet::new(1);
+        set.add_repetitions(&[1.0], &[10.0, 10.0, 10.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let injector = FaultInjector::new().with(FaultKind::OutlierSpike { factor: 100.0 }, 1.0);
+        let (out, summary) = injector.inject(&set, &mut rng);
+        assert_eq!(summary.spikes, 3);
+        assert!(out.measurements()[0].values.iter().all(|&v| v == 1000.0));
+    }
+
+    #[test]
+    fn drops_never_empty_a_point() {
+        let mut set = MeasurementSet::new(1);
+        set.add_repetitions(&[1.0], &[5.0, 6.0]);
+        let injector = FaultInjector::new().with(FaultKind::DropRepetition, 1.0);
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (out, _) = injector.inject(&set, &mut rng);
+            assert!(!out.measurements()[0].values.is_empty());
+        }
+    }
+
+    #[test]
+    fn duplication_grows_the_repetition_count() {
+        let set = campaign();
+        let mut rng = StdRng::seed_from_u64(5);
+        let injector = FaultInjector::new().with(FaultKind::DuplicateRepetition, 0.5);
+        let (out, summary) = injector.inject(&set, &mut rng);
+        let before: usize = set.measurements().iter().map(|m| m.values.len()).sum();
+        let after: usize = out.measurements().iter().map(|m| m.values.len()).sum();
+        assert_eq!(after, before + summary.duplicated);
+        assert!(summary.duplicated > 0);
+    }
+
+    #[test]
+    fn stuck_zero_writes_exact_zeros() {
+        let set = campaign();
+        let mut rng = StdRng::seed_from_u64(7);
+        let injector = FaultInjector::new().with(FaultKind::StuckZero, 0.3);
+        let (out, summary) = injector.inject(&set, &mut rng);
+        let zeros = out
+            .measurements()
+            .iter()
+            .flat_map(|m| m.values.iter())
+            .filter(|&&v| v == 0.0)
+            .count();
+        assert_eq!(zeros, summary.stuck_zeros);
+        assert!(zeros > 0);
+    }
+
+    #[test]
+    fn heteroscedastic_noise_grows_with_magnitude() {
+        let set = campaign();
+        let injector =
+            FaultInjector::new().with(FaultKind::Heteroscedastic { extra_level: 0.4 }, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let (out, _) = injector.inject(&set, &mut rng);
+        // The relative perturbation of the largest point may reach ±20%;
+        // the smallest point's is bounded by ±20% · (1/20) = ±1%.
+        let small = &out.measurements()[0];
+        for (v, orig) in small.values.iter().zip(set.measurements()[0].values.iter()) {
+            assert!(
+                (v / orig - 1.0).abs() <= 0.011,
+                "small point moved by {}",
+                v / orig - 1.0
+            );
+        }
+        let large = &out.measurements()[19];
+        for (v, orig) in large
+            .values
+            .iter()
+            .zip(set.measurements()[19].values.iter())
+        {
+            assert!((v / orig - 1.0).abs() <= 0.21);
+        }
+    }
+
+    #[test]
+    fn faults_compose_in_order() {
+        let set = campaign();
+        let mut rng = StdRng::seed_from_u64(13);
+        let injector = FaultInjector::new()
+            .with(FaultKind::NonFinite, 0.05)
+            .with(FaultKind::OutlierSpike { factor: 50.0 }, 0.05)
+            .with(FaultKind::DropRepetition, 0.05);
+        let (out, summary) = injector.inject(&set, &mut rng);
+        assert_eq!(injector.faults().len(), 3);
+        assert!(summary.total() > 0);
+        assert_eq!(out.len(), set.len(), "points are never dropped");
+    }
+
+    #[test]
+    fn rates_are_clamped() {
+        let injector = FaultInjector::new().with(FaultKind::NonFinite, 7.0);
+        assert_eq!(injector.faults()[0].1, 1.0);
+        let injector = FaultInjector::new().with(FaultKind::NonFinite, -1.0);
+        assert_eq!(injector.faults()[0].1, 0.0);
+    }
+}

@@ -76,7 +76,9 @@ pub fn random_single_parameter_function_of_class(
 pub fn random_function(m: usize, rng: &mut impl Rng) -> SyntheticFunction {
     assert!(m >= 1, "need at least one parameter");
     let set = exponent_set();
-    let pairs: Vec<ExponentPair> = (0..m).map(|_| set.pair(rng.gen_range(0..set.len()))).collect();
+    let pairs: Vec<ExponentPair> = (0..m)
+        .map(|_| set.pair(rng.gen_range(0..set.len())))
+        .collect();
 
     // Random set partition via the Chinese-restaurant style assignment:
     // each parameter joins an existing group or opens a new one.
@@ -159,7 +161,11 @@ mod tests {
                 let f = random_function(m, &mut r);
                 assert_eq!(f.num_params(), m);
                 for l in 0..m {
-                    assert_eq!(f.model.lead_exponent_or_constant(l), f.pairs[l], "param {l}");
+                    assert_eq!(
+                        f.model.lead_exponent_or_constant(l),
+                        f.pairs[l],
+                        "param {l}"
+                    );
                 }
             }
         }

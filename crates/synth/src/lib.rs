@@ -10,12 +10,14 @@
 #![warn(missing_docs)]
 
 mod eval;
+mod fault;
 mod function;
 mod noise;
 mod sequences;
 mod training;
 
 pub use eval::{generate_eval_task, generate_eval_tasks, EvalTask, EvalTaskSpec};
+pub use fault::{FaultInjector, FaultKind, InjectionSummary};
 pub use function::{random_function, random_single_parameter_function, SyntheticFunction};
 pub use noise::{apply_noise, noisy_repetitions, NoiseModel};
 pub use sequences::{extend_sequence, random_sequence, SequenceKind};

@@ -20,7 +20,9 @@ impl NoiseModel {
     /// Creates a noise model. Levels may exceed 1 (FASTEST's measurements
     /// reach 160 %); negative levels are clamped to zero.
     pub fn new(level: f64) -> Self {
-        NoiseModel { level: level.max(0.0) }
+        NoiseModel {
+            level: level.max(0.0),
+        }
     }
 
     /// No noise at all.

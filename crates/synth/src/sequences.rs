@@ -75,7 +75,11 @@ pub fn random_sequence(kind: SequenceKind, len: usize, rng: &mut impl Rng) -> Ve
             // values and the rejection loop would never terminate.
             let round_ok = hi - lo > 3.0 * len as f64;
             let quantize = |v: f64| if round_ok { v.round() } else { v };
-            let tolerance = if round_ok { 0.5 } else { (hi - lo) / (8.0 * len as f64) };
+            let tolerance = if round_ok {
+                0.5
+            } else {
+                (hi - lo) / (8.0 * len as f64)
+            };
             let mut vals: Vec<f64> = vec![quantize(lo), quantize(hi)];
             while vals.len() < len {
                 let v = quantize(rng.gen_range(lo + 1.0..hi - 1.0));
@@ -113,7 +117,11 @@ pub fn extend_sequence(seq: &[f64], count: usize) -> Vec<f64> {
     let mut out = Vec::with_capacity(count);
     let mut current = last;
     for _ in 0..count {
-        current = if geometric { current * ratio } else { current + diff };
+        current = if geometric {
+            current * ratio
+        } else {
+            current + diff
+        };
         out.push(current);
     }
     out

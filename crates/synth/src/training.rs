@@ -80,7 +80,10 @@ impl TrainingSpec {
 /// The returned vector is class-ordered (all samples of class 0, then class
 /// 1, …); shuffle happens inside the trainer.
 pub fn generate_training_samples(spec: &TrainingSpec, rng: &mut impl Rng) -> Vec<TrainingSample> {
-    assert!(spec.points_range.0 >= 2, "need at least two points per sample");
+    assert!(
+        spec.points_range.0 >= 2,
+        "need at least two points per sample"
+    );
     assert!(
         spec.points_range.0 <= spec.points_range.1,
         "points_range must be ordered"
@@ -141,7 +144,10 @@ mod tests {
 
     #[test]
     fn generates_balanced_classes() {
-        let spec = TrainingSpec { samples_per_class: 3, ..Default::default() };
+        let spec = TrainingSpec {
+            samples_per_class: 3,
+            ..Default::default()
+        };
         let samples = generate_training_samples(&spec, &mut rng());
         assert_eq!(samples.len(), 3 * NUM_CLASSES);
         let mut counts = vec![0usize; NUM_CLASSES];
@@ -153,7 +159,10 @@ mod tests {
 
     #[test]
     fn sample_shapes_are_consistent() {
-        let spec = TrainingSpec { samples_per_class: 2, ..Default::default() };
+        let spec = TrainingSpec {
+            samples_per_class: 2,
+            ..Default::default()
+        };
         for s in generate_training_samples(&spec, &mut rng()) {
             assert_eq!(s.xs.len(), s.ys.len());
             assert!((5..=11).contains(&s.xs.len()));
@@ -217,7 +226,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "ordered")]
     fn inverted_noise_range_panics() {
-        let spec = TrainingSpec { noise_range: (0.5, 0.1), ..Default::default() };
+        let spec = TrainingSpec {
+            noise_range: (0.5, 0.1),
+            ..Default::default()
+        };
         let _ = generate_training_samples(&spec, &mut rng());
     }
 }

@@ -17,7 +17,11 @@ fn main() {
     let sweep = &study.kernels[0];
     assert_eq!(sweep.name, "SweepSolver");
 
-    println!("Kripke campaign: {} kernels, {} points each", study.kernels.len(), sweep.set.len());
+    println!(
+        "Kripke campaign: {} kernels, {} points each",
+        study.kernels.len(),
+        sweep.set.len()
+    );
     println!("parameters: {:?}", study.parameter_names);
 
     // Noise analysis — the paper reports a mean of 17.44 % on Vulcan.
@@ -30,14 +34,19 @@ fn main() {
     );
 
     // Model with both approaches.
-    let regression = RegressionModeler::default().model(&sweep.set).expect("regression");
+    let regression = RegressionModeler::default()
+        .model(&sweep.set)
+        .expect("regression");
     println!("\npretraining + domain-adapting the DNN modeler...");
     let mut adaptive = AdaptiveModeler::pretrained(AdaptiveOptions::default());
     let outcome = adaptive.model(&sweep.set).expect("adaptive");
 
     println!("\nground truth:     {}", sweep.truth);
     println!("regression model: {}", regression.model);
-    println!("adaptive model:   {} (winner: {:?})", outcome.result.model, outcome.choice);
+    println!(
+        "adaptive model:   {} (winner: {:?})",
+        outcome.result.model, outcome.choice
+    );
 
     // The paper's theoretical expectation has lead exponents
     // x1^{1/3}, x2^1, x3^{4/5}.
@@ -49,14 +58,24 @@ fn main() {
     println!("\nlead exponents vs the theoretical expectation:");
     for (l, expected) in expectation.iter().enumerate() {
         let got = outcome.result.model.lead_exponent_or_constant(l);
-        let ok = if got == *expected { "matches" } else { "differs" };
-        println!("  x{}: expected {expected}, adaptive found {got} ({ok})", l + 1);
+        let ok = if got == *expected {
+            "matches"
+        } else {
+            "differs"
+        };
+        println!(
+            "  x{}: expected {expected}, adaptive found {got} ({ok})",
+            l + 1
+        );
     }
 
     // Extrapolate to the held-out point P+(32768, 12, 160).
     let reg_pred = regression.model.evaluate(&sweep.eval_point);
     let ada_pred = outcome.result.model.evaluate(&sweep.eval_point);
-    println!("\nprediction at P+{:?} (measured {:.1}):", sweep.eval_point, sweep.eval_measured);
+    println!(
+        "\nprediction at P+{:?} (measured {:.1}):",
+        sweep.eval_point, sweep.eval_measured
+    );
     println!(
         "  regression: {:.1} ({:+.1}%)",
         reg_pred,

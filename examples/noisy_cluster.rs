@@ -34,7 +34,10 @@ fn main() {
     let regression = RegressionModeler::default();
 
     println!("\nkernel truth: 2 + 0.4 * p^(3/2); five points, five repetitions");
-    println!("\n{:>6}  {:>10}  {:>26}  {:>26}", "noise", "estimated", "regression (d)", "adaptive (d)");
+    println!(
+        "\n{:>6}  {:>10}  {:>26}  {:>26}",
+        "noise", "estimated", "regression (d)", "adaptive (d)"
+    );
 
     for &noise in &[0.02, 0.10, 0.30, 0.60, 1.00] {
         // A couple of seeds per level so single lucky draws don't mislead.

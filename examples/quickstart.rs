@@ -54,6 +54,12 @@ fn main() {
     let reg_pred = regression.model.evaluate(&[p]);
     let ada_pred = outcome.result.model.evaluate(&[p]);
     println!("\nprediction at p = 4096 (truth {truth:.1}):");
-    println!("  regression: {reg_pred:.1}  ({:+.1}%)", 100.0 * (reg_pred - truth) / truth);
-    println!("  adaptive:   {ada_pred:.1}  ({:+.1}%)", 100.0 * (ada_pred - truth) / truth);
+    println!(
+        "  regression: {reg_pred:.1}  ({:+.1}%)",
+        100.0 * (reg_pred - truth) / truth
+    );
+    println!(
+        "  adaptive:   {ada_pred:.1}  ({:+.1}%)",
+        100.0 * (ada_pred - truth) / truth
+    );
 }

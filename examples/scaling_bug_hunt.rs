@@ -22,11 +22,26 @@ fn main() {
     // The application: at the measured scales (<= 512 processes) the halo
     // exchange looks harmless — its superlinear growth only explodes later.
     let kernels: Vec<AppKernel> = vec![
-        AppKernel { name: "compute_forces", truth: Box::new(|_p| 120.0) },
-        AppKernel { name: "fft_transpose", truth: Box::new(|p: f64| 5.0 + 0.8 * p.log2().powi(2)) },
-        AppKernel { name: "halo_exchange", truth: Box::new(|p: f64| 1.0 + 0.002 * p.powf(1.5)) },
-        AppKernel { name: "reduction", truth: Box::new(|p: f64| 0.5 + 0.3 * p.log2()) },
-        AppKernel { name: "io_checkpoint", truth: Box::new(|p: f64| 8.0 + 0.01 * p) },
+        AppKernel {
+            name: "compute_forces",
+            truth: Box::new(|_p| 120.0),
+        },
+        AppKernel {
+            name: "fft_transpose",
+            truth: Box::new(|p: f64| 5.0 + 0.8 * p.log2().powi(2)),
+        },
+        AppKernel {
+            name: "halo_exchange",
+            truth: Box::new(|p: f64| 1.0 + 0.002 * p.powf(1.5)),
+        },
+        AppKernel {
+            name: "reduction",
+            truth: Box::new(|p: f64| 0.5 + 0.3 * p.log2()),
+        },
+        AppKernel {
+            name: "io_checkpoint",
+            truth: Box::new(|p: f64| 8.0 + 0.01 * p),
+        },
     ];
 
     let noise = 0.25;
@@ -80,7 +95,11 @@ fn main() {
             "  {name:16} {:5.1}%  ->  {:5.1}%{}",
             100.0 * small / measured_share_total,
             100.0 * large / predicted_total,
-            if *large / predicted_total > 0.5 { "   <-- scalability bug" } else { "" }
+            if *large / predicted_total > 0.5 {
+                "   <-- scalability bug"
+            } else {
+                ""
+            }
         );
     }
 

@@ -14,15 +14,20 @@ pub use nrpm_nn as nn;
 pub use nrpm_synth as synth;
 
 // The adaptive modeler's modules (from `nrpm-core`).
-pub use nrpm_core::{adaptive, dnn, metrics, noise, preprocess, threshold};
+pub use nrpm_core::{adaptive, dnn, metrics, noise, preprocess, sanitize, threshold};
 
 /// The types most programs need.
 pub mod prelude {
-    pub use nrpm_core::adaptive::{AdaptiveModeler, AdaptiveOptions, AdaptiveOutcome, ModelerChoice};
+    pub use nrpm_core::adaptive::{
+        AdaptiveModeler, AdaptiveOptions, AdaptiveOutcome, ModelerChoice,
+    };
     pub use nrpm_core::dnn::{DnnModeler, DnnOptions};
     pub use nrpm_core::noise::NoiseEstimate;
+    pub use nrpm_core::sanitize::{sanitize, DataQualityReport, SanitizeOptions, SanitizePolicy};
     pub use nrpm_extrap::{
         Aggregation, ExponentPair, MeasurementSet, Model, ModelingResult, RegressionModeler,
+        Severity,
     };
     pub use nrpm_nn::{Network, NetworkConfig};
+    pub use nrpm_synth::{FaultInjector, FaultKind};
 }

@@ -1,0 +1,75 @@
+//! Chaos acceptance test: the fault-tolerant adaptive pipeline must return
+//! a model for ≥ 99 % of corrupted synthetic campaigns — 1 % NaN
+//! repetitions plus 5 % outlier spikes — without panicking.
+
+use nrpm::prelude::*;
+use nrpm::preprocess::NUM_INPUTS;
+use nrpm::synth::{generate_eval_task, EvalTaskSpec, TrainingSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn corrupted_campaigns_survive_the_pipeline() {
+    // One compact pretrained modeler shared across all campaigns; domain
+    // adaptation stays off so the network is fixed and the test is fast.
+    let mut modeler = AdaptiveModeler::pretrained(AdaptiveOptions {
+        dnn: DnnOptions {
+            network: NetworkConfig::new(&[NUM_INPUTS, 64, nrpm::extrap::NUM_CLASSES]),
+            pretrain_spec: TrainingSpec {
+                samples_per_class: 50,
+                noise_range: (0.0, 0.4),
+                ..Default::default()
+            },
+            pretrain_epochs: 5,
+            seed: 5,
+            ..Default::default()
+        },
+        use_domain_adaptation: false,
+        ..Default::default()
+    });
+
+    let injector = FaultInjector::new()
+        .with(FaultKind::NonFinite, 0.01)
+        .with(FaultKind::OutlierSpike { factor: 100.0 }, 0.05);
+    let spec = EvalTaskSpec::paper(1, 0.05);
+
+    let campaigns = 100;
+    let mut survived = 0usize;
+    let mut repaired = 0usize;
+    for i in 0..campaigns {
+        let mut rng = StdRng::seed_from_u64(0xC4A05 ^ (i as u64).wrapping_mul(0x9E37));
+        let task = generate_eval_task(&spec, &mut rng);
+        let (corrupted, summary) = injector.inject(&task.set, &mut rng);
+        match modeler.model(&corrupted) {
+            Ok(outcome) => {
+                survived += 1;
+                assert!(
+                    outcome.result.cv_smape.is_finite(),
+                    "campaign {i}: non-finite score"
+                );
+                assert!(
+                    outcome
+                        .result
+                        .model
+                        .evaluate(&task.eval_points[0].0)
+                        .is_finite(),
+                    "campaign {i}: non-finite prediction"
+                );
+                if summary.total() > 0 && !outcome.quality.is_clean() {
+                    repaired += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("campaign {i} failed: {e}");
+            }
+        }
+    }
+    assert!(
+        survived >= 99,
+        "only {survived}/{campaigns} corrupted campaigns produced a model"
+    );
+    assert!(
+        repaired > campaigns / 2,
+        "sanitizer repaired only {repaired} campaigns — injection seems inert"
+    );
+}

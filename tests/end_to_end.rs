@@ -53,7 +53,10 @@ fn noisy_set(f: impl Fn(&[f64]) -> f64, grids: &[&[f64]], noise: f64, seed: u64)
 fn regression_pipeline_recovers_two_parameter_model_through_facade() {
     let set = noisy_set(
         |p| 3.0 + 0.2 * p[0] * p[1].sqrt(),
-        &[&[2.0, 4.0, 8.0, 16.0, 32.0], &[16.0, 64.0, 256.0, 1024.0, 4096.0]],
+        &[
+            &[2.0, 4.0, 8.0, 16.0, 32.0],
+            &[16.0, 64.0, 256.0, 1024.0, 4096.0],
+        ],
         0.0,
         1,
     );
@@ -74,7 +77,10 @@ fn regression_pipeline_recovers_two_parameter_model_through_facade() {
 fn adaptive_pipeline_runs_end_to_end_on_noisy_two_parameter_data() {
     let set = noisy_set(
         |p| 5.0 + 0.1 * p[0] + 0.01 * p[1] * p[1],
-        &[&[4.0, 8.0, 16.0, 32.0, 64.0], &[10.0, 20.0, 30.0, 40.0, 50.0]],
+        &[
+            &[4.0, 8.0, 16.0, 32.0, 64.0],
+            &[10.0, 20.0, 30.0, 40.0, 50.0],
+        ],
         0.4,
         3,
     );
@@ -160,5 +166,9 @@ fn case_studies_are_modelable_by_the_regression_baseline() {
     assert!(result.cv_smape < 5.0, "cv = {}", result.cv_smape);
     let pred = result.model.evaluate(&kernel.eval_point);
     let err = (pred - kernel.eval_measured).abs() / kernel.eval_measured;
-    assert!(err < 1.0, "extrapolation error {:.1}% out of band", err * 100.0);
+    assert!(
+        err < 1.0,
+        "extrapolation error {:.1}% out of band",
+        err * 100.0
+    );
 }

@@ -7,6 +7,7 @@ use nrpm::extrap::{
 };
 use nrpm::noise::NoiseEstimate;
 use nrpm::preprocess::{encode_line, NUM_INPUTS};
+use nrpm::sanitize::{sanitize, SanitizeOptions};
 use nrpm::synth::{extend_sequence, random_sequence, SequenceKind};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -186,6 +187,75 @@ proptest! {
         }
         let back = MeasurementSet::from_json(&set.to_json()).unwrap();
         prop_assert_eq!(set, back);
+    }
+
+    /// The noise estimators never emit NaN/Inf, whatever finite repetition
+    /// values they see — including zeros, negatives, and huge spreads.
+    #[test]
+    fn noise_estimates_are_always_finite(
+        points in prop::collection::vec(
+            (1.0..1e5f64, prop::collection::vec(-1e9..1e9f64, 1..6)),
+            1..15,
+        ),
+    ) {
+        let mut set = MeasurementSet::new(1);
+        for (x, reps) in &points {
+            set.add_repetitions(&[*x], reps);
+        }
+        for est in [NoiseEstimate::of(&set), NoiseEstimate::robust_of(&set)] {
+            prop_assert!(est.per_point.iter().all(|v| v.is_finite()));
+            prop_assert!(est.pooled.is_finite());
+            if !est.is_empty() {
+                prop_assert!(est.mean().is_finite());
+                prop_assert!(est.median().is_finite());
+            }
+        }
+    }
+
+    /// Sanitization is idempotent: a second pass over sanitized output
+    /// repairs nothing, for arbitrary inputs mixing clean values, zeros,
+    /// negatives, spikes, and non-finite repetitions.
+    #[test]
+    fn sanitization_is_idempotent(
+        points in prop::collection::vec(
+            (
+                1.0..1e5f64,
+                prop::collection::vec(
+                    // Mix plausible values and spikes (selector >= 5) with
+                    // every corruption class the sanitizer handles.
+                    (0u8..10, 0.001..1e7f64).prop_map(|(sel, v)| match sel {
+                        0 => f64::NAN,
+                        1 => f64::INFINITY,
+                        2 => f64::NEG_INFINITY,
+                        3 => 0.0,
+                        4 => -v,
+                        _ => v,
+                    }),
+                    1..8,
+                ),
+            ),
+            1..12,
+        ),
+        factor in 1.0..100.0f64,
+    ) {
+        let mut set = MeasurementSet::new(1);
+        for (x, reps) in &points {
+            set.add_repetitions(&[*x], reps);
+        }
+        let opts = SanitizeOptions { outlier_factor: factor, ..Default::default() };
+        let (once, _) = sanitize(&set, &opts);
+        let (twice, second_report) = sanitize(&once, &opts);
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(
+            second_report.is_clean(),
+            "second pass still repaired: {:?}",
+            second_report
+        );
+        // Sanitized output contains only finite, positive repetitions.
+        for m in once.measurements() {
+            prop_assert!(!m.values.is_empty());
+            prop_assert!(m.values.iter().all(|v| v.is_finite() && *v > 0.0));
+        }
     }
 
     /// Single-parameter modeling with reduced min_points still yields

@@ -1,0 +1,87 @@
+//! Offline drop-in subset of the `crossbeam` scoped-thread API.
+//!
+//! The workspace only uses `crossbeam::thread::scope` + `Scope::spawn`, which
+//! std has provided natively since 1.63 (`std::thread::scope`). This shim
+//! adapts the std API to crossbeam's signature: the spawn closure receives a
+//! `&Scope` argument (so nested spawns work) and `scope` returns a
+//! `thread::Result`.
+//!
+//! Behavioral difference: crossbeam catches child panics and returns them as
+//! `Err`; std's scoped threads resume the panic on the parent after all
+//! children join. Since every call site in this workspace immediately
+//! `expect`s the result, both designs end in the same process-level panic.
+
+pub mod thread {
+    /// Result alias matching `crossbeam::thread::scope`'s return type.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle passed to `scope` closures and to spawned children.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a `&Scope` so it can
+        /// spawn siblings, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish and returns its result.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing, scoped threads can be
+    /// spawned; returns once all of them have finished.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut slots = vec![0u64; 4];
+        super::thread::scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *slot = i as u64 + 1;
+                });
+            }
+        })
+        .expect("workers");
+        assert_eq!(slots, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let result = super::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21).join().map(|v| v * 2).unwrap())
+                .join()
+                .unwrap()
+        })
+        .expect("workers");
+        assert_eq!(result, 42);
+    }
+}

@@ -1,0 +1,383 @@
+//! Offline drop-in `#[derive(Serialize, Deserialize)]` for the vendored
+//! value-tree serde.
+//!
+//! With no access to crates.io there is no `syn`/`quote`, so this macro
+//! parses the item's token stream by hand. That is tractable because the
+//! workspace only derives on a constrained grammar: non-generic named-field
+//! structs and non-generic enums with unit, tuple, or named-field variants,
+//! with no `#[serde(...)]` attributes. Anything outside that grammar gets a
+//! `compile_error!` rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// The shape of one enum variant.
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives the value-tree `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the value-tree `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Parses a struct/enum definition down to names only; field types never
+/// matter because serialization dispatches through the traits.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip attributes, doc comments, and visibility ahead of the keyword.
+    let keyword = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => break id.to_string(),
+            other => return Err(format!("serde_derive: unexpected token {other:?}")),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected item name, got {other:?}")),
+    };
+
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!("serde_derive: `{name}` is generic, which is unsupported"));
+        }
+        other => {
+            return Err(format!(
+                "serde_derive: `{name}` must have a braced body, got {other:?}"
+            ));
+        }
+    };
+
+    match keyword.as_str() {
+        "struct" => Ok(Item::Struct { name, fields: parse_named_fields(body)? }),
+        "enum" => Ok(Item::Enum { name, variants: parse_variants(body)? }),
+        other => Err(format!("serde_derive: cannot derive for `{other}` items")),
+    }
+}
+
+/// Parses `a: T, b: U<V>, ...` down to the field names. Generic arguments in
+/// types show up as `<`/`>` puncts at this level, so commas are only field
+/// separators when the angle depth is zero.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => return Err(format!("serde_derive: unexpected field token {other:?}")),
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde_derive: expected `:` after `{name}`, got {other:?}")),
+        }
+        fields.push(name);
+        // Skip the type tokens up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Parses enum variants: `Unit`, `Tuple(T, U)`, or `Named { a: T }`.
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        let name = loop {
+            match tokens.next() {
+                None => return Ok(variants),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => return Err(format!("serde_derive: unexpected variant token {other:?}")),
+            }
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(g.stream());
+                tokens.next();
+                Shape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                tokens.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip a possible `= discriminant` and the separating comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => return Ok(variants),
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(_) => {}
+            }
+            tokens.next();
+        }
+    }
+}
+
+/// Counts comma-separated entries at angle depth zero (tuple-variant arity).
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    for token in body {
+        saw_any = true;
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut entries = String::new();
+            for f in fields {
+                let _ = write!(
+                    entries,
+                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+                );
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                        );
+                    }
+                    Shape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let pattern = binds.join(", ");
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(","))
+                        };
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}({pattern}) => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from({vname:?}), {inner})]),"
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let pattern = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} {{ {pattern} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from({vname:?}), \
+                                  ::serde::Value::Map(::std::vec![{}]))]),",
+                            entries.join(",")
+                        );
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let _ = write!(inits, "{f}: ::serde::de_field(fields, {f:?}, {name:?})?,");
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Map(fields) => ::std::result::Result::Ok({name} {{ {inits} }}),\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::concat!({name:?}, \": expected object\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),"
+                        );
+                    }
+                    Shape::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?))"
+                            )
+                        } else {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            format!(
+                                "match inner.as_seq() {{\n\
+                                     ::std::option::Option::Some(items) if items.len() == {arity} =>\n\
+                                         ::std::result::Result::Ok({name}::{vname}({})),\n\
+                                     _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                         ::std::concat!({name:?}, \"::\", {vname:?}, \": expected {arity}-element array\"))),\n\
+                                 }}",
+                                elems.join(",")
+                            )
+                        };
+                        let _ = write!(tagged_arms, "{vname:?} => {{ {body} }},");
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::de_field(fields, {f:?}, {vname:?})?"))
+                            .collect();
+                        let _ = write!(
+                            tagged_arms,
+                            "{vname:?} => match inner.as_map() {{\n\
+                                 ::std::option::Option::Some(fields) =>\n\
+                                     ::std::result::Result::Ok({name}::{vname} {{ {} }}),\n\
+                                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                     ::std::concat!({name:?}, \"::\", {vname:?}, \": expected object\"))),\n\
+                             }},",
+                            inits.join(",")
+                        );
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     ::std::format!(::std::concat!({name:?}, \": unknown variant `{{}}`\"), other))),\n\
+                             }},\n\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                                         ::std::format!(::std::concat!({name:?}, \": unknown variant `{{}}`\"), other))),\n\
+                                 }}\n\
+                             }},\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::concat!({name:?}, \": expected variant string or single-key object\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
