@@ -1,4 +1,4 @@
-//! Library backing the `nrpm-model` command-line tool — parsing, command
+//! Library backing the `nrpm` command-line tool — parsing, command
 //! dispatch, and rendering live here so they are unit-testable without
 //! spawning processes.
 
@@ -10,15 +10,26 @@ use nrpm_core::report::render_outcome;
 use nrpm_core::sanitize::{sanitize, SanitizeOptions, SanitizePolicy};
 use nrpm_extrap::{parse_text_file, MeasurementSet, ModelError, RegressionModeler};
 use nrpm_nn::Network;
+use nrpm_serve::client::Client;
+use nrpm_serve::server::{ServeOptions, Server};
+use nrpm_serve::store::ModelStore;
+use serde::Value;
 use std::fmt::Write as _;
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Usage text shown on argument errors.
 pub const USAGE: &str = "\
 usage:
-  nrpm-model fit <file> [--adaptive] [--strict|--lenient] [--network net.json] [--at x1,x2,...]
-  nrpm-model noise <file>
-  nrpm-model pretrain --out net.json [--samples N] [--epochs E] [--paper-net]
+  nrpm fit <file> [--adaptive] [--strict|--lenient] [--network net.json] [--at x1,x2,...]
+  nrpm noise <file>
+  nrpm pretrain --out net.json [--samples N] [--epochs E] [--paper-net]
+  nrpm serve --model net.json [--addr HOST:PORT] [--workers N] [--adapt]
+             [--timeout-ms T]
+  nrpm query health|stats|shutdown [--addr HOST:PORT] [--timeout-ms T]
+  nrpm query model <file> [--at x1,x2,...] [--addr HOST:PORT] [--timeout-ms T]
+  nrpm query batch <file>... [--addr HOST:PORT] [--timeout-ms T]
 
 measurement files: PARAMS/POINT text format, or a MeasurementSet .json
 
@@ -27,8 +38,16 @@ input handling:
                        spikes) and report what changed
   --strict             refuse input that would need any repair
 
+serving:
+  `serve` loads the checkpoint once into a warm store and answers
+  newline-delimited JSON requests until a shutdown request drains it;
+  `query` is the matching client (default --addr 127.0.0.1:7077)
+
 exit codes: 0 success, 2 usage, 3 unreadable or malformed input,
             4 recoverable modeling failure, 5 fatal modeling failure";
+
+/// Default address of `nrpm serve` and `nrpm query`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7077";
 
 /// An error carrying the process exit code of its class: `2` usage,
 /// `3` I/O or parse, `4` recoverable modeling error, `5` fatal modeling
@@ -96,6 +115,47 @@ pub enum Invocation {
         /// Use the paper's full architecture.
         paper_net: bool,
     },
+    /// Run the model-serving subsystem until it is drained.
+    Serve {
+        /// Pretrained checkpoint to warm the model store with.
+        model: PathBuf,
+        /// Listen address.
+        addr: String,
+        /// Worker threads.
+        workers: usize,
+        /// Run domain adaptation for single `model` requests.
+        adapt: bool,
+        /// Default per-request deadline in milliseconds.
+        timeout_ms: Option<u64>,
+    },
+    /// Query a running server.
+    Query {
+        /// What to ask.
+        what: QueryKind,
+        /// Server address.
+        addr: String,
+        /// Measurement files (for `model` and `batch`).
+        files: Vec<PathBuf>,
+        /// Evaluate the fitted model at this point (for `model`).
+        at: Option<Vec<f64>>,
+        /// Per-request deadline in milliseconds.
+        timeout_ms: Option<u64>,
+    },
+}
+
+/// The sub-command of `nrpm query`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Liveness probe.
+    Health,
+    /// Metrics snapshot.
+    Stats,
+    /// Graceful drain.
+    Shutdown,
+    /// Model one measurement file.
+    Model,
+    /// Model several files through one coalesced batch request.
+    Batch,
 }
 
 impl Invocation {
@@ -130,18 +190,10 @@ impl Invocation {
         match command.as_str() {
             "fit" => {
                 let file = positional.first().ok_or("fit: missing <file>")?.into();
-                let at = match get_value("at")? {
-                    Some(raw) => Some(
-                        raw.split(',')
-                            .map(|s| {
-                                s.trim()
-                                    .parse::<f64>()
-                                    .map_err(|_| format!("--at: `{s}` is not a number"))
-                            })
-                            .collect::<Result<Vec<f64>, String>>()?,
-                    ),
-                    None => None,
-                };
+                let at = get_value("at")?
+                    .as_deref()
+                    .map(parse_point_list)
+                    .transpose()?;
                 let policy = match (get_flag("strict").is_some(), get_flag("lenient").is_some()) {
                     (true, true) => return Err("--strict and --lenient conflict".to_string()),
                     (true, false) => SanitizePolicy::Strict,
@@ -172,9 +224,78 @@ impl Invocation {
                     .unwrap_or(20),
                 paper_net: get_flag("paper-net").is_some(),
             }),
+            "serve" => Ok(Invocation::Serve {
+                model: get_value("model")?
+                    .ok_or("serve: --model is required")?
+                    .into(),
+                addr: get_value("addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_string()),
+                workers: get_value("workers")?
+                    .map(|s| s.parse().map_err(|_| "--workers: not a number".to_string()))
+                    .transpose()?
+                    .unwrap_or(4),
+                adapt: get_flag("adapt").is_some(),
+                timeout_ms: get_value("timeout-ms")?
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| "--timeout-ms: not a number".to_string())
+                    })
+                    .transpose()?,
+            }),
+            "query" => {
+                let what = match positional.first().map(String::as_str) {
+                    Some("health") => QueryKind::Health,
+                    Some("stats") => QueryKind::Stats,
+                    Some("shutdown") => QueryKind::Shutdown,
+                    Some("model") => QueryKind::Model,
+                    Some("batch") => QueryKind::Batch,
+                    Some(other) => return Err(format!("query: unknown request `{other}`")),
+                    None => return Err("query: missing request kind".to_string()),
+                };
+                let files: Vec<PathBuf> = positional[1..].iter().map(PathBuf::from).collect();
+                match what {
+                    QueryKind::Model if files.len() != 1 => {
+                        return Err("query model: exactly one <file> required".to_string())
+                    }
+                    QueryKind::Batch if files.is_empty() => {
+                        return Err("query batch: at least one <file> required".to_string())
+                    }
+                    QueryKind::Health | QueryKind::Stats | QueryKind::Shutdown
+                        if !files.is_empty() =>
+                    {
+                        return Err("query: this request takes no files".to_string())
+                    }
+                    _ => {}
+                }
+                Ok(Invocation::Query {
+                    what,
+                    addr: get_value("addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_string()),
+                    files,
+                    at: get_value("at")?
+                        .as_deref()
+                        .map(parse_point_list)
+                        .transpose()?,
+                    timeout_ms: get_value("timeout-ms")?
+                        .map(|s| {
+                            s.parse()
+                                .map_err(|_| "--timeout-ms: not a number".to_string())
+                        })
+                        .transpose()?,
+                })
+            }
             other => Err(format!("unknown command `{other}`")),
         }
     }
+}
+
+/// Parses a `--at x1,x2,...` point list.
+fn parse_point_list(raw: &str) -> Result<Vec<f64>, String> {
+    raw.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("--at: `{s}` is not a number"))
+        })
+        .collect()
 }
 
 /// Loads a measurement set from a text or JSON file. Every failure carries
@@ -326,7 +447,98 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
                 out.display()
             ))
         }
+        Invocation::Serve {
+            model,
+            addr,
+            workers,
+            adapt,
+            timeout_ms,
+        } => {
+            let store = ModelStore::open(model, AdaptiveOptions::default())
+                .map_err(|e| CliError::io(format!("{}: {e}", model.display())))?;
+            let mut opts = ServeOptions {
+                workers: *workers,
+                adapt: *adapt,
+                ..Default::default()
+            };
+            if let Some(t) = timeout_ms {
+                opts.default_timeout = Duration::from_millis(*t);
+            }
+            let server = Server::start(addr, store, opts)
+                .map_err(|e| CliError::io(format!("{addr}: {e}")))?;
+            // Announce the bound address immediately (scripts poll for it);
+            // `run` only returns once the server has drained.
+            println!(
+                "nrpm-serve listening on {} ({} workers)",
+                server.addr(),
+                workers
+            );
+            use std::io::Write as _;
+            std::io::stdout().flush().ok();
+            server
+                .join()
+                .map_err(|_| CliError::io("a server thread panicked"))?;
+            Ok("server drained cleanly\n".to_string())
+        }
+        Invocation::Query {
+            what,
+            addr,
+            files,
+            at,
+            timeout_ms,
+        } => {
+            let socket = resolve_addr(addr)?;
+            let connect_timeout = Duration::from_millis(timeout_ms.unwrap_or(30_000).max(1));
+            let mut client = Client::connect(socket, connect_timeout)
+                .map_err(|e| CliError::io(format!("{addr}: {e}")))?;
+            let response = match what {
+                QueryKind::Health => client.health(),
+                QueryKind::Stats => client.stats(),
+                QueryKind::Shutdown => client.shutdown(),
+                QueryKind::Model => {
+                    let set = load_measurements(&files[0]).map_err(CliError::io)?;
+                    client.model(set, at.clone(), *timeout_ms)
+                }
+                QueryKind::Batch => {
+                    let sets = files
+                        .iter()
+                        .map(|f| load_measurements(f))
+                        .collect::<Result<Vec<_>, String>>()
+                        .map_err(CliError::io)?;
+                    client.batch(sets, *timeout_ms)
+                }
+            }
+            .map_err(|e| CliError::io(format!("{addr}: {e}")))?;
+            response_to_output(&response)
+        }
     }
+}
+
+/// Resolves a `HOST:PORT` string to a socket address.
+fn resolve_addr(addr: &str) -> Result<SocketAddr, CliError> {
+    addr.to_socket_addrs()
+        .map_err(|e| CliError::io(format!("{addr}: {e}")))?
+        .next()
+        .ok_or_else(|| CliError::io(format!("{addr}: resolves to no address")))
+}
+
+/// Renders a server response, mapping error responses onto the CLI's exit
+/// code taxonomy: `parse`/`usage` → 2, `fatal` → 5, everything else
+/// (recoverable, timeout, shutting down) → 4.
+fn response_to_output(response: &Value) -> Result<String, CliError> {
+    let text = serde_json::to_string_pretty(response).unwrap_or_else(|_| format!("{response:?}"));
+    if response.get("status").and_then(Value::as_str) == Some("error") {
+        let code = match response.get("kind").and_then(Value::as_str) {
+            Some("parse") | Some("usage") => 2,
+            Some("fatal") => 5,
+            _ => 4,
+        };
+        return Err(CliError {
+            message: text,
+            code,
+        });
+    }
+    Ok(format!("{text}\n"))
 }
 
 #[cfg(test)]
@@ -413,6 +625,123 @@ mod tests {
         assert!(parse("fit").is_err());
         assert!(parse("pretrain").is_err()); // --out required
         assert!(parse("fit f.txt --at abc").is_err());
+        assert!(parse("serve").is_err()); // --model required
+        assert!(parse("serve --model n.json --workers three").is_err());
+        assert!(parse("query").is_err());
+        assert!(parse("query frobnicate").is_err());
+        assert!(parse("query model").is_err()); // file required
+        assert!(parse("query model a.txt b.txt").is_err()); // exactly one
+        assert!(parse("query batch").is_err()); // at least one file
+        assert!(parse("query health stray.txt").is_err());
+    }
+
+    #[test]
+    fn parses_serve_and_query() {
+        assert_eq!(
+            parse(
+                "serve --model net.json --addr 0.0.0.0:9000 --workers 8 --adapt --timeout-ms 500"
+            )
+            .unwrap(),
+            Invocation::Serve {
+                model: "net.json".into(),
+                addr: "0.0.0.0:9000".into(),
+                workers: 8,
+                adapt: true,
+                timeout_ms: Some(500),
+            }
+        );
+        assert_eq!(
+            parse("serve --model net.json").unwrap(),
+            Invocation::Serve {
+                model: "net.json".into(),
+                addr: DEFAULT_ADDR.into(),
+                workers: 4,
+                adapt: false,
+                timeout_ms: None,
+            }
+        );
+        assert_eq!(
+            parse("query health").unwrap(),
+            Invocation::Query {
+                what: QueryKind::Health,
+                addr: DEFAULT_ADDR.into(),
+                files: vec![],
+                at: None,
+                timeout_ms: None,
+            }
+        );
+        assert_eq!(
+            parse("query model data.txt --at 1024 --addr 127.0.0.1:7171 --timeout-ms 2000")
+                .unwrap(),
+            Invocation::Query {
+                what: QueryKind::Model,
+                addr: "127.0.0.1:7171".into(),
+                files: vec!["data.txt".into()],
+                at: Some(vec![1024.0]),
+                timeout_ms: Some(2000),
+            }
+        );
+        assert_eq!(
+            parse("query batch a.txt b.json").unwrap(),
+            Invocation::Query {
+                what: QueryKind::Batch,
+                addr: DEFAULT_ADDR.into(),
+                files: vec!["a.txt".into(), "b.json".into()],
+                at: None,
+                timeout_ms: None,
+            }
+        );
+    }
+
+    #[test]
+    fn query_round_trips_against_a_live_server() {
+        use nrpm_core::preprocess::NUM_INPUTS;
+        use nrpm_nn::NetworkConfig;
+        use nrpm_serve::store::ModelStore;
+
+        let dir = std::env::temp_dir().join("nrpm_cli_query_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("linear.txt");
+        let mut text = String::from("PARAMS 1 processes\n");
+        for x in [4, 8, 16, 32, 64] {
+            text.push_str(&format!("POINT {x} DATA {} {}\n", 2 * x, 2 * x));
+        }
+        std::fs::write(&data, text).unwrap();
+
+        let net = Network::new(
+            &NetworkConfig::new(&[NUM_INPUTS, 16, nrpm_extrap::NUM_CLASSES]),
+            7,
+        );
+        let store = ModelStore::from_network(net, AdaptiveOptions::default()).unwrap();
+        let server = Server::start("127.0.0.1:0", store, ServeOptions::default()).unwrap();
+        let addr = server.addr().to_string();
+        let query = |what, files: &[&std::path::Path], at: Option<Vec<f64>>| {
+            run(&Invocation::Query {
+                what,
+                addr: addr.clone(),
+                files: files.iter().map(PathBuf::from).collect(),
+                at,
+                timeout_ms: Some(30_000),
+            })
+        };
+
+        let health = query(QueryKind::Health, &[], None).unwrap();
+        assert!(health.contains("\"status\": \"ok\""), "{health}");
+
+        let modeled = query(QueryKind::Model, &[&data], Some(vec![1024.0])).unwrap();
+        assert!(modeled.contains("\"choice\": \"regression\""), "{modeled}");
+        assert!(modeled.contains("2048"), "{modeled}");
+
+        let batched = query(QueryKind::Batch, &[&data, &data], None).unwrap();
+        assert!(batched.contains("\"kernels\": 2"), "{batched}");
+
+        let stats = query(QueryKind::Stats, &[], None).unwrap();
+        assert!(stats.contains("\"requests_batch\": 1"), "{stats}");
+
+        let drained = query(QueryKind::Shutdown, &[], None).unwrap();
+        assert!(drained.contains("\"draining\": true"), "{drained}");
+        server.join().unwrap();
+        std::fs::remove_file(&data).ok();
     }
 
     #[test]

@@ -1,9 +1,11 @@
-//! `nrpm-model` — a command-line performance modeler.
+//! `nrpm` — a command-line performance modeler and model server.
 //!
 //! ```text
-//! nrpm-model fit <file> [--adaptive] [--network net.json] [--at x1,x2,...]
-//! nrpm-model noise <file>
-//! nrpm-model pretrain --out net.json [--samples N] [--epochs E] [--paper-net]
+//! nrpm fit <file> [--adaptive] [--network net.json] [--at x1,x2,...]
+//! nrpm noise <file>
+//! nrpm pretrain --out net.json [--samples N] [--epochs E] [--paper-net]
+//! nrpm serve --model net.json [--addr HOST:PORT] [--workers N]
+//! nrpm query health|stats|shutdown|model|batch [...]
 //! ```
 //!
 //! Measurement files use the `PARAMS`/`POINT … DATA …` text format (see

@@ -154,124 +154,208 @@ impl AdaptiveModeler {
     /// cross-validation selection, degrading to the constant-mean model
     /// when both modelers fail recoverably.
     pub fn model(&mut self, set: &MeasurementSet) -> Result<AdaptiveOutcome, ModelError> {
-        if set.num_params() == 0 {
-            return Err(ModelError::NoParameters);
-        }
-        let (sanitized, quality) = if self.opts.sanitize.policy == SanitizePolicy::Off {
-            (set.clone(), DataQualityReport::untouched(set))
-        } else {
-            sanitize(set, &self.opts.sanitize)
-        };
-        if self.opts.sanitize.policy == SanitizePolicy::Strict && !quality.is_clean() {
-            return Err(ModelError::CorruptData {
-                dropped: quality.dropped() + quality.points_dropped,
-                clamped: quality.clamped,
-            });
-        }
-        if sanitized.is_empty() {
-            return Err(ModelError::NoUsableData);
-        }
-        let set = &sanitized;
-        // A corrupted campaign calls for the robust noise estimator: the
-        // mean-based one has a breakdown point of zero, and even after
-        // winsorization the clamped repetitions stretch the per-point
-        // ranges it relies on.
-        let noise = if quality.is_clean() {
-            NoiseEstimate::of(set)
-        } else {
-            NoiseEstimate::robust_of(set)
-        };
-        let threshold = self.opts.threshold_for(set.num_params());
-        let noise_level = noise.mean();
+        let prepared = prepare(&self.opts, set)?;
 
         if self.opts.use_domain_adaptation {
-            let range = if noise.is_empty() {
+            let range = if prepared.noise.is_empty() {
                 (0.0, 0.0)
             } else {
-                noise.range()
+                prepared.noise.range()
             };
-            self.dnn.adapt_to_task(set, range)?;
+            self.dnn.adapt_to_task(&prepared.set, range)?;
         }
 
-        let dnn_result = self.dnn.model(set);
-        let use_regression = noise_level < threshold;
-        let regression_result = if use_regression {
-            self.opts.regression.model(set).ok()
-        } else {
-            None
-        };
+        let dnn_result = self.dnn.model(&prepared.set);
+        finish(&self.opts, prepared, dnn_result)
+    }
 
-        // Select the winner by cross-validated SMAPE.
-        match (dnn_result, &regression_result) {
-            (Ok(d), Some(r)) => {
-                let margin = 1.0 + self.opts.selection_margin.max(0.0);
-                let (result, choice) = if r.cv_smape <= d.cv_smape * margin {
-                    (r.clone(), ModelerChoice::Regression)
-                } else {
-                    (d.clone(), ModelerChoice::Dnn)
-                };
-                Ok(AdaptiveOutcome {
-                    result,
-                    noise,
-                    threshold,
-                    regression_result,
-                    dnn_result: Some(d),
-                    choice,
-                    quality,
-                })
-            }
-            (Ok(d), None) => Ok(AdaptiveOutcome {
-                result: d.clone(),
+    /// Models several kernels in one go, coalescing their DNN forward
+    /// passes into a single batched inference
+    /// ([`DnnModeler::classify_lines_batch`]). Sanitization, noise
+    /// estimation, regression consultation, and the degradation chain all
+    /// run per kernel exactly as in [`Self::model`]; the one deliberate
+    /// difference is that the batch path **skips domain adaptation** — a
+    /// long-lived server cannot retrain the shared network per request
+    /// without making results depend on request order. Callers that need
+    /// adaptation should use the single-kernel path.
+    pub fn model_batch(&self, sets: &[MeasurementSet]) -> AdaptiveBatch {
+        let prepared: Vec<Result<Prepared, ModelError>> =
+            sets.iter().map(|set| prepare(&self.opts, set)).collect();
+        let ok_sets: Vec<&MeasurementSet> = prepared
+            .iter()
+            .filter_map(|p| p.as_ref().ok().map(|p| &p.set))
+            .collect();
+        let dnn_batch = self.dnn.model_batch(&ok_sets);
+
+        let mut dnn_results = dnn_batch.results.into_iter();
+        let outcomes = prepared
+            .into_iter()
+            .map(|p| {
+                let p = p?;
+                let dnn_result = dnn_results
+                    .next()
+                    .expect("one DNN batch result per prepared set");
+                finish(&self.opts, p, dnn_result)
+            })
+            .collect();
+        AdaptiveBatch {
+            outcomes,
+            batched_lines: dnn_batch.lines,
+            forward_passes: dnn_batch.forward_passes,
+        }
+    }
+}
+
+/// Result of a batched adaptive run ([`AdaptiveModeler::model_batch`]).
+#[derive(Debug, Clone)]
+pub struct AdaptiveBatch {
+    /// Per-kernel outcomes, in input order.
+    pub outcomes: Vec<Result<AdaptiveOutcome, ModelError>>,
+    /// Measurement lines classified in the coalesced DNN forward pass.
+    pub batched_lines: usize,
+    /// Network forward passes issued for the whole batch (`0` or `1`).
+    pub forward_passes: usize,
+}
+
+/// Per-set state after the shared preprocessing pipeline: sanitized data,
+/// quality report, noise estimate, and the applicable threshold.
+struct Prepared {
+    set: MeasurementSet,
+    quality: DataQualityReport,
+    noise: NoiseEstimate,
+    threshold: f64,
+}
+
+/// The preprocessing half of the adaptive pipeline: parameter check,
+/// sanitization (with strict-policy enforcement), and noise estimation.
+fn prepare(opts: &AdaptiveOptions, set: &MeasurementSet) -> Result<Prepared, ModelError> {
+    if set.num_params() == 0 {
+        return Err(ModelError::NoParameters);
+    }
+    let (sanitized, quality) = if opts.sanitize.policy == SanitizePolicy::Off {
+        (set.clone(), DataQualityReport::untouched(set))
+    } else {
+        sanitize(set, &opts.sanitize)
+    };
+    if opts.sanitize.policy == SanitizePolicy::Strict && !quality.is_clean() {
+        return Err(ModelError::CorruptData {
+            dropped: quality.dropped() + quality.points_dropped,
+            clamped: quality.clamped,
+        });
+    }
+    if sanitized.is_empty() {
+        return Err(ModelError::NoUsableData);
+    }
+    // A corrupted campaign calls for the robust noise estimator: the
+    // mean-based one has a breakdown point of zero, and even after
+    // winsorization the clamped repetitions stretch the per-point
+    // ranges it relies on.
+    let noise = if quality.is_clean() {
+        NoiseEstimate::of(&sanitized)
+    } else {
+        NoiseEstimate::robust_of(&sanitized)
+    };
+    let threshold = opts.threshold_for(sanitized.num_params());
+    Ok(Prepared {
+        set: sanitized,
+        quality,
+        noise,
+        threshold,
+    })
+}
+
+/// The selection half of the adaptive pipeline: consult the regression
+/// modeler below the noise threshold, pick the cross-validated winner, and
+/// degrade along DNN → regression → constant mean when needed.
+fn finish(
+    opts: &AdaptiveOptions,
+    prepared: Prepared,
+    dnn_result: Result<ModelingResult, ModelError>,
+) -> Result<AdaptiveOutcome, ModelError> {
+    let Prepared {
+        set,
+        quality,
+        noise,
+        threshold,
+    } = prepared;
+    let set = &set;
+    let use_regression = noise.mean() < threshold;
+    let regression_result = if use_regression {
+        opts.regression.model(set).ok()
+    } else {
+        None
+    };
+
+    // Select the winner by cross-validated SMAPE.
+    match (dnn_result, &regression_result) {
+        (Ok(d), Some(r)) => {
+            let margin = 1.0 + opts.selection_margin.max(0.0);
+            let (result, choice) = if r.cv_smape <= d.cv_smape * margin {
+                (r.clone(), ModelerChoice::Regression)
+            } else {
+                (d.clone(), ModelerChoice::Dnn)
+            };
+            Ok(AdaptiveOutcome {
+                result,
                 noise,
                 threshold,
                 regression_result,
                 dnn_result: Some(d),
-                choice: ModelerChoice::Dnn,
+                choice,
                 quality,
-            }),
-            (Err(_), Some(r)) => Ok(AdaptiveOutcome {
-                result: r.clone(),
-                noise,
-                threshold,
-                regression_result,
-                dnn_result: None,
-                choice: ModelerChoice::Regression,
-                quality,
-            }),
-            (Err(e), None) => {
-                // Above the threshold the regression modeler was skipped;
-                // as a last resort consult it before degrading further.
-                if let Ok(r) = self.opts.regression.model(set) {
+            })
+        }
+        (Ok(d), None) => Ok(AdaptiveOutcome {
+            result: d.clone(),
+            noise,
+            threshold,
+            regression_result,
+            dnn_result: Some(d),
+            choice: ModelerChoice::Dnn,
+            quality,
+        }),
+        (Err(_), Some(r)) => Ok(AdaptiveOutcome {
+            result: r.clone(),
+            noise,
+            threshold,
+            regression_result,
+            dnn_result: None,
+            choice: ModelerChoice::Regression,
+            quality,
+        }),
+        (Err(e), None) => {
+            // Above the threshold the regression modeler was skipped;
+            // as a last resort consult it before degrading further.
+            if let Ok(r) = opts.regression.model(set) {
+                return Ok(AdaptiveOutcome {
+                    result: r.clone(),
+                    noise,
+                    threshold,
+                    regression_result: Some(r),
+                    dnn_result: None,
+                    choice: ModelerChoice::Regression,
+                    quality,
+                });
+            }
+            // Final rung of the degradation chain: recoverable
+            // failures (too few points, no viable hypothesis, …) still
+            // leave aggregable data — describe it with the constant
+            // model at the mean so the caller gets an answer. Fatal
+            // errors (broken coordinate domain) propagate.
+            if e.is_recoverable() {
+                if let Some(result) = constant_mean_result(set, opts.dnn.aggregation) {
                     return Ok(AdaptiveOutcome {
-                        result: r.clone(),
+                        result,
                         noise,
                         threshold,
-                        regression_result: Some(r),
+                        regression_result: None,
                         dnn_result: None,
-                        choice: ModelerChoice::Regression,
+                        choice: ModelerChoice::ConstantMean,
                         quality,
                     });
                 }
-                // Final rung of the degradation chain: recoverable
-                // failures (too few points, no viable hypothesis, …) still
-                // leave aggregable data — describe it with the constant
-                // model at the mean so the caller gets an answer. Fatal
-                // errors (broken coordinate domain) propagate.
-                if e.is_recoverable() {
-                    if let Some(result) = constant_mean_result(set, self.opts.dnn.aggregation) {
-                        return Ok(AdaptiveOutcome {
-                            result,
-                            noise,
-                            threshold,
-                            regression_result: None,
-                            dnn_result: None,
-                            choice: ModelerChoice::ConstantMean,
-                            quality,
-                        });
-                    }
-                }
-                Err(e)
             }
+            Err(e)
         }
     }
 }
@@ -512,6 +596,41 @@ mod tests {
         let outcome = modeler.model(&clean_linear_set()).unwrap();
         assert!(outcome.quality.is_clean());
         assert_eq!(outcome.quality.points_in, 5);
+    }
+
+    #[test]
+    fn model_batch_matches_sequential_outcomes() {
+        let mut opts = tiny_options();
+        opts.use_domain_adaptation = false;
+        let mut sequential = AdaptiveModeler::pretrained(opts.clone());
+        let batched = AdaptiveModeler::from_network(opts, sequential.dnn().network().clone());
+
+        let sets = vec![
+            clean_linear_set(),
+            noisy_set(0.3, 7),
+            MeasurementSet::new(0), // NoParameters — must not poison the batch
+            noisy_set(0.05, 11),
+        ];
+        let batch = batched.model_batch(&sets);
+        assert_eq!(batch.outcomes.len(), sets.len());
+        assert_eq!(batch.forward_passes, 1);
+        assert!(batch.batched_lines >= 3);
+
+        for (set, got) in sets.iter().zip(&batch.outcomes) {
+            match (sequential.model(set), got) {
+                (Ok(want), Ok(got)) => {
+                    assert_eq!(want.choice, got.choice);
+                    assert_eq!(want.result.model.to_string(), got.result.model.to_string());
+                    assert_eq!(
+                        want.result.cv_smape.to_bits(),
+                        got.result.cv_smape.to_bits()
+                    );
+                    assert_eq!(want.noise.mean().to_bits(), got.noise.mean().to_bits());
+                }
+                (Err(want), Err(got)) => assert_eq!(want.severity(), got.severity()),
+                (want, got) => panic!("outcome mismatch: {want:?} vs {got:?}"),
+            }
+        }
     }
 
     #[test]

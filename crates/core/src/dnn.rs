@@ -99,6 +99,31 @@ impl DnnOptions {
     }
 }
 
+/// Result of one coalesced classification pass over many lines
+/// ([`DnnModeler::classify_lines_batch`]).
+#[derive(Debug, Clone)]
+pub struct BatchClassification {
+    /// Per-line class-probability vectors; lines whose encoding failed
+    /// carry the corresponding error instead.
+    pub probabilities: Vec<Result<Vec<f64>, ModelError>>,
+    /// Rows pushed through the network in the coalesced pass.
+    pub rows: usize,
+    /// Network forward passes issued: `1`, or `0` when every line was
+    /// degenerate.
+    pub forward_passes: usize,
+}
+
+/// Result of a batched modeling run ([`DnnModeler::model_batch`]).
+#[derive(Debug, Clone)]
+pub struct DnnBatch {
+    /// Per-set modeling results, in input order.
+    pub results: Vec<Result<ModelingResult, ModelError>>,
+    /// Measurement lines classified in the coalesced forward pass.
+    pub lines: usize,
+    /// Network forward passes issued for the whole batch (`0` or `1`).
+    pub forward_passes: usize,
+}
+
 /// The DNN modeler: a pretrained classifier plus the hypothesis-fitting
 /// pipeline shared with Extra-P.
 #[derive(Debug, Clone)]
@@ -305,6 +330,139 @@ impl DnnModeler {
             .into_iter()
             .map(|class| set.pair(class))
             .collect())
+    }
+
+    /// Classifies many measurement lines in **one** coalesced forward pass:
+    /// every encodable line becomes one row of a single input matrix, so the
+    /// whole batch flows through one blocked matrix-multiply chain in
+    /// `nrpm-linalg` instead of one tiny per-line product per request.
+    ///
+    /// Per-row results are bitwise identical to per-line
+    /// [`Self::class_probabilities`] calls — rows of a matmul are
+    /// accumulated independently and in the same order — which is what
+    /// makes the serving layer's batched path a pure throughput
+    /// optimization.
+    pub fn classify_lines_batch(&self, lines: &[Vec<(f64, f64)>]) -> BatchClassification {
+        let mut encoded: Vec<Vec<f64>> = Vec::with_capacity(lines.len());
+        // For each line: index into `encoded`, or the encoding error.
+        let mut slots: Vec<Result<usize, ModelError>> = Vec::with_capacity(lines.len());
+        for line in lines {
+            let xs: Vec<f64> = line.iter().map(|(x, _)| *x).collect();
+            let ys: Vec<f64> = line.iter().map(|(_, y)| *y).collect();
+            match encode_line_with(&xs, &ys, self.opts.encoding) {
+                Ok(input) => {
+                    slots.push(Ok(encoded.len()));
+                    encoded.push(input);
+                }
+                Err(e) => slots.push(Err(map_preprocess_error(e))),
+            }
+        }
+        if encoded.is_empty() {
+            return BatchClassification {
+                probabilities: slots.into_iter().map(|s| s.map(|_| Vec::new())).collect(),
+                rows: 0,
+                forward_passes: 0,
+            };
+        }
+        let rows = encoded.len();
+        let x = Matrix::from_row_vecs(&encoded, NUM_INPUTS)
+            .expect("encoded lines all have NUM_INPUTS features");
+        let probs = self
+            .network
+            .predict_proba(&x)
+            .expect("input dimension is NUM_INPUTS by construction");
+        let probabilities = slots
+            .into_iter()
+            .map(|slot| slot.map(|row| probs.row(row).to_vec()))
+            .collect();
+        BatchClassification {
+            probabilities,
+            rows,
+            forward_passes: 1,
+        }
+    }
+
+    /// Models several kernels at once, coalescing all their DNN forward
+    /// passes into a single batched inference (see
+    /// [`Self::classify_lines_batch`]). Candidate combination and
+    /// coefficient fitting still run per kernel; only the network inference
+    /// is batched. Results are identical to calling [`Self::model`] on each
+    /// set individually.
+    pub fn model_batch(&self, sets: &[&MeasurementSet]) -> DnnBatch {
+        // Phase 1: extract every parameter's primary line from every set.
+        let mut lines: Vec<Vec<(f64, f64)>> = Vec::new();
+        // Per set: the range of `lines` it owns, or an early error.
+        let mut plans: Vec<Result<std::ops::Range<usize>, ModelError>> =
+            Vec::with_capacity(sets.len());
+        for set in sets {
+            plans.push(self.plan_lines(set, &mut lines));
+        }
+
+        // Phase 2: one coalesced forward pass for the whole batch.
+        let classified = self.classify_lines_batch(&lines);
+
+        // Phase 3: per-set candidate combination and coefficient fitting.
+        let exponents = exponent_set();
+        let results = plans
+            .into_iter()
+            .zip(sets)
+            .map(|(plan, set)| {
+                let range = plan?;
+                let mut per_param = Vec::with_capacity(range.len());
+                for idx in range {
+                    let probs = match &classified.probabilities[idx] {
+                        Ok(p) => p,
+                        Err(e) => return Err(e.clone()),
+                    };
+                    let mut pairs: Vec<ExponentPair> = top_k_classes(probs, self.opts.top_k)
+                        .into_iter()
+                        .map(|class| exponents.pair(class))
+                        .collect();
+                    if !pairs.contains(&ExponentPair::CONSTANT) {
+                        pairs.push(ExponentPair::CONSTANT);
+                    }
+                    per_param.push(pairs);
+                }
+                combine_candidate_pairs(
+                    set,
+                    &per_param,
+                    self.opts.aggregation,
+                    self.opts.tie_tolerance,
+                )
+            })
+            .collect();
+        DnnBatch {
+            results,
+            lines: classified.rows,
+            forward_passes: classified.forward_passes,
+        }
+    }
+
+    /// Pushes one line per parameter of `set` onto `lines` and returns the
+    /// owned index range, or the error that makes the whole set unmodelable.
+    fn plan_lines(
+        &self,
+        set: &MeasurementSet,
+        lines: &mut Vec<Vec<(f64, f64)>>,
+    ) -> Result<std::ops::Range<usize>, ModelError> {
+        let m = set.num_params();
+        if m == 0 {
+            return Err(ModelError::NoParameters);
+        }
+        let start = lines.len();
+        for l in 0..m {
+            let line = set.line(l, self.opts.aggregation);
+            if line.len() < self.opts.min_points {
+                lines.truncate(start);
+                return Err(ModelError::TooFewPoints {
+                    param: l,
+                    found: line.len(),
+                    required: self.opts.min_points,
+                });
+            }
+            lines.push(line);
+        }
+        Ok(start..lines.len())
     }
 
     /// Full modeling run: classify each parameter's line, construct the
@@ -542,6 +700,74 @@ mod tests {
         assert_eq!(pairs.len(), 3);
         // All lines degenerate -> error.
         assert!(modeler.predict_pairs_over_lines(&[degenerate]).is_err());
+    }
+
+    #[test]
+    fn batched_classification_matches_per_line_calls_bitwise() {
+        let modeler = shared_modeler();
+        let xs = [4.0, 8.0, 16.0, 32.0, 64.0];
+        let lines: Vec<Vec<(f64, f64)>> = vec![
+            xs.iter().map(|&x| (x, 3.0 * x)).collect(),
+            xs.iter().map(|&x| (x, 1.0 + 0.5 * x * x)).collect(),
+            vec![(4.0, 1.0)], // degenerate: single point
+            xs.iter().map(|&x| (x, 7.0)).collect(),
+        ];
+        let batch = modeler.classify_lines_batch(&lines);
+        assert_eq!(batch.forward_passes, 1, "one coalesced pass");
+        assert_eq!(batch.rows, 3, "degenerate lines are not encoded");
+        for (line, batched) in lines.iter().zip(&batch.probabilities) {
+            let xs: Vec<f64> = line.iter().map(|(x, _)| *x).collect();
+            let ys: Vec<f64> = line.iter().map(|(_, y)| *y).collect();
+            match (modeler.class_probabilities(&xs, &ys), batched) {
+                (Ok(single), Ok(b)) => {
+                    assert_eq!(single.len(), b.len());
+                    for (s, v) in single.iter().zip(b) {
+                        assert_eq!(
+                            s.to_bits(),
+                            v.to_bits(),
+                            "probabilities must be bitwise equal"
+                        );
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                (s, b) => panic!("batched/sequential disagree: {s:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn all_degenerate_batch_issues_no_forward_pass() {
+        let modeler = shared_modeler();
+        let batch = modeler.classify_lines_batch(&[vec![(4.0, 1.0)], vec![(8.0, 2.0)]]);
+        assert_eq!(batch.forward_passes, 0);
+        assert_eq!(batch.rows, 0);
+        assert!(batch.probabilities.iter().all(|p| p.is_err()));
+    }
+
+    #[test]
+    fn model_batch_matches_sequential_modeling() {
+        let modeler = shared_modeler();
+        let xs = [4.0, 8.0, 16.0, 32.0, 64.0];
+        let sets = [
+            line_set(|x| 5.0 + 2.0 * x, &xs),
+            line_set(|x| 1.0 + 0.25 * x * x, &xs),
+            line_set(|x| x, &[2.0, 4.0, 8.0]), // too few points
+        ];
+        let refs: Vec<&MeasurementSet> = sets.iter().collect();
+        let batch = modeler.model_batch(&refs);
+        assert_eq!(batch.forward_passes, 1);
+        assert_eq!(batch.lines, 2, "the too-few-points set contributes no line");
+        for (set, batched) in sets.iter().zip(&batch.results) {
+            match (modeler.model(set), batched) {
+                (Ok(single), Ok(b)) => {
+                    assert_eq!(single.model.to_string(), b.model.to_string());
+                    assert_eq!(single.cv_smape.to_bits(), b.cv_smape.to_bits());
+                    assert_eq!(single.fit_smape.to_bits(), b.fit_smape.to_bits());
+                }
+                (Err(se), Err(be)) => assert_eq!(&se, be),
+                (s, b) => panic!("batched/sequential disagree: {s:?} vs {b:?}"),
+            }
+        }
     }
 
     #[test]

@@ -82,6 +82,34 @@ impl Matrix {
         }
     }
 
+    /// Packs owned rows into one matrix — the batched-inference entry
+    /// point: callers that would otherwise run many single-row forward
+    /// passes stack their inputs here and push the whole batch through one
+    /// blocked [`crate::matmul`] chain instead.
+    ///
+    /// Unlike [`Matrix::from_rows`] this accepts an empty batch (yielding a
+    /// `0 x cols` matrix) and reports ragged rows as a [`LinalgError`]
+    /// instead of panicking, since batch contents typically come from
+    /// untrusted request payloads.
+    pub fn from_row_vecs(rows: &[Vec<f64>], cols: usize) -> Result<Self> {
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (idx, row) in rows.iter().enumerate() {
+            if row.len() != cols {
+                return Err(LinalgError::ShapeMismatch {
+                    op: "from_row_vecs",
+                    lhs: (idx, row.len()),
+                    rhs: (rows.len(), cols),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
     /// Builds a matrix by evaluating `f(row, col)` for every entry.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
@@ -347,6 +375,37 @@ impl fmt::Display for Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_row_vecs_packs_rows_in_order() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let m = Matrix::from_row_vecs(&rows, 2).unwrap();
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(
+            m,
+            Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]])
+        );
+    }
+
+    #[test]
+    fn from_row_vecs_accepts_an_empty_batch() {
+        let m = Matrix::from_row_vecs(&[], 4).unwrap();
+        assert_eq!(m.shape(), (0, 4));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn from_row_vecs_rejects_ragged_rows() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(matches!(
+            Matrix::from_row_vecs(&rows, 2),
+            Err(LinalgError::ShapeMismatch {
+                op: "from_row_vecs",
+                ..
+            })
+        ));
+    }
 
     #[test]
     fn zeros_and_identity() {

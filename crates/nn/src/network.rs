@@ -82,6 +82,9 @@ pub enum NetworkError {
     EmptyDataset,
     /// Persistence failed.
     Io(String),
+    /// A loaded checkpoint is structurally broken: non-finite weights,
+    /// inconsistent layer dimensions, or malformed weight storage.
+    InvalidCheckpoint(String),
 }
 
 impl fmt::Display for NetworkError {
@@ -95,6 +98,7 @@ impl fmt::Display for NetworkError {
             }
             NetworkError::EmptyDataset => write!(f, "dataset is empty"),
             NetworkError::Io(e) => write!(f, "persistence error: {e}"),
+            NetworkError::InvalidCheckpoint(e) => write!(f, "invalid checkpoint: {e}"),
         }
     }
 }
@@ -250,14 +254,68 @@ impl Network {
         Ok(())
     }
 
+    /// Checks the structural invariants a trustworthy checkpoint must hold:
+    /// at least one layer, positive and chain-consistent layer dimensions,
+    /// weight storage that matches its declared shape, bias vectors of the
+    /// output width, and exclusively finite parameters.
+    ///
+    /// Deserialization ([`Network::from_json`], [`Network::load`]) runs this
+    /// automatically so a corrupt checkpoint is rejected with a descriptive
+    /// [`NetworkError::InvalidCheckpoint`] at load time instead of
+    /// surfacing later as a panic or silently broken inference.
+    pub fn validate(&self) -> Result<(), NetworkError> {
+        let invalid = |msg: String| Err(NetworkError::InvalidCheckpoint(msg));
+        if self.layers.is_empty() {
+            return invalid("network has no layers".to_string());
+        }
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (rows, cols) = layer.weights.shape();
+            if rows == 0 || cols == 0 {
+                return invalid(format!("layer {i} has zero dimension ({rows}x{cols})"));
+            }
+            if layer.weights.as_slice().len() != rows * cols {
+                return invalid(format!(
+                    "layer {i} weight storage holds {} values for declared shape {rows}x{cols}",
+                    layer.weights.as_slice().len()
+                ));
+            }
+            if layer.biases.len() != cols {
+                return invalid(format!(
+                    "layer {i} has {} biases for {cols} output neurons",
+                    layer.biases.len()
+                ));
+            }
+            if i > 0 {
+                let prev_out = self.layers[i - 1].out_dim();
+                if prev_out != rows {
+                    return invalid(format!(
+                        "layer {} outputs {prev_out} values but layer {i} expects {rows} inputs",
+                        i - 1
+                    ));
+                }
+            }
+            if !layer.weights.all_finite() {
+                return invalid(format!("layer {i} contains non-finite weights"));
+            }
+            if layer.biases.iter().any(|b| !b.is_finite()) {
+                return invalid(format!("layer {i} contains non-finite biases"));
+            }
+        }
+        Ok(())
+    }
+
     /// Serializes the network (architecture + weights) to JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("Network serializes")
     }
 
-    /// Deserializes a network from JSON.
+    /// Deserializes a network from JSON, rejecting structurally broken
+    /// checkpoints (see [`Network::validate`]).
     pub fn from_json(json: &str) -> Result<Self, NetworkError> {
-        serde_json::from_str(json).map_err(|e| NetworkError::Io(e.to_string()))
+        let net: Network =
+            serde_json::from_str(json).map_err(|e| NetworkError::Io(e.to_string()))?;
+        net.validate()?;
+        Ok(net)
     }
 
     /// Writes the network to a file.
@@ -265,7 +323,8 @@ impl Network {
         std::fs::write(path, self.to_json()).map_err(|e| NetworkError::Io(e.to_string()))
     }
 
-    /// Reads a network from a file.
+    /// Reads a network from a file, rejecting structurally broken
+    /// checkpoints (see [`Network::validate`]).
     pub fn load(path: &Path) -> Result<Self, NetworkError> {
         let json = std::fs::read_to_string(path).map_err(|e| NetworkError::Io(e.to_string()))?;
         Network::from_json(&json)
@@ -365,6 +424,80 @@ mod tests {
             net.predict_proba_one(&x).unwrap(),
             back.predict_proba_one(&x).unwrap()
         );
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected_at_load() {
+        let mut net = Network::new(&NetworkConfig::new(&[2, 4, 2]), 9);
+        net.layers_mut()[0].weights.as_mut_slice()[0] = f64::NAN;
+        assert!(
+            matches!(net.validate(), Err(NetworkError::InvalidCheckpoint(ref m)) if m.contains("non-finite"))
+        );
+        // NaN serializes as JSON null and deserializes back to NaN; the
+        // load path must refuse the checkpoint rather than hand out a
+        // network that poisons every forward pass.
+        let err = Network::from_json(&net.to_json()).unwrap_err();
+        assert!(matches!(err, NetworkError::InvalidCheckpoint(ref m) if m.contains("layer 0")));
+    }
+
+    #[test]
+    fn non_finite_biases_are_rejected() {
+        let mut net = Network::new(&NetworkConfig::new(&[2, 4, 2]), 9);
+        net.layers_mut()[1].biases[1] = f64::INFINITY;
+        assert!(matches!(
+            net.validate(),
+            Err(NetworkError::InvalidCheckpoint(ref m)) if m.contains("biases")
+        ));
+    }
+
+    #[test]
+    fn inconsistent_layer_chain_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // 2->4 followed by 3->2: the 4-wide output feeds a 3-wide input.
+        let net = Network {
+            layers: vec![
+                DenseLayer::new(2, 4, Activation::Tanh, &mut rng),
+                DenseLayer::new(3, 2, Activation::Identity, &mut rng),
+            ],
+        };
+        let err = net.validate().unwrap_err();
+        assert!(
+            matches!(err, NetworkError::InvalidCheckpoint(ref m) if m.contains("outputs 4") && m.contains("expects 3")),
+            "{err}"
+        );
+        assert!(Network::from_json(&net.to_json()).is_err());
+    }
+
+    #[test]
+    fn tampered_weight_shape_is_rejected() {
+        let net = Network::new(&NetworkConfig::new(&[2, 3]), 5);
+        // Declare one more weight row than the storage actually holds.
+        let tampered = net.to_json().replacen("\"rows\":2", "\"rows\":3", 1);
+        let err = Network::from_json(&tampered).unwrap_err();
+        assert!(
+            matches!(err, NetworkError::InvalidCheckpoint(ref m) if m.contains("weight storage")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn empty_network_is_rejected() {
+        let net = Network { layers: vec![] };
+        assert!(matches!(
+            net.validate(),
+            Err(NetworkError::InvalidCheckpoint(ref m)) if m.contains("no layers")
+        ));
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_an_error_not_a_panic() {
+        let json = Network::new(&NetworkConfig::new(&[2, 3]), 5).to_json();
+        for cut in [0, 1, json.len() / 2, json.len() - 1] {
+            assert!(
+                matches!(Network::from_json(&json[..cut]), Err(NetworkError::Io(_))),
+                "truncation at {cut} must fail cleanly"
+            );
+        }
     }
 
     #[test]

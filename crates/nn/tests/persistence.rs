@@ -1,0 +1,89 @@
+//! Property-based tests for checkpoint persistence: a save/load round trip
+//! must preserve the network exactly, and no corrupted or truncated
+//! checkpoint may ever panic the loader — it fails with a descriptive error.
+
+use nrpm_nn::{Network, NetworkConfig};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// A strategy over small but shape-diverse network architectures.
+fn architectures() -> impl Strategy<Value = (Vec<usize>, u64)> {
+    (
+        1usize..5,                              // input width
+        prop::collection::vec(1usize..7, 0..3), // hidden widths
+        1usize..6,                              // output width
+        0u64..1_000_000,                        // init seed
+    )
+        .prop_map(|(input, hidden, output, seed)| {
+            let mut sizes = vec![input];
+            sizes.extend(hidden);
+            sizes.push(output);
+            (sizes, seed)
+        })
+}
+
+/// A scratch file path unique to this test case.
+fn scratch_path(tag: &str, discriminant: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join("nrpm_nn_persistence");
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(format!("{tag}-{}-{discriminant}.json", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Save → load preserves the weights bit-for-bit (the JSON text itself
+    /// round-trips, thanks to shortest-round-trip float formatting) and the
+    /// forward outputs exactly.
+    #[test]
+    fn save_load_round_trip_is_exact(arch in architectures()) {
+        let (sizes, seed) = arch;
+        let net = Network::new(&NetworkConfig::new(&sizes), seed);
+        let path = scratch_path("roundtrip", seed);
+        net.save(&path).expect("save");
+        let back = Network::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        prop_assert_eq!(&net, &back);
+        // Bit-for-bit: re-serializing must reproduce the identical text.
+        prop_assert_eq!(net.to_json(), back.to_json());
+
+        // Forward outputs must agree exactly, not just approximately.
+        let input: Vec<f64> = (0..sizes[0]).map(|i| (i as f64) * 0.25 - 0.5).collect();
+        let a = net.predict_proba_one(&input).expect("forward");
+        let b = back.predict_proba_one(&input).expect("forward");
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!(x.to_bits() == y.to_bits(), "forward mismatch: {x} vs {y}");
+        }
+    }
+
+    /// Every strict prefix of a checkpoint fails to load with an error —
+    /// never a panic, and never a silently half-loaded network.
+    #[test]
+    fn truncated_checkpoints_fail_cleanly(arch in architectures(), frac in 0.0..1.0f64) {
+        let (sizes, seed) = arch;
+        let json = Network::new(&NetworkConfig::new(&sizes), seed).to_json();
+        let cut = ((json.len() as f64 * frac) as usize).min(json.len() - 1);
+        let path = scratch_path("truncated", seed ^ cut as u64);
+        std::fs::write(&path, &json[..cut]).expect("write truncated");
+        let result = Network::load(&path);
+        std::fs::remove_file(&path).ok();
+        prop_assert!(result.is_err(), "truncation at {} of {} must fail", cut, json.len());
+    }
+
+    /// Corrupting a checkpoint must never panic the loader: it either fails
+    /// with an error or — when the corruption happens to keep the JSON
+    /// valid — yields a network that still passes structural validation.
+    #[test]
+    fn corrupted_checkpoints_never_panic(arch in architectures(), pos in 0.0..1.0f64, byte in 0u8..128) {
+        let (sizes, seed) = arch;
+        let mut json = Network::new(&NetworkConfig::new(&sizes), seed).to_json().into_bytes();
+        let idx = ((json.len() as f64 * pos) as usize).min(json.len() - 1);
+        json[idx] = byte;
+        // Lossy recovery mirrors what a real loader sees for invalid UTF-8.
+        let text = String::from_utf8_lossy(&json).into_owned();
+        if let Ok(net) = Network::from_json(&text) {
+            prop_assert!(net.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! A small blocking client for the serving protocol — used by the `nrpm
+//! query` subcommand, the integration tests, and the throughput benchmark.
+
+use crate::protocol::Request;
+use nrpm_extrap::MeasurementSet;
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A blocking connection to a running server.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+fn io_other(message: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+}
+
+impl Client {
+    /// Connects to `addr`, applying `timeout` to the connect and to every
+    /// subsequent read.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(timeout))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Sends one raw line and reads one response line, parsed as JSON.
+    pub fn roundtrip_line(&mut self, line: &str) -> std::io::Result<Value> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        serde_json::from_str(response.trim())
+            .map_err(|e| io_other(format!("unparseable response: {e}")))
+    }
+
+    /// Sends a typed request and returns the parsed response object.
+    pub fn roundtrip(&mut self, request: &Request) -> std::io::Result<Value> {
+        self.roundtrip_line(&request.to_line())
+    }
+
+    /// Probes liveness.
+    pub fn health(&mut self) -> std::io::Result<Value> {
+        self.roundtrip(&Request::Health)
+    }
+
+    /// Fetches the metrics snapshot (the `stats` field of the response).
+    pub fn stats(&mut self) -> std::io::Result<Value> {
+        let response = self.roundtrip(&Request::Stats)?;
+        response
+            .get("stats")
+            .cloned()
+            .ok_or_else(|| io_other("stats response lacks a `stats` field".into()))
+    }
+
+    /// Requests a graceful drain.
+    pub fn shutdown(&mut self) -> std::io::Result<Value> {
+        self.roundtrip(&Request::Shutdown)
+    }
+
+    /// Models one kernel.
+    pub fn model(
+        &mut self,
+        set: MeasurementSet,
+        at: Option<Vec<f64>>,
+        timeout_ms: Option<u64>,
+    ) -> std::io::Result<Value> {
+        self.roundtrip(&Request::Model {
+            set,
+            at,
+            timeout_ms,
+            id: None,
+        })
+    }
+
+    /// Models several kernels in one coalesced request.
+    pub fn batch(
+        &mut self,
+        sets: Vec<MeasurementSet>,
+        timeout_ms: Option<u64>,
+    ) -> std::io::Result<Value> {
+        self.roundtrip(&Request::Batch {
+            sets,
+            timeout_ms,
+            id: None,
+        })
+    }
+}
+
+/// `true` when a parsed response has `"status":"ok"`.
+pub fn is_ok(response: &Value) -> bool {
+    response.get("status").and_then(Value::as_str) == Some("ok")
+}

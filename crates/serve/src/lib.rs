@@ -1,0 +1,32 @@
+//! `nrpm-serve` — the concurrent model-serving subsystem.
+//!
+//! Turns the adaptive modeler into a long-lived service: a pretrained
+//! network is loaded and validated **once** into a warm [`store::ModelStore`],
+//! a pool of workers answers modeling requests over a newline-delimited
+//! JSON TCP protocol ([`protocol`]), and `batch` requests coalesce the DNN
+//! forward passes of many kernels into a single batched matrix
+//! multiplication through `nrpm-linalg`
+//! ([`nrpm_core::adaptive::AdaptiveModeler::model_batch`]).
+//!
+//! ```no_run
+//! use nrpm_core::adaptive::AdaptiveOptions;
+//! use nrpm_serve::client::Client;
+//! use nrpm_serve::server::{ServeOptions, Server};
+//! use nrpm_serve::store::ModelStore;
+//! use std::time::Duration;
+//!
+//! let store = ModelStore::open("net.json".as_ref(), AdaptiveOptions::default()).unwrap();
+//! let server = Server::start("127.0.0.1:0", store, ServeOptions::default()).unwrap();
+//! let mut client = Client::connect(server.addr(), Duration::from_secs(5)).unwrap();
+//! println!("{:?}", client.health().unwrap());
+//! client.shutdown().unwrap();
+//! server.join().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod store;

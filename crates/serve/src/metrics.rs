@@ -1,0 +1,302 @@
+//! Server metrics: lock-free counters and a latency histogram.
+//!
+//! Workers and connection threads record into shared atomics; the `stats`
+//! command takes a [`MetricsSnapshot`] — a plain serializable struct — so
+//! the wire format is decoupled from the atomic representation.
+
+use nrpm_core::adaptive::ModelerChoice;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (milliseconds) of the latency histogram buckets; the last
+/// bucket is unbounded.
+pub const LATENCY_BUCKETS_MS: [u64; 8] = [1, 5, 10, 50, 100, 500, 1000, 5000];
+
+const NUM_BUCKETS: usize = LATENCY_BUCKETS_MS.len() + 1;
+
+/// Shared metrics registry. All methods are `&self` and thread-safe.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests_model: AtomicU64,
+    requests_batch: AtomicU64,
+    requests_health: AtomicU64,
+    requests_stats: AtomicU64,
+    requests_shutdown: AtomicU64,
+    responses_ok: AtomicU64,
+    errors_parse: AtomicU64,
+    errors_usage: AtomicU64,
+    errors_recoverable: AtomicU64,
+    errors_fatal: AtomicU64,
+    errors_timeout: AtomicU64,
+    errors_shutting_down: AtomicU64,
+    choice_dnn: AtomicU64,
+    choice_regression: AtomicU64,
+    choice_constant_mean: AtomicU64,
+    kernels_modeled: AtomicU64,
+    batched_forward_calls: AtomicU64,
+    batched_rows: AtomicU64,
+    latency_buckets: [AtomicU64; NUM_BUCKETS],
+    latency_total_us: AtomicU64,
+    latency_count: AtomicU64,
+}
+
+/// Which request counter to bump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// A `model` request.
+    Model,
+    /// A `batch` request.
+    Batch,
+    /// A `health` request.
+    Health,
+    /// A `stats` request.
+    Stats,
+    /// A `shutdown` request.
+    Shutdown,
+}
+
+/// Which error counter to bump — mirrors [`crate::protocol::ErrorKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Unparseable request.
+    Parse,
+    /// Well-formed but unusable request.
+    Usage,
+    /// Recoverable modeling failure.
+    Recoverable,
+    /// Fatal modeling failure.
+    Fatal,
+    /// Deadline exceeded.
+    Timeout,
+    /// Refused because the server is draining.
+    ShuttingDown,
+}
+
+impl Metrics {
+    /// Creates a zeroed registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records an incoming request of the given kind.
+    pub fn record_request(&self, kind: RequestKind) {
+        let counter = match kind {
+            RequestKind::Model => &self.requests_model,
+            RequestKind::Batch => &self.requests_batch,
+            RequestKind::Health => &self.requests_health,
+            RequestKind::Stats => &self.requests_stats,
+            RequestKind::Shutdown => &self.requests_shutdown,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a successful response.
+    pub fn record_ok(&self) {
+        self.responses_ok.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an error response of the given class.
+    pub fn record_error(&self, class: ErrorClass) {
+        let counter = match class {
+            ErrorClass::Parse => &self.errors_parse,
+            ErrorClass::Usage => &self.errors_usage,
+            ErrorClass::Recoverable => &self.errors_recoverable,
+            ErrorClass::Fatal => &self.errors_fatal,
+            ErrorClass::Timeout => &self.errors_timeout,
+            ErrorClass::ShuttingDown => &self.errors_shutting_down,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records which modeler produced a kernel's answer.
+    pub fn record_choice(&self, choice: ModelerChoice) {
+        let counter = match choice {
+            ModelerChoice::Dnn => &self.choice_dnn,
+            ModelerChoice::Regression => &self.choice_regression,
+            ModelerChoice::ConstantMean => &self.choice_constant_mean,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.kernels_modeled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one coalesced DNN inference covering `rows` measurement
+    /// lines. `forward_passes` is `0` when every line was degenerate.
+    pub fn record_batched_inference(&self, forward_passes: usize, rows: usize) {
+        self.batched_forward_calls
+            .fetch_add(forward_passes as u64, Ordering::Relaxed);
+        self.batched_rows.fetch_add(rows as u64, Ordering::Relaxed);
+    }
+
+    /// Records the end-to-end latency of one modeling request.
+    pub fn record_latency(&self, elapsed: Duration) {
+        let ms = elapsed.as_millis() as u64;
+        let bucket = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&bound| ms <= bound)
+            .unwrap_or(NUM_BUCKETS - 1);
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_total_us
+            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for the `stats` response.
+    /// Individual counters are read relaxed; cross-counter relations (e.g.
+    /// `responses_ok + errors == requests`) hold once the server is idle.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            requests_model: get(&self.requests_model),
+            requests_batch: get(&self.requests_batch),
+            requests_health: get(&self.requests_health),
+            requests_stats: get(&self.requests_stats),
+            requests_shutdown: get(&self.requests_shutdown),
+            responses_ok: get(&self.responses_ok),
+            errors_parse: get(&self.errors_parse),
+            errors_usage: get(&self.errors_usage),
+            errors_recoverable: get(&self.errors_recoverable),
+            errors_fatal: get(&self.errors_fatal),
+            errors_timeout: get(&self.errors_timeout),
+            errors_shutting_down: get(&self.errors_shutting_down),
+            choice_dnn: get(&self.choice_dnn),
+            choice_regression: get(&self.choice_regression),
+            choice_constant_mean: get(&self.choice_constant_mean),
+            kernels_modeled: get(&self.kernels_modeled),
+            batched_forward_calls: get(&self.batched_forward_calls),
+            batched_rows: get(&self.batched_rows),
+            latency_bucket_bounds_ms: LATENCY_BUCKETS_MS.to_vec(),
+            latency_buckets: self.latency_buckets.iter().map(get).collect(),
+            latency_total_us: get(&self.latency_total_us),
+            latency_count: get(&self.latency_count),
+        }
+    }
+}
+
+/// A point-in-time copy of every counter, in wire form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// `model` requests received.
+    pub requests_model: u64,
+    /// `batch` requests received.
+    pub requests_batch: u64,
+    /// `health` requests received.
+    pub requests_health: u64,
+    /// `stats` requests received.
+    pub requests_stats: u64,
+    /// `shutdown` requests received.
+    pub requests_shutdown: u64,
+    /// Successful responses sent.
+    pub responses_ok: u64,
+    /// Unparseable request lines.
+    pub errors_parse: u64,
+    /// Well-formed but unusable requests.
+    pub errors_usage: u64,
+    /// Recoverable modeling failures.
+    pub errors_recoverable: u64,
+    /// Fatal modeling failures.
+    pub errors_fatal: u64,
+    /// Requests that missed their deadline.
+    pub errors_timeout: u64,
+    /// Requests refused during drain.
+    pub errors_shutting_down: u64,
+    /// Kernels answered by the DNN modeler.
+    pub choice_dnn: u64,
+    /// Kernels answered by the regression modeler.
+    pub choice_regression: u64,
+    /// Kernels answered by the constant-mean fallback.
+    pub choice_constant_mean: u64,
+    /// Kernels modeled successfully in total.
+    pub kernels_modeled: u64,
+    /// Coalesced DNN forward passes issued by `batch` requests.
+    pub batched_forward_calls: u64,
+    /// Measurement lines classified through those coalesced passes.
+    pub batched_rows: u64,
+    /// Upper bounds of the latency buckets (ms); last bucket unbounded.
+    pub latency_bucket_bounds_ms: Vec<u64>,
+    /// Latency histogram counts (one per bound, plus the overflow bucket).
+    pub latency_buckets: Vec<u64>,
+    /// Sum of modeling-request latencies (microseconds).
+    pub latency_total_us: u64,
+    /// Number of latency observations.
+    pub latency_count: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total requests of all kinds.
+    pub fn requests_total(&self) -> u64 {
+        self.requests_model
+            + self.requests_batch
+            + self.requests_health
+            + self.requests_stats
+            + self.requests_shutdown
+    }
+
+    /// Total error responses of all classes.
+    pub fn errors_total(&self) -> u64 {
+        self.errors_parse
+            + self.errors_usage
+            + self.errors_recoverable
+            + self.errors_fatal
+            + self.errors_timeout
+            + self.errors_shutting_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = Metrics::new();
+        m.record_request(RequestKind::Model);
+        m.record_request(RequestKind::Model);
+        m.record_request(RequestKind::Batch);
+        m.record_ok();
+        m.record_error(ErrorClass::Parse);
+        m.record_error(ErrorClass::Timeout);
+        m.record_choice(ModelerChoice::Regression);
+        m.record_choice(ModelerChoice::Dnn);
+        m.record_batched_inference(1, 8);
+
+        let s = m.snapshot();
+        assert_eq!(s.requests_model, 2);
+        assert_eq!(s.requests_batch, 1);
+        assert_eq!(s.requests_total(), 3);
+        assert_eq!(s.responses_ok, 1);
+        assert_eq!(s.errors_parse, 1);
+        assert_eq!(s.errors_timeout, 1);
+        assert_eq!(s.errors_total(), 2);
+        assert_eq!(s.choice_regression, 1);
+        assert_eq!(s.choice_dnn, 1);
+        assert_eq!(s.kernels_modeled, 2);
+        assert_eq!(s.batched_forward_calls, 1);
+        assert_eq!(s.batched_rows, 8);
+    }
+
+    #[test]
+    fn latency_lands_in_the_right_bucket() {
+        let m = Metrics::new();
+        m.record_latency(Duration::from_micros(800)); // <= 1ms
+        m.record_latency(Duration::from_millis(7)); // <= 10ms
+        m.record_latency(Duration::from_secs(60)); // overflow
+        let s = m.snapshot();
+        assert_eq!(s.latency_buckets[0], 1);
+        assert_eq!(s.latency_buckets[2], 1);
+        assert_eq!(s.latency_buckets[LATENCY_BUCKETS_MS.len()], 1);
+        assert_eq!(s.latency_count, 3);
+        assert!(s.latency_total_us >= 60_000_000);
+    }
+
+    #[test]
+    fn snapshot_survives_the_wire() {
+        let m = Metrics::new();
+        m.record_request(RequestKind::Stats);
+        m.record_latency(Duration::from_millis(3));
+        let s = m.snapshot();
+        let text = serde_json::to_string(&s).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(s, back);
+    }
+}

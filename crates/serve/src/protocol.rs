@@ -1,0 +1,431 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! Every request is one JSON object on one line with a `cmd` field; every
+//! response is one JSON object on one line with a `status` field (`"ok"` or
+//! `"error"`). Errors carry a machine-readable `kind` mapped from the
+//! [`ModelError`] severity taxonomy, so clients can distinguish bad requests
+//! from recoverable modeling failures from fatal ones without string
+//! matching.
+//!
+//! ```text
+//! → {"cmd":"model","set":{...},"timeout_ms":5000,"id":"k1"}
+//! ← {"status":"ok","id":"k1","outcome":{...}}
+//! → {"cmd":"batch","sets":[{...},{...}]}
+//! ← {"status":"ok","results":[{"status":"ok",...},{"status":"error",...}]}
+//! → {"cmd":"health"}       → {"cmd":"stats"}       → {"cmd":"shutdown"}
+//! ```
+
+use nrpm_core::adaptive::{AdaptiveOutcome, ModelerChoice};
+use nrpm_extrap::{MeasurementSet, ModelError, Severity};
+use serde::{Deserialize, Serialize, Value};
+
+/// Hard cap on the length of one request line; longer requests are rejected
+/// with a `too_large` error before any parsing happens.
+pub const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Model one kernel's measurements.
+    Model {
+        /// The kernel's measurement set.
+        set: MeasurementSet,
+        /// Evaluate the selected model at this point.
+        at: Option<Vec<f64>>,
+        /// Per-request deadline override (milliseconds).
+        timeout_ms: Option<u64>,
+        /// Client-chosen correlation id, echoed in the response.
+        id: Option<String>,
+    },
+    /// Model several kernels, coalescing their DNN forward passes into one
+    /// batched inference.
+    Batch {
+        /// One measurement set per kernel.
+        sets: Vec<MeasurementSet>,
+        /// Per-request deadline override (milliseconds).
+        timeout_ms: Option<u64>,
+        /// Client-chosen correlation id, echoed in the response.
+        id: Option<String>,
+    },
+    /// Liveness probe.
+    Health,
+    /// Metrics snapshot.
+    Stats,
+    /// Begin a graceful drain: stop accepting, finish in-flight work, exit.
+    Shutdown,
+}
+
+/// Machine-readable classification of an error response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line was not valid JSON or not a valid request object.
+    Parse,
+    /// The request was well-formed but semantically unusable
+    /// (unknown command, missing field, oversized payload).
+    Usage,
+    /// A recoverable modeling failure ([`Severity::Recoverable`]) — the
+    /// input data cannot support a model, but the server is healthy.
+    Recoverable,
+    /// A fatal modeling failure ([`Severity::Fatal`]) — the input data is
+    /// structurally broken (e.g. non-positive coordinates).
+    Fatal,
+    /// The request missed its deadline.
+    Timeout,
+    /// The server is draining and no longer accepts modeling work.
+    ShuttingDown,
+}
+
+impl ErrorKind {
+    /// The wire name of this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Usage => "usage",
+            ErrorKind::Recoverable => "recoverable",
+            ErrorKind::Fatal => "fatal",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Maps a modeling error onto its wire classification.
+    pub fn of_model_error(e: &ModelError) -> Self {
+        match e.severity() {
+            Severity::Recoverable => ErrorKind::Recoverable,
+            Severity::Fatal => ErrorKind::Fatal,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+    }
+}
+
+fn opt_str(v: &Value, key: &str) -> Result<Option<String>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("`{key}` must be a string")),
+    }
+}
+
+fn opt_point(v: &Value, key: &str) -> Result<Option<Vec<f64>>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => {
+            let seq = x
+                .as_seq()
+                .ok_or_else(|| format!("`{key}` must be an array"))?;
+            seq.iter()
+                .map(|e| {
+                    e.as_f64()
+                        .filter(|f| f.is_finite())
+                        .ok_or_else(|| format!("`{key}` must hold finite numbers"))
+                })
+                .collect::<Result<Vec<f64>, String>>()
+                .map(Some)
+        }
+    }
+}
+
+impl Request {
+    /// Parses one request line. `Err((kind, message))` distinguishes JSON
+    /// breakage ([`ErrorKind::Parse`]) from semantic misuse
+    /// ([`ErrorKind::Usage`]).
+    pub fn parse(line: &str) -> Result<Request, (ErrorKind, String)> {
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| (ErrorKind::Parse, format!("invalid JSON: {e}")))?;
+        if value.as_map().is_none() {
+            return Err((ErrorKind::Parse, "request must be a JSON object".into()));
+        }
+        let cmd = value
+            .get("cmd")
+            .and_then(Value::as_str)
+            .ok_or((ErrorKind::Usage, "missing string field `cmd`".to_string()))?;
+        let usage = |m: String| (ErrorKind::Usage, m);
+        match cmd {
+            "model" => {
+                let set_value = value
+                    .get("set")
+                    .ok_or_else(|| usage("`model` needs a `set` object".into()))?;
+                let set = MeasurementSet::from_value(set_value)
+                    .map_err(|e| usage(format!("bad `set`: {e}")))?;
+                Ok(Request::Model {
+                    set,
+                    at: opt_point(&value, "at").map_err(usage)?,
+                    timeout_ms: opt_u64(&value, "timeout_ms").map_err(usage)?,
+                    id: opt_str(&value, "id").map_err(usage)?,
+                })
+            }
+            "batch" => {
+                let seq = value
+                    .get("sets")
+                    .and_then(Value::as_seq)
+                    .ok_or_else(|| usage("`batch` needs a `sets` array".into()))?;
+                if seq.is_empty() {
+                    return Err(usage("`sets` must not be empty".into()));
+                }
+                let sets = seq
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        MeasurementSet::from_value(v)
+                            .map_err(|e| usage(format!("bad `sets[{i}]`: {e}")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::Batch {
+                    sets,
+                    timeout_ms: opt_u64(&value, "timeout_ms").map_err(usage)?,
+                    id: opt_str(&value, "id").map_err(usage)?,
+                })
+            }
+            "health" => Ok(Request::Health),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(usage(format!("unknown command `{other}`"))),
+        }
+    }
+
+    /// Serializes this request to its one-line wire form (client side).
+    pub fn to_line(&self) -> String {
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        let push_common =
+            |fields: &mut Vec<(String, Value)>, timeout_ms: &Option<u64>, id: &Option<String>| {
+                if let Some(t) = timeout_ms {
+                    fields.push(("timeout_ms".into(), Value::U64(*t)));
+                }
+                if let Some(i) = id {
+                    fields.push(("id".into(), Value::Str(i.clone())));
+                }
+            };
+        match self {
+            Request::Model {
+                set,
+                at,
+                timeout_ms,
+                id,
+            } => {
+                fields.push(("cmd".into(), Value::Str("model".into())));
+                fields.push(("set".into(), set.to_value()));
+                if let Some(point) = at {
+                    fields.push((
+                        "at".into(),
+                        Value::Seq(point.iter().map(|&x| Value::F64(x)).collect()),
+                    ));
+                }
+                push_common(&mut fields, timeout_ms, id);
+            }
+            Request::Batch {
+                sets,
+                timeout_ms,
+                id,
+            } => {
+                fields.push(("cmd".into(), Value::Str("batch".into())));
+                fields.push((
+                    "sets".into(),
+                    Value::Seq(sets.iter().map(|s| s.to_value()).collect()),
+                ));
+                push_common(&mut fields, timeout_ms, id);
+            }
+            Request::Health => fields.push(("cmd".into(), Value::Str("health".into()))),
+            Request::Stats => fields.push(("cmd".into(), Value::Str("stats".into()))),
+            Request::Shutdown => fields.push(("cmd".into(), Value::Str("shutdown".into()))),
+        }
+        serde_json::to_string(&Value::Map(fields)).expect("request serialization is infallible")
+    }
+}
+
+/// The wire name of a modeler choice.
+pub fn choice_name(choice: ModelerChoice) -> &'static str {
+    match choice {
+        ModelerChoice::Regression => "regression",
+        ModelerChoice::Dnn => "dnn",
+        ModelerChoice::ConstantMean => "constant_mean",
+    }
+}
+
+/// Renders an adaptive outcome as the response `outcome` object.
+pub fn outcome_value(outcome: &AdaptiveOutcome, at: Option<&[f64]>) -> Value {
+    let mut fields: Vec<(String, Value)> = vec![
+        ("model".into(), Value::Str(outcome.result.model.to_string())),
+        (
+            "growth".into(),
+            Value::Str(outcome.result.model.asymptotic_string()),
+        ),
+        (
+            "choice".into(),
+            Value::Str(choice_name(outcome.choice).into()),
+        ),
+        ("cv_smape".into(), Value::F64(outcome.result.cv_smape)),
+        ("fit_smape".into(), Value::F64(outcome.result.fit_smape)),
+        ("noise_mean".into(), Value::F64(outcome.noise.mean())),
+        ("threshold".into(), Value::F64(outcome.threshold)),
+        (
+            "points_dropped".into(),
+            Value::U64(outcome.quality.points_dropped as u64),
+        ),
+        (
+            "repairs".into(),
+            Value::U64((outcome.quality.dropped() + outcome.quality.clamped) as u64),
+        ),
+    ];
+    if let Some(point) = at {
+        fields.push((
+            "prediction".into(),
+            Value::F64(outcome.result.model.evaluate(point)),
+        ));
+    }
+    Value::Map(fields)
+}
+
+/// Builds an `{"status":"ok", ...}` response line from extra fields.
+pub fn ok_line(id: Option<&str>, fields: Vec<(String, Value)>) -> String {
+    let mut all: Vec<(String, Value)> = vec![("status".into(), Value::Str("ok".into()))];
+    if let Some(id) = id {
+        all.push(("id".into(), Value::Str(id.into())));
+    }
+    all.extend(fields);
+    serde_json::to_string(&Value::Map(all)).expect("response serialization is infallible")
+}
+
+/// Builds an `{"status":"error", ...}` response line.
+pub fn error_line(id: Option<&str>, kind: ErrorKind, message: &str) -> String {
+    let mut all: Vec<(String, Value)> = vec![("status".into(), Value::Str("error".into()))];
+    if let Some(id) = id {
+        all.push(("id".into(), Value::Str(id.into())));
+    }
+    all.push(("kind".into(), Value::Str(kind.as_str().into())));
+    all.push(("message".into(), Value::Str(message.into())));
+    serde_json::to_string(&Value::Map(all)).expect("response serialization is infallible")
+}
+
+/// The per-kernel entry inside a batch response's `results` array.
+pub fn batch_entry(result: &Result<AdaptiveOutcome, ModelError>) -> Value {
+    match result {
+        Ok(outcome) => {
+            let mut fields: Vec<(String, Value)> = vec![("status".into(), Value::Str("ok".into()))];
+            fields.push(("outcome".into(), outcome_value(outcome, None)));
+            Value::Map(fields)
+        }
+        Err(e) => Value::Map(vec![
+            ("status".into(), Value::Str("error".into())),
+            (
+                "kind".into(),
+                Value::Str(ErrorKind::of_model_error(e).as_str().into()),
+            ),
+            ("message".into(), Value::Str(e.to_string())),
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_set() -> MeasurementSet {
+        let mut set = MeasurementSet::new(1);
+        for &x in &[4.0, 8.0, 16.0, 32.0] {
+            set.add_repetitions(&[x], &[2.0 * x, 2.1 * x]);
+        }
+        set
+    }
+
+    #[test]
+    fn request_lines_round_trip() {
+        let requests = vec![
+            Request::Model {
+                set: linear_set(),
+                at: Some(vec![128.0]),
+                timeout_ms: Some(2500),
+                id: Some("k1".into()),
+            },
+            Request::Batch {
+                sets: vec![linear_set(), linear_set()],
+                timeout_ms: None,
+                id: None,
+            },
+            Request::Health,
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = request.to_line();
+            assert!(!line.contains('\n'), "one line per request: {line}");
+            assert_eq!(Request::parse(&line).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_parse_errors() {
+        for line in ["", "{", "null", "42", "[1,2]", "\"cmd\""] {
+            let (kind, _) = Request::parse(line).unwrap_err();
+            assert_eq!(kind, ErrorKind::Parse, "line: {line:?}");
+        }
+    }
+
+    #[test]
+    fn semantic_misuse_is_a_usage_error() {
+        for line in [
+            "{}",
+            r#"{"cmd":"frobnicate"}"#,
+            r#"{"cmd":"model"}"#,
+            r#"{"cmd":"model","set":{"wrong":true}}"#,
+            r#"{"cmd":"batch","sets":[]}"#,
+            r#"{"cmd":"batch","sets":[7]}"#,
+            r#"{"cmd":"model","set":{"num_params":1,"measurements":[]},"timeout_ms":-4}"#,
+            r#"{"cmd":"model","set":{"num_params":1,"measurements":[]},"at":["x"]}"#,
+        ] {
+            let (kind, _) = Request::parse(line).unwrap_err();
+            assert_eq!(kind, ErrorKind::Usage, "line: {line:?}");
+        }
+    }
+
+    #[test]
+    fn error_kinds_map_model_error_severity() {
+        assert_eq!(
+            ErrorKind::of_model_error(&ModelError::TooFewPoints {
+                param: 0,
+                found: 2,
+                required: 5
+            }),
+            ErrorKind::Recoverable
+        );
+        assert_eq!(
+            ErrorKind::of_model_error(&ModelError::NoParameters),
+            ErrorKind::Fatal
+        );
+    }
+
+    #[test]
+    fn response_lines_are_single_line_json() {
+        let ok = ok_line(Some("a"), vec![("x".into(), Value::U64(1))]);
+        assert!(ok.starts_with(r#"{"status":"ok","id":"a""#), "{ok}");
+        let err = error_line(None, ErrorKind::Timeout, "deadline exceeded");
+        let parsed: Value = serde_json::from_str(&err).unwrap();
+        assert_eq!(parsed.get("kind").and_then(Value::as_str), Some("timeout"));
+        assert_eq!(parsed.get("status").and_then(Value::as_str), Some("error"));
+    }
+
+    #[test]
+    fn measurement_sets_survive_the_wire_encoding() {
+        let set = linear_set();
+        let value = set.to_value();
+        let text = serde_json::to_string(&value).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(MeasurementSet::from_value(&back).unwrap(), set);
+    }
+}

@@ -1,0 +1,562 @@
+//! The concurrent serving loop: acceptor, per-connection readers, and a
+//! worker pool over a shared job queue.
+//!
+//! ## Threading model
+//!
+//! - One **acceptor** thread owns the [`TcpListener`] and spawns one
+//!   reader thread per connection.
+//! - Each **connection** thread parses newline-delimited requests, answers
+//!   `health`/`stats`/`shutdown` inline, and hands `model`/`batch` work to
+//!   the pool through an [`mpsc`] queue, waiting for the reply with the
+//!   request's deadline.
+//! - **Worker** threads each own an [`AdaptiveModeler`] warmed from the
+//!   shared [`ModelStore`] — weights are loaded and validated once, then
+//!   cloned per worker, so adaptation in one worker can never bleed into
+//!   another.
+//!
+//! ## Graceful drain
+//!
+//! A `shutdown` request (or [`Server::request_shutdown`]) flips a shared
+//! flag and wakes the acceptor with a loopback connect. The acceptor stops
+//! accepting and joins its connection threads; connections finish the
+//! request in flight, refuse new modeling work with `shutting_down`, and
+//! close; dropping the last job sender lets every worker drain the queue
+//! and exit. [`Server::join`] observes the whole cascade.
+
+use crate::metrics::{ErrorClass, Metrics, RequestKind};
+use crate::protocol::{
+    batch_entry, error_line, ok_line, outcome_value, ErrorKind, Request, MAX_LINE_BYTES,
+};
+use crate::store::ModelStore;
+use nrpm_core::adaptive::AdaptiveModeler;
+use nrpm_extrap::MeasurementSet;
+use serde::{Serialize, Value};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads computing models.
+    pub workers: usize,
+    /// Run domain adaptation for single `model` requests. `batch` requests
+    /// never adapt — a server cannot retrain per request without making
+    /// results depend on request order. With adaptation on, each `model`
+    /// request rebuilds its modeler from the warm base weights, so results
+    /// stay order-independent at the cost of extra training time.
+    pub adapt: bool,
+    /// Deadline applied when a request carries no `timeout_ms`.
+    pub default_timeout: Duration,
+    /// How often blocked reads wake up to check the drain flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 4,
+            adapt: false,
+            default_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// State shared by every thread of one server.
+struct Shared {
+    store: ModelStore,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    opts: ServeOptions,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flips the drain flag and wakes the acceptor with a loopback connect.
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        }
+    }
+}
+
+/// One unit of modeling work handed to the pool.
+struct Job {
+    request: JobRequest,
+    deadline: Instant,
+    reply: mpsc::Sender<Reply>,
+}
+
+enum JobRequest {
+    Model {
+        set: Box<MeasurementSet>,
+        at: Option<Vec<f64>>,
+        id: Option<String>,
+    },
+    Batch {
+        sets: Vec<MeasurementSet>,
+        id: Option<String>,
+    },
+}
+
+/// A computed response plus its class, so the connection thread records
+/// exactly what it sends.
+struct Reply {
+    line: String,
+    error: Option<ErrorClass>,
+}
+
+/// A running server. Dropping the handle does **not** stop the server; call
+/// [`Server::request_shutdown`] (or send a `shutdown` request) and then
+/// [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port `0` for an ephemeral port), warms the worker
+    /// pool from `store`, and starts serving in background threads.
+    pub fn start(addr: &str, store: ModelStore, opts: ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let workers = opts.workers.max(1);
+        // `opts.adapt` is the single adaptation knob: align the store's
+        // modeling options so per-worker modelers inherit it.
+        let store = store.with_adaptation(opts.adapt);
+        let shared = Arc::new(Shared {
+            store,
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+            opts,
+            addr: local,
+        });
+
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let job_rx = Arc::clone(&job_rx);
+                thread::Builder::new()
+                    .name(format!("nrpm-serve-worker-{i}"))
+                    .spawn(move || run_worker(&shared, &job_rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("nrpm-serve-acceptor".into())
+                .spawn(move || run_acceptor(listener, &shared, job_tx))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// `true` once a drain has begun.
+    pub fn draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// Begins a graceful drain, as if a `shutdown` request had arrived.
+    pub fn request_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Waits for the drain cascade to finish: acceptor, connections, then
+    /// workers. Blocks forever unless a shutdown was requested.
+    pub fn join(mut self) -> std::thread::Result<()> {
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join()?;
+        }
+        for worker in self.workers.drain(..) {
+            worker.join()?;
+        }
+        Ok(())
+    }
+}
+
+fn run_acceptor(listener: TcpListener, shared: &Arc<Shared>, job_tx: mpsc::Sender<Job>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.draining() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let job_tx = job_tx.clone();
+        let handle = thread::Builder::new()
+            .name("nrpm-serve-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(stream, &shared, &job_tx);
+            })
+            .expect("spawn connection thread");
+        connections.push(handle);
+        // Reap finished readers so a long-lived server does not accumulate
+        // one parked JoinHandle per past connection.
+        connections.retain(|h| !h.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+    // `job_tx` drops here — with every connection gone this was the last
+    // sender, so the workers drain the queue and exit.
+}
+
+/// Reads newline-delimited requests off one connection until EOF, error, or
+/// drain. Returns `Err` only on socket failures (the caller ignores it).
+fn serve_connection(
+    mut stream: TcpStream,
+    shared: &Arc<Shared>,
+    job_tx: &mpsc::Sender<Job>,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(shared.opts.poll_interval))?;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match handle_line(line, shared, job_tx) {
+                Disposition::Respond(response) => {
+                    stream.write_all(response.as_bytes())?;
+                    stream.write_all(b"\n")?;
+                    stream.flush()?;
+                }
+                Disposition::RespondAndClose(response) => {
+                    stream.write_all(response.as_bytes())?;
+                    stream.write_all(b"\n")?;
+                    stream.flush()?;
+                    return Ok(());
+                }
+            }
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            shared.metrics.record_error(ErrorClass::Usage);
+            let response = error_line(
+                None,
+                ErrorKind::Usage,
+                &format!("request exceeds {MAX_LINE_BYTES} bytes"),
+            );
+            stream.write_all(response.as_bytes())?;
+            stream.write_all(b"\n")?;
+            return Ok(());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle poll tick: leave once a drain starts and nothing is
+                // buffered (a partially received request is abandoned too —
+                // its sender can no longer get an answer anyway).
+                if shared.draining() {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+enum Disposition {
+    Respond(String),
+    RespondAndClose(String),
+}
+
+fn handle_line(line: &str, shared: &Arc<Shared>, job_tx: &mpsc::Sender<Job>) -> Disposition {
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err((kind, message)) => {
+            shared.metrics.record_error(match kind {
+                ErrorKind::Parse => ErrorClass::Parse,
+                _ => ErrorClass::Usage,
+            });
+            return Disposition::Respond(error_line(None, kind, &message));
+        }
+    };
+    match request {
+        Request::Health => {
+            shared.metrics.record_request(RequestKind::Health);
+            shared.metrics.record_ok();
+            Disposition::Respond(ok_line(
+                None,
+                vec![
+                    ("service".into(), Value::Str("nrpm-serve".into())),
+                    ("workers".into(), Value::U64(shared.opts.workers as u64)),
+                    ("adapt".into(), Value::Bool(shared.opts.adapt)),
+                    ("draining".into(), Value::Bool(shared.draining())),
+                ],
+            ))
+        }
+        Request::Stats => {
+            shared.metrics.record_request(RequestKind::Stats);
+            shared.metrics.record_ok();
+            let snapshot = shared.metrics.snapshot();
+            Disposition::Respond(ok_line(None, vec![("stats".into(), snapshot.to_value())]))
+        }
+        Request::Shutdown => {
+            shared.metrics.record_request(RequestKind::Shutdown);
+            shared.metrics.record_ok();
+            shared.begin_shutdown();
+            Disposition::RespondAndClose(ok_line(
+                None,
+                vec![("draining".into(), Value::Bool(true))],
+            ))
+        }
+        Request::Model {
+            set,
+            at,
+            timeout_ms,
+            id,
+        } => {
+            shared.metrics.record_request(RequestKind::Model);
+            let request = JobRequest::Model {
+                set: Box::new(set),
+                at,
+                id,
+            };
+            Disposition::Respond(dispatch_job(shared, job_tx, request, timeout_ms))
+        }
+        Request::Batch {
+            sets,
+            timeout_ms,
+            id,
+        } => {
+            shared.metrics.record_request(RequestKind::Batch);
+            let request = JobRequest::Batch { sets, id };
+            Disposition::Respond(dispatch_job(shared, job_tx, request, timeout_ms))
+        }
+    }
+}
+
+/// Queues one modeling job and waits for its reply within the deadline.
+fn dispatch_job(
+    shared: &Arc<Shared>,
+    job_tx: &mpsc::Sender<Job>,
+    request: JobRequest,
+    timeout_ms: Option<u64>,
+) -> String {
+    let id = match &request {
+        JobRequest::Model { id, .. } | JobRequest::Batch { id, .. } => id.clone(),
+    };
+    if shared.draining() {
+        shared.metrics.record_error(ErrorClass::ShuttingDown);
+        return error_line(
+            id.as_deref(),
+            ErrorKind::ShuttingDown,
+            "server is draining; no new modeling work accepted",
+        );
+    }
+    let started = Instant::now();
+    let timeout = timeout_ms
+        .map(Duration::from_millis)
+        .unwrap_or(shared.opts.default_timeout);
+    let deadline = started + timeout;
+    let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+    let job = Job {
+        request,
+        deadline,
+        reply: reply_tx,
+    };
+    if job_tx.send(job).is_err() {
+        shared.metrics.record_error(ErrorClass::ShuttingDown);
+        return error_line(
+            id.as_deref(),
+            ErrorKind::ShuttingDown,
+            "worker pool is gone; server is shutting down",
+        );
+    }
+    match reply_rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+        Ok(reply) => {
+            match reply.error {
+                None => shared.metrics.record_ok(),
+                Some(class) => shared.metrics.record_error(class),
+            }
+            shared.metrics.record_latency(started.elapsed());
+            reply.line
+        }
+        Err(RecvTimeoutError::Timeout) => {
+            // The worker may still answer later; the receiver is dropped
+            // here, so that late reply is discarded unrecorded.
+            shared.metrics.record_error(ErrorClass::Timeout);
+            shared.metrics.record_latency(started.elapsed());
+            error_line(
+                id.as_deref(),
+                ErrorKind::Timeout,
+                &format!("deadline of {timeout:?} exceeded"),
+            )
+        }
+        Err(RecvTimeoutError::Disconnected) => {
+            shared.metrics.record_error(ErrorClass::ShuttingDown);
+            error_line(
+                id.as_deref(),
+                ErrorKind::ShuttingDown,
+                "worker dropped the request during shutdown",
+            )
+        }
+    }
+}
+
+fn run_worker(shared: &Arc<Shared>, job_rx: &Arc<Mutex<mpsc::Receiver<Job>>>) {
+    let mut modeler = shared.store.modeler();
+    loop {
+        // Take the lock only to receive; computing happens lock-free so the
+        // other workers can pick up jobs concurrently.
+        let job = {
+            let Ok(guard) = job_rx.lock() else { break };
+            guard.recv()
+        };
+        let Ok(job) = job else { break }; // all senders gone: drain complete
+        let reply = compute_reply(shared, &mut modeler, &job);
+        let reply = match reply {
+            Ok(reply) => reply,
+            Err(panic_message) => {
+                // A modeling panic must never take the server down. The
+                // worker's modeler is rebuilt from the warm store in case
+                // the panic left it inconsistent.
+                modeler = shared.store.modeler();
+                let id = match &job.request {
+                    JobRequest::Model { id, .. } | JobRequest::Batch { id, .. } => id.clone(),
+                };
+                Reply {
+                    line: error_line(
+                        id.as_deref(),
+                        ErrorKind::Fatal,
+                        &format!("internal modeling failure: {panic_message}"),
+                    ),
+                    error: Some(ErrorClass::Fatal),
+                }
+            }
+        };
+        // The connection may have timed out and moved on; a failed send
+        // just means nobody is listening anymore.
+        let _ = job.reply.send(reply);
+    }
+}
+
+/// Computes the reply for one job, catching panics into `Err(message)`.
+fn compute_reply(
+    shared: &Arc<Shared>,
+    modeler: &mut AdaptiveModeler,
+    job: &Job,
+) -> Result<Reply, String> {
+    if Instant::now() >= job.deadline {
+        let id = match &job.request {
+            JobRequest::Model { id, .. } | JobRequest::Batch { id, .. } => id.clone(),
+        };
+        return Ok(Reply {
+            line: error_line(
+                id.as_deref(),
+                ErrorKind::Timeout,
+                "deadline expired before a worker picked the request up",
+            ),
+            error: Some(ErrorClass::Timeout),
+        });
+    }
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &job.request {
+        JobRequest::Model { set, at, id } => {
+            let result = if shared.opts.adapt {
+                // Adaptation mutates weights: start from the warm base so
+                // results cannot depend on what this worker served before.
+                shared.store.modeler().model(set)
+            } else {
+                modeler.model(set)
+            };
+            match result {
+                Ok(outcome) => {
+                    shared.metrics.record_choice(outcome.choice);
+                    Reply {
+                        line: ok_line(
+                            id.as_deref(),
+                            vec![("outcome".into(), outcome_value(&outcome, at.as_deref()))],
+                        ),
+                        error: None,
+                    }
+                }
+                Err(e) => Reply {
+                    line: error_line(id.as_deref(), ErrorKind::of_model_error(&e), &e.to_string()),
+                    error: Some(match ErrorKind::of_model_error(&e) {
+                        ErrorKind::Fatal => ErrorClass::Fatal,
+                        _ => ErrorClass::Recoverable,
+                    }),
+                },
+            }
+        }
+        JobRequest::Batch { sets, id } => {
+            let batch = modeler.model_batch(sets);
+            shared
+                .metrics
+                .record_batched_inference(batch.forward_passes, batch.batched_lines);
+            let mut ok = 0u64;
+            let entries: Vec<Value> = batch
+                .outcomes
+                .iter()
+                .map(|result| {
+                    if let Ok(outcome) = result {
+                        shared.metrics.record_choice(outcome.choice);
+                        ok += 1;
+                    }
+                    batch_entry(result)
+                })
+                .collect();
+            Reply {
+                line: ok_line(
+                    id.as_deref(),
+                    vec![
+                        ("results".into(), Value::Seq(entries)),
+                        ("kernels".into(), Value::U64(batch.outcomes.len() as u64)),
+                        ("kernels_ok".into(), Value::U64(ok)),
+                        (
+                            "forward_passes".into(),
+                            Value::U64(batch.forward_passes as u64),
+                        ),
+                        (
+                            "batched_lines".into(),
+                            Value::U64(batch.batched_lines as u64),
+                        ),
+                    ],
+                ),
+                error: None,
+            }
+        }
+    }));
+    outcome.map_err(|panic| {
+        if let Some(s) = panic.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = panic.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "unknown panic".to_string()
+        }
+    })
+}

@@ -1,0 +1,149 @@
+//! The warm model store: loads and validates a pretrained network once at
+//! startup, then hands out per-worker [`AdaptiveModeler`] instances that
+//! share the options and start from the same validated weights.
+
+use nrpm_core::adaptive::{AdaptiveModeler, AdaptiveOptions};
+use nrpm_core::preprocess::NUM_INPUTS;
+use nrpm_extrap::NUM_CLASSES;
+use nrpm_nn::{Network, NetworkError};
+use std::path::Path;
+
+/// Errors raised while warming up the store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// The checkpoint could not be read, parsed, or validated
+    /// (non-finite weights and inconsistent layer dimensions are rejected
+    /// by [`Network::load`] itself).
+    Load(NetworkError),
+    /// The checkpoint is a valid network, but not one the modeler can
+    /// serve: its input/output widths do not match the fixed encoding.
+    Shape {
+        /// The checkpoint's input width.
+        input_dim: usize,
+        /// The checkpoint's class count.
+        num_classes: usize,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Load(e) => write!(f, "cannot warm model store: {e}"),
+            StoreError::Shape {
+                input_dim,
+                num_classes,
+            } => write!(
+                f,
+                "checkpoint shape {input_dim}→{num_classes} does not fit the \
+                 modeler (needs {NUM_INPUTS}→{NUM_CLASSES})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A validated base network plus the modeling options every worker shares.
+///
+/// The network is loaded and checked exactly once; workers obtain their own
+/// [`AdaptiveModeler`] via [`ModelStore::modeler`], so domain adaptation in
+/// one worker can never mutate another worker's weights.
+#[derive(Debug, Clone)]
+pub struct ModelStore {
+    network: Network,
+    opts: AdaptiveOptions,
+}
+
+impl ModelStore {
+    /// Loads a checkpoint from disk and warms the store.
+    pub fn open(path: &Path, opts: AdaptiveOptions) -> Result<Self, StoreError> {
+        let network = Network::load(path).map_err(StoreError::Load)?;
+        Self::from_network(network, opts)
+    }
+
+    /// Warms the store from an in-memory network (tests and benchmarks).
+    pub fn from_network(network: Network, opts: AdaptiveOptions) -> Result<Self, StoreError> {
+        if network.input_dim() != NUM_INPUTS || network.num_classes() != NUM_CLASSES {
+            return Err(StoreError::Shape {
+                input_dim: network.input_dim(),
+                num_classes: network.num_classes(),
+            });
+        }
+        Ok(ModelStore { network, opts })
+    }
+
+    /// Forces the domain-adaptation flag of the shared options, returning
+    /// the adjusted store. The server uses this so its `adapt` knob is the
+    /// single source of truth.
+    pub fn with_adaptation(mut self, on: bool) -> Self {
+        self.opts.use_domain_adaptation = on;
+        self
+    }
+
+    /// The validated base network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The shared modeling options.
+    pub fn options(&self) -> &AdaptiveOptions {
+        &self.opts
+    }
+
+    /// Builds a fresh modeler seeded with the warm base weights.
+    pub fn modeler(&self) -> AdaptiveModeler {
+        AdaptiveModeler::from_network(self.opts.clone(), self.network.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrpm_nn::NetworkConfig;
+
+    fn serveable_network() -> Network {
+        Network::new(&NetworkConfig::new(&[NUM_INPUTS, 8, NUM_CLASSES]), 42)
+    }
+
+    #[test]
+    fn accepts_a_network_with_the_modeler_shape() {
+        let store = ModelStore::from_network(serveable_network(), AdaptiveOptions::default());
+        assert!(store.is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_shapes_with_a_descriptive_error() {
+        let err = ModelStore::from_network(
+            Network::new(&NetworkConfig::new(&[4, 8, 3]), 42),
+            AdaptiveOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::Shape {
+                input_dim: 4,
+                num_classes: 3
+            }
+        );
+        assert!(err.to_string().contains("4→3"), "{err}");
+    }
+
+    #[test]
+    fn open_propagates_checkpoint_validation() {
+        let dir = std::env::temp_dir().join("nrpm_serve_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        std::fs::write(&path, "{\"layers\": oops").unwrap();
+        let err = ModelStore::open(&path, AdaptiveOptions::default()).unwrap_err();
+        assert!(matches!(err, StoreError::Load(_)), "{err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn modelers_start_from_the_warm_weights() {
+        let net = serveable_network();
+        let store = ModelStore::from_network(net.clone(), AdaptiveOptions::default()).unwrap();
+        assert_eq!(store.modeler().dnn().network(), &net);
+        assert_eq!(store.network(), &net);
+    }
+}
