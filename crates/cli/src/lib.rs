@@ -10,7 +10,7 @@ use nrpm_core::report::render_outcome;
 use nrpm_core::sanitize::{sanitize, SanitizeOptions, SanitizePolicy};
 use nrpm_extrap::{parse_text_file, MeasurementSet, ModelError, RegressionModeler};
 use nrpm_nn::Network;
-use nrpm_serve::client::Client;
+use nrpm_serve::client::{Client, RetryPolicy, RetryingClient};
 use nrpm_serve::server::{ServeOptions, Server};
 use nrpm_serve::store::ModelStore;
 use serde::Value;
@@ -26,10 +26,13 @@ usage:
   nrpm noise <file>
   nrpm pretrain --out net.json [--samples N] [--epochs E] [--paper-net]
   nrpm serve --model net.json [--addr HOST:PORT] [--workers N] [--adapt]
-             [--timeout-ms T]
+             [--timeout-ms T] [--queue-depth N] [--max-conns N]
+             [--io-timeout-ms T] [--work-delay-ms T]
   nrpm query health|stats|shutdown [--addr HOST:PORT] [--timeout-ms T]
   nrpm query model <file> [--at x1,x2,...] [--addr HOST:PORT] [--timeout-ms T]
   nrpm query batch <file>... [--addr HOST:PORT] [--timeout-ms T]
+  query flags: [--retries N] retry overloaded/timeout responses and
+               transport failures with backoff + jitter (default 0)
 
 measurement files: PARAMS/POINT text format, or a MeasurementSet .json
 
@@ -42,6 +45,13 @@ serving:
   `serve` loads the checkpoint once into a warm store and answers
   newline-delimited JSON requests until a shutdown request drains it;
   `query` is the matching client (default --addr 127.0.0.1:7077)
+
+overload behavior:
+  once --queue-depth jobs wait for a worker, further modeling requests
+  are shed immediately with an `overloaded` error; connections past
+  --max-conns are refused the same way; a connection that stalls
+  mid-request or blocks writes for --io-timeout-ms is closed.
+  --work-delay-ms adds simulated service time per job (testing only)
 
 exit codes: 0 success, 2 usage, 3 unreadable or malformed input,
             4 recoverable modeling failure, 5 fatal modeling failure";
@@ -127,6 +137,14 @@ pub enum Invocation {
         adapt: bool,
         /// Default per-request deadline in milliseconds.
         timeout_ms: Option<u64>,
+        /// Admission-queue depth before requests are shed.
+        queue_depth: usize,
+        /// Maximum live connections before new ones are shed.
+        max_conns: usize,
+        /// Per-connection I/O stall limit in milliseconds.
+        io_timeout_ms: Option<u64>,
+        /// Simulated per-job service time in milliseconds (testing knob).
+        work_delay_ms: Option<u64>,
     },
     /// Query a running server.
     Query {
@@ -140,6 +158,8 @@ pub enum Invocation {
         at: Option<Vec<f64>>,
         /// Per-request deadline in milliseconds.
         timeout_ms: Option<u64>,
+        /// Retry attempts for shed/timed-out requests (0 = no retries).
+        retries: u32,
     },
 }
 
@@ -240,6 +260,32 @@ impl Invocation {
                             .map_err(|_| "--timeout-ms: not a number".to_string())
                     })
                     .transpose()?,
+                queue_depth: get_value("queue-depth")?
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| "--queue-depth: not a number".to_string())
+                    })
+                    .transpose()?
+                    .unwrap_or(64),
+                max_conns: get_value("max-conns")?
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| "--max-conns: not a number".to_string())
+                    })
+                    .transpose()?
+                    .unwrap_or(256),
+                io_timeout_ms: get_value("io-timeout-ms")?
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| "--io-timeout-ms: not a number".to_string())
+                    })
+                    .transpose()?,
+                work_delay_ms: get_value("work-delay-ms")?
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| "--work-delay-ms: not a number".to_string())
+                    })
+                    .transpose()?,
             }),
             "query" => {
                 let what = match positional.first().map(String::as_str) {
@@ -280,6 +326,10 @@ impl Invocation {
                                 .map_err(|_| "--timeout-ms: not a number".to_string())
                         })
                         .transpose()?,
+                    retries: get_value("retries")?
+                        .map(|s| s.parse().map_err(|_| "--retries: not a number".to_string()))
+                        .transpose()?
+                        .unwrap_or(0),
                 })
             }
             other => Err(format!("unknown command `{other}`")),
@@ -453,16 +503,26 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
             workers,
             adapt,
             timeout_ms,
+            queue_depth,
+            max_conns,
+            io_timeout_ms,
+            work_delay_ms,
         } => {
             let store = ModelStore::open(model, AdaptiveOptions::default())
                 .map_err(|e| CliError::io(format!("{}: {e}", model.display())))?;
             let mut opts = ServeOptions {
                 workers: *workers,
                 adapt: *adapt,
+                queue_depth: *queue_depth,
+                max_conns: *max_conns,
+                work_delay: work_delay_ms.map(Duration::from_millis),
                 ..Default::default()
             };
             if let Some(t) = timeout_ms {
                 opts.default_timeout = Duration::from_millis(*t);
+            }
+            if let Some(t) = io_timeout_ms {
+                opts.io_timeout = Duration::from_millis(*t);
             }
             let server = Server::start(addr, store, opts)
                 .map_err(|e| CliError::io(format!("{addr}: {e}")))?;
@@ -486,29 +546,63 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
             files,
             at,
             timeout_ms,
+            retries,
         } => {
             let socket = resolve_addr(addr)?;
             let connect_timeout = Duration::from_millis(timeout_ms.unwrap_or(30_000).max(1));
-            let mut client = Client::connect(socket, connect_timeout)
-                .map_err(|e| CliError::io(format!("{addr}: {e}")))?;
-            let response = match what {
-                QueryKind::Health => client.health(),
-                QueryKind::Stats => client.stats(),
-                QueryKind::Shutdown => client.shutdown(),
-                QueryKind::Model => {
-                    let set = load_measurements(&files[0]).map_err(CliError::io)?;
-                    client.model(set, at.clone(), *timeout_ms)
+            let response = if *retries > 0 {
+                // Overload-aware path: shed/timed-out responses and
+                // transport failures are retried with backoff + jitter.
+                let policy = RetryPolicy {
+                    max_attempts: retries.saturating_add(1),
+                    ..Default::default()
+                };
+                let mut client = RetryingClient::new(socket, connect_timeout, policy);
+                let result = match what {
+                    QueryKind::Health => client.roundtrip_line(r#"{"cmd":"health"}"#),
+                    QueryKind::Stats => client
+                        .roundtrip_line(r#"{"cmd":"stats"}"#)
+                        .map(|response| response.get("stats").cloned().unwrap_or(response)),
+                    QueryKind::Shutdown => client.roundtrip_line(r#"{"cmd":"shutdown"}"#),
+                    QueryKind::Model => {
+                        let set = load_measurements(&files[0]).map_err(CliError::io)?;
+                        client.model(set, at.clone(), *timeout_ms)
+                    }
+                    QueryKind::Batch => {
+                        let sets = files
+                            .iter()
+                            .map(|f| load_measurements(f))
+                            .collect::<Result<Vec<_>, String>>()
+                            .map_err(CliError::io)?;
+                        client.batch(sets, *timeout_ms)
+                    }
+                };
+                result.map_err(|e| CliError {
+                    message: format!("{addr}: {e}"),
+                    code: 4, // gave up on a retryable condition
+                })?
+            } else {
+                let mut client = Client::connect(socket, connect_timeout)
+                    .map_err(|e| CliError::io(format!("{addr}: {e}")))?;
+                match what {
+                    QueryKind::Health => client.health(),
+                    QueryKind::Stats => client.stats(),
+                    QueryKind::Shutdown => client.shutdown(),
+                    QueryKind::Model => {
+                        let set = load_measurements(&files[0]).map_err(CliError::io)?;
+                        client.model(set, at.clone(), *timeout_ms)
+                    }
+                    QueryKind::Batch => {
+                        let sets = files
+                            .iter()
+                            .map(|f| load_measurements(f))
+                            .collect::<Result<Vec<_>, String>>()
+                            .map_err(CliError::io)?;
+                        client.batch(sets, *timeout_ms)
+                    }
                 }
-                QueryKind::Batch => {
-                    let sets = files
-                        .iter()
-                        .map(|f| load_measurements(f))
-                        .collect::<Result<Vec<_>, String>>()
-                        .map_err(CliError::io)?;
-                    client.batch(sets, *timeout_ms)
-                }
-            }
-            .map_err(|e| CliError::io(format!("{addr}: {e}")))?;
+                .map_err(|e| CliError::io(format!("{addr}: {e}")))?
+            };
             response_to_output(&response)
         }
     }
@@ -524,7 +618,7 @@ fn resolve_addr(addr: &str) -> Result<SocketAddr, CliError> {
 
 /// Renders a server response, mapping error responses onto the CLI's exit
 /// code taxonomy: `parse`/`usage` → 2, `fatal` → 5, everything else
-/// (recoverable, timeout, shutting down) → 4.
+/// (recoverable, timeout, overloaded, shutting down) → 4.
 fn response_to_output(response: &Value) -> Result<String, CliError> {
     let text = serde_json::to_string_pretty(response).unwrap_or_else(|_| format!("{response:?}"));
     if response.get("status").and_then(Value::as_str) == Some("error") {
@@ -627,6 +721,8 @@ mod tests {
         assert!(parse("fit f.txt --at abc").is_err());
         assert!(parse("serve").is_err()); // --model required
         assert!(parse("serve --model n.json --workers three").is_err());
+        assert!(parse("serve --model n.json --queue-depth deep").is_err());
+        assert!(parse("query health --retries many").is_err());
         assert!(parse("query").is_err());
         assert!(parse("query frobnicate").is_err());
         assert!(parse("query model").is_err()); // file required
@@ -639,7 +735,8 @@ mod tests {
     fn parses_serve_and_query() {
         assert_eq!(
             parse(
-                "serve --model net.json --addr 0.0.0.0:9000 --workers 8 --adapt --timeout-ms 500"
+                "serve --model net.json --addr 0.0.0.0:9000 --workers 8 --adapt --timeout-ms 500 \
+                 --queue-depth 2 --max-conns 32 --io-timeout-ms 750 --work-delay-ms 10"
             )
             .unwrap(),
             Invocation::Serve {
@@ -648,6 +745,10 @@ mod tests {
                 workers: 8,
                 adapt: true,
                 timeout_ms: Some(500),
+                queue_depth: 2,
+                max_conns: 32,
+                io_timeout_ms: Some(750),
+                work_delay_ms: Some(10),
             }
         );
         assert_eq!(
@@ -658,6 +759,10 @@ mod tests {
                 workers: 4,
                 adapt: false,
                 timeout_ms: None,
+                queue_depth: 64,
+                max_conns: 256,
+                io_timeout_ms: None,
+                work_delay_ms: None,
             }
         );
         assert_eq!(
@@ -668,10 +773,11 @@ mod tests {
                 files: vec![],
                 at: None,
                 timeout_ms: None,
+                retries: 0,
             }
         );
         assert_eq!(
-            parse("query model data.txt --at 1024 --addr 127.0.0.1:7171 --timeout-ms 2000")
+            parse("query model data.txt --at 1024 --addr 127.0.0.1:7171 --timeout-ms 2000 --retries 3")
                 .unwrap(),
             Invocation::Query {
                 what: QueryKind::Model,
@@ -679,6 +785,7 @@ mod tests {
                 files: vec!["data.txt".into()],
                 at: Some(vec![1024.0]),
                 timeout_ms: Some(2000),
+                retries: 3,
             }
         );
         assert_eq!(
@@ -689,6 +796,7 @@ mod tests {
                 files: vec!["a.txt".into(), "b.json".into()],
                 at: None,
                 timeout_ms: None,
+                retries: 0,
             }
         );
     }
@@ -722,11 +830,24 @@ mod tests {
                 files: files.iter().map(PathBuf::from).collect(),
                 at,
                 timeout_ms: Some(30_000),
+                retries: 0,
             })
         };
 
         let health = query(QueryKind::Health, &[], None).unwrap();
         assert!(health.contains("\"status\": \"ok\""), "{health}");
+
+        // The retrying path answers identically on a healthy server.
+        let retried = run(&Invocation::Query {
+            what: QueryKind::Health,
+            addr: addr.clone(),
+            files: vec![],
+            at: None,
+            timeout_ms: Some(30_000),
+            retries: 2,
+        })
+        .unwrap();
+        assert!(retried.contains("\"status\": \"ok\""), "{retried}");
 
         let modeled = query(QueryKind::Model, &[&data], Some(vec![1024.0])).unwrap();
         assert!(modeled.contains("\"choice\": \"regression\""), "{modeled}");

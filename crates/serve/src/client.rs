@@ -1,12 +1,20 @@
-//! A small blocking client for the serving protocol — used by the `nrpm
-//! query` subcommand, the integration tests, and the throughput benchmark.
+//! Blocking clients for the serving protocol.
+//!
+//! [`Client`] is the bare one-connection client used by the `nrpm query`
+//! subcommand, the integration tests, and the throughput benchmark.
+//! [`RetryingClient`] wraps it with the overload contract a production
+//! caller needs: `overloaded`/`timeout` responses and transport failures
+//! are retried with exponential backoff and decorrelated jitter, every
+//! other structured response is terminal, and a [`CircuitBreaker`] stops
+//! the client from hammering a server that is actively shedding.
 
 use crate::protocol::Request;
 use nrpm_extrap::MeasurementSet;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use serde::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A blocking connection to a running server.
 pub struct Client {
@@ -82,6 +90,7 @@ impl Client {
             at,
             timeout_ms,
             id: None,
+            attempt: None,
         })
     }
 
@@ -95,6 +104,7 @@ impl Client {
             sets,
             timeout_ms,
             id: None,
+            attempt: None,
         })
     }
 }
@@ -102,4 +112,388 @@ impl Client {
 /// `true` when a parsed response has `"status":"ok"`.
 pub fn is_ok(response: &Value) -> bool {
     response.get("status").and_then(Value::as_str) == Some("ok")
+}
+
+/// `true` when a structured response should be retried: the server shed the
+/// request (`overloaded`) or it missed its deadline (`timeout`). Everything
+/// else — including modeling errors — is an answer, not a failure.
+pub fn is_retryable(response: &Value) -> bool {
+    matches!(
+        response.get("kind").and_then(Value::as_str),
+        Some("overloaded") | Some("timeout")
+    )
+}
+
+/// Retry/backoff/breaker tuning for [`RetryingClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total tries per request, first attempt included.
+    pub max_attempts: u32,
+    /// Floor of the backoff sleep (and the first sleep's upper bound).
+    pub base_backoff: Duration,
+    /// Ceiling of any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Consecutive retryable failures that trip the breaker open.
+    pub breaker_threshold: u32,
+    /// How long an open breaker refuses traffic before allowing one
+    /// half-open probe.
+    pub breaker_cooldown: Duration,
+    /// Seed for the jitter RNG — runs are reproducible per seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_secs(1),
+            seed: 0x6e72_706d,
+        }
+    }
+}
+
+/// Why a [`RetryingClient`] call gave up.
+#[derive(Debug)]
+pub enum RetryError {
+    /// The circuit breaker is open: the server was shedding or down on the
+    /// last `breaker_threshold` tries, so no request was sent at all.
+    CircuitOpen,
+    /// Every attempt failed retryably; holds the last failure description.
+    Exhausted(String),
+}
+
+impl std::fmt::Display for RetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetryError::CircuitOpen => write!(f, "circuit breaker open; request not sent"),
+            RetryError::Exhausted(last) => write!(f, "retries exhausted; last failure: {last}"),
+        }
+    }
+}
+
+impl std::error::Error for RetryError {}
+
+/// Observable breaker state (see [`CircuitBreaker::state_at`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; failures are counted.
+    Closed,
+    /// Traffic refused until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed; exactly the next request goes through as a probe.
+    HalfOpen,
+}
+
+/// A consecutive-failure circuit breaker.
+///
+/// `threshold` retryable failures in a row trip it open; for `cooldown` it
+/// refuses traffic, then goes half-open and lets one probe through. A
+/// successful probe closes it, a failed probe re-opens it for another
+/// cooldown. All transitions take the current time as an argument
+/// (`*_at(now)`), so tests drive the clock deterministically.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+}
+
+impl CircuitBreaker {
+    /// A breaker tripping after `threshold` consecutive failures and
+    /// cooling down for `cooldown`.
+    pub fn new(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            consecutive_failures: 0,
+            opened_at: None,
+        }
+    }
+
+    /// The state as of `now`.
+    pub fn state_at(&self, now: Instant) -> BreakerState {
+        match self.opened_at {
+            None => BreakerState::Closed,
+            Some(opened) if now.saturating_duration_since(opened) < self.cooldown => {
+                BreakerState::Open
+            }
+            Some(_) => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Whether a request may be sent as of `now` (closed, or half-open
+    /// probe).
+    pub fn allow_at(&self, now: Instant) -> bool {
+        self.state_at(now) != BreakerState::Open
+    }
+
+    /// Records a terminal (non-retryable) response: the server answered, so
+    /// the breaker closes and the failure streak resets.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.opened_at = None;
+    }
+
+    /// Records a retryable failure at `now`. From half-open this re-opens
+    /// immediately (the probe failed); from closed it opens once the streak
+    /// reaches the threshold.
+    pub fn record_failure_at(&mut self, now: Instant) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.opened_at.is_some() || self.consecutive_failures >= self.threshold {
+            self.opened_at = Some(now);
+        }
+    }
+}
+
+/// A client that survives an overloaded or flaky server: retryable failures
+/// back off with decorrelated jitter and try again (reconnecting after
+/// transport errors), terminal responses return immediately, and a
+/// [`CircuitBreaker`] refuses traffic while the server is known bad.
+pub struct RetryingClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    policy: RetryPolicy,
+    breaker: CircuitBreaker,
+    rng: StdRng,
+    conn: Option<Client>,
+    retries_used: u64,
+}
+
+impl RetryingClient {
+    /// A retrying client for `addr`; `timeout` bounds connects and reads,
+    /// `policy` tunes retries and the breaker. No connection is made until
+    /// the first request.
+    pub fn new(addr: SocketAddr, timeout: Duration, policy: RetryPolicy) -> RetryingClient {
+        let breaker = CircuitBreaker::new(policy.breaker_threshold, policy.breaker_cooldown);
+        let rng = StdRng::seed_from_u64(policy.seed);
+        RetryingClient {
+            addr,
+            timeout,
+            policy,
+            breaker,
+            rng,
+            conn: None,
+            retries_used: 0,
+        }
+    }
+
+    /// Total retry attempts spent across all requests so far.
+    pub fn retries_used(&self) -> u64 {
+        self.retries_used
+    }
+
+    /// The breaker's state as of `now` (for tests and reporting).
+    pub fn breaker_state(&self, now: Instant) -> BreakerState {
+        self.breaker.state_at(now)
+    }
+
+    /// Models one kernel, retrying sheds/timeouts per the policy.
+    pub fn model(
+        &mut self,
+        set: MeasurementSet,
+        at: Option<Vec<f64>>,
+        timeout_ms: Option<u64>,
+    ) -> Result<Value, RetryError> {
+        self.call(&|attempt| Request::Model {
+            set: set.clone(),
+            at: at.clone(),
+            timeout_ms,
+            id: None,
+            attempt: Some(attempt),
+        })
+    }
+
+    /// Models several kernels in one request, retrying per the policy.
+    pub fn batch(
+        &mut self,
+        sets: Vec<MeasurementSet>,
+        timeout_ms: Option<u64>,
+    ) -> Result<Value, RetryError> {
+        self.call(&|attempt| Request::Batch {
+            sets: sets.clone(),
+            timeout_ms,
+            id: None,
+            attempt: Some(attempt),
+        })
+    }
+
+    /// Sends one raw line with the full retry/breaker treatment (the
+    /// `attempt` ordinal is not stamped into raw lines).
+    pub fn roundtrip_line(&mut self, line: &str) -> Result<Value, RetryError> {
+        let line = line.to_string();
+        self.call_raw(&move |_attempt| line.clone())
+    }
+
+    fn call(&mut self, request_for: &dyn Fn(u64) -> Request) -> Result<Value, RetryError> {
+        self.call_raw(&|attempt| request_for(attempt).to_line())
+    }
+
+    fn call_raw(&mut self, line_for: &dyn Fn(u64) -> String) -> Result<Value, RetryError> {
+        let mut previous_sleep = self.policy.base_backoff;
+        let mut last_failure = String::from("no attempt made");
+        for attempt in 0..u64::from(self.policy.max_attempts.max(1)) {
+            if attempt > 0 {
+                let sleep = self.next_backoff(previous_sleep);
+                previous_sleep = sleep;
+                std::thread::sleep(sleep);
+                self.retries_used += 1;
+            }
+            if !self.breaker.allow_at(Instant::now()) {
+                return Err(RetryError::CircuitOpen);
+            }
+            match self.try_once(&line_for(attempt)) {
+                Ok(response) => {
+                    if !is_retryable(&response) {
+                        // An answer — success or a terminal error — proves
+                        // the server is functioning: close the breaker.
+                        self.breaker.record_success();
+                        return Ok(response);
+                    }
+                    last_failure = format!(
+                        "server answered `{}`",
+                        response
+                            .get("kind")
+                            .and_then(Value::as_str)
+                            .unwrap_or("unknown")
+                    );
+                    self.breaker.record_failure_at(Instant::now());
+                }
+                Err(e) => {
+                    last_failure = format!("transport failure: {e}");
+                    // The connection is suspect (reset, garbage, EOF):
+                    // drop it and reconnect on the next attempt.
+                    self.conn = None;
+                    self.breaker.record_failure_at(Instant::now());
+                }
+            }
+        }
+        Err(RetryError::Exhausted(last_failure))
+    }
+
+    fn try_once(&mut self, line: &str) -> std::io::Result<Value> {
+        if self.conn.is_none() {
+            self.conn = Some(Client::connect(self.addr, self.timeout)?);
+        }
+        let conn = self.conn.as_mut().expect("connection just established");
+        conn.roundtrip_line(line)
+    }
+
+    /// Decorrelated jitter (the AWS scheme): sleep uniformly in
+    /// `[base, previous * 3]`, capped at `max_backoff`. Spreads retrying
+    /// clients apart instead of letting them stampede in sync.
+    fn next_backoff(&mut self, previous: Duration) -> Duration {
+        let base_ms = self.policy.base_backoff.as_millis().max(1) as u64;
+        let cap_ms = self.policy.max_backoff.as_millis().max(1) as u64;
+        let previous_ms = previous.as_millis().min(u128::from(u64::MAX / 3)) as u64;
+        let ceiling_ms = previous_ms
+            .saturating_mul(3)
+            .clamp(base_ms, cap_ms.max(base_ms));
+        Duration::from_millis(self.rng.gen_range(base_ms..=ceiling_ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COOLDOWN: Duration = Duration::from_millis(500);
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed_deterministically() {
+        let mut breaker = CircuitBreaker::new(3, COOLDOWN);
+        let t0 = Instant::now();
+
+        // Closed: failures below the threshold change nothing.
+        assert_eq!(breaker.state_at(t0), BreakerState::Closed);
+        breaker.record_failure_at(t0);
+        breaker.record_failure_at(t0);
+        assert_eq!(breaker.state_at(t0), BreakerState::Closed);
+        assert!(breaker.allow_at(t0));
+
+        // Third consecutive failure trips it open.
+        breaker.record_failure_at(t0);
+        assert_eq!(breaker.state_at(t0), BreakerState::Open);
+        assert!(!breaker.allow_at(t0));
+        assert!(!breaker.allow_at(t0 + COOLDOWN / 2));
+
+        // Cooldown elapsed: half-open, one probe allowed.
+        let probe_time = t0 + COOLDOWN;
+        assert_eq!(breaker.state_at(probe_time), BreakerState::HalfOpen);
+        assert!(breaker.allow_at(probe_time));
+
+        // Successful probe closes it and resets the streak.
+        breaker.record_success();
+        assert_eq!(breaker.state_at(probe_time), BreakerState::Closed);
+        breaker.record_failure_at(probe_time);
+        assert_eq!(breaker.state_at(probe_time), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_halfopen_probe_reopens_for_a_full_cooldown() {
+        let mut breaker = CircuitBreaker::new(1, COOLDOWN);
+        let t0 = Instant::now();
+        breaker.record_failure_at(t0);
+        assert_eq!(breaker.state_at(t0), BreakerState::Open);
+
+        // Probe at half-open fails: open again, clock restarted.
+        let probe_time = t0 + COOLDOWN;
+        assert_eq!(breaker.state_at(probe_time), BreakerState::HalfOpen);
+        breaker.record_failure_at(probe_time);
+        assert_eq!(breaker.state_at(probe_time), BreakerState::Open);
+        assert!(!breaker.allow_at(probe_time + COOLDOWN / 2));
+        assert_eq!(
+            breaker.state_at(probe_time + COOLDOWN),
+            BreakerState::HalfOpen
+        );
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_failure_streak() {
+        let mut breaker = CircuitBreaker::new(2, COOLDOWN);
+        let t0 = Instant::now();
+        breaker.record_failure_at(t0);
+        breaker.record_success();
+        breaker.record_failure_at(t0);
+        // Two failures total but never two in a row: still closed.
+        assert_eq!(breaker.state_at(t0), BreakerState::Closed);
+    }
+
+    #[test]
+    fn decorrelated_jitter_stays_within_bounds_and_reproduces_per_seed() {
+        let addr: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+            ..Default::default()
+        };
+        let mut a = RetryingClient::new(addr, Duration::from_secs(1), policy.clone());
+        let mut b = RetryingClient::new(addr, Duration::from_secs(1), policy.clone());
+        let mut previous = policy.base_backoff;
+        for _ in 0..64 {
+            let sleep_a = a.next_backoff(previous);
+            let sleep_b = b.next_backoff(previous);
+            assert_eq!(sleep_a, sleep_b, "same seed must reproduce");
+            assert!(sleep_a >= policy.base_backoff, "below base: {sleep_a:?}");
+            assert!(sleep_a <= policy.max_backoff, "above cap: {sleep_a:?}");
+            previous = sleep_a;
+        }
+    }
+
+    #[test]
+    fn retryability_follows_the_error_kind() {
+        let overloaded: Value =
+            serde_json::from_str(r#"{"status":"error","kind":"overloaded"}"#).unwrap();
+        let timeout: Value =
+            serde_json::from_str(r#"{"status":"error","kind":"timeout"}"#).unwrap();
+        let fatal: Value = serde_json::from_str(r#"{"status":"error","kind":"fatal"}"#).unwrap();
+        let ok: Value = serde_json::from_str(r#"{"status":"ok"}"#).unwrap();
+        assert!(is_retryable(&overloaded));
+        assert!(is_retryable(&timeout));
+        assert!(!is_retryable(&fatal));
+        assert!(!is_retryable(&ok));
+    }
 }

@@ -8,6 +8,13 @@
 //! multiplication through `nrpm-linalg`
 //! ([`nrpm_core::adaptive::AdaptiveModeler::model_batch`]).
 //!
+//! The service is built to stay correct and bounded-latency under
+//! overload and hostile networks: a bounded admission queue sheds excess
+//! work with `overloaded` responses, deadlines propagate into the queue,
+//! a supervisor respawns crashed workers ([`server`]), clients retry with
+//! backoff + jitter behind a circuit breaker ([`client`]), and a
+//! socket-level fault injector ([`chaos`]) proves it all in tests.
+//!
 //! ```no_run
 //! use nrpm_core::adaptive::AdaptiveOptions;
 //! use nrpm_serve::client::Client;
@@ -25,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod metrics;
 pub mod protocol;

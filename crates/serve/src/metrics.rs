@@ -6,7 +6,7 @@
 
 use nrpm_core::adaptive::ModelerChoice;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Upper bounds (milliseconds) of the latency histogram buckets; the last
@@ -30,6 +30,11 @@ pub struct Metrics {
     errors_fatal: AtomicU64,
     errors_timeout: AtomicU64,
     errors_shutting_down: AtomicU64,
+    shed: AtomicU64,
+    queue_depth: AtomicI64,
+    queue_depth_hwm: AtomicU64,
+    retries_observed: AtomicU64,
+    worker_restarts: AtomicU64,
     choice_dnn: AtomicU64,
     choice_regression: AtomicU64,
     choice_constant_mean: AtomicU64,
@@ -69,6 +74,8 @@ pub enum ErrorClass {
     Fatal,
     /// Deadline exceeded.
     Timeout,
+    /// Shed because the admission queue or connection table was full.
+    Overloaded,
     /// Refused because the server is draining.
     ShuttingDown,
 }
@@ -104,9 +111,33 @@ impl Metrics {
             ErrorClass::Recoverable => &self.errors_recoverable,
             ErrorClass::Fatal => &self.errors_fatal,
             ErrorClass::Timeout => &self.errors_timeout,
+            ErrorClass::Overloaded => &self.shed,
             ErrorClass::ShuttingDown => &self.errors_shutting_down,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one admitted job entering the queue, updating the
+    /// high-water mark.
+    pub fn queue_enter(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        let depth = depth.max(0) as u64;
+        self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records one job leaving the queue (a worker dequeued it).
+    pub fn queue_exit(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a request that announced itself as a retry (`attempt >= 1`).
+    pub fn record_retry_observed(&self) {
+        self.retries_observed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the supervisor respawning a dead worker.
+    pub fn record_worker_restart(&self) {
+        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records which modeler produced a kernel's answer.
@@ -159,6 +190,11 @@ impl Metrics {
             errors_fatal: get(&self.errors_fatal),
             errors_timeout: get(&self.errors_timeout),
             errors_shutting_down: get(&self.errors_shutting_down),
+            shed: get(&self.shed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0) as u64,
+            queue_depth_hwm: get(&self.queue_depth_hwm),
+            retries_observed: get(&self.retries_observed),
+            worker_restarts: get(&self.worker_restarts),
             choice_dnn: get(&self.choice_dnn),
             choice_regression: get(&self.choice_regression),
             choice_constant_mean: get(&self.choice_constant_mean),
@@ -200,6 +236,17 @@ pub struct MetricsSnapshot {
     pub errors_timeout: u64,
     /// Requests refused during drain.
     pub errors_shutting_down: u64,
+    /// Requests shed with an `overloaded` response (full admission queue
+    /// or full connection table).
+    pub shed: u64,
+    /// Jobs currently waiting in or entering the admission queue.
+    pub queue_depth: u64,
+    /// High-water mark of [`MetricsSnapshot::queue_depth`].
+    pub queue_depth_hwm: u64,
+    /// Modeling requests that carried a retry ordinal (`attempt >= 1`).
+    pub retries_observed: u64,
+    /// Dead workers respawned by the supervisor.
+    pub worker_restarts: u64,
     /// Kernels answered by the DNN modeler.
     pub choice_dnn: u64,
     /// Kernels answered by the regression modeler.
@@ -240,6 +287,7 @@ impl MetricsSnapshot {
             + self.errors_fatal
             + self.errors_timeout
             + self.errors_shutting_down
+            + self.shed
     }
 }
 
@@ -273,6 +321,31 @@ mod tests {
         assert_eq!(s.kernels_modeled, 2);
         assert_eq!(s.batched_forward_calls, 1);
         assert_eq!(s.batched_rows, 8);
+    }
+
+    #[test]
+    fn overload_counters_accumulate() {
+        let m = Metrics::new();
+        m.queue_enter();
+        m.queue_enter();
+        m.queue_exit();
+        m.record_error(ErrorClass::Overloaded);
+        m.record_retry_observed();
+        m.record_worker_restart();
+        m.record_worker_restart();
+
+        let s = m.snapshot();
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.queue_depth_hwm, 2);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.retries_observed, 1);
+        assert_eq!(s.worker_restarts, 2);
+        assert_eq!(s.errors_total(), 1);
+
+        // The gauge clamps at zero even if exits race ahead of enters.
+        m.queue_exit();
+        m.queue_exit();
+        assert_eq!(m.snapshot().queue_depth, 0);
     }
 
     #[test]

@@ -23,6 +23,11 @@ use serde::{Deserialize, Serialize, Value};
 /// with a `too_large` error before any parsing happens.
 pub const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
 
+/// Hard cap on JSON nesting depth. The vendored `serde_json` parser is
+/// recursive, so a hostile `[[[[…` line would otherwise exhaust the stack;
+/// a cheap bracket scan rejects such lines before any parsing happens.
+pub const MAX_JSON_DEPTH: usize = 64;
+
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -36,6 +41,9 @@ pub enum Request {
         timeout_ms: Option<u64>,
         /// Client-chosen correlation id, echoed in the response.
         id: Option<String>,
+        /// Retry ordinal set by retrying clients (`0`/absent = first try).
+        /// The server counts `attempt >= 1` as `retries_observed`.
+        attempt: Option<u64>,
     },
     /// Model several kernels, coalescing their DNN forward passes into one
     /// batched inference.
@@ -46,6 +54,8 @@ pub enum Request {
         timeout_ms: Option<u64>,
         /// Client-chosen correlation id, echoed in the response.
         id: Option<String>,
+        /// Retry ordinal set by retrying clients (`0`/absent = first try).
+        attempt: Option<u64>,
     },
     /// Liveness probe.
     Health,
@@ -53,6 +63,10 @@ pub enum Request {
     Stats,
     /// Begin a graceful drain: stop accepting, finish in-flight work, exit.
     Shutdown,
+    /// Test-only fault hook: makes the worker that dequeues it die abruptly,
+    /// exercising the supervisor's respawn path. Refused with a `usage`
+    /// error unless the server was started with `debug_hooks` enabled.
+    CrashWorker,
 }
 
 /// Machine-readable classification of an error response.
@@ -71,6 +85,9 @@ pub enum ErrorKind {
     Fatal,
     /// The request missed its deadline.
     Timeout,
+    /// The server shed the request because its admission queue (or its
+    /// connection table) is full. Retryable after backing off.
+    Overloaded,
     /// The server is draining and no longer accepts modeling work.
     ShuttingDown,
 }
@@ -84,6 +101,7 @@ impl ErrorKind {
             ErrorKind::Recoverable => "recoverable",
             ErrorKind::Fatal => "fatal",
             ErrorKind::Timeout => "timeout",
+            ErrorKind::Overloaded => "overloaded",
             ErrorKind::ShuttingDown => "shutting_down",
         }
     }
@@ -142,11 +160,49 @@ fn opt_point(v: &Value, key: &str) -> Result<Option<Vec<f64>>, String> {
     }
 }
 
+/// `true` when `line`'s bracket nesting (outside string literals) exceeds
+/// `max` — a linear scan, safe to run on hostile input of any size.
+fn nesting_exceeds(line: &str, max: usize) -> bool {
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for b in line.bytes() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+        } else {
+            match b {
+                b'"' => in_string = true,
+                b'{' | b'[' => {
+                    depth += 1;
+                    if depth > max {
+                        return true;
+                    }
+                }
+                b'}' | b']' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
 impl Request {
     /// Parses one request line. `Err((kind, message))` distinguishes JSON
     /// breakage ([`ErrorKind::Parse`]) from semantic misuse
     /// ([`ErrorKind::Usage`]).
     pub fn parse(line: &str) -> Result<Request, (ErrorKind, String)> {
+        if nesting_exceeds(line, MAX_JSON_DEPTH) {
+            return Err((
+                ErrorKind::Parse,
+                format!("JSON nesting exceeds {MAX_JSON_DEPTH} levels"),
+            ));
+        }
         let value: Value = serde_json::from_str(line)
             .map_err(|e| (ErrorKind::Parse, format!("invalid JSON: {e}")))?;
         if value.as_map().is_none() {
@@ -169,6 +225,7 @@ impl Request {
                     at: opt_point(&value, "at").map_err(usage)?,
                     timeout_ms: opt_u64(&value, "timeout_ms").map_err(usage)?,
                     id: opt_str(&value, "id").map_err(usage)?,
+                    attempt: opt_u64(&value, "attempt").map_err(usage)?,
                 })
             }
             "batch" => {
@@ -191,11 +248,13 @@ impl Request {
                     sets,
                     timeout_ms: opt_u64(&value, "timeout_ms").map_err(usage)?,
                     id: opt_str(&value, "id").map_err(usage)?,
+                    attempt: opt_u64(&value, "attempt").map_err(usage)?,
                 })
             }
             "health" => Ok(Request::Health),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
+            "crash_worker" => Ok(Request::CrashWorker),
             other => Err(usage(format!("unknown command `{other}`"))),
         }
     }
@@ -203,21 +262,27 @@ impl Request {
     /// Serializes this request to its one-line wire form (client side).
     pub fn to_line(&self) -> String {
         let mut fields: Vec<(String, Value)> = Vec::new();
-        let push_common =
-            |fields: &mut Vec<(String, Value)>, timeout_ms: &Option<u64>, id: &Option<String>| {
-                if let Some(t) = timeout_ms {
-                    fields.push(("timeout_ms".into(), Value::U64(*t)));
-                }
-                if let Some(i) = id {
-                    fields.push(("id".into(), Value::Str(i.clone())));
-                }
-            };
+        let push_common = |fields: &mut Vec<(String, Value)>,
+                           timeout_ms: &Option<u64>,
+                           id: &Option<String>,
+                           attempt: &Option<u64>| {
+            if let Some(t) = timeout_ms {
+                fields.push(("timeout_ms".into(), Value::U64(*t)));
+            }
+            if let Some(i) = id {
+                fields.push(("id".into(), Value::Str(i.clone())));
+            }
+            if let Some(a) = attempt {
+                fields.push(("attempt".into(), Value::U64(*a)));
+            }
+        };
         match self {
             Request::Model {
                 set,
                 at,
                 timeout_ms,
                 id,
+                attempt,
             } => {
                 fields.push(("cmd".into(), Value::Str("model".into())));
                 fields.push(("set".into(), set.to_value()));
@@ -227,23 +292,25 @@ impl Request {
                         Value::Seq(point.iter().map(|&x| Value::F64(x)).collect()),
                     ));
                 }
-                push_common(&mut fields, timeout_ms, id);
+                push_common(&mut fields, timeout_ms, id, attempt);
             }
             Request::Batch {
                 sets,
                 timeout_ms,
                 id,
+                attempt,
             } => {
                 fields.push(("cmd".into(), Value::Str("batch".into())));
                 fields.push((
                     "sets".into(),
                     Value::Seq(sets.iter().map(|s| s.to_value()).collect()),
                 ));
-                push_common(&mut fields, timeout_ms, id);
+                push_common(&mut fields, timeout_ms, id, attempt);
             }
             Request::Health => fields.push(("cmd".into(), Value::Str("health".into()))),
             Request::Stats => fields.push(("cmd".into(), Value::Str("stats".into()))),
             Request::Shutdown => fields.push(("cmd".into(), Value::Str("shutdown".into()))),
+            Request::CrashWorker => fields.push(("cmd".into(), Value::Str("crash_worker".into()))),
         }
         serde_json::to_string(&Value::Map(fields)).expect("request serialization is infallible")
     }
@@ -352,15 +419,18 @@ mod tests {
                 at: Some(vec![128.0]),
                 timeout_ms: Some(2500),
                 id: Some("k1".into()),
+                attempt: Some(2),
             },
             Request::Batch {
                 sets: vec![linear_set(), linear_set()],
                 timeout_ms: None,
                 id: None,
+                attempt: None,
             },
             Request::Health,
             Request::Stats,
             Request::Shutdown,
+            Request::CrashWorker,
         ];
         for request in requests {
             let line = request.to_line();
@@ -375,6 +445,30 @@ mod tests {
             let (kind, _) = Request::parse(line).unwrap_err();
             assert_eq!(kind, ErrorKind::Parse, "line: {line:?}");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_before_parsing() {
+        // Far past the recursion a stack could absorb — the guard must trip
+        // on the linear scan, not inside the recursive parser.
+        let bomb = "[".repeat(200_000);
+        let (kind, message) = Request::parse(&bomb).unwrap_err();
+        assert_eq!(kind, ErrorKind::Parse);
+        assert!(message.contains("nesting"), "{message}");
+
+        // Nesting inside string literals is payload, not structure.
+        let fake = format!(r#"{{"cmd":"frobnicate","x":"{}"}}"#, "[".repeat(500));
+        let (kind, _) = Request::parse(&fake).unwrap_err();
+        assert_eq!(kind, ErrorKind::Usage, "string brackets must not count");
+
+        // Just under the cap still parses (to a usage error, not a parse one).
+        let deep_ok = format!(
+            "{}1{}",
+            "[".repeat(MAX_JSON_DEPTH - 1),
+            "]".repeat(MAX_JSON_DEPTH - 1)
+        );
+        let (kind, _) = Request::parse(&deep_ok).unwrap_err();
+        assert_eq!(kind, ErrorKind::Parse, "array is not a request object");
     }
 
     #[test]

@@ -1,27 +1,39 @@
-//! The concurrent serving loop: acceptor, per-connection readers, and a
-//! worker pool over a shared job queue.
+//! The concurrent serving loop: acceptor, per-connection readers, a
+//! worker pool over a bounded job queue, and a supervisor that respawns
+//! dead workers.
 //!
 //! ## Threading model
 //!
-//! - One **acceptor** thread owns the [`TcpListener`] and spawns one
-//!   reader thread per connection.
+//! - One **acceptor** thread owns the [`TcpListener`] (nonblocking, polled
+//!   every `poll_interval`) and spawns one reader thread per connection. On
+//!   every tick it reaps finished reader handles, so an idle server does
+//!   not accumulate parked `JoinHandle`s; past `max_conns` live
+//!   connections, new ones are shed with an `overloaded` response.
 //! - Each **connection** thread parses newline-delimited requests, answers
 //!   `health`/`stats`/`shutdown` inline, and hands `model`/`batch` work to
-//!   the pool through an [`mpsc`] queue, waiting for the reply with the
-//!   request's deadline.
+//!   the pool through a **bounded** [`mpsc::sync_channel`], waiting for the
+//!   reply with the request's deadline. A full queue sheds the request
+//!   immediately with an `overloaded` error — fail fast instead of
+//!   queue-and-time-out. A connection that stalls mid-request (slowloris)
+//!   or blocks writes past `io_timeout` is closed.
 //! - **Worker** threads each own an [`AdaptiveModeler`] warmed from the
 //!   shared [`ModelStore`] — weights are loaded and validated once, then
 //!   cloned per worker, so adaptation in one worker can never bleed into
-//!   another.
+//!   another. A job whose deadline already expired while queued is answered
+//!   `timeout` *before* any modeling work is spent on it.
+//! - One **supervisor** thread polls the worker handles and respawns any
+//!   worker that died (panic outside the per-job `catch_unwind`, or the
+//!   `crash_worker` debug hook), restoring full pool capacity from the warm
+//!   store and counting `worker_restarts`.
 //!
 //! ## Graceful drain
 //!
 //! A `shutdown` request (or [`Server::request_shutdown`]) flips a shared
-//! flag and wakes the acceptor with a loopback connect. The acceptor stops
-//! accepting and joins its connection threads; connections finish the
-//! request in flight, refuse new modeling work with `shutting_down`, and
-//! close; dropping the last job sender lets every worker drain the queue
-//! and exit. [`Server::join`] observes the whole cascade.
+//! flag; the polling acceptor notices within one tick, stops accepting, and
+//! joins its connection threads; connections finish the request in flight,
+//! refuse new modeling work with `shutting_down`, and close; the supervisor
+//! exits without respawning; dropping the last job sender lets every worker
+//! drain the queue and exit. [`Server::join`] observes the whole cascade.
 
 use crate::metrics::{ErrorClass, Metrics, RequestKind};
 use crate::protocol::{
@@ -34,8 +46,8 @@ use serde::{Serialize, Value};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -52,8 +64,28 @@ pub struct ServeOptions {
     pub adapt: bool,
     /// Deadline applied when a request carries no `timeout_ms`.
     pub default_timeout: Duration,
-    /// How often blocked reads wake up to check the drain flag.
+    /// How often blocked reads, the acceptor, and the supervisor wake up
+    /// to check the drain flag (and, for the acceptor, reap finished
+    /// connection threads).
     pub poll_interval: Duration,
+    /// Capacity of the admission queue. Once `queue_depth` jobs wait for a
+    /// worker, further modeling requests are shed with an `overloaded`
+    /// response instead of queuing toward a timeout.
+    pub queue_depth: usize,
+    /// Maximum live connections. Connections accepted past the cap receive
+    /// one `overloaded` error line and are closed immediately.
+    pub max_conns: usize,
+    /// Per-connection I/O stall limit: a connection that leaves a request
+    /// line incomplete for this long, or blocks a response write for this
+    /// long, is closed (slowloris defense).
+    pub io_timeout: Duration,
+    /// Testing/benchmark knob: simulated service time added to every
+    /// modeling job (after the deadline check), making server capacity
+    /// deterministic for overload experiments. `None` in production.
+    pub work_delay: Option<Duration>,
+    /// Enables test-only fault hooks (the `crash_worker` request). Off in
+    /// production.
+    pub debug_hooks: bool,
 }
 
 impl Default for ServeOptions {
@@ -63,6 +95,11 @@ impl Default for ServeOptions {
             adapt: false,
             default_timeout: Duration::from_secs(30),
             poll_interval: Duration::from_millis(50),
+            queue_depth: 64,
+            max_conns: 256,
+            io_timeout: Duration::from_secs(10),
+            work_delay: None,
+            debug_hooks: false,
         }
     }
 }
@@ -81,12 +118,30 @@ impl Shared {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Flips the drain flag and wakes the acceptor with a loopback connect.
+    /// Flips the drain flag; the polling acceptor notices within one tick.
+    /// The loopback connect is a belt-and-braces wake for the rare platform
+    /// where the listener could not be switched to nonblocking mode.
     fn begin_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
             let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
         }
     }
+}
+
+/// The worker pool's join handles, shared between the supervisor (which
+/// swaps dead handles for fresh ones) and [`Server::join`].
+struct WorkerPool {
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Locks a mutex, recovering from poisoning: our critical sections only
+/// read/swap plain values, so a panicking holder cannot leave them
+/// inconsistent — dying with it would turn one crashed thread into a dead
+/// server.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// One unit of modeling work handed to the pool.
@@ -106,6 +161,18 @@ enum JobRequest {
         sets: Vec<MeasurementSet>,
         id: Option<String>,
     },
+    /// Test-only: the worker that dequeues this dies abruptly so the
+    /// supervisor's respawn path can be exercised end to end.
+    Crash,
+}
+
+impl JobRequest {
+    fn id(&self) -> Option<String> {
+        match self {
+            JobRequest::Model { id, .. } | JobRequest::Batch { id, .. } => id.clone(),
+            JobRequest::Crash => None,
+        }
+    }
 }
 
 /// A computed response plus its class, so the connection thread records
@@ -121,7 +188,8 @@ struct Reply {
 pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+    pool: Arc<WorkerPool>,
 }
 
 impl Server {
@@ -131,6 +199,7 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let workers = opts.workers.max(1);
+        let queue_depth = opts.queue_depth.max(1);
         // `opts.adapt` is the single adaptation knob: align the store's
         // modeling options so per-worker modelers inherit it.
         let store = store.with_adaptation(opts.adapt);
@@ -142,18 +211,25 @@ impl Server {
             addr: local,
         });
 
-        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(queue_depth);
         let job_rx = Arc::new(Mutex::new(job_rx));
-        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let job_rx = Arc::clone(&job_rx);
-                thread::Builder::new()
-                    .name(format!("nrpm-serve-worker-{i}"))
-                    .spawn(move || run_worker(&shared, &job_rx))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let pool = Arc::new(WorkerPool {
+            handles: Mutex::new(
+                (0..workers)
+                    .map(|i| spawn_worker(i, &shared, &job_rx))
+                    .collect(),
+            ),
+        });
+
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let pool = Arc::clone(&pool);
+            let job_rx = Arc::clone(&job_rx);
+            thread::Builder::new()
+                .name("nrpm-serve-supervisor".into())
+                .spawn(move || run_supervisor(&shared, &pool, &job_rx))
+                .expect("spawn supervisor thread")
+        };
 
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -166,7 +242,8 @@ impl Server {
         Ok(Server {
             shared,
             acceptor: Some(acceptor),
-            workers: worker_handles,
+            supervisor: Some(supervisor),
+            pool,
         })
     }
 
@@ -185,38 +262,102 @@ impl Server {
         self.shared.begin_shutdown();
     }
 
-    /// Waits for the drain cascade to finish: acceptor, connections, then
-    /// workers. Blocks forever unless a shutdown was requested.
+    /// Waits for the drain cascade to finish: acceptor, connections,
+    /// supervisor, then workers. Blocks forever unless a shutdown was
+    /// requested.
     pub fn join(mut self) -> std::thread::Result<()> {
         if let Some(acceptor) = self.acceptor.take() {
             acceptor.join()?;
         }
-        for worker in self.workers.drain(..) {
+        if let Some(supervisor) = self.supervisor.take() {
+            supervisor.join()?;
+        }
+        let handles = std::mem::take(&mut *lock_recovering(&self.pool.handles));
+        for worker in handles {
             worker.join()?;
         }
         Ok(())
     }
 }
 
-fn run_acceptor(listener: TcpListener, shared: &Arc<Shared>, job_tx: mpsc::Sender<Job>) {
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    for stream in listener.incoming() {
-        if shared.draining() {
-            break;
+fn spawn_worker(
+    index: usize,
+    shared: &Arc<Shared>,
+    job_rx: &Arc<Mutex<mpsc::Receiver<Job>>>,
+) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let job_rx = Arc::clone(job_rx);
+    thread::Builder::new()
+        .name(format!("nrpm-serve-worker-{index}"))
+        .spawn(move || run_worker(&shared, &job_rx))
+        .expect("spawn worker thread")
+}
+
+/// Polls the worker handles; any worker found dead outside a drain is
+/// joined (collecting its panic) and replaced with a fresh one warmed from
+/// the store, restoring full pool capacity.
+fn run_supervisor(
+    shared: &Arc<Shared>,
+    pool: &Arc<WorkerPool>,
+    job_rx: &Arc<Mutex<mpsc::Receiver<Job>>>,
+) {
+    // Respawned workers get fresh indices so thread names stay unique.
+    let mut next_index = shared.opts.workers.max(1);
+    while !shared.draining() {
+        {
+            let mut handles = lock_recovering(&pool.handles);
+            for slot in handles.iter_mut() {
+                if slot.is_finished() {
+                    let fresh = spawn_worker(next_index, shared, job_rx);
+                    next_index += 1;
+                    let dead = std::mem::replace(slot, fresh);
+                    let _ = dead.join(); // swallow the panic payload
+                    shared.metrics.record_worker_restart();
+                }
+            }
         }
-        let Ok(stream) = stream else { continue };
-        let shared = Arc::clone(shared);
-        let job_tx = job_tx.clone();
-        let handle = thread::Builder::new()
-            .name("nrpm-serve-conn".into())
-            .spawn(move || {
-                let _ = serve_connection(stream, &shared, &job_tx);
-            })
-            .expect("spawn connection thread");
-        connections.push(handle);
-        // Reap finished readers so a long-lived server does not accumulate
-        // one parked JoinHandle per past connection.
-        connections.retain(|h| !h.is_finished());
+        thread::sleep(shared.opts.poll_interval);
+    }
+}
+
+fn run_acceptor(listener: TcpListener, shared: &Arc<Shared>, job_tx: mpsc::SyncSender<Job>) {
+    // Nonblocking accept + a poll tick: the tick notices the drain flag and
+    // reaps finished reader threads even when no new connection ever
+    // arrives (the old reap-on-accept let handles pile up on idle servers).
+    let nonblocking = listener.set_nonblocking(true).is_ok();
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.draining() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                connections.retain(|h| !h.is_finished());
+                if connections.len() >= shared.opts.max_conns.max(1) {
+                    shed_connection(stream, shared);
+                    continue;
+                }
+                let shared_conn = Arc::clone(shared);
+                let job_tx = job_tx.clone();
+                let handle = thread::Builder::new()
+                    .name("nrpm-serve-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &shared_conn, &job_tx);
+                    })
+                    .expect("spawn connection thread");
+                connections.push(handle);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                connections.retain(|h| !h.is_finished());
+                thread::sleep(shared.opts.poll_interval);
+            }
+            Err(_) => {
+                if !nonblocking {
+                    continue;
+                }
+                thread::sleep(shared.opts.poll_interval);
+            }
+        }
     }
     for handle in connections {
         let _ = handle.join();
@@ -225,20 +366,54 @@ fn run_acceptor(listener: TcpListener, shared: &Arc<Shared>, job_tx: mpsc::Sende
     // sender, so the workers drain the queue and exit.
 }
 
-/// Reads newline-delimited requests off one connection until EOF, error, or
-/// drain. Returns `Err` only on socket failures (the caller ignores it).
+/// Refuses a connection over the cap: one `overloaded` line, then close.
+fn shed_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    shared.metrics.record_error(ErrorClass::Overloaded);
+    // The stream may inherit the listener's nonblocking mode; the write is
+    // best-effort either way, bounded so a hostile peer cannot stall the
+    // acceptor.
+    stream.set_nonblocking(false).ok();
+    stream
+        .set_write_timeout(Some(Duration::from_millis(500)))
+        .ok();
+    let line = error_line(
+        None,
+        ErrorKind::Overloaded,
+        &format!(
+            "connection table full ({} connections); retry with backoff",
+            shared.opts.max_conns
+        ),
+    );
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+}
+
+/// Reads newline-delimited requests off one connection until EOF, error,
+/// stall, or drain. Returns `Err` only on socket failures (the caller
+/// ignores it).
 fn serve_connection(
     mut stream: TcpStream,
     shared: &Arc<Shared>,
-    job_tx: &mpsc::Sender<Job>,
+    job_tx: &mpsc::SyncSender<Job>,
 ) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?; // may be inherited from the listener
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(shared.opts.poll_interval))?;
+    stream.set_write_timeout(Some(shared.opts.io_timeout))?;
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 16 * 1024];
+    // When the first byte of a request arrived (slowloris guard): cleared
+    // each time a complete line is consumed.
+    let mut partial_since: Option<Instant> = None;
+    // Prefix of `buf` already searched for a newline — only fresh bytes are
+    // scanned, keeping a large frame linear instead of quadratic.
+    let mut scanned = 0usize;
     loop {
-        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+        while let Some(rel) = buf[scanned..].iter().position(|&b| b == b'\n') {
+            let pos = scanned + rel;
             let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            scanned = 0;
+            partial_since = None;
             let line = String::from_utf8_lossy(&line_bytes);
             let line = line.trim();
             if line.is_empty() {
@@ -258,6 +433,7 @@ fn serve_connection(
                 }
             }
         }
+        scanned = buf.len();
         if buf.len() > MAX_LINE_BYTES {
             shared.metrics.record_error(ErrorClass::Usage);
             let response = error_line(
@@ -268,6 +444,29 @@ fn serve_connection(
             stream.write_all(response.as_bytes())?;
             stream.write_all(b"\n")?;
             return Ok(());
+        }
+        // Slowloris guard: a request that trickles in without completing
+        // within `io_timeout` gets one timeout line, then the connection
+        // closes. Complete requests reset the clock above.
+        if buf.is_empty() {
+            partial_since = None;
+        } else if let Some(since) = partial_since {
+            if since.elapsed() >= shared.opts.io_timeout {
+                shared.metrics.record_error(ErrorClass::Timeout);
+                let response = error_line(
+                    None,
+                    ErrorKind::Timeout,
+                    &format!(
+                        "request incomplete after {:?}; closing stalled connection",
+                        shared.opts.io_timeout
+                    ),
+                );
+                let _ = stream.write_all(response.as_bytes());
+                let _ = stream.write_all(b"\n");
+                return Ok(());
+            }
+        } else {
+            partial_since = Some(Instant::now());
         }
         match stream.read(&mut chunk) {
             Ok(0) => return Ok(()), // client closed
@@ -293,7 +492,7 @@ enum Disposition {
     RespondAndClose(String),
 }
 
-fn handle_line(line: &str, shared: &Arc<Shared>, job_tx: &mpsc::Sender<Job>) -> Disposition {
+fn handle_line(line: &str, shared: &Arc<Shared>, job_tx: &mpsc::SyncSender<Job>) -> Disposition {
     let request = match Request::parse(line) {
         Ok(request) => request,
         Err((kind, message)) => {
@@ -333,13 +532,51 @@ fn handle_line(line: &str, shared: &Arc<Shared>, job_tx: &mpsc::Sender<Job>) -> 
                 vec![("draining".into(), Value::Bool(true))],
             ))
         }
+        Request::CrashWorker => {
+            if !shared.opts.debug_hooks {
+                shared.metrics.record_error(ErrorClass::Usage);
+                return Disposition::Respond(error_line(
+                    None,
+                    ErrorKind::Usage,
+                    "crash_worker is a test hook; start the server with debug hooks to use it",
+                ));
+            }
+            let (reply_tx, _discard) = mpsc::channel::<Reply>();
+            let job = Job {
+                request: JobRequest::Crash,
+                deadline: Instant::now() + shared.opts.default_timeout,
+                reply: reply_tx,
+            };
+            match job_tx.try_send(job) {
+                Ok(()) => {
+                    shared.metrics.queue_enter();
+                    shared.metrics.record_ok();
+                    Disposition::Respond(ok_line(
+                        None,
+                        vec![("crash_queued".into(), Value::Bool(true))],
+                    ))
+                }
+                Err(_) => {
+                    shared.metrics.record_error(ErrorClass::Overloaded);
+                    Disposition::Respond(error_line(
+                        None,
+                        ErrorKind::Overloaded,
+                        "admission queue full; crash hook not queued",
+                    ))
+                }
+            }
+        }
         Request::Model {
             set,
             at,
             timeout_ms,
             id,
+            attempt,
         } => {
             shared.metrics.record_request(RequestKind::Model);
+            if attempt.unwrap_or(0) >= 1 {
+                shared.metrics.record_retry_observed();
+            }
             let request = JobRequest::Model {
                 set: Box::new(set),
                 at,
@@ -351,24 +588,27 @@ fn handle_line(line: &str, shared: &Arc<Shared>, job_tx: &mpsc::Sender<Job>) -> 
             sets,
             timeout_ms,
             id,
+            attempt,
         } => {
             shared.metrics.record_request(RequestKind::Batch);
+            if attempt.unwrap_or(0) >= 1 {
+                shared.metrics.record_retry_observed();
+            }
             let request = JobRequest::Batch { sets, id };
             Disposition::Respond(dispatch_job(shared, job_tx, request, timeout_ms))
         }
     }
 }
 
-/// Queues one modeling job and waits for its reply within the deadline.
+/// Admits one modeling job into the bounded queue and waits for its reply
+/// within the deadline; a full queue sheds the job immediately.
 fn dispatch_job(
     shared: &Arc<Shared>,
-    job_tx: &mpsc::Sender<Job>,
+    job_tx: &mpsc::SyncSender<Job>,
     request: JobRequest,
     timeout_ms: Option<u64>,
 ) -> String {
-    let id = match &request {
-        JobRequest::Model { id, .. } | JobRequest::Batch { id, .. } => id.clone(),
-    };
+    let id = request.id();
     if shared.draining() {
         shared.metrics.record_error(ErrorClass::ShuttingDown);
         return error_line(
@@ -388,13 +628,30 @@ fn dispatch_job(
         deadline,
         reply: reply_tx,
     };
-    if job_tx.send(job).is_err() {
-        shared.metrics.record_error(ErrorClass::ShuttingDown);
-        return error_line(
-            id.as_deref(),
-            ErrorKind::ShuttingDown,
-            "worker pool is gone; server is shutting down",
-        );
+    match job_tx.try_send(job) {
+        Ok(()) => shared.metrics.queue_enter(),
+        Err(TrySendError::Full(_)) => {
+            // Fail fast: the queue already holds `queue_depth` jobs, so
+            // this request would only wait toward its own timeout while
+            // delaying everyone behind it.
+            shared.metrics.record_error(ErrorClass::Overloaded);
+            return error_line(
+                id.as_deref(),
+                ErrorKind::Overloaded,
+                &format!(
+                    "admission queue full ({} jobs); retry with backoff",
+                    shared.opts.queue_depth.max(1)
+                ),
+            );
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shared.metrics.record_error(ErrorClass::ShuttingDown);
+            return error_line(
+                id.as_deref(),
+                ErrorKind::ShuttingDown,
+                "worker pool is gone; server is shutting down",
+            );
+        }
     }
     match reply_rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
         Ok(reply) => {
@@ -431,12 +688,21 @@ fn run_worker(shared: &Arc<Shared>, job_rx: &Arc<Mutex<mpsc::Receiver<Job>>>) {
     let mut modeler = shared.store.modeler();
     loop {
         // Take the lock only to receive; computing happens lock-free so the
-        // other workers can pick up jobs concurrently.
+        // other workers can pick up jobs concurrently. The guard drops
+        // before any work, so even a crashing job cannot poison it for
+        // longer than a `recv` — and a poisoned lock is recovered anyway.
         let job = {
-            let Ok(guard) = job_rx.lock() else { break };
+            let guard = lock_recovering(job_rx);
             guard.recv()
         };
         let Ok(job) = job else { break }; // all senders gone: drain complete
+        shared.metrics.queue_exit();
+        if matches!(job.request, JobRequest::Crash) {
+            // Deliberately outside catch_unwind: this kills the worker
+            // thread so the supervisor's respawn path is exercised for
+            // real, not simulated.
+            panic!("debug hook: crash_worker requested");
+        }
         let reply = compute_reply(shared, &mut modeler, &job);
         let reply = match reply {
             Ok(reply) => reply,
@@ -445,12 +711,9 @@ fn run_worker(shared: &Arc<Shared>, job_rx: &Arc<Mutex<mpsc::Receiver<Job>>>) {
                 // worker's modeler is rebuilt from the warm store in case
                 // the panic left it inconsistent.
                 modeler = shared.store.modeler();
-                let id = match &job.request {
-                    JobRequest::Model { id, .. } | JobRequest::Batch { id, .. } => id.clone(),
-                };
                 Reply {
                     line: error_line(
-                        id.as_deref(),
+                        job.request.id().as_deref(),
                         ErrorKind::Fatal,
                         &format!("internal modeling failure: {panic_message}"),
                     ),
@@ -471,17 +734,20 @@ fn compute_reply(
     job: &Job,
 ) -> Result<Reply, String> {
     if Instant::now() >= job.deadline {
-        let id = match &job.request {
-            JobRequest::Model { id, .. } | JobRequest::Batch { id, .. } => id.clone(),
-        };
+        // Deadline propagation: the job expired while queued, so answer
+        // `timeout` without spending any modeling work (no DNN forward
+        // pass, no choice counter) on an answer nobody is waiting for.
         return Ok(Reply {
             line: error_line(
-                id.as_deref(),
+                job.request.id().as_deref(),
                 ErrorKind::Timeout,
                 "deadline expired before a worker picked the request up",
             ),
             error: Some(ErrorClass::Timeout),
         });
+    }
+    if let Some(delay) = shared.opts.work_delay {
+        thread::sleep(delay);
     }
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &job.request {
         JobRequest::Model { set, at, id } => {
@@ -549,6 +815,7 @@ fn compute_reply(
                 error: None,
             }
         }
+        JobRequest::Crash => unreachable!("crash jobs are handled before compute_reply"),
     }));
     outcome.map_err(|panic| {
         if let Some(s) = panic.downcast_ref::<&str>() {

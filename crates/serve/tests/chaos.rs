@@ -1,0 +1,139 @@
+//! Chaos soak: a retrying client drives a real server through the
+//! [`nrpm_serve::chaos::ChaosProxy`] while it injects latency, partial
+//! writes, truncated frames, garbage bytes, and connection drops. The
+//! server must neither panic nor hang, and once the faults stop the same
+//! client must converge back to clean successes.
+
+use nrpm_core::adaptive::AdaptiveOptions;
+use nrpm_core::preprocess::NUM_INPUTS;
+use nrpm_extrap::{MeasurementSet, NUM_CLASSES};
+use nrpm_nn::{Network, NetworkConfig};
+use nrpm_serve::chaos::{ChaosOptions, ChaosProxy};
+use nrpm_serve::client::{is_ok, Client, RetryError, RetryPolicy, RetryingClient};
+use nrpm_serve::server::{ServeOptions, Server};
+use nrpm_serve::store::ModelStore;
+use serde::Value;
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn test_store() -> ModelStore {
+    let net = Network::new(&NetworkConfig::new(&[NUM_INPUTS, 16, NUM_CLASSES]), 7);
+    ModelStore::from_network(net, AdaptiveOptions::default()).unwrap()
+}
+
+fn clean_linear_set() -> MeasurementSet {
+    let mut set = MeasurementSet::new(1);
+    for &x in &[4.0, 8.0, 16.0, 32.0, 64.0] {
+        set.add_repetitions(&[x], &[2.0 * x, 2.0 * x]);
+    }
+    set
+}
+
+fn join_within(server: Server, limit: Duration) {
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let _ = tx.send(server.join());
+    });
+    rx.recv_timeout(limit)
+        .expect("server failed to drain within the limit")
+        .expect("a server thread panicked");
+}
+
+fn get_u64(v: &Value, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing u64 `{key}` in {v:?}"))
+}
+
+#[test]
+fn soak_through_chaos_then_converge_once_faults_stop() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        test_store(),
+        ServeOptions {
+            workers: 2,
+            ..Default::default()
+        },
+    )
+    .expect("bind server");
+    let mut proxy = ChaosProxy::start(
+        server.addr(),
+        ChaosOptions {
+            latency: Duration::from_millis(2),
+            latency_prob: 0.3,
+            partial_write_prob: 0.3,
+            truncate_prob: 0.15,
+            garbage_prob: 0.2,
+            reset_prob: 0.1,
+            seed: 0xbad5eed,
+        },
+    )
+    .expect("start proxy");
+
+    let policy = RetryPolicy {
+        max_attempts: 6,
+        base_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(30),
+        breaker_threshold: 8,
+        breaker_cooldown: Duration::from_millis(50),
+        seed: 41,
+    };
+    let mut client = RetryingClient::new(proxy.addr(), Duration::from_secs(5), policy);
+
+    // Phase 1: soak under faults until ≥100 injections. Requests may fail
+    // (exhausted retries, corrupted-request parse errors, an open
+    // breaker); they must never panic or hang.
+    let mut sent = 0u64;
+    let mut succeeded = 0u64;
+    let soak_deadline = Instant::now() + Duration::from_secs(120);
+    while proxy.fault_counts().total() < 100 {
+        assert!(
+            Instant::now() < soak_deadline,
+            "soak made no progress: {:?} after {sent} requests",
+            proxy.fault_counts()
+        );
+        let result = if sent % 4 == 0 {
+            client.model(clean_linear_set(), None, Some(2_000))
+        } else {
+            client.roundtrip_line(r#"{"cmd":"health"}"#)
+        };
+        sent += 1;
+        match result {
+            Ok(response) => {
+                if is_ok(&response) {
+                    succeeded += 1;
+                }
+            }
+            Err(RetryError::CircuitOpen) => {
+                // The breaker did its job; wait out the cooldown.
+                thread::sleep(Duration::from_millis(60));
+            }
+            Err(RetryError::Exhausted(_)) => {}
+        }
+    }
+    let faults = proxy.fault_counts();
+    assert!(faults.total() >= 100, "{faults:?}");
+    assert!(succeeded > 0, "nothing got through {sent} faulted requests");
+
+    // Phase 2: faults off — the same client converges to clean successes
+    // (retries may still smooth over the transition).
+    proxy.set_faults_enabled(false);
+    for i in 0..10 {
+        let response = client
+            .model(clean_linear_set(), None, Some(5_000))
+            .unwrap_or_else(|e| panic!("request {i} after faults stopped: {e}"));
+        assert!(is_ok(&response), "request {i}: {response:?}");
+    }
+
+    // The server itself never crashed: no worker was ever respawned, and
+    // it still answers directly (bypassing the proxy).
+    let mut direct = Client::connect(server.addr(), Duration::from_secs(30)).expect("direct");
+    assert!(is_ok(&direct.health().unwrap()));
+    let stats = direct.stats().unwrap();
+    assert_eq!(get_u64(&stats, "worker_restarts"), 0);
+
+    proxy.stop();
+    assert!(is_ok(&direct.shutdown().unwrap()));
+    join_within(server, Duration::from_secs(20));
+}

@@ -1,0 +1,62 @@
+//! Property tests of the request parser: no byte sequence may panic it,
+//! every rejection is a structured error, and the nesting guard stops
+//! stack-overflow bombs before the recursive JSON parser sees them.
+
+use nrpm_serve::protocol::{ErrorKind, Request, MAX_JSON_DEPTH};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes — invalid UTF-8 included — never panic the parser
+    /// and always yield a structured error (or, vanishingly rarely, a
+    /// valid request).
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parser(
+        bytes in prop::collection::vec(0u8..=255u8, 0usize..512)
+    ) {
+        let line = String::from_utf8_lossy(&bytes);
+        if let Err((kind, message)) = Request::parse(line.trim()) {
+            prop_assert!(
+                matches!(kind, ErrorKind::Parse | ErrorKind::Usage),
+                "unexpected rejection kind {kind:?}"
+            );
+            prop_assert!(!message.is_empty());
+        }
+    }
+
+    /// JSON-flavored token soup — braces, quotes, colons, numbers — is the
+    /// adversarial neighborhood of real requests; it too must never panic.
+    #[test]
+    fn json_shaped_garbage_never_panics(
+        tokens in prop::collection::vec(0usize..12, 0usize..64)
+    ) {
+        const VOCAB: [&str; 12] = [
+            "{", "}", "[", "]", ":", ",", "\"cmd\"", "\"model\"",
+            "-1e308", "null", "\\", "\"",
+        ];
+        let line: String = tokens.iter().map(|&t| VOCAB[t]).collect();
+        if let Err((kind, message)) = Request::parse(&line) {
+            prop_assert!(
+                matches!(kind, ErrorKind::Parse | ErrorKind::Usage),
+                "unexpected rejection kind {kind:?}"
+            );
+            prop_assert!(!message.is_empty());
+        }
+    }
+
+    /// Nesting bombs of any depth past the limit are refused by the linear
+    /// pre-scan — the recursive parser (which would overflow the stack
+    /// somewhere past ~10^4 levels) never runs on them.
+    #[test]
+    fn deep_nesting_is_rejected_structurally(
+        depth in (MAX_JSON_DEPTH + 1)..20_000usize,
+        opener in 0usize..2,
+    ) {
+        let bracket = if opener == 0 { "[" } else { "{" };
+        let line = bracket.repeat(depth);
+        let (kind, message) = Request::parse(&line).expect_err("a bomb must not parse");
+        prop_assert_eq!(kind, ErrorKind::Parse);
+        prop_assert!(message.contains("nesting"), "{}", message);
+    }
+}
