@@ -4,12 +4,16 @@
 
 #![warn(missing_docs)]
 
-use nrpm_core::adaptive::{AdaptiveModeler, AdaptiveOptions};
+use nrpm_core::adaptive::{AdaptiveModeler, AdaptiveOptions, AdaptiveOutcome};
+use nrpm_core::fingerprint::ModelKey;
 use nrpm_core::noise::NoiseEstimate;
 use nrpm_core::report::render_outcome;
 use nrpm_core::sanitize::{sanitize, SanitizeOptions, SanitizePolicy};
 use nrpm_extrap::{parse_text_file, MeasurementSet, ModelError, RegressionModeler};
 use nrpm_nn::Network;
+use nrpm_registry::cache::JOURNAL_FILE;
+use nrpm_registry::checkpoints::VerifyIssue;
+use nrpm_registry::{hex16, CheckpointRegistry, Journal, ResultCache};
 use nrpm_serve::client::{Client, RetryPolicy, RetryingClient};
 use nrpm_serve::server::{ServeOptions, Server};
 use nrpm_serve::store::ModelStore;
@@ -28,11 +32,14 @@ usage:
   nrpm serve --model net.json [--addr HOST:PORT] [--workers N] [--adapt]
              [--timeout-ms T] [--queue-depth N] [--max-conns N]
              [--io-timeout-ms T] [--work-delay-ms T]
+             [--cache-capacity N] [--cache-dir DIR]
   nrpm query health|stats|shutdown [--addr HOST:PORT] [--timeout-ms T]
   nrpm query model <file> [--at x1,x2,...] [--addr HOST:PORT] [--timeout-ms T]
   nrpm query batch <file>... [--addr HOST:PORT] [--timeout-ms T]
   query flags: [--retries N] retry overloaded/timeout responses and
                transport failures with backoff + jitter (default 0)
+  nrpm registry stats|verify|gc --dir DIR [--cache-capacity N]
+  nrpm registry warm --dir DIR --model net.json <file>... [--ref NAME] [--adapt]
 
 measurement files: PARAMS/POINT text format, or a MeasurementSet .json
 
@@ -52,6 +59,16 @@ overload behavior:
   --max-conns are refused the same way; a connection that stalls
   mid-request or blocks writes for --io-timeout-ms is closed.
   --work-delay-ms adds simulated service time per job (testing only)
+
+caching:
+  `serve` memoizes model outcomes per (measurement set, checkpoint,
+  adaptation) — identical concurrent requests collapse into one modeler
+  run; --cache-capacity 0 disables it, --cache-dir journals outcomes to
+  disk so they survive restarts. `registry` maintains such a directory:
+  `stats` summarizes it, `verify` is a read-only integrity sweep (exit 4
+  on damage), `gc` drops unreferenced checkpoints and compacts the
+  journal, `warm` stores a checkpoint and pre-models files into the
+  cache (pass --adapt iff the server runs with --adapt)
 
 exit codes: 0 success, 2 usage, 3 unreadable or malformed input,
             4 recoverable modeling failure, 5 fatal modeling failure";
@@ -145,6 +162,27 @@ pub enum Invocation {
         io_timeout_ms: Option<u64>,
         /// Simulated per-job service time in milliseconds (testing knob).
         work_delay_ms: Option<u64>,
+        /// Result-cache capacity (0 disables caching and single-flight).
+        cache_capacity: usize,
+        /// Journal cached outcomes under this directory.
+        cache_dir: Option<PathBuf>,
+    },
+    /// Inspect or maintain a registry/cache directory.
+    Registry {
+        /// What to do.
+        action: RegistryAction,
+        /// The registry/cache root directory.
+        dir: PathBuf,
+        /// Checkpoint to store (`warm` only).
+        model: Option<PathBuf>,
+        /// Measurement files to pre-model into the cache (`warm` only).
+        files: Vec<PathBuf>,
+        /// Ref name pointed at the warmed checkpoint (default `default`).
+        ref_name: Option<String>,
+        /// Cache capacity for `gc` compaction and `warm` insertion.
+        cache_capacity: usize,
+        /// Warm with domain adaptation (must match the server's --adapt).
+        adapt: bool,
     },
     /// Query a running server.
     Query {
@@ -176,6 +214,19 @@ pub enum QueryKind {
     Model,
     /// Model several files through one coalesced batch request.
     Batch,
+}
+
+/// The sub-command of `nrpm registry`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistryAction {
+    /// Summarize checkpoints, refs, and the cache journal.
+    Stats,
+    /// Read-only integrity sweep; exit 4 when damage is found.
+    Verify,
+    /// Drop unreferenced checkpoints and compact the cache journal.
+    Gc,
+    /// Store a checkpoint and pre-model measurement files into the cache.
+    Warm,
 }
 
 impl Invocation {
@@ -286,7 +337,54 @@ impl Invocation {
                             .map_err(|_| "--work-delay-ms: not a number".to_string())
                     })
                     .transpose()?,
+                cache_capacity: get_value("cache-capacity")?
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| "--cache-capacity: not a number".to_string())
+                    })
+                    .transpose()?
+                    .unwrap_or(1024),
+                cache_dir: get_value("cache-dir")?.map(PathBuf::from),
             }),
+            "registry" => {
+                let action = match positional.first().map(String::as_str) {
+                    Some("stats") => RegistryAction::Stats,
+                    Some("verify") => RegistryAction::Verify,
+                    Some("gc") => RegistryAction::Gc,
+                    Some("warm") => RegistryAction::Warm,
+                    Some(other) => return Err(format!("registry: unknown action `{other}`")),
+                    None => return Err("registry: missing action".to_string()),
+                };
+                let files: Vec<PathBuf> = positional[1..].iter().map(PathBuf::from).collect();
+                let model = get_value("model")?.map(PathBuf::from);
+                match action {
+                    RegistryAction::Warm if model.is_none() => {
+                        return Err("registry warm: --model is required".to_string())
+                    }
+                    RegistryAction::Warm => {}
+                    _ if !files.is_empty() => {
+                        return Err("registry: this action takes no files".to_string())
+                    }
+                    _ => {}
+                }
+                Ok(Invocation::Registry {
+                    action,
+                    dir: get_value("dir")?
+                        .ok_or("registry: --dir is required")?
+                        .into(),
+                    model,
+                    files,
+                    ref_name: get_value("ref")?,
+                    cache_capacity: get_value("cache-capacity")?
+                        .map(|s| {
+                            s.parse()
+                                .map_err(|_| "--cache-capacity: not a number".to_string())
+                        })
+                        .transpose()?
+                        .unwrap_or(1024),
+                    adapt: get_flag("adapt").is_some(),
+                })
+            }
             "query" => {
                 let what = match positional.first().map(String::as_str) {
                     Some("health") => QueryKind::Health,
@@ -507,6 +605,8 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
             max_conns,
             io_timeout_ms,
             work_delay_ms,
+            cache_capacity,
+            cache_dir,
         } => {
             let store = ModelStore::open(model, AdaptiveOptions::default())
                 .map_err(|e| CliError::io(format!("{}: {e}", model.display())))?;
@@ -516,6 +616,8 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
                 queue_depth: *queue_depth,
                 max_conns: *max_conns,
                 work_delay: work_delay_ms.map(Duration::from_millis),
+                cache_capacity: *cache_capacity,
+                cache_dir: cache_dir.clone(),
                 ..Default::default()
             };
             if let Some(t) = timeout_ms {
@@ -540,6 +642,27 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
                 .map_err(|_| CliError::io("a server thread panicked"))?;
             Ok("server drained cleanly\n".to_string())
         }
+        Invocation::Registry {
+            action,
+            dir,
+            model,
+            files,
+            ref_name,
+            cache_capacity,
+            adapt,
+        } => match action {
+            RegistryAction::Stats => registry_stats(dir),
+            RegistryAction::Verify => registry_verify(dir),
+            RegistryAction::Gc => registry_gc(dir, *cache_capacity),
+            RegistryAction::Warm => registry_warm(
+                dir,
+                model.as_deref().expect("parse enforces --model"),
+                files,
+                ref_name.as_deref().unwrap_or("default"),
+                *cache_capacity,
+                *adapt,
+            ),
+        },
         Invocation::Query {
             what,
             addr,
@@ -606,6 +729,173 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
             response_to_output(&response)
         }
     }
+}
+
+/// Maps a registry-layer failure onto exit code 3, carrying the directory.
+fn in_dir(dir: &Path, e: impl std::fmt::Display) -> CliError {
+    CliError::io(format!("{}: {e}", dir.display()))
+}
+
+/// Opens the checkpoint registry at `dir`. Read-only actions require the
+/// directory to exist already (opening creates `objects/` and `refs/`).
+fn open_registry(dir: &Path, must_exist: bool) -> Result<CheckpointRegistry, CliError> {
+    if must_exist && !dir.is_dir() {
+        return Err(CliError::io(format!(
+            "{}: no such registry directory",
+            dir.display()
+        )));
+    }
+    CheckpointRegistry::open(dir).map_err(|e| in_dir(dir, e))
+}
+
+/// `nrpm registry stats`: checkpoints, refs, and cache-journal occupancy.
+fn registry_stats(dir: &Path) -> Result<String, CliError> {
+    let registry = open_registry(dir, true)?;
+    let objects = registry.list().map_err(|e| in_dir(dir, e))?;
+    let mut refs = registry.refs().map_err(|e| in_dir(dir, e))?;
+    refs.sort();
+    let mut out = String::new();
+    let _ = writeln!(out, "checkpoints:   {}", objects.len());
+    for (name, hash) in refs {
+        let _ = writeln!(out, "ref:           {name} -> {}", hex16(hash));
+    }
+    let journal = dir.join(JOURNAL_FILE);
+    if journal.exists() {
+        let bytes = std::fs::metadata(&journal)
+            .map_err(|e| in_dir(dir, e))?
+            .len();
+        let report = Journal::<AdaptiveOutcome>::verify(&journal).map_err(|e| in_dir(dir, e))?;
+        let _ = writeln!(
+            out,
+            "cache journal: {} records, {} bytes{}",
+            report.records,
+            bytes,
+            if report.repaired {
+                " (torn tail pending repair)"
+            } else {
+                ""
+            }
+        );
+    } else {
+        let _ = writeln!(out, "cache journal: none");
+    }
+    Ok(out)
+}
+
+/// `nrpm registry verify`: read-only integrity sweep over checkpoint
+/// objects, refs, and the cache journal. Damage exits 4 without touching
+/// anything on disk.
+fn registry_verify(dir: &Path) -> Result<String, CliError> {
+    let registry = open_registry(dir, true)?;
+    let outcome = registry.verify().map_err(|e| in_dir(dir, e))?;
+    let mut problems: Vec<String> = outcome
+        .issues
+        .iter()
+        .map(|issue| match issue {
+            VerifyIssue::HashMismatch { named, actual } => format!(
+                "checkpoint {}: content actually hashes to {}",
+                hex16(*named),
+                hex16(*actual)
+            ),
+            VerifyIssue::Unloadable { hash, error } => {
+                format!("checkpoint {}: not loadable: {error}", hex16(*hash))
+            }
+            VerifyIssue::DanglingRef { name, target } => {
+                format!("ref {name}: dangling target `{target}`")
+            }
+        })
+        .collect();
+    let journal = dir.join(JOURNAL_FILE);
+    let mut cached = 0usize;
+    if journal.exists() {
+        match Journal::<AdaptiveOutcome>::verify(&journal) {
+            Ok(report) => {
+                cached = report.records;
+                if report.repaired {
+                    problems.push(format!(
+                        "cache journal: torn tail, {} trailing bytes need truncation \
+                         (recovered on the next open)",
+                        report.truncated_bytes
+                    ));
+                }
+            }
+            Err(e) => problems.push(format!("cache journal: {e}")),
+        }
+    }
+    if problems.is_empty() {
+        Ok(format!(
+            "registry clean: {} checkpoint(s) intact, {} cached outcome(s)\n",
+            outcome.intact, cached
+        ))
+    } else {
+        Err(CliError {
+            message: problems.join("\n"),
+            code: 4,
+        })
+    }
+}
+
+/// `nrpm registry gc`: drop checkpoints no ref points at and rewrite the
+/// cache journal down to its live entries.
+fn registry_gc(dir: &Path, cache_capacity: usize) -> Result<String, CliError> {
+    let registry = open_registry(dir, true)?;
+    let removed = registry.gc().map_err(|e| in_dir(dir, e))?;
+    let mut out = String::new();
+    for hash in &removed {
+        let _ = writeln!(out, "removed unreferenced checkpoint {}", hex16(*hash));
+    }
+    let _ = writeln!(out, "checkpoints removed: {}", removed.len());
+    if dir.join(JOURNAL_FILE).exists() {
+        let cache: ResultCache<AdaptiveOutcome> =
+            ResultCache::persistent(cache_capacity.max(1), 8, dir).map_err(|e| in_dir(dir, e))?;
+        let before = cache.stats().journal_records.unwrap_or(0);
+        cache.compact().map_err(|e| in_dir(dir, e))?;
+        let after = cache.stats().journal_records.unwrap_or(0);
+        let _ = writeln!(out, "cache journal compacted: {before} -> {after} records");
+    }
+    Ok(out)
+}
+
+/// `nrpm registry warm`: store a checkpoint (pointing `ref_name` at it),
+/// then model each measurement file locally and journal the outcomes under
+/// exactly the keys a server on the same checkpoint would look up.
+fn registry_warm(
+    dir: &Path,
+    model: &Path,
+    files: &[PathBuf],
+    ref_name: &str,
+    cache_capacity: usize,
+    adapt: bool,
+) -> Result<String, CliError> {
+    let network = Network::load(model).map_err(|e| in_dir(model, e))?;
+    let registry = open_registry(dir, false)?;
+    let hash = registry.put(&network).map_err(|e| in_dir(dir, e))?;
+    registry
+        .set_ref(ref_name, hash)
+        .map_err(|e| in_dir(dir, e))?;
+    let store = ModelStore::from_network(network, AdaptiveOptions::default())
+        .map_err(|e| in_dir(model, e))?
+        .with_adaptation(adapt);
+    let cache: ResultCache<AdaptiveOutcome> =
+        ResultCache::persistent(cache_capacity.max(1), 8, dir).map_err(|e| in_dir(dir, e))?;
+    let mut warmed = 0usize;
+    let mut already = 0usize;
+    for file in files {
+        let set = load_measurements(file).map_err(CliError::io)?;
+        let key = ModelKey::new(&set, store.checkpoint_hash(), adapt).combined();
+        if cache.get(key).is_some() {
+            already += 1;
+            continue;
+        }
+        let outcome = store.modeler().model(&set).map_err(CliError::model)?;
+        cache.insert(key, outcome).map_err(|e| in_dir(dir, e))?;
+        warmed += 1;
+    }
+    cache.sync().map_err(|e| in_dir(dir, e))?;
+    Ok(format!(
+        "checkpoint {} (ref {ref_name}); warmed {warmed} outcome(s), {already} already cached\n",
+        hex16(hash)
+    ))
 }
 
 /// Resolves a `HOST:PORT` string to a socket address.
@@ -722,6 +1012,12 @@ mod tests {
         assert!(parse("serve").is_err()); // --model required
         assert!(parse("serve --model n.json --workers three").is_err());
         assert!(parse("serve --model n.json --queue-depth deep").is_err());
+        assert!(parse("serve --model n.json --cache-capacity lots").is_err());
+        assert!(parse("registry").is_err()); // action required
+        assert!(parse("registry frobnicate --dir d").is_err());
+        assert!(parse("registry stats").is_err()); // --dir required
+        assert!(parse("registry warm --dir d").is_err()); // --model required
+        assert!(parse("registry stats stray.txt --dir d").is_err());
         assert!(parse("query health --retries many").is_err());
         assert!(parse("query").is_err());
         assert!(parse("query frobnicate").is_err());
@@ -736,7 +1032,8 @@ mod tests {
         assert_eq!(
             parse(
                 "serve --model net.json --addr 0.0.0.0:9000 --workers 8 --adapt --timeout-ms 500 \
-                 --queue-depth 2 --max-conns 32 --io-timeout-ms 750 --work-delay-ms 10"
+                 --queue-depth 2 --max-conns 32 --io-timeout-ms 750 --work-delay-ms 10 \
+                 --cache-capacity 9 --cache-dir /var/cache/nrpm"
             )
             .unwrap(),
             Invocation::Serve {
@@ -749,6 +1046,8 @@ mod tests {
                 max_conns: 32,
                 io_timeout_ms: Some(750),
                 work_delay_ms: Some(10),
+                cache_capacity: 9,
+                cache_dir: Some("/var/cache/nrpm".into()),
             }
         );
         assert_eq!(
@@ -763,6 +1062,8 @@ mod tests {
                 max_conns: 256,
                 io_timeout_ms: None,
                 work_delay_ms: None,
+                cache_capacity: 1024,
+                cache_dir: None,
             }
         );
         assert_eq!(
@@ -799,6 +1100,187 @@ mod tests {
                 retries: 0,
             }
         );
+    }
+
+    #[test]
+    fn parses_registry_commands() {
+        assert_eq!(
+            parse("registry stats --dir /var/nrpm").unwrap(),
+            Invocation::Registry {
+                action: RegistryAction::Stats,
+                dir: "/var/nrpm".into(),
+                model: None,
+                files: vec![],
+                ref_name: None,
+                cache_capacity: 1024,
+                adapt: false,
+            }
+        );
+        assert_eq!(
+            parse("registry gc --dir d --cache-capacity 16").unwrap(),
+            Invocation::Registry {
+                action: RegistryAction::Gc,
+                dir: "d".into(),
+                model: None,
+                files: vec![],
+                ref_name: None,
+                cache_capacity: 16,
+                adapt: false,
+            }
+        );
+        assert_eq!(
+            parse("registry warm --dir d --model n.json a.txt b.json --ref best --adapt").unwrap(),
+            Invocation::Registry {
+                action: RegistryAction::Warm,
+                dir: "d".into(),
+                model: Some("n.json".into()),
+                files: vec!["a.txt".into(), "b.json".into()],
+                ref_name: Some("best".into()),
+                cache_capacity: 1024,
+                adapt: true,
+            }
+        );
+        assert!(matches!(
+            parse("registry verify --dir d").unwrap(),
+            Invocation::Registry {
+                action: RegistryAction::Verify,
+                ..
+            }
+        ));
+    }
+
+    /// End-to-end `registry` lifecycle: warm a cache directory from the
+    /// CLI, inspect and verify it, gc an unreferenced checkpoint — then
+    /// prove a server over the same checkpoint answers from the warmed
+    /// journal without a single modeler run.
+    #[test]
+    fn registry_warm_feeds_a_server_cache() {
+        use nrpm_core::preprocess::NUM_INPUTS;
+        use nrpm_nn::NetworkConfig;
+
+        let dir =
+            std::env::temp_dir().join(format!("nrpm_cli_registry_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache_dir = dir.join("registry");
+        std::fs::create_dir_all(&cache_dir).unwrap();
+
+        let net_path = dir.join("net.json");
+        let network = Network::new(
+            &NetworkConfig::new(&[NUM_INPUTS, 16, nrpm_extrap::NUM_CLASSES]),
+            7,
+        );
+        network.save(&net_path).unwrap();
+
+        let data = dir.join("linear.txt");
+        let mut text = String::from("PARAMS 1 processes\n");
+        for x in [4, 8, 16, 32, 64] {
+            text.push_str(&format!("POINT {x} DATA {} {}\n", 2 * x, 2 * x));
+        }
+        std::fs::write(&data, text).unwrap();
+
+        let warm = |files: Vec<PathBuf>| {
+            run(&Invocation::Registry {
+                action: RegistryAction::Warm,
+                dir: cache_dir.clone(),
+                model: Some(net_path.clone()),
+                files,
+                ref_name: None,
+                cache_capacity: 1024,
+                adapt: false,
+            })
+        };
+        let maintain = |action| {
+            run(&Invocation::Registry {
+                action,
+                dir: cache_dir.clone(),
+                model: None,
+                files: vec![],
+                ref_name: None,
+                cache_capacity: 1024,
+                adapt: false,
+            })
+        };
+
+        let warmed = warm(vec![data.clone()]).unwrap();
+        assert!(warmed.contains("warmed 1 outcome(s)"), "{warmed}");
+        assert!(warmed.contains("(ref default)"), "{warmed}");
+
+        // Idempotent: the outcome is already journaled.
+        let again = warm(vec![data.clone()]).unwrap();
+        assert!(
+            again.contains("warmed 0 outcome(s), 1 already cached"),
+            "{again}"
+        );
+
+        let stats = maintain(RegistryAction::Stats).unwrap();
+        assert!(stats.contains("checkpoints:   1"), "{stats}");
+        assert!(stats.contains("default ->"), "{stats}");
+        assert!(stats.contains("cache journal: 1 records"), "{stats}");
+
+        let verified = maintain(RegistryAction::Verify).unwrap();
+        assert!(verified.contains("registry clean"), "{verified}");
+
+        // An unreferenced checkpoint is swept by gc; the referenced one and
+        // the journal survive.
+        let registry = CheckpointRegistry::open(&cache_dir).unwrap();
+        let stray = registry
+            .put(&Network::new(
+                &NetworkConfig::new(&[NUM_INPUTS, 16, nrpm_extrap::NUM_CLASSES]),
+                8,
+            ))
+            .unwrap();
+        let swept = maintain(RegistryAction::Gc).unwrap();
+        assert!(swept.contains(&hex16(stray)), "{swept}");
+        assert!(swept.contains("checkpoints removed: 1"), "{swept}");
+        assert!(swept.contains("compacted: 1 -> 1 records"), "{swept}");
+
+        // The warmed journal is a real serving cache: a server over the
+        // same checkpoint answers the same request without modeling.
+        let store = ModelStore::open(&net_path, AdaptiveOptions::default()).unwrap();
+        let server = Server::start(
+            "127.0.0.1:0",
+            store,
+            ServeOptions {
+                workers: 1,
+                cache_dir: Some(cache_dir.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+        let modeled = run(&Invocation::Query {
+            what: QueryKind::Model,
+            addr: addr.clone(),
+            files: vec![data.clone()],
+            at: Some(vec![1024.0]),
+            timeout_ms: Some(30_000),
+            retries: 0,
+        })
+        .unwrap();
+        assert!(modeled.contains("2048"), "{modeled}");
+        let stats = run(&Invocation::Query {
+            what: QueryKind::Stats,
+            addr: addr.clone(),
+            files: vec![],
+            at: None,
+            timeout_ms: Some(30_000),
+            retries: 0,
+        })
+        .unwrap();
+        assert!(stats.contains("\"kernels_modeled\": 0"), "{stats}");
+        assert!(stats.contains("\"cache_hits\": 1"), "{stats}");
+        run(&Invocation::Query {
+            what: QueryKind::Shutdown,
+            addr,
+            files: vec![],
+            at: None,
+            timeout_ms: Some(30_000),
+            retries: 0,
+        })
+        .unwrap();
+        server.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

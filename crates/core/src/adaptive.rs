@@ -95,7 +95,11 @@ impl AdaptiveOptions {
 }
 
 /// The full outcome of an adaptive modeling run.
-#[derive(Debug, Clone)]
+///
+/// Serializable so outcomes can be memoized on disk (`nrpm-registry`'s
+/// result cache): the JSON round trip is bit-stable for every float, so a
+/// recovered outcome is indistinguishable from a freshly computed one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AdaptiveOutcome {
     /// The selected model and its scores.
     pub result: ModelingResult,
@@ -631,6 +635,45 @@ mod tests {
                 (want, got) => panic!("outcome mismatch: {want:?} vs {got:?}"),
             }
         }
+    }
+
+    #[test]
+    fn outcomes_round_trip_bit_stably_through_json() {
+        use serde::{Deserialize as _, Serialize as _};
+        let mut opts = tiny_options();
+        opts.use_domain_adaptation = false;
+        let mut modeler = AdaptiveModeler::pretrained(opts);
+        let outcome = modeler.model(&noisy_set(0.2, 3)).unwrap();
+
+        let text = serde_json::to_string(&outcome.to_value()).unwrap();
+        let back = AdaptiveOutcome::from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+
+        // Bit-stability is what lets the persistent result cache hand back
+        // a recovered outcome as if it were freshly computed.
+        assert_eq!(
+            back.result.cv_smape.to_bits(),
+            outcome.result.cv_smape.to_bits()
+        );
+        assert_eq!(
+            back.result.fit_smape.to_bits(),
+            outcome.result.fit_smape.to_bits()
+        );
+        assert_eq!(back.noise.mean().to_bits(), outcome.noise.mean().to_bits());
+        assert_eq!(back.threshold.to_bits(), outcome.threshold.to_bits());
+        assert_eq!(back.choice, outcome.choice);
+        assert_eq!(
+            back.result.model.to_string(),
+            outcome.result.model.to_string()
+        );
+        assert_eq!(
+            back.result.model.evaluate(&[128.0]).to_bits(),
+            outcome.result.model.evaluate(&[128.0]).to_bits()
+        );
+        assert_eq!(back.quality, outcome.quality);
+        assert_eq!(
+            back.regression_result.is_some(),
+            outcome.regression_result.is_some()
+        );
     }
 
     #[test]

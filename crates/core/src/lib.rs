@@ -39,6 +39,7 @@
 
 pub mod adaptive;
 pub mod dnn;
+pub mod fingerprint;
 pub mod metrics;
 pub mod noise;
 pub mod preprocess;

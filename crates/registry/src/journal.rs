@@ -1,0 +1,552 @@
+//! A crash-safe, append-only journal of `fingerprint → value` records.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! [8-byte magic "NRPMJRN1"]
+//! [record]*
+//!
+//! record := [u32 payload_len LE] [u64 fnv1a64(payload) LE] [payload]
+//! payload := JSON `[key, value]`
+//! ```
+//!
+//! The payload is JSON so journals are inspectable with standard tools
+//! (`tail -c +9 cache.journal | …`), while the binary frame gives exact
+//! lengths and a checksum without trusting the payload's own syntax.
+//!
+//! ## Crash-recovery contract
+//!
+//! Appends are buffered-write + flush; a crash (or `kill -9`) can leave a
+//! *torn tail*: a final record whose frame or payload is incomplete. On
+//! [`Journal::open`] the file is scanned front to back and the journal is
+//! truncated at the first record that fails validation — every record
+//! before it is returned intact, everything from it on is dropped. Framing
+//! is length-prefixed, so nothing after a bad record can be trusted;
+//! truncation (not skipping) is the only safe repair. The repair itself is
+//! an `ftruncate`, so a crash *during recovery* at worst leaves the same
+//! torn tail to be found again.
+//!
+//! Compaction rewrites the live set into a temp file in the same directory
+//! and atomically renames it over the journal, so readers never observe a
+//! partially compacted file.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use nrpm_core::fingerprint::bytes_hash;
+use serde::{Deserialize, Serialize};
+
+/// File magic: identifies an nrpm journal, version 1.
+pub const MAGIC: &[u8; 8] = b"NRPMJRN1";
+
+/// Frame overhead per record: 4-byte length + 8-byte checksum.
+const FRAME_BYTES: usize = 12;
+
+/// Upper bound on a single record's payload; a length prefix beyond this is
+/// treated as corruption rather than an allocation request.
+const MAX_PAYLOAD_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Why [`Journal`] operations fail.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file exists but does not start with the journal magic — refusing
+    /// to append to (or truncate!) something that is not a journal.
+    NotAJournal(PathBuf),
+    /// A value failed to serialize or deserialize.
+    Codec(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::NotAJournal(p) => {
+                write!(f, "{} is not an nrpm journal (bad magic)", p.display())
+            }
+            JournalError::Codec(msg) => write!(f, "journal codec error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// What [`Journal::open`] found and did while replaying an existing file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records replayed intact.
+    pub records: usize,
+    /// Bytes dropped from a torn or corrupt tail (0 for a clean file).
+    pub truncated_bytes: u64,
+    /// Whether a repair truncation was performed.
+    pub repaired: bool,
+}
+
+/// Scan outcome of one record frame.
+enum Frame {
+    Good { payload_end: u64, payload: Vec<u8> },
+    Bad,
+    End,
+}
+
+fn scan_frame(bytes: &[u8], offset: usize) -> Frame {
+    let remaining = &bytes[offset..];
+    if remaining.is_empty() {
+        return Frame::End;
+    }
+    if remaining.len() < FRAME_BYTES {
+        return Frame::Bad; // torn frame header
+    }
+    let len = u32::from_le_bytes(remaining[0..4].try_into().unwrap());
+    if len > MAX_PAYLOAD_BYTES {
+        return Frame::Bad; // implausible length ⇒ corrupt frame
+    }
+    let checksum = u64::from_le_bytes(remaining[4..12].try_into().unwrap());
+    let len = len as usize;
+    if remaining.len() < FRAME_BYTES + len {
+        return Frame::Bad; // torn payload
+    }
+    let payload = &remaining[FRAME_BYTES..FRAME_BYTES + len];
+    if bytes_hash(payload) != checksum {
+        return Frame::Bad; // bit rot or interleaved torn write
+    }
+    Frame::Good {
+        payload_end: (offset + FRAME_BYTES + len) as u64,
+        payload: payload.to_vec(),
+    }
+}
+
+/// An append-only journal of `(u64, V)` records. See the [module
+/// docs](self) for the format and crash-recovery contract.
+#[derive(Debug)]
+pub struct Journal<V> {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    records: usize,
+    _marker: std::marker::PhantomData<V>,
+}
+
+impl<V: Serialize + Deserialize> Journal<V> {
+    /// Opens (creating if absent) the journal at `path`, replaying every
+    /// intact record and repairing a torn tail in place.
+    pub fn open(
+        path: impl Into<PathBuf>,
+    ) -> Result<(Self, Vec<(u64, V)>, RecoveryReport), JournalError> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        if bytes.is_empty() {
+            file.write_all(MAGIC)?;
+            file.flush()?;
+            return Ok((
+                Journal {
+                    path,
+                    writer: BufWriter::new(file),
+                    records: 0,
+                    _marker: std::marker::PhantomData,
+                },
+                Vec::new(),
+                RecoveryReport::default(),
+            ));
+        }
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(JournalError::NotAJournal(path));
+        }
+
+        let mut entries = Vec::new();
+        let mut good_end = MAGIC.len() as u64;
+        let mut repaired = false;
+        let mut offset = MAGIC.len();
+        loop {
+            match scan_frame(&bytes, offset) {
+                Frame::End => break,
+                Frame::Bad => {
+                    repaired = true;
+                    break;
+                }
+                Frame::Good {
+                    payload_end,
+                    payload,
+                } => {
+                    // A record that frames correctly but no longer decodes
+                    // (e.g. the value schema changed) also ends the trusted
+                    // prefix — same repair as a torn tail.
+                    let text = match std::str::from_utf8(&payload) {
+                        Ok(t) => t,
+                        Err(_) => {
+                            repaired = true;
+                            break;
+                        }
+                    };
+                    match serde_json::from_str::<(u64, V)>(text) {
+                        Ok(entry) => entries.push(entry),
+                        Err(_) => {
+                            repaired = true;
+                            break;
+                        }
+                    }
+                    good_end = payload_end;
+                    offset = payload_end as usize;
+                }
+            }
+        }
+
+        let truncated_bytes = bytes.len() as u64 - good_end;
+        if repaired {
+            file.set_len(good_end)?;
+        }
+        file.seek(SeekFrom::Start(good_end))?;
+
+        let report = RecoveryReport {
+            records: entries.len(),
+            truncated_bytes: if repaired { truncated_bytes } else { 0 },
+            repaired,
+        };
+        Ok((
+            Journal {
+                path,
+                writer: BufWriter::new(file),
+                records: entries.len(),
+                _marker: std::marker::PhantomData,
+            },
+            entries,
+            report,
+        ))
+    }
+
+    /// Appends one record and flushes it to the OS.
+    pub fn append(&mut self, key: u64, value: &V) -> Result<(), JournalError> {
+        let payload =
+            serde_json::to_string(&(key, value)).map_err(|e| JournalError::Codec(e.to_string()))?;
+        let payload = payload.as_bytes();
+        let len = u32::try_from(payload.len())
+            .ok()
+            .filter(|&l| l <= MAX_PAYLOAD_BYTES)
+            .ok_or_else(|| JournalError::Codec("record payload too large".into()))?;
+        self.writer.write_all(&len.to_le_bytes())?;
+        self.writer.write_all(&bytes_hash(payload).to_le_bytes())?;
+        self.writer.write_all(payload)?;
+        self.writer.flush()?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Rewrites the journal to contain exactly `entries`, via a temp file
+    /// and an atomic rename. Dropped records (evicted or superseded keys)
+    /// are how the journal shrinks.
+    pub fn compact(&mut self, entries: &[(u64, &V)]) -> Result<(), JournalError> {
+        let tmp_path = self.path.with_extension("journal.tmp");
+        {
+            let mut tmp = BufWriter::new(File::create(&tmp_path)?);
+            tmp.write_all(MAGIC)?;
+            for (key, value) in entries {
+                let payload = serde_json::to_string(&(*key, *value))
+                    .map_err(|e| JournalError::Codec(e.to_string()))?;
+                let payload = payload.as_bytes();
+                tmp.write_all(&(payload.len() as u32).to_le_bytes())?;
+                tmp.write_all(&bytes_hash(payload).to_le_bytes())?;
+                tmp.write_all(payload)?;
+            }
+            tmp.flush()?;
+            tmp.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        // The old handle still points at the unlinked pre-compaction file;
+        // reopen in append position on the new one.
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.writer = BufWriter::new(file);
+        self.records = entries.len();
+        Ok(())
+    }
+
+    /// Forces buffered appends and file metadata to stable storage.
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()?;
+        Ok(())
+    }
+
+    /// Records appended or replayed through this handle (pre-compaction
+    /// duplicates included).
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Scans the journal at `path` read-only: replays every record exactly
+    /// like [`Journal::open`] but never repairs. The `repaired` flag in the
+    /// returned report means "a repair *would* truncate `truncated_bytes`".
+    pub fn verify(path: impl AsRef<Path>) -> Result<RecoveryReport, JournalError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)?;
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(JournalError::NotAJournal(path.to_path_buf()));
+        }
+        let mut records = 0usize;
+        let mut good_end = MAGIC.len() as u64;
+        let mut damaged = false;
+        let mut offset = MAGIC.len();
+        loop {
+            match scan_frame(&bytes, offset) {
+                Frame::End => break,
+                Frame::Bad => {
+                    damaged = true;
+                    break;
+                }
+                Frame::Good {
+                    payload_end,
+                    payload,
+                } => {
+                    let ok = std::str::from_utf8(&payload)
+                        .ok()
+                        .and_then(|t| serde_json::from_str::<(u64, V)>(t).ok())
+                        .is_some();
+                    if !ok {
+                        damaged = true;
+                        break;
+                    }
+                    records += 1;
+                    good_end = payload_end;
+                    offset = payload_end as usize;
+                }
+            }
+        }
+        Ok(RecoveryReport {
+            records,
+            truncated_bytes: if damaged {
+                bytes.len() as u64 - good_end
+            } else {
+                0
+            },
+            repaired: damaged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type TestJournal = Journal<Vec<f64>>;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "nrpm-journal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trips_records_across_reopen() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("cache.journal");
+        {
+            let (mut journal, entries, report) = TestJournal::open(&path).unwrap();
+            assert!(entries.is_empty());
+            assert!(!report.repaired);
+            journal.append(1, &vec![1.0, 2.0]).unwrap();
+            journal.append(2, &vec![-0.5]).unwrap();
+        }
+        let (journal, entries, report) = TestJournal::open(&path).unwrap();
+        assert_eq!(journal.records(), 2);
+        assert!(!report.repaired);
+        assert_eq!(entries, vec![(1, vec![1.0, 2.0]), (2, vec![-0.5])]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_intact_records_survive() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("cache.journal");
+        {
+            let (mut journal, _, _) = TestJournal::open(&path).unwrap();
+            journal.append(10, &vec![1.0]).unwrap();
+            journal.append(20, &vec![2.0]).unwrap();
+            journal.append(30, &vec![3.0]).unwrap();
+        }
+        // Simulate a crash mid-append: chop the last record in half.
+        let full = std::fs::read(&path).unwrap();
+        let torn_len = full.len() - 7;
+        std::fs::write(&path, &full[..torn_len]).unwrap();
+
+        let (journal, entries, report) = TestJournal::open(&path).unwrap();
+        assert_eq!(entries, vec![(10, vec![1.0]), (20, vec![2.0])]);
+        assert!(report.repaired);
+        assert!(report.truncated_bytes > 0);
+        drop(journal);
+
+        // The repair is durable: a second open sees a clean file.
+        let (_, entries, report) = TestJournal::open(&path).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(!report.repaired);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_mismatch_ends_the_trusted_prefix() {
+        let dir = tmp_dir("bitrot");
+        let path = dir.join("cache.journal");
+        {
+            let (mut journal, _, _) = TestJournal::open(&path).unwrap();
+            journal.append(1, &vec![1.0]).unwrap();
+            journal.append(2, &vec![2.0]).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01; // flip one payload bit of the final record
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, entries, report) = TestJournal::open(&path).unwrap();
+        assert_eq!(entries, vec![(1, vec![1.0])]);
+        assert!(report.repaired);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_after_recovery_continues_the_journal() {
+        let dir = tmp_dir("resume");
+        let path = dir.join("cache.journal");
+        {
+            let (mut journal, _, _) = TestJournal::open(&path).unwrap();
+            journal.append(1, &vec![1.0]).unwrap();
+            journal.append(2, &vec![2.0]).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+
+        {
+            let (mut journal, entries, _) = TestJournal::open(&path).unwrap();
+            assert_eq!(entries.len(), 1);
+            journal.append(3, &vec![3.0]).unwrap();
+        }
+        let (_, entries, report) = TestJournal::open(&path).unwrap();
+        assert_eq!(entries, vec![(1, vec![1.0]), (3, vec![3.0])]);
+        assert!(!report.repaired);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_drops_superseded_records_atomically() {
+        let dir = tmp_dir("compact");
+        let path = dir.join("cache.journal");
+        let (mut journal, _, _) = TestJournal::open(&path).unwrap();
+        for i in 0..10u64 {
+            journal.append(i, &vec![i as f64]).unwrap();
+        }
+        let keep_a = vec![7.0];
+        let keep_b = vec![9.0];
+        journal.compact(&[(7, &keep_a), (9, &keep_b)]).unwrap();
+        assert_eq!(journal.records(), 2);
+        journal.append(11, &vec![11.0]).unwrap();
+        drop(journal);
+
+        let (_, entries, report) = TestJournal::open(&path).unwrap();
+        assert_eq!(
+            entries,
+            vec![(7, vec![7.0]), (9, vec![9.0]), (11, vec![11.0])]
+        );
+        assert!(!report.repaired);
+        assert!(!path.with_extension("journal.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refuses_to_open_a_non_journal_file() {
+        let dir = tmp_dir("magic");
+        let path = dir.join("not-a-journal");
+        std::fs::write(&path, b"hello world, definitely json").unwrap();
+        match TestJournal::open(&path) {
+            Err(JournalError::NotAJournal(_)) => {}
+            other => panic!("expected NotAJournal, got {other:?}"),
+        }
+        // And crucially: the impostor file was not truncated.
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"hello world, definitely json"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_reports_damage_without_repairing() {
+        let dir = tmp_dir("verify");
+        let path = dir.join("cache.journal");
+        {
+            let (mut journal, _, _) = TestJournal::open(&path).unwrap();
+            journal.append(1, &vec![1.0]).unwrap();
+            journal.append(2, &vec![2.0]).unwrap();
+        }
+        let clean = TestJournal::verify(&path).unwrap();
+        assert_eq!(clean.records, 2);
+        assert!(!clean.repaired);
+
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        let damaged = TestJournal::verify(&path).unwrap();
+        assert_eq!(damaged.records, 1);
+        assert!(damaged.repaired);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            before,
+            "verify must not write"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_truncation_point_recovers_a_prefix() {
+        // Property-style sweep: cut the file at every byte offset and check
+        // that recovery yields exactly the records whose frames fit.
+        let dir = tmp_dir("sweep");
+        let path = dir.join("cache.journal");
+        {
+            let (mut journal, _, _) = TestJournal::open(&path).unwrap();
+            for i in 0..4u64 {
+                journal.append(i, &vec![i as f64, 0.5]).unwrap();
+            }
+        }
+        let full = std::fs::read(&path).unwrap();
+        for cut in MAGIC.len()..=full.len() {
+            let case = dir.join(format!("cut-{cut}.journal"));
+            std::fs::write(&case, &full[..cut]).unwrap();
+            let (_, entries, _) = TestJournal::open(&case).unwrap();
+            for (i, (key, value)) in entries.iter().enumerate() {
+                assert_eq!(*key, i as u64);
+                assert_eq!(value, &vec![i as f64, 0.5]);
+            }
+            assert!(entries.len() <= 4);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,44 @@
+//! Content-addressed model registry and crash-safe memoized result cache.
+//!
+//! Modeling a kernel through the adaptive pipeline costs milliseconds to
+//! seconds (cross-validated fits, optionally domain adaptation); looking
+//! up a previous answer costs microseconds. This crate makes the lookup
+//! safe to rely on:
+//!
+//! * [`lru`] — a sharded in-memory LRU keyed by the canonical fingerprints
+//!   of [`nrpm_core::fingerprint`], with hit/miss/eviction counters;
+//! * [`journal`] — an append-only, checksummed on-disk record log with
+//!   torn-tail crash recovery and atomic-rename compaction;
+//! * [`cache`] — the two combined: [`cache::ResultCache`] memoizes
+//!   `fingerprint → outcome` across restarts;
+//! * [`checkpoints`] — a content-addressed store of trained networks with
+//!   named refs (`default`, `best`), `verify`, and `gc`;
+//! * [`singleflight`] — request deduplication so N concurrent identical
+//!   requests compute once and share the answer.
+//!
+//! The serving layer (`nrpm-serve`) wires these together: cache before
+//! model, single-flight around the model path, journal under the cache.
+//!
+//! ```
+//! use nrpm_registry::cache::ResultCache;
+//!
+//! let cache: ResultCache<f64> = ResultCache::in_memory(1024, 8);
+//! assert_eq!(cache.get(42), None);
+//! cache.insert(42, 1.25).unwrap();
+//! assert_eq!(cache.get(42), Some(1.25));
+//! assert_eq!(cache.stats().lru.hits, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod checkpoints;
+pub mod journal;
+pub mod lru;
+pub mod singleflight;
+
+pub use cache::{CacheStats, ResultCache};
+pub use checkpoints::{hex16, parse_hex16, CheckpointRegistry, RegistryError, VerifyOutcome};
+pub use journal::{Journal, JournalError, RecoveryReport};
+pub use lru::{LruStats, ShardedLru};
+pub use singleflight::{Joined, SingleFlight};

@@ -1,0 +1,273 @@
+//! A sharded, thread-safe LRU cache over `u64` fingerprints.
+//!
+//! The cache front-ends the persistent journal on the serving hot path, so
+//! the design goals are (in order): no contention collapse under many
+//! concurrent readers, strict capacity bounds, and cheap observability.
+//! Keys are hashed fingerprints ([`nrpm_core::fingerprint`]), already
+//! uniformly distributed, so the shard index is just the key's low bits.
+//!
+//! Recency is tracked with a per-shard logical clock: every hit stamps the
+//! entry with the shard's next tick, and eviction removes the entry with
+//! the smallest stamp. Eviction scans its shard — `O(capacity/shards)` —
+//! which for serving-sized caches (thousands of entries, 8+ shards) is a
+//! few hundred comparisons on the *miss* path only; the hit path stays a
+//! single `HashMap` probe under a per-shard lock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Live counters of one [`ShardedLru`], shared across shards.
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A point-in-time view of a cache's counters and occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LruStats {
+    /// Lookups that found their key.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries inserted (overwrites of an existing key count too).
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+}
+
+#[derive(Debug)]
+struct Shard<V> {
+    map: HashMap<u64, (V, u64)>,
+    tick: u64,
+}
+
+/// A sharded LRU map from `u64` keys to cloneable values. See the
+/// [module docs](self) for the locking and eviction model.
+#[derive(Debug)]
+pub struct ShardedLru<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    per_shard_capacity: usize,
+    counters: Counters,
+}
+
+impl<V: Clone> ShardedLru<V> {
+    /// A cache holding at most `capacity` entries across `shards` shards.
+    /// Both are clamped to at least 1; capacity is rounded up to a multiple
+    /// of the shard count so every shard gets an equal share.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard_capacity = capacity.max(1).div_ceil(shards);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            per_shard_capacity,
+            counters: Counters::default(),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard<V>> {
+        &self.shards[(key as usize) % self.shards.len()]
+    }
+
+    fn lock(&self, key: u64) -> std::sync::MutexGuard<'_, Shard<V>> {
+        // The critical sections only mutate the map and the tick; a panic
+        // cannot leave them inconsistent, so recover from poisoning rather
+        // than cascading one crashed thread into a dead cache.
+        self.shard(key)
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&self, key: u64) -> Option<V> {
+        let mut shard = self.lock(key);
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(&key) {
+            Some((value, last_used)) => {
+                *last_used = tick;
+                let value = value.clone();
+                drop(shard);
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(shard);
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or overwrites) `key`, evicting the shard's least recently
+    /// used entry if the shard is at capacity.
+    pub fn insert(&self, key: u64, value: V) {
+        let mut evicted = false;
+        {
+            let mut shard = self.lock(key);
+            shard.tick += 1;
+            let tick = shard.tick;
+            if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard_capacity {
+                if let Some(&victim) = shard
+                    .map
+                    .iter()
+                    .min_by_key(|(_, (_, last_used))| *last_used)
+                    .map(|(k, _)| k)
+                {
+                    shard.map.remove(&victim);
+                    evicted = true;
+                }
+            }
+            shard.map.insert(key, (value, tick));
+        }
+        self.counters.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted {
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .map
+                    .len()
+            })
+            .sum()
+    }
+
+    /// `true` when no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum resident entries (shard count × per-shard share).
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
+    /// Snapshot of the counters and occupancy.
+    pub fn stats(&self) -> LruStats {
+        LruStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            insertions: self.counters.insertions.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+            capacity: self.capacity(),
+        }
+    }
+
+    /// Every resident `(key, value)`, in unspecified order (journal
+    /// compaction and tests).
+    pub fn entries(&self) -> Vec<(u64, V)> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .map
+                    .iter()
+                    .map(|(&k, (v, _))| (k, v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let cache = ShardedLru::new(8, 2);
+        assert_eq!(cache.get(1), None);
+        cache.insert(1, "a");
+        assert_eq!(cache.get(1), Some("a"));
+        cache.insert(1, "b"); // overwrite
+        assert_eq!(cache.get(1), Some("b"));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 2);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn eviction_removes_the_least_recently_used() {
+        // One shard so the LRU order is global and deterministic.
+        let cache = ShardedLru::new(2, 1);
+        cache.insert(1, 1);
+        cache.insert(2, 2);
+        assert_eq!(cache.get(1), Some(1)); // refresh 1 → victim is 2
+        cache.insert(3, 3);
+        assert_eq!(cache.get(2), None, "the stale entry must be evicted");
+        assert_eq!(cache.get(1), Some(1));
+        assert_eq!(cache.get(3), Some(3));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced_per_shard() {
+        let cache = ShardedLru::new(16, 4);
+        for key in 0..1000u64 {
+            cache.insert(key, key);
+        }
+        assert!(cache.len() <= cache.capacity(), "{}", cache.len());
+        assert_eq!(cache.capacity(), 16);
+        assert_eq!(cache.stats().evictions, 1000 - cache.len() as u64);
+    }
+
+    #[test]
+    fn zero_capacity_still_works_as_a_one_entry_cache() {
+        let cache = ShardedLru::new(0, 0);
+        cache.insert(7, "x");
+        assert_eq!(cache.get(7), Some("x"));
+        assert_eq!(cache.capacity(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_stays_consistent() {
+        let cache = Arc::new(ShardedLru::new(64, 8));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let key = (t * 131 + i) % 96;
+                        cache.insert(key, key * 2);
+                        if let Some(v) = cache.get(key) {
+                            assert_eq!(v % 2, 0);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= cache.capacity());
+        assert_eq!(stats.insertions, 8 * 500);
+    }
+}

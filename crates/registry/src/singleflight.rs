@@ -1,0 +1,300 @@
+//! Single-flight deduplication: N concurrent requests for the same key do
+//! the work once.
+//!
+//! The first caller to [`SingleFlight::join`] a key becomes the *leader*
+//! and receives a [`Leader`] guard; everyone else joining before the
+//! leader publishes becomes a *follower* and blocks (bounded by its own
+//! deadline) on the leader's result. The leader computes, then calls
+//! [`Leader::publish`]; every waiting follower receives a clone.
+//!
+//! Liveness is unconditional: the guard's `Drop` publishes a failure if
+//! the leader never published (panic, early return, request timeout), so
+//! followers cannot wait forever on an abandoned flight. A follower that
+//! observes failure — or whose own deadline expires first — falls back to
+//! doing the work itself; deduplication is an optimization, never a
+//! correctness dependency.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+enum FlightState<T> {
+    Pending,
+    Done(Option<T>),
+}
+
+struct Flight<T> {
+    state: Mutex<FlightState<T>>,
+    published: Condvar,
+}
+
+/// What [`SingleFlight::join`] resolved to.
+pub enum Joined<'a, T> {
+    /// This caller does the work; it must [`Leader::publish`] (or drop the
+    /// guard, which publishes failure).
+    Leader(Leader<'a, T>),
+    /// A leader published this value while we waited.
+    Shared(T),
+    /// The flight's leader gave up without a value — do the work yourself.
+    LeaderFailed,
+    /// Our own deadline expired before the leader published.
+    TimedOut,
+}
+
+/// The leader's obligation to publish. See [`Joined::Leader`].
+pub struct Leader<'a, T> {
+    flights: &'a SingleFlight<T>,
+    key: u64,
+    flight: Arc<Flight<T>>,
+    done: bool,
+}
+
+impl<T: Clone> Leader<'_, T> {
+    /// Hands `value` to every waiting follower and retires the flight.
+    pub fn publish(mut self, value: T) {
+        self.finish(Some(value));
+    }
+
+    /// Retires the flight without a value; followers fall back to their
+    /// own computation.
+    pub fn abandon(mut self) {
+        self.finish(None);
+    }
+
+    fn finish(&mut self, value: Option<T>) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        // Retire the key first so a caller arriving after publication
+        // starts a fresh flight instead of reading a stale one.
+        self.flights
+            .map
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .remove(&self.key);
+        *self
+            .flight
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = FlightState::Done(value);
+        self.flight.published.notify_all();
+    }
+}
+
+impl<T> Drop for Leader<'_, T> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.done = true;
+            self.flights
+                .map
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .remove(&self.key);
+            *self
+                .flight
+                .state
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()) = FlightState::Done(None);
+            self.flight.published.notify_all();
+        }
+    }
+}
+
+/// The flight table. One instance deduplicates one keyspace; keys are the
+/// cache's combined fingerprints.
+pub struct SingleFlight<T> {
+    map: Mutex<HashMap<u64, Arc<Flight<T>>>>,
+}
+
+impl<T: Clone> Default for SingleFlight<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> SingleFlight<T> {
+    /// An empty flight table.
+    pub fn new() -> Self {
+        SingleFlight {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Joins the flight for `key`: leads it if nobody is, otherwise waits
+    /// up to `timeout` for the leader's result.
+    pub fn join(&self, key: u64, timeout: Duration) -> Joined<'_, T> {
+        let flight = {
+            let mut map = self
+                .map
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            match map.get(&key) {
+                Some(flight) => Arc::clone(flight),
+                None => {
+                    let flight = Arc::new(Flight {
+                        state: Mutex::new(FlightState::Pending),
+                        published: Condvar::new(),
+                    });
+                    map.insert(key, Arc::clone(&flight));
+                    return Joined::Leader(Leader {
+                        flights: self,
+                        key,
+                        flight,
+                        done: false,
+                    });
+                }
+            }
+        };
+
+        let deadline = Instant::now() + timeout;
+        let mut state = flight
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        loop {
+            match &*state {
+                FlightState::Done(Some(value)) => return Joined::Shared(value.clone()),
+                FlightState::Done(None) => return Joined::LeaderFailed,
+                FlightState::Pending => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Joined::TimedOut;
+            }
+            let (next, wait) = flight
+                .published
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = next;
+            if wait.timed_out() {
+                // Re-check once: the leader may have published between the
+                // timeout and reacquiring the lock.
+                match &*state {
+                    FlightState::Done(Some(value)) => return Joined::Shared(value.clone()),
+                    FlightState::Done(None) => return Joined::LeaderFailed,
+                    FlightState::Pending => return Joined::TimedOut,
+                }
+            }
+        }
+    }
+
+    /// Flights currently pending (observability and tests).
+    pub fn pending(&self) -> usize {
+        self.map
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn leader_publishes_to_all_followers() {
+        let flights: Arc<SingleFlight<u64>> = Arc::new(SingleFlight::new());
+        let computed = Arc::new(AtomicUsize::new(0));
+        let shared = Arc::new(AtomicUsize::new(0));
+        let start = Arc::new(Barrier::new(8));
+
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let flights = Arc::clone(&flights);
+                let computed = Arc::clone(&computed);
+                let shared = Arc::clone(&shared);
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || {
+                    start.wait();
+                    match flights.join(42, Duration::from_secs(5)) {
+                        Joined::Leader(leader) => {
+                            std::thread::sleep(Duration::from_millis(30));
+                            computed.fetch_add(1, Ordering::SeqCst);
+                            leader.publish(1234);
+                            1234
+                        }
+                        Joined::Shared(v) => {
+                            shared.fetch_add(1, Ordering::SeqCst);
+                            v
+                        }
+                        Joined::LeaderFailed | Joined::TimedOut => {
+                            panic!("flight should have succeeded")
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1234);
+        }
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "exactly one leader");
+        assert_eq!(shared.load(Ordering::SeqCst), 7, "everyone else shared");
+        assert_eq!(flights.pending(), 0);
+    }
+
+    #[test]
+    fn dropped_leader_releases_followers_as_failed() {
+        let flights: Arc<SingleFlight<u64>> = Arc::new(SingleFlight::new());
+        let Joined::Leader(leader) = flights.join(7, Duration::from_secs(1)) else {
+            panic!("first join must lead");
+        };
+        let follower = {
+            let flights = Arc::clone(&flights);
+            std::thread::spawn(move || {
+                matches!(
+                    flights.join(7, Duration::from_secs(5)),
+                    Joined::LeaderFailed
+                )
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        drop(leader); // leader dies without publishing
+        assert!(follower.join().unwrap(), "follower must see LeaderFailed");
+        assert_eq!(flights.pending(), 0);
+    }
+
+    #[test]
+    fn follower_timeout_is_bounded_by_its_own_deadline() {
+        let flights: SingleFlight<u64> = SingleFlight::new();
+        let Joined::Leader(_leader) = flights.join(9, Duration::from_secs(1)) else {
+            panic!("first join must lead");
+        };
+        let begin = Instant::now();
+        let joined = flights.join(9, Duration::from_millis(40));
+        assert!(matches!(joined, Joined::TimedOut));
+        assert!(begin.elapsed() >= Duration::from_millis(40));
+        assert!(begin.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn a_retired_key_starts_a_fresh_flight() {
+        let flights: SingleFlight<u64> = SingleFlight::new();
+        let Joined::Leader(leader) = flights.join(1, Duration::from_secs(1)) else {
+            panic!();
+        };
+        leader.publish(10);
+        // Publication retires the key — no stale value is served.
+        assert!(matches!(
+            flights.join(1, Duration::from_secs(1)),
+            Joined::Leader(_)
+        ));
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let flights: SingleFlight<u64> = SingleFlight::new();
+        let Joined::Leader(a) = flights.join(1, Duration::from_secs(1)) else {
+            panic!();
+        };
+        let Joined::Leader(b) = flights.join(2, Duration::from_secs(1)) else {
+            panic!("a pending flight on key 1 must not block key 2");
+        };
+        assert_eq!(flights.pending(), 2);
+        a.publish(1);
+        b.publish(2);
+        assert_eq!(flights.pending(), 0);
+    }
+}

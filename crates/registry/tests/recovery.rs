@@ -1,0 +1,132 @@
+//! End-to-end crash-recovery test with real modeling outcomes: journal a
+//! set of `AdaptiveOutcome`s, tear the tail mid-record like a `kill -9`
+//! would, and prove the cache reopens with every intact record bit-stable.
+
+use std::path::PathBuf;
+
+use nrpm_core::adaptive::{AdaptiveModeler, AdaptiveOptions, AdaptiveOutcome};
+use nrpm_core::fingerprint::ModelKey;
+use nrpm_core::preprocess::NUM_INPUTS;
+use nrpm_extrap::{MeasurementSet, NUM_CLASSES};
+use nrpm_nn::{Network, NetworkConfig};
+use nrpm_registry::cache::{ResultCache, JOURNAL_FILE};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nrpm-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn linear_set(slope: f64) -> MeasurementSet {
+    let mut set = MeasurementSet::new(1);
+    for &x in &[4.0, 8.0, 16.0, 32.0, 64.0] {
+        set.add_repetitions(&[x], &[slope * x, slope * x * 1.01, slope * x * 0.99]);
+    }
+    set
+}
+
+/// Models `n` distinct kernels through the real adaptive pipeline
+/// (untrained network, adaptation off — deterministic and fast) and
+/// returns `(cache_key, outcome)` pairs.
+fn real_outcomes(n: usize) -> Vec<(u64, AdaptiveOutcome)> {
+    let network = Network::new(&NetworkConfig::new(&[NUM_INPUTS, 16, NUM_CLASSES]), 7);
+    let checkpoint_hash = nrpm_core::fingerprint::bytes_hash(network.to_json().as_bytes());
+    let mut modeler = AdaptiveModeler::from_network(
+        AdaptiveOptions {
+            use_domain_adaptation: false,
+            ..Default::default()
+        },
+        network,
+    );
+    (0..n)
+        .map(|i| {
+            let set = linear_set(1.0 + i as f64);
+            let key = ModelKey::new(&set, checkpoint_hash, false).combined();
+            let outcome = modeler.model(&set).expect("clean set models");
+            (key, outcome)
+        })
+        .collect()
+}
+
+fn assert_outcomes_bit_equal(a: &AdaptiveOutcome, b: &AdaptiveOutcome) {
+    assert_eq!(a.result.model.to_string(), b.result.model.to_string());
+    assert_eq!(a.result.cv_smape.to_bits(), b.result.cv_smape.to_bits());
+    assert_eq!(a.result.fit_smape.to_bits(), b.result.fit_smape.to_bits());
+    assert_eq!(a.noise.mean().to_bits(), b.noise.mean().to_bits());
+    assert_eq!(a.threshold.to_bits(), b.threshold.to_bits());
+    let x = [96.0];
+    assert_eq!(
+        a.result.model.evaluate(&x).to_bits(),
+        b.result.model.evaluate(&x).to_bits(),
+        "recovered model must predict bit-identically"
+    );
+}
+
+#[test]
+fn torn_journal_recovers_every_intact_outcome() {
+    let dir = tmp_dir("torn-outcomes");
+    let outcomes = real_outcomes(4);
+
+    {
+        let cache: ResultCache<AdaptiveOutcome> = ResultCache::persistent(64, 4, &dir).unwrap();
+        for (key, outcome) in &outcomes {
+            cache.insert(*key, outcome.clone()).unwrap();
+        }
+    }
+
+    // Tear the tail mid-record: drop the last 40% of the final record's
+    // bytes, the way an interrupted write or kill -9 mid-append would.
+    let journal = dir.join(JOURNAL_FILE);
+    let bytes = std::fs::read(&journal).unwrap();
+    std::fs::write(&journal, &bytes[..bytes.len() - 200]).unwrap();
+
+    let cache: ResultCache<AdaptiveOutcome> = ResultCache::persistent(64, 4, &dir).unwrap();
+    let stats = cache.stats();
+    assert!(stats.recovery.repaired, "tear must be detected");
+    assert_eq!(
+        stats.recovery.records, 3,
+        "exactly the intact prefix survives"
+    );
+
+    // The first three outcomes load and are bit-identical to the originals.
+    for (key, original) in &outcomes[..3] {
+        let recovered = cache.get(*key).expect("intact record must be served");
+        assert_outcomes_bit_equal(original, &recovered);
+    }
+    // The torn record is gone, not garbled.
+    assert!(cache.get(outcomes[3].0).is_none());
+
+    // Recovery repaired the file on disk: the next open is clean and new
+    // appends land after the repaired tail.
+    cache.insert(outcomes[3].0, outcomes[3].1.clone()).unwrap();
+    drop(cache);
+    let cache: ResultCache<AdaptiveOutcome> = ResultCache::persistent(64, 4, &dir).unwrap();
+    assert!(!cache.stats().recovery.repaired);
+    assert_eq!(cache.stats().recovery.records, 4);
+    assert_outcomes_bit_equal(
+        &outcomes[3].1,
+        &cache.get(outcomes[3].0).expect("re-appended record"),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn identical_sets_share_a_key_across_point_order() {
+    // The serving cache's correctness hinges on the fingerprint treating a
+    // measurement set as a set; prove it with the full key path.
+    let a = linear_set(2.0);
+    let mut b = MeasurementSet::new(1);
+    for &x in &[64.0, 4.0, 32.0, 8.0, 16.0] {
+        b.add_repetitions(&[x], &[2.0 * x, 2.0 * x * 1.01, 2.0 * x * 0.99]);
+    }
+    assert_eq!(
+        ModelKey::new(&a, 99, true).combined(),
+        ModelKey::new(&b, 99, true).combined()
+    );
+    assert_ne!(
+        ModelKey::new(&a, 99, true).combined(),
+        ModelKey::new(&a, 100, true).combined(),
+        "a new checkpoint must invalidate the cache"
+    );
+}

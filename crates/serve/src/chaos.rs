@@ -19,7 +19,8 @@
 //! protocol stays in sync — a corrupted stream must degrade requests, not
 //! silently misattribute answers.
 
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use crate::util::stream_rng;
+use rand::{rngs::StdRng, Rng};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -246,7 +247,7 @@ fn run_session(client: TcpStream, state: &Arc<ProxyState>) {
 /// socket error, proxy stop, or a terminal fault (truncate/reset) — and
 /// closes both sockets so the sibling pump exits too.
 fn pump(mut from: TcpStream, mut to: TcpStream, state: &Arc<ProxyState>, stream_id: u64) {
-    let mut rng = StdRng::seed_from_u64(state.opts.seed ^ stream_id.wrapping_mul(0x9e37_79b9));
+    let mut rng = stream_rng(state.opts.seed, stream_id);
     from.set_nonblocking(false).ok(); // may be inherited from the listener
     from.set_read_timeout(Some(POLL)).ok();
     let mut chunk = [0u8; 4096];

@@ -9,8 +9,9 @@
 //! the client from hammering a server that is actively shedding.
 
 use crate::protocol::Request;
+use crate::util::{decorrelated_jitter, stream_rng};
 use nrpm_extrap::MeasurementSet;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use rand::rngs::StdRng;
 use serde::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -269,7 +270,7 @@ impl RetryingClient {
     /// the first request.
     pub fn new(addr: SocketAddr, timeout: Duration, policy: RetryPolicy) -> RetryingClient {
         let breaker = CircuitBreaker::new(policy.breaker_threshold, policy.breaker_cooldown);
-        let rng = StdRng::seed_from_u64(policy.seed);
+        let rng = stream_rng(policy.seed, 0);
         RetryingClient {
             addr,
             timeout,
@@ -382,17 +383,14 @@ impl RetryingClient {
         conn.roundtrip_line(line)
     }
 
-    /// Decorrelated jitter (the AWS scheme): sleep uniformly in
-    /// `[base, previous * 3]`, capped at `max_backoff`. Spreads retrying
-    /// clients apart instead of letting them stampede in sync.
+    /// Decorrelated-jitter backoff; see [`crate::util::decorrelated_jitter`].
     fn next_backoff(&mut self, previous: Duration) -> Duration {
-        let base_ms = self.policy.base_backoff.as_millis().max(1) as u64;
-        let cap_ms = self.policy.max_backoff.as_millis().max(1) as u64;
-        let previous_ms = previous.as_millis().min(u128::from(u64::MAX / 3)) as u64;
-        let ceiling_ms = previous_ms
-            .saturating_mul(3)
-            .clamp(base_ms, cap_ms.max(base_ms));
-        Duration::from_millis(self.rng.gen_range(base_ms..=ceiling_ms))
+        decorrelated_jitter(
+            &mut self.rng,
+            previous,
+            self.policy.base_backoff,
+            self.policy.max_backoff,
+        )
     }
 }
 

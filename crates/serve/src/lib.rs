@@ -15,6 +15,12 @@
 //! backoff + jitter behind a circuit breaker ([`client`]), and a
 //! socket-level fault injector ([`chaos`]) proves it all in tests.
 //!
+//! Repeated work is elided before it reaches the modeler: answers are
+//! memoized in an `nrpm-registry` result cache keyed by the canonical
+//! measurement-set fingerprint plus the checkpoint's content hash, and
+//! concurrent identical requests are deduplicated with single-flight so
+//! a thundering herd models exactly once ([`server`]).
+//!
 //! ```no_run
 //! use nrpm_core::adaptive::AdaptiveOptions;
 //! use nrpm_serve::client::Client;
@@ -38,3 +44,4 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod store;
+pub mod util;

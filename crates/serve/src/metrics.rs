@@ -39,6 +39,10 @@ pub struct Metrics {
     choice_regression: AtomicU64,
     choice_constant_mean: AtomicU64,
     kernels_modeled: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_inserts: AtomicU64,
+    singleflight_shared: AtomicU64,
     batched_forward_calls: AtomicU64,
     batched_rows: AtomicU64,
     latency_buckets: [AtomicU64; NUM_BUCKETS],
@@ -151,6 +155,27 @@ impl Metrics {
         self.kernels_modeled.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a `model` request answered straight from the result cache.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a `model` request that missed the result cache.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a freshly modeled outcome entering the result cache.
+    pub fn record_cache_insert(&self) {
+        self.cache_inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request that shared a concurrent identical request's
+    /// answer through single-flight instead of modeling.
+    pub fn record_singleflight_shared(&self) {
+        self.singleflight_shared.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one coalesced DNN inference covering `rows` measurement
     /// lines. `forward_passes` is `0` when every line was degenerate.
     pub fn record_batched_inference(&self, forward_passes: usize, rows: usize) {
@@ -199,6 +224,10 @@ impl Metrics {
             choice_regression: get(&self.choice_regression),
             choice_constant_mean: get(&self.choice_constant_mean),
             kernels_modeled: get(&self.kernels_modeled),
+            cache_hits: get(&self.cache_hits),
+            cache_misses: get(&self.cache_misses),
+            cache_inserts: get(&self.cache_inserts),
+            singleflight_shared: get(&self.singleflight_shared),
             batched_forward_calls: get(&self.batched_forward_calls),
             batched_rows: get(&self.batched_rows),
             latency_bucket_bounds_ms: LATENCY_BUCKETS_MS.to_vec(),
@@ -255,6 +284,15 @@ pub struct MetricsSnapshot {
     pub choice_constant_mean: u64,
     /// Kernels modeled successfully in total.
     pub kernels_modeled: u64,
+    /// `model` requests answered from the result cache (no modeling).
+    pub cache_hits: u64,
+    /// `model` requests that missed the result cache.
+    pub cache_misses: u64,
+    /// Freshly modeled outcomes inserted into the result cache.
+    pub cache_inserts: u64,
+    /// Requests that shared a concurrent identical request's answer via
+    /// single-flight instead of modeling.
+    pub singleflight_shared: u64,
     /// Coalesced DNN forward passes issued by `batch` requests.
     pub batched_forward_calls: u64,
     /// Measurement lines classified through those coalesced passes.
@@ -346,6 +384,21 @@ mod tests {
         m.queue_exit();
         m.queue_exit();
         assert_eq!(m.snapshot().queue_depth, 0);
+    }
+
+    #[test]
+    fn cache_counters_accumulate() {
+        let m = Metrics::new();
+        m.record_cache_miss();
+        m.record_cache_insert();
+        m.record_cache_hit();
+        m.record_cache_hit();
+        m.record_singleflight_shared();
+        let s = m.snapshot();
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_inserts, 1);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.singleflight_shared, 1);
     }
 
     #[test]

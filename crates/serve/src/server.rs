@@ -40,16 +40,23 @@ use crate::protocol::{
     batch_entry, error_line, ok_line, outcome_value, ErrorKind, Request, MAX_LINE_BYTES,
 };
 use crate::store::ModelStore;
-use nrpm_core::adaptive::AdaptiveModeler;
+use nrpm_core::adaptive::{AdaptiveModeler, AdaptiveOutcome};
+use nrpm_core::fingerprint::ModelKey;
 use nrpm_extrap::MeasurementSet;
+use nrpm_registry::{hex16, Joined, ResultCache, SingleFlight};
 use serde::{Serialize, Value};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Shard count of the serving result cache; bounded lock contention
+/// without per-entry overhead.
+const CACHE_SHARDS: usize = 8;
 
 /// Tuning knobs of [`Server::start`].
 #[derive(Debug, Clone)]
@@ -86,6 +93,15 @@ pub struct ServeOptions {
     /// Enables test-only fault hooks (the `crash_worker` request). Off in
     /// production.
     pub debug_hooks: bool,
+    /// Capacity of the memoized result cache for `model` requests, keyed
+    /// by the canonical measurement-set fingerprint plus the checkpoint's
+    /// content hash. `0` disables caching *and* single-flight entirely —
+    /// every request reaches the modeler, as before the cache existed.
+    pub cache_capacity: usize,
+    /// Directory for the cache's crash-safe journal. `None` keeps the
+    /// cache memory-only; with a directory, cached outcomes survive
+    /// restarts (including `kill -9`) of a server on the same checkpoint.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -100,6 +116,8 @@ impl Default for ServeOptions {
             io_timeout: Duration::from_secs(10),
             work_delay: None,
             debug_hooks: false,
+            cache_capacity: 1024,
+            cache_dir: None,
         }
     }
 }
@@ -111,6 +129,12 @@ struct Shared {
     shutdown: AtomicBool,
     opts: ServeOptions,
     addr: SocketAddr,
+    /// Memoized `model` outcomes; `None` when `cache_capacity` is 0.
+    cache: Option<ResultCache<AdaptiveOutcome>>,
+    /// Deduplicates concurrent identical `model` requests. Only consulted
+    /// when the cache is on — with caching off, every request must reach
+    /// the modeler.
+    flight: SingleFlight<Arc<AdaptiveOutcome>>,
 }
 
 impl Shared {
@@ -176,10 +200,21 @@ impl JobRequest {
 }
 
 /// A computed response plus its class, so the connection thread records
-/// exactly what it sends.
+/// exactly what it sends. Successful `model` replies also carry the
+/// structured outcome, so the connection thread can cache it and hand it
+/// to single-flight followers without reparsing the wire line.
 struct Reply {
     line: String,
     error: Option<ErrorClass>,
+    outcome: Option<Arc<AdaptiveOutcome>>,
+}
+
+/// What [`dispatch_job`] resolved to: the wire line (metrics already
+/// recorded) plus the structured outcome when the job was a successful
+/// `model`.
+struct Dispatched {
+    line: String,
+    outcome: Option<Arc<AdaptiveOutcome>>,
 }
 
 /// A running server. Dropping the handle does **not** stop the server; call
@@ -203,12 +238,22 @@ impl Server {
         // `opts.adapt` is the single adaptation knob: align the store's
         // modeling options so per-worker modelers inherit it.
         let store = store.with_adaptation(opts.adapt);
+        let cache = match (opts.cache_capacity, &opts.cache_dir) {
+            (0, _) => None,
+            (capacity, Some(dir)) => Some(
+                ResultCache::persistent(capacity, CACHE_SHARDS, dir)
+                    .map_err(|e| std::io::Error::other(format!("cannot open result cache: {e}")))?,
+            ),
+            (capacity, None) => Some(ResultCache::in_memory(capacity, CACHE_SHARDS)),
+        };
         let shared = Arc::new(Shared {
             store,
             metrics: Metrics::new(),
             shutdown: AtomicBool::new(false),
             opts,
             addr: local,
+            cache,
+            flight: SingleFlight::new(),
         });
 
         let (job_tx, job_rx) = mpsc::sync_channel::<Job>(queue_depth);
@@ -411,6 +456,22 @@ fn serve_connection(
     loop {
         while let Some(rel) = buf[scanned..].iter().position(|&b| b == b'\n') {
             let pos = scanned + rel;
+            if pos > MAX_LINE_BYTES {
+                // The line completed, but past the frame cap. Checking here
+                // (not only between reads below) makes the boundary exact:
+                // a frame of MAX_LINE_BYTES parses, one byte more is a
+                // structured usage error regardless of how the bytes fell
+                // into read chunks.
+                shared.metrics.record_error(ErrorClass::Usage);
+                let response = error_line(
+                    None,
+                    ErrorKind::Usage,
+                    &format!("request exceeds {MAX_LINE_BYTES} bytes"),
+                );
+                stream.write_all(response.as_bytes())?;
+                stream.write_all(b"\n")?;
+                return Ok(());
+            }
             let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
             scanned = 0;
             partial_since = None;
@@ -520,8 +581,7 @@ fn handle_line(line: &str, shared: &Arc<Shared>, job_tx: &mpsc::SyncSender<Job>)
         Request::Stats => {
             shared.metrics.record_request(RequestKind::Stats);
             shared.metrics.record_ok();
-            let snapshot = shared.metrics.snapshot();
-            Disposition::Respond(ok_line(None, vec![("stats".into(), snapshot.to_value())]))
+            Disposition::Respond(ok_line(None, vec![("stats".into(), stats_value(shared))]))
         }
         Request::Shutdown => {
             shared.metrics.record_request(RequestKind::Shutdown);
@@ -577,12 +637,7 @@ fn handle_line(line: &str, shared: &Arc<Shared>, job_tx: &mpsc::SyncSender<Job>)
             if attempt.unwrap_or(0) >= 1 {
                 shared.metrics.record_retry_observed();
             }
-            let request = JobRequest::Model {
-                set: Box::new(set),
-                at,
-                id,
-            };
-            Disposition::Respond(dispatch_job(shared, job_tx, request, timeout_ms))
+            Disposition::Respond(answer_model(shared, job_tx, set, at, timeout_ms, id))
         }
         Request::Batch {
             sets,
@@ -595,7 +650,168 @@ fn handle_line(line: &str, shared: &Arc<Shared>, job_tx: &mpsc::SyncSender<Job>)
                 shared.metrics.record_retry_observed();
             }
             let request = JobRequest::Batch { sets, id };
-            Disposition::Respond(dispatch_job(shared, job_tx, request, timeout_ms))
+            Disposition::Respond(dispatch_job(shared, job_tx, request, timeout_ms).line)
+        }
+    }
+}
+
+/// Builds the `stats` response body: the metrics snapshot, extended with
+/// the server build version, the serving checkpoint's content hash, and —
+/// when caching is on — the result cache's own counters.
+fn stats_value(shared: &Arc<Shared>) -> Value {
+    let mut stats = shared.metrics.snapshot().to_value();
+    if let Value::Map(entries) = &mut stats {
+        entries.push((
+            "server_version".into(),
+            Value::Str(env!("CARGO_PKG_VERSION").into()),
+        ));
+        entries.push((
+            "checkpoint_hash".into(),
+            Value::Str(hex16(shared.store.checkpoint_hash())),
+        ));
+        if let Some(cache) = &shared.cache {
+            let cache_stats = cache.stats();
+            entries.push((
+                "cache".into(),
+                Value::Map(vec![
+                    (
+                        "capacity".into(),
+                        Value::U64(cache_stats.lru.capacity as u64),
+                    ),
+                    ("entries".into(), Value::U64(cache_stats.lru.entries as u64)),
+                    ("lru_hits".into(), Value::U64(cache_stats.lru.hits)),
+                    ("lru_misses".into(), Value::U64(cache_stats.lru.misses)),
+                    ("insertions".into(), Value::U64(cache_stats.lru.insertions)),
+                    ("evictions".into(), Value::U64(cache_stats.lru.evictions)),
+                    ("persistent".into(), Value::Bool(cache.is_persistent())),
+                    (
+                        "journal_records".into(),
+                        match cache_stats.journal_records {
+                            Some(records) => Value::U64(records as u64),
+                            None => Value::Null,
+                        },
+                    ),
+                    (
+                        "recovered_records".into(),
+                        Value::U64(cache_stats.recovery.records as u64),
+                    ),
+                    (
+                        "recovery_repaired".into(),
+                        Value::Bool(cache_stats.recovery.repaired),
+                    ),
+                ]),
+            ));
+        }
+    }
+    stats
+}
+
+/// Answers one `model` request: result cache first, then single-flight
+/// deduplication around the modeler, then the worker pool.
+///
+/// The ordering makes "N concurrent identical requests model exactly once"
+/// deterministic, not probabilistic: a successful leader inserts into the
+/// cache *before* publishing its flight, and a caller that becomes leader
+/// re-checks the cache after winning — so a request arriving at any point
+/// relative to an identical in-flight one either shares its answer or
+/// finds it cached.
+fn answer_model(
+    shared: &Arc<Shared>,
+    job_tx: &mpsc::SyncSender<Job>,
+    set: MeasurementSet,
+    at: Option<Vec<f64>>,
+    timeout_ms: Option<u64>,
+    id: Option<String>,
+) -> String {
+    let Some(cache) = &shared.cache else {
+        // Caching off: the pre-cache serving path, one modeler run per
+        // request.
+        let request = JobRequest::Model {
+            set: Box::new(set),
+            at,
+            id,
+        };
+        return dispatch_job(shared, job_tx, request, timeout_ms).line;
+    };
+    let started = Instant::now();
+    let timeout = timeout_ms
+        .map(Duration::from_millis)
+        .unwrap_or(shared.opts.default_timeout);
+    let key = ModelKey::new(&set, shared.store.checkpoint_hash(), shared.opts.adapt).combined();
+
+    let cached_answer = |outcome: &AdaptiveOutcome| {
+        shared.metrics.record_ok();
+        shared.metrics.record_latency(started.elapsed());
+        ok_line(
+            id.as_deref(),
+            vec![("outcome".into(), outcome_value(outcome, at.as_deref()))],
+        )
+    };
+    if let Some(outcome) = cache.get(key) {
+        shared.metrics.record_cache_hit();
+        return cached_answer(&outcome);
+    }
+    shared.metrics.record_cache_miss();
+
+    // Dispatches to the pool with whatever budget the flight join left,
+    // caching a successful outcome. Shared by the leader path (which then
+    // publishes) and the leader-failed fallback (which cannot).
+    let model_and_cache = |set: MeasurementSet, at: Option<Vec<f64>>, id: Option<String>| {
+        let remaining = timeout.saturating_sub(started.elapsed());
+        let request = JobRequest::Model {
+            set: Box::new(set),
+            at,
+            id,
+        };
+        let dispatched = dispatch_job(shared, job_tx, request, Some(remaining.as_millis() as u64));
+        if let Some(outcome) = &dispatched.outcome {
+            // Journal failures must not fail the request: the answer is
+            // already computed, persistence is an optimization.
+            if cache.insert(key, (**outcome).clone()).is_ok() {
+                shared.metrics.record_cache_insert();
+            }
+        }
+        dispatched
+    };
+
+    match shared.flight.join(key, timeout) {
+        Joined::Leader(leader) => {
+            // Double check: the previous leader may have cached this key
+            // between our miss and winning the new flight.
+            if let Some(outcome) = cache.get(key) {
+                let line = cached_answer(&outcome);
+                leader.publish(Arc::new(outcome));
+                return line;
+            }
+            let dispatched = model_and_cache(set, at, id);
+            match dispatched.outcome {
+                // Publishing *after* the cache insert is what pins the
+                // "exactly one modeler run" guarantee — see above.
+                Some(outcome) => leader.publish(outcome),
+                None => leader.abandon(),
+            }
+            dispatched.line
+        }
+        Joined::Shared(outcome) => {
+            shared.metrics.record_singleflight_shared();
+            cached_answer(&outcome)
+        }
+        Joined::LeaderFailed => {
+            // The leader's failure was an answer for *its* client only
+            // (its timeout, its transient error); compute independently
+            // with the time we have left.
+            model_and_cache(set, at, id).line
+        }
+        Joined::TimedOut => {
+            shared.metrics.record_error(ErrorClass::Timeout);
+            shared.metrics.record_latency(started.elapsed());
+            error_line(
+                id.as_deref(),
+                ErrorKind::Timeout,
+                &format!(
+                    "deadline of {timeout:?} exceeded waiting on an identical in-flight request"
+                ),
+            )
         }
     }
 }
@@ -607,15 +823,19 @@ fn dispatch_job(
     job_tx: &mpsc::SyncSender<Job>,
     request: JobRequest,
     timeout_ms: Option<u64>,
-) -> String {
+) -> Dispatched {
     let id = request.id();
+    let refused = |line: String| Dispatched {
+        line,
+        outcome: None,
+    };
     if shared.draining() {
         shared.metrics.record_error(ErrorClass::ShuttingDown);
-        return error_line(
+        return refused(error_line(
             id.as_deref(),
             ErrorKind::ShuttingDown,
             "server is draining; no new modeling work accepted",
-        );
+        ));
     }
     let started = Instant::now();
     let timeout = timeout_ms
@@ -635,22 +855,22 @@ fn dispatch_job(
             // this request would only wait toward its own timeout while
             // delaying everyone behind it.
             shared.metrics.record_error(ErrorClass::Overloaded);
-            return error_line(
+            return refused(error_line(
                 id.as_deref(),
                 ErrorKind::Overloaded,
                 &format!(
                     "admission queue full ({} jobs); retry with backoff",
                     shared.opts.queue_depth.max(1)
                 ),
-            );
+            ));
         }
         Err(TrySendError::Disconnected(_)) => {
             shared.metrics.record_error(ErrorClass::ShuttingDown);
-            return error_line(
+            return refused(error_line(
                 id.as_deref(),
                 ErrorKind::ShuttingDown,
                 "worker pool is gone; server is shutting down",
-            );
+            ));
         }
     }
     match reply_rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
@@ -660,26 +880,29 @@ fn dispatch_job(
                 Some(class) => shared.metrics.record_error(class),
             }
             shared.metrics.record_latency(started.elapsed());
-            reply.line
+            Dispatched {
+                line: reply.line,
+                outcome: reply.outcome,
+            }
         }
         Err(RecvTimeoutError::Timeout) => {
             // The worker may still answer later; the receiver is dropped
             // here, so that late reply is discarded unrecorded.
             shared.metrics.record_error(ErrorClass::Timeout);
             shared.metrics.record_latency(started.elapsed());
-            error_line(
+            refused(error_line(
                 id.as_deref(),
                 ErrorKind::Timeout,
                 &format!("deadline of {timeout:?} exceeded"),
-            )
+            ))
         }
         Err(RecvTimeoutError::Disconnected) => {
             shared.metrics.record_error(ErrorClass::ShuttingDown);
-            error_line(
+            refused(error_line(
                 id.as_deref(),
                 ErrorKind::ShuttingDown,
                 "worker dropped the request during shutdown",
-            )
+            ))
         }
     }
 }
@@ -718,6 +941,7 @@ fn run_worker(shared: &Arc<Shared>, job_rx: &Arc<Mutex<mpsc::Receiver<Job>>>) {
                         &format!("internal modeling failure: {panic_message}"),
                     ),
                     error: Some(ErrorClass::Fatal),
+                    outcome: None,
                 }
             }
         };
@@ -744,6 +968,7 @@ fn compute_reply(
                 "deadline expired before a worker picked the request up",
             ),
             error: Some(ErrorClass::Timeout),
+            outcome: None,
         });
     }
     if let Some(delay) = shared.opts.work_delay {
@@ -767,6 +992,7 @@ fn compute_reply(
                             vec![("outcome".into(), outcome_value(&outcome, at.as_deref()))],
                         ),
                         error: None,
+                        outcome: Some(Arc::new(outcome)),
                     }
                 }
                 Err(e) => Reply {
@@ -775,6 +1001,7 @@ fn compute_reply(
                         ErrorKind::Fatal => ErrorClass::Fatal,
                         _ => ErrorClass::Recoverable,
                     }),
+                    outcome: None,
                 },
             }
         }
@@ -796,6 +1023,7 @@ fn compute_reply(
                 })
                 .collect();
             Reply {
+                outcome: None,
                 line: ok_line(
                     id.as_deref(),
                     vec![

@@ -52,6 +52,7 @@ impl std::error::Error for StoreError {}
 pub struct ModelStore {
     network: Network,
     opts: AdaptiveOptions,
+    checkpoint_hash: u64,
 }
 
 impl ModelStore {
@@ -69,7 +70,12 @@ impl ModelStore {
                 num_classes: network.num_classes(),
             });
         }
-        Ok(ModelStore { network, opts })
+        let checkpoint_hash = nrpm_core::fingerprint::bytes_hash(network.to_json().as_bytes());
+        Ok(ModelStore {
+            network,
+            opts,
+            checkpoint_hash,
+        })
     }
 
     /// Forces the domain-adaptation flag of the shared options, returning
@@ -88,6 +94,14 @@ impl ModelStore {
     /// The shared modeling options.
     pub fn options(&self) -> &AdaptiveOptions {
         &self.opts
+    }
+
+    /// Content hash of the loaded checkpoint (its canonical JSON bytes).
+    /// Two stores serve bit-identical answers iff their hashes agree, so
+    /// this is the registry address of the network and one of the inputs
+    /// to every result-cache key.
+    pub fn checkpoint_hash(&self) -> u64 {
+        self.checkpoint_hash
     }
 
     /// Builds a fresh modeler seeded with the warm base weights.
@@ -137,6 +151,27 @@ mod tests {
         let err = ModelStore::open(&path, AdaptiveOptions::default()).unwrap_err();
         assert!(matches!(err, StoreError::Load(_)), "{err:?}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_hash_is_content_addressed() {
+        let a = ModelStore::from_network(serveable_network(), AdaptiveOptions::default()).unwrap();
+        let b = ModelStore::from_network(serveable_network(), AdaptiveOptions::default()).unwrap();
+        assert_eq!(
+            a.checkpoint_hash(),
+            b.checkpoint_hash(),
+            "same weights, same address"
+        );
+        let other = ModelStore::from_network(
+            Network::new(&NetworkConfig::new(&[NUM_INPUTS, 8, NUM_CLASSES]), 43),
+            AdaptiveOptions::default(),
+        )
+        .unwrap();
+        assert_ne!(
+            a.checkpoint_hash(),
+            other.checkpoint_hash(),
+            "different weights must not collide into one cache keyspace"
+        );
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Small shared utilities: seeded per-stream RNG derivation and the
+//! decorrelated-jitter backoff shared by the retrying client and the chaos
+//! proxy (previously duplicated in both).
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::Duration;
+
+/// Weyl-style stream spacing constant (the 32-bit golden ratio), so
+/// consecutive stream ids land on well-separated seeds.
+const STREAM_MUL: u64 = 0x9e37_79b9;
+
+/// Derives a deterministic RNG for stream `stream_id` from a base `seed`:
+/// the same `(seed, stream_id)` always yields the same sequence, distinct
+/// streams get decorrelated ones. Stream `0` is the base seed itself.
+pub fn stream_rng(seed: u64, stream_id: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ stream_id.wrapping_mul(STREAM_MUL))
+}
+
+/// One step of decorrelated-jitter backoff (the AWS scheme): a sleep drawn
+/// uniformly from `[base, previous * 3]`, clamped to `[base, cap]`. Spreads
+/// retrying clients apart instead of letting them stampede in sync.
+pub fn decorrelated_jitter(
+    rng: &mut impl Rng,
+    previous: Duration,
+    base: Duration,
+    cap: Duration,
+) -> Duration {
+    let base_ms = base.as_millis().max(1) as u64;
+    let cap_ms = cap.as_millis().max(1) as u64;
+    let previous_ms = previous.as_millis().min(u128::from(u64::MAX / 3)) as u64;
+    let ceiling_ms = previous_ms
+        .saturating_mul(3)
+        .clamp(base_ms, cap_ms.max(base_ms));
+    Duration::from_millis(rng.gen_range(base_ms..=ceiling_ms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_and_stream_reproduce() {
+        let mut a = stream_rng(42, 3);
+        let mut b = stream_rng(42, 3);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_streams_decorrelate() {
+        let mut a = stream_rng(42, 0);
+        let mut b = stream_rng(42, 1);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0, "streams 0 and 1 must not track each other");
+    }
+
+    #[test]
+    fn stream_zero_is_the_base_seed() {
+        let mut derived = stream_rng(7, 0);
+        let mut direct = StdRng::seed_from_u64(7);
+        assert_eq!(derived.next_u64(), direct.next_u64());
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds_for_any_previous() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(200);
+        let mut rng = stream_rng(1, 0);
+        for previous in [
+            Duration::ZERO,
+            base,
+            Duration::from_millis(50),
+            Duration::from_secs(60),
+            Duration::from_secs(u64::MAX / 1_000), // near the ms overflow edge
+        ] {
+            for _ in 0..64 {
+                let sleep = decorrelated_jitter(&mut rng, previous, base, cap);
+                assert!(sleep >= base, "below base: {sleep:?} (prev {previous:?})");
+                assert!(sleep <= cap, "above cap: {sleep:?} (prev {previous:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_grows_from_the_previous_sleep() {
+        // With previous = base the ceiling is 3*base, so draws can exceed
+        // base; over many draws at least one must (otherwise there is no
+        // exponential growth at all).
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_secs(10);
+        let mut rng = stream_rng(2, 0);
+        let grew = (0..128).any(|_| decorrelated_jitter(&mut rng, base, base, cap) > base);
+        assert!(grew, "backoff never grew past the base");
+    }
+
+    #[test]
+    fn degenerate_zero_durations_are_safe() {
+        let mut rng = stream_rng(3, 0);
+        let sleep = decorrelated_jitter(&mut rng, Duration::ZERO, Duration::ZERO, Duration::ZERO);
+        assert_eq!(sleep, Duration::from_millis(1), "floor is 1ms");
+    }
+}

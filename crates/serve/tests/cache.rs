@@ -1,0 +1,262 @@
+//! Integration tests of the serving result cache: cache-before-model
+//! lookups, single-flight deduplication of concurrent identical requests,
+//! persistence across server restarts, and the enriched `stats` response.
+
+use nrpm_core::adaptive::AdaptiveOptions;
+use nrpm_core::preprocess::NUM_INPUTS;
+use nrpm_extrap::{MeasurementSet, NUM_CLASSES};
+use nrpm_nn::{Network, NetworkConfig};
+use nrpm_serve::client::{is_ok, Client};
+use nrpm_serve::server::{ServeOptions, Server};
+use nrpm_serve::store::ModelStore;
+use serde::Value;
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+fn test_store() -> ModelStore {
+    let net = Network::new(&NetworkConfig::new(&[NUM_INPUTS, 16, NUM_CLASSES]), 7);
+    ModelStore::from_network(net, AdaptiveOptions::default()).unwrap()
+}
+
+fn clean_linear_set() -> MeasurementSet {
+    let mut set = MeasurementSet::new(1);
+    for &x in &[4.0, 8.0, 16.0, 32.0, 64.0] {
+        set.add_repetitions(&[x], &[2.0 * x, 2.0 * x]);
+    }
+    set
+}
+
+fn connect(server: &Server) -> Client {
+    Client::connect(server.addr(), Duration::from_secs(30)).expect("connect")
+}
+
+fn join_within(server: Server, limit: Duration) {
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let _ = tx.send(server.join());
+    });
+    rx.recv_timeout(limit)
+        .expect("server failed to drain within the limit")
+        .expect("a server thread panicked");
+}
+
+fn get_u64(v: &Value, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing u64 `{key}` in {v:?}"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nrpm-serve-cache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The second identical request never reaches the modeler, and the `stats`
+/// response carries the server version, the checkpoint's content hash, and
+/// the cache counters that prove the hit.
+#[test]
+fn second_identical_request_is_a_cache_hit() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        test_store(),
+        ServeOptions {
+            workers: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut client = connect(&server);
+
+    let first = client
+        .model(clean_linear_set(), Some(vec![1024.0]), None)
+        .unwrap();
+    assert!(is_ok(&first), "{first:?}");
+
+    // Same measurement set, different evaluation point: the cached model
+    // is re-evaluated at the new point, not replayed verbatim.
+    let second = client
+        .model(clean_linear_set(), Some(vec![512.0]), None)
+        .unwrap();
+    assert!(is_ok(&second), "{second:?}");
+    let prediction = second
+        .get("outcome")
+        .and_then(|o| o.get("prediction"))
+        .and_then(Value::as_f64)
+        .unwrap();
+    assert!(
+        (prediction - 1024.0).abs() < 1e-6,
+        "cached model evaluated at 512 must predict 1024, got {prediction}"
+    );
+
+    let stats = client.stats().unwrap();
+    assert_eq!(get_u64(&stats, "kernels_modeled"), 1, "one modeler run");
+    assert_eq!(get_u64(&stats, "cache_misses"), 1);
+    assert_eq!(get_u64(&stats, "cache_inserts"), 1);
+    assert_eq!(get_u64(&stats, "cache_hits"), 1);
+
+    // Satellite surface: version + checkpoint identity in every stats
+    // response.
+    assert_eq!(
+        stats.get("server_version").and_then(Value::as_str),
+        Some(env!("CARGO_PKG_VERSION")),
+        "{stats:?}"
+    );
+    let checkpoint = stats
+        .get("checkpoint_hash")
+        .and_then(Value::as_str)
+        .expect("checkpoint_hash in stats");
+    assert_eq!(checkpoint.len(), 16, "{checkpoint}");
+    assert!(checkpoint.chars().all(|c| c.is_ascii_hexdigit()));
+
+    let cache = stats.get("cache").expect("cache block in stats");
+    assert_eq!(get_u64(cache, "entries"), 1);
+    assert_eq!(
+        cache.get("persistent").and_then(Value::as_bool),
+        Some(false)
+    );
+
+    assert!(is_ok(&client.shutdown().unwrap()));
+    join_within(server, Duration::from_secs(20));
+}
+
+/// The single-flight acceptance criterion: N concurrent identical requests
+/// produce exactly one modeler invocation — deterministically, because a
+/// successful leader caches before publishing and a fresh leader re-checks
+/// the cache.
+#[test]
+fn concurrent_identical_requests_model_exactly_once() {
+    const CLIENTS: usize = 6;
+    let server = Server::start(
+        "127.0.0.1:0",
+        test_store(),
+        ServeOptions {
+            workers: 4,
+            // Slow the modeler down so the herd genuinely overlaps.
+            work_delay: Some(Duration::from_millis(300)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr, Duration::from_secs(30)).unwrap();
+                client
+                    .model(clean_linear_set(), Some(vec![1024.0]), Some(10_000))
+                    .unwrap()
+            })
+        })
+        .collect();
+    for handle in handles {
+        let response = handle.join().expect("client thread");
+        assert!(is_ok(&response), "{response:?}");
+        let prediction = response
+            .get("outcome")
+            .and_then(|o| o.get("prediction"))
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert!((prediction - 2048.0).abs() < 1e-6, "{prediction}");
+    }
+
+    let mut client = connect(&server);
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        get_u64(&stats, "kernels_modeled"),
+        1,
+        "the herd must collapse to exactly one modeler run: {stats:?}"
+    );
+    assert_eq!(get_u64(&stats, "cache_inserts"), 1);
+    assert_eq!(
+        get_u64(&stats, "cache_hits") + get_u64(&stats, "singleflight_shared"),
+        (CLIENTS - 1) as u64,
+        "every other request shared the flight or hit the cache: {stats:?}"
+    );
+
+    assert!(is_ok(&client.shutdown().unwrap()));
+    join_within(server, Duration::from_secs(20));
+}
+
+/// With a `cache_dir`, outcomes journaled by one server process are served
+/// as hits by the next one on the same checkpoint — zero modeler runs
+/// after a restart.
+#[test]
+fn cached_outcomes_survive_a_server_restart() {
+    let dir = tmp_dir("restart");
+    let opts = || ServeOptions {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+
+    let server = Server::start("127.0.0.1:0", test_store(), opts()).unwrap();
+    let mut client = connect(&server);
+    let warm = client
+        .model(clean_linear_set(), Some(vec![1024.0]), None)
+        .unwrap();
+    assert!(is_ok(&warm), "{warm:?}");
+    assert!(is_ok(&client.shutdown().unwrap()));
+    join_within(server, Duration::from_secs(20));
+
+    // Same checkpoint, same cache directory, fresh process state.
+    let server = Server::start("127.0.0.1:0", test_store(), opts()).unwrap();
+    let mut client = connect(&server);
+    let cached = client
+        .model(clean_linear_set(), Some(vec![1024.0]), None)
+        .unwrap();
+    assert!(is_ok(&cached), "{cached:?}");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        get_u64(&stats, "kernels_modeled"),
+        0,
+        "the restarted server must answer from the journal: {stats:?}"
+    );
+    assert_eq!(get_u64(&stats, "cache_hits"), 1);
+    let cache = stats.get("cache").expect("cache block in stats");
+    assert_eq!(cache.get("persistent").and_then(Value::as_bool), Some(true));
+    assert!(get_u64(cache, "recovered_records") >= 1);
+    assert_eq!(
+        cache.get("recovery_repaired").and_then(Value::as_bool),
+        Some(false),
+        "a clean shutdown must not need repair"
+    );
+
+    assert!(is_ok(&client.shutdown().unwrap()));
+    join_within(server, Duration::from_secs(20));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `cache_capacity: 0` restores the pre-cache serving path: every request
+/// reaches the modeler and the stats carry no cache block.
+#[test]
+fn zero_capacity_disables_caching_entirely() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        test_store(),
+        ServeOptions {
+            workers: 1,
+            cache_capacity: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut client = connect(&server);
+    for _ in 0..3 {
+        let response = client.model(clean_linear_set(), None, None).unwrap();
+        assert!(is_ok(&response), "{response:?}");
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(get_u64(&stats, "kernels_modeled"), 3);
+    assert_eq!(get_u64(&stats, "cache_hits"), 0);
+    assert_eq!(get_u64(&stats, "cache_misses"), 0);
+    assert!(stats.get("cache").is_none(), "{stats:?}");
+
+    assert!(is_ok(&client.shutdown().unwrap()));
+    join_within(server, Duration::from_secs(20));
+}

@@ -1,0 +1,108 @@
+//! Exact boundary tests of the protocol frame cap: a request line of
+//! exactly `MAX_LINE_BYTES` is parsed and answered, one byte more is
+//! refused with a structured usage error — not a silent disconnect.
+
+use nrpm_core::adaptive::AdaptiveOptions;
+use nrpm_core::preprocess::NUM_INPUTS;
+use nrpm_extrap::{MeasurementSet, NUM_CLASSES};
+use nrpm_nn::{Network, NetworkConfig};
+use nrpm_serve::client::{is_ok, Client};
+use nrpm_serve::protocol::{Request, MAX_LINE_BYTES};
+use nrpm_serve::server::{ServeOptions, Server};
+use nrpm_serve::store::ModelStore;
+use serde::Value;
+use std::time::Duration;
+
+fn test_store() -> ModelStore {
+    let net = Network::new(&NetworkConfig::new(&[NUM_INPUTS, 16, NUM_CLASSES]), 7);
+    ModelStore::from_network(net, AdaptiveOptions::default()).unwrap()
+}
+
+fn clean_linear_set() -> MeasurementSet {
+    let mut set = MeasurementSet::new(1);
+    for &x in &[4.0, 8.0, 16.0, 32.0, 64.0] {
+        set.add_repetitions(&[x], &[2.0 * x, 2.0 * x]);
+    }
+    set
+}
+
+/// A valid `model` request line padded to exactly `total_len` bytes with
+/// an ignored `"pad"` field (unknown fields are skipped by the parser).
+fn model_line_of_len(total_len: usize) -> String {
+    let base = Request::Model {
+        set: clean_linear_set(),
+        at: Some(vec![64.0]),
+        timeout_ms: None,
+        id: None,
+        attempt: None,
+    }
+    .to_line();
+    // base ends in '}'; splice `,"pad":"xxx…"}` in its place.
+    let overhead = ",\"pad\":\"\"}".len();
+    let fill = total_len
+        .checked_sub(base.len() - 1 + overhead)
+        .expect("total_len large enough for the base request");
+    let mut line = String::with_capacity(total_len);
+    line.push_str(&base[..base.len() - 1]);
+    line.push_str(",\"pad\":\"");
+    line.extend(std::iter::repeat_n('x', fill));
+    line.push_str("\"}");
+    assert_eq!(line.len(), total_len);
+    line
+}
+
+fn start_server() -> Server {
+    Server::start(
+        "127.0.0.1:0",
+        test_store(),
+        ServeOptions {
+            workers: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn a_request_of_exactly_the_frame_cap_is_served() {
+    let server = start_server();
+    let mut client = Client::connect(server.addr(), Duration::from_secs(30)).unwrap();
+
+    let line = model_line_of_len(MAX_LINE_BYTES);
+    let response = client.roundtrip_line(&line).unwrap();
+    assert!(is_ok(&response), "{response:?}");
+    let prediction = response
+        .get("outcome")
+        .and_then(|o| o.get("prediction"))
+        .and_then(Value::as_f64)
+        .unwrap();
+    assert!((prediction - 128.0).abs() < 1e-6, "{prediction}");
+
+    assert!(is_ok(&client.shutdown().unwrap()));
+    server.join().unwrap();
+}
+
+#[test]
+fn one_byte_past_the_frame_cap_is_a_structured_usage_error() {
+    let server = start_server();
+    let mut client = Client::connect(server.addr(), Duration::from_secs(30)).unwrap();
+
+    let line = model_line_of_len(MAX_LINE_BYTES + 1);
+    let response = client
+        .roundtrip_line(&line)
+        .expect("an error line, not a dropped connection");
+    assert_eq!(
+        response.get("kind").and_then(Value::as_str),
+        Some("usage"),
+        "{response:?}"
+    );
+    let message = response.get("message").and_then(Value::as_str).unwrap();
+    assert!(message.contains("exceeds"), "{message}");
+
+    // The offending connection is closed after the error line, but the
+    // server itself is unharmed.
+    let mut fresh = Client::connect(server.addr(), Duration::from_secs(30)).unwrap();
+    assert!(is_ok(&fresh.health().unwrap()));
+    assert!(is_ok(&fresh.shutdown().unwrap()));
+    server.join().unwrap();
+}

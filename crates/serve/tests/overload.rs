@@ -72,6 +72,9 @@ fn burst_past_capacity_sheds_and_keeps_accepted_latency_bounded() {
         workers: 2,
         queue_depth: 2,
         work_delay: Some(work_delay),
+        // The burst is identical requests on purpose; caching them would
+        // answer the whole burst from memory and leave nothing to shed.
+        cache_capacity: 0,
         ..Default::default()
     });
     let addr = server.addr();
@@ -163,6 +166,10 @@ fn expired_deadline_behind_slow_work_never_reaches_the_modeler() {
     let server = start_server(ServeOptions {
         workers: 1,
         work_delay: Some(Duration::from_millis(150)),
+        // Caching off: the expiring request must reach the *queue* (not be
+        // deduplicated against the slow identical one in flight) for this
+        // test to exercise deadline propagation into the worker.
+        cache_capacity: 0,
         ..Default::default()
     });
     let addr = server.addr();

@@ -145,8 +145,17 @@ fn concurrent_clients_mixing_requests_get_correct_answers() {
     assert_eq!(get_u64(&stats, "errors_fatal"), 4);
     assert_eq!(get_u64(&stats, "batched_forward_calls"), 4);
     assert_eq!(get_u64(&stats, "batched_rows"), 32);
-    // 4 model kernels + 32 batch kernels modeled successfully.
-    assert_eq!(get_u64(&stats, "kernels_modeled"), 36);
+    // The 4 identical clean model requests collapse into exactly 1 modeler
+    // run (result cache + single-flight); the other 3 are answered from the
+    // cache or by sharing the in-flight computation. Batch kernels are not
+    // cached: + 32.
+    assert_eq!(get_u64(&stats, "kernels_modeled"), 33);
+    assert_eq!(
+        get_u64(&stats, "cache_hits") + get_u64(&stats, "singleflight_shared"),
+        3,
+        "every deduplicated clean request is visible in a counter"
+    );
+    assert_eq!(get_u64(&stats, "cache_inserts"), 1);
     // Every parsed request was answered: ok + modeling errors == requests
     // (the stats request itself is counted before the snapshot is taken).
     let requests = get_u64(&stats, "requests_model")

@@ -59,6 +59,14 @@ impl Value {
         }
     }
 
+    /// Returns the boolean if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Returns the string if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
