@@ -1,0 +1,227 @@
+//! Training fast-path benchmark: synthetic corpus generation and pooled
+//! mini-batch training, sequential vs. parallel at 1/2/4/8 worker threads.
+//!
+//! Every thread count runs the *same* workload from the same seeds; the
+//! fixed-chunk corpus generator and the arena trainer guarantee bitwise
+//! identical corpora and final weights at any parallelism, which this
+//! harness re-verifies on every run before it reports a single number. The
+//! headline metric is the end-to-end (corpus generation + pretraining)
+//! speedup over the sequential baseline.
+//!
+//! ```text
+//! cargo run -p nrpm-bench --release --bin train_bench -- \
+//!     [--samples N] [--epochs E] [--batch B] [--threads 1,2,4,8] \
+//!     [--min-speedup R] [--out BENCH_train.json]
+//! ```
+//!
+//! `--min-speedup R` makes the process exit non-zero unless the best
+//! end-to-end speedup reaches `R` — the CI smoke job uses it to assert that
+//! parallel training is never slower than sequential.
+
+use nrpm_bench::cli::Args;
+use nrpm_bench::report::{f2, Table};
+use nrpm_core::dnn::dataset_from_samples;
+use nrpm_nn::{Network, NetworkConfig, TrainerOptions};
+use nrpm_synth::{generate_training_samples_seeded, TrainingSpec};
+use serde::Serialize;
+use std::time::Instant;
+
+const MASTER_SEED: u64 = 0xBEEF;
+const NET_SEED: u64 = 21;
+
+/// One thread count's timings, all in milliseconds.
+#[derive(Debug, Clone, Serialize)]
+struct ThreadScenario {
+    threads: usize,
+    corpus_ms: f64,
+    train_total_ms: f64,
+    train_per_epoch_ms: f64,
+    end_to_end_ms: f64,
+    corpus_speedup: f64,
+    train_speedup: f64,
+    end_to_end_speedup: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct TrainBenchReport {
+    samples_per_class: usize,
+    epochs: usize,
+    batch_size: usize,
+    network: Vec<usize>,
+    corpus_size: usize,
+    /// Physical parallelism of the machine the numbers were taken on —
+    /// thread counts beyond this cannot speed anything up.
+    available_cores: usize,
+    /// Re-verified on this run: corpora and final weights are bitwise
+    /// identical at every measured thread count.
+    deterministic_across_threads: bool,
+    scenarios: Vec<ThreadScenario>,
+}
+
+struct Measured {
+    corpus_ms: f64,
+    train_total_ms: f64,
+    network: Network,
+    corpus_len: usize,
+}
+
+/// Generates the corpus and pretrains one network at `threads` workers,
+/// returning wall times and the final weights for the determinism check.
+fn run_at(spec: &TrainingSpec, config: &NetworkConfig, opts: &TrainerOptions) -> Measured {
+    let t0 = Instant::now();
+    let samples = generate_training_samples_seeded(spec, MASTER_SEED, opts.threads);
+    let corpus_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let data = dataset_from_samples(&samples);
+    let mut network = Network::new(config, NET_SEED);
+    let t1 = Instant::now();
+    network.train(&data, opts).expect("bench dataset trains");
+    let train_total_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    Measured {
+        corpus_ms,
+        train_total_ms,
+        network,
+        corpus_len: samples.len(),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let samples_per_class = args.get("samples", 200usize);
+    let epochs = args.get("epochs", 3usize);
+    let batch_size = args.get("batch", 128usize);
+    let min_speedup = args.get("min-speedup", 0.0f64);
+    let out = args.get("out", "BENCH_train.json".to_string());
+    let threads: Vec<usize> = args
+        .get_f64_list("threads", &[1.0, 2.0, 4.0, 8.0])
+        .into_iter()
+        .map(|t| t as usize)
+        .collect();
+    assert_eq!(
+        threads.first(),
+        Some(&1),
+        "the ladder must start sequential"
+    );
+
+    let spec = TrainingSpec {
+        samples_per_class,
+        ..Default::default()
+    };
+    let config = NetworkConfig::compact();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Warm-up: one small untimed run so the first measured scenario does
+    // not absorb page faults and frequency ramp-up.
+    run_at(
+        &TrainingSpec {
+            samples_per_class: (samples_per_class / 10).max(10),
+            ..Default::default()
+        },
+        &config,
+        &TrainerOptions {
+            epochs: 1,
+            batch_size,
+            threads: 1,
+            ..Default::default()
+        },
+    );
+
+    println!(
+        "corpus {samples_per_class}/class + {epochs} pretrain epochs (batch {batch_size}), \
+         threads {threads:?}, {cores} core(s) available\n"
+    );
+    let mut table = Table::new(&[
+        "threads",
+        "corpus ms",
+        "epoch ms",
+        "end-to-end ms",
+        "corpus x",
+        "train x",
+        "total x",
+    ]);
+
+    let mut scenarios: Vec<ThreadScenario> = Vec::new();
+    let mut baseline: Option<Measured> = None;
+    let mut deterministic = true;
+    for &t in &threads {
+        let opts = TrainerOptions {
+            epochs,
+            batch_size,
+            threads: t,
+            ..Default::default()
+        };
+        let measured = run_at(&spec, &config, &opts);
+        let (base_corpus, base_train) = match &baseline {
+            Some(base) => {
+                // Determinism before speed: the parallel run must be the
+                // same computation, bit for bit.
+                if measured.network != base.network {
+                    deterministic = false;
+                }
+                (base.corpus_ms, base.train_total_ms)
+            }
+            None => (measured.corpus_ms, measured.train_total_ms),
+        };
+        let end_to_end = measured.corpus_ms + measured.train_total_ms;
+        let scenario = ThreadScenario {
+            threads: t,
+            corpus_ms: measured.corpus_ms,
+            train_total_ms: measured.train_total_ms,
+            train_per_epoch_ms: measured.train_total_ms / epochs.max(1) as f64,
+            end_to_end_ms: end_to_end,
+            corpus_speedup: base_corpus / measured.corpus_ms,
+            train_speedup: base_train / measured.train_total_ms,
+            end_to_end_speedup: (base_corpus + base_train) / end_to_end,
+        };
+        table.row(vec![
+            t.to_string(),
+            f2(scenario.corpus_ms),
+            f2(scenario.train_per_epoch_ms),
+            f2(scenario.end_to_end_ms),
+            f2(scenario.corpus_speedup),
+            f2(scenario.train_speedup),
+            f2(scenario.end_to_end_speedup),
+        ]);
+        scenarios.push(scenario);
+        if baseline.is_none() {
+            baseline = Some(measured);
+        }
+    }
+    table.print();
+
+    assert!(
+        deterministic,
+        "final weights diverged across thread counts — the deterministic \
+         parallel trainer is broken"
+    );
+
+    let best = scenarios
+        .iter()
+        .map(|s| s.end_to_end_speedup)
+        .fold(f64::NAN, f64::max);
+    println!(
+        "\nbest end-to-end speedup: {best:.2}x (weights bitwise identical across all thread counts)"
+    );
+
+    let report = TrainBenchReport {
+        samples_per_class,
+        epochs,
+        batch_size,
+        network: config.layer_sizes.clone(),
+        corpus_size: baseline.as_ref().map(|b| b.corpus_len).unwrap_or(0),
+        available_cores: cores,
+        deterministic_across_threads: deterministic,
+        scenarios,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json).expect("write report");
+    println!("report written to {out}");
+
+    assert!(
+        best >= min_speedup,
+        "best end-to-end speedup {best:.2}x is below the required {min_speedup:.2}x"
+    );
+}

@@ -10,6 +10,7 @@ use nrpm_core::noise::NoiseEstimate;
 use nrpm_core::report::render_outcome;
 use nrpm_core::sanitize::{sanitize, SanitizeOptions, SanitizePolicy};
 use nrpm_extrap::{parse_text_file, MeasurementSet, ModelError, RegressionModeler};
+use nrpm_linalg::ThreadBudget;
 use nrpm_nn::Network;
 use nrpm_registry::cache::JOURNAL_FILE;
 use nrpm_registry::checkpoints::VerifyIssue;
@@ -29,10 +30,11 @@ usage:
   nrpm fit <file> [--adaptive] [--strict|--lenient] [--network net.json] [--at x1,x2,...]
   nrpm noise <file>
   nrpm pretrain --out net.json [--samples N] [--epochs E] [--paper-net]
+                [--train-threads N]
   nrpm serve --model net.json [--addr HOST:PORT] [--workers N] [--adapt]
              [--timeout-ms T] [--queue-depth N] [--max-conns N]
              [--io-timeout-ms T] [--work-delay-ms T]
-             [--cache-capacity N] [--cache-dir DIR]
+             [--cache-capacity N] [--cache-dir DIR] [--train-threads N]
   nrpm query health|stats|shutdown [--addr HOST:PORT] [--timeout-ms T]
   nrpm query model <file> [--at x1,x2,...] [--addr HOST:PORT] [--timeout-ms T]
   nrpm query batch <file>... [--addr HOST:PORT] [--timeout-ms T]
@@ -59,6 +61,12 @@ overload behavior:
   --max-conns are refused the same way; a connection that stalls
   mid-request or blocks writes for --io-timeout-ms is closed.
   --work-delay-ms adds simulated service time per job (testing only)
+
+threading:
+  --train-threads sets the worker threads for corpus generation and
+  training (0 = the process thread budget, which honors NRPM_THREADS
+  and defaults to the machine's cores). Results are bitwise identical
+  at every thread count. `serve` divides the budget among its workers.
 
 caching:
   `serve` memoizes model outcomes per (measurement set, checkpoint,
@@ -141,6 +149,9 @@ pub enum Invocation {
         epochs: usize,
         /// Use the paper's full architecture.
         paper_net: bool,
+        /// Worker threads for corpus generation and training (0 = the
+        /// process thread budget).
+        train_threads: usize,
     },
     /// Run the model-serving subsystem until it is drained.
     Serve {
@@ -166,6 +177,9 @@ pub enum Invocation {
         cache_capacity: usize,
         /// Journal cached outcomes under this directory.
         cache_dir: Option<PathBuf>,
+        /// Total thread budget shared by the workers (0 = the process
+        /// thread budget).
+        train_threads: usize,
     },
     /// Inspect or maintain a registry/cache directory.
     Registry {
@@ -294,6 +308,13 @@ impl Invocation {
                     .transpose()?
                     .unwrap_or(20),
                 paper_net: get_flag("paper-net").is_some(),
+                train_threads: get_value("train-threads")?
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| "--train-threads: not a number".to_string())
+                    })
+                    .transpose()?
+                    .unwrap_or(0),
             }),
             "serve" => Ok(Invocation::Serve {
                 model: get_value("model")?
@@ -345,6 +366,13 @@ impl Invocation {
                     .transpose()?
                     .unwrap_or(1024),
                 cache_dir: get_value("cache-dir")?.map(PathBuf::from),
+                train_threads: get_value("train-threads")?
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| "--train-threads: not a number".to_string())
+                    })
+                    .transpose()?
+                    .unwrap_or(0),
             }),
             "registry" => {
                 let action = match positional.first().map(String::as_str) {
@@ -575,6 +603,7 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
             samples,
             epochs,
             paper_net,
+            train_threads,
         } => {
             use nrpm_core::dnn::{DnnModeler, DnnOptions};
             let mut options = if *paper_net {
@@ -584,6 +613,7 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
             };
             options.pretrain_spec.samples_per_class = *samples;
             options.pretrain_epochs = *epochs;
+            options.train_threads = *train_threads;
             let modeler = DnnModeler::pretrained(options);
             modeler
                 .network()
@@ -607,7 +637,16 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
             work_delay_ms,
             cache_capacity,
             cache_dir,
+            train_threads,
         } => {
+            // Divide the thread budget among the serving workers so
+            // concurrent adaptation jobs don't oversubscribe the cores.
+            let budget = if *train_threads > 0 {
+                *train_threads
+            } else {
+                ThreadBudget::get()
+            };
+            ThreadBudget::set((budget / (*workers).max(1)).max(1));
             let store = ModelStore::open(model, AdaptiveOptions::default())
                 .map_err(|e| CliError::io(format!("{}: {e}", model.display())))?;
             let mut opts = ServeOptions {
@@ -990,14 +1029,17 @@ mod tests {
                 file: "m.json".into()
             }
         );
-        let inv = parse("pretrain --out n.json --samples 100 --epochs 5 --paper-net").unwrap();
+        let inv =
+            parse("pretrain --out n.json --samples 100 --epochs 5 --paper-net --train-threads 2")
+                .unwrap();
         assert_eq!(
             inv,
             Invocation::Pretrain {
                 out: "n.json".into(),
                 samples: 100,
                 epochs: 5,
-                paper_net: true
+                paper_net: true,
+                train_threads: 2,
             }
         );
     }
@@ -1013,6 +1055,8 @@ mod tests {
         assert!(parse("serve --model n.json --workers three").is_err());
         assert!(parse("serve --model n.json --queue-depth deep").is_err());
         assert!(parse("serve --model n.json --cache-capacity lots").is_err());
+        assert!(parse("serve --model n.json --train-threads three").is_err());
+        assert!(parse("pretrain --out n.json --train-threads many").is_err());
         assert!(parse("registry").is_err()); // action required
         assert!(parse("registry frobnicate --dir d").is_err());
         assert!(parse("registry stats").is_err()); // --dir required
@@ -1033,7 +1077,7 @@ mod tests {
             parse(
                 "serve --model net.json --addr 0.0.0.0:9000 --workers 8 --adapt --timeout-ms 500 \
                  --queue-depth 2 --max-conns 32 --io-timeout-ms 750 --work-delay-ms 10 \
-                 --cache-capacity 9 --cache-dir /var/cache/nrpm"
+                 --cache-capacity 9 --cache-dir /var/cache/nrpm --train-threads 6"
             )
             .unwrap(),
             Invocation::Serve {
@@ -1048,6 +1092,7 @@ mod tests {
                 work_delay_ms: Some(10),
                 cache_capacity: 9,
                 cache_dir: Some("/var/cache/nrpm".into()),
+                train_threads: 6,
             }
         );
         assert_eq!(
@@ -1064,6 +1109,7 @@ mod tests {
                 work_delay_ms: None,
                 cache_capacity: 1024,
                 cache_dir: None,
+                train_threads: 0,
             }
         );
         assert_eq!(

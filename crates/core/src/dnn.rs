@@ -19,9 +19,9 @@ use nrpm_linalg::Matrix;
 use nrpm_nn::{
     top_k_classes, Dataset, Network, NetworkConfig, OptimizerKind, TrainerOptions, WatchdogOptions,
 };
-use nrpm_synth::{generate_training_samples, TrainingSample, TrainingSpec};
+use nrpm_synth::{generate_training_samples_seeded, TrainingSample, TrainingSpec};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 /// Options of the DNN modeler.
 #[derive(Debug, Clone)]
@@ -57,6 +57,12 @@ pub struct DnnOptions {
     /// Input-value scaling of the preprocessing step (ablation knob; the
     /// default log-ratio encoding separates growth classes far better).
     pub encoding: ValueScaling,
+    /// Worker threads for synthetic corpus generation and training. `0`
+    /// (the default) resolves to the process-wide
+    /// [`ThreadBudget`](nrpm_linalg::ThreadBudget), which honors the
+    /// `NRPM_THREADS` environment variable. Results are bitwise identical
+    /// at every thread count — this knob only changes speed.
+    pub train_threads: usize,
 }
 
 impl Default for DnnOptions {
@@ -82,6 +88,7 @@ impl Default for DnnOptions {
             tie_tolerance: 1e-6,
             min_points: 5,
             encoding: ValueScaling::default(),
+            train_threads: 0,
         }
     }
 }
@@ -138,7 +145,11 @@ impl DnnModeler {
     pub fn pretrained(opts: DnnOptions) -> Self {
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let mut network = Network::new(&opts.network, opts.seed);
-        let samples = generate_training_samples(&opts.pretrain_spec, &mut rng);
+        let samples = generate_training_samples_seeded(
+            &opts.pretrain_spec,
+            rng.next_u64(),
+            opts.train_threads,
+        );
         let data = dataset_from_samples_with(&samples, opts.encoding);
         // Guarded training: synthetic pretraining data is benign by
         // construction, but the watchdog makes divergence (NaN loss,
@@ -152,6 +163,7 @@ impl DnnModeler {
                     batch_size: opts.batch_size,
                     optimizer: opts.optimizer,
                     shuffle_seed: opts.seed ^ 0xA5A5,
+                    threads: opts.train_threads,
                     ..Default::default()
                 },
                 &WatchdogOptions::default(),
@@ -194,7 +206,8 @@ impl DnnModeler {
     ///
     /// Returns the number of training samples used.
     pub fn adapt_with_spec(&mut self, spec: &TrainingSpec) -> usize {
-        let samples = generate_training_samples(spec, &mut self.rng);
+        let samples =
+            generate_training_samples_seeded(spec, self.rng.next_u64(), self.opts.train_threads);
         let data = dataset_from_samples_with(&samples, self.opts.encoding);
         self.network
             .train_guarded(
@@ -204,6 +217,7 @@ impl DnnModeler {
                     batch_size: self.opts.batch_size,
                     optimizer: self.opts.optimizer,
                     shuffle_seed: self.opts.seed ^ 0x5A5A,
+                    threads: self.opts.train_threads,
                     ..Default::default()
                 },
                 &WatchdogOptions::default(),
@@ -254,7 +268,11 @@ impl DnnModeler {
                 aggregation: self.opts.aggregation,
                 ..Default::default()
             };
-            all_samples.extend(generate_training_samples(&spec, &mut self.rng));
+            all_samples.extend(generate_training_samples_seeded(
+                &spec,
+                self.rng.next_u64(),
+                self.opts.train_threads,
+            ));
         }
         if all_samples.is_empty() {
             return Err(ModelError::NoViableHypothesis);
@@ -268,6 +286,7 @@ impl DnnModeler {
                     batch_size: self.opts.batch_size,
                     optimizer: self.opts.optimizer,
                     shuffle_seed: self.opts.seed ^ 0x5A5A,
+                    threads: self.opts.train_threads,
                     ..Default::default()
                 },
                 &WatchdogOptions::default(),
@@ -547,6 +566,7 @@ pub fn dataset_from_samples_with(samples: &[TrainingSample], scaling: ValueScali
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nrpm_synth::generate_training_samples;
 
     use std::sync::OnceLock;
 

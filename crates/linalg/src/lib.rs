@@ -28,12 +28,16 @@ mod matmul;
 mod matrix;
 mod qr;
 pub mod stats;
+mod thread_budget;
 mod vector;
 
 pub use error::LinalgError;
-pub use matmul::{matmul, matmul_into, matmul_threaded, matvec, MatmulOptions};
+pub use matmul::{
+    default_threads, matmul, matmul_at_into, matmul_into, matmul_threaded, matvec, MatmulOptions,
+};
 pub use matrix::Matrix;
 pub use qr::{lstsq, solve_upper_triangular, QrDecomposition};
+pub use thread_budget::ThreadBudget;
 pub use vector::{axpy, dot, norm2, norm_inf, scale};
 
 /// Convenience alias used across the workspace for result types.

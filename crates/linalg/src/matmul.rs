@@ -6,7 +6,7 @@
 //! `k` dimension is blocked to keep the active panel of `b` in L1/L2, and
 //! rows of the output are distributed over crossbeam scoped threads.
 
-use crate::{dot, LinalgError, Matrix, Result};
+use crate::{dot, LinalgError, Matrix, Result, ThreadBudget};
 
 /// Tuning knobs for [`matmul`].
 #[derive(Debug, Clone, Copy)]
@@ -30,10 +30,13 @@ impl Default for MatmulOptions {
     }
 }
 
-fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+/// Default worker count for matmul: the process-wide [`ThreadBudget`].
+///
+/// Components that share cores with other parallel layers (serve workers,
+/// the data-parallel trainer) size themselves from the same budget, so the
+/// pieces compose without oversubscribing the machine.
+pub fn default_threads() -> usize {
+    ThreadBudget::get()
 }
 
 /// `C = A * B` with default options.
@@ -140,6 +143,98 @@ fn matmul_panel(
                 for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
                     *cv += aik * bv;
                 }
+            }
+        }
+    }
+}
+
+/// `C = Aᵀ * B`, writing into a preallocated output, without materializing
+/// the transpose of `A`.
+///
+/// `A` is `k x m`, `B` is `k x n`, and `C` must be `m x n`. The kernel
+/// streams rows of `A` and `B` together (`C[r] += A[i][r] * B[i]` for each
+/// shared row `i`), so all three matrices are accessed contiguously. This is
+/// the backward-pass shape `dW = Xᵀ · dZ`: the training loop calls it every
+/// step, and skipping the explicit `X.transpose()` allocation is the point.
+///
+/// Each output element accumulates over `i` in ascending order regardless of
+/// how output rows are partitioned across threads, so results are bitwise
+/// identical at any thread count.
+pub fn matmul_at_into(a: &Matrix, b: &Matrix, c: &mut Matrix, opts: MatmulOptions) -> Result<()> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matmul_at",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if c.shape() != (a.cols(), b.cols()) {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matmul_at (output)",
+            lhs: c.shape(),
+            rhs: (a.cols(), b.cols()),
+        });
+    }
+    c.fill_zero();
+
+    let k = a.rows();
+    let m = a.cols();
+    let n = b.cols();
+    if m == 0 || n == 0 || k == 0 {
+        return Ok(());
+    }
+
+    let threads = opts.threads.max(1);
+    let use_parallel = threads > 1 && m * n >= opts.parallel_threshold && m > 1;
+
+    if !use_parallel {
+        matmul_at_panel(a.as_slice(), b.as_slice(), c.as_mut_slice(), 0, m, k, m, n);
+        return Ok(());
+    }
+
+    let rows_per_thread = m.div_ceil(threads);
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let panels: Vec<&mut [f64]> = c.as_mut_slice().chunks_mut(rows_per_thread * n).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for (t, panel) in panels.into_iter().enumerate() {
+            let row0 = t * rows_per_thread;
+            let rows_here = panel.len() / n;
+            scope.spawn(move |_| {
+                matmul_at_panel(a_data, b_data, panel, row0, rows_here, k, m, n);
+            });
+        }
+    })
+    .expect("matmul_at worker panicked");
+
+    Ok(())
+}
+
+/// Computes `rows_here` rows of `C = Aᵀ B` (output rows = columns of `A`),
+/// starting at output row `row0`, into `c_panel`.
+#[allow(clippy::too_many_arguments)]
+fn matmul_at_panel(
+    a: &[f64],
+    b: &[f64],
+    c_panel: &mut [f64],
+    row0: usize,
+    rows_here: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    for i in 0..k {
+        let a_row = &a[i * m..(i + 1) * m];
+        let b_row = &b[i * n..(i + 1) * n];
+        for r in 0..rows_here {
+            let air = a_row[row0 + r];
+            if air == 0.0 {
+                continue;
+            }
+            let c_row = &mut c_panel[r * n..(r + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += air * bv;
             }
         }
     }
@@ -297,6 +392,73 @@ mod tests {
             assert!((v - via_matmul[(i, 0)]).abs() < 1e-12);
         }
         assert!(matvec(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn matmul_at_matches_explicit_transpose() {
+        for &(k, m, n) in &[(1, 1, 1), (7, 3, 2), (5, 17, 13), (64, 32, 43), (100, 2, 3)] {
+            let a = pseudo_random_matrix(k, m, 29);
+            let b = pseudo_random_matrix(k, n, 37);
+            let expected = matmul(&a.transpose(), &b).unwrap();
+            let mut c = Matrix::zeros(m, n);
+            matmul_at_into(
+                &a,
+                &b,
+                &mut c,
+                MatmulOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            for (x, y) in c.as_slice().iter().zip(expected.as_slice()) {
+                assert!((x - y).abs() < 1e-9, "mismatch {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_at_parallel_is_bitwise_equal_to_sequential() {
+        let a = pseudo_random_matrix(53, 96, 41);
+        let b = pseudo_random_matrix(53, 71, 43);
+        let mut seq = Matrix::zeros(96, 71);
+        matmul_at_into(
+            &a,
+            &b,
+            &mut seq,
+            MatmulOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for threads in 2..=8 {
+            let mut par = Matrix::zeros(96, 71);
+            matmul_at_into(
+                &a,
+                &b,
+                &mut par,
+                MatmulOptions {
+                    threads,
+                    parallel_threshold: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn matmul_at_validates_shapes() {
+        let a = Matrix::zeros(4, 3);
+        let b = Matrix::zeros(5, 2);
+        let mut c = Matrix::zeros(3, 2);
+        assert!(matmul_at_into(&a, &b, &mut c, MatmulOptions::default()).is_err());
+        let b = Matrix::zeros(4, 2);
+        let mut wrong = Matrix::zeros(2, 2);
+        assert!(matmul_at_into(&a, &b, &mut wrong, MatmulOptions::default()).is_err());
+        assert!(matmul_at_into(&a, &b, &mut c, MatmulOptions::default()).is_ok());
     }
 
     #[test]

@@ -207,6 +207,27 @@ impl Matrix {
         out
     }
 
+    /// Writes the transpose of `self` into a preallocated matrix, keeping
+    /// `out`'s allocation. The training loop uses this to refresh cached
+    /// transposed weight panels once per optimizer step instead of
+    /// allocating a fresh [`Matrix::transpose`] in every backward pass.
+    pub fn transpose_into(&self, out: &mut Matrix) -> Result<()> {
+        if out.shape() != (self.cols, self.rows) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "transpose_into",
+                lhs: out.shape(),
+                rhs: (self.cols, self.rows),
+            });
+        }
+        for r in 0..self.rows {
+            let src = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (c, &v) in src.iter().enumerate() {
+                out.data[c * self.rows + r] = v;
+            }
+        }
+        Ok(())
+    }
+
     /// Element-wise in-place map.
     pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
         for v in &mut self.data {
@@ -272,6 +293,17 @@ impl Matrix {
     /// Sets every entry to zero, keeping the allocation.
     pub fn fill_zero(&mut self) {
         self.data.fill(0.0);
+    }
+
+    /// Reshapes the matrix to `rows x cols` in place, reusing the existing
+    /// allocation whenever the capacity suffices. Entry values after a
+    /// resize are unspecified (a mix of old data and zeros) — this is a
+    /// scratch-buffer primitive for training arenas that overwrite the
+    /// contents anyway, not a data operation.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Frobenius norm (`sqrt` of the sum of squared entries).
@@ -444,6 +476,22 @@ mod tests {
     }
 
     #[test]
+    fn transpose_into_matches_transpose_and_validates_shape() {
+        let m = Matrix::from_fn(4, 7, |r, c| (r * 7 + c) as f64);
+        let mut out = Matrix::filled(7, 4, -1.0);
+        m.transpose_into(&mut out).unwrap();
+        assert_eq!(out, m.transpose());
+        let mut wrong = Matrix::zeros(4, 7);
+        assert!(matches!(
+            m.transpose_into(&mut wrong),
+            Err(LinalgError::ShapeMismatch {
+                op: "transpose_into",
+                ..
+            })
+        ));
+    }
+
+    #[test]
     fn elementwise_ops() {
         let mut a = Matrix::filled(2, 2, 2.0);
         let b = Matrix::filled(2, 2, 3.0);
@@ -502,6 +550,23 @@ mod tests {
         assert_eq!(s.shape(), (3, 2));
         assert_eq!(s.row(2), &[5.0, 6.0]);
         assert!(a.vstack(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn resize_reshapes_and_keeps_capacity_when_shrinking() {
+        use crate::{matmul_into, MatmulOptions};
+        let mut m = Matrix::filled(4, 4, 1.0);
+        m.resize(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.len(), 6);
+        m.resize(5, 2);
+        assert_eq!(m.shape(), (5, 2));
+        assert_eq!(m.len(), 10);
+        // Still usable as a matmul output after resizing.
+        let a = Matrix::identity(5);
+        let b = Matrix::filled(5, 2, 2.0);
+        matmul_into(&a, &b, &mut m, MatmulOptions::default()).unwrap();
+        assert_eq!(m, b);
     }
 
     #[test]

@@ -17,14 +17,23 @@ pub fn median(xs: &[f64]) -> f64 {
 
 /// Linear-interpolation quantile (type 7, the numpy/R default).
 ///
-/// `q` is clamped to `[0, 1]`. Returns `NaN` for an empty slice.
+/// `q` is clamped to `[0, 1]`. `NaN` values in the input are ignored —
+/// measurement pipelines upstream can leak them (faulted repetitions,
+/// 0/0 ratios) and a panic here would take a whole serving worker down.
+/// Returns `NaN` when no finite-or-infinite values remain.
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
-    if xs.is_empty() {
+    let sorted = sorted_ignoring_nan(xs);
+    if sorted.is_empty() {
         return f64::NAN;
     }
-    let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in input"));
     quantile_sorted(&sorted, q)
+}
+
+/// Copies `xs` without its `NaN` entries and sorts the rest ascending.
+fn sorted_ignoring_nan(xs: &[f64]) -> Vec<f64> {
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|v| !v.is_nan()).collect();
+    sorted.sort_unstable_by(f64::total_cmp);
+    sorted
 }
 
 /// Quantile over data that is already sorted ascending.
@@ -89,13 +98,14 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Computes the summary of `xs`. Returns `None` for an empty slice.
+    /// Computes the summary of `xs`, ignoring `NaN` values. Returns `None`
+    /// when no non-`NaN` samples remain (including the empty slice); the
+    /// reported `count` is the number of samples actually summarized.
     pub fn of(xs: &[f64]) -> Option<Summary> {
-        if xs.is_empty() {
+        let sorted = sorted_ignoring_nan(xs);
+        if sorted.is_empty() {
             return None;
         }
-        let mut sorted = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("Summary: NaN in input"));
         Some(Summary {
             count: sorted.len(),
             mean: mean(&sorted),
@@ -150,7 +160,12 @@ pub fn bootstrap_median_ci(
         }
         medians.push(median(&sample));
     }
-    medians.sort_by(|a, b| a.partial_cmp(b).expect("bootstrap: NaN median"));
+    // `median` ignores NaN inputs, but an all-NaN resample still yields a
+    // NaN median; drop those instead of letting them poison the quantiles.
+    let medians = sorted_ignoring_nan(&medians);
+    if medians.is_empty() {
+        return None;
+    }
     let lo = quantile_sorted(&medians, alpha / 2.0);
     let hi = quantile_sorted(&medians, 1.0 - alpha / 2.0);
     Some((lo, hi))
@@ -248,5 +263,52 @@ mod tests {
     fn bootstrap_rejects_degenerate_input() {
         assert!(bootstrap_median_ci(&[], 10, 0.05, |_| 0).is_none());
         assert!(bootstrap_median_ci(&[1.0], 0, 0.05, |_| 0).is_none());
+    }
+
+    #[test]
+    fn quantile_ignores_nan_instead_of_panicking() {
+        let xs = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(quantile(&xs, 0.5), 2.0);
+        assert_eq!(median(&xs), 2.0);
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 3.0);
+        // All-NaN degrades like the empty slice, not a panic.
+        assert!(quantile(&[f64::NAN, f64::NAN], 0.5).is_nan());
+        assert!(median(&[f64::NAN]).is_nan());
+    }
+
+    #[test]
+    fn summary_ignores_nan_and_counts_survivors() {
+        let s = Summary::of(&[5.0, f64::NAN, 1.0, f64::NAN, 3.0]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert!(Summary::of(&[f64::NAN, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn bootstrap_tolerates_nan_in_the_sample() {
+        let xs = [10.0, f64::NAN, 9.9, 10.1, 10.0];
+        let mut i = 0usize;
+        let ci = bootstrap_median_ci(&xs, 100, 0.05, |n| {
+            i = (i + 1) % n;
+            i
+        })
+        .unwrap();
+        assert!(ci.0.is_finite() && ci.1.is_finite());
+        assert!(ci.0 <= ci.1);
+        // Resamples that are entirely NaN are dropped, not propagated.
+        assert!(bootstrap_median_ci(&[f64::NAN], 10, 0.05, |_| 0).is_none());
+    }
+
+    #[test]
+    fn summary_still_handles_infinities() {
+        let s = Summary::of(&[f64::NEG_INFINITY, 0.0, f64::INFINITY]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, f64::NEG_INFINITY);
+        assert_eq!(s.max, f64::INFINITY);
+        assert_eq!(s.median, 0.0);
     }
 }

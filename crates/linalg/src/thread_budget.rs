@@ -1,0 +1,105 @@
+//! Process-wide worker-thread budget.
+//!
+//! Every parallel component in the workspace — blocked matmul, the
+//! data-parallel training step, synthetic corpus generation — sizes its
+//! thread pool from this single budget instead of each independently asking
+//! for [`std::thread::available_parallelism`]. That keeps composed layers
+//! from oversubscribing cores: a server running W request workers divides
+//! the budget so that W workers × per-worker matmul threads ≈ one machine,
+//! not W machines.
+//!
+//! The budget is initialized lazily from the `NRPM_THREADS` environment
+//! variable (when set to a positive integer) and otherwise from the
+//! machine's available parallelism. [`ThreadBudget::set`] overrides it for
+//! the rest of the process — `nrpm serve` uses this to hand each worker an
+//! equal slice of the machine.
+//!
+//! By convention a `threads: 0` knob anywhere in the workspace means "use
+//! the budget"; [`ThreadBudget::resolve`] implements that mapping.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `0` means "not initialized yet"; any positive value is the budget.
+static BUDGET: AtomicUsize = AtomicUsize::new(0);
+
+/// Handle to the process-wide thread budget. All methods are associated
+/// functions; the type carries no state.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadBudget;
+
+impl ThreadBudget {
+    /// Returns the current budget, initializing it on first use from
+    /// `NRPM_THREADS` (if set to a positive integer) or the machine's
+    /// available parallelism. Always at least `1`.
+    pub fn get() -> usize {
+        let current = BUDGET.load(Ordering::Relaxed);
+        if current != 0 {
+            return current;
+        }
+        let initial = parse_threads_env(std::env::var("NRPM_THREADS").ok().as_deref())
+            .unwrap_or_else(default_parallelism);
+        // Racing first calls may both compute `initial`; both compute the
+        // same value, so a plain compare-exchange keeps the winner.
+        match BUDGET.compare_exchange(0, initial, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => initial,
+            Err(existing) => existing,
+        }
+    }
+
+    /// Overrides the budget for the rest of the process. Values below `1`
+    /// are clamped to `1`.
+    pub fn set(threads: usize) {
+        BUDGET.store(threads.max(1), Ordering::Relaxed);
+    }
+
+    /// Maps a `threads` knob onto an actual thread count: `0` means "use
+    /// the budget", any positive value is taken literally.
+    pub fn resolve(requested: usize) -> usize {
+        if requested == 0 {
+            Self::get()
+        } else {
+            requested
+        }
+    }
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parses the `NRPM_THREADS` value: positive integers are budgets, anything
+/// else (unset, empty, zero, garbage) falls through to autodetection.
+fn parse_threads_env(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_accepts_positive_integers_only() {
+        assert_eq!(parse_threads_env(Some("4")), Some(4));
+        assert_eq!(parse_threads_env(Some(" 8 ")), Some(8));
+        assert_eq!(parse_threads_env(Some("0")), None);
+        assert_eq!(parse_threads_env(Some("-2")), None);
+        assert_eq!(parse_threads_env(Some("lots")), None);
+        assert_eq!(parse_threads_env(Some("")), None);
+        assert_eq!(parse_threads_env(None), None);
+    }
+
+    #[test]
+    fn budget_is_positive_and_resolve_maps_zero_to_it() {
+        // The budget is process-global, so this test only asserts
+        // invariants that hold regardless of ordering with other tests.
+        assert!(ThreadBudget::get() >= 1);
+        assert_eq!(ThreadBudget::resolve(3), 3);
+        assert_eq!(ThreadBudget::resolve(0), ThreadBudget::get());
+        ThreadBudget::set(0); // clamped
+        assert!(ThreadBudget::get() >= 1);
+    }
+}

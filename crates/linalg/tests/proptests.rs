@@ -68,6 +68,37 @@ proptest! {
     }
 
     #[test]
+    fn threaded_matmul_is_bitwise_identical_to_sequential(
+        a in small_matrix(1..24, 1..24),
+        n in 1usize..16,
+        k_block in 1usize..48,
+        threads in 1usize..=8,
+        seed in 0u64..1000,
+    ) {
+        // Row-panel parallelism hands each thread disjoint output rows and
+        // every row accumulates in the same k order, so the parallel product
+        // must equal the sequential one bit for bit — not just within an
+        // epsilon. This is what makes threaded training seed-reproducible.
+        let k = a.cols();
+        let mut s = seed | 1;
+        let b = Matrix::from_fn(k, n, |_, _| {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s % 1000) as f64 / 100.0 - 5.0
+        });
+        let seq = matmul_threaded(&a, &b, MatmulOptions {
+            threads: 1,
+            k_block,
+            ..Default::default()
+        }).unwrap();
+        let par = matmul_threaded(&a, &b, MatmulOptions {
+            threads,
+            k_block,
+            parallel_threshold: 1,
+        }).unwrap();
+        prop_assert_eq!(seq.as_slice(), par.as_slice());
+    }
+
+    #[test]
     fn transpose_preserves_dot_products(m in small_matrix(2..6, 2..6)) {
         // (A^T)_{ji} == A_{ij}
         let t = m.transpose();

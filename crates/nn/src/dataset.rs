@@ -127,19 +127,34 @@ impl Dataset {
     /// `indices.len() x num_classes` matrix.
     pub fn one_hot(&self, indices: &[usize]) -> Matrix {
         let mut y = Matrix::zeros(indices.len(), self.num_classes);
+        self.one_hot_into(indices, &mut y);
+        y
+    }
+
+    /// Like [`Dataset::one_hot`], but fills a caller-owned matrix (resized
+    /// in place) so the training loop reuses one buffer across batches.
+    pub fn one_hot_into(&self, indices: &[usize], y: &mut Matrix) {
+        y.resize(indices.len(), self.num_classes);
+        y.fill_zero();
         for (r, &i) in indices.iter().enumerate() {
             y[(r, self.labels[i])] = 1.0;
         }
-        y
     }
 
     /// Gathers the input rows at `indices` into a dense batch matrix.
     pub fn gather(&self, indices: &[usize]) -> Matrix {
         let mut x = Matrix::zeros(indices.len(), self.num_features());
+        self.gather_into(indices, &mut x);
+        x
+    }
+
+    /// Like [`Dataset::gather`], but fills a caller-owned matrix (resized
+    /// in place) so the training loop reuses one buffer across batches.
+    pub fn gather_into(&self, indices: &[usize], x: &mut Matrix) {
+        x.resize(indices.len(), self.num_features());
         for (r, &i) in indices.iter().enumerate() {
             x.row_mut(r).copy_from_slice(self.inputs.row(i));
         }
-        x
     }
 
     /// Per-class sample counts.

@@ -1,7 +1,7 @@
 //! Dense (fully connected) layers with batched forward and backward passes.
 
 use crate::activation::Activation;
-use nrpm_linalg::{matmul, Matrix};
+use nrpm_linalg::{matmul, matmul_into, MatmulOptions, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -67,13 +67,26 @@ impl DenseLayer {
     /// `act(X · W + b)`, shape `batch x out_dim`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
         let mut z = matmul(x, &self.weights).expect("layer shapes are validated at construction");
+        self.bias_and_activate(&mut z);
+        z
+    }
+
+    /// Allocation-free forward pass into a caller-owned buffer (resized in
+    /// place): the training arena reuses one output matrix per layer across
+    /// every batch of a run.
+    pub(crate) fn forward_into(&self, x: &Matrix, out: &mut Matrix, opts: MatmulOptions) {
+        out.resize(x.rows(), self.out_dim());
+        matmul_into(x, &self.weights, out, opts).expect("layer shapes are validated");
+        self.bias_and_activate(out);
+    }
+
+    fn bias_and_activate(&self, z: &mut Matrix) {
         let out = self.out_dim();
         for row in z.as_mut_slice().chunks_mut(out) {
             for (v, b) in row.iter_mut().zip(self.biases.iter()) {
                 *v = self.activation.apply(*v + b);
             }
         }
-        z
     }
 
     /// Backward pass.

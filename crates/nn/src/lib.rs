@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod activation;
+mod arena;
 mod dataset;
 mod layer;
 mod metrics;

@@ -1,18 +1,20 @@
 //! Mini-batch training with softmax + cross-entropy.
 //!
 //! The gradient of a mini-batch is embarrassingly data-parallel: the batch
-//! is split into per-thread chunks, each worker runs forward + backward on
-//! its rows, and the per-layer gradients are summed before the optimizer
-//! step. With `threads = 1` the path is fully sequential (and exactly
-//! reproducible across thread counts, up to floating-point summation order
-//! of the chunk gradients).
+//! is cut into fixed-size row chunks (see [`crate::arena`]), each worker
+//! runs forward + backward on its chunks inside a preallocated arena, and
+//! the per-chunk sum-gradients are reduced in canonical chunk order before
+//! the optimizer step. Because the chunk boundaries and the reduction order
+//! never depend on the worker count, training is **bitwise identical** at
+//! any thread count for a fixed seed — the thread knob only changes speed.
 
 use crate::activation::softmax_rows;
+use crate::arena::TrainScratch;
 use crate::dataset::Dataset;
 use crate::layer::LayerGradients;
 use crate::network::{Network, NetworkError};
 use crate::optimizer::{Optimizer, OptimizerKind};
-use nrpm_linalg::Matrix;
+use nrpm_linalg::{Matrix, ThreadBudget};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -27,9 +29,12 @@ pub struct TrainerOptions {
     pub optimizer: OptimizerKind,
     /// Seed of the shuffling RNG, for reproducible runs.
     pub shuffle_seed: u64,
-    /// Worker threads for the per-batch gradient computation. `1` is
-    /// sequential; more threads split each batch into chunks whose
-    /// gradients are accumulated before the update.
+    /// Worker threads for the per-batch gradient computation. `0` (the
+    /// default) resolves to the process-wide
+    /// [`ThreadBudget`](nrpm_linalg::ThreadBudget) (which honors the
+    /// `NRPM_THREADS` environment variable); `1` is sequential. The result
+    /// is bitwise identical at every thread count — the knob only changes
+    /// speed.
     pub threads: usize,
     /// L2 weight decay coefficient added to the weight gradients (biases
     /// are exempt, as usual). `0` disables it.
@@ -48,7 +53,7 @@ impl Default for TrainerOptions {
             batch_size: 128,
             optimizer: OptimizerKind::adamax_default(),
             shuffle_seed: 0x5eed,
-            threads: 1,
+            threads: 0,
             weight_decay: 0.0,
             patience: None,
             min_delta: 1e-4,
@@ -83,6 +88,8 @@ impl Network {
         self.check_dataset(data)?;
         assert!(opts.batch_size > 0, "batch size must be positive");
 
+        let threads = ThreadBudget::resolve(opts.threads);
+        let mut scratch = TrainScratch::new(self, opts.batch_size, threads);
         let mut optimizer = Optimizer::new(opts.optimizer, self.layers().len() * 2);
         let mut rng = StdRng::seed_from_u64(opts.shuffle_seed);
         let mut epoch_losses = Vec::with_capacity(opts.epochs);
@@ -94,12 +101,16 @@ impl Network {
             let mut epoch_loss = 0.0;
             let mut samples = 0usize;
             for batch in order.chunks(opts.batch_size) {
-                let x = data.gather(batch);
-                let y = data.one_hot(batch);
+                data.gather_into(batch, &mut scratch.x);
+                data.one_hot_into(batch, &mut scratch.y);
                 if opts.weight_decay > 0.0 {
                     self.apply_weight_decay(opts.weight_decay);
                 }
-                let loss = self.train_step_threaded(&x, &y, &mut optimizer, opts.threads);
+                // The weights changed since the last refresh (optimizer
+                // step and/or decay), so re-derive the cached transposes.
+                scratch.refresh_weights_t(self);
+                let loss = self.accumulate_gradients(&mut scratch);
+                self.apply_gradients(&scratch.total, &mut optimizer);
                 epoch_loss += loss * batch.len() as f64;
                 samples += batch.len();
             }
@@ -186,96 +197,6 @@ impl Network {
             optimizer.step(2 * l, layer.weights.as_mut_slice(), g.weights.as_slice());
             optimizer.step(2 * l + 1, &mut layer.biases, &g.biases);
         }
-    }
-
-    /// One gradient step on a batch (sequential path).
-    pub(crate) fn train_step(
-        &mut self,
-        x: &Matrix,
-        y_one_hot: &Matrix,
-        optimizer: &mut Optimizer,
-    ) -> f64 {
-        let (loss, grads) = self.compute_gradients(x, y_one_hot);
-        self.apply_gradients(&grads, optimizer);
-        loss
-    }
-
-    /// One gradient step on a batch, splitting the rows over `threads`
-    /// workers. Gradients are weighted by each chunk's share of the batch
-    /// so the result equals the sequential gradient (up to summation
-    /// order).
-    pub(crate) fn train_step_threaded(
-        &mut self,
-        x: &Matrix,
-        y_one_hot: &Matrix,
-        optimizer: &mut Optimizer,
-        threads: usize,
-    ) -> f64 {
-        let n = x.rows();
-        let threads = threads.max(1).min(n.max(1));
-        if threads == 1 || n < 2 * threads {
-            return self.train_step(x, y_one_hot, optimizer);
-        }
-
-        let rows_per_chunk = n.div_ceil(threads);
-        let classes = self.num_classes();
-        let features = x.cols();
-
-        // Compute per-chunk (loss, gradients) in parallel.
-        let this: &Network = self;
-        let mut partials: Vec<Option<(usize, f64, Vec<LayerGradients>)>> =
-            (0..threads).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
-            for (t, slot) in partials.iter_mut().enumerate() {
-                let row0 = t * rows_per_chunk;
-                let rows = rows_per_chunk.min(n - row0);
-                if rows == 0 {
-                    continue;
-                }
-                scope.spawn(move |_| {
-                    let xc = x.block(row0, 0, rows, features);
-                    let yc = y_one_hot.block(row0, 0, rows, classes);
-                    let (loss, grads) = this.compute_gradients(&xc, &yc);
-                    *slot = Some((rows, loss, grads));
-                });
-            }
-        })
-        .expect("trainer worker panicked");
-
-        // Weighted accumulation: each chunk's gradient is a mean over its
-        // rows; re-weight by rows/n to get the full-batch mean gradient.
-        let mut total_loss = 0.0;
-        let mut accumulated: Option<Vec<LayerGradients>> = None;
-        for partial in partials.into_iter().flatten() {
-            let (rows, loss, grads) = partial;
-            let weight = rows as f64 / n as f64;
-            total_loss += loss * weight;
-            match &mut accumulated {
-                None => {
-                    let mut grads = grads;
-                    for g in &mut grads {
-                        g.weights.scale_inplace(weight);
-                        for b in &mut g.biases {
-                            *b *= weight;
-                        }
-                    }
-                    accumulated = Some(grads);
-                }
-                Some(acc) => {
-                    for (a, g) in acc.iter_mut().zip(grads.iter()) {
-                        a.weights
-                            .scaled_add_assign(1.0, &g.weights, weight)
-                            .expect("layer shapes agree");
-                        for (ab, gb) in a.biases.iter_mut().zip(g.biases.iter()) {
-                            *ab += gb * weight;
-                        }
-                    }
-                }
-            }
-        }
-
-        self.apply_gradients(&accumulated.expect("at least one chunk"), optimizer);
-        total_loss
     }
 }
 
@@ -382,8 +303,12 @@ mod tests {
         assert_eq!(ra.epoch_losses, rb.epoch_losses);
     }
 
+    /// The determinism guarantee of the pooled trainer: the same seed
+    /// produces **bitwise identical** final weights and losses at every
+    /// worker-thread count, because the chunk boundaries and the gradient
+    /// reduction order never depend on the thread count.
     #[test]
-    fn threaded_training_matches_sequential_closely() {
+    fn training_is_bitwise_identical_at_every_thread_count() {
         let data = blobs(64, 13);
         let seq_opts = TrainerOptions {
             epochs: 3,
@@ -391,27 +316,17 @@ mod tests {
             threads: 1,
             ..Default::default()
         };
-        let par_opts = TrainerOptions {
-            threads: 4,
-            ..seq_opts.clone()
-        };
         let mut a = Network::new(&NetworkConfig::new(&[2, 8, 2]), 21);
-        let mut b = a.clone();
         let ra = a.train(&data, &seq_opts).unwrap();
-        let rb = b.train(&data, &par_opts).unwrap();
-        // Same math, different summation order: losses agree tightly.
-        for (x, y) in ra.epoch_losses.iter().zip(rb.epoch_losses.iter()) {
-            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
-        }
-        // Weights stay numerically close.
-        for (la, lb) in a.layers().iter().zip(b.layers()) {
-            let mut diff = la.weights.clone();
-            diff.sub_assign(&lb.weights).unwrap();
-            assert!(
-                diff.max_abs() < 1e-7,
-                "weights diverged by {}",
-                diff.max_abs()
-            );
+        for threads in [2usize, 3, 4, 8] {
+            let par_opts = TrainerOptions {
+                threads,
+                ..seq_opts.clone()
+            };
+            let mut b = Network::new(&NetworkConfig::new(&[2, 8, 2]), 21);
+            let rb = b.train(&data, &par_opts).unwrap();
+            assert_eq!(ra.epoch_losses, rb.epoch_losses, "threads = {threads}");
+            assert_eq!(a, b, "threads = {threads}");
         }
     }
 

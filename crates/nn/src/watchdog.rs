@@ -22,11 +22,13 @@
 //! [`GuardedReport::gave_up`] set, so callers always end with finite
 //! weights — degraded training is an outcome, not a crash.
 
+use crate::arena::TrainScratch;
 use crate::dataset::Dataset;
 use crate::layer::LayerGradients;
 use crate::network::{Network, NetworkError};
 use crate::optimizer::Optimizer;
 use crate::trainer::{TrainerOptions, TrainingReport};
+use nrpm_linalg::ThreadBudget;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
@@ -140,8 +142,11 @@ impl Network {
     /// Errors are reserved for structural problems (incompatible dataset,
     /// checkpoint I/O failures).
     ///
-    /// The guarded loop is sequential (the per-batch gradient is inspected
-    /// before it is applied); [`TrainerOptions::threads`] is ignored.
+    /// The guarded loop runs on the same pooled, chunk-parallel gradient
+    /// engine as [`Network::train`]: the full-batch gradient is reduced in
+    /// canonical chunk order, inspected, optionally clipped, and only then
+    /// applied. [`TrainerOptions::threads`] is honored (`0` resolves to the
+    /// process-wide thread budget) and does not change the numerics.
     pub fn train_guarded(
         &mut self,
         data: &Dataset,
@@ -151,6 +156,8 @@ impl Network {
         self.check_dataset(data)?;
         assert!(opts.batch_size > 0, "batch size must be positive");
 
+        let threads = ThreadBudget::resolve(opts.threads);
+        let mut scratch = TrainScratch::new(self, opts.batch_size, threads);
         let mut snapshot = self.clone();
         let mut optimizer = Optimizer::new(opts.optimizer, self.layers().len() * 2);
         let mut rng = StdRng::seed_from_u64(opts.shuffle_seed);
@@ -171,17 +178,21 @@ impl Network {
             let mut epoch_loss = 0.0;
             let mut samples = 0usize;
             for batch in order.chunks(opts.batch_size) {
-                let x = data.gather(batch);
-                let y = data.one_hot(batch);
+                data.gather_into(batch, &mut scratch.x);
+                data.one_hot_into(batch, &mut scratch.y);
                 if opts.weight_decay > 0.0 {
                     self.apply_weight_decay(opts.weight_decay);
                 }
-                let (mut loss, mut grads) = self.compute_gradients(&x, &y);
+                // The weights changed since the last refresh (optimizer
+                // step, decay, or rollback); re-derive the cached
+                // transposes before the backward pass reads them.
+                scratch.refresh_weights_t(self);
+                let mut loss = self.accumulate_gradients(&mut scratch);
                 global_step += 1;
                 if guard.inject_nan_loss_at.contains(&global_step) {
                     loss = f64::NAN;
                 }
-                let norm = grad_norm(&grads);
+                let norm = grad_norm(&scratch.total);
                 let detected = if !loss.is_finite() {
                     Some(FaultDetected::NonFiniteLoss)
                 } else if !norm.is_finite() {
@@ -216,17 +227,11 @@ impl Network {
                 }
                 if let Some(clip) = guard.clip_norm {
                     if norm > clip && norm > 0.0 {
-                        let scale = clip / norm;
-                        for g in &mut grads {
-                            g.weights.scale_inplace(scale);
-                            for b in &mut g.biases {
-                                *b *= scale;
-                            }
-                        }
+                        scratch.scale_total(clip / norm);
                         clipped_steps += 1;
                     }
                 }
-                self.apply_gradients(&grads, &mut optimizer);
+                self.apply_gradients(&scratch.total, &mut optimizer);
                 applied_steps += 1;
                 epoch_loss += loss * batch.len() as f64;
                 samples += batch.len();

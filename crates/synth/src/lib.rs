@@ -21,4 +21,6 @@ pub use fault::{FaultInjector, FaultKind, InjectionSummary};
 pub use function::{random_function, random_single_parameter_function, SyntheticFunction};
 pub use noise::{apply_noise, noisy_repetitions, NoiseModel};
 pub use sequences::{extend_sequence, random_sequence, SequenceKind};
-pub use training::{generate_training_samples, TrainingSample, TrainingSpec};
+pub use training::{
+    generate_training_samples, generate_training_samples_seeded, TrainingSample, TrainingSpec,
+};

@@ -91,8 +91,8 @@ mod tests {
             lo = lo.min(v);
             hi = hi.max(v);
         }
-        assert!(lo >= 0.5 && lo < 0.55, "lo = {lo}");
-        assert!(hi <= 1.5 && hi > 1.45, "hi = {hi}");
+        assert!((0.5..0.55).contains(&lo), "lo = {lo}");
+        assert!((1.45..=1.5).contains(&hi), "hi = {hi}");
     }
 
     #[test]
