@@ -14,7 +14,8 @@ use nrpm_linalg::ThreadBudget;
 use nrpm_nn::Network;
 use nrpm_registry::cache::JOURNAL_FILE;
 use nrpm_registry::checkpoints::VerifyIssue;
-use nrpm_registry::{hex16, CheckpointRegistry, Journal, ResultCache};
+use nrpm_registry::{hex16, CheckpointRegistry, Journal, ResultCache, SwapJournal};
+use nrpm_serve::adapt::AdaptOptions;
 use nrpm_serve::client::{Client, RetryPolicy, RetryingClient};
 use nrpm_serve::server::{ServeOptions, Server};
 use nrpm_serve::store::ModelStore;
@@ -35,6 +36,7 @@ usage:
              [--timeout-ms T] [--queue-depth N] [--max-conns N]
              [--io-timeout-ms T] [--work-delay-ms T]
              [--cache-capacity N] [--cache-dir DIR] [--train-threads N]
+             [--adapt-interval MS] [--swap-smape-tolerance FRAC]
   nrpm query health|stats|shutdown [--addr HOST:PORT] [--timeout-ms T]
   nrpm query model <file> [--at x1,x2,...] [--addr HOST:PORT] [--timeout-ms T]
   nrpm query batch <file>... [--addr HOST:PORT] [--timeout-ms T]
@@ -66,7 +68,18 @@ threading:
   --train-threads sets the worker threads for corpus generation and
   training (0 = the process thread budget, which honors NRPM_THREADS
   and defaults to the machine's cores). Results are bitwise identical
-  at every thread count. `serve` divides the budget among its workers.
+  at every thread count. `serve` divides the budget among its workers;
+  with --adapt-interval, a quarter of the budget is reserved for the
+  adaptation engine's retraining before the division.
+
+background adaptation:
+  --adapt-interval MS runs a supervised background engine that
+  accumulates per-tenant noise profiles from live requests, retrains
+  the network, shadow-validates the candidate against mirrored
+  traffic, and hot-swaps it in through a crash-safe two-phase journal
+  (stored under --cache-dir; memory-only without one). A swap whose
+  live SMAPE regresses afterwards is rolled back automatically.
+  --swap-smape-tolerance FRAC (default 0.10) sets the shadow gate.
 
 caching:
   `serve` memoizes model outcomes per (measurement set, checkpoint,
@@ -75,8 +88,10 @@ caching:
   disk so they survive restarts. `registry` maintains such a directory:
   `stats` summarizes it, `verify` is a read-only integrity sweep (exit 4
   on damage), `gc` drops unreferenced checkpoints and compacts the
-  journal, `warm` stores a checkpoint and pre-models files into the
-  cache (pass --adapt iff the server runs with --adapt)
+  journal — checkpoints the swap journal still names (serving,
+  rollback target, pending candidates) are pinned — and `warm` stores
+  a checkpoint and pre-models files into the cache (pass --adapt iff
+  the server runs with --adapt)
 
 exit codes: 0 success, 2 usage, 3 unreadable or malformed input,
             4 recoverable modeling failure, 5 fatal modeling failure";
@@ -180,6 +195,12 @@ pub enum Invocation {
         /// Total thread budget shared by the workers (0 = the process
         /// thread budget).
         train_threads: usize,
+        /// Run the background adaptation engine, cycling every this many
+        /// milliseconds. `None` disables the engine.
+        adapt_interval_ms: Option<u64>,
+        /// Shadow-validation gate: a candidate may exceed the incumbent's
+        /// SMAPE on mirrored requests by at most this fraction.
+        swap_smape_tolerance: Option<f64>,
     },
     /// Inspect or maintain a registry/cache directory.
     Registry {
@@ -373,6 +394,38 @@ impl Invocation {
                     })
                     .transpose()?
                     .unwrap_or(0),
+                adapt_interval_ms: {
+                    let interval = get_value("adapt-interval")?
+                        .map(|s| {
+                            s.parse()
+                                .map_err(|_| "--adapt-interval: not a number".to_string())
+                        })
+                        .transpose()?;
+                    if interval == Some(0) {
+                        return Err("--adapt-interval: must be at least 1 ms".to_string());
+                    }
+                    interval
+                },
+                swap_smape_tolerance: {
+                    let tolerance = get_value("swap-smape-tolerance")?
+                        .map(|s| {
+                            s.parse::<f64>()
+                                .map_err(|_| "--swap-smape-tolerance: not a number".to_string())
+                        })
+                        .transpose()?;
+                    match tolerance {
+                        Some(t) if !t.is_finite() || t < 0.0 => {
+                            return Err("--swap-smape-tolerance: must be a non-negative fraction"
+                                .to_string())
+                        }
+                        Some(_) if get_flag("adapt-interval").is_none() => {
+                            return Err(
+                                "--swap-smape-tolerance requires --adapt-interval".to_string()
+                            )
+                        }
+                        _ => tolerance,
+                    }
+                },
             }),
             "registry" => {
                 let action = match positional.first().map(String::as_str) {
@@ -638,15 +691,27 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
             cache_capacity,
             cache_dir,
             train_threads,
+            adapt_interval_ms,
+            swap_smape_tolerance,
         } => {
             // Divide the thread budget among the serving workers so
             // concurrent adaptation jobs don't oversubscribe the cores.
+            // When the background adaptation engine runs, it *reserves* a
+            // quarter of the budget for its retraining up front — the
+            // engine's threads come out of the same process-wide budget,
+            // never on top of the serve workers'.
             let budget = if *train_threads > 0 {
                 *train_threads
             } else {
                 ThreadBudget::get()
             };
-            ThreadBudget::set((budget / (*workers).max(1)).max(1));
+            let adapt_threads = if adapt_interval_ms.is_some() {
+                (budget / 4).max(1)
+            } else {
+                0
+            };
+            let serve_budget = budget.saturating_sub(adapt_threads).max(1);
+            ThreadBudget::set((serve_budget / (*workers).max(1)).max(1));
             let store = ModelStore::open(model, AdaptiveOptions::default())
                 .map_err(|e| CliError::io(format!("{}: {e}", model.display())))?;
             let mut opts = ServeOptions {
@@ -664,6 +729,20 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
             }
             if let Some(t) = io_timeout_ms {
                 opts.io_timeout = Duration::from_millis(*t);
+            }
+            if let Some(interval) = adapt_interval_ms {
+                opts.adaptation = AdaptOptions {
+                    enabled: true,
+                    interval: Duration::from_millis(*interval),
+                    smape_tolerance: swap_smape_tolerance
+                        .unwrap_or(AdaptOptions::default().smape_tolerance),
+                    // Adapted checkpoints and the swap journal live beside
+                    // the result cache, so one directory is the server's
+                    // whole durable state.
+                    dir: cache_dir.clone(),
+                    train_threads: adapt_threads,
+                    ..Default::default()
+                };
             }
             let server = Server::start(addr, store, opts)
                 .map_err(|e| CliError::io(format!("{addr}: {e}")))?;
@@ -875,11 +954,26 @@ fn registry_verify(dir: &Path) -> Result<String, CliError> {
 }
 
 /// `nrpm registry gc`: drop checkpoints no ref points at and rewrite the
-/// cache journal down to its live entries.
+/// cache journal down to its live entries. Checkpoints named by the swap
+/// journal — the serving one, the previous (rollback-target) one, and any
+/// pending swap's candidate — are pinned even without a ref, so a crash or
+/// rollback can never land on a collected hash.
 fn registry_gc(dir: &Path, cache_capacity: usize) -> Result<String, CliError> {
     let registry = open_registry(dir, true)?;
-    let removed = registry.gc().map_err(|e| in_dir(dir, e))?;
+    let mut pins = std::collections::HashSet::new();
+    let mut journal_present = false;
+    if dir.join(nrpm_registry::swap::SWAP_JOURNAL_FILE).exists() {
+        let (journal, _recovery) = SwapJournal::open(dir).map_err(|e| {
+            CliError::io(format!("{}: cannot read swap journal: {e}", dir.display()))
+        })?;
+        pins = journal.live_hashes();
+        journal_present = true;
+    }
+    let removed = registry.gc_with_pins(&pins).map_err(|e| in_dir(dir, e))?;
     let mut out = String::new();
+    if journal_present {
+        let _ = writeln!(out, "swap-journal pinned checkpoints: {}", pins.len());
+    }
     for hash in &removed {
         let _ = writeln!(out, "removed unreferenced checkpoint {}", hex16(*hash));
     }
@@ -1056,6 +1150,17 @@ mod tests {
         assert!(parse("serve --model n.json --queue-depth deep").is_err());
         assert!(parse("serve --model n.json --cache-capacity lots").is_err());
         assert!(parse("serve --model n.json --train-threads three").is_err());
+        assert!(parse("serve --model n.json --adapt-interval soon").is_err());
+        assert!(parse("serve --model n.json --adapt-interval 0").is_err());
+        assert!(
+            parse("serve --model n.json --adapt-interval 1000 --swap-smape-tolerance lax").is_err()
+        );
+        assert!(
+            parse("serve --model n.json --adapt-interval 1000 --swap-smape-tolerance -0.5")
+                .is_err()
+        );
+        // The gate tolerance is meaningless without the engine that uses it.
+        assert!(parse("serve --model n.json --swap-smape-tolerance 0.2").is_err());
         assert!(parse("pretrain --out n.json --train-threads many").is_err());
         assert!(parse("registry").is_err()); // action required
         assert!(parse("registry frobnicate --dir d").is_err());
@@ -1077,7 +1182,8 @@ mod tests {
             parse(
                 "serve --model net.json --addr 0.0.0.0:9000 --workers 8 --adapt --timeout-ms 500 \
                  --queue-depth 2 --max-conns 32 --io-timeout-ms 750 --work-delay-ms 10 \
-                 --cache-capacity 9 --cache-dir /var/cache/nrpm --train-threads 6"
+                 --cache-capacity 9 --cache-dir /var/cache/nrpm --train-threads 6 \
+                 --adapt-interval 5000 --swap-smape-tolerance 0.25"
             )
             .unwrap(),
             Invocation::Serve {
@@ -1093,6 +1199,8 @@ mod tests {
                 cache_capacity: 9,
                 cache_dir: Some("/var/cache/nrpm".into()),
                 train_threads: 6,
+                adapt_interval_ms: Some(5000),
+                swap_smape_tolerance: Some(0.25),
             }
         );
         assert_eq!(
@@ -1110,6 +1218,8 @@ mod tests {
                 cache_capacity: 1024,
                 cache_dir: None,
                 train_threads: 0,
+                adapt_interval_ms: None,
+                swap_smape_tolerance: None,
             }
         );
         assert_eq!(
@@ -1326,6 +1436,56 @@ mod tests {
         })
         .unwrap();
         server.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_pins_checkpoints_the_swap_journal_still_names() {
+        use nrpm_core::preprocess::NUM_INPUTS;
+        use nrpm_nn::NetworkConfig;
+
+        let dir = std::env::temp_dir().join("nrpm_cli_gc_pins_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let net = |seed| {
+            Network::new(
+                &NetworkConfig::new(&[NUM_INPUTS, 16, nrpm_extrap::NUM_CLASSES]),
+                seed,
+            )
+        };
+        let registry = CheckpointRegistry::open(&dir).unwrap();
+        let referenced = registry.put(&net(1)).unwrap();
+        registry.set_ref("default", referenced).unwrap();
+        // Serving + rollback-target checkpoints: named only by the swap
+        // journal, no ref points at them.
+        let serving = registry.put(&net(2)).unwrap();
+        let previous = registry.put(&net(3)).unwrap();
+        let stray = registry.put(&net(4)).unwrap();
+        {
+            let (mut journal, _) = SwapJournal::open(&dir).unwrap();
+            let seq = journal.begin(serving, previous).unwrap();
+            journal.mark_validated(seq).unwrap();
+            journal.commit(seq).unwrap();
+        }
+
+        let swept = registry_gc(&dir, 16).unwrap();
+        assert!(
+            swept.contains("swap-journal pinned checkpoints: 2"),
+            "{swept}"
+        );
+        assert!(swept.contains(&hex16(stray)), "{swept}");
+        assert!(swept.contains("checkpoints removed: 1"), "{swept}");
+        assert!(registry.get(referenced).is_ok());
+        assert!(
+            registry.get(serving).is_ok(),
+            "serving checkpoint collected"
+        );
+        assert!(
+            registry.get(previous).is_ok(),
+            "rollback target collected — a post-gc rollback would have nothing to restore"
+        );
+        assert!(registry.get(stray).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,240 @@
+//! Per-key noise accumulation for online adaptation.
+//!
+//! The serving adaptation pipeline needs to answer one question: *what
+//! kind of measurements is this deployment actually seeing?* Every
+//! successfully modeled request carries an estimated noise level, a
+//! repetition count, and a measurement sequence; this module folds those
+//! observations into per-key running statistics (a key is a tenant or
+//! workload tag), so the adaptation worker can retrain the network on
+//! synthetic data mirroring the *dominant* live workload rather than the
+//! generic pretraining distribution — the serving-side analogue of the
+//! paper's per-task domain adaptation (Sec. IV-E).
+//!
+//! The accumulator is plain data — no locks, no I/O. The serving layer
+//! owns synchronization (observations arrive through a channel drained by
+//! one thread).
+
+use nrpm_extrap::Aggregation;
+use nrpm_synth::TrainingSpec;
+use std::collections::HashMap;
+
+/// Running noise statistics for one key (tenant/workload tag).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyNoiseStats {
+    /// Observations folded in.
+    pub observations: u64,
+    /// Running mean of the observed per-request mean noise fractions.
+    pub mean_noise: f64,
+    /// Smallest observed noise fraction.
+    pub min_noise: f64,
+    /// Largest observed noise fraction.
+    pub max_noise: f64,
+    /// Largest repetition count seen (retraining simulates the worst case).
+    pub repetitions: usize,
+    /// Measurement positions of the most recent observation, used as the
+    /// fixed sequence of the adaptation corpus.
+    pub last_sequence: Vec<f64>,
+}
+
+impl KeyNoiseStats {
+    /// The observed noise range, clamped to non-negative fractions and
+    /// ordered `(lo, hi)`.
+    pub fn range(&self) -> (f64, f64) {
+        let lo = self.min_noise.max(0.0);
+        (lo, self.max_noise.max(lo))
+    }
+
+    /// Builds the synthetic-corpus spec that mirrors this key's workload:
+    /// its measurement positions, its repetition count, and its observed
+    /// noise range.
+    pub fn training_spec(
+        &self,
+        samples_per_class: usize,
+        aggregation: Aggregation,
+    ) -> TrainingSpec {
+        TrainingSpec {
+            samples_per_class,
+            sequence: (self.last_sequence.len() >= 2).then(|| self.last_sequence.clone()),
+            noise_range: self.range(),
+            repetitions: self.repetitions.clamp(1, 5),
+            aggregation,
+            ..Default::default()
+        }
+    }
+}
+
+/// Folds per-request noise observations into per-key running statistics.
+#[derive(Debug, Clone, Default)]
+pub struct NoiseAccumulator {
+    keys: HashMap<String, KeyNoiseStats>,
+    total: u64,
+}
+
+impl NoiseAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation into `key`'s statistics. `noise_mean` is the
+    /// request's estimated mean noise fraction, `noise_range` its
+    /// `(min, max)` estimate, `repetitions` the measurement repetitions,
+    /// and `sequence` the measurement positions (kept when it has at least
+    /// two points — a shorter sequence cannot seed a corpus).
+    pub fn record(
+        &mut self,
+        key: &str,
+        noise_mean: f64,
+        noise_range: (f64, f64),
+        repetitions: usize,
+        sequence: &[f64],
+    ) {
+        let noise_mean = if noise_mean.is_finite() {
+            noise_mean.max(0.0)
+        } else {
+            0.0
+        };
+        let lo = if noise_range.0.is_finite() {
+            noise_range.0.max(0.0)
+        } else {
+            noise_mean
+        };
+        let hi = if noise_range.1.is_finite() {
+            noise_range.1.max(lo)
+        } else {
+            noise_mean.max(lo)
+        };
+        let entry = self.keys.entry(key.to_string()).or_insert(KeyNoiseStats {
+            observations: 0,
+            mean_noise: 0.0,
+            min_noise: f64::INFINITY,
+            max_noise: 0.0,
+            repetitions: 1,
+            last_sequence: Vec::new(),
+        });
+        entry.observations += 1;
+        entry.mean_noise += (noise_mean - entry.mean_noise) / entry.observations as f64;
+        entry.min_noise = entry.min_noise.min(lo);
+        entry.max_noise = entry.max_noise.max(hi);
+        entry.repetitions = entry.repetitions.max(repetitions.max(1));
+        if sequence.len() >= 2 {
+            entry.last_sequence = sequence.to_vec();
+        }
+        self.total += 1;
+    }
+
+    /// The statistics accumulated for `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&KeyNoiseStats> {
+        self.keys.get(key)
+    }
+
+    /// The key with the most observations (ties broken lexicographically
+    /// for determinism) and its statistics — the workload adaptation
+    /// should retrain for.
+    pub fn dominant(&self) -> Option<(&str, &KeyNoiseStats)> {
+        self.keys
+            .iter()
+            .max_by(|(ka, a), (kb, b)| {
+                a.observations
+                    .cmp(&b.observations)
+                    .then_with(|| kb.as_str().cmp(ka.as_str()))
+            })
+            .map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Observations folded in across all keys.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct keys observed.
+    pub fn num_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Drops all accumulated state (after a completed adaptation cycle).
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_running_statistics_per_key() {
+        let mut acc = NoiseAccumulator::new();
+        acc.record("a", 0.02, (0.01, 0.05), 3, &[1.0, 2.0, 4.0]);
+        acc.record("a", 0.06, (0.02, 0.10), 5, &[1.0, 2.0, 8.0]);
+        acc.record("b", 0.50, (0.40, 0.60), 1, &[2.0, 4.0]);
+
+        let a = acc.get("a").unwrap();
+        assert_eq!(a.observations, 2);
+        assert!((a.mean_noise - 0.04).abs() < 1e-12);
+        assert_eq!(a.range(), (0.01, 0.10));
+        assert_eq!(a.repetitions, 5);
+        assert_eq!(a.last_sequence, vec![1.0, 2.0, 8.0]);
+        assert_eq!(acc.total(), 3);
+        assert_eq!(acc.num_keys(), 2);
+    }
+
+    #[test]
+    fn dominant_is_the_most_observed_key() {
+        let mut acc = NoiseAccumulator::new();
+        acc.record("rare", 0.1, (0.1, 0.1), 1, &[1.0, 2.0]);
+        for _ in 0..3 {
+            acc.record("hot", 0.2, (0.1, 0.3), 2, &[1.0, 2.0, 3.0]);
+        }
+        let (key, stats) = acc.dominant().unwrap();
+        assert_eq!(key, "hot");
+        assert_eq!(stats.observations, 3);
+        // Ties break lexicographically, deterministically.
+        let mut tie = NoiseAccumulator::new();
+        tie.record("b", 0.1, (0.1, 0.1), 1, &[1.0, 2.0]);
+        tie.record("a", 0.1, (0.1, 0.1), 1, &[1.0, 2.0]);
+        assert_eq!(tie.dominant().unwrap().0, "a");
+    }
+
+    #[test]
+    fn training_spec_mirrors_the_observed_workload() {
+        let mut acc = NoiseAccumulator::new();
+        acc.record("t", 0.05, (0.02, 0.08), 9, &[1.0, 2.0, 4.0, 8.0]);
+        let spec = acc.get("t").unwrap().training_spec(64, Aggregation::Median);
+        assert_eq!(spec.samples_per_class, 64);
+        assert_eq!(spec.sequence.as_deref(), Some(&[1.0, 2.0, 4.0, 8.0][..]));
+        assert_eq!(spec.noise_range, (0.02, 0.08));
+        assert_eq!(
+            spec.repetitions, 5,
+            "repetitions clamp to the simulator max"
+        );
+    }
+
+    #[test]
+    fn hostile_inputs_cannot_poison_the_statistics() {
+        let mut acc = NoiseAccumulator::new();
+        acc.record("t", f64::NAN, (f64::NEG_INFINITY, f64::INFINITY), 0, &[1.0]);
+        let stats = acc.get("t").unwrap();
+        assert!(stats.mean_noise.is_finite());
+        let (lo, hi) = stats.range();
+        assert!(lo.is_finite() && hi.is_finite() && lo >= 0.0 && hi >= lo);
+        assert_eq!(stats.repetitions, 1);
+        // A single-point sequence is useless for corpus generation: the
+        // spec falls back to random sequences.
+        assert!(stats
+            .training_spec(8, Aggregation::Median)
+            .sequence
+            .is_none());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut acc = NoiseAccumulator::new();
+        acc.record("x", 0.1, (0.1, 0.1), 1, &[1.0, 2.0]);
+        acc.clear();
+        assert_eq!(acc.total(), 0);
+        assert!(acc.get("x").is_none());
+        assert!(acc.dominant().is_none());
+    }
+}

@@ -17,7 +17,8 @@ use nrpm_extrap::{
 };
 use nrpm_linalg::Matrix;
 use nrpm_nn::{
-    top_k_classes, Dataset, Network, NetworkConfig, OptimizerKind, TrainerOptions, WatchdogOptions,
+    top_k_classes, Dataset, Network, NetworkConfig, OptimizerKind, TrainerOptions, ValidatedReport,
+    ValidationOptions, WatchdogOptions,
 };
 use nrpm_synth::{generate_training_samples_seeded, TrainingSample, TrainingSpec};
 use rand::rngs::StdRng;
@@ -224,6 +225,38 @@ impl DnnModeler {
             )
             .expect("adaptation dataset is compatible by construction");
         data.len()
+    }
+
+    /// Like [`Self::adapt_with_spec`], but behind the validation gate of
+    /// [`Network::train_validated`]: a holdout slice of the synthetic
+    /// adaptation corpus judges the retrain, and the pre-adaptation
+    /// weights are restored when training gives up or held-out accuracy
+    /// regresses beyond the tolerance. This is the retrain entry the
+    /// serving adaptation pipeline uses — a candidate that fails the gate
+    /// never leaves this method as a changed network.
+    pub fn adapt_with_spec_validated(
+        &mut self,
+        spec: &TrainingSpec,
+        validation: &ValidationOptions,
+    ) -> ValidatedReport {
+        let samples =
+            generate_training_samples_seeded(spec, self.rng.next_u64(), self.opts.train_threads);
+        let data = dataset_from_samples_with(&samples, self.opts.encoding);
+        self.network
+            .train_validated(
+                &data,
+                &TrainerOptions {
+                    epochs: self.opts.adaptation_epochs,
+                    batch_size: self.opts.batch_size,
+                    optimizer: self.opts.optimizer,
+                    shuffle_seed: self.opts.seed ^ 0x5A5A,
+                    threads: self.opts.train_threads,
+                    ..Default::default()
+                },
+                &WatchdogOptions::default(),
+                validation,
+            )
+            .expect("adaptation dataset is compatible by construction")
     }
 
     /// Domain adaptation (Sec. IV-E): retrains the network on fresh

@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod accumulate;
 pub mod adaptive;
 pub mod dnn;
 pub mod fingerprint;

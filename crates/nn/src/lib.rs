@@ -40,6 +40,7 @@ mod metrics;
 mod network;
 mod optimizer;
 mod trainer;
+mod validate;
 mod watchdog;
 
 pub use activation::Activation;
@@ -49,4 +50,5 @@ pub use metrics::{accuracy, confusion_matrix, top_k_accuracy, top_k_classes};
 pub use network::{Network, NetworkConfig, NetworkError};
 pub use optimizer::{Optimizer, OptimizerKind};
 pub use trainer::{TrainerOptions, TrainingReport};
+pub use validate::{ValidatedReport, ValidationOptions};
 pub use watchdog::{FaultDetected, FaultEvent, GuardedReport, WatchdogOptions};

@@ -316,7 +316,20 @@ impl CheckpointRegistry {
 
     /// Deletes every object no ref points at. Returns the deleted hashes.
     pub fn gc(&self) -> Result<Vec<u64>, RegistryError> {
-        let live: HashSet<u64> = self.refs()?.into_iter().map(|(_, h)| h).collect();
+        self.gc_with_pins(&HashSet::new())
+    }
+
+    /// Deletes every object that neither a ref nor `pins` keeps alive.
+    /// Returns the deleted hashes.
+    ///
+    /// The pin set exists for the serving swap protocol: the active
+    /// checkpoint, its rollback target, and any candidate referenced by a
+    /// pending swap-journal entry must survive GC even when no ref points
+    /// at them — collecting one would leave a recovering or rolling-back
+    /// server pointing at a deleted object.
+    pub fn gc_with_pins(&self, pins: &HashSet<u64>) -> Result<Vec<u64>, RegistryError> {
+        let mut live: HashSet<u64> = self.refs()?.into_iter().map(|(_, h)| h).collect();
+        live.extend(pins);
         let mut removed = Vec::new();
         for hash in self.list()? {
             if !live.contains(&hash) {
@@ -443,6 +456,23 @@ mod tests {
         assert_eq!(removed, expected);
         assert_eq!(registry.list().unwrap(), vec![keep]);
         assert!(registry.get(keep).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_with_pins_keeps_pinned_unreferenced_objects() {
+        let dir = tmp_dir("gc-pins");
+        let registry = CheckpointRegistry::open(&dir).unwrap();
+        let reffed = registry.put(&tiny_network(9)).unwrap();
+        let pinned = registry.put(&tiny_network(10)).unwrap();
+        let doomed = registry.put(&tiny_network(11)).unwrap();
+        registry.set_ref("default", reffed).unwrap();
+
+        let pins: HashSet<u64> = [pinned].into_iter().collect();
+        let removed = registry.gc_with_pins(&pins).unwrap();
+        assert_eq!(removed, vec![doomed]);
+        assert!(registry.get(reffed).is_ok());
+        assert!(registry.get(pinned).is_ok(), "pinned object must survive");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

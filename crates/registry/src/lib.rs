@@ -36,9 +36,11 @@ pub mod checkpoints;
 pub mod journal;
 pub mod lru;
 pub mod singleflight;
+pub mod swap;
 
 pub use cache::{CacheStats, ResultCache};
 pub use checkpoints::{hex16, parse_hex16, CheckpointRegistry, RegistryError, VerifyOutcome};
 pub use journal::{Journal, JournalError, RecoveryReport};
 pub use lru::{LruStats, ShardedLru};
 pub use singleflight::{Joined, SingleFlight};
+pub use swap::{SwapJournal, SwapPhase, SwapRecord, SwapRecovery};

@@ -86,12 +86,25 @@ impl Client {
         at: Option<Vec<f64>>,
         timeout_ms: Option<u64>,
     ) -> std::io::Result<Value> {
+        self.model_as(set, at, timeout_ms, None)
+    }
+
+    /// Models one kernel tagged with a tenant/workload key, which the
+    /// server's adaptation engine uses for per-key noise accumulation.
+    pub fn model_as(
+        &mut self,
+        set: MeasurementSet,
+        at: Option<Vec<f64>>,
+        timeout_ms: Option<u64>,
+        tenant: Option<String>,
+    ) -> std::io::Result<Value> {
         self.roundtrip(&Request::Model {
             set,
             at,
             timeout_ms,
             id: None,
             attempt: None,
+            tenant,
         })
     }
 
@@ -305,6 +318,7 @@ impl RetryingClient {
             timeout_ms,
             id: None,
             attempt: Some(attempt),
+            tenant: None,
         })
     }
 

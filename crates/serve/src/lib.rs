@@ -21,6 +21,13 @@
 //! concurrent identical requests are deduplicated with single-flight so
 //! a thundering herd models exactly once ([`server`]).
 //!
+//! When enabled, a supervised background **adaptation engine** ([`adapt`])
+//! accumulates per-tenant noise profiles from live traffic, retrains the
+//! network behind a validation gate, shadow-validates candidates against
+//! mirrored requests, and hot-swaps them into the [`store::ModelStore`]
+//! through a crash-safe two-phase journal — with an automatic rollback if
+//! live quality regresses after the swap.
+//!
 //! ```no_run
 //! use nrpm_core::adaptive::AdaptiveOptions;
 //! use nrpm_serve::client::Client;
@@ -38,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod chaos;
 pub mod client;
 pub mod metrics;

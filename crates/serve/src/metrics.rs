@@ -35,6 +35,13 @@ pub struct Metrics {
     queue_depth_hwm: AtomicU64,
     retries_observed: AtomicU64,
     worker_restarts: AtomicU64,
+    requests_adapt: AtomicU64,
+    adapt_observations: AtomicU64,
+    adapt_cycles: AtomicU64,
+    adapt_rejected: AtomicU64,
+    adapt_swaps: AtomicU64,
+    adapt_rollbacks: AtomicU64,
+    adapt_restarts: AtomicU64,
     choice_dnn: AtomicU64,
     choice_regression: AtomicU64,
     choice_constant_mean: AtomicU64,
@@ -63,6 +70,8 @@ pub enum RequestKind {
     Stats,
     /// A `shutdown` request.
     Shutdown,
+    /// An adaptation control request (`force_adapt` or `adapt_fault`).
+    Adapt,
 }
 
 /// Which error counter to bump — mirrors [`crate::protocol::ErrorKind`].
@@ -98,6 +107,7 @@ impl Metrics {
             RequestKind::Health => &self.requests_health,
             RequestKind::Stats => &self.requests_stats,
             RequestKind::Shutdown => &self.requests_shutdown,
+            RequestKind::Adapt => &self.requests_adapt,
         };
         counter.fetch_add(1, Ordering::Relaxed);
     }
@@ -142,6 +152,39 @@ impl Metrics {
     /// Records the supervisor respawning a dead worker.
     pub fn record_worker_restart(&self) {
         self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one noise observation handed to the adaptation engine.
+    pub fn record_adapt_observation(&self) {
+        self.adapt_observations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the adaptation engine starting a retrain cycle.
+    pub fn record_adapt_cycle(&self) {
+        self.adapt_cycles.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an adaptation candidate that was rejected before going live
+    /// (validation-gated retrain failed, corrupt checkpoint, or the shadow
+    /// gate measured a SMAPE regression).
+    pub fn record_adapt_rejected(&self) {
+        self.adapt_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a committed checkpoint hot-swap.
+    pub fn record_adapt_swap(&self) {
+        self.adapt_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the post-swap watchdog rolling back to the previous
+    /// checkpoint.
+    pub fn record_adapt_rollback(&self) {
+        self.adapt_rollbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the supervisor respawning a dead adaptation engine.
+    pub fn record_adapt_restart(&self) {
+        self.adapt_restarts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records which modeler produced a kernel's answer.
@@ -220,6 +263,13 @@ impl Metrics {
             queue_depth_hwm: get(&self.queue_depth_hwm),
             retries_observed: get(&self.retries_observed),
             worker_restarts: get(&self.worker_restarts),
+            requests_adapt: get(&self.requests_adapt),
+            adapt_observations: get(&self.adapt_observations),
+            adapt_cycles: get(&self.adapt_cycles),
+            adapt_rejected: get(&self.adapt_rejected),
+            adapt_swaps: get(&self.adapt_swaps),
+            adapt_rollbacks: get(&self.adapt_rollbacks),
+            adapt_restarts: get(&self.adapt_restarts),
             choice_dnn: get(&self.choice_dnn),
             choice_regression: get(&self.choice_regression),
             choice_constant_mean: get(&self.choice_constant_mean),
@@ -276,6 +326,20 @@ pub struct MetricsSnapshot {
     pub retries_observed: u64,
     /// Dead workers respawned by the supervisor.
     pub worker_restarts: u64,
+    /// Adaptation control requests received (`force_adapt`/`adapt_fault`).
+    pub requests_adapt: u64,
+    /// Noise observations handed to the adaptation engine.
+    pub adapt_observations: u64,
+    /// Adaptation retrain cycles started.
+    pub adapt_cycles: u64,
+    /// Adaptation candidates rejected before going live.
+    pub adapt_rejected: u64,
+    /// Checkpoint hot-swaps committed.
+    pub adapt_swaps: u64,
+    /// Post-swap watchdog rollbacks to the previous checkpoint.
+    pub adapt_rollbacks: u64,
+    /// Dead adaptation engines respawned by the supervisor.
+    pub adapt_restarts: u64,
     /// Kernels answered by the DNN modeler.
     pub choice_dnn: u64,
     /// Kernels answered by the regression modeler.
@@ -315,6 +379,7 @@ impl MetricsSnapshot {
             + self.requests_health
             + self.requests_stats
             + self.requests_shutdown
+            + self.requests_adapt
     }
 
     /// Total error responses of all classes.
@@ -379,6 +444,7 @@ mod tests {
         assert_eq!(s.retries_observed, 1);
         assert_eq!(s.worker_restarts, 2);
         assert_eq!(s.errors_total(), 1);
+        assert_eq!(s.adapt_swaps, 0);
 
         // The gauge clamps at zero even if exits race ahead of enters.
         m.queue_exit();
@@ -399,6 +465,28 @@ mod tests {
         assert_eq!(s.cache_inserts, 1);
         assert_eq!(s.cache_hits, 2);
         assert_eq!(s.singleflight_shared, 1);
+    }
+
+    #[test]
+    fn adaptation_counters_accumulate() {
+        let m = Metrics::new();
+        m.record_request(RequestKind::Adapt);
+        m.record_adapt_observation();
+        m.record_adapt_observation();
+        m.record_adapt_cycle();
+        m.record_adapt_rejected();
+        m.record_adapt_swap();
+        m.record_adapt_rollback();
+        m.record_adapt_restart();
+        let s = m.snapshot();
+        assert_eq!(s.requests_adapt, 1);
+        assert_eq!(s.requests_total(), 1, "adapt requests count as requests");
+        assert_eq!(s.adapt_observations, 2);
+        assert_eq!(s.adapt_cycles, 1);
+        assert_eq!(s.adapt_rejected, 1);
+        assert_eq!(s.adapt_swaps, 1);
+        assert_eq!(s.adapt_rollbacks, 1);
+        assert_eq!(s.adapt_restarts, 1);
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub enum Request {
         /// Retry ordinal set by retrying clients (`0`/absent = first try).
         /// The server counts `attempt >= 1` as `retries_observed`.
         attempt: Option<u64>,
+        /// Tenant/workload tag. Tagged requests feed the adaptation
+        /// engine's per-key noise accumulation, so retraining can mirror
+        /// the dominant live workload.
+        tenant: Option<String>,
     },
     /// Model several kernels, coalescing their DNN forward passes into one
     /// batched inference.
@@ -67,6 +71,19 @@ pub enum Request {
     /// exercising the supervisor's respawn path. Refused with a `usage`
     /// error unless the server was started with `debug_hooks` enabled.
     CrashWorker,
+    /// Asks the adaptation engine to run a retrain cycle at its next tick
+    /// instead of waiting for the interval (and regardless of how few
+    /// observations accumulated). Refused unless the engine is running.
+    ForceAdapt,
+    /// Test-only fault hook: queues one adaptation-specific fault
+    /// (`kill_retrain`, `corrupt_candidate`, `regress_swap`,
+    /// `kill_commit`) consumed by the engine's next cycle. Refused unless
+    /// the server was started with `debug_hooks` and the engine is
+    /// running.
+    AdaptFault {
+        /// The fault's wire name.
+        kind: String,
+    },
 }
 
 /// Machine-readable classification of an error response.
@@ -226,6 +243,7 @@ impl Request {
                     timeout_ms: opt_u64(&value, "timeout_ms").map_err(usage)?,
                     id: opt_str(&value, "id").map_err(usage)?,
                     attempt: opt_u64(&value, "attempt").map_err(usage)?,
+                    tenant: opt_str(&value, "tenant").map_err(usage)?,
                 })
             }
             "batch" => {
@@ -255,6 +273,13 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             "crash_worker" => Ok(Request::CrashWorker),
+            "force_adapt" => Ok(Request::ForceAdapt),
+            "adapt_fault" => {
+                let kind = opt_str(&value, "kind")
+                    .map_err(usage)?
+                    .ok_or_else(|| usage("`adapt_fault` needs a `kind` string".into()))?;
+                Ok(Request::AdaptFault { kind })
+            }
             other => Err(usage(format!("unknown command `{other}`"))),
         }
     }
@@ -283,6 +308,7 @@ impl Request {
                 timeout_ms,
                 id,
                 attempt,
+                tenant,
             } => {
                 fields.push(("cmd".into(), Value::Str("model".into())));
                 fields.push(("set".into(), set.to_value()));
@@ -291,6 +317,9 @@ impl Request {
                         "at".into(),
                         Value::Seq(point.iter().map(|&x| Value::F64(x)).collect()),
                     ));
+                }
+                if let Some(t) = tenant {
+                    fields.push(("tenant".into(), Value::Str(t.clone())));
                 }
                 push_common(&mut fields, timeout_ms, id, attempt);
             }
@@ -311,6 +340,11 @@ impl Request {
             Request::Stats => fields.push(("cmd".into(), Value::Str("stats".into()))),
             Request::Shutdown => fields.push(("cmd".into(), Value::Str("shutdown".into()))),
             Request::CrashWorker => fields.push(("cmd".into(), Value::Str("crash_worker".into()))),
+            Request::ForceAdapt => fields.push(("cmd".into(), Value::Str("force_adapt".into()))),
+            Request::AdaptFault { kind } => {
+                fields.push(("cmd".into(), Value::Str("adapt_fault".into())));
+                fields.push(("kind".into(), Value::Str(kind.clone())));
+            }
         }
         serde_json::to_string(&Value::Map(fields)).expect("request serialization is infallible")
     }
@@ -420,6 +454,15 @@ mod tests {
                 timeout_ms: Some(2500),
                 id: Some("k1".into()),
                 attempt: Some(2),
+                tenant: Some("team-a".into()),
+            },
+            Request::Model {
+                set: linear_set(),
+                at: None,
+                timeout_ms: None,
+                id: None,
+                attempt: None,
+                tenant: None,
             },
             Request::Batch {
                 sets: vec![linear_set(), linear_set()],
@@ -431,6 +474,10 @@ mod tests {
             Request::Stats,
             Request::Shutdown,
             Request::CrashWorker,
+            Request::ForceAdapt,
+            Request::AdaptFault {
+                kind: "kill_retrain".into(),
+            },
         ];
         for request in requests {
             let line = request.to_line();
@@ -482,6 +529,8 @@ mod tests {
             r#"{"cmd":"batch","sets":[7]}"#,
             r#"{"cmd":"model","set":{"num_params":1,"measurements":[]},"timeout_ms":-4}"#,
             r#"{"cmd":"model","set":{"num_params":1,"measurements":[]},"at":["x"]}"#,
+            r#"{"cmd":"adapt_fault"}"#,
+            r#"{"cmd":"adapt_fault","kind":42}"#,
         ] {
             let (kind, _) = Request::parse(line).unwrap_err();
             assert_eq!(kind, ErrorKind::Usage, "line: {line:?}");

@@ -35,6 +35,7 @@
 //! exits without respawning; dropping the last job sender lets every worker
 //! drain the queue and exit. [`Server::join`] observes the whole cascade.
 
+use crate::adapt::{AdaptFaultKind, AdaptOptions, AdaptState, Observation};
 use crate::metrics::{ErrorClass, Metrics, RequestKind};
 use crate::protocol::{
     batch_entry, error_line, ok_line, outcome_value, ErrorKind, Request, MAX_LINE_BYTES,
@@ -102,6 +103,10 @@ pub struct ServeOptions {
     /// cache memory-only; with a directory, cached outcomes survive
     /// restarts (including `kill -9`) of a server on the same checkpoint.
     pub cache_dir: Option<PathBuf>,
+    /// Background adaptation engine configuration (accumulate → retrain →
+    /// shadow-validate → swap → watch). Disabled by default; see
+    /// [`crate::adapt`].
+    pub adaptation: AdaptOptions,
 }
 
 impl Default for ServeOptions {
@@ -118,16 +123,17 @@ impl Default for ServeOptions {
             debug_hooks: false,
             cache_capacity: 1024,
             cache_dir: None,
+            adaptation: AdaptOptions::default(),
         }
     }
 }
 
 /// State shared by every thread of one server.
-struct Shared {
-    store: ModelStore,
-    metrics: Metrics,
+pub(crate) struct Shared {
+    pub(crate) store: ModelStore,
+    pub(crate) metrics: Metrics,
     shutdown: AtomicBool,
-    opts: ServeOptions,
+    pub(crate) opts: ServeOptions,
     addr: SocketAddr,
     /// Memoized `model` outcomes; `None` when `cache_capacity` is 0.
     cache: Option<ResultCache<AdaptiveOutcome>>,
@@ -135,10 +141,13 @@ struct Shared {
     /// when the cache is on — with caching off, every request must reach
     /// the modeler.
     flight: SingleFlight<Arc<AdaptiveOutcome>>,
+    /// Mailbox between the serving path and the adaptation engine; `None`
+    /// when the engine is disabled.
+    pub(crate) adapt: Option<Arc<AdaptState>>,
 }
 
 impl Shared {
-    fn draining(&self) -> bool {
+    pub(crate) fn draining(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
 
@@ -156,6 +165,10 @@ impl Shared {
 /// swaps dead handles for fresh ones) and [`Server::join`].
 struct WorkerPool {
     handles: Mutex<Vec<JoinHandle<()>>>,
+    /// The adaptation engine's handle, supervised exactly like the workers:
+    /// a dead engine (chaos kill, retrain panic) is respawned and recovers
+    /// from the swap journal. `None` when adaptation is disabled.
+    adapt: Mutex<Option<JoinHandle<()>>>,
 }
 
 /// Locks a mutex, recovering from poisoning: our critical sections only
@@ -180,6 +193,9 @@ enum JobRequest {
         set: Box<MeasurementSet>,
         at: Option<Vec<f64>>,
         id: Option<String>,
+        /// Tenant/workload tag, forwarded into the adaptation engine's
+        /// per-key noise accumulation.
+        tenant: Option<String>,
     },
     Batch {
         sets: Vec<MeasurementSet>,
@@ -207,14 +223,21 @@ struct Reply {
     line: String,
     error: Option<ErrorClass>,
     outcome: Option<Arc<AdaptiveOutcome>>,
+    /// Checkpoint hash of the exact weights that computed `outcome`, taken
+    /// from the same store snapshot as the modeler. The connection thread
+    /// refuses to cache an outcome whose hash differs from the one in its
+    /// cache key — the guard that keeps a concurrent hot-swap from ever
+    /// poisoning the result cache. `0` when there is no outcome.
+    served_hash: u64,
 }
 
 /// What [`dispatch_job`] resolved to: the wire line (metrics already
-/// recorded) plus the structured outcome when the job was a successful
-/// `model`.
+/// recorded) plus the structured outcome (and the hash of the weights that
+/// computed it) when the job was a successful `model`.
 struct Dispatched {
     line: String,
     outcome: Option<Arc<AdaptiveOutcome>>,
+    served_hash: u64,
 }
 
 /// A running server. Dropping the handle does **not** stop the server; call
@@ -246,6 +269,7 @@ impl Server {
             ),
             (capacity, None) => Some(ResultCache::in_memory(capacity, CACHE_SHARDS)),
         };
+        let adapt_enabled = opts.adaptation.enabled;
         let shared = Arc::new(Shared {
             store,
             metrics: Metrics::new(),
@@ -254,6 +278,7 @@ impl Server {
             addr: local,
             cache,
             flight: SingleFlight::new(),
+            adapt: adapt_enabled.then(|| Arc::new(AdaptState::new())),
         });
 
         let (job_tx, job_rx) = mpsc::sync_channel::<Job>(queue_depth);
@@ -264,6 +289,7 @@ impl Server {
                     .map(|i| spawn_worker(i, &shared, &job_rx))
                     .collect(),
             ),
+            adapt: Mutex::new(adapt_enabled.then(|| spawn_adapt(&shared))),
         });
 
         let supervisor = {
@@ -321,6 +347,12 @@ impl Server {
         for worker in handles {
             worker.join()?;
         }
+        if let Some(engine) = lock_recovering(&self.pool.adapt).take() {
+            // A panic here is a chaos fault that landed after the
+            // supervisor's last tick; the drain already completed, so it is
+            // swallowed rather than failing the join.
+            let _ = engine.join();
+        }
         Ok(())
     }
 }
@@ -336,6 +368,14 @@ fn spawn_worker(
         .name(format!("nrpm-serve-worker-{index}"))
         .spawn(move || run_worker(&shared, &job_rx))
         .expect("spawn worker thread")
+}
+
+fn spawn_adapt(shared: &Arc<Shared>) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    thread::Builder::new()
+        .name("nrpm-serve-adapt".into())
+        .spawn(move || crate::adapt::run_adapt_engine(&shared))
+        .expect("spawn adaptation engine thread")
 }
 
 /// Polls the worker handles; any worker found dead outside a drain is
@@ -359,6 +399,19 @@ fn run_supervisor(
                     let _ = dead.join(); // swallow the panic payload
                     shared.metrics.record_worker_restart();
                 }
+            }
+        }
+        {
+            // The adaptation engine is supervised the same way: a chaos
+            // kill or retrain panic gets a fresh engine, which re-runs
+            // journal recovery before doing anything else. A clean exit
+            // only happens on drain, which the guard below excludes.
+            let mut engine = lock_recovering(&pool.adapt);
+            if engine.as_ref().is_some_and(|h| h.is_finished()) && !shared.draining() {
+                let dead = engine.take().expect("checked is_some above");
+                let _ = dead.join(); // swallow the panic payload
+                *engine = Some(spawn_adapt(shared));
+                shared.metrics.record_adapt_restart();
             }
         }
         thread::sleep(shared.opts.poll_interval);
@@ -632,12 +685,79 @@ fn handle_line(line: &str, shared: &Arc<Shared>, job_tx: &mpsc::SyncSender<Job>)
             timeout_ms,
             id,
             attempt,
+            tenant,
         } => {
             shared.metrics.record_request(RequestKind::Model);
             if attempt.unwrap_or(0) >= 1 {
                 shared.metrics.record_retry_observed();
             }
-            Disposition::Respond(answer_model(shared, job_tx, set, at, timeout_ms, id))
+            Disposition::Respond(answer_model(
+                shared, job_tx, set, at, timeout_ms, id, tenant,
+            ))
+        }
+        Request::ForceAdapt => {
+            shared.metrics.record_request(RequestKind::Adapt);
+            match &shared.adapt {
+                Some(state) => {
+                    state.request_cycle();
+                    shared.metrics.record_ok();
+                    Disposition::Respond(ok_line(
+                        None,
+                        vec![("adapt_forced".into(), Value::Bool(true))],
+                    ))
+                }
+                None => {
+                    shared.metrics.record_error(ErrorClass::Usage);
+                    Disposition::Respond(error_line(
+                        None,
+                        ErrorKind::Usage,
+                        "adaptation is disabled; start the server with adaptation enabled",
+                    ))
+                }
+            }
+        }
+        Request::AdaptFault { kind } => {
+            shared.metrics.record_request(RequestKind::Adapt);
+            if !shared.opts.debug_hooks {
+                shared.metrics.record_error(ErrorClass::Usage);
+                return Disposition::Respond(error_line(
+                    None,
+                    ErrorKind::Usage,
+                    "adapt_fault is a test hook; start the server with debug hooks to use it",
+                ));
+            }
+            let Some(state) = &shared.adapt else {
+                shared.metrics.record_error(ErrorClass::Usage);
+                return Disposition::Respond(error_line(
+                    None,
+                    ErrorKind::Usage,
+                    "adaptation is disabled; there is no engine to inject faults into",
+                ));
+            };
+            match AdaptFaultKind::parse(&kind) {
+                Some(fault) => {
+                    state.inject_fault(fault);
+                    shared.metrics.record_ok();
+                    Disposition::Respond(ok_line(
+                        None,
+                        vec![
+                            ("fault_queued".into(), Value::Bool(true)),
+                            ("kind".into(), Value::Str(kind)),
+                        ],
+                    ))
+                }
+                None => {
+                    shared.metrics.record_error(ErrorClass::Usage);
+                    Disposition::Respond(error_line(
+                        None,
+                        ErrorKind::Usage,
+                        &format!(
+                            "unknown adapt fault '{kind}'; expected kill_retrain, \
+                             corrupt_candidate, regress_swap, or kill_commit"
+                        ),
+                    ))
+                }
+            }
         }
         Request::Batch {
             sets,
@@ -669,6 +789,7 @@ fn stats_value(shared: &Arc<Shared>) -> Value {
             "checkpoint_hash".into(),
             Value::Str(hex16(shared.store.checkpoint_hash())),
         ));
+        entries.push(("epoch".into(), Value::U64(shared.store.epoch())));
         if let Some(cache) = &shared.cache {
             let cache_stats = cache.stats();
             entries.push((
@@ -722,6 +843,7 @@ fn answer_model(
     at: Option<Vec<f64>>,
     timeout_ms: Option<u64>,
     id: Option<String>,
+    tenant: Option<String>,
 ) -> String {
     let Some(cache) = &shared.cache else {
         // Caching off: the pre-cache serving path, one modeler run per
@@ -730,6 +852,7 @@ fn answer_model(
             set: Box::new(set),
             at,
             id,
+            tenant,
         };
         return dispatch_job(shared, job_tx, request, timeout_ms).line;
     };
@@ -737,7 +860,8 @@ fn answer_model(
     let timeout = timeout_ms
         .map(Duration::from_millis)
         .unwrap_or(shared.opts.default_timeout);
-    let key = ModelKey::new(&set, shared.store.checkpoint_hash(), shared.opts.adapt).combined();
+    let key_hash = shared.store.checkpoint_hash();
+    let key = ModelKey::new(&set, key_hash, shared.opts.adapt).combined();
 
     let cached_answer = |outcome: &AdaptiveOutcome| {
         shared.metrics.record_ok();
@@ -762,13 +886,22 @@ fn answer_model(
             set: Box::new(set),
             at,
             id,
+            tenant: tenant.clone(),
         };
         let dispatched = dispatch_job(shared, job_tx, request, Some(remaining.as_millis() as u64));
         if let Some(outcome) = &dispatched.outcome {
-            // Journal failures must not fail the request: the answer is
-            // already computed, persistence is an optimization.
-            if cache.insert(key, (**outcome).clone()).is_ok() {
-                shared.metrics.record_cache_insert();
+            // The hash guard: if a hot-swap landed between building the key
+            // and the worker running the modeler, the answer was computed
+            // on different weights than the key names — caching it would
+            // serve stale results under the new (or, after a rollback, the
+            // restored) checkpoint. Skip the insert; the answer itself is
+            // still valid for this client.
+            if dispatched.served_hash == key_hash {
+                // Journal failures must not fail the request: the answer is
+                // already computed, persistence is an optimization.
+                if cache.insert(key, (**outcome).clone()).is_ok() {
+                    shared.metrics.record_cache_insert();
+                }
             }
         }
         dispatched
@@ -828,6 +961,7 @@ fn dispatch_job(
     let refused = |line: String| Dispatched {
         line,
         outcome: None,
+        served_hash: 0,
     };
     if shared.draining() {
         shared.metrics.record_error(ErrorClass::ShuttingDown);
@@ -883,6 +1017,7 @@ fn dispatch_job(
             Dispatched {
                 line: reply.line,
                 outcome: reply.outcome,
+                served_hash: reply.served_hash,
             }
         }
         Err(RecvTimeoutError::Timeout) => {
@@ -908,7 +1043,7 @@ fn dispatch_job(
 }
 
 fn run_worker(shared: &Arc<Shared>, job_rx: &Arc<Mutex<mpsc::Receiver<Job>>>) {
-    let mut modeler = shared.store.modeler();
+    let (mut modeler, mut warm_hash, mut warm_epoch) = shared.store.warm_modeler();
     loop {
         // Take the lock only to receive; computing happens lock-free so the
         // other workers can pick up jobs concurrently. The guard drops
@@ -926,14 +1061,19 @@ fn run_worker(shared: &Arc<Shared>, job_rx: &Arc<Mutex<mpsc::Receiver<Job>>>) {
             // real, not simulated.
             panic!("debug hook: crash_worker requested");
         }
-        let reply = compute_reply(shared, &mut modeler, &job);
+        if shared.store.epoch() != warm_epoch {
+            // A hot-swap published a new generation: rebuild before touching
+            // the job, so this worker serves the new weights from here on.
+            (modeler, warm_hash, warm_epoch) = shared.store.warm_modeler();
+        }
+        let reply = compute_reply(shared, &mut modeler, warm_hash, warm_epoch, &job);
         let reply = match reply {
             Ok(reply) => reply,
             Err(panic_message) => {
                 // A modeling panic must never take the server down. The
                 // worker's modeler is rebuilt from the warm store in case
                 // the panic left it inconsistent.
-                modeler = shared.store.modeler();
+                (modeler, warm_hash, warm_epoch) = shared.store.warm_modeler();
                 Reply {
                     line: error_line(
                         job.request.id().as_deref(),
@@ -942,6 +1082,7 @@ fn run_worker(shared: &Arc<Shared>, job_rx: &Arc<Mutex<mpsc::Receiver<Job>>>) {
                     ),
                     error: Some(ErrorClass::Fatal),
                     outcome: None,
+                    served_hash: 0,
                 }
             }
         };
@@ -952,9 +1093,13 @@ fn run_worker(shared: &Arc<Shared>, job_rx: &Arc<Mutex<mpsc::Receiver<Job>>>) {
 }
 
 /// Computes the reply for one job, catching panics into `Err(message)`.
+/// `warm_hash`/`warm_epoch` identify the exact generation `modeler` was
+/// warmed from.
 fn compute_reply(
     shared: &Arc<Shared>,
     modeler: &mut AdaptiveModeler,
+    warm_hash: u64,
+    warm_epoch: u64,
     job: &Job,
 ) -> Result<Reply, String> {
     if Instant::now() >= job.deadline {
@@ -969,23 +1114,50 @@ fn compute_reply(
             ),
             error: Some(ErrorClass::Timeout),
             outcome: None,
+            served_hash: 0,
         });
     }
     if let Some(delay) = shared.opts.work_delay {
         thread::sleep(delay);
     }
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &job.request {
-        JobRequest::Model { set, at, id } => {
-            let result = if shared.opts.adapt {
+        JobRequest::Model {
+            set,
+            at,
+            id,
+            tenant,
+        } => {
+            let (result, served_hash, served_epoch) = if shared.opts.adapt {
                 // Adaptation mutates weights: start from the warm base so
                 // results cannot depend on what this worker served before.
-                shared.store.modeler().model(set)
+                let (mut fresh, hash, epoch) = shared.store.warm_modeler();
+                (fresh.model(set), hash, epoch)
             } else {
-                modeler.model(set)
+                (modeler.model(set), warm_hash, warm_epoch)
             };
             match result {
                 Ok(outcome) => {
                     shared.metrics.record_choice(outcome.choice);
+                    if let Some(adapt) = &shared.adapt {
+                        // Feed the adaptation engine: what this deployment
+                        // is measuring (noise profile) and how well it was
+                        // answered (live SMAPE, for the post-swap watch).
+                        let repetitions = set
+                            .measurements()
+                            .iter()
+                            .map(|m| m.values.len())
+                            .max()
+                            .unwrap_or(1);
+                        adapt.push_observation(Observation {
+                            tenant: tenant.clone(),
+                            set: (**set).clone(),
+                            noise_mean: outcome.noise.mean(),
+                            noise_range: outcome.noise.range(),
+                            repetitions,
+                            cv_smape: outcome.result.cv_smape,
+                            epoch: served_epoch,
+                        });
+                    }
                     Reply {
                         line: ok_line(
                             id.as_deref(),
@@ -993,6 +1165,7 @@ fn compute_reply(
                         ),
                         error: None,
                         outcome: Some(Arc::new(outcome)),
+                        served_hash,
                     }
                 }
                 Err(e) => Reply {
@@ -1002,6 +1175,7 @@ fn compute_reply(
                         _ => ErrorClass::Recoverable,
                     }),
                     outcome: None,
+                    served_hash: 0,
                 },
             }
         }
@@ -1024,6 +1198,7 @@ fn compute_reply(
                 .collect();
             Reply {
                 outcome: None,
+                served_hash: 0,
                 line: ok_line(
                     id.as_deref(),
                     vec![

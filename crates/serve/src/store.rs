@@ -1,12 +1,23 @@
 //! The warm model store: loads and validates a pretrained network once at
 //! startup, then hands out per-worker [`AdaptiveModeler`] instances that
 //! share the options and start from the same validated weights.
+//!
+//! The store is also the server's **hot-swap point**. The validated
+//! network lives behind a shared epoch pointer: [`ModelStore::swap`]
+//! atomically publishes a new network and bumps the epoch, cloned handles
+//! (one per worker, one in the adaptation engine) all observe the change,
+//! and anything that already cloned the old weights — an in-flight
+//! request's modeler — simply finishes on them. Workers compare
+//! [`ModelStore::epoch`] against the epoch their warmed modeler was built
+//! at and rebuild lazily, so a swap never blocks the request path.
 
 use nrpm_core::adaptive::{AdaptiveModeler, AdaptiveOptions};
 use nrpm_core::preprocess::NUM_INPUTS;
 use nrpm_extrap::NUM_CLASSES;
 use nrpm_nn::{Network, NetworkError};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Errors raised while warming up the store.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,16 +54,47 @@ impl std::fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
-/// A validated base network plus the modeling options every worker shares.
-///
-/// The network is loaded and checked exactly once; workers obtain their own
-/// [`AdaptiveModeler`] via [`ModelStore::modeler`], so domain adaptation in
-/// one worker can never mutate another worker's weights.
-#[derive(Debug, Clone)]
-pub struct ModelStore {
+/// One immutable generation of the store: a validated network, the shared
+/// options, and the network's content hash. Swaps replace the whole
+/// generation atomically, so readers never see a half-updated triple
+/// (e.g. new weights with the old hash, which would poison cache keys).
+#[derive(Debug)]
+struct StoreInner {
     network: Network,
     opts: AdaptiveOptions,
     checkpoint_hash: u64,
+}
+
+impl StoreInner {
+    fn build(network: Network, opts: AdaptiveOptions) -> Result<Self, StoreError> {
+        if network.input_dim() != NUM_INPUTS || network.num_classes() != NUM_CLASSES {
+            return Err(StoreError::Shape {
+                input_dim: network.input_dim(),
+                num_classes: network.num_classes(),
+            });
+        }
+        let checkpoint_hash = nrpm_core::fingerprint::bytes_hash(network.to_json().as_bytes());
+        Ok(StoreInner {
+            network,
+            opts,
+            checkpoint_hash,
+        })
+    }
+}
+
+/// A validated base network plus the modeling options every worker shares,
+/// behind an atomically swappable epoch pointer.
+///
+/// The network is loaded and checked exactly once per generation; workers
+/// obtain their own [`AdaptiveModeler`] via [`ModelStore::modeler`], so
+/// domain adaptation in one worker can never mutate another worker's
+/// weights. Cloning the store clones the *handle*: all clones share the
+/// same swap point, so [`ModelStore::swap`] through any handle is visible
+/// to every other.
+#[derive(Debug, Clone)]
+pub struct ModelStore {
+    inner: Arc<Mutex<Arc<StoreInner>>>,
+    epoch: Arc<AtomicU64>,
 }
 
 impl ModelStore {
@@ -64,49 +106,102 @@ impl ModelStore {
 
     /// Warms the store from an in-memory network (tests and benchmarks).
     pub fn from_network(network: Network, opts: AdaptiveOptions) -> Result<Self, StoreError> {
-        if network.input_dim() != NUM_INPUTS || network.num_classes() != NUM_CLASSES {
-            return Err(StoreError::Shape {
-                input_dim: network.input_dim(),
-                num_classes: network.num_classes(),
-            });
-        }
-        let checkpoint_hash = nrpm_core::fingerprint::bytes_hash(network.to_json().as_bytes());
+        let inner = StoreInner::build(network, opts)?;
         Ok(ModelStore {
-            network,
-            opts,
-            checkpoint_hash,
+            inner: Arc::new(Mutex::new(Arc::new(inner))),
+            epoch: Arc::new(AtomicU64::new(0)),
         })
     }
 
     /// Forces the domain-adaptation flag of the shared options, returning
     /// the adjusted store. The server uses this so its `adapt` knob is the
-    /// single source of truth.
-    pub fn with_adaptation(mut self, on: bool) -> Self {
-        self.opts.use_domain_adaptation = on;
+    /// single source of truth. Mutates the shared generation, so every
+    /// clone of this handle observes the flag.
+    pub fn with_adaptation(self, on: bool) -> Self {
+        {
+            let mut slot = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            let current = Arc::clone(&slot);
+            let mut opts = current.opts.clone();
+            opts.use_domain_adaptation = on;
+            *slot = Arc::new(StoreInner {
+                network: current.network.clone(),
+                opts,
+                checkpoint_hash: current.checkpoint_hash,
+            });
+        }
         self
     }
 
-    /// The validated base network.
-    pub fn network(&self) -> &Network {
-        &self.network
+    fn snapshot(&self) -> Arc<StoreInner> {
+        Arc::clone(&self.inner.lock().unwrap_or_else(|p| p.into_inner()))
     }
 
-    /// The shared modeling options.
-    pub fn options(&self) -> &AdaptiveOptions {
-        &self.opts
+    /// Atomically replaces the serving network with `network`, keeping the
+    /// shared options. The new network passes the same shape validation as
+    /// the one loaded at startup — a candidate that does not fit the
+    /// modeler is rejected *before* anything observable changes. Returns
+    /// the new checkpoint hash.
+    ///
+    /// In-flight requests keep the weights they already cloned; new
+    /// modelers built after the swap use the new weights. The epoch
+    /// counter is bumped after the pointer is published, so a worker that
+    /// sees the new epoch is guaranteed to also see the new generation.
+    pub fn swap(&self, network: Network) -> Result<u64, StoreError> {
+        let mut slot = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let inner = StoreInner::build(network, slot.opts.clone())?;
+        let hash = inner.checkpoint_hash;
+        *slot = Arc::new(inner);
+        drop(slot);
+        self.epoch.fetch_add(1, Ordering::Release);
+        Ok(hash)
     }
 
-    /// Content hash of the loaded checkpoint (its canonical JSON bytes).
+    /// Generation counter: bumped on every [`ModelStore::swap`]. Workers
+    /// cache it alongside their warmed modeler and rebuild when it moves.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// A clone of the current validated base network.
+    pub fn network(&self) -> Network {
+        self.snapshot().network.clone()
+    }
+
+    /// A clone of the shared modeling options.
+    pub fn options(&self) -> AdaptiveOptions {
+        self.snapshot().opts.clone()
+    }
+
+    /// Content hash of the current checkpoint (its canonical JSON bytes).
     /// Two stores serve bit-identical answers iff their hashes agree, so
     /// this is the registry address of the network and one of the inputs
     /// to every result-cache key.
     pub fn checkpoint_hash(&self) -> u64 {
-        self.checkpoint_hash
+        self.snapshot().checkpoint_hash
     }
 
-    /// Builds a fresh modeler seeded with the warm base weights.
+    /// Builds a fresh modeler seeded with the current warm base weights.
     pub fn modeler(&self) -> AdaptiveModeler {
-        AdaptiveModeler::from_network(self.opts.clone(), self.network.clone())
+        let inner = self.snapshot();
+        AdaptiveModeler::from_network(inner.opts.clone(), inner.network.clone())
+    }
+
+    /// Builds a fresh modeler together with the checkpoint hash and store
+    /// epoch of the exact generation it was warmed from. The hash is taken
+    /// from the *same* snapshot as the weights, so a concurrent swap can
+    /// never mislabel a modeler — that exactness is what lets the server
+    /// refuse to cache an answer under a checkpoint hash it was not
+    /// computed with. (The epoch is read separately and may lag a swap by
+    /// one bump; it is only used for statistical windows, never for cache
+    /// keying.)
+    pub fn warm_modeler(&self) -> (AdaptiveModeler, u64, u64) {
+        let inner = self.snapshot();
+        let epoch = self.epoch.load(Ordering::Acquire);
+        (
+            AdaptiveModeler::from_network(inner.opts.clone(), inner.network.clone()),
+            inner.checkpoint_hash,
+            epoch,
+        )
     }
 }
 
@@ -179,6 +274,61 @@ mod tests {
         let net = serveable_network();
         let store = ModelStore::from_network(net.clone(), AdaptiveOptions::default()).unwrap();
         assert_eq!(store.modeler().dnn().network(), &net);
-        assert_eq!(store.network(), &net);
+        assert_eq!(store.network(), net);
+    }
+
+    #[test]
+    fn swap_publishes_new_weights_hash_and_epoch_to_all_clones() {
+        let net1 = serveable_network();
+        let net2 = Network::new(&NetworkConfig::new(&[NUM_INPUTS, 8, NUM_CLASSES]), 77);
+        let store = ModelStore::from_network(net1, AdaptiveOptions::default()).unwrap();
+        let handle = store.clone();
+        let hash1 = store.checkpoint_hash();
+        assert_eq!(handle.epoch(), 0);
+
+        let hash2 = store.swap(net2.clone()).unwrap();
+        assert_ne!(hash1, hash2);
+        // The clone observes the swap: new epoch, new hash, new weights.
+        assert_eq!(handle.epoch(), 1);
+        assert_eq!(handle.checkpoint_hash(), hash2);
+        assert_eq!(handle.network(), net2);
+        assert_eq!(handle.modeler().dnn().network(), &net2);
+    }
+
+    #[test]
+    fn swap_rejects_wrong_shapes_without_changing_anything() {
+        let store =
+            ModelStore::from_network(serveable_network(), AdaptiveOptions::default()).unwrap();
+        let hash = store.checkpoint_hash();
+        let err = store
+            .swap(Network::new(&NetworkConfig::new(&[4, 8, 3]), 1))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Shape { .. }), "{err:?}");
+        assert_eq!(store.checkpoint_hash(), hash, "failed swap must be a no-op");
+        assert_eq!(store.epoch(), 0);
+    }
+
+    #[test]
+    fn in_flight_modelers_keep_the_old_weights_across_a_swap() {
+        let net1 = serveable_network();
+        let net2 = Network::new(&NetworkConfig::new(&[NUM_INPUTS, 8, NUM_CLASSES]), 77);
+        let store = ModelStore::from_network(net1.clone(), AdaptiveOptions::default()).unwrap();
+        let in_flight = store.modeler();
+        store.swap(net2).unwrap();
+        assert_eq!(
+            in_flight.dnn().network(),
+            &net1,
+            "a modeler cloned before the swap finishes on the old network"
+        );
+    }
+
+    #[test]
+    fn with_adaptation_is_visible_through_clones() {
+        let store =
+            ModelStore::from_network(serveable_network(), AdaptiveOptions::default()).unwrap();
+        let handle = store.clone();
+        let store = store.with_adaptation(true);
+        assert!(handle.options().use_domain_adaptation);
+        assert!(store.options().use_domain_adaptation);
     }
 }

@@ -35,6 +35,7 @@ fn model_line_of_len(total_len: usize) -> String {
         timeout_ms: None,
         id: None,
         attempt: None,
+        tenant: None,
     }
     .to_line();
     // base ends in '}'; splice `,"pad":"xxx…"}` in its place.

@@ -280,6 +280,7 @@ fn retry_ordinals_are_counted_exactly() {
             timeout_ms: None,
             id: None,
             attempt,
+            tenant: None,
         }
         .to_line();
         let response = client.roundtrip_line(&line).unwrap();
