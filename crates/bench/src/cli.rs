@@ -17,6 +17,7 @@ impl Args {
     }
 
     /// Parses from an explicit iterator (testable).
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(iter: impl IntoIterator<Item = String>) -> Args {
         let mut args = Args::default();
         let mut iter = iter.into_iter().peekable();

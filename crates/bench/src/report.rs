@@ -96,6 +96,6 @@ mod tests {
     #[test]
     fn formatters() {
         assert_eq!(pct(0.1744), "17.4%");
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f2(3.98765), "3.99");
     }
 }

@@ -4,6 +4,7 @@
 
 #![warn(missing_docs)]
 
+use nrpm_cluster::{Cluster, ClusterOptions};
 use nrpm_core::adaptive::{AdaptiveModeler, AdaptiveOptions, AdaptiveOutcome};
 use nrpm_core::fingerprint::ModelKey;
 use nrpm_core::noise::NoiseEstimate;
@@ -43,7 +44,13 @@ usage:
   query flags: [--retries N] retry overloaded/timeout responses and
                transport failures with backoff + jitter (default 0)
   nrpm registry stats|verify|gc --dir DIR [--cache-capacity N]
+  registry gc flags: [--dry-run] list what gc would remove without
+               touching disk
   nrpm registry warm --dir DIR --model net.json <file>... [--ref NAME] [--adapt]
+  nrpm cluster launch --model net.json [--shards N] [--addr HOST:PORT]
+               [--workers N] [--vnodes N] [--registry-dir DIR] [--debug-hooks]
+  nrpm cluster status [--addr HOST:PORT] [--timeout-ms T]
+  nrpm cluster drain|kill <shard> [--addr HOST:PORT] [--timeout-ms T]
 
 measurement files: PARAMS/POINT text format, or a MeasurementSet .json
 
@@ -89,9 +96,24 @@ caching:
   `stats` summarizes it, `verify` is a read-only integrity sweep (exit 4
   on damage), `gc` drops unreferenced checkpoints and compacts the
   journal — checkpoints the swap journal still names (serving,
-  rollback target, pending candidates) are pinned — and `warm` stores
-  a checkpoint and pre-models files into the cache (pass --adapt iff
-  the server runs with --adapt)
+  rollback target, pending candidates) are pinned; --dry-run lists
+  the doomed and pinned hashes without deleting anything — and `warm`
+  stores a checkpoint and pre-models files into the cache (pass
+  --adapt iff the server runs with --adapt)
+
+cluster serving:
+  `cluster launch` starts N backend shards behind one router speaking
+  the same protocol; requests route by measurement-set fingerprint
+  over a consistent-hash ring, so every shard keeps its own warm
+  cache. A dead shard is ejected and its keys fail over to its ring
+  successors; a returning shard must answer consecutive health probes
+  before traffic comes back. --registry-dir distributes the serving
+  checkpoint through a content-addressed registry so every shard
+  serves the same hash. `status` renders per-shard state plus
+  checkpoint/epoch divergence; `drain` retires one shard gracefully;
+  `kill` (needs --debug-hooks on the router) stops one abruptly for
+  failover drills. `query` works against a router unchanged — model
+  replies carry a `served by shard ...` trailer.
 
 exit codes: 0 success, 2 usage, 3 unreadable or malformed input,
             4 recoverable modeling failure, 5 fatal modeling failure";
@@ -218,6 +240,32 @@ pub enum Invocation {
         cache_capacity: usize,
         /// Warm with domain adaptation (must match the server's --adapt).
         adapt: bool,
+        /// `gc` only: report what would be removed, touch nothing.
+        dry_run: bool,
+    },
+    /// Operate the sharded serving tier.
+    Cluster {
+        /// What to do.
+        action: ClusterAction,
+        /// Checkpoint every shard serves (`launch` only).
+        model: Option<PathBuf>,
+        /// Backend shard count (`launch` only).
+        shards: usize,
+        /// Router address: bind address for `launch`, target otherwise.
+        addr: String,
+        /// Worker threads per shard (`launch` only).
+        workers: usize,
+        /// Virtual nodes per shard on the routing ring (`launch` only).
+        vnodes: usize,
+        /// Distribute the serving checkpoint through a registry here
+        /// (`launch` only).
+        registry_dir: Option<PathBuf>,
+        /// Enable the `cluster_kill` test hook (`launch` only).
+        debug_hooks: bool,
+        /// Target shard id (`drain`/`kill` only).
+        shard: Option<u32>,
+        /// Per-request deadline in milliseconds (`status`/`drain`/`kill`).
+        timeout_ms: Option<u64>,
     },
     /// Query a running server.
     Query {
@@ -262,6 +310,19 @@ pub enum RegistryAction {
     Gc,
     /// Store a checkpoint and pre-model measurement files into the cache.
     Warm,
+}
+
+/// The sub-command of `nrpm cluster`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterAction {
+    /// Start shards + router and run until the tier is drained.
+    Launch,
+    /// Render a running router's per-shard state and divergence view.
+    Status,
+    /// Gracefully retire one shard from rotation.
+    Drain,
+    /// Abruptly stop one shard (router must run with --debug-hooks).
+    Kill,
 }
 
 impl Invocation {
@@ -448,6 +509,10 @@ impl Invocation {
                     }
                     _ => {}
                 }
+                let dry_run = get_flag("dry-run").is_some();
+                if dry_run && action != RegistryAction::Gc {
+                    return Err("registry: --dry-run only applies to gc".to_string());
+                }
                 Ok(Invocation::Registry {
                     action,
                     dir: get_value("dir")?
@@ -464,6 +529,86 @@ impl Invocation {
                         .transpose()?
                         .unwrap_or(1024),
                     adapt: get_flag("adapt").is_some(),
+                    dry_run,
+                })
+            }
+            "cluster" => {
+                let action = match positional.first().map(String::as_str) {
+                    Some("launch") => ClusterAction::Launch,
+                    Some("status") => ClusterAction::Status,
+                    Some("drain") => ClusterAction::Drain,
+                    Some("kill") => ClusterAction::Kill,
+                    Some(other) => return Err(format!("cluster: unknown action `{other}`")),
+                    None => return Err("cluster: missing action".to_string()),
+                };
+                let rest = &positional[1..];
+                let shard = match action {
+                    ClusterAction::Drain | ClusterAction::Kill => {
+                        let raw = match rest {
+                            [one] => one,
+                            _ => {
+                                return Err(
+                                    "cluster drain|kill: exactly one <shard> required".to_string()
+                                )
+                            }
+                        };
+                        Some(
+                            raw.parse::<u32>()
+                                .map_err(|_| format!("cluster: `{raw}` is not a shard id"))?,
+                        )
+                    }
+                    _ if !rest.is_empty() => {
+                        return Err("cluster: this action takes no extra arguments".to_string())
+                    }
+                    _ => None,
+                };
+                let model = get_value("model")?.map(PathBuf::from);
+                if action == ClusterAction::Launch && model.is_none() {
+                    return Err("cluster launch: --model is required".to_string());
+                }
+                if action != ClusterAction::Launch {
+                    for flag in ["model", "shards", "workers", "vnodes", "registry-dir"] {
+                        if get_flag(flag).is_some() {
+                            return Err(format!("cluster: --{flag} only applies to launch"));
+                        }
+                    }
+                    if get_flag("debug-hooks").is_some() {
+                        return Err("cluster: --debug-hooks only applies to launch".to_string());
+                    }
+                }
+                let shards = get_value("shards")?
+                    .map(|s| s.parse().map_err(|_| "--shards: not a number".to_string()))
+                    .transpose()?
+                    .unwrap_or(3);
+                if shards == 0 {
+                    return Err("--shards: need at least one shard".to_string());
+                }
+                let vnodes = get_value("vnodes")?
+                    .map(|s| s.parse().map_err(|_| "--vnodes: not a number".to_string()))
+                    .transpose()?
+                    .unwrap_or(nrpm_cluster::DEFAULT_VNODES);
+                if vnodes == 0 {
+                    return Err("--vnodes: need at least one virtual node".to_string());
+                }
+                Ok(Invocation::Cluster {
+                    action,
+                    model,
+                    shards,
+                    addr: get_value("addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_string()),
+                    workers: get_value("workers")?
+                        .map(|s| s.parse().map_err(|_| "--workers: not a number".to_string()))
+                        .transpose()?
+                        .unwrap_or(2),
+                    vnodes,
+                    registry_dir: get_value("registry-dir")?.map(PathBuf::from),
+                    debug_hooks: get_flag("debug-hooks").is_some(),
+                    shard,
+                    timeout_ms: get_value("timeout-ms")?
+                        .map(|s| {
+                            s.parse()
+                                .map_err(|_| "--timeout-ms: not a number".to_string())
+                        })
+                        .transpose()?,
                 })
             }
             "query" => {
@@ -768,10 +913,11 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
             ref_name,
             cache_capacity,
             adapt,
+            dry_run,
         } => match action {
             RegistryAction::Stats => registry_stats(dir),
             RegistryAction::Verify => registry_verify(dir),
-            RegistryAction::Gc => registry_gc(dir, *cache_capacity),
+            RegistryAction::Gc => registry_gc(dir, *cache_capacity, *dry_run),
             RegistryAction::Warm => registry_warm(
                 dir,
                 model.as_deref().expect("parse enforces --model"),
@@ -846,7 +992,168 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
             };
             response_to_output(&response)
         }
+        Invocation::Cluster {
+            action,
+            model,
+            shards,
+            addr,
+            workers,
+            vnodes,
+            registry_dir,
+            debug_hooks,
+            shard,
+            timeout_ms,
+        } => match action {
+            ClusterAction::Launch => cluster_launch(
+                model.as_deref().expect("parse enforces --model"),
+                *shards,
+                addr,
+                *workers,
+                *vnodes,
+                registry_dir.as_deref(),
+                *debug_hooks,
+            ),
+            ClusterAction::Status => cluster_status(addr, *timeout_ms),
+            ClusterAction::Drain => cluster_signal(
+                "drain",
+                shard.expect("parse enforces <shard>"),
+                addr,
+                *timeout_ms,
+            ),
+            ClusterAction::Kill => cluster_signal(
+                "kill",
+                shard.expect("parse enforces <shard>"),
+                addr,
+                *timeout_ms,
+            ),
+        },
     }
+}
+
+/// `nrpm cluster launch`: start the sharded tier, announce the router's
+/// bound address, and block until the tier is drained.
+fn cluster_launch(
+    model: &Path,
+    shards: usize,
+    addr: &str,
+    workers: usize,
+    vnodes: usize,
+    registry_dir: Option<&Path>,
+    debug_hooks: bool,
+) -> Result<String, CliError> {
+    let network =
+        Network::load(model).map_err(|e| CliError::io(format!("{}: {e}", model.display())))?;
+    let opts = ClusterOptions {
+        shards,
+        vnodes,
+        workers_per_shard: workers,
+        router_addr: addr.to_string(),
+        registry_dir: registry_dir.map(Path::to_path_buf),
+        debug_hooks,
+        ..ClusterOptions::default()
+    };
+    let cluster =
+        Cluster::launch(network, opts).map_err(|e| CliError::io(format!("{addr}: {e}")))?;
+    // Announce the bound address immediately (scripts poll for it); `run`
+    // only returns once the whole tier has drained.
+    println!(
+        "nrpm-cluster router listening on {} ({} shards)",
+        cluster.router_addr(),
+        cluster.shards()
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    cluster
+        .join()
+        .map_err(|_| CliError::io("a cluster thread panicked"))?;
+    Ok("cluster drained cleanly\n".to_string())
+}
+
+/// `nrpm cluster status`: one `stats` roundtrip against the router,
+/// rendered as a per-shard table plus the divergence verdict.
+fn cluster_status(addr: &str, timeout_ms: Option<u64>) -> Result<String, CliError> {
+    let socket = resolve_addr(addr)?;
+    let timeout = Duration::from_millis(timeout_ms.unwrap_or(30_000).max(1));
+    let mut client =
+        Client::connect(socket, timeout).map_err(|e| CliError::io(format!("{addr}: {e}")))?;
+    let stats = client
+        .stats()
+        .map_err(|e| CliError::io(format!("{addr}: {e}")))?;
+    if stats.get("service").and_then(Value::as_str) != Some("nrpm-cluster-router") {
+        return Err(CliError::io(format!(
+            "{addr}: not an nrpm-cluster router (is this a plain nrpm-serve backend?)"
+        )));
+    }
+    let num = |k: &str| stats.get(k).and_then(Value::as_u64).unwrap_or(0);
+    let diverged = |k: &str| stats.get(k).and_then(Value::as_bool).unwrap_or(false);
+    let verdict = |k| if diverged(k) { "DIVERGED" } else { "uniform" };
+    let mut out = String::new();
+    let _ = writeln!(out, "router:     {addr}");
+    let _ = writeln!(
+        out,
+        "shards:     {} ({} routable)",
+        num("shards"),
+        num("routable")
+    );
+    let _ = writeln!(
+        out,
+        "requests:   {} routed, {} failovers, {} rejected",
+        num("requests_routed"),
+        num("failovers"),
+        num("rejected")
+    );
+    let _ = writeln!(
+        out,
+        "serving:    {}",
+        stats
+            .get("serving_hash")
+            .and_then(Value::as_str)
+            .unwrap_or("(no registry)")
+    );
+    let _ = writeln!(
+        out,
+        "divergence: checkpoint {}, epoch {}",
+        verdict("checkpoint_divergence"),
+        verdict("epoch_divergence")
+    );
+    if let Some(per_shard) = stats.get("per_shard").and_then(Value::as_seq) {
+        for shard in per_shard {
+            let s = |k: &str| shard.get(k).and_then(Value::as_str).unwrap_or("?");
+            let n = |k: &str| shard.get(k).and_then(Value::as_u64).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "shard {}: {:<9} {:<21} routed {:<6} failed {:<4} checkpoint {} epoch {}",
+                n("shard"),
+                s("state"),
+                s("addr"),
+                n("routed"),
+                n("failed"),
+                shard
+                    .get("checkpoint_hash")
+                    .and_then(Value::as_str)
+                    .unwrap_or("-"),
+                n("epoch"),
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// `nrpm cluster drain|kill`: one admin roundtrip against the router.
+fn cluster_signal(
+    action: &str,
+    shard: u32,
+    addr: &str,
+    timeout_ms: Option<u64>,
+) -> Result<String, CliError> {
+    let socket = resolve_addr(addr)?;
+    let timeout = Duration::from_millis(timeout_ms.unwrap_or(30_000).max(1));
+    let mut client =
+        Client::connect(socket, timeout).map_err(|e| CliError::io(format!("{addr}: {e}")))?;
+    let response = client
+        .roundtrip_line(&format!(r#"{{"cmd":"cluster_{action}","shard":{shard}}}"#))
+        .map_err(|e| CliError::io(format!("{addr}: {e}")))?;
+    response_to_output(&response)
 }
 
 /// Maps a registry-layer failure onto exit code 3, carrying the directory.
@@ -958,7 +1265,7 @@ fn registry_verify(dir: &Path) -> Result<String, CliError> {
 /// journal — the serving one, the previous (rollback-target) one, and any
 /// pending swap's candidate — are pinned even without a ref, so a crash or
 /// rollback can never land on a collected hash.
-fn registry_gc(dir: &Path, cache_capacity: usize) -> Result<String, CliError> {
+fn registry_gc(dir: &Path, cache_capacity: usize, dry_run: bool) -> Result<String, CliError> {
     let registry = open_registry(dir, true)?;
     let mut pins = std::collections::HashSet::new();
     let mut journal_present = false;
@@ -969,11 +1276,30 @@ fn registry_gc(dir: &Path, cache_capacity: usize) -> Result<String, CliError> {
         pins = journal.live_hashes();
         journal_present = true;
     }
-    let removed = registry.gc_with_pins(&pins).map_err(|e| in_dir(dir, e))?;
     let mut out = String::new();
     if journal_present {
         let _ = writeln!(out, "swap-journal pinned checkpoints: {}", pins.len());
+        if dry_run {
+            let mut pinned: Vec<u64> = pins.iter().copied().collect();
+            pinned.sort_unstable();
+            for hash in pinned {
+                let _ = writeln!(out, "pinned checkpoint {}", hex16(hash));
+            }
+        }
     }
+    if dry_run {
+        let doomed = registry.gc_plan(&pins).map_err(|e| in_dir(dir, e))?;
+        for hash in &doomed {
+            let _ = writeln!(out, "would remove unreferenced checkpoint {}", hex16(*hash));
+        }
+        let _ = writeln!(
+            out,
+            "checkpoints that would be removed: {} (dry run; nothing deleted)",
+            doomed.len()
+        );
+        return Ok(out);
+    }
+    let removed = registry.gc_with_pins(&pins).map_err(|e| in_dir(dir, e))?;
     for hash in &removed {
         let _ = writeln!(out, "removed unreferenced checkpoint {}", hex16(*hash));
     }
@@ -1041,7 +1367,9 @@ fn resolve_addr(addr: &str) -> Result<SocketAddr, CliError> {
 
 /// Renders a server response, mapping error responses onto the CLI's exit
 /// code taxonomy: `parse`/`usage` → 2, `fatal` → 5, everything else
-/// (recoverable, timeout, overloaded, shutting down) → 4.
+/// (recoverable, timeout, overloaded, shutting down) → 4. Model replies
+/// get a human-readable provenance trailer: which checkpoint (and, through
+/// a cluster router, which shard) answered, at which adaptation epoch.
 fn response_to_output(response: &Value) -> Result<String, CliError> {
     let text = serde_json::to_string_pretty(response).unwrap_or_else(|_| format!("{response:?}"));
     if response.get("status").and_then(Value::as_str) == Some("error") {
@@ -1055,7 +1383,22 @@ fn response_to_output(response: &Value) -> Result<String, CliError> {
             code,
         });
     }
-    Ok(format!("{text}\n"))
+    let mut out = format!("{text}\n");
+    if let Some(hash) = response.get("served_hash").and_then(Value::as_str) {
+        let epoch = response.get("epoch").and_then(Value::as_u64).unwrap_or(0);
+        match response.get("shard").and_then(Value::as_u64) {
+            Some(shard) => {
+                let _ = writeln!(
+                    out,
+                    "served by shard {shard}, checkpoint {hash} (epoch {epoch})"
+                );
+            }
+            None => {
+                let _ = writeln!(out, "served by checkpoint {hash} (epoch {epoch})");
+            }
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -1167,6 +1510,21 @@ mod tests {
         assert!(parse("registry stats").is_err()); // --dir required
         assert!(parse("registry warm --dir d").is_err()); // --model required
         assert!(parse("registry stats stray.txt --dir d").is_err());
+        assert!(parse("registry stats --dir d --dry-run").is_err()); // gc only
+        assert!(parse("registry warm --dir d --model n.json --dry-run").is_err());
+        assert!(parse("cluster").is_err()); // action required
+        assert!(parse("cluster frobnicate").is_err());
+        assert!(parse("cluster launch").is_err()); // --model required
+        assert!(parse("cluster launch --model n.json --shards 0").is_err());
+        assert!(parse("cluster launch --model n.json --shards few").is_err());
+        assert!(parse("cluster launch --model n.json --vnodes 0").is_err());
+        assert!(parse("cluster launch --model n.json stray").is_err());
+        assert!(parse("cluster status stray").is_err());
+        assert!(parse("cluster status --model n.json").is_err()); // launch only
+        assert!(parse("cluster status --debug-hooks").is_err()); // launch only
+        assert!(parse("cluster drain").is_err()); // shard required
+        assert!(parse("cluster drain 1 2").is_err()); // exactly one
+        assert!(parse("cluster kill one").is_err()); // numeric id
         assert!(parse("query health --retries many").is_err());
         assert!(parse("query").is_err());
         assert!(parse("query frobnicate").is_err());
@@ -1270,6 +1628,7 @@ mod tests {
                 ref_name: None,
                 cache_capacity: 1024,
                 adapt: false,
+                dry_run: false,
             }
         );
         assert_eq!(
@@ -1282,6 +1641,7 @@ mod tests {
                 ref_name: None,
                 cache_capacity: 16,
                 adapt: false,
+                dry_run: false,
             }
         );
         assert_eq!(
@@ -1294,12 +1654,84 @@ mod tests {
                 ref_name: Some("best".into()),
                 cache_capacity: 1024,
                 adapt: true,
+                dry_run: false,
             }
         );
         assert!(matches!(
             parse("registry verify --dir d").unwrap(),
             Invocation::Registry {
                 action: RegistryAction::Verify,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("registry gc --dir d --dry-run").unwrap(),
+            Invocation::Registry {
+                action: RegistryAction::Gc,
+                dry_run: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_cluster_commands() {
+        assert_eq!(
+            parse(
+                "cluster launch --model net.json --shards 4 --addr 127.0.0.1:0 --workers 3 \
+                 --vnodes 96 --registry-dir /var/nrpm --debug-hooks"
+            )
+            .unwrap(),
+            Invocation::Cluster {
+                action: ClusterAction::Launch,
+                model: Some("net.json".into()),
+                shards: 4,
+                addr: "127.0.0.1:0".into(),
+                workers: 3,
+                vnodes: 96,
+                registry_dir: Some("/var/nrpm".into()),
+                debug_hooks: true,
+                shard: None,
+                timeout_ms: None,
+            }
+        );
+        assert_eq!(
+            parse("cluster launch --model net.json").unwrap(),
+            Invocation::Cluster {
+                action: ClusterAction::Launch,
+                model: Some("net.json".into()),
+                shards: 3,
+                addr: DEFAULT_ADDR.into(),
+                workers: 2,
+                vnodes: nrpm_cluster::DEFAULT_VNODES,
+                registry_dir: None,
+                debug_hooks: false,
+                shard: None,
+                timeout_ms: None,
+            }
+        );
+        assert!(matches!(
+            parse("cluster status --addr 127.0.0.1:9000 --timeout-ms 500").unwrap(),
+            Invocation::Cluster {
+                action: ClusterAction::Status,
+                shard: None,
+                timeout_ms: Some(500),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("cluster drain 2").unwrap(),
+            Invocation::Cluster {
+                action: ClusterAction::Drain,
+                shard: Some(2),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("cluster kill 0 --addr 127.0.0.1:9000").unwrap(),
+            Invocation::Cluster {
+                action: ClusterAction::Kill,
+                shard: Some(0),
                 ..
             }
         ));
@@ -1344,6 +1776,7 @@ mod tests {
                 ref_name: None,
                 cache_capacity: 1024,
                 adapt: false,
+                dry_run: false,
             })
         };
         let maintain = |action| {
@@ -1355,6 +1788,7 @@ mod tests {
                 ref_name: None,
                 cache_capacity: 1024,
                 adapt: false,
+                dry_run: false,
             })
         };
 
@@ -1469,7 +1903,26 @@ mod tests {
             journal.commit(seq).unwrap();
         }
 
-        let swept = registry_gc(&dir, 16).unwrap();
+        // A dry run names the doomed and pinned hashes but deletes nothing.
+        let planned = registry_gc(&dir, 16, true).unwrap();
+        assert!(
+            planned.contains(&format!(
+                "would remove unreferenced checkpoint {}",
+                hex16(stray)
+            )),
+            "{planned}"
+        );
+        assert!(
+            planned.contains(&format!(
+                "pinned checkpoint {}",
+                hex16(serving.min(previous))
+            )),
+            "{planned}"
+        );
+        assert!(planned.contains("dry run; nothing deleted"), "{planned}");
+        assert!(registry.get(stray).is_ok(), "dry run must not delete");
+
+        let swept = registry_gc(&dir, 16, false).unwrap();
         assert!(
             swept.contains("swap-journal pinned checkpoints: 2"),
             "{swept}"
@@ -1540,6 +1993,9 @@ mod tests {
         let modeled = query(QueryKind::Model, &[&data], Some(vec![1024.0])).unwrap();
         assert!(modeled.contains("\"choice\": \"regression\""), "{modeled}");
         assert!(modeled.contains("2048"), "{modeled}");
+        // Provenance trailer: which checkpoint answered, at which epoch.
+        assert!(modeled.contains("served by checkpoint"), "{modeled}");
+        assert!(modeled.contains("(epoch 0)"), "{modeled}");
 
         let batched = query(QueryKind::Batch, &[&data, &data], None).unwrap();
         assert!(batched.contains("\"kernels\": 2"), "{batched}");
@@ -1550,6 +2006,119 @@ mod tests {
         let drained = query(QueryKind::Shutdown, &[], None).unwrap();
         assert!(drained.contains("\"draining\": true"), "{drained}");
         server.join().unwrap();
+        std::fs::remove_file(&data).ok();
+    }
+
+    /// `cluster status`/`drain`/`kill` and `query model` all work against
+    /// a live router: status renders the per-shard table, a drained shard
+    /// leaves rotation, kill needs the debug hook, and model replies name
+    /// the answering shard.
+    #[test]
+    fn cluster_cli_round_trips_against_a_live_router() {
+        use nrpm_core::preprocess::NUM_INPUTS;
+        use nrpm_nn::NetworkConfig;
+
+        let dir = std::env::temp_dir().join("nrpm_cli_cluster_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("linear.txt");
+        let mut text = String::from("PARAMS 1 processes\n");
+        for x in [4, 8, 16, 32, 64] {
+            text.push_str(&format!("POINT {x} DATA {} {}\n", 2 * x, 2 * x));
+        }
+        std::fs::write(&data, text).unwrap();
+
+        let network = Network::new(
+            &NetworkConfig::new(&[NUM_INPUTS, 16, nrpm_extrap::NUM_CLASSES]),
+            7,
+        );
+        let cluster = Cluster::launch(
+            network,
+            ClusterOptions {
+                shards: 2,
+                workers_per_shard: 1,
+                debug_hooks: true,
+                probe_interval: Duration::from_millis(50),
+                ..ClusterOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = cluster.router_addr().to_string();
+        let cluster_cmd = |action, shard| {
+            run(&Invocation::Cluster {
+                action,
+                model: None,
+                shards: 3,
+                addr: addr.clone(),
+                workers: 2,
+                vnodes: nrpm_cluster::DEFAULT_VNODES,
+                registry_dir: None,
+                debug_hooks: false,
+                shard,
+                timeout_ms: Some(30_000),
+            })
+        };
+
+        let modeled = run(&Invocation::Query {
+            what: QueryKind::Model,
+            addr: addr.clone(),
+            files: vec![data.clone()],
+            at: Some(vec![1024.0]),
+            timeout_ms: Some(30_000),
+            retries: 0,
+        })
+        .unwrap();
+        assert!(modeled.contains("2048"), "{modeled}");
+        assert!(modeled.contains("served by shard"), "{modeled}");
+
+        let status = cluster_cmd(ClusterAction::Status, None).unwrap();
+        assert!(status.contains("shards:     2 (2 routable)"), "{status}");
+        assert!(status.contains("requests:   1 routed"), "{status}");
+        assert!(status.contains("serving:    (no registry)"), "{status}");
+        assert!(status.contains("shard 0: healthy"), "{status}");
+        assert!(status.contains("shard 1: healthy"), "{status}");
+
+        // `status` against a plain backend refuses rather than rendering
+        // nonsense.
+        let shard_addr = cluster.shard_addr(0).unwrap().to_string();
+        let not_router = run(&Invocation::Cluster {
+            action: ClusterAction::Status,
+            model: None,
+            shards: 3,
+            addr: shard_addr,
+            workers: 2,
+            vnodes: nrpm_cluster::DEFAULT_VNODES,
+            registry_dir: None,
+            debug_hooks: false,
+            shard: None,
+            timeout_ms: Some(30_000),
+        })
+        .unwrap_err();
+        assert!(not_router.message.contains("not an nrpm-cluster router"));
+
+        let drained = cluster_cmd(ClusterAction::Drain, Some(1)).unwrap();
+        assert!(drained.contains("\"draining\": true"), "{drained}");
+        // Draining the same shard twice is a usage error (exit 2).
+        let again = cluster_cmd(ClusterAction::Drain, Some(1)).unwrap_err();
+        assert_eq!(again.code, 2, "{again:?}");
+
+        let killed = cluster_cmd(ClusterAction::Kill, Some(0)).unwrap();
+        assert!(killed.contains("\"killed\": true"), "{killed}");
+
+        let status = cluster_cmd(ClusterAction::Status, None).unwrap();
+        assert!(status.contains("(0 routable)"), "{status}");
+        assert!(status.contains("shard 0: killed"), "{status}");
+        assert!(status.contains("shard 1: draining"), "{status}");
+
+        run(&Invocation::Query {
+            what: QueryKind::Shutdown,
+            addr,
+            files: vec![],
+            at: None,
+            timeout_ms: Some(30_000),
+            retries: 0,
+        })
+        .unwrap();
+        cluster.join().unwrap();
         std::fs::remove_file(&data).ok();
     }
 

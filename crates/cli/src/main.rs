@@ -6,6 +6,8 @@
 //! nrpm pretrain --out net.json [--samples N] [--epochs E] [--paper-net]
 //! nrpm serve --model net.json [--addr HOST:PORT] [--workers N]
 //! nrpm query health|stats|shutdown|model|batch [...]
+//! nrpm registry stats|verify|gc|warm --dir DIR [...]
+//! nrpm cluster launch|status|drain|kill [...]
 //! ```
 //!
 //! Measurement files use the `PARAMS`/`POINT … DATA …` text format (see

@@ -1,0 +1,392 @@
+//! Cluster lifecycle: launch N in-process shards behind one router,
+//! distribute the serving checkpoint through the content-addressed
+//! registry, and supervise shard health over the wire.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use nrpm_core::adaptive::AdaptiveOptions;
+use nrpm_nn::Network;
+use nrpm_registry::CheckpointRegistry;
+use nrpm_serve::client::{is_ok, Client, RetryPolicy};
+use nrpm_serve::server::{ServeOptions, Server};
+use nrpm_serve::store::ModelStore;
+use serde::Value;
+
+use crate::ring::{HashRing, DEFAULT_VNODES};
+use crate::shard::{Availability, PolledStats, ShardRuntime};
+
+/// Tuning knobs of [`Cluster::launch`].
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// Backend shard count.
+    pub shards: usize,
+    /// Virtual nodes per shard on the routing ring.
+    pub vnodes: usize,
+    /// Worker threads per shard.
+    pub workers_per_shard: usize,
+    /// Router bind address; use port `0` for an ephemeral port.
+    pub router_addr: String,
+    /// When set, the serving checkpoint is published here under
+    /// [`ClusterOptions::serving_ref`], synced into a per-shard registry
+    /// (`<dir>/shards/shard-<i>`), and each shard loads its weights from
+    /// its own copy — the distribution path every deployment would use
+    /// across real machines. `None` hands each shard a clone directly.
+    pub registry_dir: Option<PathBuf>,
+    /// Ref name the serving checkpoint is published under.
+    pub serving_ref: String,
+    /// How often the supervisor wire-polls each shard's `health`/`stats`.
+    pub probe_interval: Duration,
+    /// Connect/roundtrip deadline of one probe.
+    pub probe_timeout: Duration,
+    /// Consecutive probe failures that eject a healthy shard.
+    pub eject_after: u32,
+    /// Consecutive successful probes a returning shard must pass before
+    /// traffic comes back (gradual re-admission).
+    pub readmit_probes: u32,
+    /// Per-forwarded-request deadline the router's shard clients use.
+    pub shard_timeout: Duration,
+    /// Retry/backoff/breaker policy of the router's per-shard clients.
+    /// Failover to ring successors happens *after* this policy exhausts
+    /// its in-place retries against one shard.
+    pub retry: RetryPolicy,
+    /// Distinct shards one request may try before giving up.
+    pub max_failover: usize,
+    /// Enables the `cluster_kill` test hook on the router.
+    pub debug_hooks: bool,
+    /// Template for each shard's server options; `workers` and `shard_id`
+    /// are overridden per shard.
+    pub shard_opts: ServeOptions,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            shards: 3,
+            vnodes: DEFAULT_VNODES,
+            workers_per_shard: 2,
+            router_addr: "127.0.0.1:0".into(),
+            registry_dir: None,
+            serving_ref: "cluster-serving".into(),
+            probe_interval: Duration::from_millis(100),
+            probe_timeout: Duration::from_secs(2),
+            eject_after: 2,
+            readmit_probes: 3,
+            shard_timeout: Duration::from_secs(10),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                ..RetryPolicy::default()
+            },
+            max_failover: usize::MAX,
+            debug_hooks: false,
+            shard_opts: ServeOptions::default(),
+        }
+    }
+}
+
+fn io_other(e: impl std::fmt::Display) -> std::io::Error {
+    std::io::Error::other(e.to_string())
+}
+
+/// State shared by the router, the supervisor, and the [`Cluster`] handle.
+pub(crate) struct ClusterState {
+    /// Fixed-membership routing ring; ejection skips shards at lookup time
+    /// instead of editing the ring, so returning shards get their exact
+    /// old keys back.
+    pub(crate) ring: HashRing,
+    pub(crate) shards: Vec<Arc<ShardRuntime>>,
+    pub(crate) opts: ClusterOptions,
+    pub(crate) router_addr: SocketAddr,
+    /// Content hash of the registry-distributed serving checkpoint, when
+    /// a registry is in use.
+    pub(crate) serving_hash: Option<u64>,
+    shutdown: AtomicBool,
+    /// Requests the router relayed to a shard successfully.
+    pub(crate) routed: AtomicU64,
+    /// Relayed requests answered by a shard other than the ring owner.
+    pub(crate) failovers: AtomicU64,
+    /// Requests no shard could answer.
+    pub(crate) rejected: AtomicU64,
+}
+
+impl ClusterState {
+    pub(crate) fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flips the drain flag; the loopback connect wakes the polling router
+    /// acceptor on platforms where nonblocking listeners are unavailable.
+    pub(crate) fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect_timeout(&self.router_addr, Duration::from_secs(1));
+        }
+    }
+
+    pub(crate) fn shard(&self, id: u32) -> Option<&Arc<ShardRuntime>> {
+        self.shards.get(id as usize)
+    }
+
+    fn shard_serve_opts(&self, id: u32) -> ServeOptions {
+        shard_serve_opts(&self.opts, id)
+    }
+
+    /// Gracefully removes a shard from rotation: routing stops first, then
+    /// the backend drains. `killed` marks the test-hook variant, which is
+    /// identical mechanically (in-process threads cannot be aborted) but
+    /// recorded distinctly in `status`.
+    pub(crate) fn remove_shard(&self, id: u32, killed: bool) -> Result<(), String> {
+        let shard = self.shard(id).ok_or_else(|| format!("no shard {id}"))?;
+        let server = shard
+            .take_server()
+            .ok_or_else(|| format!("shard {id} is not running"))?;
+        shard.mark_leaving(killed);
+        server.request_shutdown();
+        // The drain cascade can take a few poll ticks; finish it off the
+        // router's request path.
+        let _ = thread::Builder::new()
+            .name(format!("nrpm-cluster-reap-{id}"))
+            .spawn(move || {
+                let _ = server.join();
+            });
+        Ok(())
+    }
+
+    /// Restarts a drained/killed shard on a fresh ephemeral port, serving
+    /// the same store (same checkpoint, same epoch counter). It returns as
+    /// `Ejected` and must pass the supervisor's probation before traffic
+    /// comes back.
+    pub(crate) fn revive_shard(&self, id: u32) -> Result<SocketAddr, String> {
+        let shard = self.shard(id).ok_or_else(|| format!("no shard {id}"))?;
+        if shard.has_server() {
+            return Err(format!("shard {id} is already running"));
+        }
+        let server = Server::start(
+            "127.0.0.1:0",
+            shard.store.clone(),
+            self.shard_serve_opts(id),
+        )
+        .map_err(|e| format!("cannot restart shard {id}: {e}"))?;
+        let addr = server.addr();
+        shard.mark_revived(addr, server);
+        Ok(addr)
+    }
+}
+
+fn shard_serve_opts(opts: &ClusterOptions, id: u32) -> ServeOptions {
+    ServeOptions {
+        workers: opts.workers_per_shard.max(1),
+        shard_id: Some(u64::from(id)),
+        ..opts.shard_opts.clone()
+    }
+}
+
+/// A running sharded serving tier. Dropping the handle does **not** stop
+/// it; call [`Cluster::request_shutdown`] (or send the router a `shutdown`
+/// request) and then [`Cluster::join`].
+pub struct Cluster {
+    state: Arc<ClusterState>,
+    router: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl Cluster {
+    /// Publishes `network` as the serving checkpoint (through the registry
+    /// when one is configured), starts every shard and the router, and
+    /// begins supervising.
+    pub fn launch(network: Network, opts: ClusterOptions) -> std::io::Result<Cluster> {
+        let count = opts.shards.max(1) as u32;
+        let (serving_hash, shard_networks) = distribute_checkpoint(network, &opts, count)?;
+
+        let mut shards = Vec::with_capacity(count as usize);
+        for (i, net) in shard_networks.into_iter().enumerate() {
+            let id = i as u32;
+            let store =
+                ModelStore::from_network(net, AdaptiveOptions::default()).map_err(io_other)?;
+            let server = Server::start("127.0.0.1:0", store.clone(), shard_serve_opts(&opts, id))?;
+            let addr = server.addr();
+            shards.push(Arc::new(ShardRuntime::new(id, addr, store, server)));
+        }
+
+        let listener = TcpListener::bind(&opts.router_addr)?;
+        let router_addr = listener.local_addr()?;
+        let ring = HashRing::new(0..count, opts.vnodes);
+        let state = Arc::new(ClusterState {
+            ring,
+            shards,
+            opts,
+            router_addr,
+            serving_hash,
+            shutdown: AtomicBool::new(false),
+            routed: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+
+        let router = {
+            let state = Arc::clone(&state);
+            thread::Builder::new()
+                .name("nrpm-cluster-router".into())
+                .spawn(move || crate::router::run_router(listener, &state))
+                .expect("spawn router thread")
+        };
+        let supervisor = {
+            let state = Arc::clone(&state);
+            thread::Builder::new()
+                .name("nrpm-cluster-supervisor".into())
+                .spawn(move || run_supervisor(&state))
+                .expect("spawn cluster supervisor thread")
+        };
+
+        Ok(Cluster {
+            state,
+            router: Some(router),
+            supervisor: Some(supervisor),
+        })
+    }
+
+    /// The router's bound address (resolves ephemeral ports).
+    pub fn router_addr(&self) -> SocketAddr {
+        self.state.router_addr
+    }
+
+    /// Shard count (fixed at launch).
+    pub fn shards(&self) -> usize {
+        self.state.shards.len()
+    }
+
+    /// A shard's current address, if the id exists.
+    pub fn shard_addr(&self, id: u32) -> Option<SocketAddr> {
+        self.state.shard(id).map(|s| s.addr())
+    }
+
+    /// A shard's store handle — tests use this to force checkpoint
+    /// divergence with a direct hot-swap.
+    pub fn shard_store(&self, id: u32) -> Option<ModelStore> {
+        self.state.shard(id).map(|s| s.store.clone())
+    }
+
+    /// A shard's routing availability.
+    pub fn shard_availability(&self, id: u32) -> Option<Availability> {
+        self.state.shard(id).map(|s| s.availability())
+    }
+
+    /// Content hash of the registry-distributed serving checkpoint (`None`
+    /// without a registry).
+    pub fn serving_hash(&self) -> Option<u64> {
+        self.state.serving_hash
+    }
+
+    /// Gracefully removes one shard from rotation (see
+    /// [`ClusterState::remove_shard`]).
+    pub fn drain_shard(&self, id: u32) -> Result<(), String> {
+        self.state.remove_shard(id, false)
+    }
+
+    /// Abruptly removes one shard, as the `cluster_kill` test hook does.
+    pub fn kill_shard(&self, id: u32) -> Result<(), String> {
+        self.state.remove_shard(id, true)
+    }
+
+    /// Restarts a removed shard under probation rules.
+    pub fn revive_shard(&self, id: u32) -> Result<SocketAddr, String> {
+        self.state.revive_shard(id)
+    }
+
+    /// `true` once a drain has begun.
+    pub fn draining(&self) -> bool {
+        self.state.draining()
+    }
+
+    /// Begins a graceful drain of the router and every shard.
+    pub fn request_shutdown(&self) {
+        self.state.begin_shutdown();
+    }
+
+    /// Waits for the drain cascade: router, supervisor, then every shard.
+    pub fn join(mut self) -> std::thread::Result<()> {
+        if let Some(router) = self.router.take() {
+            router.join()?;
+        }
+        if let Some(supervisor) = self.supervisor.take() {
+            supervisor.join()?;
+        }
+        for shard in &self.state.shards {
+            if let Some(server) = shard.take_server() {
+                server.request_shutdown();
+                server.join()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Publishes the serving checkpoint and produces each shard's copy of the
+/// network. With a registry, every shard loads from its own synced
+/// registry — the same object bytes, so every store computes the same
+/// `checkpoint_hash`.
+fn distribute_checkpoint(
+    network: Network,
+    opts: &ClusterOptions,
+    count: u32,
+) -> std::io::Result<(Option<u64>, Vec<Network>)> {
+    let Some(dir) = &opts.registry_dir else {
+        return Ok((None, vec![network; count as usize]));
+    };
+    let source = CheckpointRegistry::open(dir).map_err(io_other)?;
+    let hash = source.put(&network).map_err(io_other)?;
+    source.set_ref(&opts.serving_ref, hash).map_err(io_other)?;
+    let mut networks = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        let dest = CheckpointRegistry::open(dir.join("shards").join(format!("shard-{i}")))
+            .map_err(io_other)?;
+        source.sync_to(&dest, hash).map_err(io_other)?;
+        networks.push(dest.get(hash).map_err(io_other)?);
+    }
+    Ok((Some(hash), networks))
+}
+
+/// Wire-polls every probed shard's `health` and `stats` each tick, driving
+/// the eject/re-admit state machine and refreshing the router's per-shard
+/// checkpoint-hash/epoch view.
+fn run_supervisor(state: &Arc<ClusterState>) {
+    while !state.draining() {
+        for shard in &state.shards {
+            if !shard.is_probed() {
+                continue;
+            }
+            match probe_shard(shard.addr(), state.opts.probe_timeout) {
+                Ok(polled) => {
+                    *shard
+                        .polled
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner()) = polled;
+                    shard.note_probe_ok(state.opts.readmit_probes);
+                }
+                Err(_) => shard.note_probe_fail(state.opts.eject_after),
+            }
+        }
+        thread::sleep(state.opts.probe_interval);
+    }
+}
+
+/// One probe: `health` must answer ok and not be draining, then `stats`
+/// yields the shard's checkpoint hash and adaptation epoch.
+fn probe_shard(addr: SocketAddr, timeout: Duration) -> std::io::Result<PolledStats> {
+    let mut client = Client::connect(addr, timeout)?;
+    let health = client.health()?;
+    if !is_ok(&health) || health.get("draining").and_then(Value::as_bool) == Some(true) {
+        return Err(io_other("shard reports unhealthy or draining"));
+    }
+    let stats = client.stats()?;
+    Ok(PolledStats {
+        checkpoint_hash: stats
+            .get("checkpoint_hash")
+            .and_then(Value::as_str)
+            .map(str::to_string),
+        epoch: stats.get("epoch").and_then(Value::as_u64).unwrap_or(0),
+    })
+}

@@ -1,0 +1,34 @@
+//! `nrpm-cluster` — the scale-out serving tier.
+//!
+//! A [`Cluster`] composes the single-node pieces into a sharded
+//! deployment: N in-process [`nrpm_serve::Server`] backends (one
+//! [`nrpm_serve::ModelStore`] each), a **router** front-end speaking the
+//! same newline-JSON protocol, and a **supervisor** that wire-polls every
+//! shard's `health`/`stats` endpoints.
+//!
+//! Requests route by the measurement-set fingerprint over a consistent
+//! [`HashRing`] with virtual nodes, so each shard keeps seeing the same
+//! keys — its result cache and single-flight dedup work exactly as they do
+//! standalone. A dead shard's keys remap to ring successors (the router
+//! ejects on failure and retries the next shard in ring order); a shard
+//! that returns must pass consecutive health probes before traffic comes
+//! back, and then gets its exact old keys again because ejection never
+//! edits the ring.
+//!
+//! Checkpoint distribution goes through the content-addressed registry:
+//! `launch` publishes the serving network under a ref, syncs the object
+//! into a per-shard registry, and each shard loads its weights from its
+//! own copy — so "every shard serves the same `checkpoint_hash`" is a
+//! verifiable property (router `stats` reports per-shard hash/epoch and a
+//! divergence flag), not an assumption.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod ring;
+pub mod router;
+pub mod shard;
+
+pub use cluster::{Cluster, ClusterOptions};
+pub use ring::{HashRing, DEFAULT_VNODES};
+pub use shard::Availability;

@@ -1,0 +1,223 @@
+//! A consistent-hash ring with virtual nodes.
+//!
+//! Each shard owns `vnodes` points on a `u64` ring; a key routes to the
+//! owner of the first point at or after `mix64(key)` (wrapping). Virtual
+//! nodes smooth the arc lengths so load stays balanced within a constant
+//! factor, and consistent hashing gives the property the serving tier is
+//! built on: removing one shard remaps *only* the keys that shard owned
+//! (to their ring successors), so every other shard keeps its result-cache
+//! and single-flight affinity untouched.
+//!
+//! The router deliberately keeps ejected shards **on** the ring and skips
+//! them at lookup time ([`HashRing::successors`]): membership changes are
+//! for permanent topology edits, while ejection is transient — keeping the
+//! points in place means a returning shard gets its exact old keys back.
+
+use std::collections::BTreeSet;
+
+use nrpm_core::fingerprint::mix64;
+
+/// Domain separator folded into every vnode position so ring placement is
+/// independent of other uses of `mix64` on the same shard ids.
+const RING_SEED: u64 = 0x6e72_706d_2d72_696e; // "nrpm-rin"
+
+/// Default virtual nodes per shard; at 64 the balance proptest holds a
+/// max/min key-share factor well inside 4x.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// The position of `shard`'s `vnode`-th point on the ring.
+fn vnode_position(shard: u32, vnode: u32) -> u64 {
+    mix64(RING_SEED ^ mix64(u64::from(shard) << 32 | u64::from(vnode)))
+}
+
+/// A consistent-hash ring mapping `u64` keys (measurement-set
+/// fingerprints) to shard ids. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(position, shard)` sorted by position; ties broken by shard id at
+    /// build time so lookups are deterministic.
+    points: Vec<(u64, u32)>,
+    shards: BTreeSet<u32>,
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// Builds a ring over `shards`, each holding `vnodes` points
+    /// (minimum 1).
+    pub fn new(shards: impl IntoIterator<Item = u32>, vnodes: usize) -> HashRing {
+        let mut ring = HashRing {
+            points: Vec::new(),
+            shards: BTreeSet::new(),
+            vnodes: vnodes.max(1),
+        };
+        for shard in shards {
+            ring.add_shard(shard);
+        }
+        ring
+    }
+
+    /// Adds `shard`'s points to the ring; a shard already present is left
+    /// unchanged.
+    pub fn add_shard(&mut self, shard: u32) {
+        if !self.shards.insert(shard) {
+            return;
+        }
+        for vnode in 0..self.vnodes as u32 {
+            self.points.push((vnode_position(shard, vnode), shard));
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Removes `shard` and its points. Keys it owned move to their ring
+    /// successors; nothing else moves (the minimal-disruption property the
+    /// proptests pin down).
+    pub fn remove_shard(&mut self, shard: u32) {
+        if self.shards.remove(&shard) {
+            self.points.retain(|&(_, s)| s != shard);
+        }
+    }
+
+    /// Shard ids currently on the ring, sorted.
+    pub fn shards(&self) -> Vec<u32> {
+        self.shards.iter().copied().collect()
+    }
+
+    /// Number of shards on the ring.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `true` when no shard is on the ring.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Virtual nodes per shard.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Index into `points` of the first point at or after `mix64(key)`,
+    /// wrapping past the top of the ring.
+    fn first_point(&self, key: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let target = mix64(key);
+        let idx = self.points.partition_point(|&(pos, _)| pos < target);
+        Some(if idx == self.points.len() { 0 } else { idx })
+    }
+
+    /// The shard owning `key`, or `None` on an empty ring.
+    pub fn route(&self, key: u64) -> Option<u32> {
+        self.first_point(key).map(|idx| self.points[idx].1)
+    }
+
+    /// Every shard in the order a request for `key` should try them: the
+    /// owner first, then each distinct ring successor. Walking this list
+    /// is how the router fails over — the first entry preserves cache
+    /// affinity, later entries only absorb keys while earlier ones are
+    /// ejected.
+    pub fn successors(&self, key: u64) -> Vec<u32> {
+        let Some(start) = self.first_point(key) else {
+            return Vec::new();
+        };
+        let mut order = Vec::with_capacity(self.shards.len());
+        for offset in 0..self.points.len() {
+            let (_, shard) = self.points[(start + offset) % self.points.len()];
+            if !order.contains(&shard) {
+                order.push(shard);
+                if order.len() == self.shards.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn routes_are_deterministic_and_on_ring() {
+        let ring = HashRing::new(0..4, 64);
+        for key in 0..1000u64 {
+            let shard = ring.route(key).unwrap();
+            assert!(shard < 4);
+            assert_eq!(ring.route(key), Some(shard));
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let ring = HashRing::new([7], 8);
+        for key in 0..100u64 {
+            assert_eq!(ring.route(key), Some(7));
+        }
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let ring = HashRing::new([], 64);
+        assert!(ring.is_empty());
+        assert_eq!(ring.route(42), None);
+        assert!(ring.successors(42).is_empty());
+    }
+
+    #[test]
+    fn add_then_remove_restores_original_routing() {
+        let mut ring = HashRing::new(0..3, 64);
+        let before: Vec<_> = (0..500u64).map(|k| ring.route(k)).collect();
+        ring.add_shard(3);
+        ring.remove_shard(3);
+        let after: Vec<_> = (0..500u64).map(|k| ring.route(k)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn successors_start_with_owner_and_cover_all_shards() {
+        let ring = HashRing::new(0..5, 64);
+        for key in 0..200u64 {
+            let order = ring.successors(key);
+            assert_eq!(order.len(), 5);
+            assert_eq!(order[0], ring.route(key).unwrap());
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5, "successors must be distinct");
+        }
+    }
+
+    #[test]
+    fn successor_matches_routing_without_the_owner() {
+        // The failover order must agree with what the ring would do if the
+        // owner were truly gone: skipping the first successor entry equals
+        // routing on a ring with that shard removed.
+        let ring = HashRing::new(0..4, 64);
+        for key in 0..300u64 {
+            let order = ring.successors(key);
+            let mut without = ring.clone();
+            without.remove_shard(order[0]);
+            assert_eq!(without.route(key), Some(order[1]));
+        }
+    }
+
+    #[test]
+    fn vnodes_spread_load_roughly_evenly() {
+        let ring = HashRing::new(0..4, 64);
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for key in 0..8000u64 {
+            *counts.entry(ring.route(key).unwrap()).or_default() += 1;
+        }
+        let min = counts.values().copied().min().unwrap();
+        let max = counts.values().copied().max().unwrap();
+        assert!(counts.len() == 4, "every shard should own some keys");
+        assert!(
+            max < min * 4,
+            "load imbalance too high: min {min}, max {max}"
+        );
+    }
+}

@@ -1,0 +1,514 @@
+//! The router front-end: speaks the same newline-JSON protocol as
+//! `nrpm-serve`, answers `health`/`stats`/`shutdown` and the `cluster_*`
+//! admin commands itself, and relays `model`/`batch` requests to the shard
+//! that owns the request's measurement-set fingerprint on the ring.
+//!
+//! ## Failover
+//!
+//! Each connection keeps one [`RetryingClient`] per shard (backoff +
+//! jitter + circuit breaker, exactly the client a standalone deployment
+//! would use). A relayed request walks [`HashRing::successors`]: the ring
+//! owner first — preserving per-shard result-cache and single-flight
+//! affinity — then each distinct successor. A shard whose retrying client
+//! gives up, or that answers `shutting_down` (which the client correctly
+//! treats as terminal, so the *router* must own that failover), is ejected
+//! on the spot and the next successor is tried. Only when every eligible
+//! shard has refused does the client see an error, and it is `overloaded`
+//! — the one kind retrying clients treat as retryable.
+//!
+//! The relayed reply gains a `"shard"` field naming the backend that
+//! answered, which is what the affinity measurements in `cluster_bench`
+//! key on.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use nrpm_core::fingerprint::{mix64, set_fingerprint};
+use nrpm_registry::hex16;
+use nrpm_serve::client::{RetryError, RetryingClient};
+use nrpm_serve::protocol::{
+    error_line, nesting_exceeds, ok_line, ErrorKind, Request, MAX_JSON_DEPTH, MAX_LINE_BYTES,
+};
+use serde::Value;
+use serde_json;
+
+use crate::cluster::ClusterState;
+use crate::shard::ShardRuntime;
+
+/// Distinguishes router connections in the per-shard retry jitter seeds.
+static CONN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Accept loop: one reader thread per connection, reaped every poll tick,
+/// all joined when the drain flag flips.
+pub(crate) fn run_router(listener: TcpListener, state: &Arc<ClusterState>) {
+    let nonblocking = listener.set_nonblocking(true).is_ok();
+    let poll = state.opts.shard_opts.poll_interval;
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !state.draining() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                connections.retain(|h| !h.is_finished());
+                let conn_state = Arc::clone(state);
+                let handle = thread::Builder::new()
+                    .name("nrpm-cluster-conn".into())
+                    .spawn(move || {
+                        let _ = serve_router_connection(stream, &conn_state);
+                    })
+                    .expect("spawn router connection thread");
+                connections.push(handle);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                connections.retain(|h| !h.is_finished());
+                thread::sleep(poll);
+            }
+            Err(_) => {
+                if !nonblocking {
+                    continue;
+                }
+                thread::sleep(poll);
+            }
+        }
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// One retrying client pinned to the shard address it was built for; a
+/// revive moves the shard to a new port, so a stale connection is rebuilt
+/// rather than reused.
+struct ShardConn {
+    addr: std::net::SocketAddr,
+    client: RetryingClient,
+}
+
+/// Per-connection pool of shard clients, built lazily on first use.
+struct ShardConns {
+    conns: HashMap<u32, ShardConn>,
+    conn_id: u64,
+}
+
+impl ShardConns {
+    fn new() -> ShardConns {
+        ShardConns {
+            conns: HashMap::new(),
+            conn_id: CONN_COUNTER.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    fn client(&mut self, shard: &ShardRuntime, state: &ClusterState) -> &mut RetryingClient {
+        let addr = shard.addr();
+        let stale = self
+            .conns
+            .get(&shard.id)
+            .is_some_and(|conn| conn.addr != addr);
+        if stale {
+            self.conns.remove(&shard.id);
+        }
+        let conn_id = self.conn_id;
+        &mut self
+            .conns
+            .entry(shard.id)
+            .or_insert_with(|| {
+                let mut policy = state.opts.retry.clone();
+                policy.seed ^= mix64(conn_id << 32 | u64::from(shard.id));
+                ShardConn {
+                    addr,
+                    client: RetryingClient::new(addr, state.opts.shard_timeout, policy),
+                }
+            })
+            .client
+    }
+}
+
+enum Disposition {
+    Respond(String),
+    RespondAndClose(String),
+}
+
+/// Reads newline-delimited requests off one client connection until EOF,
+/// error, stall, or drain — the same framing rules (`MAX_LINE_BYTES`,
+/// slowloris guard) as a shard connection, so the router is never the
+/// weaker link.
+fn serve_router_connection(
+    mut stream: TcpStream,
+    state: &Arc<ClusterState>,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(state.opts.shard_opts.poll_interval))?;
+    stream.set_write_timeout(Some(state.opts.shard_opts.io_timeout))?;
+    let mut conns = ShardConns::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut partial_since: Option<Instant> = None;
+    let mut scanned = 0usize;
+    loop {
+        while let Some(rel) = buf[scanned..].iter().position(|&b| b == b'\n') {
+            let pos = scanned + rel;
+            if pos > MAX_LINE_BYTES {
+                let response = error_line(
+                    None,
+                    ErrorKind::Usage,
+                    &format!("request exceeds {MAX_LINE_BYTES} bytes"),
+                );
+                stream.write_all(response.as_bytes())?;
+                stream.write_all(b"\n")?;
+                return Ok(());
+            }
+            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            scanned = 0;
+            partial_since = None;
+            let line = String::from_utf8_lossy(&line_bytes);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match handle_router_line(line, state, &mut conns) {
+                Disposition::Respond(response) => {
+                    stream.write_all(response.as_bytes())?;
+                    stream.write_all(b"\n")?;
+                    stream.flush()?;
+                }
+                Disposition::RespondAndClose(response) => {
+                    stream.write_all(response.as_bytes())?;
+                    stream.write_all(b"\n")?;
+                    stream.flush()?;
+                    return Ok(());
+                }
+            }
+        }
+        scanned = buf.len();
+        if buf.len() > MAX_LINE_BYTES {
+            let response = error_line(
+                None,
+                ErrorKind::Usage,
+                &format!("request exceeds {MAX_LINE_BYTES} bytes"),
+            );
+            stream.write_all(response.as_bytes())?;
+            stream.write_all(b"\n")?;
+            return Ok(());
+        }
+        if buf.is_empty() {
+            partial_since = None;
+        } else if let Some(since) = partial_since {
+            if since.elapsed() >= state.opts.shard_opts.io_timeout {
+                let response = error_line(
+                    None,
+                    ErrorKind::Timeout,
+                    &format!(
+                        "request incomplete after {:?}; closing stalled connection",
+                        state.opts.shard_opts.io_timeout
+                    ),
+                );
+                let _ = stream.write_all(response.as_bytes());
+                let _ = stream.write_all(b"\n");
+                return Ok(());
+            }
+        } else {
+            partial_since = Some(Instant::now());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if state.draining() {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_router_line(
+    line: &str,
+    state: &Arc<ClusterState>,
+    conns: &mut ShardConns,
+) -> Disposition {
+    // Admin commands are router-only vocabulary, handled before the shard
+    // protocol's parser (which would reject them as unknown commands).
+    if nesting_exceeds(line, MAX_JSON_DEPTH) {
+        return Disposition::Respond(error_line(
+            None,
+            ErrorKind::Parse,
+            &format!("JSON nesting exceeds {MAX_JSON_DEPTH} levels"),
+        ));
+    }
+    if let Ok(value) = serde_json::from_str::<Value>(line) {
+        if let Some(cmd) = value.get("cmd").and_then(Value::as_str) {
+            if let Some(response) = handle_admin(cmd, &value, state) {
+                return Disposition::Respond(response);
+            }
+        }
+    }
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err((kind, message)) => return Disposition::Respond(error_line(None, kind, &message)),
+    };
+    match request {
+        Request::Health => {
+            let routable = state.shards.iter().filter(|s| s.is_routable()).count();
+            Disposition::Respond(ok_line(
+                None,
+                vec![
+                    ("service".into(), Value::Str("nrpm-cluster-router".into())),
+                    ("shards".into(), Value::U64(state.shards.len() as u64)),
+                    ("routable".into(), Value::U64(routable as u64)),
+                    ("draining".into(), Value::Bool(state.draining())),
+                ],
+            ))
+        }
+        Request::Stats => Disposition::Respond(ok_line(
+            None,
+            vec![("stats".into(), router_stats_value(state))],
+        )),
+        Request::Shutdown => {
+            state.begin_shutdown();
+            Disposition::RespondAndClose(ok_line(
+                None,
+                vec![("draining".into(), Value::Bool(true))],
+            ))
+        }
+        Request::Model {
+            ref set, ref id, ..
+        } => {
+            let key = set_fingerprint(set);
+            let id = id.clone();
+            Disposition::Respond(forward(state, conns, key, line, id.as_deref()))
+        }
+        Request::Batch {
+            ref sets, ref id, ..
+        } => {
+            // One batch stays whole: it routes by the combined fingerprint
+            // of its sets, so the shard-side batched forward pass is
+            // preserved at the cost of cross-set affinity.
+            let key = sets
+                .iter()
+                .fold(0u64, |acc, set| mix64(acc ^ set_fingerprint(set)));
+            let id = id.clone();
+            Disposition::Respond(forward(state, conns, key, line, id.as_deref()))
+        }
+        Request::CrashWorker | Request::ForceAdapt | Request::AdaptFault { .. } => {
+            Disposition::Respond(error_line(
+                None,
+                ErrorKind::Usage,
+                "this command is shard-local; the cluster router does not relay it",
+            ))
+        }
+    }
+}
+
+/// Handles `cluster_drain` / `cluster_kill` / `cluster_revive`; `None`
+/// when `cmd` is not router admin vocabulary.
+fn handle_admin(cmd: &str, value: &Value, state: &Arc<ClusterState>) -> Option<String> {
+    let verb = match cmd {
+        "cluster_drain" | "cluster_kill" | "cluster_revive" => cmd,
+        _ => return None,
+    };
+    let Some(shard) = value.get("shard").and_then(Value::as_u64) else {
+        return Some(error_line(
+            None,
+            ErrorKind::Usage,
+            &format!("`{verb}` requires a numeric `shard` field"),
+        ));
+    };
+    let Ok(shard) = u32::try_from(shard) else {
+        return Some(error_line(
+            None,
+            ErrorKind::Usage,
+            "`shard` is out of range",
+        ));
+    };
+    let outcome = match verb {
+        "cluster_drain" => state.remove_shard(shard, false).map(|()| "draining"),
+        "cluster_kill" => {
+            if !state.opts.debug_hooks {
+                return Some(error_line(
+                    None,
+                    ErrorKind::Usage,
+                    "cluster_kill is a test hook; launch the cluster with debug hooks to use it",
+                ));
+            }
+            state.remove_shard(shard, true).map(|()| "killed")
+        }
+        "cluster_revive" => state.revive_shard(shard).map(|_| "revived"),
+        _ => unreachable!("verb matched above"),
+    };
+    Some(match outcome {
+        Ok(did) => ok_line(
+            None,
+            vec![
+                ("shard".into(), Value::U64(u64::from(shard))),
+                (did.into(), Value::Bool(true)),
+            ],
+        ),
+        Err(message) => error_line(None, ErrorKind::Usage, &message),
+    })
+}
+
+/// Relays `line` to the owner of `key`, failing over along the ring. See
+/// the [module docs](self).
+fn forward(
+    state: &Arc<ClusterState>,
+    conns: &mut ShardConns,
+    key: u64,
+    line: &str,
+    id: Option<&str>,
+) -> String {
+    if state.draining() {
+        return error_line(
+            id,
+            ErrorKind::ShuttingDown,
+            "cluster is draining; no new modeling work accepted",
+        );
+    }
+    let order = state.ring.successors(key);
+    let owner = order.first().copied();
+    let mut tried = 0usize;
+    for shard_id in order {
+        let Some(shard) = state.shard(shard_id) else {
+            continue;
+        };
+        if !shard.is_routable() || tried >= state.opts.max_failover.max(1) {
+            continue;
+        }
+        tried += 1;
+        let answer = conns.client(shard, state).roundtrip_line(line);
+        match answer {
+            Ok(response)
+                if response.get("kind").and_then(Value::as_str) == Some("shutting_down") =>
+            {
+                // The retrying client rightly treats `shutting_down` as an
+                // answer; at the cluster level it means "this shard is
+                // leaving", which is the router's cue to eject and move on.
+                shard.note_route_failure();
+            }
+            Ok(response) => {
+                shard.routed.fetch_add(1, Ordering::Relaxed);
+                state.routed.fetch_add(1, Ordering::Relaxed);
+                if owner != Some(shard_id) {
+                    state.failovers.fetch_add(1, Ordering::Relaxed);
+                }
+                return annotate_shard(response, shard_id, line);
+            }
+            Err(RetryError::CircuitOpen | RetryError::Exhausted(_)) => {
+                shard.note_route_failure();
+            }
+        }
+    }
+    state.rejected.fetch_add(1, Ordering::Relaxed);
+    error_line(
+        id,
+        ErrorKind::Overloaded,
+        "no healthy shard could answer; retry with backoff",
+    )
+}
+
+/// Adds `"shard": id` to a relayed reply so clients (and the affinity
+/// bench) can see which backend answered.
+fn annotate_shard(response: Value, shard: u32, raw: &str) -> String {
+    let Value::Map(mut entries) = response else {
+        // A non-object reply should be impossible; relay the raw shard
+        // bytes unmodified rather than inventing a frame.
+        return raw.to_string();
+    };
+    entries.push(("shard".into(), Value::U64(u64::from(shard))));
+    serde_json::to_string(&Value::Map(entries)).expect("reserializing a reply map cannot fail")
+}
+
+/// The router's `stats` body: aggregate counters, per-shard state, and the
+/// checkpoint-divergence view operators watch during rolling swaps.
+fn router_stats_value(state: &Arc<ClusterState>) -> Value {
+    let mut per_shard = Vec::with_capacity(state.shards.len());
+    let mut hashes: Vec<String> = Vec::new();
+    let mut epochs: Vec<u64> = Vec::new();
+    for shard in &state.shards {
+        let polled = shard
+            .polled
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone();
+        if shard.is_probed() {
+            if let Some(hash) = &polled.checkpoint_hash {
+                if !hashes.contains(hash) {
+                    hashes.push(hash.clone());
+                }
+                if !epochs.contains(&polled.epoch) {
+                    epochs.push(polled.epoch);
+                }
+            }
+        }
+        per_shard.push(Value::Map(vec![
+            ("shard".into(), Value::U64(u64::from(shard.id))),
+            ("addr".into(), Value::Str(shard.addr().to_string())),
+            (
+                "state".into(),
+                Value::Str(shard.availability().name().into()),
+            ),
+            (
+                "routed".into(),
+                Value::U64(shard.routed.load(Ordering::Relaxed)),
+            ),
+            (
+                "failed".into(),
+                Value::U64(shard.failed.load(Ordering::Relaxed)),
+            ),
+            (
+                "checkpoint_hash".into(),
+                match &polled.checkpoint_hash {
+                    Some(hash) => Value::Str(hash.clone()),
+                    None => Value::Null,
+                },
+            ),
+            ("epoch".into(), Value::U64(polled.epoch)),
+        ]));
+    }
+    let routable = state.shards.iter().filter(|s| s.is_routable()).count();
+    Value::Map(vec![
+        ("service".into(), Value::Str("nrpm-cluster-router".into())),
+        (
+            "server_version".into(),
+            Value::Str(env!("CARGO_PKG_VERSION").into()),
+        ),
+        ("shards".into(), Value::U64(state.shards.len() as u64)),
+        ("routable".into(), Value::U64(routable as u64)),
+        ("draining".into(), Value::Bool(state.draining())),
+        (
+            "requests_routed".into(),
+            Value::U64(state.routed.load(Ordering::Relaxed)),
+        ),
+        (
+            "failovers".into(),
+            Value::U64(state.failovers.load(Ordering::Relaxed)),
+        ),
+        (
+            "rejected".into(),
+            Value::U64(state.rejected.load(Ordering::Relaxed)),
+        ),
+        (
+            "serving_hash".into(),
+            match state.serving_hash {
+                Some(hash) => Value::Str(hex16(hash)),
+                None => Value::Null,
+            },
+        ),
+        (
+            "checkpoint_divergence".into(),
+            Value::Bool(hashes.len() > 1),
+        ),
+        ("epoch_divergence".into(), Value::Bool(epochs.len() > 1)),
+        ("per_shard".into(), Value::Seq(per_shard)),
+    ])
+}

@@ -1,0 +1,297 @@
+//! Per-shard runtime state: the in-process server handle, the routing
+//! availability state machine, and the supervisor's last wire-polled view
+//! of the shard's `stats`.
+//!
+//! ## Availability state machine
+//!
+//! ```text
+//! Healthy --eject_after consecutive probe/route failures--> Ejected
+//! Ejected --1 successful probe--> Probation(1)
+//! Probation(k) --successful probe--> Probation(k+1) | Healthy (k+1 == readmit_probes)
+//! Probation(_) --any failure--> Ejected
+//! Healthy/Probation --drain_shard--> Draining      (terminal until revive)
+//! Healthy/Probation --kill_shard--> Killed         (terminal until revive)
+//! revive --> Ejected                                (must earn traffic back)
+//! ```
+//!
+//! Only `Healthy` shards receive routed traffic. Re-admission is gradual
+//! by construction: a returning shard serves nothing until it has answered
+//! `readmit_probes` consecutive health probes, so one lucky probe after a
+//! flapping failure cannot flood it with its whole key range at once.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use nrpm_serve::server::Server;
+use nrpm_serve::store::ModelStore;
+
+/// Where a shard stands in the routing state machine. See the
+/// [module docs](self) for transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Availability {
+    /// Serving traffic.
+    Healthy,
+    /// Passed some, but not yet `readmit_probes`, consecutive probes after
+    /// an ejection; not yet serving.
+    Probation(u32),
+    /// Failed out of rotation; probes decide when it may return.
+    Ejected,
+    /// Operator-initiated graceful removal; never probed or routed.
+    Draining,
+    /// Test-initiated abrupt removal; never probed or routed.
+    Killed,
+}
+
+impl Availability {
+    /// The state's wire/display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Availability::Healthy => "healthy",
+            Availability::Probation(_) => "probation",
+            Availability::Ejected => "ejected",
+            Availability::Draining => "draining",
+            Availability::Killed => "killed",
+        }
+    }
+}
+
+/// Health-probe bookkeeping guarded by one lock.
+#[derive(Debug)]
+struct HealthState {
+    avail: Availability,
+    consecutive_fails: u32,
+}
+
+/// The supervisor's last successful `stats` poll of this shard.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PolledStats {
+    /// `checkpoint_hash` the shard reported (hex16).
+    pub checkpoint_hash: Option<String>,
+    /// Adaptation `epoch` the shard reported.
+    pub epoch: u64,
+}
+
+/// One backend shard: server handle, store, routing state, counters.
+pub(crate) struct ShardRuntime {
+    pub id: u32,
+    addr: Mutex<SocketAddr>,
+    /// The shard's own store handle — used for revive (restart on the same
+    /// weights) and by tests that force checkpoint divergence.
+    pub store: ModelStore,
+    server: Mutex<Option<Server>>,
+    health: Mutex<HealthState>,
+    pub polled: Mutex<PolledStats>,
+    /// Requests this shard answered through the router.
+    pub routed: AtomicU64,
+    /// Routed requests this shard failed (transport error or
+    /// `shutting_down`), each of which ejected it.
+    pub failed: AtomicU64,
+}
+
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl ShardRuntime {
+    pub fn new(id: u32, addr: SocketAddr, store: ModelStore, server: Server) -> ShardRuntime {
+        ShardRuntime {
+            id,
+            addr: Mutex::new(addr),
+            store,
+            server: Mutex::new(Some(server)),
+            health: Mutex::new(HealthState {
+                avail: Availability::Healthy,
+                consecutive_fails: 0,
+            }),
+            polled: Mutex::new(PolledStats::default()),
+            routed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        }
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        *lock_recovering(&self.addr)
+    }
+
+    pub fn availability(&self) -> Availability {
+        lock_recovering(&self.health).avail
+    }
+
+    /// `true` when routed traffic may reach this shard.
+    pub fn is_routable(&self) -> bool {
+        matches!(self.availability(), Availability::Healthy)
+    }
+
+    /// `true` when the supervisor should probe this shard at all.
+    pub fn is_probed(&self) -> bool {
+        !matches!(
+            self.availability(),
+            Availability::Draining | Availability::Killed
+        )
+    }
+
+    /// Records a successful health probe, advancing re-admission.
+    pub fn note_probe_ok(&self, readmit_probes: u32) {
+        let mut health = lock_recovering(&self.health);
+        health.consecutive_fails = 0;
+        health.avail = match health.avail {
+            Availability::Ejected => {
+                if readmit_probes <= 1 {
+                    Availability::Healthy
+                } else {
+                    Availability::Probation(1)
+                }
+            }
+            Availability::Probation(k) => {
+                if k + 1 >= readmit_probes {
+                    Availability::Healthy
+                } else {
+                    Availability::Probation(k + 1)
+                }
+            }
+            other => other,
+        };
+    }
+
+    /// Records a failed health probe; `eject_after` consecutive failures
+    /// take a healthy shard out of rotation, and any failure resets
+    /// probation.
+    pub fn note_probe_fail(&self, eject_after: u32) {
+        let mut health = lock_recovering(&self.health);
+        health.consecutive_fails += 1;
+        health.avail = match health.avail {
+            Availability::Healthy if health.consecutive_fails >= eject_after.max(1) => {
+                Availability::Ejected
+            }
+            Availability::Probation(_) => Availability::Ejected,
+            other => other,
+        };
+    }
+
+    /// Records a routed-request failure: the retrying client already
+    /// exhausted its in-place retries against this shard, so it is ejected
+    /// immediately rather than after `eject_after` probe ticks.
+    pub fn note_route_failure(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        let mut health = lock_recovering(&self.health);
+        if matches!(
+            health.avail,
+            Availability::Healthy | Availability::Probation(_) | Availability::Ejected
+        ) {
+            health.avail = Availability::Ejected;
+            health.consecutive_fails = 0;
+        }
+    }
+
+    /// Flags the shard as intentionally leaving (`drain`/`kill`); routing
+    /// and probing stop before the server handle is touched.
+    pub fn mark_leaving(&self, killed: bool) {
+        let mut health = lock_recovering(&self.health);
+        health.avail = if killed {
+            Availability::Killed
+        } else {
+            Availability::Draining
+        };
+    }
+
+    /// Puts a revived shard back under probation rules at its new address.
+    pub fn mark_revived(&self, addr: SocketAddr, server: Server) {
+        *lock_recovering(&self.addr) = addr;
+        *lock_recovering(&self.server) = Some(server);
+        let mut health = lock_recovering(&self.health);
+        health.avail = Availability::Ejected;
+        health.consecutive_fails = 0;
+    }
+
+    /// Takes the server handle (for drain/kill/join); `None` when already
+    /// taken.
+    pub fn take_server(&self) -> Option<Server> {
+        lock_recovering(&self.server).take()
+    }
+
+    /// `true` while a server handle is held (the backend threads exist).
+    pub fn has_server(&self) -> bool {
+        lock_recovering(&self.server).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrpm_core::adaptive::AdaptiveOptions;
+    use nrpm_nn::{Network, NetworkConfig};
+    use nrpm_serve::server::ServeOptions;
+
+    fn runtime() -> ShardRuntime {
+        let network = Network::new(
+            &NetworkConfig::new(&[
+                nrpm_core::preprocess::NUM_INPUTS,
+                4,
+                nrpm_extrap::NUM_CLASSES,
+            ]),
+            1,
+        );
+        let store = ModelStore::from_network(network, AdaptiveOptions::default()).unwrap();
+        let opts = ServeOptions {
+            workers: 1,
+            ..ServeOptions::default()
+        };
+        let server = Server::start("127.0.0.1:0", store.clone(), opts).unwrap();
+        let addr = server.addr();
+        ShardRuntime::new(0, addr, store, server)
+    }
+
+    fn stop(shard: &ShardRuntime) {
+        if let Some(server) = shard.take_server() {
+            server.request_shutdown();
+            let _ = server.join();
+        }
+    }
+
+    #[test]
+    fn eject_and_gradual_readmission() {
+        let shard = runtime();
+        assert!(shard.is_routable());
+
+        // One failure is absorbed; the second ejects (eject_after = 2).
+        shard.note_probe_fail(2);
+        assert!(shard.is_routable());
+        shard.note_probe_fail(2);
+        assert_eq!(shard.availability(), Availability::Ejected);
+
+        // Re-admission takes three consecutive good probes.
+        shard.note_probe_ok(3);
+        assert_eq!(shard.availability(), Availability::Probation(1));
+        assert!(!shard.is_routable(), "probation must not serve traffic");
+        shard.note_probe_ok(3);
+        shard.note_probe_ok(3);
+        assert!(shard.is_routable());
+        stop(&shard);
+    }
+
+    #[test]
+    fn probation_failure_resets_to_ejected() {
+        let shard = runtime();
+        shard.note_route_failure();
+        assert_eq!(shard.availability(), Availability::Ejected);
+        shard.note_probe_ok(3);
+        shard.note_probe_fail(2);
+        assert_eq!(shard.availability(), Availability::Ejected);
+        stop(&shard);
+    }
+
+    #[test]
+    fn leaving_states_are_terminal_for_probes() {
+        let shard = runtime();
+        shard.mark_leaving(false);
+        assert_eq!(shard.availability(), Availability::Draining);
+        assert!(!shard.is_probed());
+        shard.note_probe_ok(1);
+        shard.note_probe_fail(1);
+        assert_eq!(shard.availability(), Availability::Draining);
+        stop(&shard);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests of the consistent-hash ring — the two guarantees the
+//! serving tier leans on:
+//!
+//! 1. **Balance**: with ≥64 virtual nodes, every shard's share of a large
+//!    key population stays within a constant factor of fair.
+//! 2. **Minimal disruption**: removing one shard remaps only the keys that
+//!    shard owned; every other key keeps its exact routing (and therefore
+//!    its result-cache/single-flight affinity).
+
+use nrpm_cluster::HashRing;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With ≥64 vnodes, each of `n` shards owns between 1/(4n) and 4/n of
+    /// a mixed key population — balanced within a constant factor of 4.
+    #[test]
+    fn distribution_is_balanced_within_a_constant_factor(
+        shards in 2u32..=8,
+        vnodes in 64usize..=128,
+        key_seed in 0u64..u64::MAX,
+    ) {
+        let ring = HashRing::new(0..shards, vnodes);
+        const KEYS: usize = 4096;
+        let mut counts = vec![0usize; shards as usize];
+        for i in 0..KEYS as u64 {
+            // Keys in practice are fingerprint hashes; a seeded affine
+            // sweep covers both clustered and dispersed populations.
+            let key = key_seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let shard = ring.route(key).expect("nonempty ring routes");
+            counts[shard as usize] += 1;
+        }
+        let fair = KEYS / shards as usize;
+        for (shard, &count) in counts.iter().enumerate() {
+            prop_assert!(
+                count >= fair / 4,
+                "shard {shard} starved: {count} keys of fair {fair}"
+            );
+            prop_assert!(
+                count <= fair * 4,
+                "shard {shard} overloaded: {count} keys of fair {fair}"
+            );
+        }
+    }
+
+    /// Removing one shard moves exactly that shard's keys (each to a
+    /// still-present shard) and no others.
+    #[test]
+    fn removing_a_shard_remaps_only_its_own_keys(
+        shards in 2u32..=8,
+        vnodes in 64usize..=128,
+        removed in 0u32..8,
+        key_seed in 0u64..u64::MAX,
+    ) {
+        let removed = removed % shards;
+        let full = HashRing::new(0..shards, vnodes);
+        let mut reduced = full.clone();
+        reduced.remove_shard(removed);
+        for i in 0..2048u64 {
+            let key = key_seed.wrapping_add(i.wrapping_mul(0x6a09_e667_f3bc_c909));
+            let before = full.route(key).unwrap();
+            let after = reduced.route(key).unwrap();
+            if before == removed {
+                prop_assert_ne!(after, removed, "keys must leave the removed shard");
+            } else {
+                prop_assert_eq!(
+                    before, after,
+                    "key {} moved although its owner survived", key
+                );
+            }
+        }
+    }
+
+    /// Adding a shard back restores the original routing exactly — the
+    /// property that lets ejection keep the ring untouched and still
+    /// promise returning shards their old keys.
+    #[test]
+    fn membership_round_trip_restores_routing(
+        shards in 2u32..=6,
+        vnodes in 64usize..=96,
+        key_seed in 0u64..u64::MAX,
+    ) {
+        let original = HashRing::new(0..shards, vnodes);
+        let mut ring = original.clone();
+        ring.remove_shard(shards - 1);
+        ring.add_shard(shards - 1);
+        for i in 0..1024u64 {
+            let key = key_seed.wrapping_add(i.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+            prop_assert_eq!(original.route(key), ring.route(key));
+        }
+    }
+}

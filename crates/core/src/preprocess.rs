@@ -230,7 +230,7 @@ mod tests {
         let ys = [8.0, 32.0, 128.0, 512.0, 2048.0];
         let input = encode_line_with(&xs, &ys, ValueScaling::MaxAbs).unwrap();
         assert!(input.iter().all(|v| v.abs() <= 1.0));
-        assert!(input.iter().any(|&v| v == 1.0));
+        assert!(input.contains(&1.0));
     }
 
     #[test]
@@ -238,7 +238,7 @@ mod tests {
         // For v = x^k, the encoded value at normalized position p is
         // (k-1)/32 * log2(p) - 0.1: the class appears as the slope.
         let xs: [f64; 5] = [4.0, 8.0, 16.0, 32.0, 64.0];
-        let lin: Vec<f64> = xs.iter().map(|&x| x).collect();
+        let lin: Vec<f64> = xs.to_vec();
         let cub: Vec<f64> = xs.iter().map(|&x| x * x * x).collect();
         let a = encode_line(&xs, &lin).unwrap();
         let b = encode_line(&xs, &cub).unwrap();

@@ -152,7 +152,7 @@ mod tests {
 
     #[test]
     fn ordering_is_numeric() {
-        let mut v = vec![
+        let mut v = [
             Fraction::new(5, 2),
             Fraction::new(1, 3),
             Fraction::ZERO,

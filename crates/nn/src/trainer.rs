@@ -454,6 +454,7 @@ mod tests {
         let (_, grads) = net.compute_gradients(&x, &y);
 
         let h = 1e-5;
+        #[allow(clippy::needless_range_loop)]
         for l in 0..net.layers().len() {
             for &(i, j) in &[(0usize, 0usize), (1, 1)] {
                 if i >= net.layers()[l].weights.rows() || j >= net.layers()[l].weights.cols() {

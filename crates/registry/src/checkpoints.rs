@@ -328,16 +328,67 @@ impl CheckpointRegistry {
     /// at them — collecting one would leave a recovering or rolling-back
     /// server pointing at a deleted object.
     pub fn gc_with_pins(&self, pins: &HashSet<u64>) -> Result<Vec<u64>, RegistryError> {
+        let doomed = self.gc_plan(pins)?;
+        for &hash in &doomed {
+            fs::remove_file(self.object_path(hash))?;
+        }
+        Ok(doomed)
+    }
+
+    /// The hashes [`Self::gc_with_pins`] would delete, sorted, without
+    /// touching disk. Backs `nrpm registry gc --dry-run`.
+    pub fn gc_plan(&self, pins: &HashSet<u64>) -> Result<Vec<u64>, RegistryError> {
         let mut live: HashSet<u64> = self.refs()?.into_iter().map(|(_, h)| h).collect();
         live.extend(pins);
-        let mut removed = Vec::new();
-        for hash in self.list()? {
-            if !live.contains(&hash) {
-                fs::remove_file(self.object_path(hash))?;
-                removed.push(hash);
-            }
+        Ok(self
+            .list()?
+            .into_iter()
+            .filter(|hash| !live.contains(hash))
+            .collect())
+    }
+
+    /// Writes the checkpoint stored under `hash` to `path` — the exact
+    /// bytes [`Network::save`] would produce, via a temp file plus rename
+    /// so a crashed export never leaves a half-written model behind. A
+    /// shard can load the exported file directly.
+    pub fn export(&self, hash: u64, path: impl AsRef<Path>) -> Result<(), RegistryError> {
+        let src = self.object_path(hash);
+        if !src.exists() {
+            return Err(RegistryError::UnknownCheckpoint(hex16(hash)));
         }
-        Ok(removed)
+        let path = path.as_ref();
+        let json = fs::read_to_string(&src)?;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        fs::write(&tmp, &json)?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Copies the object for `hash` into `dest` (a no-op when `dest`
+    /// already holds it, because the name is the content hash). Returns
+    /// `true` when bytes actually moved. This is the checkpoint
+    /// distribution primitive: the cluster supervisor fans the serving
+    /// checkpoint out to per-shard registries with it.
+    pub fn sync_to(&self, dest: &CheckpointRegistry, hash: u64) -> Result<bool, RegistryError> {
+        if dest.contains(hash) {
+            return Ok(false);
+        }
+        let src = self.object_path(hash);
+        if !src.exists() {
+            return Err(RegistryError::UnknownCheckpoint(hex16(hash)));
+        }
+        let json = fs::read_to_string(&src)?;
+        let stored = dest.put_bytes(&json)?;
+        if stored != hash {
+            return Err(RegistryError::Corrupt(format!(
+                "object {} re-hashed to {} during sync",
+                hex16(hash),
+                hex16(stored)
+            )));
+        }
+        Ok(true)
     }
 }
 
@@ -474,6 +525,66 @@ mod tests {
         assert!(registry.get(reffed).is_ok());
         assert!(registry.get(pinned).is_ok(), "pinned object must survive");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_plan_lists_doomed_hashes_without_deleting() {
+        let dir = tmp_dir("gc-plan");
+        let registry = CheckpointRegistry::open(&dir).unwrap();
+        let reffed = registry.put(&tiny_network(12)).unwrap();
+        let pinned = registry.put(&tiny_network(13)).unwrap();
+        let doomed = registry.put(&tiny_network(14)).unwrap();
+        registry.set_ref("default", reffed).unwrap();
+
+        let pins: HashSet<u64> = [pinned].into_iter().collect();
+        let plan = registry.gc_plan(&pins).unwrap();
+        assert_eq!(plan, vec![doomed]);
+        // Nothing was touched: all three objects still load.
+        assert_eq!(registry.list().unwrap().len(), 3);
+        assert!(registry.get(doomed).is_ok());
+        // The real gc then removes exactly what the plan promised.
+        assert_eq!(registry.gc_with_pins(&pins).unwrap(), plan);
+        assert!(registry.get(doomed).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_writes_loadable_checkpoint_bytes() {
+        let dir = tmp_dir("export");
+        let registry = CheckpointRegistry::open(&dir).unwrap();
+        let network = tiny_network(15);
+        let hash = registry.put(&network).unwrap();
+        let out = dir.join("exported.json");
+        registry.export(hash, &out).unwrap();
+        let loaded = Network::load(&out).unwrap();
+        assert_eq!(loaded.to_json(), network.to_json());
+        assert!(matches!(
+            registry.export(hash ^ 1, dir.join("missing.json")),
+            Err(RegistryError::UnknownCheckpoint(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_to_copies_once_and_verifies_hash() {
+        let src_dir = tmp_dir("sync-src");
+        let dest_dir = tmp_dir("sync-dest");
+        let src = CheckpointRegistry::open(&src_dir).unwrap();
+        let dest = CheckpointRegistry::open(&dest_dir).unwrap();
+        let hash = src.put(&tiny_network(16)).unwrap();
+
+        assert!(src.sync_to(&dest, hash).unwrap(), "first sync copies");
+        assert!(!src.sync_to(&dest, hash).unwrap(), "second sync is a no-op");
+        assert_eq!(
+            dest.get(hash).unwrap().to_json(),
+            src.get(hash).unwrap().to_json()
+        );
+        assert!(matches!(
+            src.sync_to(&dest, hash ^ 1),
+            Err(RegistryError::UnknownCheckpoint(_))
+        ));
+        let _ = std::fs::remove_dir_all(&src_dir);
+        let _ = std::fs::remove_dir_all(&dest_dir);
     }
 
     #[test]

@@ -137,6 +137,7 @@ pub struct Journal<V> {
 impl<V: Serialize + Deserialize> Journal<V> {
     /// Opens (creating if absent) the journal at `path`, replaying every
     /// intact record and repairing a torn tail in place.
+    #[allow(clippy::type_complexity)]
     pub fn open(
         path: impl Into<PathBuf>,
     ) -> Result<(Self, Vec<(u64, V)>, RecoveryReport), JournalError> {

@@ -178,8 +178,10 @@ fn opt_point(v: &Value, key: &str) -> Result<Option<Vec<f64>>, String> {
 }
 
 /// `true` when `line`'s bracket nesting (outside string literals) exceeds
-/// `max` — a linear scan, safe to run on hostile input of any size.
-fn nesting_exceeds(line: &str, max: usize) -> bool {
+/// `max` — a linear scan, safe to run on hostile input of any size. Public
+/// so other protocol front-ends (the cluster router) can apply the same
+/// guard before handing a line to the JSON parser.
+pub fn nesting_exceeds(line: &str, max: usize) -> bool {
     let mut depth = 0usize;
     let mut in_string = false;
     let mut escaped = false;

@@ -107,6 +107,10 @@ pub struct ServeOptions {
     /// shadow-validate → swap → watch). Disabled by default; see
     /// [`crate::adapt`].
     pub adaptation: AdaptOptions,
+    /// Identity of this backend within a cluster; surfaced in `health` and
+    /// `stats` responses so a router can confirm it is talking to the shard
+    /// it thinks it is. `None` for standalone servers.
+    pub shard_id: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -124,6 +128,7 @@ impl Default for ServeOptions {
             cache_capacity: 1024,
             cache_dir: None,
             adaptation: AdaptOptions::default(),
+            shard_id: None,
         }
     }
 }
@@ -621,15 +626,16 @@ fn handle_line(line: &str, shared: &Arc<Shared>, job_tx: &mpsc::SyncSender<Job>)
         Request::Health => {
             shared.metrics.record_request(RequestKind::Health);
             shared.metrics.record_ok();
-            Disposition::Respond(ok_line(
-                None,
-                vec![
-                    ("service".into(), Value::Str("nrpm-serve".into())),
-                    ("workers".into(), Value::U64(shared.opts.workers as u64)),
-                    ("adapt".into(), Value::Bool(shared.opts.adapt)),
-                    ("draining".into(), Value::Bool(shared.draining())),
-                ],
-            ))
+            let mut fields = vec![
+                ("service".into(), Value::Str("nrpm-serve".into())),
+                ("workers".into(), Value::U64(shared.opts.workers as u64)),
+                ("adapt".into(), Value::Bool(shared.opts.adapt)),
+                ("draining".into(), Value::Bool(shared.draining())),
+            ];
+            if let Some(shard) = shared.opts.shard_id {
+                fields.push(("shard_id".into(), Value::U64(shard)));
+            }
+            Disposition::Respond(ok_line(None, fields))
         }
         Request::Stats => {
             shared.metrics.record_request(RequestKind::Stats);
@@ -790,6 +796,9 @@ fn stats_value(shared: &Arc<Shared>) -> Value {
             Value::Str(hex16(shared.store.checkpoint_hash())),
         ));
         entries.push(("epoch".into(), Value::U64(shared.store.epoch())));
+        if let Some(shard) = shared.opts.shard_id {
+            entries.push(("shard_id".into(), Value::U64(shard)));
+        }
         if let Some(cache) = &shared.cache {
             let cache_stats = cache.stats();
             entries.push((
@@ -861,6 +870,7 @@ fn answer_model(
         .map(Duration::from_millis)
         .unwrap_or(shared.opts.default_timeout);
     let key_hash = shared.store.checkpoint_hash();
+    let key_epoch = shared.store.epoch();
     let key = ModelKey::new(&set, key_hash, shared.opts.adapt).combined();
 
     let cached_answer = |outcome: &AdaptiveOutcome| {
@@ -868,7 +878,11 @@ fn answer_model(
         shared.metrics.record_latency(started.elapsed());
         ok_line(
             id.as_deref(),
-            vec![("outcome".into(), outcome_value(outcome, at.as_deref()))],
+            vec![
+                ("outcome".into(), outcome_value(outcome, at.as_deref())),
+                ("served_hash".into(), Value::Str(hex16(key_hash))),
+                ("epoch".into(), Value::U64(key_epoch)),
+            ],
         )
     };
     if let Some(outcome) = cache.get(key) {
@@ -1161,7 +1175,11 @@ fn compute_reply(
                     Reply {
                         line: ok_line(
                             id.as_deref(),
-                            vec![("outcome".into(), outcome_value(&outcome, at.as_deref()))],
+                            vec![
+                                ("outcome".into(), outcome_value(&outcome, at.as_deref())),
+                                ("served_hash".into(), Value::Str(hex16(served_hash))),
+                                ("epoch".into(), Value::U64(served_epoch)),
+                            ],
                         ),
                         error: None,
                         outcome: Some(Arc::new(outcome)),
@@ -1213,6 +1231,8 @@ fn compute_reply(
                             "batched_lines".into(),
                             Value::U64(batch.batched_lines as u64),
                         ),
+                        ("served_hash".into(), Value::Str(hex16(warm_hash))),
+                        ("epoch".into(), Value::U64(warm_epoch)),
                     ],
                 ),
                 error: None,

@@ -93,7 +93,7 @@ fn soak_through_chaos_then_converge_once_faults_stop() {
             "soak made no progress: {:?} after {sent} requests",
             proxy.fault_counts()
         );
-        let result = if sent % 4 == 0 {
+        let result = if sent.is_multiple_of(4) {
             client.model(clean_linear_set(), None, Some(2_000))
         } else {
             client.roundtrip_line(r#"{"cmd":"health"}"#)
