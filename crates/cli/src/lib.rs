@@ -4,7 +4,7 @@
 
 #![warn(missing_docs)]
 
-use nrpm_cluster::{Cluster, ClusterOptions};
+use nrpm_cluster::{Cluster, ClusterOptions, JoinAgent, JoinAgentOptions};
 use nrpm_core::adaptive::{AdaptiveModeler, AdaptiveOptions, AdaptiveOutcome};
 use nrpm_core::fingerprint::ModelKey;
 use nrpm_core::noise::NoiseEstimate;
@@ -49,8 +49,13 @@ usage:
   nrpm registry warm --dir DIR --model net.json <file>... [--ref NAME] [--adapt]
   nrpm cluster launch --model net.json [--shards N] [--addr HOST:PORT]
                [--workers N] [--vnodes N] [--registry-dir DIR] [--debug-hooks]
+               [--replication R] [--join-token TOKEN] [--lease-ms MS]
+               [--standby]
   nrpm cluster status [--addr HOST:PORT] [--timeout-ms T]
   nrpm cluster drain|kill <shard> [--addr HOST:PORT] [--timeout-ms T]
+  nrpm cluster rollout --model net.json [--addr HOST:PORT] [--timeout-ms T]
+  serve may also enroll in a cluster as a network shard:
+  nrpm serve ... --join ROUTER:PORT --join-token TOKEN [--advertise HOST:PORT]
 
 measurement files: PARAMS/POINT text format, or a MeasurementSet .json
 
@@ -114,6 +119,21 @@ cluster serving:
   `kill` (needs --debug-hooks on the router) stops one abruptly for
   failover drills. `query` works against a router unchanged — model
   replies carry a `served by shard ...` trailer.
+
+replication & cross-machine membership:
+  --replication R fans each request out to the first R distinct ring
+  successors in parallel; the answer is resolved by served_hash/epoch
+  quorum and replica disagreement is surfaced in `status`. --join-token
+  opens the cluster to network shards: an `nrpm serve --join ROUTER
+  --join-token T` on another host enrolls through a token-authenticated
+  handshake (its checkpoint hash is verified over the wire) and stays
+  enrolled by heartbeat lease (--lease-ms, default 2000); a lapsed lease
+  ejects the member until it rejoins. --standby runs a warm standby
+  router that mirrors membership via state sync and takes over the
+  advertised address when the primary stops answering. `cluster
+  rollout` upgrades the fleet one shard at a time (drain, sync, swap,
+  verify over the wire, readmit), journaled in the registry so a crash
+  mid-rollout recovers to a single-epoch fleet at the next launch.
 
 exit codes: 0 success, 2 usage, 3 unreadable or malformed input,
             4 recoverable modeling failure, 5 fatal modeling failure";
@@ -223,6 +243,14 @@ pub enum Invocation {
         /// Shadow-validation gate: a candidate may exceed the incumbent's
         /// SMAPE on mirrored requests by at most this fraction.
         swap_smape_tolerance: Option<f64>,
+        /// Enroll as a network shard with the cluster router at this
+        /// address (requires `--join-token`).
+        join: Option<String>,
+        /// Join token the router was launched with.
+        join_token: Option<String>,
+        /// Address the router should reach this shard at (defaults to the
+        /// bound listen address).
+        advertise: Option<String>,
     },
     /// Inspect or maintain a registry/cache directory.
     Registry {
@@ -264,8 +292,19 @@ pub enum Invocation {
         debug_hooks: bool,
         /// Target shard id (`drain`/`kill` only).
         shard: Option<u32>,
-        /// Per-request deadline in milliseconds (`status`/`drain`/`kill`).
+        /// Per-request deadline in milliseconds (every action but
+        /// `launch`).
         timeout_ms: Option<u64>,
+        /// Replicas per key (`launch` only; 1 disables replication).
+        replication: usize,
+        /// Token network shards must present to join (`launch` only;
+        /// absent = closed cluster).
+        join_token: Option<String>,
+        /// Heartbeat lease granted to network members, in milliseconds
+        /// (`launch` only).
+        lease_ms: Option<u64>,
+        /// Run a warm standby router for failover (`launch` only).
+        standby: bool,
     },
     /// Query a running server.
     Query {
@@ -323,6 +362,8 @@ pub enum ClusterAction {
     Drain,
     /// Abruptly stop one shard (router must run with --debug-hooks).
     Kill,
+    /// Roll a new checkpoint out across the fleet one shard at a time.
+    Rollout,
 }
 
 impl Invocation {
@@ -398,96 +439,112 @@ impl Invocation {
                     .transpose()?
                     .unwrap_or(0),
             }),
-            "serve" => Ok(Invocation::Serve {
-                model: get_value("model")?
-                    .ok_or("serve: --model is required")?
-                    .into(),
-                addr: get_value("addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_string()),
-                workers: get_value("workers")?
-                    .map(|s| s.parse().map_err(|_| "--workers: not a number".to_string()))
-                    .transpose()?
-                    .unwrap_or(4),
-                adapt: get_flag("adapt").is_some(),
-                timeout_ms: get_value("timeout-ms")?
-                    .map(|s| {
-                        s.parse()
-                            .map_err(|_| "--timeout-ms: not a number".to_string())
-                    })
-                    .transpose()?,
-                queue_depth: get_value("queue-depth")?
-                    .map(|s| {
-                        s.parse()
-                            .map_err(|_| "--queue-depth: not a number".to_string())
-                    })
-                    .transpose()?
-                    .unwrap_or(64),
-                max_conns: get_value("max-conns")?
-                    .map(|s| {
-                        s.parse()
-                            .map_err(|_| "--max-conns: not a number".to_string())
-                    })
-                    .transpose()?
-                    .unwrap_or(256),
-                io_timeout_ms: get_value("io-timeout-ms")?
-                    .map(|s| {
-                        s.parse()
-                            .map_err(|_| "--io-timeout-ms: not a number".to_string())
-                    })
-                    .transpose()?,
-                work_delay_ms: get_value("work-delay-ms")?
-                    .map(|s| {
-                        s.parse()
-                            .map_err(|_| "--work-delay-ms: not a number".to_string())
-                    })
-                    .transpose()?,
-                cache_capacity: get_value("cache-capacity")?
-                    .map(|s| {
-                        s.parse()
-                            .map_err(|_| "--cache-capacity: not a number".to_string())
-                    })
-                    .transpose()?
-                    .unwrap_or(1024),
-                cache_dir: get_value("cache-dir")?.map(PathBuf::from),
-                train_threads: get_value("train-threads")?
-                    .map(|s| {
-                        s.parse()
-                            .map_err(|_| "--train-threads: not a number".to_string())
-                    })
-                    .transpose()?
-                    .unwrap_or(0),
-                adapt_interval_ms: {
-                    let interval = get_value("adapt-interval")?
+            "serve" => {
+                let join = get_value("join")?;
+                let join_token = get_value("join-token")?;
+                let advertise = get_value("advertise")?;
+                if join.is_none() && (join_token.is_some() || advertise.is_some()) {
+                    return Err("serve: --join-token and --advertise require --join".to_string());
+                }
+                if join.is_some() && join_token.is_none() {
+                    return Err("serve: --join requires --join-token".to_string());
+                }
+                Ok(Invocation::Serve {
+                    model: get_value("model")?
+                        .ok_or("serve: --model is required")?
+                        .into(),
+                    addr: get_value("addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_string()),
+                    workers: get_value("workers")?
+                        .map(|s| s.parse().map_err(|_| "--workers: not a number".to_string()))
+                        .transpose()?
+                        .unwrap_or(4),
+                    adapt: get_flag("adapt").is_some(),
+                    timeout_ms: get_value("timeout-ms")?
                         .map(|s| {
                             s.parse()
-                                .map_err(|_| "--adapt-interval: not a number".to_string())
+                                .map_err(|_| "--timeout-ms: not a number".to_string())
                         })
-                        .transpose()?;
-                    if interval == Some(0) {
-                        return Err("--adapt-interval: must be at least 1 ms".to_string());
-                    }
-                    interval
-                },
-                swap_smape_tolerance: {
-                    let tolerance = get_value("swap-smape-tolerance")?
+                        .transpose()?,
+                    queue_depth: get_value("queue-depth")?
                         .map(|s| {
-                            s.parse::<f64>()
-                                .map_err(|_| "--swap-smape-tolerance: not a number".to_string())
+                            s.parse()
+                                .map_err(|_| "--queue-depth: not a number".to_string())
                         })
-                        .transpose()?;
-                    match tolerance {
-                        Some(t) if !t.is_finite() || t < 0.0 => {
-                            return Err("--swap-smape-tolerance: must be a non-negative fraction"
-                                .to_string())
+                        .transpose()?
+                        .unwrap_or(64),
+                    max_conns: get_value("max-conns")?
+                        .map(|s| {
+                            s.parse()
+                                .map_err(|_| "--max-conns: not a number".to_string())
+                        })
+                        .transpose()?
+                        .unwrap_or(256),
+                    io_timeout_ms: get_value("io-timeout-ms")?
+                        .map(|s| {
+                            s.parse()
+                                .map_err(|_| "--io-timeout-ms: not a number".to_string())
+                        })
+                        .transpose()?,
+                    work_delay_ms: get_value("work-delay-ms")?
+                        .map(|s| {
+                            s.parse()
+                                .map_err(|_| "--work-delay-ms: not a number".to_string())
+                        })
+                        .transpose()?,
+                    cache_capacity: get_value("cache-capacity")?
+                        .map(|s| {
+                            s.parse()
+                                .map_err(|_| "--cache-capacity: not a number".to_string())
+                        })
+                        .transpose()?
+                        .unwrap_or(1024),
+                    cache_dir: get_value("cache-dir")?.map(PathBuf::from),
+                    train_threads: get_value("train-threads")?
+                        .map(|s| {
+                            s.parse()
+                                .map_err(|_| "--train-threads: not a number".to_string())
+                        })
+                        .transpose()?
+                        .unwrap_or(0),
+                    adapt_interval_ms: {
+                        let interval = get_value("adapt-interval")?
+                            .map(|s| {
+                                s.parse()
+                                    .map_err(|_| "--adapt-interval: not a number".to_string())
+                            })
+                            .transpose()?;
+                        if interval == Some(0) {
+                            return Err("--adapt-interval: must be at least 1 ms".to_string());
                         }
-                        Some(_) if get_flag("adapt-interval").is_none() => {
-                            return Err(
-                                "--swap-smape-tolerance requires --adapt-interval".to_string()
-                            )
+                        interval
+                    },
+                    swap_smape_tolerance: {
+                        let tolerance = get_value("swap-smape-tolerance")?
+                            .map(|s| {
+                                s.parse::<f64>()
+                                    .map_err(|_| "--swap-smape-tolerance: not a number".to_string())
+                            })
+                            .transpose()?;
+                        match tolerance {
+                            Some(t) if !t.is_finite() || t < 0.0 => {
+                                return Err(
+                                    "--swap-smape-tolerance: must be a non-negative fraction"
+                                        .to_string(),
+                                )
+                            }
+                            Some(_) if get_flag("adapt-interval").is_none() => {
+                                return Err(
+                                    "--swap-smape-tolerance requires --adapt-interval".to_string()
+                                )
+                            }
+                            _ => tolerance,
                         }
-                        _ => tolerance,
-                    }
-                },
-            }),
+                    },
+                    join,
+                    join_token,
+                    advertise,
+                })
+            }
             "registry" => {
                 let action = match positional.first().map(String::as_str) {
                     Some("stats") => RegistryAction::Stats,
@@ -538,6 +595,7 @@ impl Invocation {
                     Some("status") => ClusterAction::Status,
                     Some("drain") => ClusterAction::Drain,
                     Some("kill") => ClusterAction::Kill,
+                    Some("rollout") => ClusterAction::Rollout,
                     Some(other) => return Err(format!("cluster: unknown action `{other}`")),
                     None => return Err("cluster: missing action".to_string()),
                 };
@@ -563,17 +621,38 @@ impl Invocation {
                     _ => None,
                 };
                 let model = get_value("model")?.map(PathBuf::from);
-                if action == ClusterAction::Launch && model.is_none() {
-                    return Err("cluster launch: --model is required".to_string());
+                let needs_model = matches!(action, ClusterAction::Launch | ClusterAction::Rollout);
+                if needs_model && model.is_none() {
+                    return Err(format!(
+                        "cluster {}: --model is required",
+                        if action == ClusterAction::Launch {
+                            "launch"
+                        } else {
+                            "rollout"
+                        }
+                    ));
+                }
+                if !needs_model && model.is_some() {
+                    return Err("cluster: --model only applies to launch and rollout".to_string());
                 }
                 if action != ClusterAction::Launch {
-                    for flag in ["model", "shards", "workers", "vnodes", "registry-dir"] {
+                    for flag in [
+                        "shards",
+                        "workers",
+                        "vnodes",
+                        "registry-dir",
+                        "replication",
+                        "join-token",
+                        "lease-ms",
+                    ] {
                         if get_flag(flag).is_some() {
                             return Err(format!("cluster: --{flag} only applies to launch"));
                         }
                     }
-                    if get_flag("debug-hooks").is_some() {
-                        return Err("cluster: --debug-hooks only applies to launch".to_string());
+                    for flag in ["debug-hooks", "standby"] {
+                        if get_flag(flag).is_some() {
+                            return Err(format!("cluster: --{flag} only applies to launch"));
+                        }
                     }
                 }
                 let shards = get_value("shards")?
@@ -589,6 +668,25 @@ impl Invocation {
                     .unwrap_or(nrpm_cluster::DEFAULT_VNODES);
                 if vnodes == 0 {
                     return Err("--vnodes: need at least one virtual node".to_string());
+                }
+                let replication = get_value("replication")?
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| "--replication: not a number".to_string())
+                    })
+                    .transpose()?
+                    .unwrap_or(1);
+                if replication == 0 {
+                    return Err("--replication: need at least one replica".to_string());
+                }
+                let lease_ms = get_value("lease-ms")?
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| "--lease-ms: not a number".to_string())
+                    })
+                    .transpose()?;
+                if lease_ms == Some(0) {
+                    return Err("--lease-ms: must be at least 1 ms".to_string());
                 }
                 Ok(Invocation::Cluster {
                     action,
@@ -609,6 +707,10 @@ impl Invocation {
                                 .map_err(|_| "--timeout-ms: not a number".to_string())
                         })
                         .transpose()?,
+                    replication,
+                    join_token: get_value("join-token")?,
+                    lease_ms,
+                    standby: get_flag("standby").is_some(),
                 })
             }
             "query" => {
@@ -838,6 +940,9 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
             train_threads,
             adapt_interval_ms,
             swap_smape_tolerance,
+            join,
+            join_token,
+            advertise,
         } => {
             // Divide the thread budget among the serving workers so
             // concurrent adaptation jobs don't oversubscribe the cores.
@@ -889,6 +994,7 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
                     ..Default::default()
                 };
             }
+            let checkpoint_hash = store.checkpoint_hash();
             let server = Server::start(addr, store, opts)
                 .map_err(|e| CliError::io(format!("{addr}: {e}")))?;
             // Announce the bound address immediately (scripts poll for it);
@@ -900,6 +1006,28 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
             );
             use std::io::Write as _;
             std::io::stdout().flush().ok();
+            // Enroll with a cluster router as a network shard; the agent
+            // heartbeats (and rejoins after router failover) until the
+            // server drains.
+            let _join_agent = join
+                .as_deref()
+                .map(|router| -> Result<JoinAgent, CliError> {
+                    let router_addr = resolve_addr(router)?;
+                    let advertise_addr = match advertise.as_deref() {
+                        Some(a) => resolve_addr(a)?,
+                        None => server.addr(),
+                    };
+                    let token = join_token.clone().expect("parse enforces --join-token");
+                    println!("joining cluster at {router_addr} as {advertise_addr}");
+                    std::io::stdout().flush().ok();
+                    Ok(JoinAgent::start(JoinAgentOptions::new(
+                        router_addr,
+                        token,
+                        advertise_addr,
+                        checkpoint_hash,
+                    )))
+                })
+                .transpose()?;
             server
                 .join()
                 .map_err(|_| CliError::io("a server thread panicked"))?;
@@ -1003,16 +1131,24 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
             debug_hooks,
             shard,
             timeout_ms,
+            replication,
+            join_token,
+            lease_ms,
+            standby,
         } => match action {
-            ClusterAction::Launch => cluster_launch(
-                model.as_deref().expect("parse enforces --model"),
-                *shards,
+            ClusterAction::Launch => cluster_launch(ClusterLaunchArgs {
+                model: model.as_deref().expect("parse enforces --model"),
+                shards: *shards,
                 addr,
-                *workers,
-                *vnodes,
-                registry_dir.as_deref(),
-                *debug_hooks,
-            ),
+                workers: *workers,
+                vnodes: *vnodes,
+                registry_dir: registry_dir.as_deref(),
+                debug_hooks: *debug_hooks,
+                replication: *replication,
+                join_token: join_token.clone(),
+                lease_ms: *lease_ms,
+                standby: *standby,
+            }),
             ClusterAction::Status => cluster_status(addr, *timeout_ms),
             ClusterAction::Drain => cluster_signal(
                 "drain",
@@ -1026,32 +1162,63 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
                 addr,
                 *timeout_ms,
             ),
+            ClusterAction::Rollout => cluster_rollout(
+                model.as_deref().expect("parse enforces --model"),
+                addr,
+                *timeout_ms,
+            ),
         },
     }
 }
 
-/// `nrpm cluster launch`: start the sharded tier, announce the router's
-/// bound address, and block until the tier is drained.
-fn cluster_launch(
-    model: &Path,
+/// What `nrpm cluster launch` passes down to [`cluster_launch`].
+struct ClusterLaunchArgs<'a> {
+    model: &'a Path,
     shards: usize,
-    addr: &str,
+    addr: &'a str,
     workers: usize,
     vnodes: usize,
-    registry_dir: Option<&Path>,
+    registry_dir: Option<&'a Path>,
     debug_hooks: bool,
-) -> Result<String, CliError> {
+    replication: usize,
+    join_token: Option<String>,
+    lease_ms: Option<u64>,
+    standby: bool,
+}
+
+/// `nrpm cluster launch`: start the sharded tier, announce the router's
+/// bound address, and block until the tier is drained.
+fn cluster_launch(args: ClusterLaunchArgs<'_>) -> Result<String, CliError> {
+    let ClusterLaunchArgs {
+        model,
+        shards,
+        addr,
+        workers,
+        vnodes,
+        registry_dir,
+        debug_hooks,
+        replication,
+        join_token,
+        lease_ms,
+        standby,
+    } = args;
     let network =
         Network::load(model).map_err(|e| CliError::io(format!("{}: {e}", model.display())))?;
-    let opts = ClusterOptions {
+    let mut opts = ClusterOptions {
         shards,
         vnodes,
         workers_per_shard: workers,
         router_addr: addr.to_string(),
         registry_dir: registry_dir.map(Path::to_path_buf),
         debug_hooks,
+        replication,
+        join_token,
+        standby,
         ..ClusterOptions::default()
     };
+    if let Some(ms) = lease_ms {
+        opts.member_lease = Duration::from_millis(ms);
+    }
     let cluster =
         Cluster::launch(network, opts).map_err(|e| CliError::io(format!("{addr}: {e}")))?;
     // Announce the bound address immediately (scripts poll for it); `run`
@@ -1088,12 +1255,18 @@ fn cluster_status(addr: &str, timeout_ms: Option<u64>) -> Result<String, CliErro
     let diverged = |k: &str| stats.get(k).and_then(Value::as_bool).unwrap_or(false);
     let verdict = |k| if diverged(k) { "DIVERGED" } else { "uniform" };
     let mut out = String::new();
-    let _ = writeln!(out, "router:     {addr}");
     let _ = writeln!(
         out,
-        "shards:     {} ({} routable)",
+        "router:     {addr} ({}, generation {})",
+        stats.get("role").and_then(Value::as_str).unwrap_or("?"),
+        num("generation")
+    );
+    let _ = writeln!(
+        out,
+        "shards:     {} ({} routable), replication {}",
         num("shards"),
-        num("routable")
+        num("routable"),
+        num("replication").max(1)
     );
     let _ = writeln!(
         out,
@@ -1101,6 +1274,19 @@ fn cluster_status(addr: &str, timeout_ms: Option<u64>) -> Result<String, CliErro
         num("requests_routed"),
         num("failovers"),
         num("rejected")
+    );
+    let _ = writeln!(
+        out,
+        "replicas:   {} fanouts, {} divergences resolved by quorum",
+        num("replica_fanouts"),
+        num("replica_divergences")
+    );
+    let _ = writeln!(
+        out,
+        "membership: {} joins, {} lease expiries, {} rollouts",
+        num("joins"),
+        num("lease_expiries"),
+        num("rollouts")
     );
     let _ = writeln!(
         out,
@@ -1120,9 +1306,21 @@ fn cluster_status(addr: &str, timeout_ms: Option<u64>) -> Result<String, CliErro
         for shard in per_shard {
             let s = |k: &str| shard.get(k).and_then(Value::as_str).unwrap_or("?");
             let n = |k: &str| shard.get(k).and_then(Value::as_u64).unwrap_or(0);
+            let remote = shard
+                .get("remote")
+                .and_then(Value::as_bool)
+                .unwrap_or(false);
+            let origin = if remote {
+                match shard.get("lease_ms").and_then(Value::as_u64) {
+                    Some(ms) => format!("network (lease {ms}ms)"),
+                    None => "network (adopted)".to_string(),
+                }
+            } else {
+                "local".to_string()
+            };
             let _ = writeln!(
                 out,
-                "shard {}: {:<9} {:<21} routed {:<6} failed {:<4} checkpoint {} epoch {}",
+                "shard {}: {:<9} {:<21} routed {:<6} failed {:<4} checkpoint {} epoch {} {origin}",
                 n("shard"),
                 s("state"),
                 s("addr"),
@@ -1154,6 +1352,63 @@ fn cluster_signal(
         .roundtrip_line(&format!(r#"{{"cmd":"cluster_{action}","shard":{shard}}}"#))
         .map_err(|e| CliError::io(format!("{addr}: {e}")))?;
     response_to_output(&response)
+}
+
+/// `nrpm cluster rollout`: push a new checkpoint through the router's
+/// rolling-rollout driver. The walk is synchronous on the router side
+/// (drain → sync → swap → verify per shard), so the default timeout is
+/// generous.
+fn cluster_rollout(model: &Path, addr: &str, timeout_ms: Option<u64>) -> Result<String, CliError> {
+    let network =
+        Network::load(model).map_err(|e| CliError::io(format!("{}: {e}", model.display())))?;
+    let socket = resolve_addr(addr)?;
+    let timeout = Duration::from_millis(timeout_ms.unwrap_or(120_000).max(1));
+    let request = serde_json::to_string(&Value::Map(vec![
+        ("cmd".to_string(), Value::Str("cluster_rollout".to_string())),
+        ("network".to_string(), Value::Str(network.to_json())),
+    ]))
+    .map_err(|e| CliError::io(format!("{}: {e}", model.display())))?;
+    let mut client =
+        Client::connect(socket, timeout).map_err(|e| CliError::io(format!("{addr}: {e}")))?;
+    let response = client
+        .roundtrip_line(&request)
+        .map_err(|e| CliError::io(format!("{addr}: {e}")))?;
+    if !nrpm_serve::client::is_ok(&response) {
+        return response_to_output(&response);
+    }
+    let shard_list = |k: &str| -> String {
+        let ids: Vec<String> = response
+            .get(k)
+            .and_then(Value::as_seq)
+            .map(|seq| {
+                seq.iter()
+                    .filter_map(Value::as_u64)
+                    .map(|id| id.to_string())
+                    .collect()
+            })
+            .unwrap_or_default();
+        if ids.is_empty() {
+            "(none)".to_string()
+        } else {
+            ids.join(", ")
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "rolled out: {}",
+        response
+            .get("target")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+    );
+    let _ = writeln!(out, "updated:    {}", shard_list("updated"));
+    let _ = writeln!(
+        out,
+        "skipped:    {} (network members)",
+        shard_list("skipped_remote")
+    );
+    Ok(out)
 }
 
 /// Maps a registry-layer failure onto exit code 3, carrying the directory.
@@ -1559,6 +1814,9 @@ mod tests {
                 train_threads: 6,
                 adapt_interval_ms: Some(5000),
                 swap_smape_tolerance: Some(0.25),
+                join: None,
+                join_token: None,
+                advertise: None,
             }
         );
         assert_eq!(
@@ -1578,8 +1836,29 @@ mod tests {
                 train_threads: 0,
                 adapt_interval_ms: None,
                 swap_smape_tolerance: None,
+                join: None,
+                join_token: None,
+                advertise: None,
             }
         );
+        assert!(matches!(
+            parse(
+                "serve --model net.json --join 10.0.0.1:9000 --join-token s3cret \
+                 --advertise 10.0.0.2:7070"
+            )
+            .unwrap(),
+            Invocation::Serve {
+                join: Some(_),
+                join_token: Some(_),
+                advertise: Some(_),
+                ..
+            }
+        ));
+        // Join flags are all-or-nothing: the agent cannot authenticate
+        // without a token, and the token is meaningless without a router.
+        assert!(parse("serve --model net.json --join-token s3cret").is_err());
+        assert!(parse("serve --model net.json --advertise 10.0.0.2:7070").is_err());
+        assert!(parse("serve --model net.json --join 10.0.0.1:9000").is_err());
         assert_eq!(
             parse("query health").unwrap(),
             Invocation::Query {
@@ -1679,7 +1958,8 @@ mod tests {
         assert_eq!(
             parse(
                 "cluster launch --model net.json --shards 4 --addr 127.0.0.1:0 --workers 3 \
-                 --vnodes 96 --registry-dir /var/nrpm --debug-hooks"
+                 --vnodes 96 --registry-dir /var/nrpm --debug-hooks --replication 2 \
+                 --join-token s3cret --lease-ms 750 --standby"
             )
             .unwrap(),
             Invocation::Cluster {
@@ -1693,6 +1973,10 @@ mod tests {
                 debug_hooks: true,
                 shard: None,
                 timeout_ms: None,
+                replication: 2,
+                join_token: Some("s3cret".into()),
+                lease_ms: Some(750),
+                standby: true,
             }
         );
         assert_eq!(
@@ -1708,8 +1992,25 @@ mod tests {
                 debug_hooks: false,
                 shard: None,
                 timeout_ms: None,
+                replication: 1,
+                join_token: None,
+                lease_ms: None,
+                standby: false,
             }
         );
+        assert!(matches!(
+            parse("cluster rollout --model next.json --addr 127.0.0.1:9000 --timeout-ms 500")
+                .unwrap(),
+            Invocation::Cluster {
+                action: ClusterAction::Rollout,
+                model: Some(_),
+                timeout_ms: Some(500),
+                ..
+            }
+        ));
+        // A replication factor of zero would route every request nowhere.
+        assert!(parse("cluster launch --model net.json --replication 0").is_err());
+        assert!(parse("cluster rollout").is_err());
         assert!(matches!(
             parse("cluster status --addr 127.0.0.1:9000 --timeout-ms 500").unwrap(),
             Invocation::Cluster {
@@ -2055,6 +2356,10 @@ mod tests {
                 debug_hooks: false,
                 shard,
                 timeout_ms: Some(30_000),
+                replication: 1,
+                join_token: None,
+                lease_ms: None,
+                standby: false,
             })
         };
 
@@ -2091,6 +2396,10 @@ mod tests {
             debug_hooks: false,
             shard: None,
             timeout_ms: Some(30_000),
+            replication: 1,
+            join_token: None,
+            lease_ms: None,
+            standby: false,
         })
         .unwrap_err();
         assert!(not_router.message.contains("not an nrpm-cluster router"));

@@ -117,22 +117,35 @@ impl HashRing {
     /// owner first, then each distinct ring successor. Walking this list
     /// is how the router fails over — the first entry preserves cache
     /// affinity, later entries only absorb keys while earlier ones are
-    /// ejected.
+    /// ejected. The first `R` entries are also the key's replica set.
     pub fn successors(&self, key: u64) -> Vec<u32> {
-        let Some(start) = self.first_point(key) else {
-            return Vec::new();
-        };
         let mut order = Vec::with_capacity(self.shards.len());
+        self.successors_into(key, &mut order);
+        order
+    }
+
+    /// [`HashRing::successors`] into a caller-owned buffer: `out` is
+    /// cleared and refilled, so a buffer warmed to `len()` capacity makes
+    /// every subsequent lookup allocation-free — the router reuses one
+    /// buffer per connection on its hot routing path (the
+    /// `ring_alloc` test pins the zero-allocation property down with a
+    /// counting allocator).
+    pub fn successors_into(&self, key: u64, out: &mut Vec<u32>) {
+        out.clear();
+        let Some(start) = self.first_point(key) else {
+            return;
+        };
         for offset in 0..self.points.len() {
             let (_, shard) = self.points[(start + offset) % self.points.len()];
-            if !order.contains(&shard) {
-                order.push(shard);
-                if order.len() == self.shards.len() {
+            // Successor lists are bounded by the shard count (a handful),
+            // so the linear distinctness scan beats a hash set here.
+            if !out.contains(&shard) {
+                out.push(shard);
+                if out.len() == self.shards.len() {
                     break;
                 }
             }
         }
-        order
     }
 }
 
@@ -203,6 +216,17 @@ mod tests {
             without.remove_shard(order[0]);
             assert_eq!(without.route(key), Some(order[1]));
         }
+    }
+
+    #[test]
+    fn successors_into_reuses_the_buffer_and_matches_the_allocating_path() {
+        let ring = HashRing::new(0..6, 32);
+        let mut buf = Vec::new();
+        for key in 0..500u64 {
+            ring.successors_into(key, &mut buf);
+            assert_eq!(buf, ring.successors(key));
+        }
+        assert!(buf.capacity() >= 6);
     }
 
     #[test]

@@ -1,26 +1,28 @@
 //! The router front-end: speaks the same newline-JSON protocol as
 //! `nrpm-serve`, answers `health`/`stats`/`shutdown` and the `cluster_*`
-//! admin commands itself, and relays `model`/`batch` requests to the shard
-//! that owns the request's measurement-set fingerprint on the ring.
+//! admin commands itself, and relays `model`/`batch` requests to the
+//! replica set that owns the request's measurement-set fingerprint on the
+//! ring (see [`crate::replicate`] for the relay, failover, and quorum
+//! machinery).
 //!
-//! ## Failover
+//! Admin vocabulary beyond the shard protocol:
 //!
-//! Each connection keeps one [`RetryingClient`] per shard (backoff +
-//! jitter + circuit breaker, exactly the client a standalone deployment
-//! would use). A relayed request walks [`HashRing::successors`]: the ring
-//! owner first — preserving per-shard result-cache and single-flight
-//! affinity — then each distinct successor. A shard whose retrying client
-//! gives up, or that answers `shutting_down` (which the client correctly
-//! treats as terminal, so the *router* must own that failover), is ejected
-//! on the spot and the next successor is tried. Only when every eligible
-//! shard has refused does the client see an error, and it is `overloaded`
-//! — the one kind retrying clients treat as retryable.
+//! | command             | effect                                          |
+//! |---------------------|-------------------------------------------------|
+//! | `cluster_drain`     | gracefully remove one local shard               |
+//! | `cluster_kill`      | abruptly remove one local shard (test hook)     |
+//! | `cluster_revive`    | restart a removed local shard under probation   |
+//! | `cluster_join`      | admit a network shard (token + hash handshake)  |
+//! | `cluster_heartbeat` | renew a network member's lease                  |
+//! | `cluster_sync`      | full membership view (standby state sync)       |
+//! | `cluster_rollout`   | rolling checkpoint rollout across the fleet     |
+//! | `router_kill`       | kill the router, not the shards (test hook)     |
 //!
 //! The relayed reply gains a `"shard"` field naming the backend that
-//! answered, which is what the affinity measurements in `cluster_bench`
-//! key on.
+//! answered — plus `"replicas"`/`"quorum"`/`"divergent"` under
+//! replication — which is what the affinity and divergence measurements
+//! in `cluster_bench` key on.
 
-use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,7 +32,6 @@ use std::time::Instant;
 
 use nrpm_core::fingerprint::{mix64, set_fingerprint};
 use nrpm_registry::hex16;
-use nrpm_serve::client::{RetryError, RetryingClient};
 use nrpm_serve::protocol::{
     error_line, nesting_exceeds, ok_line, ErrorKind, Request, MAX_JSON_DEPTH, MAX_LINE_BYTES,
 };
@@ -38,18 +39,25 @@ use serde::Value;
 use serde_json;
 
 use crate::cluster::ClusterState;
-use crate::shard::ShardRuntime;
+use crate::replicate::{forward, RouteScratch, ShardConns};
 
 /// Distinguishes router connections in the per-shard retry jitter seeds.
 static CONN_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// The next router-connection id (jitter-seed material).
+pub(crate) fn next_conn_id() -> u64 {
+    CONN_COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
 /// Accept loop: one reader thread per connection, reaped every poll tick,
-/// all joined when the drain flag flips.
+/// all joined when the drain flag flips (or the `router_kill` hook fires —
+/// which stops the router *without* draining the shards, the takeover
+/// drill's stand-in for a router-host crash).
 pub(crate) fn run_router(listener: TcpListener, state: &Arc<ClusterState>) {
     let nonblocking = listener.set_nonblocking(true).is_ok();
     let poll = state.opts.shard_opts.poll_interval;
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    while !state.draining() {
+    while !state.draining() && !state.router_dead() {
         match listener.accept() {
             Ok((stream, _)) => {
                 connections.retain(|h| !h.is_finished());
@@ -82,53 +90,6 @@ pub(crate) fn run_router(listener: TcpListener, state: &Arc<ClusterState>) {
     }
 }
 
-/// One retrying client pinned to the shard address it was built for; a
-/// revive moves the shard to a new port, so a stale connection is rebuilt
-/// rather than reused.
-struct ShardConn {
-    addr: std::net::SocketAddr,
-    client: RetryingClient,
-}
-
-/// Per-connection pool of shard clients, built lazily on first use.
-struct ShardConns {
-    conns: HashMap<u32, ShardConn>,
-    conn_id: u64,
-}
-
-impl ShardConns {
-    fn new() -> ShardConns {
-        ShardConns {
-            conns: HashMap::new(),
-            conn_id: CONN_COUNTER.fetch_add(1, Ordering::Relaxed),
-        }
-    }
-
-    fn client(&mut self, shard: &ShardRuntime, state: &ClusterState) -> &mut RetryingClient {
-        let addr = shard.addr();
-        let stale = self
-            .conns
-            .get(&shard.id)
-            .is_some_and(|conn| conn.addr != addr);
-        if stale {
-            self.conns.remove(&shard.id);
-        }
-        let conn_id = self.conn_id;
-        &mut self
-            .conns
-            .entry(shard.id)
-            .or_insert_with(|| {
-                let mut policy = state.opts.retry.clone();
-                policy.seed ^= mix64(conn_id << 32 | u64::from(shard.id));
-                ShardConn {
-                    addr,
-                    client: RetryingClient::new(addr, state.opts.shard_timeout, policy),
-                }
-            })
-            .client
-    }
-}
-
 enum Disposition {
     Respond(String),
     RespondAndClose(String),
@@ -147,6 +108,7 @@ fn serve_router_connection(
     stream.set_read_timeout(Some(state.opts.shard_opts.poll_interval))?;
     stream.set_write_timeout(Some(state.opts.shard_opts.io_timeout))?;
     let mut conns = ShardConns::new();
+    let mut scratch = RouteScratch::new();
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 16 * 1024];
     let mut partial_since: Option<Instant> = None;
@@ -172,7 +134,7 @@ fn serve_router_connection(
             if line.is_empty() {
                 continue;
             }
-            match handle_router_line(line, state, &mut conns) {
+            match handle_router_line(line, state, &mut conns, &mut scratch) {
                 Disposition::Respond(response) => {
                     stream.write_all(response.as_bytes())?;
                     stream.write_all(b"\n")?;
@@ -223,7 +185,7 @@ fn serve_router_connection(
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                if state.draining() {
+                if state.draining() || state.router_dead() {
                     return Ok(());
                 }
             }
@@ -236,6 +198,7 @@ fn handle_router_line(
     line: &str,
     state: &Arc<ClusterState>,
     conns: &mut ShardConns,
+    scratch: &mut RouteScratch,
 ) -> Disposition {
     // Admin commands are router-only vocabulary, handled before the shard
     // protocol's parser (which would reject them as unknown commands).
@@ -248,8 +211,8 @@ fn handle_router_line(
     }
     if let Ok(value) = serde_json::from_str::<Value>(line) {
         if let Some(cmd) = value.get("cmd").and_then(Value::as_str) {
-            if let Some(response) = handle_admin(cmd, &value, state) {
-                return Disposition::Respond(response);
+            if let Some(disposition) = handle_admin(cmd, &value, state) {
+                return disposition;
             }
         }
     }
@@ -258,18 +221,16 @@ fn handle_router_line(
         Err((kind, message)) => return Disposition::Respond(error_line(None, kind, &message)),
     };
     match request {
-        Request::Health => {
-            let routable = state.shards.iter().filter(|s| s.is_routable()).count();
-            Disposition::Respond(ok_line(
-                None,
-                vec![
-                    ("service".into(), Value::Str("nrpm-cluster-router".into())),
-                    ("shards".into(), Value::U64(state.shards.len() as u64)),
-                    ("routable".into(), Value::U64(routable as u64)),
-                    ("draining".into(), Value::Bool(state.draining())),
-                ],
-            ))
-        }
+        Request::Health => Disposition::Respond(ok_line(
+            None,
+            vec![
+                ("service".into(), Value::Str("nrpm-cluster-router".into())),
+                ("role".into(), Value::Str(state.role.into())),
+                ("shards".into(), Value::U64(state.member_count() as u64)),
+                ("routable".into(), Value::U64(state.routable_count() as u64)),
+                ("draining".into(), Value::Bool(state.draining())),
+            ],
+        )),
         Request::Stats => Disposition::Respond(ok_line(
             None,
             vec![("stats".into(), router_stats_value(state))],
@@ -286,7 +247,7 @@ fn handle_router_line(
         } => {
             let key = set_fingerprint(set);
             let id = id.clone();
-            Disposition::Respond(forward(state, conns, key, line, id.as_deref()))
+            Disposition::Respond(forward(state, conns, scratch, key, line, id.as_deref()))
         }
         Request::Batch {
             ref sets, ref id, ..
@@ -298,7 +259,7 @@ fn handle_router_line(
                 .iter()
                 .fold(0u64, |acc, set| mix64(acc ^ set_fingerprint(set)));
             let id = id.clone();
-            Disposition::Respond(forward(state, conns, key, line, id.as_deref()))
+            Disposition::Respond(forward(state, conns, scratch, key, line, id.as_deref()))
         }
         Request::CrashWorker | Request::ForceAdapt | Request::AdaptFault { .. } => {
             Disposition::Respond(error_line(
@@ -310,43 +271,65 @@ fn handle_router_line(
     }
 }
 
-/// Handles `cluster_drain` / `cluster_kill` / `cluster_revive`; `None`
-/// when `cmd` is not router admin vocabulary.
-fn handle_admin(cmd: &str, value: &Value, state: &Arc<ClusterState>) -> Option<String> {
-    let verb = match cmd {
-        "cluster_drain" | "cluster_kill" | "cluster_revive" => cmd,
-        _ => return None,
-    };
+/// Dispatches the `cluster_*` / `router_kill` admin vocabulary; `None`
+/// when `cmd` belongs to the ordinary shard protocol.
+fn handle_admin(cmd: &str, value: &Value, state: &Arc<ClusterState>) -> Option<Disposition> {
+    match cmd {
+        "cluster_join" => Some(Disposition::Respond(crate::join::handle_join(value, state))),
+        "cluster_heartbeat" => Some(Disposition::Respond(crate::join::handle_heartbeat(
+            value, state,
+        ))),
+        "cluster_sync" => Some(Disposition::Respond(crate::join::handle_sync(value, state))),
+        "cluster_rollout" => Some(Disposition::Respond(handle_rollout(value, state))),
+        "router_kill" => {
+            if !state.opts.debug_hooks {
+                return Some(Disposition::Respond(error_line(
+                    None,
+                    ErrorKind::Usage,
+                    "router_kill is a test hook; launch the cluster with debug hooks to use it",
+                )));
+            }
+            state.kill_router();
+            Some(Disposition::RespondAndClose(ok_line(
+                None,
+                vec![("router_killed".into(), Value::Bool(true))],
+            )))
+        }
+        "cluster_drain" | "cluster_kill" | "cluster_revive" => {
+            Some(Disposition::Respond(handle_membership(cmd, value, state)))
+        }
+        _ => None,
+    }
+}
+
+/// Handles `cluster_drain` / `cluster_kill` / `cluster_revive`.
+fn handle_membership(verb: &str, value: &Value, state: &Arc<ClusterState>) -> String {
     let Some(shard) = value.get("shard").and_then(Value::as_u64) else {
-        return Some(error_line(
+        return error_line(
             None,
             ErrorKind::Usage,
             &format!("`{verb}` requires a numeric `shard` field"),
-        ));
+        );
     };
     let Ok(shard) = u32::try_from(shard) else {
-        return Some(error_line(
-            None,
-            ErrorKind::Usage,
-            "`shard` is out of range",
-        ));
+        return error_line(None, ErrorKind::Usage, "`shard` is out of range");
     };
     let outcome = match verb {
         "cluster_drain" => state.remove_shard(shard, false).map(|()| "draining"),
         "cluster_kill" => {
             if !state.opts.debug_hooks {
-                return Some(error_line(
+                return error_line(
                     None,
                     ErrorKind::Usage,
                     "cluster_kill is a test hook; launch the cluster with debug hooks to use it",
-                ));
+                );
             }
             state.remove_shard(shard, true).map(|()| "killed")
         }
         "cluster_revive" => state.revive_shard(shard).map(|_| "revived"),
-        _ => unreachable!("verb matched above"),
+        _ => unreachable!("verb matched by the dispatcher"),
     };
-    Some(match outcome {
+    match outcome {
         Ok(did) => ok_line(
             None,
             vec![
@@ -355,86 +338,78 @@ fn handle_admin(cmd: &str, value: &Value, state: &Arc<ClusterState>) -> Option<S
             ],
         ),
         Err(message) => error_line(None, ErrorKind::Usage, &message),
-    })
+    }
 }
 
-/// Relays `line` to the owner of `key`, failing over along the ring. See
-/// the [module docs](self).
-fn forward(
-    state: &Arc<ClusterState>,
-    conns: &mut ShardConns,
-    key: u64,
-    line: &str,
-    id: Option<&str>,
-) -> String {
-    if state.draining() {
+/// Handles `cluster_rollout`: parses the target network off the request
+/// and drives the rolling walk synchronously, answering when the fleet is
+/// fully on the target (or the walk failed with the journal pending).
+fn handle_rollout(value: &Value, state: &Arc<ClusterState>) -> String {
+    let Some(text) = value.get("network").and_then(Value::as_str) else {
         return error_line(
-            id,
-            ErrorKind::ShuttingDown,
-            "cluster is draining; no new modeling work accepted",
+            None,
+            ErrorKind::Usage,
+            "cluster_rollout requires a `network` field (the serialized target network)",
+        );
+    };
+    let network = match nrpm_nn::Network::from_json(text) {
+        Ok(network) => network,
+        Err(e) => {
+            return error_line(
+                None,
+                ErrorKind::Usage,
+                &format!("cluster_rollout: invalid network: {e}"),
+            );
+        }
+    };
+    let crash_after = value.get("crash_after").and_then(Value::as_u64);
+    if crash_after.is_some() && !state.opts.debug_hooks {
+        return error_line(
+            None,
+            ErrorKind::Usage,
+            "crash_after is a test hook; launch the cluster with debug hooks to use it",
         );
     }
-    let order = state.ring.successors(key);
-    let owner = order.first().copied();
-    let mut tried = 0usize;
-    for shard_id in order {
-        let Some(shard) = state.shard(shard_id) else {
-            continue;
-        };
-        if !shard.is_routable() || tried >= state.opts.max_failover.max(1) {
-            continue;
-        }
-        tried += 1;
-        let answer = conns.client(shard, state).roundtrip_line(line);
-        match answer {
-            Ok(response)
-                if response.get("kind").and_then(Value::as_str) == Some("shutting_down") =>
-            {
-                // The retrying client rightly treats `shutting_down` as an
-                // answer; at the cluster level it means "this shard is
-                // leaving", which is the router's cue to eject and move on.
-                shard.note_route_failure();
-            }
-            Ok(response) => {
-                shard.routed.fetch_add(1, Ordering::Relaxed);
-                state.routed.fetch_add(1, Ordering::Relaxed);
-                if owner != Some(shard_id) {
-                    state.failovers.fetch_add(1, Ordering::Relaxed);
-                }
-                return annotate_shard(response, shard_id, line);
-            }
-            Err(RetryError::CircuitOpen | RetryError::Exhausted(_)) => {
-                shard.note_route_failure();
-            }
-        }
+    match crate::rollout::run_rollout(state, network, crash_after.map(|n| n as usize)) {
+        Ok(report) => ok_line(
+            None,
+            vec![
+                ("target".into(), Value::Str(hex16(report.target))),
+                (
+                    "updated".into(),
+                    Value::Seq(
+                        report
+                            .updated
+                            .iter()
+                            .map(|&id| Value::U64(u64::from(id)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "skipped_remote".into(),
+                    Value::Seq(
+                        report
+                            .skipped_remote
+                            .iter()
+                            .map(|&id| Value::U64(u64::from(id)))
+                            .collect(),
+                    ),
+                ),
+            ],
+        ),
+        Err(message) => error_line(None, ErrorKind::Usage, &message),
     }
-    state.rejected.fetch_add(1, Ordering::Relaxed);
-    error_line(
-        id,
-        ErrorKind::Overloaded,
-        "no healthy shard could answer; retry with backoff",
-    )
 }
 
-/// Adds `"shard": id` to a relayed reply so clients (and the affinity
-/// bench) can see which backend answered.
-fn annotate_shard(response: Value, shard: u32, raw: &str) -> String {
-    let Value::Map(mut entries) = response else {
-        // A non-object reply should be impossible; relay the raw shard
-        // bytes unmodified rather than inventing a frame.
-        return raw.to_string();
-    };
-    entries.push(("shard".into(), Value::U64(u64::from(shard))));
-    serde_json::to_string(&Value::Map(entries)).expect("reserializing a reply map cannot fail")
-}
-
-/// The router's `stats` body: aggregate counters, per-shard state, and the
-/// checkpoint-divergence view operators watch during rolling swaps.
+/// The router's `stats` body: aggregate counters, per-member state, and
+/// the checkpoint-divergence view operators watch during rolling swaps.
 fn router_stats_value(state: &Arc<ClusterState>) -> Value {
-    let mut per_shard = Vec::with_capacity(state.shards.len());
+    let members = state.members_snapshot();
+    let now = Instant::now();
+    let mut per_shard = Vec::with_capacity(members.len());
     let mut hashes: Vec<String> = Vec::new();
     let mut epochs: Vec<u64> = Vec::new();
-    for shard in &state.shards {
+    for shard in &members {
         let polled = shard
             .polled
             .lock()
@@ -457,6 +432,15 @@ fn router_stats_value(state: &Arc<ClusterState>) -> Value {
                 "state".into(),
                 Value::Str(shard.availability().name().into()),
             ),
+            ("remote".into(), Value::Bool(shard.is_remote())),
+            (
+                "lease_ms".into(),
+                match shard.lease_remaining_ms(now) {
+                    Some(ms) => Value::U64(ms),
+                    None => Value::Null,
+                },
+            ),
+            ("incarnation".into(), Value::U64(shard.incarnation())),
             (
                 "routed".into(),
                 Value::U64(shard.routed.load(Ordering::Relaxed)),
@@ -475,16 +459,25 @@ fn router_stats_value(state: &Arc<ClusterState>) -> Value {
             ("epoch".into(), Value::U64(polled.epoch)),
         ]));
     }
-    let routable = state.shards.iter().filter(|s| s.is_routable()).count();
+    let routable = members.iter().filter(|s| s.is_routable()).count();
     Value::Map(vec![
         ("service".into(), Value::Str("nrpm-cluster-router".into())),
         (
             "server_version".into(),
             Value::Str(env!("CARGO_PKG_VERSION").into()),
         ),
-        ("shards".into(), Value::U64(state.shards.len() as u64)),
+        ("role".into(), Value::Str(state.role.into())),
+        (
+            "generation".into(),
+            Value::U64(state.generation.load(Ordering::SeqCst)),
+        ),
+        ("shards".into(), Value::U64(members.len() as u64)),
         ("routable".into(), Value::U64(routable as u64)),
         ("draining".into(), Value::Bool(state.draining())),
+        (
+            "replication".into(),
+            Value::U64(state.opts.replication.max(1) as u64),
+        ),
         (
             "requests_routed".into(),
             Value::U64(state.routed.load(Ordering::Relaxed)),
@@ -498,8 +491,28 @@ fn router_stats_value(state: &Arc<ClusterState>) -> Value {
             Value::U64(state.rejected.load(Ordering::Relaxed)),
         ),
         (
+            "replica_fanouts".into(),
+            Value::U64(state.replica_fanouts.load(Ordering::Relaxed)),
+        ),
+        (
+            "replica_divergences".into(),
+            Value::U64(state.replica_divergences.load(Ordering::Relaxed)),
+        ),
+        (
+            "joins".into(),
+            Value::U64(state.joins.load(Ordering::Relaxed)),
+        ),
+        (
+            "lease_expiries".into(),
+            Value::U64(state.lease_expiries.load(Ordering::Relaxed)),
+        ),
+        (
+            "rollouts".into(),
+            Value::U64(state.rollouts.load(Ordering::SeqCst)),
+        ),
+        (
             "serving_hash".into(),
-            match state.serving_hash {
+            match state.serving_hash() {
                 Some(hash) => Value::Str(hex16(hash)),
                 None => Value::Null,
             },

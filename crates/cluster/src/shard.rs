@@ -1,32 +1,40 @@
-//! Per-shard runtime state: the in-process server handle, the routing
-//! availability state machine, and the supervisor's last wire-polled view
-//! of the shard's `stats`.
+//! Per-member runtime state: the membership backend (locally-spawned
+//! server vs. network-joined shard), the routing availability state
+//! machine, the heartbeat lease, and the supervisor's last wire-polled
+//! view of the member's `stats`.
 //!
 //! ## Availability state machine
 //!
 //! ```text
 //! Healthy --eject_after consecutive probe/route failures--> Ejected
-//! Ejected --1 successful probe--> Probation(1)
+//! Healthy --heartbeat lease expires (remote members)-----> Ejected
+//! Ejected --1 successful probe (lease valid)--> Probation(1)
 //! Probation(k) --successful probe--> Probation(k+1) | Healthy (k+1 == readmit_probes)
 //! Probation(_) --any failure--> Ejected
-//! Healthy/Probation --drain_shard--> Draining      (terminal until revive)
-//! Healthy/Probation --kill_shard--> Killed         (terminal until revive)
-//! revive --> Ejected                                (must earn traffic back)
+//! Healthy --rollout drain--> Updating          (not routed, not probed)
+//! Updating --verified on the target--> Healthy (direct readmit)
+//! Healthy/Probation --drain_shard--> Draining  (terminal until revive)
+//! Healthy/Probation --kill_shard--> Killed     (terminal until revive)
+//! revive/rejoin --> Ejected                    (must earn traffic back)
 //! ```
 //!
-//! Only `Healthy` shards receive routed traffic. Re-admission is gradual
-//! by construction: a returning shard serves nothing until it has answered
-//! `readmit_probes` consecutive health probes, so one lucky probe after a
-//! flapping failure cannot flood it with its whole key range at once.
+//! Only `Healthy` members receive routed traffic. Re-admission is gradual
+//! by construction: a returning member serves nothing until it has
+//! answered `readmit_probes` consecutive health probes — and a remote
+//! member additionally needs a live heartbeat lease, so a shard that
+//! answers probes but whose join agent died stays out of rotation. The
+//! one exception is the rollout path: `Updating → Healthy` is immediate
+//! because the rollout driver has just verified the member over the wire.
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use nrpm_serve::server::Server;
 use nrpm_serve::store::ModelStore;
 
-/// Where a shard stands in the routing state machine. See the
+/// Where a member stands in the routing state machine. See the
 /// [module docs](self) for transitions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Availability {
@@ -37,6 +45,9 @@ pub enum Availability {
     Probation(u32),
     /// Failed out of rotation; probes decide when it may return.
     Ejected,
+    /// Drained by the rollout driver while its checkpoint is swapped;
+    /// readmitted directly once verified on the target.
+    Updating,
     /// Operator-initiated graceful removal; never probed or routed.
     Draining,
     /// Test-initiated abrupt removal; never probed or routed.
@@ -50,6 +61,7 @@ impl Availability {
             Availability::Healthy => "healthy",
             Availability::Probation(_) => "probation",
             Availability::Ejected => "ejected",
+            Availability::Updating => "updating",
             Availability::Draining => "draining",
             Availability::Killed => "killed",
         }
@@ -63,30 +75,62 @@ struct HealthState {
     consecutive_fails: u32,
 }
 
-/// The supervisor's last successful `stats` poll of this shard.
+/// The supervisor's last successful `stats` poll of this member.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct PolledStats {
-    /// `checkpoint_hash` the shard reported (hex16).
+    /// `checkpoint_hash` the member reported (hex16).
     pub checkpoint_hash: Option<String>,
-    /// Adaptation `epoch` the shard reported.
+    /// Adaptation `epoch` the member reported.
     pub epoch: u64,
 }
 
-/// One backend shard: server handle, store, routing state, counters.
+/// A network member's heartbeat lease.
+#[derive(Debug)]
+pub(crate) struct LeaseState {
+    expires_at: Instant,
+    /// Whether the current lapse was already counted/acted on, so one
+    /// expiry ejects exactly once.
+    lapse_noted: bool,
+}
+
+/// How a member is provided — the two providers behind the `ShardMember`
+/// abstraction.
+pub(crate) enum MemberBackend {
+    /// Spawned in-process by the cluster launcher: the cluster owns the
+    /// server handle and the store, so it can drain, revive, and hot-swap
+    /// the member directly.
+    Local {
+        /// The member's own store handle — used for revive (restart on
+        /// the same weights), rolling rollouts, and by tests that force
+        /// checkpoint divergence.
+        store: ModelStore,
+        server: Mutex<Option<Server>>,
+    },
+    /// Registered over the wire via the `cluster_join` handshake: the
+    /// router only knows an address and a heartbeat lease. `lease: None`
+    /// marks an *adopted* member — one a promoted standby router learned
+    /// about through state sync — whose liveness is probe-driven until it
+    /// heartbeats this router for the first time.
+    Remote { lease: Mutex<Option<LeaseState>> },
+}
+
+/// One cluster member: backend, routing state, counters.
 pub(crate) struct ShardRuntime {
     pub id: u32,
     addr: Mutex<SocketAddr>,
-    /// The shard's own store handle — used for revive (restart on the same
-    /// weights) and by tests that force checkpoint divergence.
-    pub store: ModelStore,
-    server: Mutex<Option<Server>>,
+    pub backend: MemberBackend,
     health: Mutex<HealthState>,
     pub polled: Mutex<PolledStats>,
-    /// Requests this shard answered through the router.
+    /// Requests this member answered through the router.
     pub routed: AtomicU64,
-    /// Routed requests this shard failed (transport error or
+    /// Routed requests this member failed (transport error or
     /// `shutting_down`), each of which ejected it.
     pub failed: AtomicU64,
+    /// Bumped whenever the member's process identity may have changed
+    /// (revive, network rejoin). Router connection pools key their cached
+    /// clients on `(addr, incarnation)` and evict on mismatch, so a
+    /// restart never leaves them talking to a dead socket.
+    incarnation: AtomicU64,
 }
 
 fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -96,19 +140,63 @@ fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 impl ShardRuntime {
-    pub fn new(id: u32, addr: SocketAddr, store: ModelStore, server: Server) -> ShardRuntime {
+    /// A locally-spawned member, healthy from the start (the launcher just
+    /// started its server).
+    pub fn local(id: u32, addr: SocketAddr, store: ModelStore, server: Server) -> ShardRuntime {
+        ShardRuntime::new(
+            id,
+            addr,
+            MemberBackend::Local {
+                store,
+                server: Mutex::new(Some(server)),
+            },
+            Availability::Healthy,
+        )
+    }
+
+    /// A network-joined member with a fresh heartbeat lease. It starts
+    /// `Ejected`: traffic arrives only after the probation gauntlet.
+    pub fn remote(id: u32, addr: SocketAddr, lease: Duration) -> ShardRuntime {
+        ShardRuntime::new(
+            id,
+            addr,
+            MemberBackend::Remote {
+                lease: Mutex::new(Some(LeaseState {
+                    expires_at: Instant::now() + lease,
+                    lapse_noted: false,
+                })),
+            },
+            Availability::Ejected,
+        )
+    }
+
+    /// An adopted member: a promoted standby router's view of a shard it
+    /// learned about via state sync. No lease (probe-driven liveness) and
+    /// the availability the primary last reported.
+    pub fn adopted(id: u32, addr: SocketAddr, avail: Availability) -> ShardRuntime {
+        ShardRuntime::new(
+            id,
+            addr,
+            MemberBackend::Remote {
+                lease: Mutex::new(None),
+            },
+            avail,
+        )
+    }
+
+    fn new(id: u32, addr: SocketAddr, backend: MemberBackend, avail: Availability) -> ShardRuntime {
         ShardRuntime {
             id,
             addr: Mutex::new(addr),
-            store,
-            server: Mutex::new(Some(server)),
+            backend,
             health: Mutex::new(HealthState {
-                avail: Availability::Healthy,
+                avail,
                 consecutive_fails: 0,
             }),
             polled: Mutex::new(PolledStats::default()),
             routed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            incarnation: AtomicU64::new(0),
         }
     }
 
@@ -116,20 +204,38 @@ impl ShardRuntime {
         *lock_recovering(&self.addr)
     }
 
+    /// `true` for network-joined (and adopted) members.
+    pub fn is_remote(&self) -> bool {
+        matches!(self.backend, MemberBackend::Remote { .. })
+    }
+
+    /// The member's store handle (local members only).
+    pub fn store(&self) -> Option<&ModelStore> {
+        match &self.backend {
+            MemberBackend::Local { store, .. } => Some(store),
+            MemberBackend::Remote { .. } => None,
+        }
+    }
+
+    /// Connection-pool eviction key (see the field docs).
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation.load(Ordering::Acquire)
+    }
+
     pub fn availability(&self) -> Availability {
         lock_recovering(&self.health).avail
     }
 
-    /// `true` when routed traffic may reach this shard.
+    /// `true` when routed traffic may reach this member.
     pub fn is_routable(&self) -> bool {
         matches!(self.availability(), Availability::Healthy)
     }
 
-    /// `true` when the supervisor should probe this shard at all.
+    /// `true` when the supervisor should probe this member at all.
     pub fn is_probed(&self) -> bool {
         !matches!(
             self.availability(),
-            Availability::Draining | Availability::Killed
+            Availability::Updating | Availability::Draining | Availability::Killed
         )
     }
 
@@ -157,7 +263,7 @@ impl ShardRuntime {
     }
 
     /// Records a failed health probe; `eject_after` consecutive failures
-    /// take a healthy shard out of rotation, and any failure resets
+    /// take a healthy member out of rotation, and any failure resets
     /// probation.
     pub fn note_probe_fail(&self, eject_after: u32) {
         let mut health = lock_recovering(&self.health);
@@ -172,8 +278,8 @@ impl ShardRuntime {
     }
 
     /// Records a routed-request failure: the retrying client already
-    /// exhausted its in-place retries against this shard, so it is ejected
-    /// immediately rather than after `eject_after` probe ticks.
+    /// exhausted its in-place retries against this member, so it is
+    /// ejected immediately rather than after `eject_after` probe ticks.
     pub fn note_route_failure(&self) {
         self.failed.fetch_add(1, Ordering::Relaxed);
         let mut health = lock_recovering(&self.health);
@@ -186,7 +292,96 @@ impl ShardRuntime {
         }
     }
 
-    /// Flags the shard as intentionally leaving (`drain`/`kill`); routing
+    /// Grants or renews the heartbeat lease of a remote member. An adopted
+    /// member gains a lease on its first heartbeat. No-op for local
+    /// members (their liveness is the server handle).
+    pub fn renew_lease(&self, lease: Duration) {
+        if let MemberBackend::Remote { lease: slot } = &self.backend {
+            *lock_recovering(slot) = Some(LeaseState {
+                expires_at: Instant::now() + lease,
+                lapse_noted: false,
+            });
+        }
+    }
+
+    /// Checks the heartbeat lease as of `now`; on the **first** call after
+    /// an expiry this ejects the member and returns `true` (the caller
+    /// counts it). Local and adopted members never lapse.
+    pub fn note_lease_lapse(&self, now: Instant) -> bool {
+        let MemberBackend::Remote { lease } = &self.backend else {
+            return false;
+        };
+        let mut guard = lock_recovering(lease);
+        let Some(state) = guard.as_mut() else {
+            return false;
+        };
+        if now < state.expires_at || state.lapse_noted {
+            return false;
+        }
+        state.lapse_noted = true;
+        drop(guard);
+        let mut health = lock_recovering(&self.health);
+        if matches!(
+            health.avail,
+            Availability::Healthy | Availability::Probation(_)
+        ) {
+            health.avail = Availability::Ejected;
+            health.consecutive_fails = 0;
+        }
+        true
+    }
+
+    /// `true` when probes may advance this member toward `Healthy`: local
+    /// and adopted members always, leased members only while the lease is
+    /// live. This is what keeps a shard whose join agent died out of
+    /// rotation even though its server answers probes.
+    pub fn lease_allows_readmission(&self, now: Instant) -> bool {
+        match &self.backend {
+            MemberBackend::Local { .. } => true,
+            MemberBackend::Remote { lease } => match lock_recovering(lease).as_ref() {
+                None => true,
+                Some(state) => now < state.expires_at,
+            },
+        }
+    }
+
+    /// Milliseconds left on the heartbeat lease (`None` for local and
+    /// adopted members).
+    pub fn lease_remaining_ms(&self, now: Instant) -> Option<u64> {
+        match &self.backend {
+            MemberBackend::Local { .. } => None,
+            MemberBackend::Remote { lease } => {
+                let guard = lock_recovering(lease);
+                let state = guard.as_ref()?;
+                Some(state.expires_at.saturating_duration_since(now).as_millis() as u64)
+            }
+        }
+    }
+
+    /// Takes the member out of routing for a rolling checkpoint update;
+    /// probes pause until the rollout driver verifies and readmits it.
+    pub fn begin_update(&self) {
+        let mut health = lock_recovering(&self.health);
+        health.avail = Availability::Updating;
+        health.consecutive_fails = 0;
+    }
+
+    /// Readmits a member the rollout driver just verified over the wire —
+    /// directly to `Healthy`, skipping probation, because the verification
+    /// *was* the probe.
+    pub fn finish_update(&self, healthy: bool) {
+        let mut health = lock_recovering(&self.health);
+        if health.avail == Availability::Updating {
+            health.avail = if healthy {
+                Availability::Healthy
+            } else {
+                Availability::Ejected
+            };
+            health.consecutive_fails = 0;
+        }
+    }
+
+    /// Flags the member as intentionally leaving (`drain`/`kill`); routing
     /// and probing stop before the server handle is touched.
     pub fn mark_leaving(&self, killed: bool) {
         let mut health = lock_recovering(&self.health);
@@ -197,24 +392,49 @@ impl ShardRuntime {
         };
     }
 
-    /// Puts a revived shard back under probation rules at its new address.
+    /// Puts a revived local member back under probation rules at its new
+    /// address.
     pub fn mark_revived(&self, addr: SocketAddr, server: Server) {
         *lock_recovering(&self.addr) = addr;
-        *lock_recovering(&self.server) = Some(server);
+        if let MemberBackend::Local { server: slot, .. } = &self.backend {
+            *lock_recovering(slot) = Some(server);
+        }
+        self.incarnation.fetch_add(1, Ordering::AcqRel);
         let mut health = lock_recovering(&self.health);
         health.avail = Availability::Ejected;
         health.consecutive_fails = 0;
     }
 
-    /// Takes the server handle (for drain/kill/join); `None` when already
-    /// taken.
-    pub fn take_server(&self) -> Option<Server> {
-        lock_recovering(&self.server).take()
+    /// Re-registers a remote member that came back through the join
+    /// handshake (possibly a new process at the same or a new address):
+    /// fresh lease, fresh incarnation, probation rules.
+    pub fn mark_rejoined(&self, addr: SocketAddr, lease: Duration) {
+        *lock_recovering(&self.addr) = addr;
+        self.incarnation.fetch_add(1, Ordering::AcqRel);
+        self.renew_lease(lease);
+        let mut health = lock_recovering(&self.health);
+        if !matches!(health.avail, Availability::Healthy) {
+            health.avail = Availability::Ejected;
+            health.consecutive_fails = 0;
+        }
     }
 
-    /// `true` while a server handle is held (the backend threads exist).
+    /// Takes the server handle (for drain/kill/join); `None` when already
+    /// taken or remote.
+    pub fn take_server(&self) -> Option<Server> {
+        match &self.backend {
+            MemberBackend::Local { server, .. } => lock_recovering(server).take(),
+            MemberBackend::Remote { .. } => None,
+        }
+    }
+
+    /// `true` while a local server handle is held (the backend threads
+    /// exist).
     pub fn has_server(&self) -> bool {
-        lock_recovering(&self.server).is_some()
+        match &self.backend {
+            MemberBackend::Local { server, .. } => lock_recovering(server).is_some(),
+            MemberBackend::Remote { .. } => false,
+        }
     }
 }
 
@@ -241,7 +461,7 @@ mod tests {
         };
         let server = Server::start("127.0.0.1:0", store.clone(), opts).unwrap();
         let addr = server.addr();
-        ShardRuntime::new(0, addr, store, server)
+        ShardRuntime::local(0, addr, store, server)
     }
 
     fn stop(shard: &ShardRuntime) {
@@ -293,5 +513,77 @@ mod tests {
         shard.note_probe_fail(1);
         assert_eq!(shard.availability(), Availability::Draining);
         stop(&shard);
+    }
+
+    #[test]
+    fn remote_lease_lapse_ejects_once_and_blocks_readmission() {
+        let addr: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let member = ShardRuntime::remote(7, addr, Duration::from_millis(1));
+        assert!(member.is_remote());
+        assert!(member.store().is_none());
+
+        // Probe it to Healthy while the lease is still live.
+        member.note_probe_ok(1);
+        assert!(member.is_routable());
+
+        std::thread::sleep(Duration::from_millis(5));
+        let now = Instant::now();
+        assert!(member.note_lease_lapse(now), "first lapse check ejects");
+        assert_eq!(member.availability(), Availability::Ejected);
+        assert!(!member.note_lease_lapse(now), "a lapse is counted once");
+        assert!(!member.lease_allows_readmission(now));
+
+        // A renewed lease clears the lapse and re-opens readmission.
+        member.renew_lease(Duration::from_secs(60));
+        assert!(member.lease_allows_readmission(Instant::now()));
+        assert!(!member.note_lease_lapse(Instant::now()));
+        assert!(member.lease_remaining_ms(Instant::now()).unwrap() > 0);
+    }
+
+    #[test]
+    fn rejoin_bumps_incarnation_and_requires_probation() {
+        let addr: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let member = ShardRuntime::remote(3, addr, Duration::from_secs(1));
+        member.note_probe_ok(1);
+        member.note_route_failure();
+        assert_eq!(member.availability(), Availability::Ejected);
+
+        let before = member.incarnation();
+        let new_addr: SocketAddr = "127.0.0.1:10".parse().unwrap();
+        member.mark_rejoined(new_addr, Duration::from_secs(1));
+        assert_eq!(member.addr(), new_addr);
+        assert!(member.incarnation() > before);
+        assert_eq!(member.availability(), Availability::Ejected);
+    }
+
+    #[test]
+    fn update_cycle_drains_and_readmits_directly() {
+        let shard = runtime();
+        shard.begin_update();
+        assert_eq!(shard.availability(), Availability::Updating);
+        assert!(!shard.is_routable());
+        assert!(!shard.is_probed(), "updating members are not probed");
+        // Stray probe results must not disturb the update.
+        shard.note_probe_ok(1);
+        shard.note_probe_fail(1);
+        assert_eq!(shard.availability(), Availability::Updating);
+        shard.finish_update(true);
+        assert!(shard.is_routable(), "verified members readmit directly");
+        stop(&shard);
+    }
+
+    #[test]
+    fn adopted_members_have_no_lease_until_they_heartbeat() {
+        let addr: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let member = ShardRuntime::adopted(2, addr, Availability::Healthy);
+        let now = Instant::now();
+        assert!(member.is_remote());
+        assert!(member.is_routable(), "adoption preserves availability");
+        assert!(member.lease_allows_readmission(now));
+        assert!(!member.note_lease_lapse(now), "no lease, no lapse");
+        assert_eq!(member.lease_remaining_ms(now), None);
+
+        member.renew_lease(Duration::from_secs(1));
+        assert!(member.lease_remaining_ms(Instant::now()).is_some());
     }
 }

@@ -1,0 +1,188 @@
+//! Router resilience: a warm standby that mirrors the primary's
+//! membership view via periodic state sync and takes over the advertised
+//! address when the primary stops answering.
+//!
+//! The standby is a thread (conceptually: a second router host) that
+//! polls `cluster_sync` every gossip interval. Each successful sync
+//! replaces its mirrored view — membership, availability, the serving
+//! hash, the generation counter. After `takeover_after` consecutive
+//! failed syncs it declares the primary dead and promotes itself:
+//!
+//! 1. bind the advertised router address (the primary's listener releases
+//!    it on death; `SO_REUSEADDR` covers the TIME_WAIT tail), retrying
+//!    until it succeeds;
+//! 2. rebuild a [`ClusterState`] from the last mirrored view — every
+//!    member *adopted* as a probe-driven remote (no lease until it
+//!    heartbeats the new router), healthy members staying healthy so
+//!    traffic continues without a probation gap;
+//! 3. run the standard supervisor and router loops against that state.
+//!
+//! Clients never re-configure: the advertised address simply starts
+//! answering again, within roughly `takeover_after × gossip_interval`
+//! plus the bind race. Network members' join agents notice their
+//! heartbeats failing (or being refused with "unknown shard; rejoin") and
+//! re-enroll against the promoted router automatically.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use nrpm_registry::parse_hex16;
+use nrpm_serve::client::{is_ok, Client};
+use serde::Value;
+use serde_json;
+
+use crate::cluster::{run_supervisor, ClusterOptions, ClusterState};
+use crate::shard::{Availability, ShardRuntime};
+
+/// The standby's mirrored copy of the primary's answer to `cluster_sync`.
+#[derive(Debug, Clone)]
+struct SyncView {
+    generation: u64,
+    serving_hash: Option<u64>,
+    members: Vec<(u32, SocketAddr, Availability)>,
+}
+
+/// The standby loop: mirror until the primary goes quiet, then take over.
+/// Runs on its own thread for the life of the cluster.
+pub(crate) fn run_standby(
+    router_addr: SocketAddr,
+    opts: ClusterOptions,
+    shutdown: Arc<AtomicBool>,
+    promoted_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut view: Option<SyncView> = None;
+    let mut misses = 0u32;
+    while !shutdown.load(Ordering::SeqCst) {
+        match sync_once(router_addr, &opts) {
+            Ok(fresh) => {
+                view = Some(fresh);
+                misses = 0;
+            }
+            Err(_) => {
+                misses += 1;
+                // Never promote off an empty view: before the first
+                // successful sync there is nothing to serve.
+                if view.is_some() && misses >= opts.takeover_after.max(1) {
+                    break;
+                }
+            }
+        }
+        if sleep_interruptibly(opts.gossip_interval, &shutdown) {
+            return;
+        }
+    }
+    if shutdown.load(Ordering::SeqCst) {
+        return;
+    }
+    let view = view.expect("takeover requires a mirrored view");
+    take_over(router_addr, opts, view, shutdown, promoted_handles);
+}
+
+fn sleep_interruptibly(total: Duration, shutdown: &AtomicBool) -> bool {
+    let deadline = Instant::now() + total;
+    while Instant::now() < deadline {
+        if shutdown.load(Ordering::SeqCst) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10).min(total));
+    }
+    shutdown.load(Ordering::SeqCst)
+}
+
+/// One state sync. Token-authenticated when the cluster has a join token.
+fn sync_once(router_addr: SocketAddr, opts: &ClusterOptions) -> Result<SyncView, String> {
+    let mut fields = vec![("cmd".into(), Value::Str("cluster_sync".into()))];
+    if let Some(token) = &opts.join_token {
+        fields.push(("token".into(), Value::Str(token.clone())));
+    }
+    let line = serde_json::to_string(&Value::Map(fields)).expect("serializing a sync cannot fail");
+    let mut client = Client::connect(router_addr, opts.probe_timeout).map_err(|e| e.to_string())?;
+    let reply = client.roundtrip_line(&line).map_err(|e| e.to_string())?;
+    if !is_ok(&reply) {
+        return Err("sync refused".into());
+    }
+    let members = reply
+        .get("members")
+        .and_then(Value::as_seq)
+        .ok_or("sync reply lacks members")?
+        .iter()
+        .filter_map(|m| {
+            let id = m.get("shard").and_then(Value::as_u64)?;
+            let addr = m.get("addr").and_then(Value::as_str)?.parse().ok()?;
+            let avail = adopt_availability(m.get("state").and_then(Value::as_str)?);
+            Some((u32::try_from(id).ok()?, addr, avail))
+        })
+        .collect();
+    Ok(SyncView {
+        generation: reply.get("generation").and_then(Value::as_u64).unwrap_or(0),
+        serving_hash: reply
+            .get("serving_hash")
+            .and_then(Value::as_str)
+            .and_then(parse_hex16),
+        members,
+    })
+}
+
+/// Maps a synced availability name onto the promoted router's view.
+/// Healthy stays healthy (no traffic gap); anything in-between restarts
+/// as `Ejected` and re-earns traffic through this router's own probes —
+/// the mirrored probation count belongs to probes this router never saw.
+fn adopt_availability(name: &str) -> Availability {
+    match name {
+        "healthy" => Availability::Healthy,
+        "draining" => Availability::Draining,
+        "killed" => Availability::Killed,
+        _ => Availability::Ejected,
+    }
+}
+
+fn take_over(
+    router_addr: SocketAddr,
+    opts: ClusterOptions,
+    view: SyncView,
+    shutdown: Arc<AtomicBool>,
+    promoted_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    // The primary's listener releases the address when its accept loop
+    // exits; retry the bind until we own it.
+    let listener = loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match TcpListener::bind(router_addr) {
+            Ok(listener) => break listener,
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    };
+
+    let members: Vec<Arc<ShardRuntime>> = view
+        .members
+        .iter()
+        .map(|&(id, addr, avail)| Arc::new(ShardRuntime::adopted(id, addr, avail)))
+        .collect();
+    let state = Arc::new(ClusterState::new(
+        opts,
+        router_addr,
+        members,
+        view.serving_hash,
+        shutdown,
+        "standby",
+    ));
+    state.generation.store(view.generation, Ordering::SeqCst);
+
+    let supervisor = {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("nrpm-standby-supervisor".into())
+            .spawn(move || run_supervisor(&state))
+            .expect("spawn promoted supervisor thread")
+    };
+    promoted_handles
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .push(supervisor);
+    crate::router::run_router(listener, &state);
+}

@@ -1,0 +1,726 @@
+//! End-to-end tests of the replicated, cross-machine tier: quorum reads
+//! under replica loss and partition, the token-authenticated join
+//! handshake with heartbeat leases, warm-standby router takeover, and the
+//! journaled rolling rollout — all over real TCP on ephemeral ports.
+
+use nrpm_cluster::{Cluster, ClusterOptions, JoinAgent, JoinAgentOptions, JOIN_PROTOCOL_VERSION};
+use nrpm_core::adaptive::AdaptiveOptions;
+use nrpm_core::preprocess::NUM_INPUTS;
+use nrpm_extrap::{MeasurementSet, NUM_CLASSES};
+use nrpm_nn::{Network, NetworkConfig};
+use nrpm_registry::hex16;
+use nrpm_registry::rollout::RolloutJournal;
+use nrpm_serve::chaos::{ChaosOptions, ChaosProxy};
+use nrpm_serve::client::{is_ok, Client, RetryPolicy, RetryingClient};
+use nrpm_serve::server::{ServeOptions, Server};
+use nrpm_serve::store::ModelStore;
+use serde::Value;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn test_network(seed: u64) -> Network {
+    Network::new(&NetworkConfig::new(&[NUM_INPUTS, 16, NUM_CLASSES]), seed)
+}
+
+/// Distinct slopes give distinct fingerprints, so keys spread over the
+/// ring; every set stays exactly linear so answers are deterministic.
+fn keyed_set(key: usize) -> MeasurementSet {
+    let slope = 2.0 + key as f64 * 0.5;
+    let mut set = MeasurementSet::new(1);
+    for &x in &[4.0, 8.0, 16.0, 32.0, 64.0] {
+        set.add_repetitions(&[x], &[slope * x, slope * x]);
+    }
+    set
+}
+
+/// Three shards, two replicas per key, fast supervisor cadence.
+fn replicated_options() -> ClusterOptions {
+    ClusterOptions {
+        shards: 3,
+        replication: 2,
+        probe_interval: Duration::from_millis(50),
+        probe_timeout: Duration::from_millis(500),
+        readmit_probes: 2,
+        shard_timeout: Duration::from_millis(500),
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(20),
+            ..RetryPolicy::default()
+        },
+        debug_hooks: true,
+        ..ClusterOptions::default()
+    }
+}
+
+fn retrying(cluster: &Cluster) -> RetryingClient {
+    RetryingClient::new(
+        cluster.router_addr(),
+        Duration::from_secs(30),
+        RetryPolicy::default(),
+    )
+}
+
+fn join_within(cluster: Cluster, limit: Duration) {
+    cluster.request_shutdown();
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let result = cluster.join();
+        let _ = tx.send(result);
+    });
+    rx.recv_timeout(limit)
+        .expect("cluster failed to drain within the limit")
+        .expect("a cluster thread panicked");
+}
+
+fn router_stats_at(addr: SocketAddr) -> Value {
+    let mut client = Client::connect(addr, Duration::from_secs(10)).unwrap();
+    client.stats().unwrap()
+}
+
+/// Polls `predicate` against router stats until it holds or `limit` runs
+/// out (supervisor probes, leases, and joins are all asynchronous).
+fn wait_for_stats(addr: SocketAddr, limit: Duration, predicate: impl Fn(&Value) -> bool) -> Value {
+    let deadline = Instant::now() + limit;
+    loop {
+        let stats = router_stats_at(addr);
+        if predicate(&stats) {
+            return stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "condition not reached before deadline; last stats: {stats:?}"
+        );
+        thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn stat(stats: &Value, key: &str) -> u64 {
+    stats.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
+/// A standalone `nrpm serve` backend for join tests: the "other host".
+fn external_server(network: Network) -> (Server, u64) {
+    let store = ModelStore::from_network(network, AdaptiveOptions::default()).unwrap();
+    let hash = store.checkpoint_hash();
+    let server = Server::start(
+        "127.0.0.1:0",
+        store,
+        ServeOptions {
+            workers: 1,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    (server, hash)
+}
+
+/// A raw `cluster_join` line, for testing the handshake's refusal paths.
+fn join_line(token: &str, addr: SocketAddr, hash: &str, protocol: u64) -> String {
+    serde_json::to_string(&Value::Map(vec![
+        ("cmd".into(), Value::Str("cluster_join".into())),
+        ("token".into(), Value::Str(token.into())),
+        ("addr".into(), Value::Str(addr.to_string())),
+        ("checkpoint_hash".into(), Value::Str(hash.into())),
+        ("protocol".into(), Value::U64(protocol)),
+    ]))
+    .unwrap()
+}
+
+#[test]
+fn replicated_reads_fan_out_and_agree_by_quorum() {
+    let cluster = Cluster::launch(test_network(7), replicated_options()).unwrap();
+    let mut client = retrying(&cluster);
+
+    for key in 0..12 {
+        let response = client.model(keyed_set(key), None, None).unwrap();
+        assert!(is_ok(&response), "key {key}: {response:?}");
+        // Every key has two live replicas; the reply reports the fan-out
+        // and a full quorum, and never a divergence (uniform fleet).
+        assert_eq!(
+            response.get("replicas").and_then(Value::as_u64),
+            Some(2),
+            "{response:?}"
+        );
+        assert_eq!(
+            response.get("quorum").and_then(Value::as_u64),
+            Some(2),
+            "{response:?}"
+        );
+        assert_ne!(
+            response.get("divergent").and_then(Value::as_bool),
+            Some(true),
+            "{response:?}"
+        );
+    }
+
+    let stats = router_stats_at(cluster.router_addr());
+    assert_eq!(stat(&stats, "replica_fanouts"), 12);
+    assert_eq!(stat(&stats, "replica_divergences"), 0);
+    assert_eq!(stat(&stats, "requests_routed"), 12);
+    assert_eq!(stat(&stats, "rejected"), 0);
+    join_within(cluster, Duration::from_secs(20));
+}
+
+#[test]
+fn killing_one_replica_mid_burst_drops_and_diverges_nothing() {
+    let expected_hash = {
+        let store = ModelStore::from_network(test_network(7), AdaptiveOptions::default()).unwrap();
+        hex16(store.checkpoint_hash())
+    };
+    let cluster = Cluster::launch(test_network(7), replicated_options()).unwrap();
+    let addr = cluster.router_addr();
+
+    let workers: Vec<_> = (0..3)
+        .map(|worker| {
+            let expected_hash = expected_hash.clone();
+            thread::spawn(move || {
+                let mut client =
+                    RetryingClient::new(addr, Duration::from_secs(30), RetryPolicy::default());
+                let mut answered = 0usize;
+                for round in 0..10 {
+                    for key in 0..6 {
+                        let response = client.model(keyed_set(key), None, None).unwrap();
+                        assert!(
+                            is_ok(&response),
+                            "worker {worker} round {round} key {key}: {response:?}"
+                        );
+                        // Zero wrong-epoch replies: every answer names the
+                        // one checkpoint the fleet serves — a reply quorum-
+                        // resolved against a divergent replica would not.
+                        assert_eq!(
+                            response.get("served_hash").and_then(Value::as_str),
+                            Some(expected_hash.as_str()),
+                            "worker {worker} round {round} key {key}: {response:?}"
+                        );
+                        assert_ne!(
+                            response.get("divergent").and_then(Value::as_bool),
+                            Some(true),
+                            "worker {worker} round {round} key {key}: {response:?}"
+                        );
+                        answered += 1;
+                    }
+                }
+                answered
+            })
+        })
+        .collect();
+
+    // Pull one replica out abruptly mid-burst. Every key keeps at least
+    // one live replica (R=2 over 3 shards), so nothing is dropped.
+    thread::sleep(Duration::from_millis(100));
+    let mut admin = Client::connect(addr, Duration::from_secs(10)).unwrap();
+    let response = admin
+        .roundtrip_line(r#"{"cmd":"cluster_kill","shard":1}"#)
+        .unwrap();
+    assert!(is_ok(&response), "{response:?}");
+
+    let mut answered = 0usize;
+    for worker in workers {
+        answered += worker.join().expect("a burst worker panicked");
+    }
+    assert_eq!(answered, 180, "every request must be answered");
+
+    let stats = router_stats_at(addr);
+    assert_eq!(stat(&stats, "rejected"), 0, "{stats:?}");
+    assert_eq!(stat(&stats, "replica_divergences"), 0, "{stats:?}");
+    join_within(cluster, Duration::from_secs(20));
+}
+
+#[test]
+fn network_member_joins_heartbeats_lapses_and_rejoins() {
+    let opts = ClusterOptions {
+        join_token: Some("s3cret".into()),
+        member_lease: Duration::from_millis(300),
+        readmit_probes: 1,
+        ..replicated_options()
+    };
+    let lease = opts.member_lease;
+    let cluster = Cluster::launch(test_network(7), opts).unwrap();
+    let router = cluster.router_addr();
+    let (server, hash) = external_server(test_network(7));
+
+    // Enroll: the agent joins, the member passes probation, and the
+    // router's view grows to four routable shards.
+    let mut agent = JoinAgent::start(JoinAgentOptions::new(router, "s3cret", server.addr(), hash));
+    let stats = wait_for_stats(router, Duration::from_secs(10), |stats| {
+        stat(stats, "shards") == 4 && stat(stats, "routable") == 4
+    });
+    assert!(stat(&stats, "joins") >= 1, "{stats:?}");
+    assert_eq!(stat(&stats, "generation"), 4, "{stats:?}");
+    let member = stats
+        .get("per_shard")
+        .and_then(Value::as_seq)
+        .and_then(|shards| shards.last())
+        .expect("per_shard entry for the joined member")
+        .clone();
+    assert_eq!(member.get("remote").and_then(Value::as_bool), Some(true));
+    assert!(
+        member.get("lease_ms").and_then(Value::as_u64).is_some(),
+        "{member:?}"
+    );
+
+    // Stop heartbeating: the lease lapses and the supervisor ejects the
+    // member within a couple of lease periods.
+    agent.stop();
+    let lapsed = wait_for_stats(router, lease * 10, |stats| {
+        stat(stats, "lease_expiries") >= 1 && stat(stats, "routable") == 3
+    });
+    let ejected = lapsed
+        .get("per_shard")
+        .and_then(Value::as_seq)
+        .and_then(|shards| shards.last())
+        .unwrap()
+        .clone();
+    assert_eq!(
+        ejected.get("state").and_then(Value::as_str),
+        Some("ejected"),
+        "{ejected:?}"
+    );
+
+    // Rejoin from the same address: same member id, bumped incarnation,
+    // readmitted through probation under a fresh lease.
+    let _agent = JoinAgent::start(JoinAgentOptions::new(router, "s3cret", server.addr(), hash));
+    let back = wait_for_stats(router, Duration::from_secs(10), |stats| {
+        stat(stats, "routable") == 4
+    });
+    assert_eq!(stat(&back, "shards"), 4, "rejoin must reuse the member id");
+    assert!(stat(&back, "joins") >= 2, "{back:?}");
+    let rejoined = back
+        .get("per_shard")
+        .and_then(Value::as_seq)
+        .and_then(|shards| shards.last())
+        .unwrap()
+        .clone();
+    assert!(
+        rejoined.get("incarnation").and_then(Value::as_u64) >= Some(1),
+        "{rejoined:?}"
+    );
+
+    join_within(cluster, Duration::from_secs(20));
+    server.request_shutdown();
+    server.join().unwrap();
+}
+
+#[test]
+fn join_handshake_refuses_impostors_and_stale_checkpoints() {
+    let opts = ClusterOptions {
+        join_token: Some("s3cret".into()),
+        ..replicated_options()
+    };
+    let cluster = Cluster::launch(test_network(7), opts).unwrap();
+    let mut admin = Client::connect(cluster.router_addr(), Duration::from_secs(10)).unwrap();
+    let (server, hash) = external_server(test_network(7));
+    let kind_of = |response: &Value| {
+        response
+            .get("kind")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+    };
+
+    // Wrong token.
+    let refused = admin
+        .roundtrip_line(&join_line(
+            "wrong",
+            server.addr(),
+            &hex16(hash),
+            JOIN_PROTOCOL_VERSION,
+        ))
+        .unwrap();
+    assert_eq!(kind_of(&refused).as_deref(), Some("usage"), "{refused:?}");
+    assert!(
+        refused
+            .get("message")
+            .and_then(Value::as_str)
+            .is_some_and(|e| e.contains("token")),
+        "{refused:?}"
+    );
+
+    // Wrong protocol version.
+    let refused = admin
+        .roundtrip_line(&join_line(
+            "s3cret",
+            server.addr(),
+            &hex16(hash),
+            JOIN_PROTOCOL_VERSION + 1,
+        ))
+        .unwrap();
+    assert_eq!(kind_of(&refused).as_deref(), Some("usage"), "{refused:?}");
+
+    // Claimed hash differs from what the advertised address really
+    // serves: the over-the-wire verification catches the lie.
+    let refused = admin
+        .roundtrip_line(&join_line(
+            "s3cret",
+            server.addr(),
+            &hex16(hash ^ 1),
+            JOIN_PROTOCOL_VERSION,
+        ))
+        .unwrap();
+    assert_eq!(kind_of(&refused).as_deref(), Some("usage"), "{refused:?}");
+
+    // Unreachable advertised address: recoverable, not usage — the
+    // joiner may simply not be up yet.
+    let refused = admin
+        .roundtrip_line(&join_line(
+            "s3cret",
+            "127.0.0.1:1".parse().unwrap(),
+            &hex16(hash),
+            JOIN_PROTOCOL_VERSION,
+        ))
+        .unwrap();
+    assert_eq!(
+        kind_of(&refused).as_deref(),
+        Some("recoverable"),
+        "{refused:?}"
+    );
+
+    // Heartbeats for unknown members and local shards are refused.
+    let refused = admin
+        .roundtrip_line(r#"{"cmd":"cluster_heartbeat","token":"s3cret","shard":99}"#)
+        .unwrap();
+    assert_eq!(kind_of(&refused).as_deref(), Some("usage"), "{refused:?}");
+    let refused = admin
+        .roundtrip_line(r#"{"cmd":"cluster_heartbeat","token":"s3cret","shard":0}"#)
+        .unwrap();
+    assert_eq!(kind_of(&refused).as_deref(), Some("usage"), "{refused:?}");
+
+    // Nothing slipped through: still three local members.
+    let stats = router_stats_at(cluster.router_addr());
+    assert_eq!(stat(&stats, "shards"), 3);
+    assert_eq!(stat(&stats, "joins"), 0);
+    join_within(cluster, Duration::from_secs(20));
+
+    // A cluster with no token configured refuses every join outright.
+    let closed = Cluster::launch(test_network(7), replicated_options()).unwrap();
+    let mut admin = Client::connect(closed.router_addr(), Duration::from_secs(10)).unwrap();
+    let refused = admin
+        .roundtrip_line(&join_line(
+            "anything",
+            server.addr(),
+            &hex16(hash),
+            JOIN_PROTOCOL_VERSION,
+        ))
+        .unwrap();
+    assert_eq!(kind_of(&refused).as_deref(), Some("usage"), "{refused:?}");
+    assert!(
+        refused
+            .get("message")
+            .and_then(Value::as_str)
+            .is_some_and(|e| e.contains("closed")),
+        "{refused:?}"
+    );
+    join_within(closed, Duration::from_secs(20));
+    server.request_shutdown();
+    server.join().unwrap();
+}
+
+#[test]
+fn partitioned_member_is_ejected_and_burst_survives() {
+    let opts = ClusterOptions {
+        join_token: Some("s3cret".into()),
+        member_lease: Duration::from_millis(400),
+        probe_timeout: Duration::from_millis(250),
+        readmit_probes: 1,
+        ..replicated_options()
+    };
+    let cluster = Cluster::launch(test_network(7), opts).unwrap();
+    let router = cluster.router_addr();
+    let (server, hash) = external_server(test_network(7));
+
+    // The router reaches the member only through the chaos proxy — the
+    // test's stand-in for the network path between two hosts. No random
+    // faults; the partition switch is flipped deterministically.
+    let quiet = ChaosOptions {
+        latency_prob: 0.0,
+        partial_write_prob: 0.0,
+        truncate_prob: 0.0,
+        garbage_prob: 0.0,
+        reset_prob: 0.0,
+        asymmetric_delay_prob: 0.0,
+        ..ChaosOptions::default()
+    };
+    let mut proxy = ChaosProxy::start(server.addr(), quiet).unwrap();
+    let _agent = JoinAgent::start(JoinAgentOptions::new(router, "s3cret", proxy.addr(), hash));
+    wait_for_stats(router, Duration::from_secs(10), |stats| {
+        stat(stats, "routable") == 4
+    });
+
+    // Partition the link: probes and requests to the member black-hole,
+    // while its heartbeats (agent → router, a different path) still renew
+    // the lease. The supervisor must eject on probe failures alone.
+    proxy.set_partitioned(true);
+    let partitioned = wait_for_stats(router, Duration::from_secs(10), |stats| {
+        stat(stats, "routable") == 3
+    });
+    assert_eq!(
+        partitioned
+            .get("per_shard")
+            .and_then(Value::as_seq)
+            .and_then(|shards| shards.last())
+            .and_then(|member| member.get("state"))
+            .and_then(Value::as_str),
+        Some("ejected"),
+        "{partitioned:?}"
+    );
+
+    // A burst against the partitioned fleet answers 100%: the member's
+    // keys are covered by its ring successors and the second replica.
+    let mut client = retrying(&cluster);
+    for key in 0..12 {
+        let response = client.model(keyed_set(key), None, None).unwrap();
+        assert!(is_ok(&response), "key {key}: {response:?}");
+        assert_ne!(
+            response.get("divergent").and_then(Value::as_bool),
+            Some(true),
+            "{response:?}"
+        );
+    }
+    assert!(proxy.fault_counts().blackholed > 0, "partition never bit");
+
+    // Heal the link: probes pass again, the live lease permits
+    // readmission, and the member returns to rotation.
+    proxy.set_partitioned(false);
+    wait_for_stats(router, Duration::from_secs(10), |stats| {
+        stat(stats, "routable") == 4
+    });
+
+    join_within(cluster, Duration::from_secs(20));
+    proxy.stop();
+    server.request_shutdown();
+    server.join().unwrap();
+}
+
+#[test]
+fn standby_router_takes_over_within_one_lease_period() {
+    let opts = ClusterOptions {
+        standby: true,
+        gossip_interval: Duration::from_millis(50),
+        takeover_after: 2,
+        ..replicated_options()
+    };
+    let lease = opts.member_lease;
+    let cluster = Cluster::launch(test_network(7), opts).unwrap();
+    let router = cluster.router_addr();
+
+    // Warm the standby's view and leave some routing history behind.
+    let mut client = retrying(&cluster);
+    for key in 0..6 {
+        let response = client.model(keyed_set(key), None, None).unwrap();
+        assert!(is_ok(&response), "{response:?}");
+    }
+    wait_for_stats(router, Duration::from_secs(5), |stats| {
+        stats.get("role").and_then(Value::as_str) == Some("primary")
+    });
+    thread::sleep(Duration::from_millis(200));
+
+    // Simulate a router-host crash: the primary router and supervisor die,
+    // the shard processes live on.
+    let mut admin = Client::connect(router, Duration::from_secs(10)).unwrap();
+    let killed = admin.roundtrip_line(r#"{"cmd":"router_kill"}"#).unwrap();
+    assert_eq!(
+        killed.get("router_killed").and_then(Value::as_bool),
+        Some(true),
+        "{killed:?}"
+    );
+
+    // The standby must own the advertised address within one lease
+    // period of the missed gossip.
+    let crashed_at = Instant::now();
+    let deadline = crashed_at + lease;
+    let stats = loop {
+        if let Ok(mut probe) = Client::connect(router, Duration::from_millis(250)) {
+            if let Ok(stats) = probe.stats() {
+                if stats.get("role").and_then(Value::as_str) == Some("standby") {
+                    break stats;
+                }
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "standby did not take over within one lease period ({lease:?})"
+        );
+        thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(stat(&stats, "shards"), 3, "{stats:?}");
+
+    // The promoted router routes: adopted members answer (they keep no
+    // lease — probe health alone governs them).
+    let mut client = RetryingClient::new(router, Duration::from_secs(30), RetryPolicy::default());
+    for key in 0..6 {
+        let response = client.model(keyed_set(key), None, None).unwrap();
+        assert!(is_ok(&response), "after takeover, key {key}: {response:?}");
+    }
+
+    join_within(cluster, Duration::from_secs(20));
+}
+
+#[test]
+fn rolling_rollout_upgrades_fleet_under_load_without_refusals() {
+    let dir = std::env::temp_dir().join(format!(
+        "nrpm-rollout-load-{}-{:?}",
+        std::process::id(),
+        thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = ClusterOptions {
+        registry_dir: Some(PathBuf::from(&dir)),
+        ..replicated_options()
+    };
+    let cluster = Cluster::launch(test_network(7), opts).unwrap();
+    let addr = cluster.router_addr();
+    let incumbent = cluster.serving_hash().unwrap();
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let workers: Vec<_> = (0..2)
+        .map(|worker| {
+            let stop = std::sync::Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut client =
+                    RetryingClient::new(addr, Duration::from_secs(30), RetryPolicy::default());
+                let mut answered = 0usize;
+                let mut key = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    let response = client.model(keyed_set(key % 6), None, None).unwrap();
+                    assert!(is_ok(&response), "worker {worker} key {key}: {response:?}");
+                    answered += 1;
+                    key += 1;
+                }
+                answered
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_millis(100));
+    let report = cluster.rollout(test_network(9)).unwrap();
+    assert_ne!(report.target, incumbent);
+    assert_eq!(report.updated, vec![0, 1, 2]);
+    assert!(report.skipped_remote.is_empty());
+
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let mut answered = 0usize;
+    for worker in workers {
+        answered += worker.join().expect("a burst worker panicked");
+    }
+    assert!(answered > 0, "the burst never ran");
+
+    // Zero refusals during the walk, and the fleet converged on the
+    // target: every shard reports the new hash, no divergence.
+    let target_hex = hex16(report.target);
+    let stats = wait_for_stats(addr, Duration::from_secs(10), |stats| {
+        stats
+            .get("per_shard")
+            .and_then(Value::as_seq)
+            .is_some_and(|shards| {
+                shards.iter().all(|shard| {
+                    shard.get("checkpoint_hash").and_then(Value::as_str)
+                        == Some(target_hex.as_str())
+                })
+            })
+    });
+    assert_eq!(stat(&stats, "rejected"), 0, "{stats:?}");
+    assert_eq!(stat(&stats, "rollouts"), 1, "{stats:?}");
+    assert_eq!(
+        stats.get("serving_hash").and_then(Value::as_str),
+        Some(target_hex.as_str())
+    );
+    assert_eq!(
+        stats.get("checkpoint_divergence").and_then(Value::as_bool),
+        Some(false)
+    );
+
+    // New requests answer from the new checkpoint.
+    let mut client = retrying(&cluster);
+    let response = client.model(keyed_set(0), None, None).unwrap();
+    assert_eq!(
+        response.get("served_hash").and_then(Value::as_str),
+        Some(target_hex.as_str())
+    );
+
+    join_within(cluster, Duration::from_secs(20));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crashed_rollout_recovers_to_a_single_epoch_fleet_on_relaunch() {
+    let dir = std::env::temp_dir().join(format!(
+        "nrpm-rollout-crash-{}-{:?}",
+        std::process::id(),
+        thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = ClusterOptions {
+        registry_dir: Some(PathBuf::from(&dir)),
+        ..replicated_options()
+    };
+    let cluster = Cluster::launch(test_network(7), opts.clone()).unwrap();
+
+    // Drive the rollout through the admin command with the crash drill
+    // armed: the walk stops after one shard landed, journal left pending.
+    let request = serde_json::to_string(&Value::Map(vec![
+        ("cmd".into(), Value::Str("cluster_rollout".into())),
+        ("network".into(), Value::Str(test_network(9).to_json())),
+        ("crash_after".into(), Value::U64(1)),
+    ]))
+    .unwrap();
+    let mut admin = Client::connect(cluster.router_addr(), Duration::from_secs(60)).unwrap();
+    let crashed = admin.roundtrip_line(&request).unwrap();
+    assert!(!is_ok(&crashed), "{crashed:?}");
+    assert!(
+        crashed
+            .get("message")
+            .and_then(Value::as_str)
+            .is_some_and(|e| e.contains("crash drill")),
+        "{crashed:?}"
+    );
+
+    let (journal, _) = RolloutJournal::open(&dir).unwrap();
+    let pending = journal
+        .pending()
+        .expect("crash drill leaves the journal pending");
+    let target = pending.target;
+    assert_eq!(pending.done.len(), 1, "{pending:?}");
+    drop(journal);
+
+    // "Crash" the whole deployment and bring it back up on the same
+    // registry: launch recovery finishes the pending rollout, so the new
+    // fleet serves the rollout's target — one epoch everywhere.
+    join_within(cluster, Duration::from_secs(20));
+    let relaunched = Cluster::launch(test_network(7), opts).unwrap();
+    assert_eq!(relaunched.serving_hash(), Some(target));
+    let target_hex = hex16(target);
+    let stats = wait_for_stats(relaunched.router_addr(), Duration::from_secs(10), |stats| {
+        stats
+            .get("per_shard")
+            .and_then(Value::as_seq)
+            .is_some_and(|shards| {
+                shards.iter().all(|shard| {
+                    shard.get("checkpoint_hash").and_then(Value::as_str)
+                        == Some(target_hex.as_str())
+                })
+            })
+    });
+    assert_eq!(
+        stats.get("checkpoint_divergence").and_then(Value::as_bool),
+        Some(false),
+        "{stats:?}"
+    );
+    let (journal, _) = RolloutJournal::open(&dir).unwrap();
+    assert!(
+        journal.pending().is_none(),
+        "recovery must settle the journal"
+    );
+
+    // Replies carry the recovered target.
+    let mut client = retrying(&relaunched);
+    let response = client.model(keyed_set(0), None, None).unwrap();
+    assert_eq!(
+        response.get("served_hash").and_then(Value::as_str),
+        Some(target_hex.as_str())
+    );
+    join_within(relaunched, Duration::from_secs(20));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,4 +1,4 @@
-//! Property tests of the consistent-hash ring — the two guarantees the
+//! Property tests of the consistent-hash ring — the guarantees the
 //! serving tier leans on:
 //!
 //! 1. **Balance**: with ≥64 virtual nodes, every shard's share of a large
@@ -6,6 +6,11 @@
 //! 2. **Minimal disruption**: removing one shard remaps only the keys that
 //!    shard owned; every other key keeps its exact routing (and therefore
 //!    its result-cache/single-flight affinity).
+//! 3. **Replica sets**: the first R successors of a key are distinct,
+//!    deterministic, and stable under eject/revive round-trips — the
+//!    properties quorum reads depend on. Minimal disruption extends to
+//!    full successor lists: removing a shard deletes it from every list
+//!    without reordering the survivors.
 
 use nrpm_cluster::HashRing;
 use proptest::prelude::*;
@@ -88,6 +93,82 @@ proptest! {
         for i in 0..1024u64 {
             let key = key_seed.wrapping_add(i.wrapping_mul(0xbf58_476d_1ce4_e5b9));
             prop_assert_eq!(original.route(key), ring.route(key));
+        }
+    }
+
+    /// Replica sets (the first R successors) are distinct, owner-first,
+    /// and deterministic across repeated lookups and ring clones.
+    #[test]
+    fn replica_sets_are_distinct_and_deterministic(
+        shards in 2u32..=8,
+        vnodes in 64usize..=128,
+        replication in 2usize..=4,
+        key_seed in 0u64..u64::MAX,
+    ) {
+        let ring = HashRing::new(0..shards, vnodes);
+        let clone = ring.clone();
+        let mut buf = Vec::new();
+        for i in 0..512u64 {
+            let key = key_seed.wrapping_add(i.wrapping_mul(0x2545_f491_4f6c_dd1d));
+            ring.successors_into(key, &mut buf);
+            let r = replication.min(shards as usize);
+            let replicas = &buf[..r];
+            prop_assert_eq!(replicas[0], ring.route(key).unwrap(), "owner must lead");
+            let mut sorted = replicas.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), r, "replica set must be distinct");
+            prop_assert_eq!(&clone.successors(key)[..r], replicas, "lookup must be deterministic");
+        }
+    }
+
+    /// Minimal disruption extends to full successor lists: removing one
+    /// shard deletes exactly that entry from every key's list, preserving
+    /// the survivors' relative order.
+    #[test]
+    fn removing_a_shard_only_deletes_it_from_successor_lists(
+        shards in 3u32..=8,
+        vnodes in 64usize..=128,
+        removed in 0u32..8,
+        key_seed in 0u64..u64::MAX,
+    ) {
+        let removed = removed % shards;
+        let full = HashRing::new(0..shards, vnodes);
+        let mut reduced = full.clone();
+        reduced.remove_shard(removed);
+        for i in 0..512u64 {
+            let key = key_seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut expect = full.successors(key);
+            expect.retain(|&s| s != removed);
+            prop_assert_eq!(
+                reduced.successors(key), expect,
+                "survivors must keep their order for key {}", key
+            );
+        }
+    }
+
+    /// Eject/revive round-trips leave successor lists untouched. Ejection
+    /// keeps the ring membership fixed by design, so the list a revived
+    /// shard rejoins is bit-identical to the one it left — modeled here as
+    /// the remove+add round trip the router would have to perform if it
+    /// edited the ring instead.
+    #[test]
+    fn eject_revive_round_trip_is_stable_for_successor_lists(
+        shards in 2u32..=6,
+        vnodes in 64usize..=96,
+        cycled in 0u32..6,
+        key_seed in 0u64..u64::MAX,
+    ) {
+        let cycled = cycled % shards;
+        let original = HashRing::new(0..shards, vnodes);
+        let mut ring = original.clone();
+        for _ in 0..3 {
+            ring.remove_shard(cycled);
+            ring.add_shard(cycled);
+        }
+        for i in 0..512u64 {
+            let key = key_seed.wrapping_add(i.wrapping_mul(0x6a09_e667_f3bc_c909));
+            prop_assert_eq!(original.successors(key), ring.successors(key));
         }
     }
 }

@@ -35,6 +35,7 @@ pub mod cache;
 pub mod checkpoints;
 pub mod journal;
 pub mod lru;
+pub mod rollout;
 pub mod singleflight;
 pub mod swap;
 

@@ -1,0 +1,457 @@
+//! The rolling-rollout journal: crash-safe bookkeeping for upgrading a
+//! shard fleet one member at a time.
+//!
+//! A rolling checkpoint rollout walks the ring — drain one shard, sync the
+//! target checkpoint into its registry, hot-swap, health-verify, readmit —
+//! and a crash anywhere in that walk must not strand the fleet serving a
+//! mix of epochs: replicated reads would then disagree forever. This
+//! journal records the walk with the same append-only, checksummed-line
+//! machinery as the swap journal ([`crate::swap`]):
+//!
+//! ```text
+//! begin    rollout to target T is starting (incumbent I still serves)
+//! shard    shard N now serves T (synced, swapped, verified)
+//! done     every shard serves T; T is the fleet checkpoint
+//! aborted  the rollout was called off
+//! ```
+//!
+//! Each record is one line — `payload TAB fnv16-checksum` — appended and
+//! fsynced; a crash leaves at worst one torn trailing line, truncated by
+//! [`RolloutJournal::open`]. Recovery is a fold over the survivors: a
+//! `begin` without `done`/`aborted` is a [`PendingRollout`], carrying
+//! exactly which shards already landed on the target — the cluster
+//! launcher completes such a rollout by distributing the *target* (not the
+//! operator's stale `--model` argument) to every shard, restoring a
+//! single-epoch fleet before any request is routed.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::checkpoints::{hex16, parse_hex16};
+use nrpm_core::fingerprint::bytes_hash;
+
+/// File name of the rollout journal inside a registry directory.
+pub const ROLLOUT_JOURNAL_FILE: &str = "rollouts.log";
+
+/// The step a rollout record announces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloutPhase {
+    /// A rollout to `target` is starting.
+    Begin,
+    /// One shard (the record's `shard`) now serves `target`.
+    Shard,
+    /// Every shard serves `target`.
+    Done,
+    /// The rollout was called off.
+    Aborted,
+}
+
+impl RolloutPhase {
+    fn as_str(self) -> &'static str {
+        match self {
+            RolloutPhase::Begin => "begin",
+            RolloutPhase::Shard => "shard",
+            RolloutPhase::Done => "done",
+            RolloutPhase::Aborted => "aborted",
+        }
+    }
+
+    fn parse(s: &str) -> Option<RolloutPhase> {
+        Some(match s {
+            "begin" => RolloutPhase::Begin,
+            "shard" => RolloutPhase::Shard,
+            "done" => RolloutPhase::Done,
+            "aborted" => RolloutPhase::Aborted,
+            _ => return None,
+        })
+    }
+}
+
+/// One journal record. Every phase repeats the rollout's target and
+/// incumbent hashes, so any prefix of the journal tells the full story.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RolloutRecord {
+    /// Sequence number tying the records of one rollout together.
+    pub seq: u64,
+    /// The step this record announces.
+    pub phase: RolloutPhase,
+    /// The checkpoint being rolled out.
+    pub target: u64,
+    /// The checkpoint being replaced.
+    pub incumbent: u64,
+    /// For [`RolloutPhase::Shard`]: the shard that landed on the target.
+    /// Zero (and meaningless) for the other phases.
+    pub shard: u32,
+}
+
+impl RolloutRecord {
+    fn payload(&self) -> String {
+        format!(
+            "{} {} {} {} {}",
+            self.seq,
+            self.phase.as_str(),
+            hex16(self.target),
+            hex16(self.incumbent),
+            self.shard
+        )
+    }
+
+    fn parse_payload(payload: &str) -> Option<RolloutRecord> {
+        let mut parts = payload.split(' ');
+        let seq = parts.next()?.parse().ok()?;
+        let phase = RolloutPhase::parse(parts.next()?)?;
+        let target = parse_hex16(parts.next()?)?;
+        let incumbent = parse_hex16(parts.next()?)?;
+        let shard = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(RolloutRecord {
+            seq,
+            phase,
+            target,
+            incumbent,
+            shard,
+        })
+    }
+}
+
+/// A rollout that began but neither finished nor aborted — what a crash
+/// mid-walk leaves behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingRollout {
+    /// The rollout's sequence number.
+    pub seq: u64,
+    /// The checkpoint it was rolling out.
+    pub target: u64,
+    /// The checkpoint it was replacing.
+    pub incumbent: u64,
+    /// Shards that already landed on the target before the crash.
+    pub done: Vec<u32>,
+}
+
+/// What [`RolloutJournal::open`] found and repaired.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RolloutRecovery {
+    /// Intact records read back.
+    pub records: usize,
+    /// Bytes truncated off a torn tail (0 for a clean journal).
+    pub truncated_bytes: u64,
+}
+
+/// The append-only rollout journal. See the [module docs](self).
+#[derive(Debug)]
+pub struct RolloutJournal {
+    path: PathBuf,
+    records: Vec<RolloutRecord>,
+    next_seq: u64,
+}
+
+impl RolloutJournal {
+    /// Opens (creating if absent) the journal under registry root `dir`,
+    /// truncating any torn trailing line a crash left behind.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<(RolloutJournal, RolloutRecovery)> {
+        let path = dir.as_ref().join(ROLLOUT_JOURNAL_FILE);
+        std::fs::create_dir_all(dir.as_ref())?;
+        let mut records = Vec::new();
+        let mut recovery = RolloutRecovery::default();
+        if path.exists() {
+            let mut text = String::new();
+            File::open(&path)?.read_to_string(&mut text)?;
+            let mut good_bytes = 0usize;
+            for line in text.split_inclusive('\n') {
+                let complete = line.ends_with('\n');
+                match (complete, parse_line(line.trim_end_matches('\n'))) {
+                    (true, Some(record)) => {
+                        records.push(record);
+                        good_bytes += line.len();
+                    }
+                    // Appends are ordered: nothing behind a torn or corrupt
+                    // record can be trusted.
+                    _ => break,
+                }
+            }
+            let total = text.len() as u64;
+            if (good_bytes as u64) < total {
+                recovery.truncated_bytes = total - good_bytes as u64;
+                let file = OpenOptions::new().write(true).open(&path)?;
+                file.set_len(good_bytes as u64)?;
+                file.sync_data()?;
+            }
+        }
+        recovery.records = records.len();
+        let next_seq = records.iter().map(|r| r.seq + 1).max().unwrap_or(0);
+        Ok((
+            RolloutJournal {
+                path,
+                records,
+                next_seq,
+            },
+            recovery,
+        ))
+    }
+
+    fn append(&mut self, record: RolloutRecord) -> std::io::Result<()> {
+        let payload = record.payload();
+        let line = format!("{payload}\t{}\n", hex16(bytes_hash(payload.as_bytes())));
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        file.write_all(line.as_bytes())?;
+        file.sync_data()?;
+        self.records.push(record);
+        Ok(())
+    }
+
+    fn base(&self, seq: u64) -> std::io::Result<RolloutRecord> {
+        self.records
+            .iter()
+            .rev()
+            .find(|r| r.seq == seq)
+            .copied()
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("rollout journal: unknown rollout seq {seq}"),
+                )
+            })
+    }
+
+    /// Declares a rollout from `incumbent` to `target`. Returns its
+    /// sequence number. At most one rollout may be pending at a time.
+    pub fn begin(&mut self, target: u64, incumbent: u64) -> std::io::Result<u64> {
+        if let Some(pending) = self.pending() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "rollout journal: rollout {} to {} is still pending",
+                    pending.seq,
+                    hex16(pending.target)
+                ),
+            ));
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.append(RolloutRecord {
+            seq,
+            phase: RolloutPhase::Begin,
+            target,
+            incumbent,
+            shard: 0,
+        })?;
+        Ok(seq)
+    }
+
+    /// Records that `shard` now serves rollout `seq`'s target (synced,
+    /// swapped, and verified over the wire).
+    pub fn record_shard(&mut self, seq: u64, shard: u32) -> std::io::Result<()> {
+        let base = self.base(seq)?;
+        self.append(RolloutRecord {
+            phase: RolloutPhase::Shard,
+            shard,
+            ..base
+        })
+    }
+
+    /// Records that every shard serves rollout `seq`'s target.
+    pub fn finish(&mut self, seq: u64) -> std::io::Result<()> {
+        let base = self.base(seq)?;
+        self.append(RolloutRecord {
+            phase: RolloutPhase::Done,
+            shard: 0,
+            ..base
+        })
+    }
+
+    /// Calls rollout `seq` off.
+    pub fn abort(&mut self, seq: u64) -> std::io::Result<()> {
+        let base = self.base(seq)?;
+        self.append(RolloutRecord {
+            phase: RolloutPhase::Aborted,
+            shard: 0,
+            ..base
+        })
+    }
+
+    /// The rollout a crash interrupted, if any: begun, some shards
+    /// possibly landed, no terminal record.
+    pub fn pending(&self) -> Option<PendingRollout> {
+        let mut pending: Option<PendingRollout> = None;
+        for record in &self.records {
+            match record.phase {
+                RolloutPhase::Begin => {
+                    pending = Some(PendingRollout {
+                        seq: record.seq,
+                        target: record.target,
+                        incumbent: record.incumbent,
+                        done: Vec::new(),
+                    });
+                }
+                RolloutPhase::Shard => {
+                    if let Some(p) = pending.as_mut() {
+                        if p.seq == record.seq && !p.done.contains(&record.shard) {
+                            p.done.push(record.shard);
+                        }
+                    }
+                }
+                RolloutPhase::Done | RolloutPhase::Aborted => {
+                    if pending.as_ref().is_some_and(|p| p.seq == record.seq) {
+                        pending = None;
+                    }
+                }
+            }
+        }
+        pending
+    }
+
+    /// The fleet checkpoint according to the journal: the target of the
+    /// last completed rollout. `None` before the first completion.
+    pub fn completed_hash(&self) -> Option<u64> {
+        self.records
+            .iter()
+            .rev()
+            .find(|r| r.phase == RolloutPhase::Done)
+            .map(|r| r.target)
+    }
+
+    /// The GC pin set: the last completed target and both hashes of a
+    /// pending rollout. Collecting any of these could leave a recovering
+    /// fleet pointing at a deleted object.
+    pub fn live_hashes(&self) -> HashSet<u64> {
+        let mut live = HashSet::new();
+        live.extend(self.completed_hash());
+        if let Some(pending) = self.pending() {
+            live.insert(pending.target);
+            live.insert(pending.incumbent);
+        }
+        live
+    }
+
+    /// Every intact record, oldest first.
+    pub fn records(&self) -> &[RolloutRecord] {
+        &self.records
+    }
+}
+
+fn parse_line(line: &str) -> Option<RolloutRecord> {
+    let (payload, check) = line.rsplit_once('\t')?;
+    if parse_hex16(check)? != bytes_hash(payload.as_bytes()) {
+        return None;
+    }
+    RolloutRecord::parse_payload(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "nrpm-rollout-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn full_walk_completes_and_survives_reopen() {
+        let dir = tmp_dir("walk");
+        let (mut journal, recovery) = RolloutJournal::open(&dir).unwrap();
+        assert_eq!(recovery, RolloutRecovery::default());
+
+        let seq = journal.begin(0xA1B2, 0xBB).unwrap();
+        journal.record_shard(seq, 0).unwrap();
+        journal.record_shard(seq, 1).unwrap();
+        journal.record_shard(seq, 2).unwrap();
+        journal.finish(seq).unwrap();
+        assert!(journal.pending().is_none());
+        assert_eq!(journal.completed_hash(), Some(0xA1B2));
+
+        let (journal, recovery) = RolloutJournal::open(&dir).unwrap();
+        assert_eq!(recovery.records, 5);
+        assert_eq!(journal.completed_hash(), Some(0xA1B2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_mid_walk_is_pending_with_the_landed_shards() {
+        let dir = tmp_dir("crash");
+        let (mut journal, _) = RolloutJournal::open(&dir).unwrap();
+        let seq = journal.begin(0x2, 0x1).unwrap();
+        journal.record_shard(seq, 0).unwrap();
+        drop(journal); // crash between shard 0 and shard 1
+
+        let (journal, _) = RolloutJournal::open(&dir).unwrap();
+        let pending = journal.pending().expect("crash leaves a pending rollout");
+        assert_eq!(pending.target, 0x2);
+        assert_eq!(pending.incumbent, 0x1);
+        assert_eq!(pending.done, vec![0]);
+        assert_eq!(journal.completed_hash(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn only_one_rollout_may_be_pending() {
+        let dir = tmp_dir("single");
+        let (mut journal, _) = RolloutJournal::open(&dir).unwrap();
+        let seq = journal.begin(0x2, 0x1).unwrap();
+        assert!(journal.begin(0x3, 0x1).is_err());
+        journal.abort(seq).unwrap();
+        assert!(journal.pending().is_none());
+        journal.begin(0x3, 0x1).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmp_dir("torn");
+        let (mut journal, _) = RolloutJournal::open(&dir).unwrap();
+        let seq = journal.begin(0xAA, 0xBB).unwrap();
+        journal.finish(seq).unwrap();
+        drop(journal);
+
+        let path = dir.join(ROLLOUT_JOURNAL_FILE);
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"1 begin deadbeef").unwrap();
+        drop(file);
+
+        let (journal, recovery) = RolloutJournal::open(&dir).unwrap();
+        assert_eq!(recovery.records, 2);
+        assert!(recovery.truncated_bytes > 0);
+        assert_eq!(journal.completed_hash(), Some(0xAA));
+
+        let (_, recovery) = RolloutJournal::open(&dir).unwrap();
+        assert_eq!(recovery.truncated_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_hashes_pin_completed_and_pending() {
+        let dir = tmp_dir("live");
+        let (mut journal, _) = RolloutJournal::open(&dir).unwrap();
+        let a = journal.begin(0x2, 0x1).unwrap();
+        journal.finish(a).unwrap();
+        journal.begin(0x3, 0x2).unwrap(); // pending
+
+        let live = journal.live_hashes();
+        assert!(live.contains(&0x2), "completed target");
+        assert!(live.contains(&0x3), "pending target");
+        assert_eq!(live.len(), 2, "pending incumbent == completed target");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn advancing_an_unknown_seq_is_an_error() {
+        let dir = tmp_dir("unknown");
+        let (mut journal, _) = RolloutJournal::open(&dir).unwrap();
+        assert!(journal.record_shard(7, 0).is_err());
+        assert!(journal.finish(7).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -47,6 +47,14 @@ pub struct ChaosOptions {
     pub garbage_prob: f64,
     /// Probability of dropping the connection outright.
     pub reset_prob: f64,
+    /// Extra one-way delay applied **only** to the server→client
+    /// direction when the asymmetric fault fires — a link whose return
+    /// path is congested while requests flow freely, the split-brain
+    /// precursor replication tests need.
+    pub asymmetric_delay: Duration,
+    /// Probability of delaying a server→client chunk by
+    /// [`asymmetric_delay`](Self::asymmetric_delay).
+    pub asymmetric_delay_prob: f64,
     /// Seed for the per-connection fault RNGs.
     pub seed: u64,
 }
@@ -60,6 +68,8 @@ impl Default for ChaosOptions {
             truncate_prob: 0.1,
             garbage_prob: 0.15,
             reset_prob: 0.1,
+            asymmetric_delay: Duration::from_millis(20),
+            asymmetric_delay_prob: 0.0,
             seed: 0xc4a05,
         }
     }
@@ -81,12 +91,22 @@ pub struct FaultCounts {
     pub garbage: u64,
     /// Connections dropped abruptly.
     pub resets: u64,
+    /// Chunks swallowed while the proxy was partitioned.
+    pub blackholed: u64,
+    /// Server→client chunks delayed by the asymmetric fault.
+    pub asym_delayed: u64,
 }
 
 impl FaultCounts {
     /// Total faults injected across all kinds.
     pub fn total(&self) -> u64 {
-        self.delayed + self.partial_writes + self.truncated + self.garbage + self.resets
+        self.delayed
+            + self.partial_writes
+            + self.truncated
+            + self.garbage
+            + self.resets
+            + self.blackholed
+            + self.asym_delayed
     }
 }
 
@@ -95,12 +115,15 @@ struct ProxyState {
     upstream: SocketAddr,
     stop: AtomicBool,
     faults_enabled: AtomicBool,
+    partitioned: AtomicBool,
     sessions: AtomicU64,
     delayed: AtomicU64,
     partial_writes: AtomicU64,
     truncated: AtomicU64,
     garbage: AtomicU64,
     resets: AtomicU64,
+    blackholed: AtomicU64,
+    asym_delayed: AtomicU64,
 }
 
 impl ProxyState {
@@ -110,6 +133,10 @@ impl ProxyState {
 
     fn faults_on(&self) -> bool {
         self.faults_enabled.load(Ordering::SeqCst)
+    }
+
+    fn partitioned(&self) -> bool {
+        self.partitioned.load(Ordering::SeqCst)
     }
 }
 
@@ -133,12 +160,15 @@ impl ChaosProxy {
             upstream,
             stop: AtomicBool::new(false),
             faults_enabled: AtomicBool::new(true),
+            partitioned: AtomicBool::new(false),
             sessions: AtomicU64::new(0),
             delayed: AtomicU64::new(0),
             partial_writes: AtomicU64::new(0),
             truncated: AtomicU64::new(0),
             garbage: AtomicU64::new(0),
             resets: AtomicU64::new(0),
+            blackholed: AtomicU64::new(0),
+            asym_delayed: AtomicU64::new(0),
         });
         let acceptor = {
             let state = Arc::clone(&state);
@@ -165,6 +195,17 @@ impl ChaosProxy {
         self.state.faults_enabled.store(enabled, Ordering::SeqCst);
     }
 
+    /// Partitions (or heals) the link at runtime. While partitioned the
+    /// proxy blackholes **both** directions: bytes are read and silently
+    /// dropped, connections stay established, nothing is forwarded and no
+    /// reset is sent — exactly what a network split looks like to an
+    /// endpoint (requests vanish, reads stall into timeouts), unlike the
+    /// probabilistic reset/truncate faults which at least close the
+    /// socket. Independent of [`set_faults_enabled`](Self::set_faults_enabled).
+    pub fn set_partitioned(&self, on: bool) {
+        self.state.partitioned.store(on, Ordering::SeqCst);
+    }
+
     /// Snapshot of the per-kind fault counters.
     pub fn fault_counts(&self) -> FaultCounts {
         FaultCounts {
@@ -173,6 +214,8 @@ impl ChaosProxy {
             truncated: self.state.truncated.load(Ordering::Relaxed),
             garbage: self.state.garbage.load(Ordering::Relaxed),
             resets: self.state.resets.load(Ordering::Relaxed),
+            blackholed: self.state.blackholed.load(Ordering::Relaxed),
+            asym_delayed: self.state.asym_delayed.load(Ordering::Relaxed),
         }
     }
 
@@ -258,7 +301,14 @@ fn pump(mut from: TcpStream, mut to: TcpStream, state: &Arc<ProxyState>, stream_
         match from.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => {
-                if !forward_chunk(&chunk[..n], &mut to, state, &mut rng) {
+                if state.partitioned() {
+                    // Blackhole: the bytes vanish, the connection stays
+                    // up, no error reaches either side — the peer only
+                    // notices through its own read timeout.
+                    state.blackholed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if !forward_chunk(&chunk[..n], &mut to, state, &mut rng, stream_id & 1 == 1) {
                     break;
                 }
             }
@@ -275,13 +325,15 @@ fn pump(mut from: TcpStream, mut to: TcpStream, state: &Arc<ProxyState>, stream_
     let _ = to.shutdown(Shutdown::Both);
 }
 
-/// Applies the fault mix to one chunk. Returns `false` when the connection
-/// must close (reset/truncate fault or a write failure).
+/// Applies the fault mix to one chunk (`reverse` marks the server→client
+/// direction). Returns `false` when the connection must close
+/// (reset/truncate fault or a write failure).
 fn forward_chunk(
     chunk: &[u8],
     to: &mut TcpStream,
     state: &Arc<ProxyState>,
     rng: &mut StdRng,
+    reverse: bool,
 ) -> bool {
     let opts = &state.opts;
     if !state.faults_on() {
@@ -290,6 +342,10 @@ fn forward_chunk(
     if opts.latency_prob > 0.0 && rng.gen_bool(opts.latency_prob) {
         state.delayed.fetch_add(1, Ordering::Relaxed);
         thread::sleep(opts.latency);
+    }
+    if reverse && opts.asymmetric_delay_prob > 0.0 && rng.gen_bool(opts.asymmetric_delay_prob) {
+        state.asym_delayed.fetch_add(1, Ordering::Relaxed);
+        thread::sleep(opts.asymmetric_delay);
     }
     if opts.reset_prob > 0.0 && rng.gen_bool(opts.reset_prob) {
         state.resets.fetch_add(1, Ordering::Relaxed);
@@ -387,6 +443,97 @@ mod tests {
     }
 
     #[test]
+    fn partition_blackholes_both_directions_then_heals() {
+        let (addr, server) = echo_server();
+        let mut proxy = ChaosProxy::start(addr, ChaosOptions::default()).unwrap();
+        proxy.set_faults_enabled(false);
+
+        let mut stream = TcpStream::connect(proxy.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+        stream.write_all(b"before\n").unwrap();
+        let mut echoed = String::new();
+        reader.read_line(&mut echoed).unwrap();
+        assert_eq!(echoed, "before\n");
+
+        // Partitioned: the write succeeds locally, the reply never comes,
+        // and the connection is NOT closed — the read times out instead.
+        proxy.set_partitioned(true);
+        stream.write_all(b"lost\n").unwrap();
+        echoed.clear();
+        let err = reader.read_line(&mut echoed).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "expected a read timeout, got {err:?}"
+        );
+        assert!(proxy.fault_counts().blackholed > 0);
+
+        // Healed: the blackholed line is gone for good (a partition loses
+        // in-flight bytes), but new traffic flows again on the same
+        // connection.
+        proxy.set_partitioned(false);
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(b"after\n").unwrap();
+        echoed.clear();
+        reader.read_line(&mut echoed).unwrap();
+        assert_eq!(echoed, "after\n");
+
+        drop(reader);
+        drop(stream);
+        proxy.stop();
+        let _ = server.join();
+    }
+
+    #[test]
+    fn asymmetric_delay_hits_only_the_reverse_direction() {
+        let (addr, server) = echo_server();
+        let mut proxy = ChaosProxy::start(
+            addr,
+            ChaosOptions {
+                latency_prob: 0.0,
+                partial_write_prob: 0.0,
+                truncate_prob: 0.0,
+                garbage_prob: 0.0,
+                reset_prob: 0.0,
+                asymmetric_delay: Duration::from_millis(5),
+                asymmetric_delay_prob: 1.0,
+                seed: 11,
+                ..ChaosOptions::default()
+            },
+        )
+        .unwrap();
+
+        let mut stream = TcpStream::connect(proxy.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for i in 0..20 {
+            let line = format!("ping {i}\n");
+            stream.write_all(line.as_bytes()).unwrap();
+            let mut echoed = String::new();
+            reader.read_line(&mut echoed).unwrap();
+            assert_eq!(echoed, line, "asymmetric delay must not corrupt data");
+        }
+        let counts = proxy.fault_counts();
+        assert!(counts.asym_delayed >= 10, "{counts:?}");
+        assert_eq!(counts.delayed, 0, "forward direction must be untouched");
+
+        drop(reader);
+        drop(stream);
+        proxy.stop();
+        let _ = server.join();
+    }
+
+    #[test]
     fn faults_fire_and_are_counted() {
         let (addr, server) = echo_server();
         let mut proxy = ChaosProxy::start(
@@ -399,6 +546,7 @@ mod tests {
                 garbage_prob: 0.0,  // garbage would corrupt the echo check
                 reset_prob: 0.0,
                 seed: 7,
+                ..ChaosOptions::default()
             },
         )
         .unwrap();

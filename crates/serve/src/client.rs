@@ -275,6 +275,23 @@ pub struct RetryingClient {
     rng: StdRng,
     conn: Option<Client>,
     retries_used: u64,
+    stale_reconnects: u64,
+}
+
+/// `true` for transport errors that mean the *pooled* connection died
+/// while idle — the peer restarted or closed it between requests. The
+/// request very likely never reached a server, so resending it on a fresh
+/// connection is safe (requests are idempotent) and should not burn a
+/// retry attempt or a backoff sleep. Timeouts are excluded deliberately:
+/// a timed-out request may still be executing.
+fn is_stale_conn_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::UnexpectedEof
+    )
 }
 
 impl RetryingClient {
@@ -292,12 +309,19 @@ impl RetryingClient {
             rng,
             conn: None,
             retries_used: 0,
+            stale_reconnects: 0,
         }
     }
 
     /// Total retry attempts spent across all requests so far.
     pub fn retries_used(&self) -> u64 {
         self.retries_used
+    }
+
+    /// How often a pooled connection turned out dead (peer restarted) and
+    /// was replaced in-place without burning a retry attempt.
+    pub fn stale_reconnects(&self) -> u64 {
+        self.stale_reconnects
     }
 
     /// The breaker's state as of `now` (for tests and reporting).
@@ -390,11 +414,26 @@ impl RetryingClient {
     }
 
     fn try_once(&mut self, line: &str) -> std::io::Result<Value> {
-        if self.conn.is_none() {
-            self.conn = Some(Client::connect(self.addr, self.timeout)?);
+        if let Some(conn) = self.conn.as_mut() {
+            match conn.roundtrip_line(line) {
+                Err(e) if is_stale_conn_error(&e) => {
+                    // The pooled connection was dead (the shard restarted
+                    // under us): evict it and resend once on a fresh
+                    // connection instead of surfacing a retryable failure.
+                    // Only the pooled attempt gets this grace — a failure
+                    // on the fresh connection below is a real one.
+                    self.conn = None;
+                    self.stale_reconnects += 1;
+                }
+                other => return other,
+            }
         }
-        let conn = self.conn.as_mut().expect("connection just established");
-        conn.roundtrip_line(line)
+        let mut fresh = Client::connect(self.addr, self.timeout)?;
+        let response = fresh.roundtrip_line(line);
+        if response.is_ok() {
+            self.conn = Some(fresh);
+        }
+        response
     }
 
     /// Decorrelated-jitter backoff; see [`crate::util::decorrelated_jitter`].
@@ -493,6 +532,56 @@ mod tests {
             assert!(sleep_a <= policy.max_backoff, "above cap: {sleep_a:?}");
             previous = sleep_a;
         }
+    }
+
+    #[test]
+    fn stale_pooled_connection_reconnects_without_burning_an_attempt() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpListener;
+
+        // A single-connection server that answers one line, then closes
+        // everything — simulating a shard that restarts between requests.
+        fn serve_one(listener: TcpListener) -> std::thread::JoinHandle<()> {
+            std::thread::spawn(move || {
+                let (stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                writer.write_all(b"{\"status\":\"ok\"}\n").unwrap();
+                // Dropping both ends closes the connection AND the
+                // listening socket: the "old" server is gone.
+            })
+        }
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let first = serve_one(listener);
+
+        // max_attempts = 1: there is NO retry budget, so the second
+        // request below can only succeed through the stale-reconnect path.
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        };
+        let mut client = RetryingClient::new(addr, Duration::from_secs(5), policy);
+        let response = client.roundtrip_line("{\"cmd\":\"health\"}").unwrap();
+        assert!(is_ok(&response));
+        first.join().unwrap();
+
+        // Restart the server on the SAME address — the pooled connection
+        // is now a dead socket.
+        let listener = TcpListener::bind(addr).expect("rebind the same port");
+        let second = serve_one(listener);
+        let response = client.roundtrip_line("{\"cmd\":\"health\"}").unwrap();
+        assert!(is_ok(&response));
+        assert_eq!(client.stale_reconnects(), 1);
+        assert_eq!(
+            client.retries_used(),
+            0,
+            "the reconnect must not consume the retry budget"
+        );
+        second.join().unwrap();
     }
 
     #[test]

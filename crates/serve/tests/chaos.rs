@@ -67,6 +67,7 @@ fn soak_through_chaos_then_converge_once_faults_stop() {
             garbage_prob: 0.2,
             reset_prob: 0.1,
             seed: 0xbad5eed,
+            ..ChaosOptions::default()
         },
     )
     .expect("start proxy");
