@@ -180,6 +180,7 @@ fn main() {
                 watch_tolerance: 3.0,
                 dir: Some(dir.clone()),
                 train_threads: 1,
+                ..Default::default()
             },
             ..Default::default()
         },

@@ -1,0 +1,363 @@
+//! Ingest pipeline benchmark: streaming throughput, crash-safe resume
+//! cost, TCP push round-trips, and a CI-sized noise-regime sweep.
+//!
+//! Four drills run against the real `nrpm-ingest` engine:
+//!
+//! 1. **Parse path** — a large measurement log drained through the
+//!    file-follow source with firing disabled: pure framing, sanitizing,
+//!    and windowing throughput.
+//! 2. **Pipeline** — a smaller log with windowed re-modeling on, each
+//!    fired window retraining the DNN and publishing a candidate into the
+//!    checkpoint registry.
+//! 3. **Resume** — the pipeline state is checkpointed and a fresh engine
+//!    recovers from the journal; the drill times the cold open.
+//! 4. **Push** — newline-JSON records round-trip over a loopback TCP
+//!    connection into the engine (one ack read per record, so the number
+//!    reflects the full request/reply path, not raw socket bandwidth).
+//!
+//! A quick-sized regime sweep (small network, short adaptation) then
+//! calibrates per-regime DNN/regression crossover thresholds so the
+//! report carries the full `nrpm ingest` + `nrpm sweep` story.
+//!
+//! ```text
+//! cargo run -p nrpm-bench --release --bin ingest_bench -- \
+//!     [--parse-records N] [--records N] [--push-records N] \
+//!     [--sweep-functions N] [--quick] [--out BENCH_ingest.json]
+//! ```
+//!
+//! `--quick` shrinks the sweep's network and training budget to CI size;
+//! without it the paper-scale DNN calibrates the crossover thresholds.
+
+use nrpm_bench::cli::Args;
+use nrpm_bench::regime::{run_regime_sweep, RegimeSweepConfig, RegimeSweepResult};
+use nrpm_bench::report::{f2, pct, Table};
+use nrpm_core::adaptive::AdaptiveOptions;
+use nrpm_core::preprocess::NUM_INPUTS;
+use nrpm_extrap::NUM_CLASSES;
+use nrpm_ingest::{
+    FollowSource, IngestEngine, IngestOptions, PushSource, WindowOptions, INGEST_CANDIDATE_REF,
+};
+use nrpm_nn::{Network, NetworkConfig};
+use nrpm_registry::CheckpointRegistry;
+use serde::Serialize;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+#[derive(Debug, Clone, Serialize)]
+struct IngestBenchReport {
+    /// Parse-path drill: records drained with firing disabled.
+    parse_records: u64,
+    parse_records_per_sec: f64,
+    /// Pipeline drill: records drained with re-modeling + publishing on.
+    pipeline_records: u64,
+    pipeline_records_per_sec: f64,
+    windows_fired: u64,
+    models_published: u64,
+    remodel_failures: u64,
+    /// Cold-open recovery from the journaled checkpoint.
+    resume_ms: f64,
+    resume_records: u64,
+    /// TCP push round-trips (write line, read ack) into the engine.
+    push_records: u64,
+    push_records_per_sec: f64,
+    /// CI-sized regime sweep: crossover thresholds + transfer matrix.
+    sweep: RegimeSweepResult,
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nrpm-ingest-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A measurement log of `n` records spread round-robin over `kernels`
+/// kernels in blocks, so header lines stay a small fraction of the input.
+fn build_log(n: usize, kernels: usize) -> String {
+    const BLOCK: usize = 50;
+    let mut log = String::new();
+    let mut written = 0usize;
+    let mut block = 0usize;
+    while written < n {
+        log.push_str(&format!("KERNEL k{}\nPARAMS 1\n", block % kernels));
+        for i in 0..BLOCK.min(n - written) {
+            let x = [4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0][(written + i) % 7];
+            log.push_str(&format!(
+                "POINT {x} DATA {} {}\n",
+                1000.0 + (written + i) as f64,
+                1001.0 + (written + i) as f64
+            ));
+        }
+        written += BLOCK.min(n - written);
+        block += 1;
+    }
+    log
+}
+
+fn drain(engine: &mut IngestEngine, source: &mut FollowSource) {
+    while engine.poll_source(source).unwrap() > 0 {}
+}
+
+/// Parse-path throughput: follow-source framing + sanitizing + windowing
+/// with firing disabled, so no modeling time pollutes the number.
+fn bench_parse(n: usize) -> (u64, f64) {
+    let dir = tmpdir("parse");
+    let log_path = dir.join("measurements.log");
+    std::fs::write(&log_path, build_log(n, 16)).unwrap();
+    let opts = IngestOptions {
+        windows: WindowOptions {
+            min_points: usize::MAX,
+            allowed_lateness: f64::INFINITY,
+            max_total_records: 1 << 20,
+            ..WindowOptions::default()
+        },
+        ..IngestOptions::default()
+    };
+    let (mut engine, _) = IngestEngine::open(opts, None).unwrap();
+    let mut source = FollowSource::open(&log_path);
+    let start = Instant::now();
+    drain(&mut engine, &mut source);
+    engine.flush_tail();
+    let elapsed = start.elapsed().as_secs_f64();
+    let records = engine.counters().records;
+    assert_eq!(records, n as u64, "parse drill lost records");
+    let _ = std::fs::remove_dir_all(&dir);
+    (records, records as f64 / elapsed)
+}
+
+fn pipeline_opts(state_dir: &Path, registry_dir: &Path) -> IngestOptions {
+    let mut adaptive = AdaptiveOptions::default();
+    adaptive.dnn.adaptation_samples_per_class = 8;
+    adaptive.dnn.adaptation_epochs = 2;
+    adaptive.dnn.train_threads = 1;
+    IngestOptions {
+        windows: WindowOptions {
+            min_points: 5,
+            fire_interval: 32,
+            allowed_lateness: f64::INFINITY,
+            ..WindowOptions::default()
+        },
+        state_dir: Some(state_dir.to_path_buf()),
+        registry_dir: Some(registry_dir.to_path_buf()),
+        adaptive,
+        ..IngestOptions::default()
+    }
+}
+
+/// Full-pipeline throughput (fires + re-modeling + registry publishing),
+/// then a timed cold-open recovery from the checkpoint it left behind.
+fn bench_pipeline(n: usize) -> (IngestBenchPipeline, f64, u64) {
+    let dir = tmpdir("pipeline");
+    let log_path = dir.join("measurements.log");
+    let state_dir = dir.join("state");
+    let registry_dir = dir.join("registry");
+    std::fs::write(&log_path, build_log(n, 4)).unwrap();
+    let base = Network::new(&NetworkConfig::new(&[NUM_INPUTS, 16, NUM_CLASSES]), 42);
+
+    let opts = pipeline_opts(&state_dir, &registry_dir);
+    let (mut engine, _) = IngestEngine::open(opts, Some(base.clone())).unwrap();
+    let mut source = FollowSource::open(&log_path);
+    let start = Instant::now();
+    drain(&mut engine, &mut source);
+    engine.flush_tail();
+    let elapsed = start.elapsed().as_secs_f64();
+    engine.checkpoint().unwrap();
+    let c = *engine.counters();
+    assert_eq!(c.records, n as u64, "pipeline drill lost records");
+    assert!(c.windows_fired > 0, "pipeline drill never fired a window");
+    assert!(c.models_published > 0, "pipeline drill never published");
+    let registry = CheckpointRegistry::open(&registry_dir).unwrap();
+    registry
+        .ref_hash(INGEST_CANDIDATE_REF)
+        .unwrap()
+        .expect("candidate ref exists");
+    drop(engine);
+
+    // Cold open: recover windows + counters from the journal.
+    let opts = pipeline_opts(&state_dir, &registry_dir);
+    let resume_start = Instant::now();
+    let (engine, recovery) = IngestEngine::open(opts, Some(base)).unwrap();
+    let resume_ms = resume_start.elapsed().as_secs_f64() * 1e3;
+    let resumed = recovery.resume.expect("journal had a checkpoint");
+    assert_eq!(resumed.counters.records, n as u64);
+    drop(engine);
+
+    let stats = IngestBenchPipeline {
+        records: c.records,
+        records_per_sec: c.records as f64 / elapsed,
+        windows_fired: c.windows_fired,
+        models_published: c.models_published,
+        remodel_failures: c.remodel_failures,
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    (stats, resume_ms, n as u64)
+}
+
+struct IngestBenchPipeline {
+    records: u64,
+    records_per_sec: f64,
+    windows_fired: u64,
+    models_published: u64,
+    remodel_failures: u64,
+}
+
+/// Push round-trips: one client connection writes newline-JSON records and
+/// reads the ack after each, while the engine drains the bounded queue.
+fn bench_push(n: usize) -> (u64, f64) {
+    let opts = IngestOptions {
+        windows: WindowOptions {
+            min_points: usize::MAX,
+            allowed_lateness: f64::INFINITY,
+            max_total_records: 1 << 20,
+            ..WindowOptions::default()
+        },
+        ..IngestOptions::default()
+    };
+    let (mut engine, _) = IngestEngine::open(opts, None).unwrap();
+    let push = PushSource::bind("127.0.0.1:0").unwrap();
+    let addr = push.local_addr().to_string();
+
+    let client = std::thread::spawn(move || {
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut ok = 0usize;
+        for i in 0..n {
+            let x = [4.0, 8.0, 16.0, 32.0, 64.0][i % 5];
+            let line = format!(
+                "{{\"kernel\":\"push-{}\",\"point\":[{x}],\"values\":[{}]}}\n",
+                i % 8,
+                2000.0 + i as f64
+            );
+            writer.write_all(line.as_bytes()).unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            if reply.contains("\"ok\"") {
+                ok += 1;
+            }
+        }
+        ok
+    });
+
+    let start = Instant::now();
+    let mut drained = 0u64;
+    while drained < n as u64 {
+        let got = engine.poll_push(&push).unwrap() as u64;
+        drained += got;
+        if got == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let acked = client.join().unwrap();
+    assert_eq!(acked, n, "every push record was acked");
+    assert_eq!(
+        engine.counters().records,
+        n as u64,
+        "push drill lost records"
+    );
+    (drained, drained as f64 / elapsed)
+}
+
+fn main() {
+    let args = Args::parse();
+    let parse_records = args.get("parse-records", 50_000usize);
+    let records = args.get("records", 3_000usize);
+    let push_records = args.get("push-records", 3_000usize);
+    let sweep_functions = args.get("sweep-functions", 40usize);
+    let quick = args.has("quick");
+    let out: String = args.get("out", "BENCH_ingest.json".to_string());
+
+    println!("== parse path (firing disabled, {parse_records} records) ==");
+    let (parsed, parse_rps) = bench_parse(parse_records);
+    println!("  {parsed} records at {} records/sec", f2(parse_rps));
+
+    println!("\n== pipeline (fires + re-modeling + publishing, {records} records) ==");
+    let (pipeline, resume_ms, resume_records) = bench_pipeline(records);
+    println!(
+        "  {} records at {} records/sec; {} fires, {} models published, {} failures",
+        pipeline.records,
+        f2(pipeline.records_per_sec),
+        pipeline.windows_fired,
+        pipeline.models_published,
+        pipeline.remodel_failures
+    );
+    println!(
+        "  cold-open resume of {resume_records} records in {} ms",
+        f2(resume_ms)
+    );
+
+    println!("\n== push round-trips ({push_records} records) ==");
+    let (pushed, push_rps) = bench_push(push_records);
+    println!("  {pushed} records at {} round-trips/sec", f2(push_rps));
+
+    println!(
+        "\n== regime sweep ({}, {sweep_functions} functions/cell) ==",
+        if quick { "quick" } else { "full" }
+    );
+    let mut config = RegimeSweepConfig {
+        functions: sweep_functions,
+        noise_levels: vec![0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.00],
+        ..RegimeSweepConfig::default()
+    };
+    if quick {
+        // CI-sized: a small network, short pretraining, light adaptation,
+        // and a coarse noise grid.
+        config.noise_levels = vec![0.05, 0.20, 0.50, 1.00];
+        config.dnn.network = NetworkConfig::new(&[NUM_INPUTS, 48, NUM_CLASSES]);
+        config.dnn.pretrain_spec.samples_per_class = 30;
+        config.dnn.pretrain_epochs = 3;
+        config.dnn.adaptation_samples_per_class = 12;
+    }
+    let sweep = run_regime_sweep(&config);
+
+    let mut thresholds = Table::new(&["regime", "switch threshold"]);
+    for entry in &sweep.table.entries {
+        thresholds.row(vec![
+            entry.regime.clone(),
+            entry
+                .threshold
+                .map(f2)
+                .unwrap_or_else(|| "default".to_string()),
+        ]);
+    }
+    thresholds.print();
+
+    let families: Vec<String> = config.families.iter().map(|f| f.to_string()).collect();
+    let mut headers: Vec<&str> = vec!["train \\ test"];
+    headers.extend(families.iter().map(String::as_str));
+    let mut matrix = Table::new(&headers);
+    for train in &families {
+        let mut row = vec![train.clone()];
+        for test in &families {
+            row.push(
+                sweep
+                    .cell(train, test)
+                    .map(|c| pct(c.dnn_accuracy))
+                    .unwrap_or_else(|| "-".to_string()),
+            );
+        }
+        matrix.row(row);
+    }
+    println!();
+    matrix.print();
+
+    let report = IngestBenchReport {
+        parse_records: parsed,
+        parse_records_per_sec: parse_rps,
+        pipeline_records: pipeline.records,
+        pipeline_records_per_sec: pipeline.records_per_sec,
+        windows_fired: pipeline.windows_fired,
+        models_published: pipeline.models_published,
+        remodel_failures: pipeline.remodel_failures,
+        resume_ms,
+        resume_records,
+        push_records: pushed,
+        push_records_per_sec: push_rps,
+        sweep,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json).expect("write report");
+    println!("\nreport written to {out}");
+}

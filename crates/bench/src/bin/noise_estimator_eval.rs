@@ -45,6 +45,7 @@ fn main() {
                 repetitions: reps,
                 points_per_param: points,
                 num_eval_points: 1,
+                family: nrpm_synth::NoiseFamily::Uniform,
             };
             let task = generate_eval_task(&spec, &mut rng);
             let set: &MeasurementSet = &task.set;

@@ -4,6 +4,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod regime;
 pub mod report;
 pub mod sweep;
 

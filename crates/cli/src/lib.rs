@@ -4,13 +4,16 @@
 
 #![warn(missing_docs)]
 
+use nrpm_bench::regime::{run_regime_sweep, RegimeSweepConfig};
 use nrpm_cluster::{Cluster, ClusterOptions, JoinAgent, JoinAgentOptions};
 use nrpm_core::adaptive::{AdaptiveModeler, AdaptiveOptions, AdaptiveOutcome};
 use nrpm_core::fingerprint::ModelKey;
 use nrpm_core::noise::NoiseEstimate;
 use nrpm_core::report::render_outcome;
 use nrpm_core::sanitize::{sanitize, SanitizeOptions, SanitizePolicy};
+use nrpm_core::threshold::ThresholdTable;
 use nrpm_extrap::{parse_text_file, MeasurementSet, ModelError, RegressionModeler};
+use nrpm_ingest::{FollowSource, IngestEngine, IngestOptions, PushSource, WindowOptions};
 use nrpm_linalg::ThreadBudget;
 use nrpm_nn::Network;
 use nrpm_registry::cache::JOURNAL_FILE;
@@ -30,6 +33,7 @@ use std::time::Duration;
 pub const USAGE: &str = "\
 usage:
   nrpm fit <file> [--adaptive] [--strict|--lenient] [--network net.json] [--at x1,x2,...]
+           [--thresholds table.json [--regime NAME]]
   nrpm noise <file>
   nrpm pretrain --out net.json [--samples N] [--epochs E] [--paper-net]
                 [--train-threads N]
@@ -38,6 +42,15 @@ usage:
              [--io-timeout-ms T] [--work-delay-ms T]
              [--cache-capacity N] [--cache-dir DIR] [--train-threads N]
              [--adapt-interval MS] [--swap-smape-tolerance FRAC]
+             [--feed] [--thresholds table.json [--regime NAME]]
+  nrpm ingest [--follow FILE] [--push-addr HOST:PORT] [--state-dir DIR]
+              [--registry-dir DIR] [--model net.json] [--interval-ms T]
+              [--once | --duration-ms T] [--window-capacity N]
+              [--min-points N] [--fire-interval N] [--max-records N]
+              [--allowed-lateness T]
+  nrpm sweep [--out FILE] [--thresholds-out FILE] [--functions N]
+             [--params M] [--noise l1,l2,...] [--matrix-noise L]
+             [--seed S] [--quick]
   nrpm query health|stats|shutdown [--addr HOST:PORT] [--timeout-ms T]
   nrpm query model <file> [--at x1,x2,...] [--addr HOST:PORT] [--timeout-ms T]
   nrpm query batch <file>... [--addr HOST:PORT] [--timeout-ms T]
@@ -92,6 +105,35 @@ background adaptation:
   (stored under --cache-dir; memory-only without one). A swap whose
   live SMAPE regresses afterwards is rolled back automatically.
   --swap-smape-tolerance FRAC (default 0.10) sets the shadow gate.
+  --feed (requires --cache-dir) additionally watches the registry's
+  `ingest-candidate` ref for models published by an external `nrpm
+  ingest` and hot-swaps them in through the same two-phase journal;
+  the post-swap watchdog still applies.
+
+streaming ingestion:
+  `ingest` tails live measurement sources — --follow FILE follows a
+  PARAMS/POINT log (with KERNEL/TENANT/TIME directives) through
+  appends and rotations, --push-addr accepts newline-JSON records
+  over TCP — sanitizes each record, assembles per-(kernel, tenant)
+  sliding windows (watermark lateness via --allowed-lateness, bounded
+  memory via --window-capacity/--max-records with shed-oldest
+  backpressure), and re-models each due window (--min-points,
+  --fire-interval) through the adaptive modeler seeded from --model,
+  publishing adapted networks into --registry under the
+  `ingest-candidate` ref for `serve --feed`. Progress is journaled
+  under --state-dir: a killed ingester resumes from its checkpoint
+  with no record duplicated or dropped. --once drains the current
+  file and exits; --duration-ms bounds a live run (default: forever).
+
+regime sweeping:
+  `sweep` grids the four noise regimes (uniform, heteroscedastic,
+  spike, device) train × test: per regime it sweeps --noise levels,
+  locates the DNN/regression accuracy crossover, and calibrates a
+  switching-threshold table (--thresholds-out) that `fit`/`serve`
+  load via --thresholds (with --regime selecting the row; default
+  uniform). The full result including the transfer matrix at
+  --matrix-noise goes to --out (BENCH_ingest.json). --quick shrinks
+  the network for CI-sized runs.
 
 caching:
   `serve` memoizes model outcomes per (measurement set, checkpoint,
@@ -190,6 +232,11 @@ pub enum Invocation {
         at: Option<Vec<f64>>,
         /// How corrupt input is handled (`--strict` / `--lenient`).
         policy: SanitizePolicy,
+        /// Calibrated threshold table (from `nrpm sweep`) for the
+        /// adaptive switch.
+        thresholds: Option<PathBuf>,
+        /// Regime row of the threshold table (default `uniform`).
+        regime: Option<String>,
     },
     /// Analyze the noise of a measurement file.
     Noise {
@@ -251,6 +298,64 @@ pub enum Invocation {
         /// Address the router should reach this shard at (defaults to the
         /// bound listen address).
         advertise: Option<String>,
+        /// Watch the registry's ingest-candidate ref for externally
+        /// published models and hot-swap them in (requires `--cache-dir`).
+        feed: bool,
+        /// Calibrated threshold table (from `nrpm sweep`) for the
+        /// adaptive switch.
+        thresholds: Option<PathBuf>,
+        /// Regime row of the threshold table (default `uniform`).
+        regime: Option<String>,
+    },
+    /// Tail live measurement sources, window them, re-model, publish.
+    Ingest {
+        /// Measurement log to follow through appends and rotations.
+        follow: Option<PathBuf>,
+        /// Accept newline-JSON push records on this address.
+        push_addr: Option<String>,
+        /// Journal the ingest checkpoint here (crash-safe resume).
+        state_dir: Option<PathBuf>,
+        /// Publish adapted networks into this checkpoint registry.
+        registry_dir: Option<PathBuf>,
+        /// Base network the windowed re-modeling adapts from.
+        model: Option<PathBuf>,
+        /// Idle poll interval in milliseconds.
+        interval_ms: u64,
+        /// Drain the current file contents, checkpoint, and exit.
+        once: bool,
+        /// Stop after this many milliseconds (`None` = run forever).
+        duration_ms: Option<u64>,
+        /// Sliding-window capacity per (kernel, tenant).
+        window_capacity: usize,
+        /// Minimum records in a window before it may fire.
+        min_points: usize,
+        /// Accepted records between fires of the same window.
+        fire_interval: usize,
+        /// Global record budget across all windows (shed-oldest past it).
+        max_records: usize,
+        /// Watermark lateness allowance (event-time units).
+        allowed_lateness: f64,
+    },
+    /// Run the train-regime × test-regime noise sweep and calibrate the
+    /// switching-threshold table.
+    Sweep {
+        /// Write the full result (curves, thresholds, transfer matrix)
+        /// as JSON here.
+        out: Option<PathBuf>,
+        /// Write just the loadable threshold table as JSON here.
+        thresholds_out: Option<PathBuf>,
+        /// Functions generated per (regime, level) cell.
+        functions: usize,
+        /// Number of model parameters `m`.
+        params: usize,
+        /// Noise levels of the crossover curves (ascending).
+        noise_levels: Option<Vec<f64>>,
+        /// Noise level of the transfer-matrix cells.
+        matrix_noise: Option<f64>,
+        /// Base RNG seed.
+        seed: u64,
+        /// Shrink the network and corpus to CI size.
+        quick: bool,
     },
     /// Inspect or maintain a registry/cache directory.
     Registry {
@@ -407,12 +512,23 @@ impl Invocation {
                     (true, false) => SanitizePolicy::Strict,
                     _ => SanitizePolicy::Lenient,
                 };
+                let adaptive = get_flag("adaptive").is_some();
+                let thresholds = get_value("thresholds")?.map(PathBuf::from);
+                let regime = get_value("regime")?;
+                if thresholds.is_some() && !adaptive {
+                    return Err("fit: --thresholds requires --adaptive".to_string());
+                }
+                if regime.is_some() && thresholds.is_none() {
+                    return Err("fit: --regime requires --thresholds".to_string());
+                }
                 Ok(Invocation::Fit {
                     file,
-                    adaptive: get_flag("adaptive").is_some(),
+                    adaptive,
                     network: get_value("network")?.map(PathBuf::from),
                     at,
                     policy,
+                    thresholds,
+                    regime,
                 })
             }
             "noise" => Ok(Invocation::Noise {
@@ -448,6 +564,15 @@ impl Invocation {
                 }
                 if join.is_some() && join_token.is_none() {
                     return Err("serve: --join requires --join-token".to_string());
+                }
+                let feed = get_flag("feed").is_some();
+                if feed && get_flag("cache-dir").is_none() {
+                    return Err("serve: --feed requires --cache-dir".to_string());
+                }
+                let thresholds = get_value("thresholds")?.map(PathBuf::from);
+                let regime = get_value("regime")?;
+                if regime.is_some() && thresholds.is_none() {
+                    return Err("serve: --regime requires --thresholds".to_string());
                 }
                 Ok(Invocation::Serve {
                     model: get_value("model")?
@@ -543,6 +668,112 @@ impl Invocation {
                     join,
                     join_token,
                     advertise,
+                    feed,
+                    thresholds,
+                    regime,
+                })
+            }
+            "ingest" => {
+                let follow = get_value("follow")?.map(PathBuf::from);
+                let push_addr = get_value("push-addr")?;
+                if follow.is_none() && push_addr.is_none() {
+                    return Err("ingest: need --follow and/or --push-addr".to_string());
+                }
+                let once = get_flag("once").is_some();
+                if once && follow.is_none() {
+                    return Err("ingest: --once requires --follow".to_string());
+                }
+                let duration_ms = get_value("duration-ms")?
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| "--duration-ms: not a number".to_string())
+                    })
+                    .transpose()?;
+                if once && duration_ms.is_some() {
+                    return Err("ingest: --once and --duration-ms conflict".to_string());
+                }
+                let defaults = WindowOptions::default();
+                let parse_usize = |name: &str, default: usize| -> Result<usize, String> {
+                    get_value(name)?
+                        .map(|s| s.parse().map_err(|_| format!("--{name}: not a number")))
+                        .transpose()
+                        .map(|v| v.unwrap_or(default))
+                };
+                let allowed_lateness = get_value("allowed-lateness")?
+                    .map(|s| {
+                        s.parse::<f64>()
+                            .map_err(|_| "--allowed-lateness: not a number".to_string())
+                    })
+                    .transpose()?
+                    .unwrap_or(defaults.allowed_lateness);
+                if allowed_lateness.is_nan() || allowed_lateness < 0.0 {
+                    return Err("--allowed-lateness: must be non-negative".to_string());
+                }
+                Ok(Invocation::Ingest {
+                    follow,
+                    push_addr,
+                    state_dir: get_value("state-dir")?.map(PathBuf::from),
+                    registry_dir: get_value("registry-dir")?.map(PathBuf::from),
+                    model: get_value("model")?.map(PathBuf::from),
+                    interval_ms: get_value("interval-ms")?
+                        .map(|s| {
+                            s.parse()
+                                .map_err(|_| "--interval-ms: not a number".to_string())
+                        })
+                        .transpose()?
+                        .unwrap_or(200),
+                    once,
+                    duration_ms,
+                    window_capacity: parse_usize("window-capacity", defaults.capacity)?,
+                    min_points: parse_usize("min-points", defaults.min_points)?,
+                    fire_interval: parse_usize("fire-interval", defaults.fire_interval)?,
+                    max_records: parse_usize("max-records", defaults.max_total_records)?,
+                    allowed_lateness,
+                })
+            }
+            "sweep" => {
+                let noise_levels = get_value("noise")?
+                    .as_deref()
+                    .map(parse_point_list)
+                    .transpose()?;
+                if let Some(levels) = &noise_levels {
+                    if levels.len() < 2 {
+                        return Err("--noise: need at least two levels".to_string());
+                    }
+                    if levels.windows(2).any(|w| w[1] <= w[0]) {
+                        return Err("--noise: levels must be strictly ascending".to_string());
+                    }
+                }
+                let matrix_noise = get_value("matrix-noise")?
+                    .map(|s| {
+                        s.parse::<f64>()
+                            .map_err(|_| "--matrix-noise: not a number".to_string())
+                    })
+                    .transpose()?;
+                if matrix_noise.is_some_and(|m| m.is_nan() || m <= 0.0) {
+                    return Err("--matrix-noise: must be positive".to_string());
+                }
+                Ok(Invocation::Sweep {
+                    out: get_value("out")?.map(PathBuf::from),
+                    thresholds_out: get_value("thresholds-out")?.map(PathBuf::from),
+                    functions: get_value("functions")?
+                        .map(|s| {
+                            s.parse()
+                                .map_err(|_| "--functions: not a number".to_string())
+                        })
+                        .transpose()?
+                        .unwrap_or(100),
+                    params: get_value("params")?
+                        .map(|s| s.parse().map_err(|_| "--params: not a number".to_string()))
+                        .transpose()?
+                        .unwrap_or(1),
+                    noise_levels,
+                    matrix_noise,
+                    seed: get_value("seed")?
+                        .map(|s| s.parse().map_err(|_| "--seed: not a number".to_string()))
+                        .transpose()?
+                        .unwrap_or(0x1265),
+                    quick: get_flag("quick").is_some(),
                 })
             }
             "registry" => {
@@ -796,6 +1027,8 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
             network,
             at,
             policy,
+            thresholds,
+            regime,
         } => {
             let set = load_measurements(file).map_err(CliError::io)?;
             let mut out = String::new();
@@ -805,6 +1038,10 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
                         policy: *policy,
                         ..Default::default()
                     },
+                    thresholds: thresholds
+                        .as_deref()
+                        .map(|path| load_switch_thresholds(path, regime.as_deref()))
+                        .transpose()?,
                     ..Default::default()
                 };
                 let mut modeler = match network {
@@ -943,6 +1180,9 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
             join,
             join_token,
             advertise,
+            feed,
+            thresholds,
+            regime,
         } => {
             // Divide the thread budget among the serving workers so
             // concurrent adaptation jobs don't oversubscribe the cores.
@@ -962,7 +1202,14 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
             };
             let serve_budget = budget.saturating_sub(adapt_threads).max(1);
             ThreadBudget::set((serve_budget / (*workers).max(1)).max(1));
-            let store = ModelStore::open(model, AdaptiveOptions::default())
+            let core_opts = AdaptiveOptions {
+                thresholds: thresholds
+                    .as_deref()
+                    .map(|path| load_switch_thresholds(path, regime.as_deref()))
+                    .transpose()?,
+                ..Default::default()
+            };
+            let store = ModelStore::open(model, core_opts)
                 .map_err(|e| CliError::io(format!("{}: {e}", model.display())))?;
             let mut opts = ServeOptions {
                 workers: *workers,
@@ -993,6 +1240,17 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
                     train_threads: adapt_threads,
                     ..Default::default()
                 };
+            }
+            if *feed {
+                // The feed watcher rides on the adaptation engine; without
+                // --adapt-interval the engine runs but its scheduled
+                // retrain cycles never trigger.
+                opts.adaptation.enabled = true;
+                opts.adaptation.feed = true;
+                opts.adaptation.dir = cache_dir.clone();
+                if adapt_interval_ms.is_none() {
+                    opts.adaptation.min_observations = usize::MAX;
+                }
             }
             let checkpoint_hash = store.checkpoint_hash();
             let server = Server::start(addr, store, opts)
@@ -1168,7 +1426,306 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
                 *timeout_ms,
             ),
         },
+        Invocation::Ingest {
+            follow,
+            push_addr,
+            state_dir,
+            registry_dir,
+            model,
+            interval_ms,
+            once,
+            duration_ms,
+            window_capacity,
+            min_points,
+            fire_interval,
+            max_records,
+            allowed_lateness,
+        } => run_ingest(IngestArgs {
+            follow: follow.as_deref(),
+            push_addr: push_addr.as_deref(),
+            state_dir: state_dir.clone(),
+            registry_dir: registry_dir.clone(),
+            model: model.as_deref(),
+            interval: Duration::from_millis((*interval_ms).max(1)),
+            once: *once,
+            duration: duration_ms.map(Duration::from_millis),
+            windows: WindowOptions {
+                capacity: *window_capacity,
+                min_points: *min_points,
+                fire_interval: *fire_interval,
+                max_total_records: *max_records,
+                allowed_lateness: *allowed_lateness,
+            },
+        }),
+        Invocation::Sweep {
+            out,
+            thresholds_out,
+            functions,
+            params,
+            noise_levels,
+            matrix_noise,
+            seed,
+            quick,
+        } => run_sweep(
+            out.as_deref(),
+            thresholds_out.as_deref(),
+            RegimeSweepConfig {
+                num_params: (*params).max(1),
+                functions: (*functions).max(1),
+                seed: *seed,
+                ..Default::default()
+            },
+            noise_levels.clone(),
+            *matrix_noise,
+            *quick,
+        ),
     }
+}
+
+/// Loads a `nrpm sweep` threshold table and extracts the switch vector for
+/// `regime` (default `uniform`).
+fn load_switch_thresholds(path: &Path, regime: Option<&str>) -> Result<Vec<f64>, CliError> {
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| CliError::io(format!("{}: {e}", path.display())))?;
+    let table = ThresholdTable::from_json(&raw)
+        .map_err(|e| CliError::io(format!("{}: {e}", path.display())))?;
+    let regime = regime.unwrap_or("uniform");
+    table.switch_thresholds(regime).ok_or_else(|| {
+        CliError::io(format!(
+            "{}: regime `{regime}` is not in the table or has no crossover \
+             (regimes: {})",
+            path.display(),
+            table
+                .entries
+                .iter()
+                .map(|e| e.regime.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    })
+}
+
+/// What `nrpm ingest` passes down to [`run_ingest`].
+struct IngestArgs<'a> {
+    follow: Option<&'a Path>,
+    push_addr: Option<&'a str>,
+    state_dir: Option<PathBuf>,
+    registry_dir: Option<PathBuf>,
+    model: Option<&'a Path>,
+    interval: Duration,
+    once: bool,
+    duration: Option<Duration>,
+    windows: WindowOptions,
+}
+
+/// `nrpm ingest`: open the engine (resuming from the journal), announce
+/// the sources, and pump them until `--once` drains, `--duration-ms`
+/// elapses, or forever.
+fn run_ingest(args: IngestArgs<'_>) -> Result<String, CliError> {
+    let base = args
+        .model
+        .map(|path| {
+            Network::load(path).map_err(|e| CliError::io(format!("{}: {e}", path.display())))
+        })
+        .transpose()?;
+    let opts = IngestOptions {
+        windows: args.windows,
+        state_dir: args.state_dir,
+        registry_dir: args.registry_dir,
+        ..Default::default()
+    };
+    let (mut engine, recovery) =
+        IngestEngine::open(opts, base).map_err(|e| CliError::io(e.to_string()))?;
+    if let Some(resume) = &recovery.resume {
+        println!(
+            "nrpm-ingest resuming at line {} (offset {}), {} records accounted",
+            resume.resume_line, resume.resume_offset, resume.counters.records
+        );
+    }
+    let push = args
+        .push_addr
+        .map(|addr| PushSource::bind(addr).map_err(|e| CliError::io(format!("{addr}: {e}"))))
+        .transpose()?;
+    if let Some(push) = &push {
+        println!("nrpm-ingest push source on {}", push.local_addr());
+    }
+    let mut source = args.follow.map(FollowSource::open);
+    if let Some(source) = &mut source {
+        println!("nrpm-ingest following {}", source.path().display());
+        source.seek_to(engine.resume_offset());
+    }
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    let deadline = args.duration.map(|d| std::time::Instant::now() + d);
+    loop {
+        let mut news = 0usize;
+        if let Some(source) = &mut source {
+            news += engine
+                .poll_source(source)
+                .map_err(|e| CliError::io(format!("poll: {e}")))?;
+        }
+        if let Some(push) = &push {
+            news += engine
+                .poll_push(push)
+                .map_err(|e| CliError::io(e.to_string()))?;
+        }
+        if args.once && news == 0 {
+            break;
+        }
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            break;
+        }
+        if news == 0 {
+            std::thread::sleep(args.interval);
+        }
+    }
+    if args.once {
+        // Drained to EOF: the held tail line is a complete record.
+        engine.flush_tail();
+    }
+    engine
+        .checkpoint()
+        .map_err(|e| CliError::io(e.to_string()))?;
+
+    let c = engine.counters();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ingested {} records ({} late-dropped, {} shed, {} evicted, {} parse errors)",
+        c.records, c.late_dropped, c.shed, c.evicted, c.parse_errors
+    );
+    let _ = writeln!(
+        out,
+        "sanitizer: {} values dropped, {} clamped, {} records unusable",
+        c.values_dropped, c.values_clamped, c.records_dropped
+    );
+    let _ = writeln!(
+        out,
+        "windows fired {} times, {} models published ({} re-model failures)",
+        c.windows_fired, c.models_published, c.remodel_failures
+    );
+    if let Some(hash) = engine.last_published() {
+        let _ = writeln!(
+            out,
+            "latest candidate {} under ref `{}`",
+            hex16(hash),
+            nrpm_ingest::INGEST_CANDIDATE_REF
+        );
+    }
+    Ok(out)
+}
+
+/// `nrpm sweep`: run the regime grid, render the crossover and transfer
+/// tables, and write the JSON artifacts.
+fn run_sweep(
+    out_path: Option<&Path>,
+    thresholds_out: Option<&Path>,
+    mut config: RegimeSweepConfig,
+    noise_levels: Option<Vec<f64>>,
+    matrix_noise: Option<f64>,
+    quick: bool,
+) -> Result<String, CliError> {
+    if let Some(levels) = noise_levels {
+        config.noise_levels = levels;
+    }
+    if let Some(m) = matrix_noise {
+        config.matrix_noise = m;
+    }
+    if quick {
+        // CI-sized: a small network, short pretraining, light adaptation.
+        config.dnn.network = nrpm_nn::NetworkConfig::new(&[
+            nrpm_core::preprocess::NUM_INPUTS,
+            48,
+            nrpm_extrap::NUM_CLASSES,
+        ]);
+        config.dnn.pretrain_spec.samples_per_class = 30;
+        config.dnn.pretrain_epochs = 3;
+        config.dnn.adaptation_samples_per_class = 12;
+    }
+    let result = run_regime_sweep(&config);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== regime crossover calibration (m = {}, {} functions/cell) ==",
+        config.num_params, config.functions
+    );
+    for entry in &result.table.entries {
+        let threshold = match entry.threshold {
+            Some(t) => format!("{:.1}%", t * 100.0),
+            None => "no crossover (regression dominates)".to_string(),
+        };
+        let _ = writeln!(out, "  {:<16} threshold {}", entry.regime, threshold);
+        let curve = |acc: &[f64]| {
+            acc.iter()
+                .map(|a| format!("{:>5.1}", a * 100.0))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let _ = writeln!(
+            out,
+            "    noise   {}",
+            entry
+                .noise_levels
+                .iter()
+                .map(|n| format!("{:>5.2}", n))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        let _ = writeln!(out, "    reg %   {}", curve(&entry.regression_accuracy));
+        let _ = writeln!(out, "    dnn %   {}", curve(&entry.dnn_accuracy));
+    }
+    let _ = writeln!(
+        out,
+        "\n== transfer matrix: DNN accuracy %, adapt on row / test on column \
+         (noise {:.2}) ==",
+        result.matrix_noise
+    );
+    let names: Vec<&str> = {
+        let mut seen = Vec::new();
+        for cell in &result.matrix {
+            if !seen.contains(&cell.train.as_str()) {
+                seen.push(cell.train.as_str());
+            }
+        }
+        seen
+    };
+    let _ = writeln!(
+        out,
+        "  {:<16} {}",
+        "train \\ test",
+        names
+            .iter()
+            .map(|n| format!("{:>16}", n))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    for train in &names {
+        let cells = names
+            .iter()
+            .map(|test| {
+                result
+                    .cell(train, test)
+                    .map(|c| format!("{:>16.1}", c.dnn_accuracy * 100.0))
+                    .unwrap_or_else(|| format!("{:>16}", "-"))
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(out, "  {train:<16} {cells}");
+    }
+
+    if let Some(path) = out_path {
+        std::fs::write(path, result.to_json())
+            .map_err(|e| CliError::io(format!("{}: {e}", path.display())))?;
+        let _ = writeln!(out, "\nwrote {}", path.display());
+    }
+    if let Some(path) = thresholds_out {
+        std::fs::write(path, result.table.to_json())
+            .map_err(|e| CliError::io(format!("{}: {e}", path.display())))?;
+        let _ = writeln!(out, "wrote {}", path.display());
+    }
+    Ok(out)
 }
 
 /// What `nrpm cluster launch` passes down to [`cluster_launch`].
@@ -1675,6 +2232,8 @@ mod tests {
                 network: Some("net.json".into()),
                 at: Some(vec![4096.0, 8192.0]),
                 policy: SanitizePolicy::Lenient,
+                thresholds: None,
+                regime: None,
             }
         );
     }
@@ -1690,6 +2249,8 @@ mod tests {
                 network: None,
                 at: None,
                 policy: SanitizePolicy::Lenient,
+                thresholds: None,
+                regime: None,
             }
         );
     }
@@ -1787,6 +2348,124 @@ mod tests {
         assert!(parse("query model a.txt b.txt").is_err()); // exactly one
         assert!(parse("query batch").is_err()); // at least one file
         assert!(parse("query health stray.txt").is_err());
+        // Feed swaps need a durable registry; thresholds need a regime row
+        // and (for fit) the adaptive switch.
+        assert!(parse("serve --model n.json --feed").is_err());
+        assert!(parse("serve --model n.json --regime spike").is_err());
+        assert!(parse("fit f.txt --thresholds t.json").is_err()); // --adaptive
+        assert!(parse("fit f.txt --adaptive --regime spike").is_err());
+        assert!(parse("ingest").is_err()); // need a source
+        assert!(parse("ingest --once").is_err()); // --once needs --follow
+        assert!(parse("ingest --follow f.log --once --duration-ms 5").is_err());
+        assert!(parse("ingest --follow f.log --interval-ms soon").is_err());
+        assert!(parse("ingest --follow f.log --allowed-lateness -1").is_err());
+        assert!(parse("sweep --noise 0.5").is_err()); // two levels minimum
+        assert!(parse("sweep --noise 0.5,0.2").is_err()); // ascending
+        assert!(parse("sweep --matrix-noise 0").is_err());
+        assert!(parse("sweep --functions lots").is_err());
+    }
+
+    #[test]
+    fn parses_ingest_and_sweep() {
+        let defaults = WindowOptions::default();
+        assert_eq!(
+            parse("ingest --follow m.log --state-dir s --registry-dir r --model n.json").unwrap(),
+            Invocation::Ingest {
+                follow: Some("m.log".into()),
+                push_addr: None,
+                state_dir: Some("s".into()),
+                registry_dir: Some("r".into()),
+                model: Some("n.json".into()),
+                interval_ms: 200,
+                once: false,
+                duration_ms: None,
+                window_capacity: defaults.capacity,
+                min_points: defaults.min_points,
+                fire_interval: defaults.fire_interval,
+                max_records: defaults.max_total_records,
+                allowed_lateness: defaults.allowed_lateness,
+            }
+        );
+        assert_eq!(
+            parse(
+                "ingest --push-addr 127.0.0.1:0 --duration-ms 500 --window-capacity 16 \
+                 --min-points 3 --fire-interval 4 --max-records 64 --allowed-lateness 2.5"
+            )
+            .unwrap(),
+            Invocation::Ingest {
+                follow: None,
+                push_addr: Some("127.0.0.1:0".into()),
+                state_dir: None,
+                registry_dir: None,
+                model: None,
+                interval_ms: 200,
+                once: false,
+                duration_ms: Some(500),
+                window_capacity: 16,
+                min_points: 3,
+                fire_interval: 4,
+                max_records: 64,
+                allowed_lateness: 2.5,
+            }
+        );
+        assert!(matches!(
+            parse("ingest --follow m.log --once").unwrap(),
+            Invocation::Ingest { once: true, .. }
+        ));
+        assert_eq!(
+            parse(
+                "sweep --out b.json --thresholds-out t.json --functions 12 --params 2 \
+                 --noise 0.1,0.5,1.0 --matrix-noise 0.4 --seed 7 --quick"
+            )
+            .unwrap(),
+            Invocation::Sweep {
+                out: Some("b.json".into()),
+                thresholds_out: Some("t.json".into()),
+                functions: 12,
+                params: 2,
+                noise_levels: Some(vec![0.1, 0.5, 1.0]),
+                matrix_noise: Some(0.4),
+                seed: 7,
+                quick: true,
+            }
+        );
+        assert_eq!(
+            parse("sweep").unwrap(),
+            Invocation::Sweep {
+                out: None,
+                thresholds_out: None,
+                functions: 100,
+                params: 1,
+                noise_levels: None,
+                matrix_noise: None,
+                seed: 0x1265,
+                quick: false,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_serve_feed_and_thresholds() {
+        assert!(matches!(
+            parse("serve --model n.json --cache-dir d --feed").unwrap(),
+            Invocation::Serve { feed: true, .. }
+        ));
+        assert!(matches!(
+            parse("serve --model n.json --thresholds t.json --regime spike").unwrap(),
+            Invocation::Serve {
+                thresholds: Some(_),
+                regime: Some(_),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("fit f.txt --adaptive --thresholds t.json").unwrap(),
+            Invocation::Fit {
+                thresholds: Some(_),
+                regime: None,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1817,6 +2496,9 @@ mod tests {
                 join: None,
                 join_token: None,
                 advertise: None,
+                feed: false,
+                thresholds: None,
+                regime: None,
             }
         );
         assert_eq!(
@@ -1839,6 +2521,9 @@ mod tests {
                 join: None,
                 join_token: None,
                 advertise: None,
+                feed: false,
+                thresholds: None,
+                regime: None,
             }
         );
         assert!(matches!(
@@ -2448,6 +3133,8 @@ mod tests {
             network: None,
             at: Some(vec![1024.0]),
             policy: SanitizePolicy::Lenient,
+            thresholds: None,
+            regime: None,
         })
         .unwrap();
         assert!(out.contains("O(x1)"), "{out}");
@@ -2473,6 +3160,8 @@ mod tests {
             network: None,
             at: None,
             policy: SanitizePolicy::Lenient,
+            thresholds: None,
+            regime: None,
         })
         .unwrap();
         assert!(lenient.contains("quality:"), "{lenient}");
@@ -2484,6 +3173,8 @@ mod tests {
             network: None,
             at: None,
             policy: SanitizePolicy::Strict,
+            thresholds: None,
+            regime: None,
         })
         .unwrap_err();
         assert_eq!(strict.code, 4, "CorruptData is recoverable: {strict:?}");

@@ -87,6 +87,70 @@ pub fn default_threshold(num_params: usize) -> f64 {
     }
 }
 
+/// One calibrated row of a [`ThresholdTable`]: where the DNN/regression
+/// crossover sits for one noise regime, together with the accuracy curves
+/// it was read off of (kept so the calibration is auditable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdEntry {
+    /// Regime name (`uniform`, `heteroscedastic`, `spike`, `device`, …).
+    pub regime: String,
+    /// The calibrated switching threshold; `None` when the curves never
+    /// cross in the sampled range (one modeler dominates everywhere).
+    pub threshold: Option<f64>,
+    /// Noise grid the curves were sampled on, ascending.
+    pub noise_levels: Vec<f64>,
+    /// Regression accuracy at each level.
+    pub regression_accuracy: Vec<f64>,
+    /// DNN accuracy at each level.
+    pub dnn_accuracy: Vec<f64>,
+}
+
+/// A per-regime table of calibrated switching thresholds, produced by the
+/// `nrpm sweep` harness and loadable by the adaptive switch (`nrpm serve
+/// --thresholds`, `nrpm fit --thresholds`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdTable {
+    /// Parameter count the calibration ran at.
+    pub num_params: usize,
+    /// One entry per swept regime.
+    pub entries: Vec<ThresholdEntry>,
+}
+
+impl ThresholdTable {
+    /// The calibrated threshold for `regime`, if that regime was swept and
+    /// its curves actually cross.
+    pub fn threshold_for_regime(&self, regime: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|e| e.regime == regime)
+            .and_then(|e| e.threshold)
+    }
+
+    /// Builds the per-parameter-count threshold vector the adaptive switch
+    /// consumes (`AdaptiveOptions::thresholds`): index `m − 1` holds the
+    /// threshold for `m` parameters. Counts below the calibrated one keep
+    /// their [`default_threshold`]; the calibrated count — and through the
+    /// switch's index clamping every count above it — uses the calibrated
+    /// value. `None` when the regime is absent or never crosses.
+    pub fn switch_thresholds(&self, regime: &str) -> Option<Vec<f64>> {
+        let calibrated = self.threshold_for_regime(regime)?;
+        let m = self.num_params.max(1);
+        let mut thresholds: Vec<f64> = (1..m).map(default_threshold).collect();
+        thresholds.push(calibrated);
+        Some(thresholds)
+    }
+
+    /// Serializes the table to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ThresholdTable serializes")
+    }
+
+    /// Deserializes a table from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +206,46 @@ mod tests {
         assert!(default_threshold(1) > default_threshold(2));
         assert!(default_threshold(2) > default_threshold(3));
         assert_eq!(default_threshold(3), default_threshold(7));
+    }
+
+    fn sample_table() -> ThresholdTable {
+        ThresholdTable {
+            num_params: 2,
+            entries: vec![
+                ThresholdEntry {
+                    regime: "uniform".into(),
+                    threshold: Some(0.31),
+                    noise_levels: grid(),
+                    regression_accuracy: vec![0.9; 7],
+                    dnn_accuracy: vec![0.8; 7],
+                },
+                ThresholdEntry {
+                    regime: "spike".into(),
+                    threshold: None,
+                    noise_levels: grid(),
+                    regression_accuracy: vec![0.9; 7],
+                    dnn_accuracy: vec![0.7; 7],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_looks_up_regimes_and_round_trips() {
+        let table = sample_table();
+        assert_eq!(table.threshold_for_regime("uniform"), Some(0.31));
+        assert_eq!(table.threshold_for_regime("spike"), None);
+        assert_eq!(table.threshold_for_regime("nope"), None);
+        let back = ThresholdTable::from_json(&table.to_json()).unwrap();
+        assert_eq!(table, back);
+    }
+
+    #[test]
+    fn switch_thresholds_place_the_calibrated_value_at_its_count() {
+        let table = sample_table();
+        let t = table.switch_thresholds("uniform").unwrap();
+        assert_eq!(t, vec![default_threshold(1), 0.31]);
+        assert_eq!(table.switch_thresholds("spike"), None, "no crossover");
+        assert_eq!(table.switch_thresholds("nope"), None, "unknown regime");
     }
 }

@@ -79,73 +79,167 @@ pub struct NamedMeasurements {
     pub parameter_names: Vec<String>,
 }
 
+/// How a parser treats a final line that is not terminated by a newline.
+///
+/// `str::lines` silently yields a trailing unterminated line as if it
+/// were complete, which is right for finished batch files but wrong for a
+/// log that is still being appended to: the writer may be mid-`write`,
+/// and half a `POINT` line must not become half a record. The policy
+/// makes the choice explicit at every entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TailPolicy {
+    /// Treat a trailing unterminated line as complete — the historical
+    /// behaviour, correct for files that are done being written.
+    #[default]
+    CompleteOnEof,
+    /// Hold the trailing bytes back until their newline arrives — correct
+    /// for live-followed logs, where EOF only means "no more yet".
+    HoldForMore,
+}
+
+/// One directive parsed from a single non-blank line of the text format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Directive {
+    /// `PARAMS <m> [names…]` — declares arity and optional names (padded
+    /// with empty strings when unnamed).
+    Params {
+        /// Number of execution parameters per point.
+        arity: usize,
+        /// One name per parameter (empty strings when the header had none).
+        names: Vec<String>,
+    },
+    /// `POINT c… DATA v…` — one measurement point with its repetitions.
+    Point {
+        /// Parameter coordinates.
+        point: Vec<f64>,
+        /// Repetition values (never empty).
+        values: Vec<f64>,
+    },
+}
+
+/// Parses one raw line into a [`Directive`]. Comments (`#…`) and blank
+/// lines yield `Ok(None)`. `line_no` is only used for diagnostics.
+///
+/// This is the single-line core of [`parse_text`], exposed so streaming
+/// consumers (the ingest file-follow source) can frame lines themselves —
+/// with whatever tail policy and extra directives they need — and still
+/// parse the measurement grammar exactly one way.
+pub fn parse_directive(raw: &str, line_no: usize) -> Result<Option<Directive>, ParseError> {
+    let line = match raw.find('#') {
+        Some(pos) => &raw[..pos],
+        None => raw,
+    }
+    .trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let mut tokens = line.split_whitespace();
+    match tokens.next() {
+        Some("PARAMS") => {
+            let m: usize =
+                tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or(ParseError::BadLine {
+                        line: line_no,
+                        reason: "PARAMS needs a positive integer arity".into(),
+                    })?;
+            if m == 0 {
+                return Err(ParseError::BadLine {
+                    line: line_no,
+                    reason: "arity must be at least 1".into(),
+                });
+            }
+            let mut names: Vec<String> = tokens.map(str::to_string).collect();
+            if !names.is_empty() && names.len() != m {
+                return Err(ParseError::BadLine {
+                    line: line_no,
+                    reason: format!("{} names for {m} parameters", names.len()),
+                });
+            }
+            if names.is_empty() {
+                names = vec![String::new(); m];
+            }
+            Ok(Some(Directive::Params { arity: m, names }))
+        }
+        Some("POINT") => {
+            let rest: Vec<&str> = tokens.collect();
+            let data_pos = rest
+                .iter()
+                .position(|&t| t == "DATA")
+                .ok_or(ParseError::BadLine {
+                    line: line_no,
+                    reason: "POINT line lacks a DATA marker".into(),
+                })?;
+            let parse_floats = |tokens: &[&str]| -> Result<Vec<f64>, ParseError> {
+                tokens
+                    .iter()
+                    .map(|t| {
+                        t.parse::<f64>().map_err(|_| ParseError::BadLine {
+                            line: line_no,
+                            reason: format!("`{t}` is not a number"),
+                        })
+                    })
+                    .collect()
+            };
+            let point = parse_floats(&rest[..data_pos])?;
+            let values = parse_floats(&rest[data_pos + 1..])?;
+            if values.is_empty() {
+                return Err(ParseError::BadLine {
+                    line: line_no,
+                    reason: "DATA needs at least one value".into(),
+                });
+            }
+            Ok(Some(Directive::Point { point, values }))
+        }
+        Some(other) => Err(ParseError::BadLine {
+            line: line_no,
+            reason: format!("unknown directive `{other}`"),
+        }),
+        None => Ok(None),
+    }
+}
+
 /// Parses the text format described in the module docs.
+///
+/// The trailing line is handled with [`TailPolicy::CompleteOnEof`]: a
+/// final line without a newline still counts as a full record, which is
+/// the right call for finished files. Streaming consumers that must not
+/// consume half-written records use [`parse_text_with_tail`] or frame
+/// lines through a [`LineFramer`] instead.
 pub fn parse_text(input: &str) -> Result<NamedMeasurements, ParseError> {
+    parse_text_with_tail(input, TailPolicy::CompleteOnEof).map(|(named, _)| named)
+}
+
+/// Parses the text format with an explicit [`TailPolicy`], returning the
+/// parsed measurements together with the held-back tail (always empty for
+/// [`TailPolicy::CompleteOnEof`]). Under [`TailPolicy::HoldForMore`] the
+/// bytes after the last newline are returned unparsed, so a follower can
+/// prepend them to the next chunk it reads.
+pub fn parse_text_with_tail(
+    input: &str,
+    policy: TailPolicy,
+) -> Result<(NamedMeasurements, &str), ParseError> {
+    let (body, held) = match policy {
+        TailPolicy::CompleteOnEof => (input, ""),
+        TailPolicy::HoldForMore => match input.rfind('\n') {
+            Some(pos) => input.split_at(pos + 1),
+            None => ("", input),
+        },
+    };
     let mut set: Option<MeasurementSet> = None;
     let mut names: Vec<String> = Vec::new();
 
-    for (idx, raw) in input.lines().enumerate() {
+    for (idx, raw) in body.lines().enumerate() {
         let line_no = idx + 1;
-        let line = match raw.find('#') {
-            Some(pos) => &raw[..pos],
-            None => raw,
-        }
-        .trim();
-        if line.is_empty() {
-            continue;
-        }
-        let mut tokens = line.split_whitespace();
-        match tokens.next() {
-            Some("PARAMS") => {
-                let m: usize =
-                    tokens
-                        .next()
-                        .and_then(|t| t.parse().ok())
-                        .ok_or(ParseError::BadLine {
-                            line: line_no,
-                            reason: "PARAMS needs a positive integer arity".into(),
-                        })?;
-                if m == 0 {
-                    return Err(ParseError::BadLine {
-                        line: line_no,
-                        reason: "arity must be at least 1".into(),
-                    });
-                }
-                names = tokens.map(str::to_string).collect();
-                if !names.is_empty() && names.len() != m {
-                    return Err(ParseError::BadLine {
-                        line: line_no,
-                        reason: format!("{} names for {m} parameters", names.len()),
-                    });
-                }
-                if names.is_empty() {
-                    names = vec![String::new(); m];
-                }
-                set = Some(MeasurementSet::new(m));
+        match parse_directive(raw, line_no)? {
+            None => {}
+            Some(Directive::Params { arity, names: n }) => {
+                names = n;
+                set = Some(MeasurementSet::new(arity));
             }
-            Some("POINT") => {
+            Some(Directive::Point { point, values }) => {
                 let set = set.as_mut().ok_or(ParseError::MissingHeader)?;
-                let rest: Vec<&str> = tokens.collect();
-                let data_pos =
-                    rest.iter()
-                        .position(|&t| t == "DATA")
-                        .ok_or(ParseError::BadLine {
-                            line: line_no,
-                            reason: "POINT line lacks a DATA marker".into(),
-                        })?;
-                let parse_floats = |tokens: &[&str]| -> Result<Vec<f64>, ParseError> {
-                    tokens
-                        .iter()
-                        .map(|t| {
-                            t.parse::<f64>().map_err(|_| ParseError::BadLine {
-                                line: line_no,
-                                reason: format!("`{t}` is not a number"),
-                            })
-                        })
-                        .collect()
-                };
-                let point = parse_floats(&rest[..data_pos])?;
-                let values = parse_floats(&rest[data_pos + 1..])?;
                 if point.len() != set.num_params() {
                     return Err(ParseError::BadLine {
                         line: line_no,
@@ -156,21 +250,8 @@ pub fn parse_text(input: &str) -> Result<NamedMeasurements, ParseError> {
                         ),
                     });
                 }
-                if values.is_empty() {
-                    return Err(ParseError::BadLine {
-                        line: line_no,
-                        reason: "DATA needs at least one value".into(),
-                    });
-                }
                 set.add_repetitions(&point, &values);
             }
-            Some(other) => {
-                return Err(ParseError::BadLine {
-                    line: line_no,
-                    reason: format!("unknown directive `{other}`"),
-                })
-            }
-            None => unreachable!("empty lines are skipped"),
         }
     }
 
@@ -178,10 +259,82 @@ pub fn parse_text(input: &str) -> Result<NamedMeasurements, ParseError> {
     if set.is_empty() {
         return Err(ParseError::NoPoints);
     }
-    Ok(NamedMeasurements {
-        set,
-        parameter_names: names,
-    })
+    Ok((
+        NamedMeasurements {
+            set,
+            parameter_names: names,
+        },
+        held,
+    ))
+}
+
+/// An incremental line framer for live-followed byte streams.
+///
+/// Chunks read off a growing file arrive at arbitrary boundaries; the
+/// framer buffers the partial tail and hands out only *complete* lines,
+/// each paired with the byte offset one past its terminating newline in
+/// the overall stream. That offset is exactly what an ingest journal must
+/// record to resume without re-consuming or skipping a record.
+#[derive(Debug, Clone, Default)]
+pub struct LineFramer {
+    tail: String,
+    consumed: u64,
+}
+
+impl LineFramer {
+    /// An empty framer positioned at stream offset 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty framer that starts counting at `offset` — for resuming a
+    /// follow from a journaled position.
+    pub fn at_offset(offset: u64) -> Self {
+        LineFramer {
+            tail: String::new(),
+            consumed: offset,
+        }
+    }
+
+    /// Appends a chunk and returns every newly completed line (newline
+    /// stripped, trailing `\r` too) with the stream offset of its end.
+    pub fn push(&mut self, chunk: &str) -> Vec<(String, u64)> {
+        self.tail.push_str(chunk);
+        let mut out = Vec::new();
+        while let Some(pos) = self.tail.find('\n') {
+            let mut line: String = self.tail.drain(..=pos).collect();
+            self.consumed += line.len() as u64;
+            line.pop();
+            if line.ends_with('\r') {
+                line.pop();
+            }
+            out.push((line, self.consumed));
+        }
+        out
+    }
+
+    /// The held-back partial tail: bytes after the last newline seen.
+    pub fn pending(&self) -> &str {
+        &self.tail
+    }
+
+    /// Stream offset of the end of the last completed line — the position
+    /// a resume should continue reading from.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Flushes the pending tail as one final complete line — the
+    /// [`TailPolicy::CompleteOnEof`] ending, for when the stream is known
+    /// to be finished. Returns `None` when nothing is pending.
+    pub fn finish(&mut self) -> Option<(String, u64)> {
+        if self.tail.is_empty() {
+            return None;
+        }
+        let line = std::mem::take(&mut self.tail);
+        self.consumed += line.len() as u64;
+        Some((line, self.consumed))
+    }
 }
 
 /// Reads and parses a measurement file, attaching the path to every
@@ -333,6 +486,104 @@ POINT 64 1024 DATA 34.1 31.9
     #[test]
     fn header_without_points_is_rejected() {
         assert_eq!(parse_text("PARAMS 1\n").unwrap_err(), ParseError::NoPoints);
+    }
+
+    #[test]
+    fn trailing_partial_line_completes_on_eof_by_default() {
+        // Regression: the final line lacks a newline. For batch files the
+        // parser deliberately accepts it as a full record — and that
+        // choice is now explicit, not an accident of `str::lines`.
+        let input = "PARAMS 1\nPOINT 4 DATA 1.0\nPOINT 8 DATA 2.0";
+        let parsed = parse_text(input).unwrap();
+        assert_eq!(parsed.set.len(), 2);
+        let (parsed, held) = parse_text_with_tail(input, TailPolicy::CompleteOnEof).unwrap();
+        assert_eq!(parsed.set.len(), 2);
+        assert_eq!(held, "");
+    }
+
+    #[test]
+    fn hold_for_more_withholds_the_unterminated_tail() {
+        // The same input under HoldForMore: the half-written record is
+        // returned unparsed, so a follower can wait for its newline.
+        let input = "PARAMS 1\nPOINT 4 DATA 1.0\nPOINT 8 DATA 2";
+        let (parsed, held) = parse_text_with_tail(input, TailPolicy::HoldForMore).unwrap();
+        assert_eq!(parsed.set.len(), 1);
+        assert_eq!(held, "POINT 8 DATA 2");
+        assert!(parsed.set.find(&[8.0]).is_none());
+
+        // A headerless fragment is all tail — not an error, just "wait".
+        assert_eq!(
+            parse_text_with_tail("PARAMS 1\nPOINT 4 DATA 1.0\n", TailPolicy::HoldForMore)
+                .unwrap()
+                .1,
+            ""
+        );
+    }
+
+    #[test]
+    fn parse_directive_classifies_single_lines() {
+        assert_eq!(parse_directive("  # just a comment", 1).unwrap(), None);
+        assert_eq!(parse_directive("", 1).unwrap(), None);
+        assert_eq!(
+            parse_directive("PARAMS 2 a b", 1).unwrap(),
+            Some(Directive::Params {
+                arity: 2,
+                names: vec!["a".into(), "b".into()]
+            })
+        );
+        assert_eq!(
+            parse_directive("POINT 4 DATA 1.5 2.5 # trailing", 3).unwrap(),
+            Some(Directive::Point {
+                point: vec![4.0],
+                values: vec![1.5, 2.5]
+            })
+        );
+        assert!(matches!(
+            parse_directive("POINT 4 DATA", 7),
+            Err(ParseError::BadLine { line: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn line_framer_frames_across_arbitrary_chunk_boundaries() {
+        let mut framer = LineFramer::new();
+        assert!(framer.push("POINT 4 DA").is_empty());
+        assert_eq!(framer.pending(), "POINT 4 DA");
+        let lines = framer.push("TA 1.0\nPOINT 8");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].0, "POINT 4 DATA 1.0");
+        assert_eq!(lines[0].1, 17, "offset is one past the newline");
+        assert_eq!(framer.consumed(), 17);
+        assert_eq!(framer.pending(), "POINT 8");
+
+        // finish() applies complete-on-EOF to whatever is held back.
+        let (tail, offset) = framer.finish().unwrap();
+        assert_eq!(tail, "POINT 8");
+        assert_eq!(offset, 24);
+        assert!(framer.finish().is_none());
+    }
+
+    #[test]
+    fn line_framer_resumes_from_a_journaled_offset() {
+        let stream = "PARAMS 1\nPOINT 4 DATA 1.0\n";
+        let mut full = LineFramer::new();
+        let lines = full.push(stream);
+        let first_end = lines[0].1;
+
+        // Resume exactly after the first line: offsets continue seamlessly.
+        let mut resumed = LineFramer::at_offset(first_end);
+        let rest = resumed.push(&stream[first_end as usize..]);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].0, "POINT 4 DATA 1.0");
+        assert_eq!(rest[0].1, stream.len() as u64);
+    }
+
+    #[test]
+    fn line_framer_strips_crlf() {
+        let mut framer = LineFramer::new();
+        let lines = framer.push("POINT 1 DATA 2\r\n");
+        assert_eq!(lines[0].0, "POINT 1 DATA 2");
+        assert_eq!(lines[0].1, 16, "offset counts the stripped bytes");
     }
 
     #[test]

@@ -48,7 +48,10 @@ pub use error::{ModelError, Severity};
 pub use exponents::{exponent_set, ExponentPair, ExponentSet, NUM_CLASSES};
 pub use fit::{fit_hypothesis, fit_hypothesis_constrained, FitConstraints, FittedHypothesis};
 pub use fraction::Fraction;
-pub use io::{parse_text, parse_text_file, write_text, NamedMeasurements, ParseError};
+pub use io::{
+    parse_directive, parse_text, parse_text_file, parse_text_with_tail, write_text, Directive,
+    LineFramer, NamedMeasurements, ParseError, TailPolicy,
+};
 pub use metrics::{cross_validation_smape, smape, Aggregation};
 pub use model::{exponent_distance, lead_order_distance, Model, Term, TermFactor};
 pub use multi::{

@@ -1,0 +1,355 @@
+//! The ingest offset journal: crash-safe resume bookkeeping for the
+//! streaming ingester.
+//!
+//! The ingester's durable state is one [`IngestCheckpoint`] — where to
+//! resume reading the followed log (`resume_offset`), which lines were
+//! already fully applied (`applied_line`), the parser context in force at
+//! the resume point, and the cumulative counters. Each checkpoint is one
+//! appended line — `json payload TAB fnv16 checksum` — fsynced, exactly
+//! like the registry's [`SwapJournal`](nrpm_registry::SwapJournal): a crash
+//! leaves at worst one torn trailing line, which [`IngestJournal::open`]
+//! truncates away. Recovery then reads the *last* intact checkpoint.
+//!
+//! # Exactly-once accounting
+//!
+//! `resume_offset` points at the start of the oldest record still held in
+//! any window (or one past the last consumed line when the windows are
+//! empty), so a restart re-reads everything the crashed process had not yet
+//! retired. Re-read lines whose number is `≤ applied_line` are **rebuild**
+//! lines: they refill the windows but bump no counters and fire no
+//! re-modeling. Lines past `applied_line` are fresh. Counters therefore
+//! count every record exactly once across any number of crashes — work done
+//! after the last checkpoint is recounted on replay precisely because its
+//! pre-crash counts were never journaled.
+
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use nrpm_core::fingerprint::bytes_hash;
+use nrpm_registry::{hex16, parse_hex16};
+
+/// File name of the ingest journal inside an ingest state directory.
+pub const INGEST_JOURNAL_FILE: &str = "ingest.log";
+
+/// Checkpoints kept before `open` compacts the journal down to the last
+/// one. The journal is a resume pointer, not a history; compaction at open
+/// bounds its size across long-lived deployments.
+const COMPACT_THRESHOLD: usize = 1024;
+
+/// Parser context in force at the resume offset. `POINT` lines are
+/// meaningless without the preceding `PARAMS`/`KERNEL`/`TENANT` directives,
+/// which may lie *before* the resume offset — so the checkpoint carries the
+/// context needed to re-parse the first resumed line.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResumeContext {
+    /// Kernel the next point belongs to (`KERNEL` directive).
+    pub kernel: Option<String>,
+    /// Tenant tag (`KERNEL <k> TENANT <t>`).
+    pub tenant: Option<String>,
+    /// Declared parameter count (`PARAMS` directive).
+    pub arity: Option<usize>,
+    /// Event time of the last `TIME` directive, if any.
+    pub event_time: Option<f64>,
+    /// High-water event time — restored so replayed records face the same
+    /// lateness verdicts they faced before the crash.
+    pub watermark: Option<f64>,
+}
+
+/// Cumulative ingest counters, journaled atomically with the offsets they
+/// describe.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestCounters {
+    /// Records accepted into a window (each source record exactly once).
+    pub records: u64,
+    /// Records dropped because their event time fell behind the watermark.
+    pub late_dropped: u64,
+    /// Records evicted by per-window capacity (sliding-window turnover).
+    pub evicted: u64,
+    /// Records shed under global memory pressure (backpressure).
+    pub shed: u64,
+    /// Malformed lines skipped.
+    pub parse_errors: u64,
+    /// Repetition values removed by record sanitization (non-finite or
+    /// non-positive).
+    pub values_dropped: u64,
+    /// Repetition values winsorized by record sanitization.
+    pub values_clamped: u64,
+    /// Records sanitized away entirely (every repetition unusable).
+    pub records_dropped: u64,
+    /// Window triggers that fired a re-modeling run.
+    pub windows_fired: u64,
+    /// Re-modeling runs that failed recoverably.
+    pub remodel_failures: u64,
+    /// Model updates published to the checkpoint registry.
+    pub models_published: u64,
+}
+
+/// One journaled resume point.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IngestCheckpoint {
+    /// Byte offset to resume reading from: the start of the oldest record
+    /// still held in any window, or one past the last consumed line.
+    pub resume_offset: u64,
+    /// 1-based line number of the first line at `resume_offset`.
+    pub resume_line: u64,
+    /// Last line number whose effects are fully reflected in the counters;
+    /// replayed lines up to here rebuild state silently.
+    pub applied_line: u64,
+    /// Parser context in force at `resume_offset`.
+    pub context: ResumeContext,
+    /// Cumulative counters as of `applied_line`.
+    pub counters: IngestCounters,
+}
+
+/// What [`IngestJournal::open`] found and repaired.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IngestRecovery {
+    /// Intact checkpoints read from the journal.
+    pub checkpoints_read: usize,
+    /// Trailing bytes truncated because the last line was torn or failed
+    /// its checksum.
+    pub truncated_bytes: u64,
+    /// The checkpoint to resume from, when any survived.
+    pub resume: Option<IngestCheckpoint>,
+}
+
+/// Errors of the ingest journal.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A checkpoint failed to serialize (should be unreachable).
+    Serialize(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "ingest journal I/O error: {e}"),
+            JournalError::Serialize(e) => write!(f, "ingest journal serialize error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// The append-only ingest checkpoint journal.
+#[derive(Debug)]
+pub struct IngestJournal {
+    path: PathBuf,
+    file: File,
+    last: Option<IngestCheckpoint>,
+    appended: usize,
+}
+
+impl IngestJournal {
+    /// Opens (or creates) the journal inside `dir`, truncating a torn tail
+    /// and compacting history down to the last checkpoint when the file has
+    /// grown past the threshold. Returns the journal and what recovery saw.
+    pub fn open(dir: &Path) -> Result<(IngestJournal, IngestRecovery), JournalError> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(INGEST_JOURNAL_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
+
+        let mut contents = String::new();
+        file.read_to_string(&mut contents)?;
+        let mut recovery = IngestRecovery::default();
+        let mut valid_end = 0u64;
+        for line in contents.split_inclusive('\n') {
+            let Some(cp) = parse_line(line.trim_end_matches('\n')) else {
+                break;
+            };
+            recovery.checkpoints_read += 1;
+            recovery.resume = Some(cp);
+            valid_end += line.len() as u64;
+        }
+        let total = contents.len() as u64;
+        if valid_end < total {
+            recovery.truncated_bytes = total - valid_end;
+            file.set_len(valid_end)?;
+            file.seek(SeekFrom::End(0))?;
+        }
+
+        let mut journal = IngestJournal {
+            path,
+            file,
+            last: recovery.resume.clone(),
+            appended: 0,
+        };
+        if recovery.checkpoints_read > COMPACT_THRESHOLD {
+            journal.compact()?;
+        }
+        Ok((journal, recovery))
+    }
+
+    /// Appends one checkpoint, fsynced before returning.
+    pub fn checkpoint(&mut self, cp: &IngestCheckpoint) -> Result<(), JournalError> {
+        let payload =
+            serde_json::to_string(cp).map_err(|e| JournalError::Serialize(e.to_string()))?;
+        let line = format!("{payload}\t{}\n", hex16(bytes_hash(payload.as_bytes())));
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()?;
+        self.last = Some(cp.clone());
+        self.appended += 1;
+        Ok(())
+    }
+
+    /// The most recent checkpoint (journaled before or during this run).
+    pub fn latest(&self) -> Option<&IngestCheckpoint> {
+        self.last.as_ref()
+    }
+
+    /// Rewrites the journal to hold only the last checkpoint (tmp + rename,
+    /// so a crash mid-compaction leaves either the old or the new file).
+    pub fn compact(&mut self) -> Result<(), JournalError> {
+        let Some(last) = self.last.clone() else {
+            return Ok(());
+        };
+        let payload =
+            serde_json::to_string(&last).map_err(|e| JournalError::Serialize(e.to_string()))?;
+        let line = format!("{payload}\t{}\n", hex16(bytes_hash(payload.as_bytes())));
+        let tmp = self.path.with_extension("log.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(line.as_bytes())?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.path)?;
+        Ok(())
+    }
+}
+
+/// Parses one `payload TAB fnv16` journal line, `None` on any damage.
+fn parse_line(line: &str) -> Option<IngestCheckpoint> {
+    let (payload, checksum) = line.rsplit_once('\t')?;
+    if parse_hex16(checksum)? != bytes_hash(payload.as_bytes()) {
+        return None;
+    }
+    serde_json::from_str(payload).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("nrpm-ingest-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn cp(offset: u64, line: u64) -> IngestCheckpoint {
+        IngestCheckpoint {
+            resume_offset: offset,
+            resume_line: line,
+            applied_line: line.saturating_sub(1),
+            context: ResumeContext {
+                kernel: Some("mm".into()),
+                tenant: Some("acme".into()),
+                arity: Some(2),
+                event_time: None,
+                watermark: Some(41.5),
+            },
+            counters: IngestCounters {
+                records: offset / 10,
+                ..IngestCounters::default()
+            },
+        }
+    }
+
+    #[test]
+    fn checkpoints_survive_reopen() {
+        let dir = tmpdir("reopen");
+        {
+            let (mut j, rec) = IngestJournal::open(&dir).unwrap();
+            assert_eq!(rec.checkpoints_read, 0);
+            j.checkpoint(&cp(100, 5)).unwrap();
+            j.checkpoint(&cp(250, 12)).unwrap();
+        }
+        let (j, rec) = IngestJournal::open(&dir).unwrap();
+        assert_eq!(rec.checkpoints_read, 2);
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(j.latest(), Some(&cp(250, 12)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_previous_checkpoint_wins() {
+        let dir = tmpdir("torn");
+        {
+            let (mut j, _) = IngestJournal::open(&dir).unwrap();
+            j.checkpoint(&cp(100, 5)).unwrap();
+        }
+        // Simulate a crash mid-append: garbage half-line at the end.
+        let path = dir.join(INGEST_JOURNAL_FILE);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"resume_offset\":999").unwrap();
+        drop(f);
+        let (j, rec) = IngestJournal::open(&dir).unwrap();
+        assert_eq!(rec.checkpoints_read, 1);
+        assert!(rec.truncated_bytes > 0);
+        assert_eq!(j.latest().unwrap().resume_offset, 100);
+        // The torn bytes are gone from disk.
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.ends_with('\n'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_checksum_invalidates_the_line() {
+        let dir = tmpdir("checksum");
+        {
+            let (mut j, _) = IngestJournal::open(&dir).unwrap();
+            j.checkpoint(&cp(100, 5)).unwrap();
+            j.checkpoint(&cp(200, 9)).unwrap();
+        }
+        let path = dir.join(INGEST_JOURNAL_FILE);
+        let contents = std::fs::read_to_string(&path).unwrap();
+        // Flip one payload byte of the second line, keeping its checksum.
+        let flipped = contents.replacen("\"resume_offset\":200", "\"resume_offset\":201", 1);
+        std::fs::write(&path, flipped).unwrap();
+        let (j, rec) = IngestJournal::open(&dir).unwrap();
+        assert_eq!(rec.checkpoints_read, 1, "damaged line rejected");
+        assert_eq!(j.latest().unwrap().resume_offset, 100);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_keeps_only_the_last_checkpoint() {
+        let dir = tmpdir("compact");
+        let (mut j, _) = IngestJournal::open(&dir).unwrap();
+        for i in 0..10 {
+            j.checkpoint(&cp(i * 10, i + 1)).unwrap();
+        }
+        j.compact().unwrap();
+        let contents = std::fs::read_to_string(dir.join(INGEST_JOURNAL_FILE)).unwrap();
+        assert_eq!(contents.lines().count(), 1);
+        let (j2, rec) = IngestJournal::open(&dir).unwrap();
+        assert_eq!(rec.checkpoints_read, 1);
+        assert_eq!(j2.latest().unwrap().resume_offset, 90);
+        // The journal still accepts appends after compaction.
+        let mut j3 = j;
+        j3.checkpoint(&cp(500, 20)).unwrap();
+        let (_, rec) = IngestJournal::open(&dir).unwrap();
+        assert_eq!(rec.resume.unwrap().resume_offset, 500);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,477 @@
+//! Measurement sources: file-follow with rotation detection, and the
+//! newline-JSON TCP push protocol.
+//!
+//! # File follow
+//!
+//! [`FollowSource`] tails a measurement log in the PARAMS/POINT text format
+//! of `nrpm-extrap`, extended with three ingest directives:
+//!
+//! ```text
+//! KERNEL matmul TENANT acme   # switch the (kernel, tenant) key
+//! PARAMS 2 p n                # as in the batch format
+//! TIME 1200                   # advance event time (optional)
+//! POINT 16 32 DATA 1.25 1.31  # one record for the current key
+//! ```
+//!
+//! Each poll stats the file first: a shrunken length or a changed inode
+//! means the log was **rotated** — the source reopens at offset zero and
+//! reports the rotation so the engine can re-anchor its journal. Partial
+//! trailing lines are *held*, never parsed ([`TailPolicy::HoldForMore`]
+//! semantics via the engine's `LineFramer`): a record is only ever seen
+//! complete.
+//!
+//! # TCP push
+//!
+//! [`PushSource`] binds a listener speaking one JSON record per line:
+//!
+//! ```text
+//! → {"kernel":"matmul","tenant":"acme","point":[16,32],"values":[1.25,1.31],"t":1200}
+//! ← {"status":"ok"}
+//! ```
+//!
+//! Push records carry no replayable byte offset; they are counted and
+//! windowed like file records but excluded from crash-safe resume (the
+//! network cannot be re-read). The queue between connection threads and the
+//! engine is bounded; the oldest queued record is dropped under pressure —
+//! the listener never blocks its clients on the engine.
+//!
+//! [`TailPolicy::HoldForMore`]: nrpm_extrap::TailPolicy
+
+use serde::Value;
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Bound on records queued between push connections and the engine.
+const PUSH_BUFFER: usize = 1024;
+/// Hard cap on one push request line.
+const MAX_PUSH_LINE: usize = 1024 * 1024;
+
+/// One chunk of new bytes from a followed file.
+#[derive(Debug, Clone, Default)]
+pub struct FollowChunk {
+    /// The new bytes (possibly ending mid-line).
+    pub data: String,
+    /// Byte offset of `data`'s first byte in the file.
+    pub base_offset: u64,
+    /// Whether a rotation was detected before this chunk was read; the
+    /// chunk then starts at offset zero of the *new* file.
+    pub rotated: bool,
+}
+
+/// Tails one measurement log file.
+#[derive(Debug)]
+pub struct FollowSource {
+    path: PathBuf,
+    offset: u64,
+    signature: Option<(u64, u64)>,
+    rotations: u64,
+}
+
+impl FollowSource {
+    /// Creates a follower starting at the beginning of `path` (which need
+    /// not exist yet — polls return empty chunks until it does).
+    pub fn open(path: &Path) -> FollowSource {
+        FollowSource {
+            path: path.to_path_buf(),
+            offset: 0,
+            signature: None,
+            rotations: 0,
+        }
+    }
+
+    /// The path being followed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The next read position.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Rotations detected so far.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Repositions the follower (journal resume).
+    pub fn seek_to(&mut self, offset: u64) {
+        self.offset = offset;
+    }
+
+    /// Reads every byte appended since the last poll. An empty chunk means
+    /// no news. Rotation (shrunken file or changed identity) resets the
+    /// read position to zero and is flagged on the returned chunk.
+    pub fn poll(&mut self) -> std::io::Result<FollowChunk> {
+        let metadata = match std::fs::metadata(&self.path) {
+            Ok(m) => m,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(FollowChunk::default());
+            }
+            Err(e) => return Err(e),
+        };
+        let signature = file_signature(&metadata);
+        let rotated = metadata.len() < self.offset
+            || (self.signature.is_some() && signature.is_some() && self.signature != signature);
+        if rotated {
+            self.offset = 0;
+            self.rotations += 1;
+        }
+        self.signature = signature;
+        if metadata.len() == self.offset {
+            return Ok(FollowChunk {
+                data: String::new(),
+                base_offset: self.offset,
+                rotated,
+            });
+        }
+
+        let mut file = std::fs::File::open(&self.path)?;
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut data = String::new();
+        file.read_to_string(&mut data)?;
+        let chunk = FollowChunk {
+            base_offset: self.offset,
+            rotated,
+            data,
+        };
+        self.offset += chunk.data.len() as u64;
+        Ok(chunk)
+    }
+}
+
+#[cfg(unix)]
+fn file_signature(metadata: &std::fs::Metadata) -> Option<(u64, u64)> {
+    use std::os::unix::fs::MetadataExt;
+    Some((metadata.dev(), metadata.ino()))
+}
+
+#[cfg(not(unix))]
+fn file_signature(_metadata: &std::fs::Metadata) -> Option<(u64, u64)> {
+    None
+}
+
+/// One record pushed over the TCP protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushRecord {
+    /// Kernel the measurement belongs to.
+    pub kernel: String,
+    /// Tenant tag (`"default"` when absent).
+    pub tenant: Option<String>,
+    /// Measurement point coordinates.
+    pub point: Vec<f64>,
+    /// Repetition values.
+    pub values: Vec<f64>,
+    /// Event time, fed to the watermark.
+    pub t: Option<f64>,
+}
+
+/// The TCP push source: a listener accepting newline-JSON records into a
+/// bounded queue the engine drains.
+#[derive(Debug)]
+pub struct PushSource {
+    addr: SocketAddr,
+    queue: Arc<Mutex<std::collections::VecDeque<PushRecord>>>,
+    dropped: Arc<AtomicU64>,
+    received: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+}
+
+impl PushSource {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts the accept loop in a
+    /// background thread.
+    pub fn bind(addr: &str) -> std::io::Result<PushSource> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let queue = Arc::new(Mutex::new(std::collections::VecDeque::new()));
+        let dropped = Arc::new(AtomicU64::new(0));
+        let received = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        {
+            let queue = Arc::clone(&queue);
+            let dropped = Arc::clone(&dropped);
+            let received = Arc::clone(&received);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                accept_loop(listener, queue, dropped, received, stop);
+            });
+        }
+        Ok(PushSource {
+            addr,
+            queue,
+            dropped,
+            received,
+            stop,
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Drains every queued record.
+    pub fn drain(&self) -> Vec<PushRecord> {
+        let mut queue = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+        queue.drain(..).collect()
+    }
+
+    /// Records accepted over the wire so far.
+    pub fn received(&self) -> u64 {
+        self.received.load(Ordering::Relaxed)
+    }
+
+    /// Records dropped because the engine fell behind the queue bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Stops the accept loop (existing connections close on their own).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for PushSource {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    queue: Arc<Mutex<std::collections::VecDeque<PushRecord>>>,
+    dropped: Arc<AtomicU64>,
+    received: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let queue = Arc::clone(&queue);
+                let dropped = Arc::clone(&dropped);
+                let received = Arc::clone(&received);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, queue, dropped, received, stop);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    queue: Arc<Mutex<std::collections::VecDeque<PushRecord>>>,
+    dropped: Arc<AtomicU64>,
+    received: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while !stop.load(Ordering::SeqCst) {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()),
+            Ok(n) if n > MAX_PUSH_LINE => {
+                writer.write_all(b"{\"status\":\"error\",\"kind\":\"too_large\"}\n")?;
+            }
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                match parse_push_record(trimmed) {
+                    Ok(record) => {
+                        received.fetch_add(1, Ordering::Relaxed);
+                        let mut q = queue.lock().unwrap_or_else(|p| p.into_inner());
+                        if q.len() >= PUSH_BUFFER {
+                            q.pop_front();
+                            dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                        q.push_back(record);
+                        drop(q);
+                        writer.write_all(b"{\"status\":\"ok\"}\n")?;
+                    }
+                    Err(msg) => {
+                        let reply = format!(
+                            "{{\"status\":\"error\",\"kind\":\"bad_request\",\"message\":{}}}\n",
+                            serde_json::to_string(&msg).unwrap_or_else(|_| "\"\"".into())
+                        );
+                        writer.write_all(reply.as_bytes())?;
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn numbers(v: &Value, key: &str) -> Result<Vec<f64>, String> {
+    let seq = v
+        .get(key)
+        .and_then(Value::as_seq)
+        .ok_or_else(|| format!("`{key}` must be an array of numbers"))?;
+    seq.iter()
+        .map(|e| {
+            e.as_f64()
+                .filter(|f| f.is_finite())
+                .ok_or_else(|| format!("`{key}` must hold finite numbers"))
+        })
+        .collect()
+}
+
+/// Parses and validates one push line.
+pub fn parse_push_record(line: &str) -> Result<PushRecord, String> {
+    let value: Value =
+        serde_json::from_str(line).map_err(|e| format!("malformed push record: {e}"))?;
+    if value.as_map().is_none() {
+        return Err("push record must be a JSON object".into());
+    }
+    let kernel = value
+        .get("kernel")
+        .and_then(Value::as_str)
+        .filter(|k| !k.is_empty())
+        .ok_or("push record needs a non-empty `kernel`")?
+        .to_string();
+    let tenant = match value.get("tenant") {
+        None | Some(Value::Null) => None,
+        Some(t) => Some(t.as_str().ok_or("`tenant` must be a string")?.to_string()),
+    };
+    let point = numbers(&value, "point")?;
+    let values = numbers(&value, "values")?;
+    let t = match value.get("t") {
+        None | Some(Value::Null) => None,
+        Some(x) => Some(
+            x.as_f64()
+                .filter(|f| f.is_finite())
+                .ok_or("`t` must be a finite number")?,
+        ),
+    };
+    if point.is_empty() {
+        return Err("push record needs at least one point coordinate".into());
+    }
+    if values.is_empty() {
+        return Err("push record needs at least one value".into());
+    }
+    Ok(PushRecord {
+        kernel,
+        tenant,
+        point,
+        values,
+        t,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "nrpm-ingest-follow-{tag}-{}.log",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn follow_reads_appends_incrementally() {
+        let path = tmpfile("appends");
+        let _ = std::fs::remove_file(&path);
+        let mut source = FollowSource::open(&path);
+        assert_eq!(source.poll().unwrap().data, "", "missing file is quiet");
+        std::fs::write(&path, "PARAMS 1\n").unwrap();
+        let chunk = source.poll().unwrap();
+        assert_eq!(chunk.data, "PARAMS 1\n");
+        assert_eq!(chunk.base_offset, 0);
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"POINT 4 DATA 1.0\n").unwrap();
+        drop(f);
+        let chunk = source.poll().unwrap();
+        assert_eq!(chunk.data, "POINT 4 DATA 1.0\n");
+        assert_eq!(chunk.base_offset, 9);
+        assert!(source.poll().unwrap().data.is_empty(), "no news");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncation_is_detected_as_rotation() {
+        let path = tmpfile("rotate");
+        std::fs::write(&path, "PARAMS 1\nPOINT 4 DATA 1.0\n").unwrap();
+        let mut source = FollowSource::open(&path);
+        assert!(!source.poll().unwrap().rotated);
+        // Rotate: replace with a shorter file.
+        std::fs::write(&path, "PARAMS 1\n").unwrap();
+        let chunk = source.poll().unwrap();
+        assert!(chunk.rotated);
+        assert_eq!(chunk.base_offset, 0);
+        assert_eq!(chunk.data, "PARAMS 1\n");
+        assert_eq!(source.rotations(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn push_records_parse_and_validate() {
+        let record = parse_push_record(
+            r#"{"kernel":"mm","tenant":"acme","point":[16,32],"values":[1.25,1.31],"t":12}"#,
+        )
+        .unwrap();
+        assert_eq!(record.kernel, "mm");
+        assert_eq!(record.tenant.as_deref(), Some("acme"));
+        assert_eq!(record.point, vec![16.0, 32.0]);
+        assert_eq!(record.t, Some(12.0));
+        let minimal = parse_push_record(r#"{"kernel":"mm","point":[4],"values":[1.0]}"#).unwrap();
+        assert_eq!(minimal.tenant, None);
+        assert_eq!(minimal.t, None);
+        assert!(parse_push_record(r#"{"kernel":"","point":[4],"values":[1.0]}"#).is_err());
+        assert!(parse_push_record(r#"{"kernel":"mm","point":[],"values":[1.0]}"#).is_err());
+        assert!(parse_push_record(r#"{"kernel":"mm","point":[4],"values":[]}"#).is_err());
+        assert!(parse_push_record("not json").is_err());
+    }
+
+    #[test]
+    fn push_source_queues_records_over_tcp() {
+        let source = PushSource::bind("127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(source.local_addr()).unwrap();
+        stream
+            .write_all(b"{\"kernel\":\"mm\",\"point\":[4],\"values\":[1.0]}\n{\"kernel\":\"mm\",\"point\":[8],\"values\":[2.0]}\nnot json\n")
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut replies = Vec::new();
+        for _ in 0..3 {
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            replies.push(reply);
+        }
+        assert!(replies[0].contains("\"ok\""));
+        assert!(replies[1].contains("\"ok\""));
+        assert!(replies[2].contains("bad_request"));
+        let drained = source.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].point, vec![4.0]);
+        assert_eq!(source.received(), 2);
+        assert_eq!(source.dropped(), 0);
+        source.shutdown();
+    }
+}

@@ -59,6 +59,9 @@ use std::time::{Duration, Instant};
 pub const SERVING_REF: &str = "serving";
 /// Ref name of the rollback target (the previously serving checkpoint).
 pub const SERVING_PREVIOUS_REF: &str = "serving-previous";
+/// Ref name the ingester publishes candidates under (the default feed
+/// watch target; must match `nrpm-ingest`'s publish ref).
+pub const INGEST_CANDIDATE_REF: &str = "ingest-candidate";
 
 /// Bound on buffered observations between engine ticks; oldest are dropped
 /// first (the accumulator wants recent workload, not history).
@@ -94,6 +97,15 @@ pub struct AdaptOptions {
     /// process-wide budget so retraining never oversubscribes the serve
     /// workers). `0` inherits the global budget.
     pub train_threads: usize,
+    /// Watch the registry ref named by [`AdaptOptions::feed_ref`] for
+    /// candidates published by an external ingester (`nrpm ingest`) and
+    /// hot-swap them in through the two-phase journal. The shadow-SMAPE
+    /// gate is skipped — the ingester modeled the candidate against its
+    /// own live window — but the post-swap watchdog still applies, so a
+    /// regressing fed model rolls back like any other. Requires `dir`.
+    pub feed: bool,
+    /// Registry ref watched in feed mode.
+    pub feed_ref: String,
 }
 
 impl Default for AdaptOptions {
@@ -107,6 +119,8 @@ impl Default for AdaptOptions {
             watch_tolerance: 0.5,
             dir: None,
             train_threads: 0,
+            feed: false,
+            feed_ref: INGEST_CANDIDATE_REF.to_string(),
         }
     }
 }
@@ -244,6 +258,9 @@ struct Engine {
     accumulator: NoiseAccumulator,
     mirror: VecDeque<MeasurementSet>,
     watch: Option<WatchState>,
+    /// Last feed-ref hash examined, swapped or not — a rejected candidate
+    /// is not retried every tick.
+    feed_seen: Option<u64>,
 }
 
 /// Runs the adaptation engine until the server drains. Spawned (and
@@ -260,6 +277,7 @@ pub(crate) fn run_adapt_engine(shared: &Arc<Shared>) {
         std::thread::sleep(shared.opts.poll_interval);
         engine.ingest(&state);
         engine.evaluate_watch();
+        engine.poll_feed();
         let forced = state.force.swap(false, Ordering::SeqCst);
         let due = last_cycle.elapsed() >= engine.opts.interval
             && engine.accumulator.total() >= engine.opts.min_observations as u64;
@@ -294,6 +312,7 @@ impl Engine {
             accumulator: NoiseAccumulator::new(),
             mirror: VecDeque::new(),
             watch: None,
+            feed_seen: None,
         }
     }
 
@@ -384,8 +403,86 @@ impl Engine {
         self.shared.metrics.record_adapt_rollback();
     }
 
+    /// Feed mode: hot-swap in a candidate published by an external
+    /// ingester. The feed ref is polled every tick; a new hash is loaded
+    /// from the registry and committed through the same two-phase journal
+    /// as a local retrain, minus the shadow-SMAPE gate (the ingester
+    /// already modeled the candidate against its live window — the
+    /// registry load is the structural validation). When mirrored traffic
+    /// exists, a watch window opens so a regressing fed model still rolls
+    /// back automatically.
+    fn poll_feed(&mut self) {
+        if !self.opts.feed {
+            return;
+        }
+        let Some(registry) = &self.registry else {
+            return;
+        };
+        let Ok(Some(hash)) = registry.ref_hash(&self.opts.feed_ref) else {
+            return;
+        };
+        if self.feed_seen == Some(hash) {
+            return;
+        }
+        // Examined is examined: a candidate that fails below must not be
+        // retried every tick.
+        self.feed_seen = Some(hash);
+        let incumbent_hash = self.shared.store.checkpoint_hash();
+        if hash == incumbent_hash {
+            return;
+        }
+        let Ok(candidate) = registry.get(hash) else {
+            return;
+        };
+        let incumbent = self.shared.store.network();
+        let seq = match &mut self.journal {
+            Some(journal) => match journal.begin(hash, incumbent_hash) {
+                Ok(seq) => Some(seq),
+                Err(_) => return,
+            },
+            None => None,
+        };
+        if let (Some(journal), Some(seq)) = (&mut self.journal, seq) {
+            if journal.mark_validated(seq).is_err() {
+                let _ = journal.abort(seq);
+                return;
+            }
+        }
+        if self.shared.store.swap(candidate).is_err() {
+            if let (Some(journal), Some(seq)) = (&mut self.journal, seq) {
+                let _ = journal.abort(seq);
+            }
+            return;
+        }
+        if let Some(registry) = &self.registry {
+            let _ = registry.put(&incumbent); // pin the rollback target
+            let _ = registry.set_ref(SERVING_REF, hash);
+            let _ = registry.set_ref(SERVING_PREVIOUS_REF, incumbent_hash);
+        }
+        if let (Some(journal), Some(seq)) = (&mut self.journal, seq) {
+            let _ = journal.commit(seq);
+        }
+        self.shared.metrics.record_adapt_feed_swap();
+        // Watch the fed model against the incumbent's shadow baseline when
+        // there is mirrored traffic to define one; without a baseline the
+        // watchdog would have nothing sound to compare against.
+        let core_opts: AdaptiveOptions = self.shared.store.options();
+        let mirror: Vec<MeasurementSet> = self.mirror.iter().cloned().collect();
+        if let Some(baseline) = shadow_smape(&incumbent, &core_opts, &mirror) {
+            self.watch = Some(WatchState {
+                baseline,
+                epoch: self.shared.store.epoch(),
+                swapped_hash: hash,
+                previous_hash: incumbent_hash,
+                previous: incumbent,
+                collected: Vec::new(),
+                inflate: false,
+            });
+        }
+    }
+
     /// One full adaptation cycle: retrain → store candidate →
-    /// shadow-validate → two-phase commit → open the watch window.
+    /// shadow-validate → commit → open the watch window.
     fn cycle(&mut self, state: &AdaptState) {
         let faults = state.take_faults();
         let has = |kind: AdaptFaultKind| faults.contains(&kind);

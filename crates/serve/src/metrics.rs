@@ -42,6 +42,7 @@ pub struct Metrics {
     adapt_swaps: AtomicU64,
     adapt_rollbacks: AtomicU64,
     adapt_restarts: AtomicU64,
+    adapt_feed_swaps: AtomicU64,
     choice_dnn: AtomicU64,
     choice_regression: AtomicU64,
     choice_constant_mean: AtomicU64,
@@ -187,6 +188,12 @@ impl Metrics {
         self.adapt_restarts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a hot-swap to a candidate published by an external ingester
+    /// (the `--feed` registry watcher).
+    pub fn record_adapt_feed_swap(&self) {
+        self.adapt_feed_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records which modeler produced a kernel's answer.
     pub fn record_choice(&self, choice: ModelerChoice) {
         let counter = match choice {
@@ -270,6 +277,7 @@ impl Metrics {
             adapt_swaps: get(&self.adapt_swaps),
             adapt_rollbacks: get(&self.adapt_rollbacks),
             adapt_restarts: get(&self.adapt_restarts),
+            adapt_feed_swaps: get(&self.adapt_feed_swaps),
             choice_dnn: get(&self.choice_dnn),
             choice_regression: get(&self.choice_regression),
             choice_constant_mean: get(&self.choice_constant_mean),
@@ -340,6 +348,8 @@ pub struct MetricsSnapshot {
     pub adapt_rollbacks: u64,
     /// Dead adaptation engines respawned by the supervisor.
     pub adapt_restarts: u64,
+    /// Hot-swaps to candidates published by an external ingester (`--feed`).
+    pub adapt_feed_swaps: u64,
     /// Kernels answered by the DNN modeler.
     pub choice_dnn: u64,
     /// Kernels answered by the regression modeler.

@@ -8,8 +8,8 @@ use nrpm_core::adaptive::AdaptiveOptions;
 use nrpm_core::preprocess::NUM_INPUTS;
 use nrpm_extrap::{MeasurementSet, NUM_CLASSES};
 use nrpm_nn::{Network, NetworkConfig};
-use nrpm_registry::SwapJournal;
-use nrpm_serve::adapt::AdaptOptions;
+use nrpm_registry::{CheckpointRegistry, SwapJournal};
+use nrpm_serve::adapt::{AdaptOptions, INGEST_CANDIDATE_REF, SERVING_REF};
 use nrpm_serve::client::{is_ok, Client};
 use nrpm_serve::server::{ServeOptions, Server};
 use nrpm_serve::store::ModelStore;
@@ -113,6 +113,7 @@ fn adapt_serve_options(dir: Option<PathBuf>) -> ServeOptions {
             watch_tolerance: 0.5,
             dir,
             train_threads: 1,
+            ..Default::default()
         },
         ..Default::default()
     }
@@ -423,5 +424,47 @@ fn watchdog_rolls_back_a_regressing_swap() {
     assert!(journal.pending().is_empty(), "{:?}", journal.records());
     let committed = journal.committed_hash().expect("rollback recorded");
     assert_eq!(format!("{committed:016x}"), hash_before);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Feed mode: a candidate published into the registry by an external
+/// ingester (the way `nrpm ingest` does) is hot-swapped in through the
+/// two-phase journal — epoch bumps, the serving ref moves, requests keep
+/// being answered, and the journal's last terminal record is the commit.
+#[test]
+fn a_fed_candidate_hot_swaps_through_the_journal() {
+    let dir = tmp_dir("feed");
+    let mut opts = adapt_serve_options(Some(dir.clone()));
+    opts.adaptation.feed = true;
+    let server = Server::start("127.0.0.1:0", fast_adapt_store(7), opts).unwrap();
+    let mut client = connect(&server);
+    let hash_before = get_str(&client.stats().unwrap(), "checkpoint_hash").to_string();
+
+    // Publish a candidate under the ingest-candidate ref, exactly as the
+    // ingester's re-modeling path does.
+    let registry = CheckpointRegistry::open(&dir).unwrap();
+    let fed_hash = registry.put(&test_network(99)).unwrap();
+    registry.set_ref(INGEST_CANDIDATE_REF, fed_hash).unwrap();
+
+    let stats = wait_for_stats(&mut client, Duration::from_secs(30), |s| {
+        get_u64(s, "adapt_feed_swaps") >= 1
+    });
+    assert!(get_u64(&stats, "epoch") >= 1, "{stats:?}");
+    assert_ne!(get_str(&stats, "checkpoint_hash"), hash_before, "{stats:?}");
+    assert_eq!(
+        get_str(&stats, "checkpoint_hash"),
+        format!("{fed_hash:016x}"),
+        "{stats:?}"
+    );
+    // The swapped-in candidate answers requests — zero drops.
+    pump_requests(&mut client, 1100, 5);
+    assert_eq!(registry.ref_hash(SERVING_REF).unwrap(), Some(fed_hash));
+
+    client.shutdown().unwrap();
+    join_within(server, Duration::from_secs(60));
+
+    let (journal, _) = SwapJournal::open(&dir).unwrap();
+    assert!(journal.pending().is_empty(), "{:?}", journal.records());
+    assert_eq!(journal.committed_hash(), Some(fed_hash));
     let _ = std::fs::remove_dir_all(&dir);
 }

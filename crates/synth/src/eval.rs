@@ -6,7 +6,7 @@
 //! sequence beyond the measured range (Fig. 2).
 
 use crate::function::{random_function, SyntheticFunction};
-use crate::noise::noisy_repetitions;
+use crate::regime::NoiseFamily;
 use crate::sequences::{extend_sequence, random_sequence, SequenceKind};
 use nrpm_extrap::MeasurementSet;
 use rand::Rng;
@@ -24,6 +24,8 @@ pub struct EvalTaskSpec {
     pub points_per_param: usize,
     /// Extrapolation points `P⁺` (paper: 4).
     pub num_eval_points: usize,
+    /// Shape of the injected measurement noise (paper: uniform).
+    pub family: NoiseFamily,
 }
 
 impl EvalTaskSpec {
@@ -35,6 +37,7 @@ impl EvalTaskSpec {
             repetitions: 5,
             points_per_param: 5,
             num_eval_points: 4,
+            family: NoiseFamily::Uniform,
         }
     }
 }
@@ -74,7 +77,13 @@ pub fn generate_eval_task(spec: &EvalTaskSpec, rng: &mut impl Rng) -> EvalTask {
             .map(|l| sequences[l][index[l]])
             .collect();
         let value = truth.evaluate(&point);
-        let reps = noisy_repetitions(value, spec.noise_level, spec.repetitions.max(1), rng);
+        // Line position for scale-dependent families: the mean fraction of
+        // every coordinate's index along its sequence (i/(n−1) for m = 1).
+        let denom = (spec.points_per_param - 1).max(1) as f64;
+        let pos = index.iter().map(|&i| i as f64).sum::<f64>() / (spec.num_params as f64 * denom);
+        let reps =
+            spec.family
+                .repetitions(value, spec.noise_level, pos, spec.repetitions.max(1), rng);
         set.add_repetitions(&point, &reps);
 
         let mut l = 0;

@@ -13,6 +13,7 @@ mod eval;
 mod fault;
 mod function;
 mod noise;
+mod regime;
 mod sequences;
 mod training;
 
@@ -20,6 +21,7 @@ pub use eval::{generate_eval_task, generate_eval_tasks, EvalTask, EvalTaskSpec};
 pub use fault::{FaultInjector, FaultKind, InjectionSummary};
 pub use function::{random_function, random_single_parameter_function, SyntheticFunction};
 pub use noise::{apply_noise, noisy_repetitions, NoiseModel};
+pub use regime::{NoiseFamily, DEFAULT_SPIKE_FACTOR, DEFAULT_SPIKE_RATE};
 pub use sequences::{extend_sequence, random_sequence, SequenceKind};
 pub use training::{
     generate_training_samples, generate_training_samples_seeded, TrainingSample, TrainingSpec,

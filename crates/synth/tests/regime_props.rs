@@ -1,0 +1,93 @@
+//! Property tests pinning the moments of every noise family to its spec.
+//!
+//! Each family promises a mean factor ([`NoiseFamily::expected_mean_factor`])
+//! and a per-repetition standard deviation ([`NoiseFamily::expected_std`]);
+//! these tests draw large samples across random levels and parameters and
+//! check the empirical moments land within a sampling-error tolerance.
+
+use nrpm_synth::NoiseFamily;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SAMPLES: usize = 30_000;
+
+fn moments(family: NoiseFamily, level: f64, pos: f64, seed: u64) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let reps = family.repetitions(1.0, level, pos, SAMPLES, &mut rng);
+    let mean = reps.iter().sum::<f64>() / reps.len() as f64;
+    let var = reps.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / reps.len() as f64;
+    (mean, var.sqrt())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn uniform_moments_match_spec(level in 0.05f64..1.0, seed in 0u64..1000) {
+        let family = NoiseFamily::Uniform;
+        let (mean, std) = moments(family, level, 0.5, seed);
+        prop_assert!((mean - family.expected_mean_factor()).abs() < 0.01,
+            "mean {mean} at level {level}");
+        let want = family.expected_std(level, 0.5);
+        prop_assert!((std - want).abs() < want * 0.05 + 0.005,
+            "std {std} vs {want} at level {level}");
+    }
+
+    #[test]
+    fn heteroscedastic_moments_scale_with_position(
+        level in 0.05f64..0.8,
+        pos in 0.1f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let family = NoiseFamily::Heteroscedastic;
+        let (mean, std) = moments(family, level, pos, seed);
+        prop_assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        let want = family.expected_std(level, pos);
+        prop_assert!((std - want).abs() < want * 0.05 + 0.005,
+            "std {std} vs {want} at level {level}, pos {pos}");
+    }
+
+    #[test]
+    fn spike_moments_match_the_contamination_model(
+        level in 0.05f64..0.6,
+        rate in 0.01f64..0.2,
+        factor in 2.0f64..20.0,
+        seed in 0u64..1000,
+    ) {
+        let family = NoiseFamily::SpikeContaminated {
+            spike_rate: rate,
+            spike_factor: factor,
+        };
+        let (mean, std) = moments(family, level, 0.5, seed);
+        // Mean inflation is exactly rate · (factor − 1); the spread of the
+        // spike indicator makes the mean itself noisier than the smooth
+        // families, so the tolerance scales with the predicted std.
+        let want_mean = family.expected_mean_factor();
+        let want_std = family.expected_std(level, 0.5);
+        let mean_tol = 4.0 * want_std / (SAMPLES as f64).sqrt() + 0.01;
+        prop_assert!((mean - want_mean).abs() < mean_tol,
+            "mean {mean} vs {want_mean} (rate {rate}, factor {factor})");
+        prop_assert!((std - want_std).abs() < want_std * 0.10 + 0.01,
+            "std {std} vs {want_std} (rate {rate}, factor {factor})");
+    }
+
+    #[test]
+    fn device_variation_moments_are_gaussian(level in 0.05f64..0.6, seed in 0u64..1000) {
+        let family = NoiseFamily::DeviceVariation;
+        let (mean, std) = moments(family, level, 0.5, seed);
+        prop_assert!((mean - 1.0).abs() < 0.01, "mean {mean} at level {level}");
+        let want = family.expected_std(level, 0.5);
+        prop_assert!((std - want).abs() < want * 0.05 + 0.005,
+            "std {std} vs {want} at level {level}");
+    }
+
+    #[test]
+    fn all_families_keep_values_positive(level in 0.0f64..1.0, seed in 0u64..1000) {
+        for family in NoiseFamily::all() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let reps = family.repetitions(3.5, level, 0.5, 200, &mut rng);
+            prop_assert!(reps.iter().all(|v| v.is_finite() && *v > 0.0), "{family}");
+        }
+    }
+}
