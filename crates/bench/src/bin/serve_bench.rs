@@ -6,10 +6,15 @@
 //! request into one matrix multiplication, so their per-kernel cost should
 //! drop measurably below the single-request path.
 //!
+//! A second pair of scenarios (`batch-f64` vs. `batch-int8`) serves the
+//! full paper architecture (3.7 M parameters) with and without the int8
+//! quantized inference path, isolating what `nrpm serve --quantize` buys
+//! when the forward pass actually dominates per-kernel cost.
+//!
 //! ```text
 //! cargo run -p nrpm-bench --release --bin serve_bench -- \
-//!     [--requests N] [--kernels K] [--clients C] [--workers 1,4,8] \
-//!     [--out BENCH_serve.json]
+//!     [--requests N] [--kernels K] [--quant-kernels Q] [--clients C] \
+//!     [--workers 1,4,8] [--out BENCH_serve.json]
 //! ```
 
 use nrpm_bench::cli::Args;
@@ -17,7 +22,7 @@ use nrpm_bench::report::{f2, Table};
 use nrpm_core::adaptive::AdaptiveOptions;
 use nrpm_core::preprocess::NUM_INPUTS;
 use nrpm_extrap::{MeasurementSet, NUM_CLASSES};
-use nrpm_nn::{Network, NetworkConfig};
+use nrpm_nn::{Network, NetworkConfig, QuantGate};
 use nrpm_serve::client::{is_ok, Client};
 use nrpm_serve::server::{ServeOptions, Server};
 use nrpm_serve::store::ModelStore;
@@ -39,6 +44,8 @@ struct ScenarioResult {
     per_kernel_ms: f64,
     batched_forward_calls: u64,
     batched_rows: u64,
+    quantized_forward_calls: u64,
+    quant_fallbacks: u64,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -59,6 +66,32 @@ fn bench_set(salt: u64) -> MeasurementSet {
         set.add_repetitions(&[x], &[y, y * 1.02, y * 0.98]);
     }
     set
+}
+
+/// A store serving the full paper architecture, optionally through the
+/// int8 quantized path. The gate is opened wide for the benchmark: the
+/// weights are random (untrained), so class probabilities sit near
+/// uniform and calibration argmax "flips" are coin tosses between
+/// near-tied classes, not accuracy loss — a trained network passes the
+/// default gate (see the core/nn gate tests), but a random one may not.
+/// This bench measures throughput only.
+fn paper_store(quantize: bool) -> ModelStore {
+    let config = NetworkConfig::paper();
+    let network = Network::new(&config, 17);
+    let mut opts = AdaptiveOptions::default();
+    opts.dnn.network = config;
+    opts.dnn.quantize = quantize;
+    // Pin the pipeline to the DNN modeler (the above-threshold noisy
+    // regime the paper targets): with a zero switching threshold the
+    // exhaustive regression search never runs, so the two scenarios
+    // compare the forward-pass cost itself rather than shared per-kernel
+    // modeling overhead.
+    opts.thresholds = Some(vec![0.0]);
+    opts.dnn.quant_gate = QuantGate {
+        max_prob_drift: 1.0,
+        max_argmax_flips: usize::MAX,
+    };
+    ModelStore::from_network(network, opts).expect("paper store")
 }
 
 fn percentile(sorted: &[Duration], q: f64) -> f64 {
@@ -138,6 +171,8 @@ fn run_scenario(
         per_kernel_ms: 0.0,
         batched_forward_calls: counter("batched_forward_calls"),
         batched_rows: counter("batched_rows"),
+        quantized_forward_calls: counter("quantized_forward_calls"),
+        quant_fallbacks: counter("quant_fallbacks"),
     };
     stats_client.shutdown().expect("shutdown");
     server.join().expect("drain bench server");
@@ -156,6 +191,10 @@ fn main() {
     let args = Args::parse();
     let requests = args.get("requests", 64usize);
     let kernels = args.get("kernels", 8usize);
+    // The quantization scenarios batch deeper: the int8 path exists for
+    // batch serving, and per-request transport otherwise drowns the
+    // forward-pass delta being measured.
+    let quant_kernels = args.get("quant-kernels", 32usize);
     let clients = args.get("clients", 4usize);
     let worker_counts: Vec<usize> = args
         .get_f64_list("workers", &[1.0, 4.0, 8.0])
@@ -210,6 +249,55 @@ fn main() {
         let speedup = of("batch").kernels_per_s / of("single").kernels_per_s;
         println!("workers={workers}: batched serving models {speedup:.2}x more kernels/s");
     }
+
+    // The quantization comparison: same requests against the 3.7 M-param
+    // paper network, f64 vs. int8 forward pass (`nrpm serve --quantize`).
+    println!("\npaper-architecture store ({} workers):", worker_counts[0]);
+    let mut qtable = Table::new(&[
+        "mode",
+        "req/s",
+        "kernels/s",
+        "p50 ms",
+        "p99 ms",
+        "ms/kernel",
+        "quant fwd",
+    ]);
+    for (mode, quantize) in [("batch-f64", false), ("batch-int8", true)] {
+        let store = paper_store(quantize);
+        let result = run_scenario(
+            worker_counts[0],
+            mode,
+            requests,
+            quant_kernels,
+            clients,
+            &store,
+        );
+        qtable.row(vec![
+            result.mode.clone(),
+            f2(result.requests_per_s),
+            f2(result.kernels_per_s),
+            f2(result.p50_ms),
+            f2(result.p99_ms),
+            f2(result.per_kernel_ms),
+            result.quantized_forward_calls.to_string(),
+        ]);
+        scenarios.push(result);
+    }
+    qtable.print();
+
+    let of = |mode: &str| {
+        scenarios
+            .iter()
+            .find(|s| s.mode == mode)
+            .expect("scenario ran")
+    };
+    let int8 = of("batch-int8");
+    assert!(
+        int8.quantized_forward_calls > 0 && int8.quant_fallbacks == 0,
+        "quantized scenario did not take the int8 path"
+    );
+    let quant_speedup = int8.kernels_per_s / of("batch-f64").kernels_per_s;
+    println!("paper net: --quantize serves {quant_speedup:.2}x more kernels/s in batch mode");
 
     let report = ServeBenchReport {
         requests_per_scenario: requests,

@@ -42,7 +42,7 @@ usage:
              [--io-timeout-ms T] [--work-delay-ms T]
              [--cache-capacity N] [--cache-dir DIR] [--train-threads N]
              [--adapt-interval MS] [--swap-smape-tolerance FRAC]
-             [--feed] [--thresholds table.json [--regime NAME]]
+             [--feed] [--thresholds table.json [--regime NAME]] [--quantize]
   nrpm ingest [--follow FILE] [--push-addr HOST:PORT] [--state-dir DIR]
               [--registry-dir DIR] [--model net.json] [--interval-ms T]
               [--once | --duration-ms T] [--window-capacity N]
@@ -306,6 +306,9 @@ pub enum Invocation {
         thresholds: Option<PathBuf>,
         /// Regime row of the threshold table (default `uniform`).
         regime: Option<String>,
+        /// Serve inference through the int8-quantized fast path when the
+        /// accuracy gate accepts it (falls back to f64 otherwise).
+        quantize: bool,
     },
     /// Tail live measurement sources, window them, re-model, publish.
     Ingest {
@@ -671,6 +674,7 @@ impl Invocation {
                     feed,
                     thresholds,
                     regime,
+                    quantize: get_flag("quantize").is_some(),
                 })
             }
             "ingest" => {
@@ -1183,6 +1187,7 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
             feed,
             thresholds,
             regime,
+            quantize,
         } => {
             // Divide the thread budget among the serving workers so
             // concurrent adaptation jobs don't oversubscribe the cores.
@@ -1202,13 +1207,17 @@ pub fn run(invocation: &Invocation) -> Result<String, CliError> {
             };
             let serve_budget = budget.saturating_sub(adapt_threads).max(1);
             ThreadBudget::set((serve_budget / (*workers).max(1)).max(1));
-            let core_opts = AdaptiveOptions {
+            let mut core_opts = AdaptiveOptions {
                 thresholds: thresholds
                     .as_deref()
                     .map(|path| load_switch_thresholds(path, regime.as_deref()))
                     .transpose()?,
                 ..Default::default()
             };
+            // The flag rides on the modeler options the store hands every
+            // worker: each warm rebuild re-runs the quantization gate, so a
+            // hot-swapped checkpoint that fails it falls back to f64.
+            core_opts.dnn.quantize = *quantize;
             let store = ModelStore::open(model, core_opts)
                 .map_err(|e| CliError::io(format!("{}: {e}", model.display())))?;
             let mut opts = ServeOptions {
@@ -2475,7 +2484,7 @@ mod tests {
                 "serve --model net.json --addr 0.0.0.0:9000 --workers 8 --adapt --timeout-ms 500 \
                  --queue-depth 2 --max-conns 32 --io-timeout-ms 750 --work-delay-ms 10 \
                  --cache-capacity 9 --cache-dir /var/cache/nrpm --train-threads 6 \
-                 --adapt-interval 5000 --swap-smape-tolerance 0.25"
+                 --adapt-interval 5000 --swap-smape-tolerance 0.25 --quantize"
             )
             .unwrap(),
             Invocation::Serve {
@@ -2499,6 +2508,7 @@ mod tests {
                 feed: false,
                 thresholds: None,
                 regime: None,
+                quantize: true,
             }
         );
         assert_eq!(
@@ -2524,6 +2534,7 @@ mod tests {
                 feed: false,
                 thresholds: None,
                 regime: None,
+                quantize: false,
             }
         );
         assert!(matches!(

@@ -206,6 +206,7 @@ impl AdaptiveModeler {
             outcomes,
             batched_lines: dnn_batch.lines,
             forward_passes: dnn_batch.forward_passes,
+            quantized: dnn_batch.quantized,
         }
     }
 }
@@ -219,6 +220,9 @@ pub struct AdaptiveBatch {
     pub batched_lines: usize,
     /// Network forward passes issued for the whole batch (`0` or `1`).
     pub forward_passes: usize,
+    /// Whether the coalesced forward pass ran on the int8-quantized
+    /// network (see [`DnnOptions::quantize`](crate::DnnOptions)).
+    pub quantized: bool,
 }
 
 /// Per-set state after the shared preprocessing pipeline: sanitized data,

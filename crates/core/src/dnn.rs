@@ -17,8 +17,8 @@ use nrpm_extrap::{
 };
 use nrpm_linalg::Matrix;
 use nrpm_nn::{
-    top_k_classes, Dataset, Network, NetworkConfig, OptimizerKind, TrainerOptions, ValidatedReport,
-    ValidationOptions, WatchdogOptions,
+    top_k_classes, Dataset, Network, NetworkConfig, OptimizerKind, QuantGate, QuantReport,
+    QuantizedNetwork, TrainerOptions, ValidatedReport, ValidationOptions, WatchdogOptions,
 };
 use nrpm_synth::{generate_training_samples_seeded, TrainingSample, TrainingSpec};
 use rand::rngs::StdRng;
@@ -64,6 +64,17 @@ pub struct DnnOptions {
     /// `NRPM_THREADS` environment variable. Results are bitwise identical
     /// at every thread count — this knob only changes speed.
     pub train_threads: usize,
+    /// Serve inference through an int8-quantized copy of the network when
+    /// the accuracy gate accepts it (see
+    /// [`QuantizedNetwork::validated`](nrpm_nn::QuantizedNetwork)). The
+    /// gate is re-run against a deterministic synthetic calibration batch
+    /// after every (re)train; if it rejects — any argmax flip, or class
+    /// probabilities drifting beyond [`Self::quant_gate`] — inference
+    /// falls back to the f64 network. Training always runs in f64; this
+    /// knob only affects the forward pass.
+    pub quantize: bool,
+    /// Accuracy thresholds for the quantization gate.
+    pub quant_gate: QuantGate,
 }
 
 impl Default for DnnOptions {
@@ -90,6 +101,8 @@ impl Default for DnnOptions {
             min_points: 5,
             encoding: ValueScaling::default(),
             train_threads: 0,
+            quantize: false,
+            quant_gate: QuantGate::default(),
         }
     }
 }
@@ -119,6 +132,10 @@ pub struct BatchClassification {
     /// Network forward passes issued: `1`, or `0` when every line was
     /// degenerate.
     pub forward_passes: usize,
+    /// Whether the forward pass ran on the int8-quantized network (`false`
+    /// on the f64 reference path — quantization off, gate-rejected, or no
+    /// forward pass issued).
+    pub quantized: bool,
 }
 
 /// Result of a batched modeling run ([`DnnModeler::model_batch`]).
@@ -130,6 +147,9 @@ pub struct DnnBatch {
     pub lines: usize,
     /// Network forward passes issued for the whole batch (`0` or `1`).
     pub forward_passes: usize,
+    /// Whether the coalesced forward pass ran on the int8-quantized
+    /// network.
+    pub quantized: bool,
 }
 
 /// The DNN modeler: a pretrained classifier plus the hypothesis-fitting
@@ -139,6 +159,13 @@ pub struct DnnModeler {
     opts: DnnOptions,
     network: Network,
     rng: StdRng,
+    /// The gated int8 snapshot plus its calibration report, present only
+    /// when `opts.quantize` is set and the gate accepted. Rebuilt after
+    /// every weight mutation.
+    quant: Option<(QuantizedNetwork, QuantReport)>,
+    /// The report of the last gate *rejection* (quantization requested but
+    /// serving fell back to f64). Cleared when the gate accepts.
+    quant_rejection: Option<QuantReport>,
 }
 
 impl DnnModeler {
@@ -170,7 +197,15 @@ impl DnnModeler {
                 &WatchdogOptions::default(),
             )
             .expect("pretraining dataset is compatible by construction");
-        DnnModeler { opts, network, rng }
+        let mut modeler = DnnModeler {
+            opts,
+            network,
+            rng,
+            quant: None,
+            quant_rejection: None,
+        };
+        modeler.refresh_quant();
+        modeler
     }
 
     /// Wraps an already-trained network (e.g. loaded from disk).
@@ -186,7 +221,64 @@ impl DnnModeler {
             "network must predict 43 classes"
         );
         let rng = StdRng::seed_from_u64(opts.seed);
-        DnnModeler { opts, network, rng }
+        let mut modeler = DnnModeler {
+            opts,
+            network,
+            rng,
+            quant: None,
+            quant_rejection: None,
+        };
+        modeler.refresh_quant();
+        modeler
+    }
+
+    /// (Re)builds the quantized inference snapshot behind the accuracy
+    /// gate. Runs after construction and after every weight mutation; a
+    /// no-op unless [`DnnOptions::quantize`] is set. The calibration batch
+    /// is synthesized from a seed derived only from `opts.seed` — it never
+    /// consumes `self.rng`, so enabling quantization cannot perturb the
+    /// training/adaptation RNG stream.
+    fn refresh_quant(&mut self) {
+        self.quant = None;
+        self.quant_rejection = None;
+        if !self.opts.quantize {
+            return;
+        }
+        let spec = TrainingSpec {
+            samples_per_class: 4,
+            noise_range: (0.0, 0.4),
+            ..Default::default()
+        };
+        let samples = generate_training_samples_seeded(
+            &spec,
+            self.opts.seed ^ 0x0CA1_1B8A,
+            self.opts.train_threads,
+        );
+        let calib = dataset_from_samples_with(&samples, self.opts.encoding);
+        match QuantizedNetwork::validated(&self.network, calib.inputs(), &self.opts.quant_gate) {
+            Ok((q, report)) => self.quant = Some((q, report)),
+            Err(nrpm_nn::QuantError::GateRejected(report)) => {
+                self.quant_rejection = Some(report);
+            }
+            Err(nrpm_nn::QuantError::Unsupported(_)) => {}
+        }
+    }
+
+    /// Whether batched inference currently runs on the int8 path.
+    pub fn quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// The calibration report of the active quantized snapshot, when the
+    /// gate accepted.
+    pub fn quant_report(&self) -> Option<&QuantReport> {
+        self.quant.as_ref().map(|(_, r)| r)
+    }
+
+    /// The calibration report of the last gate rejection: quantization was
+    /// requested, but inference fell back to the f64 reference.
+    pub fn quant_rejection(&self) -> Option<&QuantReport> {
+        self.quant_rejection.as_ref()
     }
 
     /// The underlying network (for persistence or inspection).
@@ -224,6 +316,7 @@ impl DnnModeler {
                 &WatchdogOptions::default(),
             )
             .expect("adaptation dataset is compatible by construction");
+        self.refresh_quant();
         data.len()
     }
 
@@ -242,7 +335,8 @@ impl DnnModeler {
         let samples =
             generate_training_samples_seeded(spec, self.rng.next_u64(), self.opts.train_threads);
         let data = dataset_from_samples_with(&samples, self.opts.encoding);
-        self.network
+        let report = self
+            .network
             .train_validated(
                 &data,
                 &TrainerOptions {
@@ -256,7 +350,9 @@ impl DnnModeler {
                 &WatchdogOptions::default(),
                 validation,
             )
-            .expect("adaptation dataset is compatible by construction")
+            .expect("adaptation dataset is compatible by construction");
+        self.refresh_quant();
+        report
     }
 
     /// Domain adaptation (Sec. IV-E): retrains the network on fresh
@@ -325,6 +421,7 @@ impl DnnModeler {
                 &WatchdogOptions::default(),
             )
             .expect("adaptation dataset is compatible by construction");
+        self.refresh_quant();
         Ok(data.len())
     }
 
@@ -414,15 +511,28 @@ impl DnnModeler {
                 probabilities: slots.into_iter().map(|s| s.map(|_| Vec::new())).collect(),
                 rows: 0,
                 forward_passes: 0,
+                quantized: false,
             };
         }
         let rows = encoded.len();
         let x = Matrix::from_row_vecs(&encoded, NUM_INPUTS)
             .expect("encoded lines all have NUM_INPUTS features");
-        let probs = self
-            .network
-            .predict_proba(&x)
-            .expect("input dimension is NUM_INPUTS by construction");
+        // The gated int8 snapshot serves the batch when present; the gate
+        // guarantees it never flips a predicted class on calibration data,
+        // and any weight mutation rebuilds or drops it (`refresh_quant`).
+        let (probs, quantized) = match &self.quant {
+            Some((q, _)) => (
+                q.predict_proba(&x)
+                    .expect("input dimension is NUM_INPUTS by construction"),
+                true,
+            ),
+            None => (
+                self.network
+                    .predict_proba(&x)
+                    .expect("input dimension is NUM_INPUTS by construction"),
+                false,
+            ),
+        };
         let probabilities = slots
             .into_iter()
             .map(|slot| slot.map(|row| probs.row(row).to_vec()))
@@ -431,6 +541,7 @@ impl DnnModeler {
             probabilities,
             rows,
             forward_passes: 1,
+            quantized,
         }
     }
 
@@ -487,6 +598,7 @@ impl DnnModeler {
             results,
             lines: classified.rows,
             forward_passes: classified.forward_passes,
+            quantized: classified.quantized,
         }
     }
 
@@ -831,6 +943,58 @@ mod tests {
         assert!(n >= 8 * NUM_CLASSES, "adaptation used only {n} samples");
         // The modeler must still work after adaptation.
         assert!(modeler.model(&set).is_ok());
+    }
+
+    #[test]
+    fn quantized_modeler_gates_and_preserves_decisions() {
+        let base = shared_modeler();
+        let opts = DnnOptions {
+            quantize: true,
+            ..tiny_opts()
+        };
+        let q = DnnModeler::from_network(opts, base.network().clone());
+        // The gate decision is always recorded one way or the other.
+        assert!(q.quantized() != q.quant_rejection().is_some());
+        if let Some(report) = q.quant_report() {
+            assert_eq!(report.argmax_flips, 0, "gate admits no argmax flips");
+            assert!(report.calib_rows > 0);
+        }
+        let xs = [4.0, 8.0, 16.0, 32.0, 64.0];
+        let lines: Vec<Vec<(f64, f64)>> = vec![
+            xs.iter().map(|&x| (x, 3.0 * x)).collect(),
+            xs.iter().map(|&x| (x, 1.0 + 0.5 * x * x)).collect(),
+            xs.iter().map(|&x| (x, 7.0)).collect(),
+        ];
+        let quant_batch = q.classify_lines_batch(&lines);
+        assert_eq!(quant_batch.quantized, q.quantized());
+        let ref_batch = base.classify_lines_batch(&lines);
+        assert!(!ref_batch.quantized, "quantization defaults off");
+        let top = |p: &[f64]| (0..p.len()).fold(0, |best, i| if p[i] > p[best] { i } else { best });
+        for (a, b) in quant_batch
+            .probabilities
+            .iter()
+            .zip(&ref_batch.probabilities)
+        {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(top(a), top(b), "served class must not change");
+        }
+    }
+
+    #[test]
+    fn adaptation_rebuilds_the_quantized_snapshot() {
+        let base = shared_modeler();
+        let opts = DnnOptions {
+            quantize: true,
+            ..tiny_opts()
+        };
+        let mut q = DnnModeler::from_network(opts, base.network().clone());
+        let before = q.quantized();
+        let set = line_set(|x| 1.0 + x, &[8.0, 64.0, 512.0, 4096.0, 32768.0]);
+        q.adapt_to_task(&set, (0.05, 0.2)).unwrap();
+        // After retraining the gate re-ran against the new weights.
+        assert!(q.quantized() != q.quant_rejection().is_some());
+        let _ = before;
+        assert!(q.model(&set).is_ok());
     }
 
     #[test]

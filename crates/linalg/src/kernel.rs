@@ -1,0 +1,1200 @@
+//! Register-blocked GEMM micro-kernels with one-time runtime ISA dispatch.
+//!
+//! This module is the compute core behind [`crate::matmul_into`] and
+//! [`crate::matmul_at_into`]. It replaces the old autovectorized "ikj" loop
+//! with an explicit micro-kernel design:
+//!
+//! * **Micro-tile** — a fixed `MR x NR` register accumulator block
+//!   (8x16 doubles on AVX-512, 4x8 sub-tiles on AVX2+FMA) updated with FMA
+//!   broadcasts of `A` against vector loads of `B`.
+//! * **Two data paths** — a *direct* path that streams `B` rows straight
+//!   from the caller's buffer with masked edge loads (wins when the `B`
+//!   panel is cache-resident or `M` is small, e.g. the trainer's 16-row
+//!   chunks and the first DNN layer where `K = 11`), and a *packed* path
+//!   that copies `A`/`B` into contiguous zero-padded panels first (wins on
+//!   large weight matrices such as the paper topology's 1500x1500 layers).
+//! * **Blocking** — the shared `k` dimension is always walked in fixed
+//!   [`KC`]-sized chunks; `M`/`N` are blocked by `MC`/`NC` in the packed
+//!   path. `MC` and the direct/packed crossover are chosen by a small
+//!   one-shot autotuner cached per process ([`kernel_tuning`]); `KC` is
+//!   deliberately **not** tuned — see the determinism note below.
+//!
+//! # Determinism
+//!
+//! Every path — direct, packed, scalar fallback, any `MC`/`NC` choice, any
+//! thread-stripe partition — accumulates each output element in the exact
+//! same order: `KC`-sized k-chunks ascending, plain ascending `k` inside a
+//! chunk, one fused multiply-add per term, chunk sums added to `C` in
+//! ascending chunk order. SIMD lanes only ever span output *columns*, never
+//! the reduction dimension. Consequently the autotuner, the path heuristic
+//! and the thread count are pure performance knobs: flipping any of them
+//! cannot change a single output bit. This is what lets the f64 training
+//! path stay bitwise-identical at every thread count while the kernel
+//! underneath is rewritten. (Results still differ across *machines* whose
+//! selected ISA differs — a non-FMA scalar fallback rounds each
+//! multiply-add in two steps — exactly as any FMA-using BLAS does.)
+//!
+//! # Environment overrides
+//!
+//! * `NRPM_MATMUL_ISA` — force `scalar` or `avx2` (downgrades only).
+//! * `NRPM_MATMUL_AUTOTUNE=0` — skip probing, use static defaults.
+//! * `NRPM_MATMUL_MC`, `NRPM_MATMUL_NC`, `NRPM_MATMUL_DIRECT_LIMIT`,
+//!   `NRPM_MATMUL_DIRECT_MIN_M` — pin individual tuning values.
+
+// The micro-kernels index fixed-size register-tile arrays by row/column on
+// purpose: the loop indices mirror the MR x NR blocking and the offsets into
+// the strided C buffer, which iterator adapters would obscure.
+#![allow(clippy::needless_range_loop, clippy::manual_memcpy)]
+
+use std::sync::OnceLock;
+
+/// Fixed block size along the shared `k` dimension.
+///
+/// Not autotuned on purpose: the k-chunk size fixes the floating-point
+/// association of every dot product, so tuning it would make results depend
+/// on probe timings. 256 doubles (2 KiB per packed column) keeps the active
+/// `B` panel rows in L1 on every x86-64 of the last decade.
+pub const KC: usize = 256;
+
+/// Micro-tile rows: the packing geometry groups `A` rows in blocks of 8.
+pub const MR: usize = 8;
+
+/// Micro-tile columns: `B` is packed in 16-column panels.
+pub const NR: usize = 16;
+
+/// `B` panels at or below this many elements always take the direct path
+/// without consulting (or triggering) the autotuner.
+const SMALL_B_ELEMS: usize = 1 << 16;
+
+/// Instruction set selected once per process for the f64 and int8 kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelIsa {
+    /// AVX-512F (+BW for the int8 kernel): 8x16 f64 micro-tile.
+    Avx512,
+    /// AVX2 + FMA: 4x8 f64 sub-tiles over the same packed geometry.
+    Avx2,
+    /// Portable fallback: blocked scalar loops, no FMA.
+    Scalar,
+}
+
+impl KernelIsa {
+    /// Whether this ISA contracts each multiply-add into a single rounding.
+    pub fn uses_fma(self) -> bool {
+        !matches!(self, KernelIsa::Scalar)
+    }
+}
+
+static ISA: OnceLock<KernelIsa> = OnceLock::new();
+
+/// The ISA the kernels will use, detected once per process.
+pub fn kernel_isa() -> KernelIsa {
+    *ISA.get_or_init(detect_isa)
+}
+
+fn detect_isa() -> KernelIsa {
+    let forced = std::env::var("NRPM_MATMUL_ISA").ok();
+    #[cfg(target_arch = "x86_64")]
+    {
+        let avx512 = is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw");
+        let avx2 = is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma");
+        match forced.as_deref() {
+            Some("scalar") => KernelIsa::Scalar,
+            Some("avx2") if avx2 => KernelIsa::Avx2,
+            _ if avx512 => KernelIsa::Avx512,
+            _ if avx2 => KernelIsa::Avx2,
+            _ => KernelIsa::Scalar,
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = forced;
+        KernelIsa::Scalar
+    }
+}
+
+/// Cache-blocking parameters chosen once per process.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelTuning {
+    /// Row-block size for the packed path's `A` panels.
+    pub mc: usize,
+    /// Column-block size (multiple of [`NR`]) for the packed path.
+    pub nc: usize,
+    /// `B` panels larger than this many f64 elements leave the direct path.
+    pub direct_limit: usize,
+    /// Below this many output rows the packed path cannot amortize packing.
+    pub direct_min_m: usize,
+}
+
+impl Default for KernelTuning {
+    fn default() -> Self {
+        KernelTuning {
+            mc: 64,
+            nc: 4096,
+            direct_limit: 512 * 1024,
+            direct_min_m: 64,
+        }
+    }
+}
+
+static TUNING: OnceLock<KernelTuning> = OnceLock::new();
+
+/// Block sizes in effect, running the one-shot autotuner on first use.
+pub fn kernel_tuning() -> KernelTuning {
+    *TUNING.get_or_init(|| autotune(kernel_isa()))
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+fn autotune(isa: KernelIsa) -> KernelTuning {
+    let mut t = KernelTuning::default();
+    let probe = !matches!(std::env::var("NRPM_MATMUL_AUTOTUNE").as_deref(), Ok("0"))
+        && isa != KernelIsa::Scalar;
+    if probe {
+        // Probe the direct/packed crossover at two B footprints (2 MiB and
+        // 8 MiB) and MC on a packed mid-size case. Both paths are bitwise
+        // identical, so whatever the stopwatch says is safe to act on.
+        let d1 = probe_direct_wins(isa, &t, 64, 512, 512);
+        let d2 = probe_direct_wins(isa, &t, 64, 1024, 1024);
+        t.direct_limit = if d2 {
+            2 * 1024 * 1024
+        } else if d1 {
+            512 * 1024
+        } else {
+            128 * 1024
+        };
+        let mut best = (f64::INFINITY, t.mc);
+        for mc in [32, 64, 128] {
+            let cand = KernelTuning { mc, ..t };
+            let dt = probe_time(isa, &cand, 192, 512, 512, GemmPath::Packed);
+            if dt < best.0 {
+                best = (dt, mc);
+            }
+        }
+        t.mc = best.1;
+    }
+    if let Some(v) = env_usize("NRPM_MATMUL_MC") {
+        t.mc = v.clamp(MR, 4096);
+    }
+    if let Some(v) = env_usize("NRPM_MATMUL_NC") {
+        t.nc = v.max(NR) / NR * NR;
+    }
+    if let Some(v) = env_usize("NRPM_MATMUL_DIRECT_LIMIT") {
+        t.direct_limit = v;
+    }
+    if let Some(v) = env_usize("NRPM_MATMUL_DIRECT_MIN_M") {
+        t.direct_min_m = v;
+    }
+    t
+}
+
+fn probe_time(
+    isa: KernelIsa,
+    tun: &KernelTuning,
+    m: usize,
+    k: usize,
+    n: usize,
+    path: GemmPath,
+) -> f64 {
+    let a: Vec<f64> = (0..m * k)
+        .map(|i| (i.wrapping_mul(2654435761) % 1000) as f64 / 500.0 - 1.0)
+        .collect();
+    let b: Vec<f64> = (0..k * n)
+        .map(|i| (i.wrapping_mul(1099087573) % 1000) as f64 / 500.0 - 1.0)
+        .collect();
+    let mut c = vec![0.0; m * n];
+    let mut best = f64::INFINITY;
+    for rep in 0..3 {
+        let t0 = std::time::Instant::now();
+        gemm_serial(
+            isa,
+            tun,
+            AView {
+                data: &a,
+                rs: k,
+                ks: 1,
+            },
+            &b,
+            &mut c,
+            0,
+            m,
+            k,
+            n,
+            path,
+        );
+        let dt = t0.elapsed().as_secs_f64();
+        // First rep is warmup (page faults, frequency ramp).
+        if rep > 0 && dt < best {
+            best = dt;
+        }
+    }
+    best
+}
+
+fn probe_direct_wins(isa: KernelIsa, tun: &KernelTuning, m: usize, k: usize, n: usize) -> bool {
+    probe_time(isa, tun, m, k, n, GemmPath::Direct)
+        < probe_time(isa, tun, m, k, n, GemmPath::Packed)
+}
+
+/// Which compute path a product takes. Both paths are bitwise identical;
+/// the choice is purely about cache behavior.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmPath {
+    /// Stream `B` in place with masked edge loads; no packing.
+    Direct,
+    /// Copy `A`/`B` into contiguous zero-padded panels first.
+    Packed,
+}
+
+/// Picks direct vs packed for an `m x k * k x n` product.
+///
+/// Depends only on the shape (never on the data or the thread stripe), so
+/// every stripe of one product — and the sequential run of the same shape —
+/// agrees on the path.
+pub(crate) fn choose_path(isa: KernelIsa, m: usize, k: usize, n: usize) -> GemmPath {
+    if isa == KernelIsa::Scalar {
+        return GemmPath::Direct; // scalar has a single code path
+    }
+    let b_elems = k * n;
+    if b_elems <= SMALL_B_ELEMS {
+        return GemmPath::Direct;
+    }
+    let t = kernel_tuning();
+    if m < t.direct_min_m || b_elems <= t.direct_limit {
+        GemmPath::Direct
+    } else {
+        GemmPath::Packed
+    }
+}
+
+/// A strided view of the left operand: element `(row, kk)` lives at
+/// `data[row * rs + kk * ks]`. `(rs, ks) = (k, 1)` for `A` itself and
+/// `(1, m)` for `Aᵀ`, which is how `matmul_at_into` reuses every kernel
+/// here without materializing the transpose.
+#[derive(Clone, Copy)]
+pub(crate) struct AView<'a> {
+    pub data: &'a [f64],
+    pub rs: usize,
+    pub ks: usize,
+}
+
+/// Packs all of `B` (`k x n` row-major) into 16-column zero-padded panels,
+/// k-major inside each panel, `KC`-chunked along `k`. Panel `(jp, k0)`
+/// starts at `NR * (jp * k + k0)`.
+pub(crate) fn pack_b_full(b: &[f64], k: usize, n: usize, out: &mut Vec<f64>) {
+    let np = n.div_ceil(NR);
+    out.clear();
+    out.resize(np * k * NR, 0.0);
+    for jp in 0..np {
+        let col0 = jp * NR;
+        let ncols = NR.min(n - col0);
+        let mut k0 = 0;
+        while k0 < k {
+            let kc = KC.min(k - k0);
+            let base = NR * (jp * k + k0);
+            for kk in 0..kc {
+                let src = &b[(k0 + kk) * n + col0..(k0 + kk) * n + col0 + ncols];
+                let dst = &mut out[base + kk * NR..base + kk * NR + ncols];
+                dst.copy_from_slice(src);
+            }
+            k0 += KC;
+        }
+    }
+}
+
+/// Packs `mc` rows of the (possibly strided) left operand starting at
+/// global row `row0`, depth window `[k0, k0+kc)`, into `MR`-row groups
+/// (group `g` at `g * kc * MR`, element `(kk, i)` at `kk * MR + i`),
+/// zero-padding the last group.
+fn pack_a(a: AView<'_>, row0: usize, mc: usize, k0: usize, kc: usize, out: &mut [f64]) {
+    let groups = mc.div_ceil(MR);
+    for g in 0..groups {
+        let base = g * kc * MR;
+        let rows_here = MR.min(mc - g * MR);
+        for kk in 0..kc {
+            let dst = &mut out[base + kk * MR..base + (kk + 1) * MR];
+            for (i, slot) in dst.iter_mut().enumerate() {
+                *slot = if i < rows_here {
+                    a.data[(row0 + g * MR + i) * a.rs + (k0 + kk) * a.ks]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Computes one thread-stripe of `C += A*B` serially. `c` is the stripe's
+/// `rows x n` row-major slice; `row0` is its first global row. `C` must be
+/// zeroed by the caller. For `GemmPath::Packed` the caller may supply a
+/// pre-packed `B` (shared across stripes); otherwise it is packed here.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_stripe(
+    isa: KernelIsa,
+    tun: &KernelTuning,
+    a: AView<'_>,
+    b: &[f64],
+    packed_b: Option<&[f64]>,
+    c: &mut [f64],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    path: GemmPath,
+) {
+    if rows == 0 || n == 0 || k == 0 {
+        return;
+    }
+    match (isa, path) {
+        (KernelIsa::Scalar, _) => scalar_stripe(a, b, c, row0, rows, k, n, false),
+        #[cfg(target_arch = "x86_64")]
+        (_, GemmPath::Direct) => x86::direct_stripe(isa, a, b, c, row0, rows, k, n),
+        #[cfg(target_arch = "x86_64")]
+        (_, GemmPath::Packed) => {
+            let mut local;
+            let pb = match packed_b {
+                Some(pb) => pb,
+                None => {
+                    local = Vec::new();
+                    pack_b_full(b, k, n, &mut local);
+                    &local[..]
+                }
+            };
+            x86::packed_stripe(isa, tun, a, pb, c, row0, rows, k, n);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar_stripe(a, b, c, row0, rows, k, n, false),
+    }
+}
+
+/// Serial full-matrix GEMM on an explicit path (autotuner + tests).
+#[allow(clippy::too_many_arguments)]
+fn gemm_serial(
+    isa: KernelIsa,
+    tun: &KernelTuning,
+    a: AView<'_>,
+    b: &[f64],
+    c: &mut [f64],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    path: GemmPath,
+) {
+    c.fill(0.0);
+    gemm_stripe(isa, tun, a, b, None, c, row0, rows, k, n, path);
+}
+
+/// Blocked scalar kernel; also the *reference semantics* for every SIMD
+/// path when `fma` is true: per element, `KC`-chunk sums accumulated with
+/// `mul_add` in ascending `k`; the first chunk's sum is *stored* to `C`
+/// (the caller zeroed it, so a load-add would only waste bandwidth — this
+/// matters for small `k`, where the epilogue rivals the FMA work), later
+/// chunks added in ascending order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scalar_stripe(
+    a: AView<'_>,
+    b: &[f64],
+    c: &mut [f64],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    fma: bool,
+) {
+    const JT: usize = 8;
+    let mut k0 = 0;
+    while k0 < k {
+        let kc = KC.min(k - k0);
+        for r in 0..rows {
+            let cr = &mut c[r * n..(r + 1) * n];
+            let mut jr = 0;
+            while jr < n {
+                let w = JT.min(n - jr);
+                let mut acc = [0.0f64; JT];
+                for kk in 0..kc {
+                    let av = a.data[(row0 + r) * a.rs + (k0 + kk) * a.ks];
+                    let br = &b[(k0 + kk) * n + jr..(k0 + kk) * n + jr + w];
+                    if fma {
+                        for j in 0..w {
+                            acc[j] = av.mul_add(br[j], acc[j]);
+                        }
+                    } else {
+                        for j in 0..w {
+                            acc[j] += av * br[j];
+                        }
+                    }
+                }
+                if k0 == 0 {
+                    for j in 0..w {
+                        cr[jr + j] = acc[j];
+                    }
+                } else {
+                    for j in 0..w {
+                        cr[jr + j] += acc[j];
+                    }
+                }
+                jr += JT;
+            }
+        }
+        k0 += KC;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{AView, KernelIsa, KernelTuning, KC, MR, NR};
+    use std::arch::x86_64::*;
+
+    /// Direct path: stream `B` rows in place, masked loads at the column
+    /// edge, one `C` write per `KC` chunk (the first chunk stores, later
+    /// chunks load-add).
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn direct_stripe(
+        isa: KernelIsa,
+        a: AView<'_>,
+        b: &[f64],
+        c: &mut [f64],
+        row0: usize,
+        rows: usize,
+        k: usize,
+        n: usize,
+    ) {
+        // Per-row-tile A staging: element `(kk, i)` of the current tile at
+        // `kk * MRK + i`. One base pointer with constant displacements in
+        // the micro-kernel, instead of `MRK` live row pointers that would
+        // spill out of the integer register file.
+        let mut apk = [0.0f64; MR * KC];
+        let mut k0 = 0;
+        while k0 < k {
+            let kc = KC.min(k - k0);
+            let mut ir = 0;
+            while ir < rows {
+                let rem = rows - ir;
+                match isa {
+                    // SAFETY: `isa` is only Avx512/Avx2 when the CPU
+                    // reported the matching features at dispatch time.
+                    KernelIsa::Avx512 => unsafe {
+                        let take = if rem >= 8 {
+                            direct_cols_512::<8>(a, b, c, &mut apk, row0, ir, k0, kc, n);
+                            8
+                        } else if rem >= 4 {
+                            direct_cols_512::<4>(a, b, c, &mut apk, row0, ir, k0, kc, n);
+                            4
+                        } else if rem >= 2 {
+                            direct_cols_512::<2>(a, b, c, &mut apk, row0, ir, k0, kc, n);
+                            2
+                        } else {
+                            direct_cols_512::<1>(a, b, c, &mut apk, row0, ir, k0, kc, n);
+                            1
+                        };
+                        ir += take;
+                    },
+                    KernelIsa::Avx2 => unsafe {
+                        let take = if rem >= 4 {
+                            direct_cols_256::<4>(a, b, c, &mut apk, row0, ir, k0, kc, n);
+                            4
+                        } else if rem >= 2 {
+                            direct_cols_256::<2>(a, b, c, &mut apk, row0, ir, k0, kc, n);
+                            2
+                        } else {
+                            direct_cols_256::<1>(a, b, c, &mut apk, row0, ir, k0, kc, n);
+                            1
+                        };
+                        ir += take;
+                    },
+                    KernelIsa::Scalar => unreachable!("scalar has its own stripe"),
+                }
+            }
+            k0 += KC;
+        }
+    }
+
+    /// Shares `kd512`'s target features so the micro-kernel inlines into
+    /// the `jr` loop (a plain caller would pay a full call — argument
+    /// arrays spilled through the stack — per 16-column group).
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn direct_cols_512<const MRK: usize>(
+        a: AView<'_>,
+        b: &[f64],
+        c: &mut [f64],
+        apk: &mut [f64; super::MR * KC],
+        row0: usize,
+        ir: usize,
+        k0: usize,
+        kc: usize,
+        n: usize,
+    ) {
+        let ad = a.data.as_ptr();
+        // First C row of this tile; the micro-kernel walks rows by `n`.
+        let ctile = unsafe { c.as_mut_ptr().add(ir * n) };
+        // Pack kk-outer so the writes are contiguous (i-outer strided
+        // writes tempt the autovectorizer into scatter stores).
+        let mut rp = [std::ptr::null::<f64>(); MRK];
+        for (i, p) in rp.iter_mut().enumerate() {
+            // In bounds: row0+ir+i < m and k0 < k.
+            *p = unsafe { ad.add((row0 + ir + i) * a.rs + k0 * a.ks) };
+        }
+        for kk in 0..kc {
+            for i in 0..MRK {
+                apk[kk * MRK + i] = unsafe { *rp[i].add(kk * a.ks) };
+            }
+        }
+        let bbase = unsafe { b.as_ptr().add(k0 * n) };
+        let full = n - n % NR;
+        let mut jr = 0;
+        while jr < full {
+            unsafe {
+                kd512::<MRK, true>(
+                    apk.as_ptr(),
+                    bbase.add(jr),
+                    n,
+                    kc,
+                    ctile.add(jr),
+                    0xff,
+                    0xff,
+                    k0 == 0,
+                )
+            };
+            jr += NR;
+        }
+        if jr < n {
+            let nr = n - jr;
+            let m0: u8 = if nr >= 8 {
+                0xff
+            } else {
+                (1u8 << nr).wrapping_sub(1)
+            };
+            let m1: u8 = if nr <= 8 {
+                0
+            } else {
+                (1u8 << (nr - 8)).wrapping_sub(1)
+            };
+            unsafe {
+                kd512::<MRK, false>(
+                    apk.as_ptr(),
+                    bbase.wrapping_add(jr),
+                    n,
+                    kc,
+                    ctile.wrapping_add(jr),
+                    m0,
+                    m1,
+                    k0 == 0,
+                )
+            };
+        }
+    }
+
+    /// 8-wide masks for AVX2 `maskload`/`maskstore` (row `w` enables the
+    /// first `w` lanes).
+    const LANE_MASKS: [[i64; 4]; 5] = [
+        [0, 0, 0, 0],
+        [-1, 0, 0, 0],
+        [-1, -1, 0, 0],
+        [-1, -1, -1, 0],
+        [-1, -1, -1, -1],
+    ];
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn direct_cols_256<const MRK: usize>(
+        a: AView<'_>,
+        b: &[f64],
+        c: &mut [f64],
+        apk: &mut [f64; super::MR * KC],
+        row0: usize,
+        ir: usize,
+        k0: usize,
+        kc: usize,
+        n: usize,
+    ) {
+        let ad = a.data.as_ptr();
+        let ctile = unsafe { c.as_mut_ptr().add(ir * n) };
+        for i in 0..MRK {
+            let ap = unsafe { ad.add((row0 + ir + i) * a.rs + k0 * a.ks) };
+            for kk in 0..kc {
+                apk[kk * MRK + i] = unsafe { *ap.add(kk * a.ks) };
+            }
+        }
+        let bbase = unsafe { b.as_ptr().add(k0 * n) };
+        let fullm = unsafe { _mm256_loadu_si256(LANE_MASKS[4].as_ptr() as *const __m256i) };
+        let full = n - n % 8;
+        let mut jr = 0;
+        while jr < full {
+            unsafe {
+                kd256::<MRK>(
+                    apk.as_ptr(),
+                    bbase.add(jr),
+                    n,
+                    kc,
+                    ctile.add(jr),
+                    fullm,
+                    fullm,
+                    k0 == 0,
+                )
+            };
+            jr += 8;
+        }
+        if jr < n {
+            let nr = n - jr;
+            let w0 = nr.min(4);
+            let w1 = nr.saturating_sub(4);
+            let m0 = unsafe { _mm256_loadu_si256(LANE_MASKS[w0].as_ptr() as *const __m256i) };
+            let m1 = unsafe { _mm256_loadu_si256(LANE_MASKS[w1].as_ptr() as *const __m256i) };
+            unsafe {
+                kd256::<MRK>(
+                    apk.as_ptr(),
+                    bbase.wrapping_add(jr),
+                    n,
+                    kc,
+                    ctile.wrapping_add(jr),
+                    m0,
+                    m1,
+                    k0 == 0,
+                )
+            };
+        }
+    }
+
+    /// AVX-512 direct micro-kernel: `MRK` rows x 16 columns, `C += A*B`
+    /// over one `KC` chunk. Column edges are masked; masked-off lanes of a
+    /// `maskz` load never fault, so `b`/`c` pointers may dangle past the
+    /// row end (they are built with `wrapping_add` and only dereferenced
+    /// under the mask). `store` marks the first `KC` chunk: its sums are
+    /// written straight to `C` without the load-add round trip (mirrors
+    /// the `scalar_stripe` reference semantics bit for bit). `FULL` means
+    /// all 16 columns are in bounds, so plain loads/stores replace the
+    /// masked forms (identical lanes, cheaper encodings). The k-loop is
+    /// manually unrolled 4x (the FMA order per accumulator is unchanged —
+    /// still one sequential chain — so results stay bitwise identical);
+    /// LLVM's unroller gives up on the 30-instruction body, and at small
+    /// `kc` the loop control is a measurable slice of each group.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn kd512<const MRK: usize, const FULL: bool>(
+        apk: *const f64,
+        b: *const f64,
+        ldb: usize,
+        kc: usize,
+        cp: *mut f64,
+        m0: u8,
+        m1: u8,
+        store: bool,
+    ) {
+        let mut acc = [[_mm512_setzero_pd(); 2]; MRK];
+        let mut aoff = 0usize;
+        let mut boff = 0usize;
+        macro_rules! step {
+            () => {{
+                let (b0, b1) = if FULL {
+                    // Warm the next column group's slice of this B row
+                    // while we compute on the current one: the 16-column
+                    // stride down B defeats the hardware streamer, so
+                    // without this every group re-pulls B from L2.
+                    // Prefetches never fault, so running past the row end
+                    // on the last group is fine.
+                    _mm_prefetch::<_MM_HINT_T0>(b.wrapping_add(boff + NR) as *const i8);
+                    (
+                        _mm512_loadu_pd(b.wrapping_add(boff)),
+                        _mm512_loadu_pd(b.wrapping_add(boff + 8)),
+                    )
+                } else {
+                    (
+                        _mm512_maskz_loadu_pd(m0, b.wrapping_add(boff)),
+                        _mm512_maskz_loadu_pd(m1, b.wrapping_add(boff + 8)),
+                    )
+                };
+                for i in 0..MRK {
+                    let av = _mm512_set1_pd(*apk.add(aoff + i));
+                    acc[i][0] = _mm512_fmadd_pd(av, b0, acc[i][0]);
+                    acc[i][1] = _mm512_fmadd_pd(av, b1, acc[i][1]);
+                }
+                aoff += MRK;
+                boff += ldb;
+            }};
+        }
+        let mut kk = 0;
+        while kk + 4 <= kc {
+            step!();
+            step!();
+            step!();
+            step!();
+            kk += 4;
+        }
+        while kk < kc {
+            step!();
+            kk += 1;
+        }
+        // C rows share B's stride (`ldb` is the common row length `n`).
+        match (FULL, store) {
+            (true, true) => {
+                for i in 0..MRK {
+                    let p = cp.add(i * ldb);
+                    _mm512_storeu_pd(p, acc[i][0]);
+                    _mm512_storeu_pd(p.add(8), acc[i][1]);
+                }
+            }
+            (true, false) => {
+                for i in 0..MRK {
+                    let p = cp.add(i * ldb);
+                    let o0 = _mm512_loadu_pd(p);
+                    let o1 = _mm512_loadu_pd(p.add(8));
+                    _mm512_storeu_pd(p, _mm512_add_pd(o0, acc[i][0]));
+                    _mm512_storeu_pd(p.add(8), _mm512_add_pd(o1, acc[i][1]));
+                }
+            }
+            (false, true) => {
+                for i in 0..MRK {
+                    let p = cp.wrapping_add(i * ldb);
+                    _mm512_mask_storeu_pd(p, m0, acc[i][0]);
+                    _mm512_mask_storeu_pd(p.wrapping_add(8), m1, acc[i][1]);
+                }
+            }
+            (false, false) => {
+                for i in 0..MRK {
+                    let p = cp.wrapping_add(i * ldb);
+                    let o0 = _mm512_maskz_loadu_pd(m0, p);
+                    let o1 = _mm512_maskz_loadu_pd(m1, p.wrapping_add(8));
+                    _mm512_mask_storeu_pd(p, m0, _mm512_add_pd(o0, acc[i][0]));
+                    _mm512_mask_storeu_pd(p.wrapping_add(8), m1, _mm512_add_pd(o1, acc[i][1]));
+                }
+            }
+        }
+    }
+
+    /// AVX2+FMA direct micro-kernel: `MRK` rows x 8 columns.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn kd256<const MRK: usize>(
+        apk: *const f64,
+        b: *const f64,
+        ldb: usize,
+        kc: usize,
+        cp: *mut f64,
+        m0: __m256i,
+        m1: __m256i,
+        store: bool,
+    ) {
+        let mut acc = [[_mm256_setzero_pd(); 2]; MRK];
+        let mut aoff = 0usize;
+        let mut boff = 0usize;
+        // Manual 4x k-unroll, same sequential FMA chain per accumulator as
+        // the rolled loop (bitwise identical) — see `kd512`.
+        macro_rules! step {
+            () => {{
+                let b0 = _mm256_maskload_pd(b.wrapping_add(boff), m0);
+                let b1 = _mm256_maskload_pd(b.wrapping_add(boff + 4), m1);
+                for i in 0..MRK {
+                    let av = _mm256_set1_pd(*apk.add(aoff + i));
+                    acc[i][0] = _mm256_fmadd_pd(av, b0, acc[i][0]);
+                    acc[i][1] = _mm256_fmadd_pd(av, b1, acc[i][1]);
+                }
+                aoff += MRK;
+                boff += ldb;
+            }};
+        }
+        let mut kk = 0;
+        while kk + 4 <= kc {
+            step!();
+            step!();
+            step!();
+            step!();
+            kk += 4;
+        }
+        while kk < kc {
+            step!();
+            kk += 1;
+        }
+        if store {
+            for i in 0..MRK {
+                let p = cp.wrapping_add(i * ldb);
+                _mm256_maskstore_pd(p, m0, acc[i][0]);
+                _mm256_maskstore_pd(p.wrapping_add(4), m1, acc[i][1]);
+            }
+        } else {
+            for i in 0..MRK {
+                let p = cp.wrapping_add(i * ldb);
+                let o0 = _mm256_maskload_pd(p, m0);
+                let o1 = _mm256_maskload_pd(p.wrapping_add(4), m1);
+                _mm256_maskstore_pd(p, m0, _mm256_add_pd(o0, acc[i][0]));
+                _mm256_maskstore_pd(p.wrapping_add(4), m1, _mm256_add_pd(o1, acc[i][1]));
+            }
+        }
+    }
+
+    /// Packed path: GEBP loop nest over pre-packed `B` panels and locally
+    /// packed `A` blocks; micro-kernel writes a full `MR x NR` accumulator
+    /// tile which is then edge-trimmed into `C`.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn packed_stripe(
+        isa: KernelIsa,
+        tun: &KernelTuning,
+        a: AView<'_>,
+        pb: &[f64],
+        c: &mut [f64],
+        row0: usize,
+        rows: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let mc_b = tun.mc.max(MR);
+        let nc_b = (tun.nc.max(NR) / NR) * NR;
+        let mut apbuf = vec![0.0f64; mc_b.div_ceil(MR) * MR * KC];
+        let mut acc = [0.0f64; MR * NR];
+        let mut jc = 0;
+        while jc < n {
+            let ncb = nc_b.min(n - jc);
+            let mut ic = 0;
+            while ic < rows {
+                let mc = mc_b.min(rows - ic);
+                let mut k0 = 0;
+                while k0 < k {
+                    let kc = KC.min(k - k0);
+                    super::pack_a(a, row0 + ic, mc, k0, kc, &mut apbuf);
+                    let jp_end = (jc + ncb).div_ceil(NR);
+                    for jp in jc / NR..jp_end {
+                        let bp = &pb[NR * (jp * k + k0)..];
+                        let jcol = jp * NR;
+                        let nr = NR.min(n - jcol);
+                        let mut ir = 0;
+                        while ir < mc {
+                            let mr = MR.min(mc - ir);
+                            let apan = &apbuf[(ir / MR) * kc * MR..];
+                            match isa {
+                                KernelIsa::Avx512 => unsafe {
+                                    kp512(apan.as_ptr(), bp.as_ptr(), kc, acc.as_mut_ptr());
+                                },
+                                KernelIsa::Avx2 => unsafe {
+                                    for rsub in 0..2 {
+                                        for chalf in 0..2 {
+                                            kp256(
+                                                apan.as_ptr().add(rsub * 4),
+                                                bp.as_ptr().add(chalf * 8),
+                                                kc,
+                                                acc.as_mut_ptr().add(rsub * 4 * NR + chalf * 8),
+                                            );
+                                        }
+                                    }
+                                },
+                                KernelIsa::Scalar => unreachable!("scalar has its own stripe"),
+                            }
+                            for i in 0..mr {
+                                let co = (ic + ir + i) * n + jcol;
+                                let crow = &mut c[co..co + nr];
+                                if k0 == 0 {
+                                    // First KC chunk stores (C is zeroed);
+                                    // matches the reference semantics.
+                                    for (j, slot) in crow.iter_mut().enumerate() {
+                                        *slot = acc[i * NR + j];
+                                    }
+                                } else {
+                                    for (j, slot) in crow.iter_mut().enumerate() {
+                                        *slot += acc[i * NR + j];
+                                    }
+                                }
+                            }
+                            ir += MR;
+                        }
+                    }
+                    k0 += KC;
+                }
+                ic += mc_b;
+            }
+            jc += nc_b;
+        }
+    }
+
+    /// AVX-512 packed micro-kernel: 8x16 tile from `MR`-strided `A` panel
+    /// and `NR`-strided `B` panel, result written to `acc` (row-major 8x16).
+    #[target_feature(enable = "avx512f")]
+    unsafe fn kp512(ap: *const f64, bp: *const f64, kc: usize, acc: *mut f64) {
+        let mut r = [[_mm512_setzero_pd(); 2]; 8];
+        for kk in 0..kc {
+            let b0 = _mm512_loadu_pd(bp.add(kk * NR));
+            let b1 = _mm512_loadu_pd(bp.add(kk * NR + 8));
+            let abase = ap.add(kk * MR);
+            for i in 0..8 {
+                let av = _mm512_set1_pd(*abase.add(i));
+                r[i][0] = _mm512_fmadd_pd(av, b0, r[i][0]);
+                r[i][1] = _mm512_fmadd_pd(av, b1, r[i][1]);
+            }
+        }
+        for i in 0..8 {
+            _mm512_storeu_pd(acc.add(i * NR), r[i][0]);
+            _mm512_storeu_pd(acc.add(i * NR + 8), r[i][1]);
+        }
+    }
+
+    /// AVX2+FMA packed micro-kernel: a 4x8 quadrant of the 8x16 tile
+    /// (`ap`/`bp`/`acc` pre-offset by the caller; strides stay `MR`/`NR`).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn kp256(ap: *const f64, bp: *const f64, kc: usize, acc: *mut f64) {
+        let mut r = [[_mm256_setzero_pd(); 2]; 4];
+        for kk in 0..kc {
+            let b0 = _mm256_loadu_pd(bp.add(kk * NR));
+            let b1 = _mm256_loadu_pd(bp.add(kk * NR + 4));
+            let abase = ap.add(kk * MR);
+            for i in 0..4 {
+                let av = _mm256_set1_pd(*abase.add(i));
+                r[i][0] = _mm256_fmadd_pd(av, b0, r[i][0]);
+                r[i][1] = _mm256_fmadd_pd(av, b1, r[i][1]);
+            }
+        }
+        for i in 0..4 {
+            _mm256_storeu_pd(acc.add(i * NR), r[i][0]);
+            _mm256_storeu_pd(acc.add(i * NR + 4), r[i][1]);
+        }
+    }
+}
+
+/// Test/bench hooks: run the GEMM on an explicit path or with reference
+/// semantics, independent of the process-wide tuning.
+#[doc(hidden)]
+pub mod testing {
+    use super::*;
+
+    /// Full product on the active ISA over a forced path.
+    pub fn gemm_forced(
+        a: &[f64],
+        b: &[f64],
+        m: usize,
+        k: usize,
+        n: usize,
+        path: GemmPath,
+    ) -> Vec<f64> {
+        let mut c = vec![0.0; m * n];
+        let tun = KernelTuning::default();
+        gemm_serial(
+            kernel_isa(),
+            &tun,
+            AView {
+                data: a,
+                rs: k,
+                ks: 1,
+            },
+            b,
+            &mut c,
+            0,
+            m,
+            k,
+            n,
+            path,
+        );
+        c
+    }
+
+    /// Scalar KC-chunked reference with the same association as the SIMD
+    /// kernels (`fma: true` mirrors the FMA contraction).
+    pub fn gemm_reference(
+        a: &[f64],
+        b: &[f64],
+        m: usize,
+        k: usize,
+        n: usize,
+        fma: bool,
+    ) -> Vec<f64> {
+        let mut c = vec![0.0; m * n];
+        scalar_stripe(
+            AView {
+                data: a,
+                rs: k,
+                ks: 1,
+            },
+            b,
+            &mut c,
+            0,
+            m,
+            k,
+            n,
+            fma,
+        );
+        c
+    }
+
+    /// Transposed-A product (`C = AᵀB`, `a` is `k x m`) over a forced path.
+    pub fn gemm_at_forced(
+        a: &[f64],
+        b: &[f64],
+        k: usize,
+        m: usize,
+        n: usize,
+        path: GemmPath,
+    ) -> Vec<f64> {
+        let mut c = vec![0.0; m * n];
+        let tun = KernelTuning::default();
+        gemm_serial(
+            kernel_isa(),
+            &tun,
+            AView {
+                data: a,
+                rs: 1,
+                ks: m,
+            },
+            b,
+            &mut c,
+            0,
+            m,
+            k,
+            n,
+            path,
+        );
+        c
+    }
+
+    /// Transposed-A scalar reference.
+    pub fn gemm_at_reference(
+        a: &[f64],
+        b: &[f64],
+        k: usize,
+        m: usize,
+        n: usize,
+        fma: bool,
+    ) -> Vec<f64> {
+        let mut c = vec![0.0; m * n];
+        scalar_stripe(
+            AView {
+                data: a,
+                rs: 1,
+                ks: m,
+            },
+            b,
+            &mut c,
+            0,
+            m,
+            k,
+            n,
+            fma,
+        );
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testing::*;
+    use super::*;
+
+    fn fill(len: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 1000) as f64 / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn naive(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a[i * k + kk] * b[kk * n + j];
+                }
+                c[i * n + j] = s;
+            }
+        }
+        c
+    }
+
+    const SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (1, 11, 43),
+        (3, 7, 2),
+        (8, 8, 8),
+        (16, 11, 256),
+        (17, 300, 13),
+        (9, 257, 33),
+        (128, 11, 64),
+        (65, 64, 65),
+        (2, 1000, 3),
+    ];
+
+    #[test]
+    fn direct_and_packed_match_naive() {
+        for &(m, k, n) in SHAPES {
+            let a = fill(m * k, 7);
+            let b = fill(k * n, 11);
+            let want = naive(&a, &b, m, k, n);
+            for path in [GemmPath::Direct, GemmPath::Packed] {
+                let got = gemm_forced(&a, &b, m, k, n, path);
+                for (x, y) in got.iter().zip(&want) {
+                    assert!(
+                        (x - y).abs() < 1e-9 * (1.0 + y.abs()),
+                        "{m}x{k}x{n} {path:?}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn direct_packed_and_reference_are_bitwise_identical() {
+        let fma = kernel_isa().uses_fma();
+        for &(m, k, n) in SHAPES {
+            let a = fill(m * k, 3);
+            let b = fill(k * n, 5);
+            let d = gemm_forced(&a, &b, m, k, n, GemmPath::Direct);
+            let p = gemm_forced(&a, &b, m, k, n, GemmPath::Packed);
+            let r = gemm_reference(&a, &b, m, k, n, fma);
+            assert_eq!(d, p, "direct vs packed at {m}x{k}x{n}");
+            assert_eq!(d, r, "kernel vs reference at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn transposed_paths_are_bitwise_identical() {
+        let fma = kernel_isa().uses_fma();
+        for &(k, m, n) in &[
+            (1usize, 1usize, 1usize),
+            (16, 300, 43),
+            (53, 96, 71),
+            (300, 11, 8),
+        ] {
+            let a = fill(k * m, 13);
+            let b = fill(k * n, 17);
+            let d = gemm_at_forced(&a, &b, k, m, n, GemmPath::Direct);
+            let p = gemm_at_forced(&a, &b, k, m, n, GemmPath::Packed);
+            let r = gemm_at_reference(&a, &b, k, m, n, fma);
+            assert_eq!(d, p, "direct vs packed at k={k} m={m} n={n}");
+            assert_eq!(d, r, "kernel vs reference at k={k} m={m} n={n}");
+        }
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        for path in [GemmPath::Direct, GemmPath::Packed] {
+            assert!(gemm_forced(&[], &[], 0, 3, 4, path).is_empty());
+            assert_eq!(gemm_forced(&[], &[], 2, 0, 2, path), vec![0.0; 4]);
+            assert!(gemm_forced(&[1.0, 2.0], &[], 2, 1, 0, path).is_empty());
+        }
+    }
+
+    #[test]
+    fn tuning_is_sane() {
+        let t = kernel_tuning();
+        assert!(t.mc >= MR);
+        assert!(t.nc >= NR && t.nc % NR == 0);
+        assert!(t.direct_limit > SMALL_B_ELEMS);
+        assert!(t.direct_min_m >= 1);
+    }
+
+    #[test]
+    fn path_choice_depends_only_on_shape() {
+        let isa = kernel_isa();
+        // Small B is always direct, and a given shape always maps to one path.
+        assert_eq!(choose_path(isa, 1, 11, 43), GemmPath::Direct);
+        assert_eq!(choose_path(isa, 4096, 11, 43), GemmPath::Direct);
+        let p1 = choose_path(isa, 128, 1500, 1500);
+        let p2 = choose_path(isa, 128, 1500, 1500);
+        assert_eq!(p1, p2);
+    }
+}

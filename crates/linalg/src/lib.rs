@@ -3,10 +3,13 @@
 //! The crate deliberately avoids external BLAS/LAPACK bindings: every kernel
 //! the performance modelers rely on — matrix multiplication, Householder QR,
 //! least-squares solves, descriptive statistics — is implemented here in
-//! portable Rust. Matrix multiplication is cache-blocked and optionally
-//! parallelized across row panels with crossbeam scoped threads, which is all
-//! the throughput the modeling pipeline (small design matrices, mid-sized
-//! neural-network layers) needs.
+//! Rust. Matrix multiplication runs on an explicit register-blocked
+//! micro-kernel ([`kernel`]) with one-shot runtime ISA dispatch
+//! (AVX-512 / AVX2+FMA / portable scalar), packed cache-friendly panels for
+//! large operands, a direct streaming path for small ones, and row-stripe
+//! parallelism over crossbeam scoped threads — while keeping results
+//! bitwise identical at every thread count. A packed int8 GEMM ([`qgemm`])
+//! backs the quantized inference fast path in the serving stack.
 //!
 //! # Quick example
 //!
@@ -24,18 +27,23 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod kernel;
 mod matmul;
 mod matrix;
+pub mod qgemm;
 mod qr;
 pub mod stats;
 mod thread_budget;
 mod vector;
 
 pub use error::LinalgError;
+pub use kernel::{kernel_isa, kernel_tuning, KernelIsa, KernelTuning};
 pub use matmul::{
     default_threads, matmul, matmul_at_into, matmul_into, matmul_threaded, matvec, MatmulOptions,
+    MIN_FLOPS_PER_THREAD,
 };
 pub use matrix::Matrix;
+pub use qgemm::{gemm_i8, QuantizedGemmB};
 pub use qr::{lstsq, solve_upper_triangular, QrDecomposition};
 pub use thread_budget::ThreadBudget;
 pub use vector::{axpy, dot, norm2, norm_inf, scale};

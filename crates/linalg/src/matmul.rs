@@ -1,31 +1,53 @@
-//! Cache-blocked, optionally multi-threaded matrix multiplication.
+//! Multi-threaded matrix multiplication over the register-blocked
+//! micro-kernels in [`crate::kernel`].
 //!
-//! The kernel follows the classic "ikj" loop order on row-major storage so
-//! the innermost loop streams through contiguous memory of both the output
-//! row and the `b` row, letting LLVM auto-vectorize it. On top of that, the
-//! `k` dimension is blocked to keep the active panel of `b` in L1/L2, and
-//! rows of the output are distributed over crossbeam scoped threads.
+//! This layer owns shape validation, the thread-stripe partition and the
+//! minimum-work-per-thread floor; the actual arithmetic lives in the
+//! kernel module. Output rows are split into contiguous stripes, one per
+//! worker, and every stripe accumulates each element in the same fixed
+//! order (see the kernel module's determinism notes) — so results are
+//! bitwise identical at any thread count, on either compute path.
 
+use crate::kernel::{self, choose_path, AView, GemmPath};
 use crate::{dot, LinalgError, Matrix, Result, ThreadBudget};
+use std::cell::RefCell;
+
+/// Minimum floating-point operations (`2*m*k*n` scale) a worker thread
+/// must have before the parallel path will fan out to it. Spawning and
+/// joining a scoped thread costs tens of microseconds; at current kernel
+/// throughput this floor keeps that overhead under a few percent.
+///
+/// This is what fixed the 4–8 thread training *regression* in
+/// BENCH_train.json: the trainer's per-layer products are small enough
+/// that fanning them across the whole thread budget cost more than the
+/// compute itself.
+pub const MIN_FLOPS_PER_THREAD: usize = 4_000_000;
 
 /// Tuning knobs for [`matmul`].
 #[derive(Debug, Clone, Copy)]
 pub struct MatmulOptions {
-    /// Block size along the shared `k` dimension.
+    /// Legacy k-blocking knob. The micro-kernel fixes its k-chunk size at
+    /// [`kernel::KC`] (tuning it would change floating-point association),
+    /// so this field is accepted for compatibility but no longer read.
     pub k_block: usize,
     /// Number of worker threads. `1` means fully sequential.
     pub threads: usize,
     /// Minimum number of output elements per thread before the parallel path
     /// is taken; tiny products stay sequential to avoid spawn overhead.
     pub parallel_threshold: usize,
+    /// Work floor per worker thread (see [`MIN_FLOPS_PER_THREAD`]). The
+    /// effective thread count is capped at `total_flops / this`. Tests pin
+    /// it to `1` to force the parallel path on small inputs.
+    pub min_flops_per_thread: usize,
 }
 
 impl Default for MatmulOptions {
     fn default() -> Self {
         MatmulOptions {
-            k_block: 256,
+            k_block: kernel::KC,
             threads: default_threads(),
             parallel_threshold: 64 * 64,
+            min_flops_per_thread: MIN_FLOPS_PER_THREAD,
         }
     }
 }
@@ -37,6 +59,26 @@ impl Default for MatmulOptions {
 /// pieces compose without oversubscribing the machine.
 pub fn default_threads() -> usize {
     ThreadBudget::get()
+}
+
+/// Caps the requested thread count by the available work: each worker must
+/// have at least `min_flops` worth of multiply-adds, and at least one
+/// output row.
+pub(crate) fn effective_threads(
+    threads: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    min_flops: usize,
+) -> usize {
+    let t = threads.max(1);
+    if t == 1 {
+        return 1;
+    }
+    let flops = 2u128 * m as u128 * k as u128 * n as u128;
+    let by_work = (flops / min_flops.max(1) as u128).max(1);
+    let by_work = usize::try_from(by_work).unwrap_or(usize::MAX);
+    t.min(by_work).min(m.max(1))
 }
 
 /// `C = A * B` with default options.
@@ -68,98 +110,28 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix, opts: MatmulOptions) 
             rhs: (a.rows(), b.cols()),
         });
     }
-    c.fill_zero();
-
     let (m, k) = a.shape();
     let n = b.cols();
-    if m == 0 || n == 0 || k == 0 {
-        return Ok(());
-    }
-
-    let threads = opts.threads.max(1);
-    let use_parallel = threads > 1 && m * n >= opts.parallel_threshold && m > 1;
-
-    if !use_parallel {
-        matmul_panel(
-            a.as_slice(),
-            b.as_slice(),
-            c.as_mut_slice(),
-            0,
-            m,
-            k,
-            n,
-            opts.k_block,
-        );
-        return Ok(());
-    }
-
-    // Partition output rows into one contiguous panel per thread. Panels are
-    // disjoint `&mut` slices, so no synchronization is needed.
-    let rows_per_thread = m.div_ceil(threads);
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    let panels: Vec<&mut [f64]> = c.as_mut_slice().chunks_mut(rows_per_thread * n).collect();
-
-    crossbeam::thread::scope(|scope| {
-        for (t, panel) in panels.into_iter().enumerate() {
-            let row0 = t * rows_per_thread;
-            let rows_here = panel.len() / n;
-            scope.spawn(move |_| {
-                matmul_panel(a_data, b_data, panel, row0, rows_here, k, n, opts.k_block);
-            });
-        }
-    })
-    .expect("matmul worker panicked");
-
+    let view = AView {
+        data: a.as_slice(),
+        rs: k,
+        ks: 1,
+    };
+    run_gemm(view, b.as_slice(), c.as_mut_slice(), m, k, n, opts);
     Ok(())
-}
-
-/// Computes `rows_here` rows of the product, starting at global row `row0`,
-/// into `c_panel` (row-major, `rows_here * n` long).
-#[allow(clippy::too_many_arguments)]
-fn matmul_panel(
-    a: &[f64],
-    b: &[f64],
-    c_panel: &mut [f64],
-    row0: usize,
-    rows_here: usize,
-    k: usize,
-    n: usize,
-    k_block: usize,
-) {
-    let k_block = k_block.max(1);
-    for kb in (0..k).step_by(k_block) {
-        let k_end = (kb + k_block).min(k);
-        for r in 0..rows_here {
-            let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
-            let c_row = &mut c_panel[r * n..(r + 1) * n];
-            for kk in kb..k_end {
-                let aik = a_row[kk];
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                // Innermost loop: contiguous stream over c_row and b_row.
-                for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                    *cv += aik * bv;
-                }
-            }
-        }
-    }
 }
 
 /// `C = Aᵀ * B`, writing into a preallocated output, without materializing
 /// the transpose of `A`.
 ///
-/// `A` is `k x m`, `B` is `k x n`, and `C` must be `m x n`. The kernel
-/// streams rows of `A` and `B` together (`C[r] += A[i][r] * B[i]` for each
-/// shared row `i`), so all three matrices are accessed contiguously. This is
-/// the backward-pass shape `dW = Xᵀ · dZ`: the training loop calls it every
-/// step, and skipping the explicit `X.transpose()` allocation is the point.
+/// `A` is `k x m`, `B` is `k x n`, and `C` must be `m x n`. The kernels
+/// read `A` through a strided view (output row `r` walks column `r` of
+/// `A`), so no transpose copy is ever made. This is the backward-pass
+/// shape `dW = Xᵀ · dZ`: the training loop calls it every step.
 ///
-/// Each output element accumulates over `i` in ascending order regardless of
-/// how output rows are partitioned across threads, so results are bitwise
-/// identical at any thread count.
+/// Each output element accumulates over the shared dimension in the same
+/// fixed order regardless of how output rows are partitioned across
+/// threads, so results are bitwise identical at any thread count.
 pub fn matmul_at_into(a: &Matrix, b: &Matrix, c: &mut Matrix, opts: MatmulOptions) -> Result<()> {
     if a.rows() != b.rows() {
         return Err(LinalgError::ShapeMismatch {
@@ -175,69 +147,82 @@ pub fn matmul_at_into(a: &Matrix, b: &Matrix, c: &mut Matrix, opts: MatmulOption
             rhs: (a.cols(), b.cols()),
         });
     }
-    c.fill_zero();
-
     let k = a.rows();
     let m = a.cols();
     let n = b.cols();
-    if m == 0 || n == 0 || k == 0 {
-        return Ok(());
-    }
-
-    let threads = opts.threads.max(1);
-    let use_parallel = threads > 1 && m * n >= opts.parallel_threshold && m > 1;
-
-    if !use_parallel {
-        matmul_at_panel(a.as_slice(), b.as_slice(), c.as_mut_slice(), 0, m, k, m, n);
-        return Ok(());
-    }
-
-    let rows_per_thread = m.div_ceil(threads);
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    let panels: Vec<&mut [f64]> = c.as_mut_slice().chunks_mut(rows_per_thread * n).collect();
-
-    crossbeam::thread::scope(|scope| {
-        for (t, panel) in panels.into_iter().enumerate() {
-            let row0 = t * rows_per_thread;
-            let rows_here = panel.len() / n;
-            scope.spawn(move |_| {
-                matmul_at_panel(a_data, b_data, panel, row0, rows_here, k, m, n);
-            });
-        }
-    })
-    .expect("matmul_at worker panicked");
-
+    let view = AView {
+        data: a.as_slice(),
+        rs: 1,
+        ks: m,
+    };
+    run_gemm(view, b.as_slice(), c.as_mut_slice(), m, k, n, opts);
     Ok(())
 }
 
-/// Computes `rows_here` rows of `C = Aᵀ B` (output rows = columns of `A`),
-/// starting at output row `row0`, into `c_panel`.
-#[allow(clippy::too_many_arguments)]
-fn matmul_at_panel(
-    a: &[f64],
+thread_local! {
+    /// Reused buffer for the packed-path copy of `B`, so steady-state
+    /// sequential callers (the trainer's per-chunk products, serve workers)
+    /// stop allocating once warm.
+    static PACKED_B_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn run_gemm(
+    a: AView<'_>,
     b: &[f64],
-    c_panel: &mut [f64],
-    row0: usize,
-    rows_here: usize,
-    k: usize,
+    c: &mut [f64],
     m: usize,
+    k: usize,
     n: usize,
+    opts: MatmulOptions,
 ) {
-    for i in 0..k {
-        let a_row = &a[i * m..(i + 1) * m];
-        let b_row = &b[i * n..(i + 1) * n];
-        for r in 0..rows_here {
-            let air = a_row[row0 + r];
-            if air == 0.0 {
-                continue;
-            }
-            let c_row = &mut c_panel[r * n..(r + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                *cv += air * bv;
-            }
-        }
+    c.fill(0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
     }
+    let isa = kernel::kernel_isa();
+    let path = choose_path(isa, m, k, n);
+    let threads = effective_threads(opts.threads, m, k, n, opts.min_flops_per_thread);
+    let use_parallel = threads > 1 && m * n >= opts.parallel_threshold && m > 1;
+    let tun = if path == GemmPath::Packed || use_parallel {
+        kernel::kernel_tuning()
+    } else {
+        Default::default()
+    };
+
+    PACKED_B_SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let packed_b: Option<&[f64]> = if path == GemmPath::Packed {
+            kernel::pack_b_full(b, k, n, &mut scratch);
+            Some(&scratch[..])
+        } else {
+            None
+        };
+
+        if !use_parallel {
+            kernel::gemm_stripe(isa, &tun, a, b, packed_b, c, 0, m, k, n, path);
+            return;
+        }
+
+        // Partition output rows into one contiguous stripe per thread,
+        // rounded to the micro-tile height so tiles never straddle a
+        // stripe boundary. Stripes are disjoint `&mut` slices, so no
+        // synchronization is needed.
+        let rows_per_thread = m.div_ceil(threads).div_ceil(kernel::MR) * kernel::MR;
+        let stripes: Vec<&mut [f64]> = c.chunks_mut(rows_per_thread * n).collect();
+        crossbeam::thread::scope(|scope| {
+            for (t, stripe) in stripes.into_iter().enumerate() {
+                let row0 = t * rows_per_thread;
+                let rows_here = stripe.len() / n;
+                let tun = &tun;
+                scope.spawn(move |_| {
+                    kernel::gemm_stripe(
+                        isa, tun, a, b, packed_b, stripe, row0, rows_here, k, n, path,
+                    );
+                });
+            }
+        })
+        .expect("matmul worker panicked");
+    });
 }
 
 /// Matrix-vector product `y = A * x`.
@@ -321,13 +306,12 @@ mod tests {
             MatmulOptions {
                 threads: 4,
                 parallel_threshold: 1,
+                min_flops_per_thread: 1,
                 ..Default::default()
             },
         )
         .unwrap();
-        for (x, y) in seq.as_slice().iter().zip(par.as_slice()) {
-            assert!((x - y).abs() < 1e-9);
-        }
+        assert_eq!(seq, par);
     }
 
     #[test]
@@ -441,6 +425,7 @@ mod tests {
                 MatmulOptions {
                     threads,
                     parallel_threshold: 1,
+                    min_flops_per_thread: 1,
                     ..Default::default()
                 },
             )
@@ -468,5 +453,50 @@ mod tests {
         let mut c = Matrix::filled(3, 3, 99.0);
         matmul_into(&a, &b, &mut c, MatmulOptions::default()).unwrap();
         assert_eq!(c, b);
+    }
+
+    #[test]
+    fn effective_threads_floors_small_work() {
+        // 16x16x16 = 8192 flops: never worth more than one thread.
+        assert_eq!(effective_threads(8, 16, 16, 16, MIN_FLOPS_PER_THREAD), 1);
+        // 512x512x512 = 268M flops: the full budget is justified.
+        assert_eq!(effective_threads(8, 512, 512, 512, MIN_FLOPS_PER_THREAD), 8);
+        // Intermediate sizes get a partial fan-out.
+        let mid = effective_threads(8, 128, 128, 128, MIN_FLOPS_PER_THREAD);
+        assert!(mid >= 1 && mid < 8, "got {mid}");
+        // Floor of one row per thread, and floor override for tests.
+        assert_eq!(effective_threads(8, 2, 1000, 1000, 1), 2);
+        assert_eq!(effective_threads(4, 16, 16, 16, 1), 4);
+    }
+
+    #[test]
+    fn parallel_threshold_and_floor_compose_bitwise() {
+        // Large-ish product across every thread count, both orientations:
+        // all results must be bit-identical to sequential.
+        let a = pseudo_random_matrix(130, 300, 3);
+        let b = pseudo_random_matrix(300, 90, 5);
+        let seq = matmul_threaded(
+            &a,
+            &b,
+            MatmulOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for threads in 2..=8 {
+            let par = matmul_threaded(
+                &a,
+                &b,
+                MatmulOptions {
+                    threads,
+                    parallel_threshold: 1,
+                    min_flops_per_thread: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(seq, par, "threads = {threads}");
+        }
     }
 }

@@ -1,0 +1,407 @@
+//! Quantized int8 GEMM for the serve-side inference fast path.
+//!
+//! The right operand (a layer's weight matrix) is packed **once** at
+//! quantization time into an ISA-specific panel layout ([`QuantizedGemmB`])
+//! and then reused for every forward pass. The kernel follows the classic
+//! `pmaddwd` pattern: pairs of consecutive `k` values are interleaved in
+//! the packed panels, each `i8` pair is sign-extended to `i16`, and
+//! `madd_epi16` produces a horizontal pair-product added into `i32`
+//! accumulators. The left operand is repacked per 8-row block into
+//! ready-to-broadcast `i16`-pair words ([`pack_a8`]), and on CPUs with
+//! AVX512-VNNI the `madd + add` pair fuses into a single `vpdpwssd`.
+//!
+//! Integer arithmetic is exact, so — unlike the f64 kernels — every ISA and
+//! layout produces bit-identical results by construction. Overflow safety:
+//! each `madd` lane is at most `2 * 127 * 127 < 2^15.98`, and accumulating
+//! over `k <= 2^16` pairs stays far below `i32::MAX` (the deepest layer in
+//! the paper topology has `k = 1500`, a peak magnitude of ~24.2M).
+
+// As in `kernel.rs`, register-tile arrays are indexed by row on purpose: the
+// loop index mirrors the 8-row blocking.
+#![allow(clippy::needless_range_loop)]
+
+use crate::kernel::{kernel_isa, KernelIsa};
+
+/// A right-hand operand (`k x n`, row-major `i8`) packed for [`gemm_i8`].
+#[derive(Debug, Clone)]
+pub struct QuantizedGemmB {
+    data: Vec<i8>,
+    k: usize,
+    n: usize,
+    /// `k` rounded up to an even number of pair-slots.
+    kp: usize,
+    layout: Layout,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Layout {
+    /// 16-column panels, k-pairs interleaved (AVX-512BW kernel).
+    Panel16,
+    /// 8-column panels, k-pairs interleaved (AVX2 kernel).
+    Panel8,
+    /// Plain row-major copy (scalar kernel).
+    Raw,
+}
+
+impl QuantizedGemmB {
+    /// Packs a `k x n` row-major `i8` matrix for the active ISA.
+    pub fn pack(b: &[i8], k: usize, n: usize) -> QuantizedGemmB {
+        assert_eq!(b.len(), k * n, "QuantizedGemmB::pack: shape mismatch");
+        let kp = k.div_ceil(2) * 2;
+        let (layout, nr) = match kernel_isa() {
+            KernelIsa::Avx512 => (Layout::Panel16, 16),
+            KernelIsa::Avx2 => (Layout::Panel8, 8),
+            KernelIsa::Scalar => (Layout::Raw, 0),
+        };
+        let data = if layout == Layout::Raw {
+            b.to_vec()
+        } else {
+            let np = n.div_ceil(nr);
+            let mut out = vec![0i8; np * kp * nr];
+            for jp in 0..np {
+                for kk2 in 0..kp / 2 {
+                    for j in 0..nr {
+                        let col = jp * nr + j;
+                        for t in 0..2 {
+                            let kk = kk2 * 2 + t;
+                            if col < n && kk < k {
+                                out[jp * kp * nr + kk2 * nr * 2 + j * 2 + t] = b[kk * n + col];
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        };
+        QuantizedGemmB {
+            data,
+            k,
+            n,
+            kp,
+            layout,
+        }
+    }
+
+    /// Shared (`k`) dimension of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Column count of the packed matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bytes held by the packed representation.
+    pub fn bytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// `C = A * B` over `i8` inputs with exact `i32` accumulation.
+///
+/// `a` is `m x k` row-major; `c` must be `m * n` long and is overwritten.
+pub fn gemm_i8(a: &[i8], m: usize, k: usize, b: &QuantizedGemmB, c: &mut [i32]) {
+    assert_eq!(k, b.k, "gemm_i8: inner dimension mismatch");
+    assert_eq!(a.len(), m * k, "gemm_i8: lhs shape mismatch");
+    assert_eq!(c.len(), m * b.n, "gemm_i8: output shape mismatch");
+    if m == 0 || b.n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill(0);
+        return;
+    }
+    match b.layout {
+        Layout::Raw => gemm_i8_scalar(a, m, k, b, c),
+        #[cfg(target_arch = "x86_64")]
+        Layout::Panel16 => x86::gemm_i8_avx512(a, m, k, b, c),
+        #[cfg(target_arch = "x86_64")]
+        Layout::Panel8 => x86::gemm_i8_avx2(a, m, k, b, c),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("SIMD layouts are only packed on x86_64"),
+    }
+}
+
+fn gemm_i8_scalar(a: &[i8], m: usize, k: usize, b: &QuantizedGemmB, c: &mut [i32]) {
+    let n = b.n;
+    for r in 0..m {
+        let ar = &a[r * k..(r + 1) * k];
+        let cr = &mut c[r * n..(r + 1) * n];
+        cr.fill(0);
+        for (kk, &av) in ar.iter().enumerate() {
+            if av == 0 {
+                continue;
+            }
+            let av = av as i32;
+            let br = &b.data[kk * n..(kk + 1) * n];
+            for (cv, &bv) in cr.iter_mut().zip(br.iter()) {
+                *cv += av * bv as i32;
+            }
+        }
+    }
+}
+
+/// Packs 8 rows of `A` as ready-to-broadcast `i32` words: slot
+/// `kk2 * 8 + i` holds row `i`'s depths `2*kk2` and `2*kk2 + 1` as two
+/// sign-extended `i16` halves (low word = even depth). The kernels then
+/// broadcast straight from memory — `vpbroadcastd (mem)` is a load-port
+/// micro-op, keeping the shuffle port free for the `madd`/`dpwssd` chain.
+/// Missing rows and the odd `k` tail are zero-padded.
+fn pack_a8(a: &[i8], k: usize, row0: usize, mr: usize, out: &mut [i32]) {
+    out.fill(0);
+    for i in 0..mr {
+        let ar = &a[(row0 + i) * k..(row0 + i + 1) * k];
+        for kk2 in 0..k.div_ceil(2) {
+            let lo = ar[kk2 * 2] as i16 as u16 as u32;
+            let hi = if kk2 * 2 + 1 < k {
+                ar[kk2 * 2 + 1] as i16 as u16 as u32
+            } else {
+                0
+            };
+            out[kk2 * 8 + i] = (lo | (hi << 16)) as i32;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{pack_a8, QuantizedGemmB};
+    use std::arch::x86_64::*;
+
+    /// Whether the AVX512-VNNI fused multiply-accumulate
+    /// (`vpdpwssd`, folding `madd + add` into one op) is available.
+    #[inline]
+    fn has_vnni() -> bool {
+        // `is_x86_feature_detected!` caches the CPUID probe internally.
+        is_x86_feature_detected!("avx512vnni")
+    }
+
+    pub(super) fn gemm_i8_avx512(a: &[i8], m: usize, k: usize, b: &QuantizedGemmB, c: &mut [i32]) {
+        let n = b.n;
+        let kp = b.kp;
+        let np = n.div_ceil(16);
+        let vnni = has_vnni();
+        let mut ap = vec![0i32; (kp / 2) * 8];
+        let mut acc = [0i32; 128];
+        let mut ir = 0;
+        while ir < m {
+            let mr = 8.min(m - ir);
+            pack_a8(a, k, ir, mr, &mut ap);
+            for jp in 0..np {
+                let jr = jp * 16;
+                let nr = 16.min(n - jr);
+                let bp = b.data[jp * kp * 16..].as_ptr();
+                // Full tiles store straight into `C` (row stride `n`);
+                // ragged edges go through the bounce buffer.
+                let bounce = mr != 8 || nr != 16;
+                let (cp, ldc) = if bounce {
+                    (acc.as_mut_ptr(), 16)
+                } else {
+                    (unsafe { c.as_mut_ptr().add(ir * n + jr) }, n)
+                };
+                unsafe {
+                    if vnni {
+                        k_i8_8x16_vnni(ap.as_ptr(), bp, kp / 2, cp, ldc);
+                    } else {
+                        k_i8_8x16(ap.as_ptr(), bp, kp / 2, cp, ldc);
+                    }
+                }
+                if bounce {
+                    for i in 0..mr {
+                        let crow = &mut c[(ir + i) * n + jr..(ir + i) * n + jr + nr];
+                        crow.copy_from_slice(&acc[i * 16..i * 16 + nr]);
+                    }
+                }
+            }
+            ir += 8;
+        }
+    }
+
+    /// Shared body of the two AVX-512 kernels: 8 rows x 16 cols with a
+    /// 2x-unrolled depth loop; `$fma` fuses or splits the multiply-add.
+    macro_rules! k_i8_8x16_body {
+        ($ap:ident, $bp:ident, $kc2:ident, $cp:ident, $ldc:ident, $fma:expr) => {{
+            let mut acc = [_mm512_setzero_si512(); 8];
+            let mut kk = 0usize;
+            macro_rules! step {
+                ($idx:expr) => {
+                    // 16 columns x 2 consecutive k -> 32 i8 -> i16.
+                    let braw = _mm256_loadu_si256($bp.add($idx * 32) as *const _);
+                    let b16 = _mm512_cvtepi8_epi16(braw);
+                    let aw = $ap.add($idx * 8);
+                    for i in 0..8 {
+                        let r = _mm512_set1_epi32(*aw.add(i));
+                        acc[i] = $fma(acc[i], r, b16);
+                    }
+                };
+            }
+            while kk + 2 <= $kc2 {
+                step!(kk);
+                step!(kk + 1);
+                kk += 2;
+            }
+            if kk < $kc2 {
+                step!(kk);
+            }
+            for i in 0..8 {
+                _mm512_storeu_si512($cp.add(i * $ldc) as *mut _, acc[i]);
+            }
+        }};
+    }
+
+    /// 8 rows x 16 cols, full-`k` accumulation via `madd_epi16 + add`.
+    #[target_feature(enable = "avx512bw")]
+    unsafe fn k_i8_8x16(ap: *const i32, bp: *const i8, kc2: usize, cp: *mut i32, ldc: usize) {
+        k_i8_8x16_body!(ap, bp, kc2, cp, ldc, |acc, r, b16| _mm512_add_epi32(
+            acc,
+            _mm512_madd_epi16(r, b16)
+        ));
+    }
+
+    /// 8 rows x 16 cols with the fused `vpdpwssd` accumulate.
+    #[target_feature(enable = "avx512bw", enable = "avx512vnni")]
+    unsafe fn k_i8_8x16_vnni(ap: *const i32, bp: *const i8, kc2: usize, cp: *mut i32, ldc: usize) {
+        k_i8_8x16_body!(ap, bp, kc2, cp, ldc, |acc, r, b16| _mm512_dpwssd_epi32(
+            acc, r, b16
+        ));
+    }
+
+    pub(super) fn gemm_i8_avx2(a: &[i8], m: usize, k: usize, b: &QuantizedGemmB, c: &mut [i32]) {
+        let n = b.n;
+        let kp = b.kp;
+        let np = n.div_ceil(8);
+        let mut ap = vec![0i32; (kp / 2) * 8];
+        let mut acc = [0i32; 64];
+        let mut ir = 0;
+        while ir < m {
+            let mr = 8.min(m - ir);
+            pack_a8(a, k, ir, mr, &mut ap);
+            for jp in 0..np {
+                let jr = jp * 8;
+                let nr = 8.min(n - jr);
+                let bp = b.data[jp * kp * 8..].as_ptr();
+                let bounce = mr != 8 || nr != 8;
+                let (cp, ldc) = if bounce {
+                    (acc.as_mut_ptr(), 8)
+                } else {
+                    (unsafe { c.as_mut_ptr().add(ir * n + jr) }, n)
+                };
+                unsafe {
+                    k_i8_8x8(ap.as_ptr(), bp, kp / 2, cp, ldc);
+                }
+                if bounce {
+                    for i in 0..mr {
+                        let crow = &mut c[(ir + i) * n + jr..(ir + i) * n + jr + nr];
+                        crow.copy_from_slice(&acc[i * 8..i * 8 + nr]);
+                    }
+                }
+            }
+            ir += 8;
+        }
+    }
+
+    /// 8 rows x 8 cols, full-`k` accumulation via `madd_epi16`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn k_i8_8x8(ap: *const i32, bp: *const i8, kc2: usize, cp: *mut i32, ldc: usize) {
+        let mut acc = [_mm256_setzero_si256(); 8];
+        let mut kk = 0usize;
+        macro_rules! step {
+            ($idx:expr) => {
+                // 8 columns x 2 consecutive k -> 16 i8 -> i16.
+                let braw = _mm_loadu_si128(bp.add($idx * 16) as *const _);
+                let b16 = _mm256_cvtepi8_epi16(braw);
+                let aw = ap.add($idx * 8);
+                for i in 0..8 {
+                    let r = _mm256_set1_epi32(*aw.add(i));
+                    acc[i] = _mm256_add_epi32(acc[i], _mm256_madd_epi16(r, b16));
+                }
+            };
+        }
+        while kk + 2 <= kc2 {
+            step!(kk);
+            step!(kk + 1);
+            kk += 2;
+        }
+        if kk < kc2 {
+            step!(kk);
+        }
+        for i in 0..8 {
+            _mm256_storeu_si256(cp.add(i * ldc) as *mut _, acc[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill_i8(len: usize, seed: u64) -> Vec<i8> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 255) as i8
+            })
+            .collect()
+    }
+
+    fn naive_i8(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+        let mut c = vec![0i32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0i32;
+                for kk in 0..k {
+                    s += a[i * k + kk] as i32 * b[kk * n + j] as i32;
+                }
+                c[i * n + j] = s;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matches_naive_across_ragged_shapes() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (1, 11, 43),
+            (4, 16, 16),
+            (5, 17, 9),
+            (3, 11, 256),
+            (7, 301, 13),
+            (16, 64, 43),
+            (2, 1500, 5),
+        ] {
+            let a = fill_i8(m * k, 7);
+            let b = fill_i8(k * n, 11);
+            let packed = QuantizedGemmB::pack(&b, k, n);
+            let mut c = vec![0i32; m * n];
+            gemm_i8(&a, m, k, &packed, &mut c);
+            assert_eq!(c, naive_i8(&a, &b, m, k, n), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn saturating_inputs_do_not_overflow() {
+        let (m, k, n) = (2usize, 1500usize, 3usize);
+        let a = vec![i8::MIN; m * k];
+        let b = vec![i8::MAX; k * n];
+        let packed = QuantizedGemmB::pack(&b, k, n);
+        let mut c = vec![0i32; m * n];
+        gemm_i8(&a, m, k, &packed, &mut c);
+        assert!(c.iter().all(|&v| v == -128 * 127 * 1500));
+    }
+
+    #[test]
+    fn empty_dims_are_handled() {
+        let packed = QuantizedGemmB::pack(&[], 0, 4);
+        let mut c = vec![9i32; 8];
+        gemm_i8(&[], 2, 0, &packed, &mut c);
+        assert_eq!(c, vec![0; 8]);
+        let packed = QuantizedGemmB::pack(&[], 3, 0);
+        let mut c = vec![];
+        gemm_i8(&[1, 2, 3], 1, 3, &packed, &mut c);
+    }
+}

@@ -1,6 +1,9 @@
 //! Property-based tests for the linear-algebra substrate.
 
-use nrpm_linalg::{dot, lstsq, matmul, matmul_threaded, stats, MatmulOptions, Matrix};
+use nrpm_linalg::{
+    dot, gemm_i8, kernel, kernel_isa, lstsq, matmul, matmul_threaded, stats, MatmulOptions, Matrix,
+    QuantizedGemmB,
+};
 use proptest::prelude::*;
 
 fn small_matrix(
@@ -94,8 +97,96 @@ proptest! {
             threads,
             k_block,
             parallel_threshold: 1,
+            min_flops_per_thread: 1,
         }).unwrap();
         prop_assert_eq!(seq.as_slice(), par.as_slice());
+    }
+
+    #[test]
+    fn micro_kernel_paths_match_reference_bitwise(
+        m in 1usize..40,
+        k in 1usize..300,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        // The direct (no-pack) and packed paths, and the scalar KC-chunked
+        // reference, must agree bit for bit on every ragged shape — this is
+        // the invariant that makes the path heuristic and the autotuner
+        // pure performance knobs.
+        let mut s = seed | 1;
+        let mut gen = || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s % 1000) as f64 / 500.0 - 1.0
+        };
+        let a: Vec<f64> = (0..m * k).map(|_| gen()).collect();
+        let b: Vec<f64> = (0..k * n).map(|_| gen()).collect();
+        let direct = kernel::testing::gemm_forced(&a, &b, m, k, n, kernel::GemmPath::Direct);
+        let packed = kernel::testing::gemm_forced(&a, &b, m, k, n, kernel::GemmPath::Packed);
+        let reference = kernel::testing::gemm_reference(&a, &b, m, k, n, kernel_isa().uses_fma());
+        prop_assert_eq!(&direct, &packed, "direct vs packed at {}x{}x{}", m, k, n);
+        prop_assert_eq!(&direct, &reference, "kernel vs reference at {}x{}x{}", m, k, n);
+    }
+
+    #[test]
+    fn micro_kernel_edge_shapes_match_naive(
+        k in 1usize..600,
+        n in 1usize..64,
+        seed in 0u64..1000,
+    ) {
+        // 1xN row-vector products, Nx1 column outputs, and empty dims.
+        let mut s = seed | 1;
+        let mut gen = || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s % 1000) as f64 / 500.0 - 1.0
+        };
+        for (m, k, n) in [(1usize, k, n), (n, k, 1usize), (1, k, 1), (0, k, n), (n, k, 0)] {
+            let a: Vec<f64> = (0..m * k).map(|_| gen()).collect();
+            let b: Vec<f64> = (0..k * n).map(|_| gen()).collect();
+            for path in [kernel::GemmPath::Direct, kernel::GemmPath::Packed] {
+                let got = kernel::testing::gemm_forced(&a, &b, m, k, n, path);
+                prop_assert_eq!(got.len(), m * n);
+                for i in 0..m {
+                    for j in 0..n {
+                        let mut want = 0.0;
+                        for kk in 0..k {
+                            want += a[i * k + kk] * b[kk * n + j];
+                        }
+                        prop_assert!(
+                            (got[i * n + j] - want).abs() < 1e-9 * (1.0 + want.abs()),
+                            "{}x{}x{} {:?}: {} vs {}", m, k, n, path, got[i * n + j], want
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int8_gemm_matches_exact_reference(
+        m in 1usize..24,
+        k in 1usize..200,
+        n in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        let mut s = seed | 1;
+        let mut gen = || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s % 255) as i8
+        };
+        let a: Vec<i8> = (0..m * k).map(|_| gen()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| gen()).collect();
+        let packed = QuantizedGemmB::pack(&b, k, n);
+        let mut c = vec![0i32; m * n];
+        gemm_i8(&a, m, k, &packed, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let mut want = 0i32;
+                for kk in 0..k {
+                    want += a[i * k + kk] as i32 * b[kk * n + j] as i32;
+                }
+                prop_assert_eq!(c[i * n + j], want, "at ({}, {})", i, j);
+            }
+        }
     }
 
     #[test]

@@ -41,6 +41,29 @@ fn inner_opts() -> MatmulOptions {
     }
 }
 
+/// Approximate FLOPs of one forward + backward pass over a full chunk:
+/// every weight matrix participates in three GEMMs (forward, `dW`, `dX`)
+/// of `2 * rows * in * out` flops each.
+fn chunk_flops(net: &Network) -> usize {
+    let params: usize = net.layers().iter().map(|l| l.in_dim() * l.out_dim()).sum();
+    6 * CHUNK_ROWS * params
+}
+
+/// Caps the worker fan-out by the available work: spawning a scoped thread
+/// costs tens of microseconds, so a worker is only justified once it has at
+/// least [`nrpm_linalg::MIN_FLOPS_PER_THREAD`] of gradient work. This is
+/// the chunk-level analogue of the matmul thread floor, and what stops
+/// small networks from *losing* throughput at 4–8 threads (the 0.86x in
+/// BENCH_train.json).
+///
+/// Pure in its inputs so the policy is unit-testable; never changes chunk
+/// boundaries, so worker count stays a bitwise-neutral deployment knob.
+pub(crate) fn plan_workers(threads: usize, chunks: usize, flops_per_chunk: usize) -> usize {
+    let total = flops_per_chunk.saturating_mul(chunks);
+    let by_work = (total / nrpm_linalg::MIN_FLOPS_PER_THREAD.max(1)).max(1);
+    threads.clamp(1, chunks.max(1)).min(by_work)
+}
+
 fn zero_gradients(net: &Network) -> Vec<LayerGradients> {
     net.layers()
         .iter()
@@ -201,10 +224,21 @@ pub(crate) struct TrainScratch {
 
 impl TrainScratch {
     /// Allocates scratch for batches of at most `batch_size` rows, run by
-    /// `threads` workers (already resolved; at least 1).
+    /// `threads` workers (already resolved; at least 1). The actual worker
+    /// count is additionally floored by [`plan_workers`] so tiny models
+    /// never fan out across the whole thread budget.
     pub(crate) fn new(net: &Network, batch_size: usize, threads: usize) -> Self {
         let max_chunks = batch_size.max(1).div_ceil(CHUNK_ROWS);
-        let workers = threads.clamp(1, max_chunks);
+        let workers = plan_workers(threads, max_chunks, chunk_flops(net));
+        Self::with_workers(net, batch_size, workers)
+    }
+
+    /// Like [`TrainScratch::new`] but with an exact worker count, bypassing
+    /// the work floor. Used by tests that must exercise the parallel
+    /// reduction on deliberately tiny models.
+    pub(crate) fn with_workers(net: &Network, batch_size: usize, workers: usize) -> Self {
+        let max_chunks = batch_size.max(1).div_ceil(CHUNK_ROWS);
+        let workers = workers.clamp(1, max_chunks);
         TrainScratch {
             workers,
             arenas: (0..workers).map(|_| WorkerArena::new(net)).collect(),
@@ -422,6 +456,58 @@ mod tests {
             let loss = net.accumulate_gradients(&mut scratch);
             assert!((loss - ref_loss).abs() < 1e-12, "n = {n}");
         }
+    }
+
+    #[test]
+    fn forced_parallel_workers_stay_bitwise_invariant() {
+        // The work floor would serialize this tiny model, so force the
+        // worker count to keep the parallel reduction under test.
+        let net = Network::new(&NetworkConfig::new(&[5, 16, 4]), 77);
+        let (x, y) = toy_batch(70, 5, 4, 11);
+        let mut reference: Option<(f64, Vec<LayerGradients>)> = None;
+        for workers in [1usize, 2, 3, 4, 8] {
+            let mut scratch = TrainScratch::with_workers(&net, 70, workers);
+            assert_eq!(scratch.workers, workers.min(70usize.div_ceil(CHUNK_ROWS)));
+            scratch.x = x.clone();
+            scratch.y = y.clone();
+            let loss = net.accumulate_gradients(&mut scratch);
+            match &reference {
+                None => reference = Some((loss, scratch.total.clone())),
+                Some((ref_loss, ref_grads)) => {
+                    assert_eq!(loss.to_bits(), ref_loss.to_bits(), "workers = {workers}");
+                    for (t, r) in scratch.total.iter().zip(ref_grads.iter()) {
+                        assert_eq!(t.weights, r.weights, "workers = {workers}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_planning_floors_small_work() {
+        // One chunk of a toy net is far below the floor: stay sequential.
+        assert_eq!(plan_workers(8, 4, 14_000), 1);
+        // Plenty of work: use everything requested (capped by chunks).
+        assert_eq!(plan_workers(8, 64, 10_000_000), 8);
+        assert_eq!(plan_workers(8, 3, 10_000_000), 3);
+        // Intermediate work gets a partial fan-out.
+        let w = plan_workers(8, 16, 1_000_000);
+        assert!(w >= 2 && w < 8, "got {w}");
+        // Degenerate inputs stay sane.
+        assert_eq!(plan_workers(0, 0, 0), 1);
+        assert_eq!(plan_workers(1, 100, usize::MAX), 1);
+    }
+
+    #[test]
+    fn scratch_applies_work_floor_to_tiny_models() {
+        let net = Network::new(&NetworkConfig::new(&[5, 16, 4]), 77);
+        // ~14K flops per chunk, 5 chunks: the floor serializes this.
+        let scratch = TrainScratch::new(&net, 70, 8);
+        assert_eq!(scratch.workers, 1);
+        // A paper-scale layer stack justifies the fan-out.
+        let big = Network::new(&NetworkConfig::new(&[11, 1500, 250, 43]), 1);
+        let scratch = TrainScratch::new(&big, 512, 8);
+        assert_eq!(scratch.workers, 8);
     }
 
     #[test]

@@ -39,6 +39,7 @@ mod layer;
 mod metrics;
 mod network;
 mod optimizer;
+mod quant;
 mod trainer;
 mod validate;
 mod watchdog;
@@ -49,6 +50,7 @@ pub use layer::DenseLayer;
 pub use metrics::{accuracy, confusion_matrix, top_k_accuracy, top_k_classes};
 pub use network::{Network, NetworkConfig, NetworkError};
 pub use optimizer::{Optimizer, OptimizerKind};
+pub use quant::{QuantError, QuantGate, QuantReport, QuantizedNetwork};
 pub use trainer::{TrainerOptions, TrainingReport};
 pub use validate::{ValidatedReport, ValidationOptions};
 pub use watchdog::{FaultDetected, FaultEvent, GuardedReport, WatchdogOptions};

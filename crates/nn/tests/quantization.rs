@@ -1,0 +1,121 @@
+//! Property-based tests for the int8 quantized inference path: the
+//! quantized forward pass must stay within a bounded probability drift of
+//! the f64 reference, agree on the argmax whenever the reference is not
+//! essentially tied, and the accuracy gate's accept/reject decision must be
+//! consistent with the report it returns.
+
+use nrpm_linalg::Matrix;
+use nrpm_nn::{Network, NetworkConfig, QuantError, QuantGate, QuantizedNetwork};
+use proptest::prelude::*;
+
+/// A strategy over small but shape-diverse architectures plus seeds.
+fn setups() -> impl Strategy<Value = (Vec<usize>, u64, u64)> {
+    (
+        1usize..8,                               // input width
+        prop::collection::vec(1usize..24, 0..3), // hidden widths
+        2usize..7,                               // classes
+        0u64..1_000_000,                         // init seed
+        0u64..1_000_000,                         // input seed
+    )
+        .prop_map(|(input, hidden, classes, seed, iseed)| {
+            let mut sizes = vec![input];
+            sizes.extend(hidden);
+            sizes.push(classes);
+            (sizes, seed, iseed)
+        })
+}
+
+/// Deterministic batch of inputs in [-2, 2).
+fn input_batch(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut s = seed | 1;
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 4000) as f64 / 1000.0 - 2.0
+            })
+            .collect(),
+    )
+}
+
+fn argmax(row: &[f64]) -> usize {
+    (0..row.len()).fold(0, |best, i| if row[i] > row[best] { i } else { best })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With per-channel weight scales and per-row activation scales, each
+    /// layer's relative quantization error is ~1/127, so for these bounded
+    /// networks the class-probability drift stays far below 0.1 — and the
+    /// argmax can only change on rows the reference itself calls a
+    /// near-tie.
+    #[test]
+    fn drift_is_bounded_and_confident_argmax_agrees(setup in setups()) {
+        let (sizes, seed, iseed) = setup;
+        let net = Network::new(&NetworkConfig::new(&sizes), seed);
+        let q = QuantizedNetwork::quantize(&net).expect("valid nets quantize");
+        let x = input_batch(16, sizes[0], iseed);
+        let reference = net.predict_proba(&x).expect("reference forward");
+        let quantized = q.predict_proba(&x).expect("quantized forward");
+        let classes = *sizes.last().unwrap();
+        for r in 0..x.rows() {
+            let rr = reference.row(r);
+            let qr = quantized.row(r);
+            // Quantized rows are still probability distributions.
+            let sum: f64 = qr.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "row {r} sums to {sum}");
+            for (a, b) in rr.iter().zip(qr) {
+                prop_assert!(b.is_finite() && *b >= 0.0);
+                prop_assert!((a - b).abs() < 0.1, "row {r}: {a} vs {b}");
+            }
+            // Argmax agreement whenever the reference is not a near-tie.
+            let top = argmax(rr);
+            let margin = rr[top]
+                - rr.iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != top)
+                    .map(|(_, v)| *v)
+                    .fold(f64::NEG_INFINITY, f64::max);
+            if classes > 1 && margin > 0.05 {
+                prop_assert_eq!(
+                    top, argmax(qr),
+                    "argmax flipped on row {} with margin {}", r, margin
+                );
+            }
+        }
+    }
+
+    /// The gate's accept/reject decision must agree with the measurements
+    /// in its own report — no silent accepts past the thresholds, no
+    /// spurious rejections inside them.
+    #[test]
+    fn gate_decision_matches_its_report(setup in setups()) {
+        let (sizes, seed, iseed) = setup;
+        let net = Network::new(&NetworkConfig::new(&sizes), seed);
+        let calib = input_batch(24, sizes[0], iseed);
+        let gate = QuantGate::default();
+        match QuantizedNetwork::validated(&net, &calib, &gate) {
+            Ok((q, report)) => {
+                prop_assert!(report.argmax_flips <= gate.max_argmax_flips);
+                prop_assert!(report.max_prob_drift <= gate.max_prob_drift);
+                prop_assert_eq!(report.calib_rows, 24);
+                prop_assert_eq!(report.weight_bytes, q.weight_bytes());
+            }
+            Err(QuantError::GateRejected(report)) => {
+                prop_assert!(
+                    report.argmax_flips > gate.max_argmax_flips
+                        || report.max_prob_drift > gate.max_prob_drift,
+                    "rejected inside thresholds: {:?}", report
+                );
+            }
+            Err(QuantError::Unsupported(msg)) => {
+                prop_assert!(false, "valid net + non-empty calib unsupported: {msg}");
+            }
+        }
+    }
+}

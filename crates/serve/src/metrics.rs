@@ -53,6 +53,8 @@ pub struct Metrics {
     singleflight_shared: AtomicU64,
     batched_forward_calls: AtomicU64,
     batched_rows: AtomicU64,
+    quantized_forward_calls: AtomicU64,
+    quant_fallbacks: AtomicU64,
     latency_buckets: [AtomicU64; NUM_BUCKETS],
     latency_total_us: AtomicU64,
     latency_count: AtomicU64,
@@ -227,11 +229,23 @@ impl Metrics {
     }
 
     /// Records one coalesced DNN inference covering `rows` measurement
-    /// lines. `forward_passes` is `0` when every line was degenerate.
-    pub fn record_batched_inference(&self, forward_passes: usize, rows: usize) {
+    /// lines. `forward_passes` is `0` when every line was degenerate;
+    /// `quantized` says whether the pass ran on the int8 network.
+    pub fn record_batched_inference(&self, forward_passes: usize, rows: usize, quantized: bool) {
         self.batched_forward_calls
             .fetch_add(forward_passes as u64, Ordering::Relaxed);
         self.batched_rows.fetch_add(rows as u64, Ordering::Relaxed);
+        if quantized {
+            self.quantized_forward_calls
+                .fetch_add(forward_passes as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a worker whose modeler requested quantization but fell back
+    /// to the f64 reference because the accuracy gate rejected the int8
+    /// snapshot.
+    pub fn record_quant_fallback(&self) {
+        self.quant_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records the end-to-end latency of one modeling request.
@@ -288,6 +302,8 @@ impl Metrics {
             singleflight_shared: get(&self.singleflight_shared),
             batched_forward_calls: get(&self.batched_forward_calls),
             batched_rows: get(&self.batched_rows),
+            quantized_forward_calls: get(&self.quantized_forward_calls),
+            quant_fallbacks: get(&self.quant_fallbacks),
             latency_bucket_bounds_ms: LATENCY_BUCKETS_MS.to_vec(),
             latency_buckets: self.latency_buckets.iter().map(get).collect(),
             latency_total_us: get(&self.latency_total_us),
@@ -371,6 +387,13 @@ pub struct MetricsSnapshot {
     pub batched_forward_calls: u64,
     /// Measurement lines classified through those coalesced passes.
     pub batched_rows: u64,
+    /// Coalesced forward passes that ran on the int8-quantized network
+    /// (subset of [`Self::batched_forward_calls`]; `model` requests use
+    /// the same path internally but report here only via `batch`).
+    pub quantized_forward_calls: u64,
+    /// Workers that requested quantization but fell back to the f64
+    /// reference because the accuracy gate rejected the int8 snapshot.
+    pub quant_fallbacks: u64,
     /// Upper bounds of the latency buckets (ms); last bucket unbounded.
     pub latency_bucket_bounds_ms: Vec<u64>,
     /// Latency histogram counts (one per bound, plus the overflow bucket).
@@ -419,7 +442,7 @@ mod tests {
         m.record_error(ErrorClass::Timeout);
         m.record_choice(ModelerChoice::Regression);
         m.record_choice(ModelerChoice::Dnn);
-        m.record_batched_inference(1, 8);
+        m.record_batched_inference(1, 8, false);
 
         let s = m.snapshot();
         assert_eq!(s.requests_model, 2);

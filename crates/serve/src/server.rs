@@ -1056,8 +1056,17 @@ fn dispatch_job(
     }
 }
 
+/// Records a gate rejection on a freshly built worker modeler: quantized
+/// inference was requested but this modeler will serve the f64 reference.
+fn note_quant_fallback(shared: &Shared, modeler: &nrpm_core::adaptive::AdaptiveModeler) {
+    if modeler.dnn().quant_rejection().is_some() {
+        shared.metrics.record_quant_fallback();
+    }
+}
+
 fn run_worker(shared: &Arc<Shared>, job_rx: &Arc<Mutex<mpsc::Receiver<Job>>>) {
     let (mut modeler, mut warm_hash, mut warm_epoch) = shared.store.warm_modeler();
+    note_quant_fallback(shared, &modeler);
     loop {
         // Take the lock only to receive; computing happens lock-free so the
         // other workers can pick up jobs concurrently. The guard drops
@@ -1079,6 +1088,7 @@ fn run_worker(shared: &Arc<Shared>, job_rx: &Arc<Mutex<mpsc::Receiver<Job>>>) {
             // A hot-swap published a new generation: rebuild before touching
             // the job, so this worker serves the new weights from here on.
             (modeler, warm_hash, warm_epoch) = shared.store.warm_modeler();
+            note_quant_fallback(shared, &modeler);
         }
         let reply = compute_reply(shared, &mut modeler, warm_hash, warm_epoch, &job);
         let reply = match reply {
@@ -1088,6 +1098,7 @@ fn run_worker(shared: &Arc<Shared>, job_rx: &Arc<Mutex<mpsc::Receiver<Job>>>) {
                 // worker's modeler is rebuilt from the warm store in case
                 // the panic left it inconsistent.
                 (modeler, warm_hash, warm_epoch) = shared.store.warm_modeler();
+                note_quant_fallback(shared, &modeler);
                 Reply {
                     line: error_line(
                         job.request.id().as_deref(),
@@ -1199,9 +1210,11 @@ fn compute_reply(
         }
         JobRequest::Batch { sets, id } => {
             let batch = modeler.model_batch(sets);
-            shared
-                .metrics
-                .record_batched_inference(batch.forward_passes, batch.batched_lines);
+            shared.metrics.record_batched_inference(
+                batch.forward_passes,
+                batch.batched_lines,
+                batch.quantized,
+            );
             let mut ok = 0u64;
             let entries: Vec<Value> = batch
                 .outcomes
@@ -1231,6 +1244,7 @@ fn compute_reply(
                             "batched_lines".into(),
                             Value::U64(batch.batched_lines as u64),
                         ),
+                        ("quantized".into(), Value::Bool(batch.quantized)),
                         ("served_hash".into(), Value::Str(hex16(warm_hash))),
                         ("epoch".into(), Value::U64(warm_epoch)),
                     ],
